@@ -1,0 +1,432 @@
+// Package repro holds the top-level benchmark harness: one benchmark per
+// table/figure/claim of the paper (see DESIGN.md §5 for the experiment
+// index) plus performance benchmarks of the core solvers. Regenerate the
+// full-size tables with cmd/experiments; these benchmarks exercise the
+// same code paths at reduced fidelity so `go test -bench=.` stays fast.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/cfdref"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/floorplan"
+	"repro/internal/mat"
+	"repro/internal/power"
+	"repro/internal/thermal"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// --- T1: Table I ---
+
+func BenchmarkTableIModelBuild(b *testing.B) {
+	st := floorplan.Niagara2Tier()
+	for i := 0; i < b.N; i++ {
+		if _, err := thermal.BuildStack(st, thermal.StackOptions{
+			Mode:          thermal.LiquidCooled,
+			FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- F1: Fig. 1 layouts ---
+
+func BenchmarkFig1Rasterize(b *testing.B) {
+	fp := floorplan.NiagaraCoreTier()
+	for i := 0; i < b.N; i++ {
+		if _, err := fp.Rasterize(16, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- F4: fluid focusing ---
+
+func BenchmarkFig4FluidFocus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- F6/F7: the policy study (one representative row each) ---
+
+func benchPolicyRun(b *testing.B, cooling core.Cooling, pol string) {
+	b.Helper()
+	sys, err := core.NewSystem(core.Options{Tiers: 2, Cooling: cooling, Policy: pol, Grid: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := core.GenerateTrace("web", sys.Threads(), 10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.RunTrace(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6HotspotStudy(b *testing.B) { benchPolicyRun(b, core.Air, "LB") }
+
+func BenchmarkFig7EnergyStudy(b *testing.B) { benchPolicyRun(b, core.Liquid, "LC_FUZZY") }
+
+// --- F8: two-phase hot-spot test ---
+
+func BenchmarkFig8TwoPhase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- C1: heat-removal scaling ---
+
+func BenchmarkScalingClaim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Scaling(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- C2: structure modulation ---
+
+func BenchmarkModulationClaim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Modulation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- C3: pin-fin exploration ---
+
+func BenchmarkPinFinExploration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.PinFin(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- C4: compact vs reference. The ns/op ratio of the following pair is
+// the reproduction's speed-up figure; BenchmarkSpeedupClaim runs the
+// packaged comparison end to end. ---
+
+func speedupFixtures(b *testing.B) (*thermal.StackModel, *cfdref.Reference, [][]float64) {
+	b.Helper()
+	st := floorplan.Niagara2Tier()
+	opt := thermal.StackOptions{
+		Mode:          thermal.LiquidCooled,
+		FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+		Nx:            12, Ny: 12,
+	}
+	compact, err := thermal.BuildStack(st, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := cfdref.New(st, opt, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	utils := make([]float64, st.CoreCount())
+	for i := range utils {
+		utils[i] = 1
+	}
+	powers, err := power.NewDefaultModel().StackPowers(st, power.StackState{CoreUtil: utils})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return compact, ref, powers
+}
+
+func BenchmarkCompactSteady(b *testing.B) {
+	compact, _, powers := speedupFixtures(b)
+	pm, err := compact.PowerMapFromUnits(powers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compact.Model.SteadyState(pm, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReferenceSteady(b *testing.B) {
+	_, ref, powers := speedupFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ref.SteadyUnitTemps(powers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpeedupClaim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Speedup(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- C5: two-phase vs water ---
+
+func BenchmarkTwoPhaseVsWater(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TwoPhaseVsWater(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- C7: single-phase fluid temperature rise ---
+
+func BenchmarkFluidTemperatureRise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.FluidDT(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Solver performance ---
+
+func BenchmarkTransientStep(b *testing.B) {
+	st := floorplan.Niagara2Tier()
+	sm, err := thermal.BuildStack(st, thermal.StackOptions{
+		Mode:          thermal.LiquidCooled,
+		FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	utils := make([]float64, st.CoreCount())
+	for i := range utils {
+		utils[i] = 0.8
+	}
+	powers, err := power.NewDefaultModel().StackPowers(st, power.StackState{CoreUtil: utils})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm, err := sm.PowerMapFromUnits(powers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := sm.Model.SteadyState(pm, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := sm.Model.NewTransientFrom(0.1, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Step(pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.WebServer.Generate(32, 300, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTSVCharacterization regenerates the §II-B daisy-chain
+// characterization campaign (4 demonstrator designs × 200 chains).
+func BenchmarkTSVCharacterization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TSVStudy(1, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSplitFlow regenerates the §III once-through vs split-flow
+// comparison on the Fig. 8 test vehicle.
+func BenchmarkSplitFlow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.SplitFlow(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRefrigerantSelection regenerates the §III candidate
+// refrigerant ranking at the 130 W tier duty.
+func BenchmarkRefrigerantSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Refrigerants(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodesign regenerates the §II-C electro-thermal co-design
+// exploration (full factorial sweep + Pareto front + model validation).
+func BenchmarkCodesign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Codesign(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationStudy regenerates the flow-controller ablation
+// (LB / LC_TTFLOW / LC_PID / LC_FUZZY on the 2-tier stack).
+func BenchmarkAblationStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Ablation(exp.Quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Solver ablation: BiCGSTAB vs GMRES(30) on the advective grid ---
+
+// solverBenchSystem assembles a non-symmetric grid system with the same
+// structure the cavity model produces (diffusive 5-point stencil plus an
+// upwind advective pull), at roughly the 4-tier stack's node count.
+func solverBenchSystem(n int) (*mat.Sparse, []float64) {
+	b := mat.NewBuilder(n * n)
+	idx := func(i, j int) int { return j*n + i }
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			k := idx(i, j)
+			b.Add(k, k, 4.8)
+			if i > 0 {
+				b.Add(k, idx(i-1, j), -1.8)
+			}
+			if i < n-1 {
+				b.Add(k, idx(i+1, j), -1)
+			}
+			if j > 0 {
+				b.Add(k, idx(i, j-1), -1)
+			}
+			if j < n-1 {
+				b.Add(k, idx(i, j+1), -1)
+			}
+		}
+	}
+	a := b.Build()
+	rhs := make([]float64, n*n)
+	for i := range rhs {
+		rhs[i] = float64(i%13) - 6
+	}
+	return a, rhs
+}
+
+func BenchmarkSolverBiCGSTAB(b *testing.B) {
+	a, rhs := solverBenchSystem(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mat.BiCGSTAB(a, rhs, mat.IterOptions{Tol: 1e-8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverGMRES(b *testing.B) {
+	a, rhs := solverBenchSystem(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mat.GMRES(a, rhs, mat.IterOptions{Tol: 1e-8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverGMRESWithRCMILU(b *testing.B) {
+	a, rhs := solverBenchSystem(64)
+	perm := mat.RCM(a)
+	pa, err := mat.Permute(a, perm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prhs := make([]float64, len(rhs))
+	mat.PermuteVec(prhs, rhs, perm)
+	ilu, err := mat.NewILU(pa)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mat.GMRES(pa, prhs, mat.IterOptions{Tol: 1e-8, Precond: ilu}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNanofluids regenerates the coolant exploration (water,
+// nanofluid loadings, dielectric) on the 2-tier stack.
+func BenchmarkNanofluids(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Nanofluids(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTierScaling regenerates the tier-count scaling sweep
+// (1-6 tiers, air vs inter-tier liquid cooling).
+func BenchmarkTierScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TierScaling(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorageMargin regenerates the §III transient-storage
+// comparison.
+func BenchmarkStorageMargin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Storage(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridStudy regenerates the grid-resolution ablation.
+func BenchmarkGridStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.GridStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerCavityStudy regenerates the per-cavity flow-control
+// extension comparison on the 4-tier stack.
+func BenchmarkPerCavityStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.PerCavity(exp.Quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlowSweep regenerates the steady flow-rate trade-off figure.
+func BenchmarkFlowSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.FlowSweep(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

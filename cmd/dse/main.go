@@ -1,0 +1,96 @@
+// Command dse runs the §II-C electro-thermal co-design exploration from
+// the command line: sweep cavity geometries (channel widths under a TSV
+// spacing constraint, pin-fin arrangements) against a flow range, and
+// report the Pareto front plus the cheapest design meeting the junction
+// limit.
+//
+// Usage:
+//
+//	dse                          # Table-I defaults, 60 W tier
+//	dse -power 90 -limit 80      # hotter tier, tighter limit
+//	dse -via 100 -pitch 300      # coarser TSV array
+//	dse -flows 12 -validate      # denser sweep + 3D-model check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/dse"
+	"repro/internal/tsv"
+	"repro/internal/units"
+)
+
+func main() {
+	power := flag.Float64("power", 60, "tier power (W)")
+	limit := flag.Float64("limit", 85, "junction limit (°C)")
+	inlet := flag.Float64("inlet", 27, "coolant inlet (°C)")
+	viaUm := flag.Float64("via", 40, "TSV diameter (µm)")
+	pitchUm := flag.Float64("pitch", 150, "TSV pitch (µm)")
+	kozUm := flag.Float64("koz", 10, "TSV keep-out width (µm)")
+	qMin := flag.Float64("qmin", 10, "minimum cavity flow (ml/min)")
+	qMax := flag.Float64("qmax", 32.3, "maximum cavity flow (ml/min)")
+	nFlows := flag.Int("flows", 8, "flow levels in the sweep")
+	validate := flag.Bool("validate", false, "validate the winner on the compact 3D model")
+	grid := flag.Int("grid", 16, "validation grid resolution")
+	flag.Parse()
+
+	duty := dse.Duty{
+		TierPower:       *power,
+		FootprintW:      11.5e-3,
+		FootprintH:      10e-3,
+		DieThickness:    0.15e-3,
+		DieConductivity: 130,
+		InletC:          *inlet,
+		LimitC:          *limit,
+	}
+	arr := tsv.Array{
+		Via:   tsv.Via{Diameter: *viaUm * 1e-6, Depth: 380e-6, Liner: 200e-9},
+		Pitch: *pitchUm * 1e-6,
+		KOZ:   *kozUm * 1e-6,
+	}
+	if err := arr.Validate(); err != nil {
+		log.Fatalf("dse: TSV array: %v", err)
+	}
+	fmt.Printf("duty: %.0f W tier, limit %.0f °C, inlet %.0f °C\n", *power, *limit, *inlet)
+	fmt.Printf("TSV constraint: %.0f µm vias at %.0f µm pitch → channels ≤ %.0f µm\n\n",
+		*viaUm, *pitchUm, arr.MaxChannelWidth()*1e6)
+
+	space, err := dse.DefaultSpace(duty, arr,
+		units.MlPerMinToM3PerS(*qMin), units.MlPerMinToM3PerS(*qMax), *nFlows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evals, err := space.Explore()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explored %d design points\n\nPareto front:\n", len(evals))
+	for _, e := range dse.ParetoFront(evals) {
+		fmt.Printf("  %-32s %5.1f ml/min  T=%6.1f °C  pump=%8.2f mW  feasible=%v\n",
+			e.Geometry.Label(), units.M3PerSToMlPerMin(e.FlowM3s),
+			e.JunctionC, e.PumpPowerW*1e3, e.Feasible)
+	}
+
+	best, err := dse.BestUnderLimit(evals)
+	if err != nil {
+		log.Fatalf("dse: %v (raise -qmax, relax -limit, or lower -power)", err)
+	}
+	fmt.Printf("\nselected: %s at %.1f ml/min — T=%.1f °C, pump %.2f mW, COP %.0f\n",
+		best.Geometry.Label(), units.M3PerSToMlPerMin(best.FlowM3s),
+		best.JunctionC, best.PumpPowerW*1e3, best.COP())
+
+	if *validate {
+		if _, ok := best.Geometry.(dse.ChannelGeometry); !ok {
+			fmt.Println("winner is a pin-fin array; 3D validation covers channels only")
+			return
+		}
+		v, err := dse.Validate(best, duty, *grid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("3D model check: %.1f °C (estimate %.1f °C, margin %+.1f K)\n",
+			v.ModelJunctionC, v.Estimate.JunctionC, v.ErrorK)
+	}
+}

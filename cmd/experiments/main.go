@@ -1,0 +1,262 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation, plus the quantitative claims of §§II–III (see DESIGN.md for
+// the experiment index).
+//
+// Usage:
+//
+//	experiments -run all            # everything (several minutes)
+//	experiments -run fig6,fig7     # the policy study only
+//	experiments -run fig8          # the two-phase hot-spot test
+//	experiments -steps 120 -grid 12 # reduced fidelity
+//
+// Experiment ids: tableI, fig1, fig4, fig6, fig7, fig8, scaling,
+// modulation, pinfin, tierscaling, speedup, twophase-vs-water, splitflow, refrigerants, flowsweep, storage, gridstudy, nanofluids, codesign, ablation, percavity, savings, fluiddt, tsv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/report"
+)
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiment ids or 'all'")
+	steps := flag.Int("steps", 300, "trace length in seconds for the policy study")
+	grid := flag.Int("grid", 16, "thermal grid resolution")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	want := map[string]bool{}
+	all := *runFlag == "all"
+	for _, id := range strings.Split(*runFlag, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	sel := func(id string) bool { return all || want[id] }
+
+	opt := exp.Options{Steps: *steps, Grid: *grid, Seed: *seed}
+	fail := func(id string, err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+		os.Exit(1)
+	}
+	emit := func(id string, t *report.Table) {
+		fmt.Println(t)
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fail(id, err)
+		}
+		f, err := os.Create(filepath.Join(*csvDir, id+".csv"))
+		if err != nil {
+			fail(id, err)
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			fail(id, err)
+		}
+		if err := f.Close(); err != nil {
+			fail(id, err)
+		}
+	}
+
+	if sel("tableI") {
+		t, err := exp.TableI()
+		if err != nil {
+			fail("tableI", err)
+		}
+		emit("tableI", t)
+	}
+	if sel("fig1") {
+		fmt.Println(exp.Fig1())
+	}
+	if sel("fig4") {
+		r, err := exp.Fig4()
+		if err != nil {
+			fail("fig4", err)
+		}
+		emit("fig4", r.Table)
+	}
+	if sel("fluiddt") {
+		r, err := exp.FluidDT()
+		if err != nil {
+			fail("fluiddt", err)
+		}
+		emit("fluiddt", r.Table)
+	}
+	if sel("pinfin") {
+		r, err := exp.PinFin()
+		if err != nil {
+			fail("pinfin", err)
+		}
+		emit("pinfin", r.Table)
+	}
+	if sel("modulation") {
+		r, err := exp.Modulation()
+		if err != nil {
+			fail("modulation", err)
+		}
+		emit("modulation", r.Table)
+	}
+	if sel("scaling") {
+		r, err := exp.Scaling()
+		if err != nil {
+			fail("scaling", err)
+		}
+		emit("scaling", r.Table)
+	}
+	if sel("tierscaling") {
+		r, err := exp.TierScaling(*grid)
+		if err != nil {
+			fail("tierscaling", err)
+		}
+		emit("tierscaling", r.Table)
+	}
+	if sel("speedup") {
+		r, err := exp.Speedup(4)
+		if err != nil {
+			fail("speedup", err)
+		}
+		emit("speedup", r.Table)
+	}
+	if sel("fig8") {
+		r, err := exp.Fig8()
+		if err != nil {
+			fail("fig8", err)
+		}
+		emit("fig8", r.Table)
+		fmt.Printf("HTC ratio under hot spot: %.1fx (paper: ~8x)\n", r.HTCRatio)
+		fmt.Printf("Wall-superheat ratio:     %.1fx (paper: ~2x, vs 15x with water)\n", r.SuperheatRatio)
+		fmt.Printf("Fluid temperature drop:   %.2f K (paper: 0.5 K)\n\n", r.FluidDropK)
+	}
+	if sel("twophase-vs-water") {
+		r, err := exp.TwoPhaseVsWater()
+		if err != nil {
+			fail("twophase-vs-water", err)
+		}
+		emit("twophase-vs-water", r.Table)
+	}
+	if sel("nanofluids") {
+		r, err := exp.Nanofluids(*grid)
+		if err != nil {
+			fail("nanofluids", err)
+		}
+		emit("nanofluids", r.Table)
+	}
+	if sel("codesign") {
+		r, err := exp.Codesign(*grid)
+		if err != nil {
+			fail("codesign", err)
+		}
+		emit("codesign", r.Table)
+		if r.Check != nil {
+			fmt.Printf("winner validated on the compact 3D model: estimate %.1f °C vs model %.1f °C (+%.1f K margin)\n\n",
+				r.Check.Estimate.JunctionC, r.Check.ModelJunctionC, r.Check.ErrorK)
+		}
+	}
+	if sel("splitflow") {
+		r, err := exp.SplitFlow()
+		if err != nil {
+			fail("splitflow", err)
+		}
+		emit("splitflow", r.Table)
+	}
+	if sel("refrigerants") {
+		r, err := exp.Refrigerants()
+		if err != nil {
+			fail("refrigerants", err)
+		}
+		emit("refrigerants", r.Table)
+	}
+	if sel("flowsweep") {
+		r, err := exp.FlowSweep(*grid)
+		if err != nil {
+			fail("flowsweep", err)
+		}
+		fmt.Println(r.Figure)
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, "flowsweep.csv"))
+			if err != nil {
+				fail("flowsweep", err)
+			}
+			if err := r.Figure.WriteCSV(f); err != nil {
+				f.Close()
+				fail("flowsweep", err)
+			}
+			if err := f.Close(); err != nil {
+				fail("flowsweep", err)
+			}
+		}
+	}
+	if sel("storage") {
+		r, err := exp.Storage()
+		if err != nil {
+			fail("storage", err)
+		}
+		emit("storage", r.Table)
+	}
+	if sel("gridstudy") {
+		r, err := exp.GridStudy()
+		if err != nil {
+			fail("gridstudy", err)
+		}
+		emit("gridstudy", r.Table)
+	}
+	if sel("tsv") {
+		r, err := exp.TSVStudy(*seed, *grid)
+		if err != nil {
+			fail("tsv", err)
+		}
+		emit("tsv-chains", r.Chains)
+		emit("tsv-arrays", r.Arrays)
+		fmt.Printf("2-tier full-power peak: %.1f °C plain inter-tier, %.1f °C with 40 µm TSV array\n\n",
+			r.PeakPlainC, r.PeakTSVC)
+	}
+	if sel("ablation") {
+		r, err := exp.Ablation(opt)
+		if err != nil {
+			fail("ablation", err)
+		}
+		emit("ablation", r.Table)
+	}
+	if sel("percavity") {
+		r, err := exp.PerCavity(opt)
+		if err != nil {
+			fail("percavity", err)
+		}
+		emit("percavity", r.Table)
+		fmt.Printf("per-cavity control saves a further %.1f%% of pump energy over stack-wide fuzzy\n\n",
+			100*r.PumpSavingFrac)
+	}
+	if sel("fig6") || sel("fig7") || sel("savings") {
+		fmt.Printf("running policy study (%d configurations x %d workloads, %d s traces)...\n\n",
+			len(exp.StudyConfigs()), len(exp.Workloads()), *steps)
+		results, err := exp.RunStudy(opt)
+		if err != nil {
+			fail("study", err)
+		}
+		if sel("fig6") {
+			emit("fig6", exp.Fig6(results))
+		}
+		if sel("fig7") {
+			emit("fig7", exp.Fig7(results))
+		}
+		if sel("savings") {
+			sv, err := exp.ComputeSavings(results)
+			if err != nil {
+				fail("savings", err)
+			}
+			emit("savings", exp.SavingsTable(sv))
+			det, err := exp.SavingsStudy(opt)
+			if err != nil {
+				fail("savings", err)
+			}
+			emit("savings-detail", exp.SavingsDetailTable(det))
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Command mpsoc-sim runs one management policy on one 3D MPSoC
+// configuration over a synthetic workload trace and prints the resulting
+// thermal/energy metrics.
+//
+// Example:
+//
+//	mpsoc-sim -tiers 2 -cooling liquid -policy LC_FUZZY -workload web -steps 300
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	tiers := flag.Int("tiers", 2, "stack tiers (2 or 4)")
+	coolingFlag := flag.String("cooling", "liquid", "cooling technology: air or liquid")
+	policyFlag := flag.String("policy", "LB", "management policy: LB, TDVFS_LB, LC_FUZZY, LC_FUZZY_S, LC_FUZZY_PC, LC_PID, LC_TTFLOW")
+	workloadFlag := flag.String("workload", "web", "workload: web, db, mm, peak, light")
+	steps := flag.Int("steps", 300, "trace length in seconds")
+	seed := flag.Int64("seed", 1, "trace seed")
+	grid := flag.Int("grid", 16, "thermal grid resolution")
+	threshold := flag.Float64("threshold", 85, "hot-spot threshold (°C)")
+	seriesPath := flag.String("series", "", "write the peak-temperature/flow time series to this CSV file")
+	noise := flag.Float64("noise", 0, "sensor noise standard deviation (K)")
+	traceFile := flag.String("trace", "", "load a recorded utilization trace (CSV) instead of synthesising one")
+	flag.Parse()
+
+	var cool core.Cooling
+	switch *coolingFlag {
+	case "air":
+		cool = core.Air
+	case "liquid":
+		cool = core.Liquid
+	default:
+		fmt.Fprintf(os.Stderr, "mpsoc-sim: unknown cooling %q\n", *coolingFlag)
+		os.Exit(2)
+	}
+	sys, err := core.NewSystem(core.Options{
+		Tiers: *tiers, Cooling: cool, Policy: *policyFlag,
+		ThresholdC: *threshold, Grid: *grid,
+		SensorNoiseStdC: *noise,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpsoc-sim:", err)
+		os.Exit(1)
+	}
+	var tr *workload.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpsoc-sim:", err)
+			os.Exit(1)
+		}
+		tr, err = workload.DecodeCSV(*traceFile, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpsoc-sim:", err)
+			os.Exit(1)
+		}
+	} else {
+		var err error
+		tr, err = core.GenerateTrace(*workloadFlag, sys.Threads(), *steps, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpsoc-sim:", err)
+			os.Exit(1)
+		}
+	}
+	run := sys.RunTrace
+	if *seriesPath != "" {
+		run = sys.RunTraceRecorded
+	}
+	m, err := run(tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpsoc-sim:", err)
+		os.Exit(1)
+	}
+	if *seriesPath != "" {
+		if err := writeSeries(*seriesPath, m.Series); err != nil {
+			fmt.Fprintln(os.Stderr, "mpsoc-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d samples to %s\n", len(m.Series), *seriesPath)
+	}
+	fmt.Printf("stack:            %s (%s, policy %s, workload %s)\n", m.Stack, m.Mode, m.Policy, m.Trace)
+	fmt.Printf("simulated:        %.0f s (%d cores, %d threads)\n", m.SimulatedS, sys.Cores(), sys.Threads())
+	fmt.Printf("peak junction:    %.1f °C (threshold %.0f °C)\n", m.PeakTempC, *threshold)
+	fmt.Printf("hot-spot time:    avg %.2f%%  worst core %.2f%%\n", 100*m.HotspotFracAvg, 100*m.HotspotFracMax)
+	fmt.Printf("chip energy:      %.1f J (%.1f W mean)\n", m.ChipEnergyJ, m.ChipEnergyJ/m.SimulatedS)
+	fmt.Printf("pump energy:      %.1f J (%.1f W mean)\n", m.PumpEnergyJ, m.PumpEnergyJ/m.SimulatedS)
+	fmt.Printf("total energy:     %.1f J\n", m.TotalEnergyJ)
+	fmt.Printf("perf degradation: %.4f%%\n", m.PerfDegradationPct)
+	fmt.Printf("mean flow:        %.0f%% of max (liquid only)\n", 100*m.MeanFlowFrac)
+	fmt.Printf("migrations:       %d\n", m.Migrations)
+}
+
+// writeSeries dumps the recorded time series as CSV.
+func writeSeries(path string, series []sim.TimeSample) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"time_s", "peak_c", "flow_frac", "chip_w", "pump_w"}); err != nil {
+		f.Close()
+		return err
+	}
+	for _, s := range series {
+		rec := []string{
+			strconv.FormatFloat(s.TimeS, 'f', 2, 64),
+			strconv.FormatFloat(s.PeakC, 'f', 3, 64),
+			strconv.FormatFloat(s.FlowFrac, 'f', 3, 64),
+			strconv.FormatFloat(s.ChipPowerW, 'f', 2, 64),
+			strconv.FormatFloat(s.PumpPowerW, 'f', 3, 64),
+		}
+		if err := w.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,114 @@
+// Command thermal-solve computes the steady-state thermal field of a 2-
+// or 4-tier Niagara stack at a fixed utilization and flow rate, and
+// prints per-tier peaks plus an ASCII heat map of the hottest tier.
+//
+// Example:
+//
+//	thermal-solve -tiers 4 -cooling liquid -flow 20 -util 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/floorplan"
+	"repro/internal/power"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+func main() {
+	tiers := flag.Int("tiers", 2, "stack tiers (2 or 4)")
+	coolingFlag := flag.String("cooling", "liquid", "air or liquid")
+	flow := flag.Float64("flow", 32.3, "per-cavity flow (ml/min, 10-32.3)")
+	util := flag.Float64("util", 1.0, "core utilization (0-1)")
+	grid := flag.Int("grid", 16, "grid resolution")
+	heatmap := flag.Bool("heatmap", true, "print ASCII heat map of the hottest tier")
+	flag.Parse()
+
+	var st *floorplan.Stack
+	switch *tiers {
+	case 2:
+		st = floorplan.Niagara2Tier()
+	case 4:
+		st = floorplan.Niagara4Tier()
+	default:
+		fmt.Fprintln(os.Stderr, "thermal-solve: tiers must be 2 or 4")
+		os.Exit(2)
+	}
+	mode := thermal.LiquidCooled
+	if *coolingFlag == "air" {
+		mode = thermal.AirCooled
+	}
+	sm, err := thermal.BuildStack(st, thermal.StackOptions{
+		Mode: mode, Nx: *grid, Ny: *grid,
+		FlowPerCavity: units.MlPerMinToM3PerS(units.Clamp(*flow, 10, 32.3)),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermal-solve:", err)
+		os.Exit(1)
+	}
+	pmodel := power.NewDefaultModel()
+	utils := make([]float64, st.CoreCount())
+	for i := range utils {
+		utils[i] = *util
+	}
+	powers, err := pmodel.StackPowers(st, power.StackState{CoreUtil: utils})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermal-solve:", err)
+		os.Exit(1)
+	}
+	pm, err := sm.PowerMapFromUnits(powers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermal-solve:", err)
+		os.Exit(1)
+	}
+	f, err := sm.Model.SteadyState(pm, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thermal-solve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s, %s, util %.0f%%, flow %.1f ml/min per cavity\n",
+		st.Name, mode, 100**util, *flow)
+	fmt.Printf("total power: %.1f W\n", power.Total(powers))
+	hottest, hotTier := -1e9, 0
+	for k := range st.Tiers {
+		peak := f.Max(sm.TierLayer(k))
+		fmt.Printf("  %-14s peak %.1f °C  mean %.1f °C\n",
+			st.Tiers[k].Name, peak, f.Mean(sm.TierLayer(k)))
+		if peak > hottest {
+			hottest, hotTier = peak, k
+		}
+	}
+	fmt.Printf("stack peak: %.1f °C (tier %d)\n", hottest, hotTier)
+	if *heatmap {
+		fmt.Printf("\nheat map of %s ('.'<45, ':'<60, '+'<75, '#'<85, '!'>=85 °C):\n",
+			st.Tiers[hotTier].Name)
+		printHeatMap(f.Layer(sm.TierLayer(hotTier)), *grid, *grid)
+	}
+}
+
+func printHeatMap(cells []float64, nx, ny int) {
+	var b strings.Builder
+	for iy := ny - 1; iy >= 0; iy-- {
+		for ix := 0; ix < nx; ix++ {
+			t := cells[ix+iy*nx]
+			switch {
+			case t < 45:
+				b.WriteByte('.')
+			case t < 60:
+				b.WriteByte(':')
+			case t < 75:
+				b.WriteByte('+')
+			case t < 85:
+				b.WriteByte('#')
+			default:
+				b.WriteByte('!')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Print(b.String())
+}

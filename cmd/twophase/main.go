@@ -1,0 +1,75 @@
+// Command twophase runs the two-phase micro-evaporator experiments: the
+// Fig. 8 hot-spot test on the Costa-Patry test vehicle and a refrigerant
+// comparison at a configurable heat load.
+//
+// Example:
+//
+//	twophase -massflux 350 -hotflux 30.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fluids"
+	"repro/internal/report"
+	"repro/internal/twophase"
+	"repro/internal/units"
+)
+
+func main() {
+	massFlux := flag.Float64("massflux", 350, "channel mass flux (kg/m²s)")
+	hotFlux := flag.Float64("hotflux", 30.2, "hot-spot row heat flux (W/cm²)")
+	bgFlux := flag.Float64("bgflux", 2, "background row heat flux (W/cm²)")
+	tsat := flag.Float64("tsat", 30, "inlet saturation temperature (°C)")
+	refrigerant := flag.String("refrigerant", "R245fa", "R134a, R236fa or R245fa")
+	flag.Parse()
+
+	e := twophase.TestVehicle()
+	e.MassFlux = *massFlux
+	e.InletTsatC = *tsat
+	switch *refrigerant {
+	case "R134a":
+		e.Fluid = fluids.R134a()
+	case "R236fa":
+		e.Fluid = fluids.R236fa()
+	case "R245fa":
+		e.Fluid = fluids.R245fa()
+	default:
+		fmt.Fprintf(os.Stderr, "twophase: unknown refrigerant %q\n", *refrigerant)
+		os.Exit(2)
+	}
+	flux := []float64{
+		units.WPerCm2ToWPerM2(*bgFlux),
+		units.WPerCm2ToWPerM2(*bgFlux),
+		units.WPerCm2ToWPerM2(*hotFlux),
+		units.WPerCm2ToWPerM2(*bgFlux),
+		units.WPerCm2ToWPerM2(*bgFlux),
+	}
+	res, err := e.March(twophase.StepProfile(e.Length, flux), 500)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twophase:", err)
+		os.Exit(1)
+	}
+	rows := twophase.RowAverages(res, 5)
+	t := report.NewTable(
+		fmt.Sprintf("Micro-evaporator hot-spot test — %s, G=%.0f kg/m²s, Tsat,in=%.1f °C",
+			e.Fluid.Name, e.MassFlux, e.InletTsatC),
+		"sensor row", "flux (W/cm²)", "HTC (W/m²K)", "fluid °C", "wall °C", "base °C", "quality")
+	for i, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%.1f", units.WPerM2ToWPerCm2(r.FluxW)),
+			fmt.Sprintf("%.0f", r.HTC),
+			fmt.Sprintf("%.2f", r.TsatC),
+			fmt.Sprintf("%.2f", r.WallC),
+			fmt.Sprintf("%.2f", r.BaseC),
+			fmt.Sprintf("%.3f", r.Quality))
+	}
+	fmt.Println(t)
+	fmt.Printf("pressure drop:     %.1f kPa (%.3f bar)\n", res.PressureDrop/1e3, units.PaToBar(res.PressureDrop))
+	fmt.Printf("exit quality:      %.3f (dry-out above %.2f: %v)\n", res.ExitQuality, twophase.CriticalQuality, res.DryOut)
+	fmt.Printf("fluid temp drop:   %.2f K (refrigerant leaves colder than it enters)\n", res.FluidTempDropC())
+	fmt.Printf("hydraulic pumping: %.3f mW\n", res.PumpingPower*1e3)
+}

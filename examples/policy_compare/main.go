@@ -1,0 +1,59 @@
+// Policy comparison: reproduce the §IV-A experiment on a reduced scale —
+// the four management policies on the 2-tier stack under the same
+// database workload, reporting hot-spot time, energy and performance.
+// This is the per-row computation behind Figs. 6 and 7.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	configs := []struct {
+		label   string
+		cooling core.Cooling
+		policy  string
+	}{
+		{"AC_LB", core.Air, "LB"},
+		{"AC_TDVFS_LB", core.Air, "TDVFS_LB"},
+		{"LC_LB (max flow)", core.Liquid, "LB"},
+		{"LC_FUZZY", core.Liquid, "LC_FUZZY"},
+		{"LC_FUZZY_PC (per-cavity)", core.Liquid, "LC_FUZZY_PC"},
+		{"LC_PID (ablation)", core.Liquid, "LC_PID"},
+	}
+
+	t := report.NewTable("2-tier Niagara, database workload, 120 s",
+		"policy", "peak °C", "hot-spot time", "total energy (J)", "pump (J)", "perf loss %")
+	var acTotal float64
+	for _, cfg := range configs {
+		sys, err := core.NewSystem(core.Options{
+			Tiers: 2, Cooling: cfg.cooling, Policy: cfg.policy, Grid: 12,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := core.GenerateTrace("db", sys.Threads(), 120, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := sys.RunTrace(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cfg.label == "AC_LB" {
+			acTotal = m.TotalEnergyJ
+		}
+		t.AddRow(cfg.label,
+			fmt.Sprintf("%.1f", m.PeakTempC),
+			report.Pct(m.HotspotFracMax),
+			fmt.Sprintf("%.0f", m.TotalEnergyJ),
+			fmt.Sprintf("%.0f", m.PumpEnergyJ),
+			fmt.Sprintf("%.4f", m.PerfDegradationPct))
+	}
+	fmt.Println(t)
+	fmt.Printf("(energies normalise against AC_LB = %.0f J, as in Fig. 7)\n", acTotal)
+}

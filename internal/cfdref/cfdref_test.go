@@ -1,0 +1,220 @@
+package cfdref
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/floorplan"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+func testPowers(st *floorplan.Stack) [][]float64 {
+	out := make([][]float64, st.NumTiers())
+	for k, tier := range st.Tiers {
+		up := make([]float64, len(tier.FP.Units))
+		for i, u := range tier.FP.Units {
+			switch u.Kind {
+			case floorplan.KindCore:
+				up[i] = 6.5
+			case floorplan.KindL2:
+				up[i] = 2.5
+			case floorplan.KindCrossbar:
+				up[i] = 7
+			default:
+				up[i] = 2
+			}
+		}
+		out[k] = up
+	}
+	return out
+}
+
+func TestNewRejectsBadRefine(t *testing.T) {
+	if _, err := New(floorplan.Niagara2Tier(), thermal.StackOptions{}, 1); err == nil {
+		t.Error("refine < 2 must fail")
+	}
+}
+
+func TestCompactAgreesWithReference(t *testing.T) {
+	// The §II-D accuracy claim: the compact model's maximum temperature
+	// error against the finely resolved reference stays within a few
+	// percent (paper: 3.4 %).
+	st := floorplan.Niagara2Tier()
+	opt := thermal.StackOptions{
+		Mode:          thermal.LiquidCooled,
+		FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+		Nx:            12, Ny: 12,
+	}
+	compact, err := thermal.BuildStack(st, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(st, opt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := CompareSteady(compact, ref, testPowers(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.MaxRelErrPct > 8 {
+		t.Errorf("compact max relative error = %.2f%%, want single digits (paper: 3.4%%)", acc.MaxRelErrPct)
+	}
+	if acc.ReferenceNodes <= acc.CompactNodes {
+		t.Error("reference must be a bigger problem than the compact model")
+	}
+}
+
+func TestCompactIsFasterThanReference(t *testing.T) {
+	// Speed shape check (the quantitative version lives in the bench
+	// harness): one compact steady solve must be much cheaper than one
+	// reference solve.
+	st := floorplan.Niagara2Tier()
+	opt := thermal.StackOptions{
+		Mode:          thermal.LiquidCooled,
+		FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+		Nx:            12, Ny: 12,
+	}
+	compact, err := thermal.BuildStack(st, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(st, opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPowers(st)
+	pm, err := compact.PowerMapFromUnits(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if _, err := compact.Model.SteadyState(pm, nil); err != nil {
+		t.Fatal(err)
+	}
+	compactDur := time.Since(t0)
+	t0 = time.Now()
+	if _, _, err := ref.SteadyUnitTemps(p); err != nil {
+		t.Fatal(err)
+	}
+	refDur := time.Since(t0)
+	if refDur < 3*compactDur {
+		t.Errorf("reference (%v) should be several times slower than compact (%v)", refDur, compactDur)
+	}
+}
+
+func TestReferenceConvergence(t *testing.T) {
+	// Refining further must change the answer less and less: |T(2x)-T(3x)|
+	// at the hottest point should be small, indicating the reference is
+	// near grid convergence.
+	st := floorplan.Niagara2Tier()
+	opt := thermal.StackOptions{
+		Mode:          thermal.LiquidCooled,
+		FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+		Nx:            8, Ny: 8,
+	}
+	r2, err := New(st, opt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := New(st, opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testPowers(st)
+	_, m2, err := r2.SteadyUnitTemps(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m4, err := r4.SteadyUnitTemps(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := m4 - m2; d < -4 || d > 4 {
+		t.Errorf("refinement 2x->4x moved Tmax by %v K; expected near convergence", d)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	st := floorplan.Niagara2Tier()
+	if _, err := New(st, thermal.StackOptions{}, 1); err == nil {
+		t.Fatal("refine < 2 accepted")
+	}
+	// Zero grid options default to 16 then refine.
+	r, err := New(st, thermal.StackOptions{
+		Mode: thermal.LiquidCooled, FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nx, ny := r.SM.Model.Grid()
+	if nx != 32 || ny != 32 {
+		t.Fatalf("grid %dx%d, want 32x32 (16 default x refine 2)", nx, ny)
+	}
+}
+
+func TestSteadyUnitTempsErrors(t *testing.T) {
+	st := floorplan.Niagara2Tier()
+	r, err := New(st, thermal.StackOptions{
+		Mode: thermal.LiquidCooled, FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+		Nx: 6, Ny: 6,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong tier count must be rejected by the power-map conversion.
+	if _, _, err := r.SteadyUnitTemps([][]float64{{1}}); err == nil {
+		t.Fatal("mismatched unit powers accepted")
+	}
+}
+
+func TestCompareSteadyErrors(t *testing.T) {
+	st := floorplan.Niagara2Tier()
+	opt := thermal.StackOptions{
+		Mode: thermal.LiquidCooled, FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+		Nx: 6, Ny: 6,
+	}
+	compact, err := thermal.BuildStack(st, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(st, opt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareSteady(compact, ref, [][]float64{{1}}); err == nil {
+		t.Fatal("mismatched powers accepted")
+	}
+}
+
+func TestCompareSteadyAirCooled(t *testing.T) {
+	// The air-cooled branch references ambient instead of inlet.
+	st := floorplan.Niagara2Tier()
+	opt := thermal.StackOptions{Mode: thermal.AirCooled, Nx: 6, Ny: 6}
+	compact, err := thermal.BuildStack(st, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(st, opt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers := make([][]float64, st.NumTiers())
+	for k, tier := range st.Tiers {
+		powers[k] = make([]float64, len(tier.FP.Units))
+		for i := range powers[k] {
+			powers[k][i] = 2
+		}
+	}
+	acc, err := CompareSteady(compact, ref, powers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.MaxRelErrPct <= 0 || acc.MaxRelErrPct > 25 {
+		t.Fatalf("air-cooled rel error %.2f%% out of band", acc.MaxRelErrPct)
+	}
+	if acc.ReferenceNodes <= acc.CompactNodes {
+		t.Fatal("reference not finer than compact")
+	}
+}

@@ -1,0 +1,100 @@
+// Package cooling models the liquid-injection infrastructure around the
+// stack: the pump network that drives the inter-tier cavities and its
+// flow-rate → electrical-power calibration from Table I of the paper
+// (10–32.3 ml/min per cavity ↔ 3.5–11.176 W of pumping-network power for
+// the 2-cavity stack).
+package cooling
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Pump is the pumping network feeding every cavity of one stack. Power
+// interpolates linearly in total flow between the calibrated endpoints —
+// the Table-I figures are almost exactly linear (11.176/3.5 ≈ 32.3/10).
+type Pump struct {
+	// Cavities is the number of cavities fed (2 or 4 in the paper).
+	Cavities int
+	// MinFlow and MaxFlow bound the per-cavity flow (m³/s).
+	MinFlow, MaxFlow float64
+	// MinPowerPerCavity and MaxPowerPerCavity are the network power per
+	// cavity at MinFlow and MaxFlow (W).
+	MinPowerPerCavity, MaxPowerPerCavity float64
+}
+
+// TableIPump returns the paper's pump for the given cavity count.
+// Per-cavity flow spans 10–32.3 ml/min; network power spans
+// 3.5–11.176 W for the 2-cavity (2-tier) stack and scales with the
+// cavity count.
+func TableIPump(cavities int) (*Pump, error) {
+	if cavities < 1 {
+		return nil, errors.New("cooling: need at least one cavity")
+	}
+	return &Pump{
+		Cavities:          cavities,
+		MinFlow:           units.MlPerMinToM3PerS(10),
+		MaxFlow:           units.MlPerMinToM3PerS(32.3),
+		MinPowerPerCavity: 3.5 / 2,
+		MaxPowerPerCavity: 11.176 / 2,
+	}, nil
+}
+
+// ClampFlow limits a requested per-cavity flow to the pump's range.
+func (p *Pump) ClampFlow(q float64) float64 {
+	return units.Clamp(q, p.MinFlow, p.MaxFlow)
+}
+
+// Power returns the pumping-network electrical power (W) at per-cavity
+// flow q (clamped to range).
+func (p *Pump) Power(q float64) float64 {
+	q = p.ClampFlow(q)
+	t := units.InvLerp(p.MinFlow, p.MaxFlow, q)
+	return float64(p.Cavities) * units.Lerp(p.MinPowerPerCavity, p.MaxPowerPerCavity, t)
+}
+
+// FlowLevels quantises the flow range into n evenly spaced settings
+// (level 0 = minimum flow, level n-1 = maximum) — the discrete actuation
+// the fuzzy controller drives.
+func (p *Pump) FlowLevels(n int) ([]float64, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("cooling: need >= 2 flow levels, got %d", n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = units.Lerp(p.MinFlow, p.MaxFlow, float64(i)/float64(n-1))
+	}
+	return out, nil
+}
+
+// MaxPower returns the network power at full flow — the figure the
+// paper's worst-case baseline (LC_LB) pays continuously.
+func (p *Pump) MaxPower() float64 { return p.Power(p.MaxFlow) }
+
+// MinPower returns the network power at minimum flow.
+func (p *Pump) MinPower() float64 { return p.Power(p.MinFlow) }
+
+// PowerPerCavity returns the electrical power (W) one cavity's share of
+// the network draws at per-cavity flow q — the accounting used when the
+// controller sets each cavity's flow individually (§I: "tune the flow
+// rate of the coolant in each micro-channel").
+func (p *Pump) PowerPerCavity(q float64) float64 {
+	q = p.ClampFlow(q)
+	t := units.InvLerp(p.MinFlow, p.MaxFlow, q)
+	return units.Lerp(p.MinPowerPerCavity, p.MaxPowerPerCavity, t)
+}
+
+// PowerSplit returns the total network power for per-cavity flows qs;
+// len(qs) must equal Cavities.
+func (p *Pump) PowerSplit(qs []float64) (float64, error) {
+	if len(qs) != p.Cavities {
+		return 0, fmt.Errorf("cooling: %d flows for %d cavities", len(qs), p.Cavities)
+	}
+	total := 0.0
+	for _, q := range qs {
+		total += p.PowerPerCavity(q)
+	}
+	return total, nil
+}

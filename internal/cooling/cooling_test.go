@@ -1,0 +1,139 @@
+package cooling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestTableIPumpEndpoints(t *testing.T) {
+	// Table I: flow 10-32.3 ml/min per cavity; pumping network power
+	// 3.5-11.176 W (2-cavity stack).
+	p, err := TableIPump(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Power(units.MlPerMinToM3PerS(10)); math.Abs(got-3.5) > 1e-9 {
+		t.Errorf("min-flow power = %v, want 3.5", got)
+	}
+	if got := p.Power(units.MlPerMinToM3PerS(32.3)); math.Abs(got-11.176) > 1e-9 {
+		t.Errorf("max-flow power = %v, want 11.176", got)
+	}
+	if got := p.MaxPower(); math.Abs(got-11.176) > 1e-9 {
+		t.Errorf("MaxPower = %v", got)
+	}
+	if got := p.MinPower(); math.Abs(got-3.5) > 1e-9 {
+		t.Errorf("MinPower = %v", got)
+	}
+}
+
+func TestPumpScalesWithCavities(t *testing.T) {
+	p2, _ := TableIPump(2)
+	p4, _ := TableIPump(4)
+	q := units.MlPerMinToM3PerS(20)
+	if math.Abs(p4.Power(q)-2*p2.Power(q)) > 1e-9 {
+		t.Errorf("4-cavity pump %v != 2x 2-cavity %v", p4.Power(q), p2.Power(q))
+	}
+}
+
+func TestPumpClampsFlow(t *testing.T) {
+	p, _ := TableIPump(2)
+	lo := p.Power(0)
+	if math.Abs(lo-3.5) > 1e-9 {
+		t.Errorf("below-range flow should clamp to min power, got %v", lo)
+	}
+	hi := p.Power(1)
+	if math.Abs(hi-11.176) > 1e-9 {
+		t.Errorf("above-range flow should clamp to max power, got %v", hi)
+	}
+	if q := p.ClampFlow(0); q != p.MinFlow {
+		t.Errorf("ClampFlow(0) = %v", q)
+	}
+}
+
+func TestPumpMonotone(t *testing.T) {
+	p, _ := TableIPump(2)
+	prev := 0.0
+	for ml := 10.0; ml <= 32.3; ml += 2 {
+		w := p.Power(units.MlPerMinToM3PerS(ml))
+		if w <= prev {
+			t.Fatalf("pump power not increasing at %v ml/min", ml)
+		}
+		prev = w
+	}
+}
+
+func TestFlowLevels(t *testing.T) {
+	p, _ := TableIPump(2)
+	ls, err := p.FlowLevels(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 5 {
+		t.Fatalf("levels = %d", len(ls))
+	}
+	if ls[0] != p.MinFlow || ls[4] != p.MaxFlow {
+		t.Errorf("levels must span the range: %v", ls)
+	}
+	for i := 1; i < len(ls); i++ {
+		if ls[i] <= ls[i-1] {
+			t.Fatal("levels not increasing")
+		}
+	}
+	if _, err := p.FlowLevels(1); err == nil {
+		t.Error("n < 2 must fail")
+	}
+}
+
+func TestTableIPumpValidation(t *testing.T) {
+	if _, err := TableIPump(0); err == nil {
+		t.Error("zero cavities must fail")
+	}
+}
+
+func TestCoolingEnergySavingHeadroom(t *testing.T) {
+	// The claim "up to 67% reduction in cooling energy" requires the
+	// pump's min/max power ratio to leave at least that headroom:
+	// 1 - 3.5/11.176 = 0.687.
+	p, _ := TableIPump(2)
+	saving := 1 - p.MinPower()/p.MaxPower()
+	if saving < 0.67 {
+		t.Errorf("max possible cooling saving = %v, paper reports up to 0.67", saving)
+	}
+}
+
+func TestPowerPerCavityConsistent(t *testing.T) {
+	p, err := TableIPump(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal per-cavity flows must reproduce the aggregate Power figure.
+	q := units.MlPerMinToM3PerS(20)
+	split, err := p.PowerSplit([]float64{q, q, q, q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := split - p.Power(q); diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("split %.6f != aggregate %.6f", split, p.Power(q))
+	}
+	if _, err := p.PowerSplit([]float64{q}); err == nil {
+		t.Fatal("wrong flow count accepted")
+	}
+}
+
+func TestPowerSplitUnequalCheaper(t *testing.T) {
+	p, err := TableIPump(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := p.MaxFlow
+	lo := p.MinFlow
+	unequal, err := p.PowerSplit([]float64{hi, lo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both := p.Power(hi); unequal >= both {
+		t.Fatalf("throttling one cavity (%.3f W) should undercut max-flow (%.3f W)", unequal, both)
+	}
+}

@@ -1,0 +1,372 @@
+// Package core is the public facade of the reproduction: it assembles the
+// paper's 3D MPSoCs (2-/4-tier UltraSPARC T1 stacks with air cooling or
+// inter-tier micro-channel liquid cooling), attaches a run-time thermal
+// management policy, and runs workload traces through the coupled
+// power/thermal/scheduler co-simulation.
+//
+// Quick start:
+//
+//	sys, _ := core.NewSystem(core.Options{Tiers: 2, Cooling: core.Liquid, Policy: "LC_FUZZY"})
+//	trace, _ := core.GenerateTrace("web", sys.Threads(), 300, 1)
+//	metrics, _ := sys.RunTrace(trace)
+//	fmt.Println(metrics.PeakTempC, metrics.TotalEnergyJ)
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+	"repro/internal/fluids"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Cooling selects the heat-removal technology.
+type Cooling int
+
+// Cooling technologies.
+const (
+	// Air is the conventional back-side heat sink (Table I: 10 W/K).
+	Air Cooling = iota
+	// Liquid is inter-tier micro-channel liquid cooling (one cavity per
+	// tier, Table-I channel geometry, water by default).
+	Liquid
+)
+
+// String implements fmt.Stringer.
+func (c Cooling) String() string {
+	if c == Liquid {
+		return "liquid"
+	}
+	return "air"
+}
+
+// Options configures a System.
+type Options struct {
+	// Tiers selects the stack: 2 or 4 (the paper's case studies).
+	Tiers int
+	// Cooling selects air or inter-tier liquid cooling.
+	Cooling Cooling
+	// Policy is one of "LB", "TDVFS_LB", "LC_FUZZY", "LC_PID",
+	// "LC_TTFLOW" (see Policies).
+	Policy string
+	// ThresholdC is the hot-spot threshold (default 85 °C).
+	ThresholdC float64
+	// Grid is the thermal grid resolution (default 16).
+	Grid int
+	// Coolant overrides the coolant (default water; see fluids package
+	// for refrigerants and nanofluids). Liquid mode only.
+	Coolant fluids.Fluid
+	// Power overrides the calibrated power parameters (nil keeps the
+	// Niagara defaults) — e.g. a leakier process corner for the
+	// SteadyCoupled runaway analysis.
+	Power *power.Params
+	// SensorNoiseStdC adds Gaussian noise of this standard deviation
+	// (kelvin) to the temperature readings the policy sees (0 = ideal
+	// sensors); see sim.Config.
+	SensorNoiseStdC float64
+}
+
+// Policies lists the supported management strategies. Beyond the
+// paper's policies: LC_FUZZY_S (Sugeno inference) , LC_PID (classical PI
+// flow loop) and LC_TTFLOW (bang-bang pump) are ablation baselines for
+// the fuzzy controller's design choices, and LC_FUZZY_PC extends the
+// fuzzy controller to per-cavity flow control ("tune the flow rate of
+// the coolant in each micro-channel").
+func Policies() []string {
+	return []string{"LB", "TDVFS_LB", "LC_FUZZY", "LC_FUZZY_S", "LC_FUZZY_PC", "LC_PID", "LC_TTFLOW"}
+}
+
+// MakePolicy instantiates a policy by name.
+func MakePolicy(name string, thresholdC float64) (policy.Policy, error) {
+	if thresholdC == 0 {
+		thresholdC = 85
+	}
+	switch name {
+	case "LB", "":
+		return policy.LB{}, nil
+	case "TDVFS_LB":
+		return policy.NewTDVFSLB(), nil
+	case "LC_FUZZY":
+		return policy.NewFuzzy(thresholdC)
+	case "LC_FUZZY_S":
+		return policy.NewFuzzySugeno(thresholdC)
+	case "LC_FUZZY_PC":
+		return policy.NewFuzzyPerCavity(thresholdC)
+	case "LC_PID":
+		return policy.NewPID(), nil
+	case "LC_TTFLOW":
+		return policy.NewTTFlow(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown policy %q (want one of %v)", name, Policies())
+	}
+}
+
+// System is a configured 3D MPSoC ready to run workloads.
+type System struct {
+	opt    Options
+	stack  *floorplan.Stack
+	mode   thermal.CoolingMode
+	policy policy.Policy
+	pmodel *power.Model
+}
+
+// NewSystem validates the options and builds the system.
+func NewSystem(opt Options) (*System, error) {
+	var st *floorplan.Stack
+	switch opt.Tiers {
+	case 0, 2:
+		st = floorplan.Niagara2Tier()
+		opt.Tiers = 2
+	case 4:
+		st = floorplan.Niagara4Tier()
+	default:
+		return nil, fmt.Errorf("core: unsupported tier count %d (paper studies 2 and 4)", opt.Tiers)
+	}
+	if opt.ThresholdC == 0 {
+		opt.ThresholdC = 85
+	}
+	if opt.Grid == 0 {
+		opt.Grid = 16
+	}
+	mode := thermal.AirCooled
+	if opt.Cooling == Liquid {
+		mode = thermal.LiquidCooled
+	}
+	pol, err := MakePolicy(opt.Policy, opt.ThresholdC)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Policy == "" {
+		opt.Policy = pol.Name()
+	}
+	pmodel := power.NewDefaultModel()
+	if opt.Power != nil {
+		pmodel, err = power.NewModel(*opt.Power, power.NiagaraDVFS())
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &System{
+		opt:    opt,
+		stack:  st,
+		mode:   mode,
+		policy: pol,
+		pmodel: pmodel,
+	}, nil
+}
+
+// Stack exposes the floorplan stack.
+func (s *System) Stack() *floorplan.Stack { return s.stack }
+
+// Cores returns the processing-core count.
+func (s *System) Cores() int { return s.stack.CoreCount() }
+
+// Threads returns the hardware-thread count (4 per core on the T1).
+func (s *System) Threads() int { return 4 * s.stack.CoreCount() }
+
+// Policy returns the active management policy name.
+func (s *System) Policy() string { return s.policy.Name() }
+
+// RunTrace runs the full co-simulation over a utilization trace sampled
+// at 1 s (see package workload) and returns the Fig. 6/7 metrics.
+func (s *System) RunTrace(tr *workload.Trace) (*sim.Metrics, error) {
+	if tr == nil {
+		return nil, errors.New("core: nil trace")
+	}
+	cfg := sim.Config{
+		Stack:           s.stack,
+		Mode:            s.mode,
+		Policy:          s.policy,
+		Trace:           tr,
+		Power:           s.pmodel,
+		ThresholdC:      s.opt.ThresholdC,
+		Grid:            s.opt.Grid,
+		SensorNoiseStdC: s.opt.SensorNoiseStdC,
+	}
+	return sim.Run(cfg)
+}
+
+// RunTraceRecorded is RunTrace with per-sensing-step time-series
+// capture enabled (Metrics.Series): the temperature/flow traces papers
+// plot, at the cost of ~10 samples per simulated second.
+func (s *System) RunTraceRecorded(tr *workload.Trace) (*sim.Metrics, error) {
+	if tr == nil {
+		return nil, errors.New("core: nil trace")
+	}
+	cfg := sim.Config{
+		Stack:           s.stack,
+		Mode:            s.mode,
+		Policy:          s.policy,
+		Trace:           tr,
+		Power:           s.pmodel,
+		ThresholdC:      s.opt.ThresholdC,
+		Grid:            s.opt.Grid,
+		SensorNoiseStdC: s.opt.SensorNoiseStdC,
+		Record:          true,
+	}
+	return sim.Run(cfg)
+}
+
+// Snapshot is a steady-state operating point of the system.
+type Snapshot struct {
+	// PeakC is the hottest junction temperature (°C).
+	PeakC float64
+	// TierPeakC is the per-tier peak (°C).
+	TierPeakC []float64
+	// TotalPowerW is the chip power at the snapshot's utilization.
+	TotalPowerW float64
+}
+
+// Steady solves the steady state with every core at the given utilization
+// and, for liquid cooling, the given per-cavity flow in ml/min (clamped
+// to the Table-I range; ignored for air cooling).
+func (s *System) Steady(util, flowMlPerMin float64) (*Snapshot, error) {
+	flow := units.MlPerMinToM3PerS(units.Clamp(flowMlPerMin, 10, 32.3))
+	sm, err := thermal.BuildStack(s.stack, thermal.StackOptions{
+		Mode: s.mode, Nx: s.opt.Grid, Ny: s.opt.Grid,
+		FlowPerCavity: flow,
+		Coolant:       s.coolant(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	utils := make([]float64, s.Cores())
+	for i := range utils {
+		utils[i] = util
+	}
+	powers, err := s.pmodel.StackPowers(s.stack, power.StackState{CoreUtil: utils})
+	if err != nil {
+		return nil, err
+	}
+	pm, err := sm.PowerMapFromUnits(powers)
+	if err != nil {
+		return nil, err
+	}
+	f, err := sm.Model.SteadyState(pm, nil)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{
+		PeakC:       f.MaxOverPowerLayers(),
+		TotalPowerW: power.Total(powers),
+	}
+	for k := range s.stack.Tiers {
+		snap.TierPeakC = append(snap.TierPeakC, f.Max(sm.TierLayer(k)))
+	}
+	return snap, nil
+}
+
+func (s *System) coolant() fluids.Fluid {
+	if s.opt.Coolant.Name != "" {
+		return s.opt.Coolant
+	}
+	return fluids.Water()
+}
+
+// GenerateTrace synthesises a named workload trace: "web", "db", "mm",
+// "peak" (the maximum-utilization stressor), or "light" (the idle-heavy
+// off-peak trace). threads should be
+// System.Threads(); steps is the duration in seconds.
+func GenerateTrace(name string, threads, steps int, seed int64) (*workload.Trace, error) {
+	var p workload.Profile
+	switch name {
+	case "web":
+		p = workload.WebServer
+	case "db":
+		p = workload.Database
+	case "mm":
+		p = workload.Multimedia
+	case "peak":
+		p = workload.PeakLoad
+	case "light":
+		p = workload.LightLoad
+	default:
+		return nil, fmt.Errorf("core: unknown workload %q (want web, db, mm, peak, light)", name)
+	}
+	return p.Generate(threads, steps, seed)
+}
+
+// SteadyCoupled iterates the leakage-temperature feedback to a fixed
+// point: leakage rises exponentially with temperature, which raises the
+// temperature, which raises leakage. The iteration either converges
+// (liquid cooling, or air cooling with headroom) or diverges — thermal
+// runaway, the failure mode thermally-aware design must rule out.
+// It returns ErrThermalRunaway when the fixed point escapes upward.
+func (s *System) SteadyCoupled(util, flowMlPerMin float64) (*Snapshot, error) {
+	flow := units.MlPerMinToM3PerS(units.Clamp(flowMlPerMin, 10, 32.3))
+	sm, err := thermal.BuildStack(s.stack, thermal.StackOptions{
+		Mode: s.mode, Nx: s.opt.Grid, Ny: s.opt.Grid,
+		FlowPerCavity: flow,
+		Coolant:       s.coolant(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	utils := make([]float64, s.Cores())
+	for i := range utils {
+		utils[i] = util
+	}
+	// Start the feedback loop at a benign 60 °C everywhere.
+	temps := make([][]float64, len(s.stack.Tiers))
+	for k, tier := range s.stack.Tiers {
+		row := make([]float64, len(tier.FP.Units))
+		for i := range row {
+			row[i] = 60
+		}
+		temps[k] = row
+	}
+	const (
+		maxIter  = 60
+		tolK     = 0.01
+		runawayC = 400 // silicon is long dead; treat as divergence
+	)
+	var field *thermal.Field
+	var powers [][]float64
+	prevPeak := 0.0
+	for it := 0; it < maxIter; it++ {
+		powers, err = s.pmodel.StackPowers(s.stack, power.StackState{
+			CoreUtil: utils, UnitTempC: temps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pm, err := sm.PowerMapFromUnits(powers)
+		if err != nil {
+			return nil, err
+		}
+		field, err = sm.Model.SteadyState(pm, field)
+		if err != nil {
+			return nil, err
+		}
+		peak := field.MaxOverPowerLayers()
+		if peak > runawayC {
+			return nil, fmt.Errorf("%w: peak %.0f °C after %d iterations",
+				ErrThermalRunaway, peak, it+1)
+		}
+		if it > 0 && math.Abs(peak-prevPeak) < tolK {
+			snap := &Snapshot{PeakC: peak, TotalPowerW: power.Total(powers)}
+			for k := range s.stack.Tiers {
+				snap.TierPeakC = append(snap.TierPeakC, field.Max(sm.TierLayer(k)))
+			}
+			return snap, nil
+		}
+		prevPeak = peak
+		temps, err = sm.UnitTemperatures(field)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("%w: no fixed point within %d iterations (peak %.0f °C)",
+		ErrThermalRunaway, maxIter, prevPeak)
+}
+
+// ErrThermalRunaway reports a diverging leakage-temperature feedback
+// loop in SteadyCoupled.
+var ErrThermalRunaway = errors.New("core: thermal runaway")

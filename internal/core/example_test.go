@@ -1,0 +1,53 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Build the paper's 2-tier liquid-cooled stack with the fuzzy controller
+// and inspect its shape.
+func ExampleNewSystem() {
+	sys, err := core.NewSystem(core.Options{
+		Tiers:   2,
+		Cooling: core.Liquid,
+		Policy:  "LC_FUZZY",
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sys.Stack().Name, sys.Cores(), "cores,", sys.Threads(), "threads,", sys.Policy())
+	// Output: niagara-2tier 8 cores, 32 threads, LC_FUZZY
+}
+
+// Solve a steady operating point: every core at 80 % utilization with
+// the pump at the Table-I maximum.
+func ExampleSystem_Steady() {
+	sys, err := core.NewSystem(core.Options{Tiers: 2, Cooling: core.Liquid, Grid: 8})
+	if err != nil {
+		panic(err)
+	}
+	snap, err := sys.Steady(0.8, 32.3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("peak %.0f °C at %.0f W over %d tiers\n",
+		snap.PeakC, snap.TotalPowerW, len(snap.TierPeakC))
+	// Output: peak 58 °C at 61 W over 2 tiers
+}
+
+// List the available management strategies.
+func ExamplePolicies() {
+	for _, p := range core.Policies() {
+		fmt.Println(p)
+	}
+	// Output:
+	// LB
+	// TDVFS_LB
+	// LC_FUZZY
+	// LC_FUZZY_S
+	// LC_FUZZY_PC
+	// LC_PID
+	// LC_TTFLOW
+}

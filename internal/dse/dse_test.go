@@ -1,0 +1,330 @@
+package dse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fluids"
+	"repro/internal/microchannel"
+	"repro/internal/tsv"
+	"repro/internal/units"
+)
+
+func tableIDuty() Duty {
+	return Duty{
+		TierPower:       60,
+		FootprintW:      11.5e-3,
+		FootprintH:      10e-3,
+		DieThickness:    0.15e-3,
+		DieConductivity: 130,
+		InletC:          27,
+	}
+}
+
+func demoArray() tsv.Array {
+	return tsv.Array{
+		Via:   tsv.Via{Diameter: 40e-6, Depth: 380e-6, Liner: 200e-9},
+		Pitch: 0.15e-3,
+		KOZ:   10e-6,
+	}
+}
+
+func tableIChannelGeometry(t *testing.T, w float64) ChannelGeometry {
+	t.Helper()
+	a, err := microchannel.NewArray(
+		microchannel.Channel{W: w, H: 0.1e-3, L: 11.5e-3}, 0.15e-3, 10e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ChannelGeometry{Arr: a}
+}
+
+func TestEvaluateDecomposition(t *testing.T) {
+	d := tableIDuty()
+	g := tableIChannelGeometry(t, 50e-6)
+	q := units.MlPerMinToM3PerS(32.3)
+	ev, err := Evaluate(g, fluids.Water(), q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := d.InletC + ev.BulkRiseK + ev.FilmRiseK + ev.CondRiseK
+	if math.Abs(sum-ev.JunctionC) > 1e-9 {
+		t.Fatalf("junction %.3f != decomposition %.3f", ev.JunctionC, sum)
+	}
+	if ev.BulkRiseK <= 0 || ev.FilmRiseK <= 0 || ev.CondRiseK <= 0 {
+		t.Fatalf("all rise terms must be positive: %+v", ev)
+	}
+	if ev.PumpPowerW <= 0 {
+		t.Fatal("pumping power must be positive")
+	}
+	if ev.COP() <= 0 {
+		t.Fatal("COP must be positive")
+	}
+}
+
+func TestEvaluateMonotonicInFlow(t *testing.T) {
+	// More flow ⇒ cooler junction (bulk term shrinks, film constant for
+	// laminar channels) and more pumping power.
+	d := tableIDuty()
+	g := tableIChannelGeometry(t, 50e-6)
+	w := fluids.Water()
+	prev, err := Evaluate(g, w, units.MlPerMinToM3PerS(10), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ml := range []float64{15, 20, 25, 32.3} {
+		ev, err := Evaluate(g, w, units.MlPerMinToM3PerS(ml), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.JunctionC >= prev.JunctionC {
+			t.Fatalf("junction must fall with flow: %.2f -> %.2f at %v ml/min",
+				prev.JunctionC, ev.JunctionC, ml)
+		}
+		if ev.PumpPowerW <= prev.PumpPowerW {
+			t.Fatalf("pump power must rise with flow at %v ml/min", ml)
+		}
+		prev = ev
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	g := tableIChannelGeometry(t, 50e-6)
+	if _, err := Evaluate(g, fluids.Water(), 0, tableIDuty()); err == nil {
+		t.Fatal("zero flow accepted")
+	}
+	if _, err := Evaluate(g, fluids.Water(), 1e-6, Duty{}); err == nil {
+		t.Fatal("empty duty accepted")
+	}
+	bad := ChannelGeometry{}
+	if _, err := Evaluate(bad, fluids.Water(), 1e-6, tableIDuty()); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+}
+
+func TestDefaultSpace(t *testing.T) {
+	sp, err := DefaultSpace(tableIDuty(), demoArray(),
+		units.MlPerMinToM3PerS(10), units.MlPerMinToM3PerS(32.3), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TSV at 150 µm pitch with 40 µm via + 10 µm KOZ leaves 90 µm: the
+	// 100 µm channel candidate must be excluded.
+	for _, g := range sp.Geometries {
+		if ch, ok := g.(ChannelGeometry); ok && ch.Arr.Ch.W > 90e-6 {
+			t.Fatalf("channel %v wider than the TSV constraint", ch.Arr.Ch.W)
+		}
+	}
+	// 3 channel widths (30/50/75) + 2 pin arrangements.
+	if len(sp.Geometries) != 5 {
+		t.Fatalf("geometries = %d, want 5", len(sp.Geometries))
+	}
+	if len(sp.Flows) != 5 {
+		t.Fatalf("flows = %d, want 5", len(sp.Flows))
+	}
+	if sp.Flows[0] >= sp.Flows[4] {
+		t.Fatal("flows not ascending")
+	}
+}
+
+func TestDefaultSpaceErrors(t *testing.T) {
+	if _, err := DefaultSpace(tableIDuty(), demoArray(), 1e-6, 2e-6, 1); err == nil {
+		t.Fatal("one flow level accepted")
+	}
+	if _, err := DefaultSpace(tableIDuty(), demoArray(), 2e-6, 1e-6, 4); err == nil {
+		t.Fatal("inverted flow range accepted")
+	}
+	tight := demoArray()
+	tight.Pitch = 62e-6 // leaves 2 µm for channels
+	tight.KOZ = 1e-6
+	if _, err := DefaultSpace(tableIDuty(), tight, 1e-6, 2e-6, 3); err == nil {
+		t.Fatal("unusable TSV constraint accepted")
+	}
+}
+
+func TestExploreAndBest(t *testing.T) {
+	sp, err := DefaultSpace(tableIDuty(), demoArray(),
+		units.MlPerMinToM3PerS(10), units.MlPerMinToM3PerS(32.3), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals, err := sp.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != len(sp.Geometries)*len(sp.Flows) {
+		t.Fatalf("evaluations = %d, want %d", len(evals), len(sp.Geometries)*len(sp.Flows))
+	}
+	best, err := BestUnderLimit(evals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Feasible {
+		t.Fatal("best design not feasible")
+	}
+	for _, e := range evals {
+		if e.Feasible && e.PumpPowerW < best.PumpPowerW {
+			t.Fatalf("found feasible design cheaper than best: %+v", e)
+		}
+	}
+}
+
+func TestParetoFrontProperties(t *testing.T) {
+	sp, err := DefaultSpace(tableIDuty(), demoArray(),
+		units.MlPerMinToM3PerS(10), units.MlPerMinToM3PerS(32.3), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals, err := sp.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFront(evals)
+	if len(front) == 0 || len(front) > len(evals) {
+		t.Fatalf("front size %d out of range", len(front))
+	}
+	// No front member dominates another; along ascending pump power the
+	// junction temperature must descend (otherwise the hotter point
+	// would be dominated).
+	for i := 1; i < len(front); i++ {
+		if front[i].JunctionC >= front[i-1].JunctionC &&
+			front[i].PumpPowerW >= front[i-1].PumpPowerW {
+			t.Fatalf("front member %d dominated by %d", i, i-1)
+		}
+	}
+	// Every non-front point is dominated by some front point.
+	inFront := func(e Evaluation) bool {
+		for _, f := range front {
+			if f == e {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range evals {
+		if inFront(e) {
+			continue
+		}
+		dominated := false
+		for _, f := range front {
+			if f.JunctionC <= e.JunctionC && f.PumpPowerW <= e.PumpPowerW {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Fatalf("non-front point not dominated: %+v", e)
+		}
+	}
+}
+
+func TestParetoFrontQuick(t *testing.T) {
+	// Property: the front of random evaluation clouds is non-dominated
+	// and covers the minima of both axes.
+	f := func(seeds []uint16) bool {
+		if len(seeds) < 2 {
+			return true
+		}
+		evals := make([]Evaluation, len(seeds)/2*2)
+		for i := 0; i+1 < len(seeds); i += 2 {
+			evals[i] = Evaluation{
+				JunctionC:  40 + float64(seeds[i]%1000)/10,
+				PumpPowerW: 0.1 + float64(seeds[i+1]%1000)/100,
+			}
+			evals[i+1] = Evaluation{
+				JunctionC:  40 + float64(seeds[i+1]%997)/10,
+				PumpPowerW: 0.1 + float64(seeds[i]%997)/100,
+			}
+		}
+		front := ParetoFront(evals)
+		if len(front) == 0 {
+			return false
+		}
+		minT, minP := math.Inf(1), math.Inf(1)
+		for _, e := range evals {
+			minT = math.Min(minT, e.JunctionC)
+			minP = math.Min(minP, e.PumpPowerW)
+		}
+		foundT, foundP := false, false
+		for _, e := range front {
+			if e.JunctionC == minT {
+				foundT = true
+			}
+			if e.PumpPowerW == minP {
+				foundP = true
+			}
+		}
+		return foundT && foundP
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestUnderLimitNoFeasible(t *testing.T) {
+	evals := []Evaluation{{JunctionC: 120, Feasible: false}}
+	if _, err := BestUnderLimit(evals); err == nil {
+		t.Fatal("expected error with no feasible design")
+	}
+}
+
+func TestValidateAgainstModel(t *testing.T) {
+	d := tableIDuty()
+	g := tableIChannelGeometry(t, 50e-6)
+	ev, err := Evaluate(g, fluids.Water(), units.MlPerMinToM3PerS(32.3), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Validate(ev, d, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 1-D estimator stacks worst-case drops, so it should bound the
+	// model from above, within a sane margin.
+	if v.ErrorK < -3 {
+		t.Fatalf("estimator below model by %.1f K — not conservative", -v.ErrorK)
+	}
+	if v.ErrorK > 25 {
+		t.Fatalf("estimator overshoots model by %.1f K — useless bound", v.ErrorK)
+	}
+	if v.ModelJunctionC <= d.InletC {
+		t.Fatalf("model junction %.1f °C below inlet", v.ModelJunctionC)
+	}
+}
+
+func TestValidateRejectsPinFins(t *testing.T) {
+	sp, err := DefaultSpace(tableIDuty(), demoArray(), 1e-6, 2e-6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pin Geometry
+	for _, g := range sp.Geometries {
+		if _, ok := g.(PinFinGeometry); ok {
+			pin = g
+			break
+		}
+	}
+	ev, err := Evaluate(pin, fluids.Water(), 1.5e-6, tableIDuty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Validate(ev, tableIDuty(), 8); err == nil {
+		t.Fatal("pin-fin validation should be rejected")
+	}
+}
+
+func TestGeometryLabels(t *testing.T) {
+	sp, err := DefaultSpace(tableIDuty(), demoArray(), 1e-6, 2e-6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, g := range sp.Geometries {
+		l := g.Label()
+		if l == "" || seen[l] {
+			t.Fatalf("empty or duplicate label %q", l)
+		}
+		seen[l] = true
+	}
+}

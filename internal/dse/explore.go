@@ -1,0 +1,150 @@
+package dse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/fluids"
+	"repro/internal/microchannel"
+	"repro/internal/tsv"
+)
+
+// Space is a candidate design space: geometries × flow rates, with one
+// coolant and one duty.
+type Space struct {
+	Geometries []Geometry
+	// Flows are the cavity flow rates to sweep (m³/s).
+	Flows []float64
+	Fluid fluids.Fluid
+	Duty  Duty
+}
+
+// DefaultSpace builds the §II-C exploration space for a duty: channel
+// widths from 30 µm up to the TSV-imposed maximum at the Table-I pitch,
+// and circular pin fins in both arrangements, swept over n flow levels
+// between qMin and qMax.
+func DefaultSpace(d Duty, arr tsv.Array, qMin, qMax float64, nFlows int) (*Space, error) {
+	if nFlows < 2 {
+		return nil, errors.New("dse: need at least 2 flow levels")
+	}
+	if qMin <= 0 || qMax <= qMin {
+		return nil, errors.New("dse: invalid flow range")
+	}
+	if err := arr.Validate(); err != nil {
+		return nil, err
+	}
+	wMax := arr.MaxChannelWidth()
+	if wMax <= 30e-6 {
+		return nil, fmt.Errorf("dse: TSV array leaves only %.0f µm for channels", wMax*1e6)
+	}
+	const pitch = 0.15e-3 // Table I
+	const height = 0.1e-3 // cavity height, Table I
+	var geoms []Geometry
+	for _, w := range []float64{30e-6, 50e-6, 75e-6, 100e-6} {
+		if w > wMax || w >= pitch {
+			continue
+		}
+		a, err := microchannel.NewArray(
+			microchannel.Channel{W: w, H: height, L: d.FootprintW}, pitch, d.FootprintH)
+		if err != nil {
+			return nil, err
+		}
+		geoms = append(geoms, ChannelGeometry{Arr: a})
+	}
+	for _, arrangement := range []microchannel.PinArrangement{
+		microchannel.InLine, microchannel.Staggered,
+	} {
+		geoms = append(geoms, PinFinGeometry{Arr: microchannel.PinFinArray{
+			Shape:       microchannel.Circular,
+			Arrangement: arrangement,
+			D:           50e-6,
+			Sl:          pitch, St: pitch,
+			H:      height,
+			Along:  d.FootprintW,
+			Across: d.FootprintH,
+		}})
+	}
+	flows := make([]float64, nFlows)
+	for i := range flows {
+		flows[i] = qMin + (qMax-qMin)*float64(i)/float64(nFlows-1)
+	}
+	return &Space{Geometries: geoms, Flows: flows, Fluid: fluids.Water(), Duty: d}, nil
+}
+
+// Explore evaluates the full factorial sweep. Design points whose
+// evaluation fails (unbuildable geometry) are skipped only if other
+// points succeed; a space in which nothing evaluates is an error.
+func (s *Space) Explore() ([]Evaluation, error) {
+	if len(s.Geometries) == 0 || len(s.Flows) == 0 {
+		return nil, errors.New("dse: empty design space")
+	}
+	var out []Evaluation
+	var firstErr error
+	for _, g := range s.Geometries {
+		for _, q := range s.Flows {
+			ev, err := Evaluate(g, s.Fluid, q, s.Duty)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			out = append(out, ev)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dse: no design point evaluated: %w", firstErr)
+	}
+	return out, nil
+}
+
+// ParetoFront returns the non-dominated subset minimising both junction
+// temperature and pumping power, sorted by ascending pump power. A point
+// dominates another when it is no worse on both axes and strictly better
+// on one.
+func ParetoFront(evals []Evaluation) []Evaluation {
+	var front []Evaluation
+	for i, a := range evals {
+		dominated := false
+		for j, b := range evals {
+			if i == j {
+				continue
+			}
+			if b.JunctionC <= a.JunctionC && b.PumpPowerW <= a.PumpPowerW &&
+				(b.JunctionC < a.JunctionC || b.PumpPowerW < a.PumpPowerW) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, a)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].PumpPowerW != front[j].PumpPowerW {
+			return front[i].PumpPowerW < front[j].PumpPowerW
+		}
+		return front[i].JunctionC < front[j].JunctionC
+	})
+	return front
+}
+
+// BestUnderLimit returns the feasible evaluation with the lowest pumping
+// power — the co-design answer: "minimal pumping power needs, for the
+// given temperature constraints".
+func BestUnderLimit(evals []Evaluation) (Evaluation, error) {
+	best := Evaluation{PumpPowerW: -1}
+	for _, e := range evals {
+		if !e.Feasible {
+			continue
+		}
+		if best.PumpPowerW < 0 || e.PumpPowerW < best.PumpPowerW {
+			best = e
+		}
+	}
+	if best.PumpPowerW < 0 {
+		return Evaluation{}, errors.New("dse: no feasible design in the explored space")
+	}
+	return best, nil
+}

@@ -1,0 +1,73 @@
+package dse
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/fluids"
+	"repro/internal/thermal"
+)
+
+// Validation compares the 1-D explorer estimate of a winning channel
+// design against the full compact 3D model on a uniform-power tier —
+// the co-design loop's "check with the real model" step.
+type Validation struct {
+	Estimate Evaluation
+	// ModelJunctionC is the full-model peak junction temperature (°C).
+	ModelJunctionC float64
+	// ErrorK is estimate − model (K); the 1-D estimator is designed to
+	// be conservative (it stacks worst-case drops), so positive errors
+	// are expected.
+	ErrorK float64
+}
+
+// Validate rebuilds a channel design point as a single-tier stack in the
+// compact 3D model under a uniform power map matching the duty, solves
+// the steady state, and reports the discrepancy.
+func Validate(ev Evaluation, d Duty, grid int) (*Validation, error) {
+	ch, ok := ev.Geometry.(ChannelGeometry)
+	if !ok {
+		return nil, errors.New("dse: only channel designs validate against the compact model")
+	}
+	if grid < 4 {
+		grid = 16
+	}
+	d = d.withDefaults()
+	tier := floorplan.UniformTestTier("dse", d.FootprintW, d.FootprintH)
+	r, err := tier.FP.Rasterize(grid, grid)
+	if err != nil {
+		return nil, err
+	}
+	cells, err := r.SpreadPower([]float64{d.TierPower})
+	if err != nil {
+		return nil, err
+	}
+	cav := &thermal.CavitySpec{
+		Arr:      ch.Arr,
+		Fluid:    fluids.Water(),
+		FlowRate: ev.FlowM3s,
+		InletC:   d.InletC,
+		WallMat:  thermal.InterTier,
+	}
+	m, err := thermal.New(thermal.Config{
+		Nx: grid, Ny: grid,
+		W: d.FootprintW, H: d.FootprintH,
+		Layers: []thermal.LayerSpec{
+			{Name: "cavity", Thickness: ch.Arr.Ch.H, Cavity: cav},
+			{Name: "si", Thickness: d.DieThickness, Mat: thermal.Silicon, Power: true},
+			{Name: "wiring", Thickness: thermal.WiringThickness, Mat: thermal.Wiring},
+		},
+		AmbientC: d.InletC,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dse: building validation model: %w", err)
+	}
+	f, err := m.SteadyState(thermal.PowerMap{cells}, nil)
+	if err != nil {
+		return nil, err
+	}
+	v := &Validation{Estimate: ev, ModelJunctionC: f.MaxOverPowerLayers()}
+	v.ErrorK = ev.JunctionC - v.ModelJunctionC
+	return v, nil
+}

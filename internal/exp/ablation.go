@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// AblationRow is one flow-controller variant on the 2-tier
+// liquid-cooled stack.
+type AblationRow struct {
+	Policy string
+	// PeakC is the worst junction over all workloads (°C).
+	PeakC float64
+	// HotFrac is the worst hot-spot time fraction.
+	HotFrac float64
+	// PumpEnergyJ and TotalEnergyJ average the three real workloads.
+	PumpEnergyJ, TotalEnergyJ float64
+	// PerfLossPct is the worst performance degradation.
+	PerfLossPct float64
+}
+
+// AblationResult compares the LC_FUZZY controller against its ablation
+// baselines: max-flow (LB), bang-bang flow (LC_TTFLOW), a classical PI
+// flow loop with utilization feedforward (LC_PID), and the same rule
+// base under Sugeno inference (LC_FUZZY_S) — the design-choice study
+// DESIGN.md calls out.
+type AblationResult struct {
+	Rows  []AblationRow
+	Table *report.Table
+}
+
+// Ablation runs the five flow-control variants on the 2-tier
+// liquid-cooled stack over the three real workloads.
+func Ablation(opt Options) (*AblationResult, error) {
+	opt = opt.fill()
+	res := &AblationResult{}
+	for _, pol := range []string{"LB", "LC_TTFLOW", "LC_PID", "LC_FUZZY", "LC_FUZZY_S"} {
+		sys, err := core.NewSystem(core.Options{
+			Tiers: 2, Cooling: core.Liquid, Policy: pol, Grid: opt.Grid,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := AblationRow{Policy: pol}
+		n := float64(len(Workloads()))
+		for _, wl := range Workloads() {
+			tr, err := core.GenerateTrace(wl, sys.Threads(), opt.Steps, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			m, err := sys.RunTrace(tr)
+			if err != nil {
+				return nil, fmt.Errorf("exp: ablation %s/%s: %w", pol, wl, err)
+			}
+			if m.PeakTempC > row.PeakC {
+				row.PeakC = m.PeakTempC
+			}
+			if m.HotspotFracMax > row.HotFrac {
+				row.HotFrac = m.HotspotFracMax
+			}
+			if m.PerfDegradationPct > row.PerfLossPct {
+				row.PerfLossPct = m.PerfDegradationPct
+			}
+			row.PumpEnergyJ += m.PumpEnergyJ / n
+			row.TotalEnergyJ += m.TotalEnergyJ / n
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	t := report.NewTable(
+		"Ablation — flow controllers on the 2-tier liquid-cooled stack (3 workloads)",
+		"controller", "peak °C", "hot-spot time", "pump energy (J)",
+		"system energy (J)", "perf loss %")
+	for _, r := range res.Rows {
+		t.AddRow(r.Policy,
+			fmt.Sprintf("%.1f", r.PeakC),
+			report.Pct(r.HotFrac),
+			fmt.Sprintf("%.0f", r.PumpEnergyJ),
+			fmt.Sprintf("%.0f", r.TotalEnergyJ),
+			fmt.Sprintf("%.4f", r.PerfLossPct))
+	}
+	res.Table = t
+	return res, nil
+}
+
+// PerCavityRow compares stack-wide vs per-cavity fuzzy flow control.
+type PerCavityRow struct {
+	Policy                    string
+	PeakC                     float64
+	HotFrac                   float64
+	PumpEnergyJ, TotalEnergyJ float64
+}
+
+// PerCavityResult is the per-cavity flow-control extension study on the
+// 4-tier stack, where the cache tiers run far cooler than the core
+// tiers and a shared pump setting over-cools them.
+type PerCavityResult struct {
+	Rows []PerCavityRow
+	// PumpSavingFrac is the per-cavity controller's additional pump
+	// saving over stack-wide fuzzy control.
+	PumpSavingFrac float64
+	Table          *report.Table
+}
+
+// PerCavity runs LC_FUZZY and LC_FUZZY_PC on the 4-tier stack.
+func PerCavity(opt Options) (*PerCavityResult, error) {
+	opt = opt.fill()
+	res := &PerCavityResult{}
+	for _, pol := range []string{"LC_FUZZY", "LC_FUZZY_PC"} {
+		sys, err := core.NewSystem(core.Options{
+			Tiers: 4, Cooling: core.Liquid, Policy: pol, Grid: opt.Grid,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := PerCavityRow{Policy: pol}
+		n := float64(len(Workloads()))
+		for _, wl := range Workloads() {
+			tr, err := core.GenerateTrace(wl, sys.Threads(), opt.Steps, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			m, err := sys.RunTrace(tr)
+			if err != nil {
+				return nil, fmt.Errorf("exp: percavity %s/%s: %w", pol, wl, err)
+			}
+			if m.PeakTempC > row.PeakC {
+				row.PeakC = m.PeakTempC
+			}
+			if m.HotspotFracMax > row.HotFrac {
+				row.HotFrac = m.HotspotFracMax
+			}
+			row.PumpEnergyJ += m.PumpEnergyJ / n
+			row.TotalEnergyJ += m.TotalEnergyJ / n
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if res.Rows[0].PumpEnergyJ > 0 {
+		res.PumpSavingFrac = 1 - res.Rows[1].PumpEnergyJ/res.Rows[0].PumpEnergyJ
+	}
+	t := report.NewTable(
+		"Extension — per-cavity flow control on the 4-tier stack (vs stack-wide LC_FUZZY)",
+		"controller", "peak °C", "hot-spot time", "pump energy (J)", "system energy (J)")
+	for _, r := range res.Rows {
+		t.AddRow(r.Policy,
+			fmt.Sprintf("%.1f", r.PeakC),
+			report.Pct(r.HotFrac),
+			fmt.Sprintf("%.0f", r.PumpEnergyJ),
+			fmt.Sprintf("%.0f", r.TotalEnergyJ))
+	}
+	res.Table = t
+	return res, nil
+}

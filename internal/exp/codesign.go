@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/dse"
+	"repro/internal/report"
+	"repro/internal/tsv"
+	"repro/internal/units"
+)
+
+// CodesignResult is the §II-C electro-thermal co-design exploration:
+// the Pareto front of cavity designs (junction temperature vs. pumping
+// power) and the minimum-power design meeting the 85 °C constraint.
+type CodesignResult struct {
+	Evals []dse.Evaluation
+	Front []dse.Evaluation
+	Best  dse.Evaluation
+	// Check validates the winning channel design against the compact 3D
+	// model (nil when the winner is a pin-fin array).
+	Check *dse.Validation
+	Table *report.Table
+}
+
+// Codesign explores the Table-I design space for one 60 W tier under the
+// 40 µm TSV array constraint.
+func Codesign(grid int) (*CodesignResult, error) {
+	duty := dse.Duty{
+		TierPower:       60,
+		FootprintW:      11.5e-3,
+		FootprintH:      10e-3,
+		DieThickness:    0.15e-3,
+		DieConductivity: 130,
+		InletC:          27,
+	}
+	arr := tsv.Array{
+		Via:   tsv.Via{Diameter: 40e-6, Depth: 380e-6, Liner: 200e-9},
+		Pitch: 0.15e-3,
+		KOZ:   10e-6,
+	}
+	sp, err := dse.DefaultSpace(duty, arr,
+		units.MlPerMinToM3PerS(10), units.MlPerMinToM3PerS(32.3), 8)
+	if err != nil {
+		return nil, err
+	}
+	evals, err := sp.Explore()
+	if err != nil {
+		return nil, err
+	}
+	front := dse.ParetoFront(evals)
+	best, err := dse.BestUnderLimit(evals)
+	if err != nil {
+		return nil, err
+	}
+	res := &CodesignResult{Evals: evals, Front: front, Best: best}
+	if _, ok := best.Geometry.(dse.ChannelGeometry); ok {
+		check, err := dse.Validate(best, duty, grid)
+		if err != nil {
+			return nil, err
+		}
+		res.Check = check
+	}
+
+	t := report.NewTable(
+		"§II-C electro-thermal co-design — Pareto front of cavity designs (60 W tier, 85 °C limit)",
+		"design", "flow (ml/min)", "T_junction (°C)", "pump power (mW)", "COP", "feasible")
+	for _, e := range front {
+		mark := ""
+		if e == best {
+			mark = " *best"
+		}
+		t.AddRow(
+			e.Geometry.Label()+mark,
+			fmt.Sprintf("%.1f", units.M3PerSToMlPerMin(e.FlowM3s)),
+			fmt.Sprintf("%.1f", e.JunctionC),
+			fmt.Sprintf("%.1f", e.PumpPowerW*1e3),
+			fmt.Sprintf("%.0f", e.COP()),
+			fmt.Sprintf("%v", e.Feasible))
+	}
+	res.Table = t
+	return res, nil
+}

@@ -1,0 +1,538 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIMatchesPaper(t *testing.T) {
+	tb, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() < 15 {
+		t.Errorf("Table I has %d rows", tb.NumRows())
+	}
+}
+
+func TestFig1Renders(t *testing.T) {
+	s := Fig1()
+	for _, want := range []string{"niagara-2tier", "niagara-4tier", "Core tier", "Cache tier"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig1 missing %q", want)
+		}
+	}
+}
+
+func TestFig4Claims(t *testing.T) {
+	r, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Focus.HotspotFlowGain <= 1.5 {
+		t.Errorf("hotspot flow gain = %v", r.Focus.HotspotFlowGain)
+	}
+	if r.Focus.TotalFlowRatio >= 1 {
+		t.Errorf("aggregate flow must be reduced, got ratio %v", r.Focus.TotalFlowRatio)
+	}
+	if r.Table.NumRows() != 3 {
+		t.Errorf("table rows = %d", r.Table.NumRows())
+	}
+}
+
+func TestModulationClaims(t *testing.T) {
+	r, err := Modulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: "pressure drop and pumping power improvements by a factor of
+	// 2 and 5" for width/density modulation respectively.
+	if r.Width.PressureImprovement < 1.4 || r.Width.PressureImprovement > 6 {
+		t.Errorf("width modulation ΔP factor = %v, paper ~2", r.Width.PressureImprovement)
+	}
+	if r.Density.PumpImprovement < 2.5 || r.Density.PumpImprovement > 20 {
+		t.Errorf("density modulation pump factor = %v, paper ~5", r.Density.PumpImprovement)
+	}
+}
+
+func TestPinFinClaims(t *testing.T) {
+	r, err := PinFin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.InlineDP >= row.StaggeredDP {
+			t.Errorf("flow %v: in-line ΔP %v not below staggered %v",
+				row.FlowMlMin, row.InlineDP, row.StaggeredDP)
+		}
+		if row.InlineHTC < 0.7*row.StaggeredHTC {
+			t.Errorf("flow %v: in-line heat transfer not 'acceptable'", row.FlowMlMin)
+		}
+		if row.InlineCOP <= row.StaggeredCOP {
+			t.Errorf("flow %v: in-line efficiency should win", row.FlowMlMin)
+		}
+	}
+}
+
+func TestFluidDTClaim(t *testing.T) {
+	r, err := FluidDT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ~40 K at 130 W/tier; at the Table-I max flow the rise must
+	// be at least that (our max flow is below the flow that would give
+	// exactly 40 K).
+	if r.RiseAtMaxFlowK < 40 || r.RiseAtMaxFlowK > 120 {
+		t.Errorf("rise at max flow = %v K, paper: ~40 K or above", r.RiseAtMaxFlowK)
+	}
+}
+
+func TestFig8Claims(t *testing.T) {
+	r, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HTCRatio < 6 || r.HTCRatio > 10 {
+		t.Errorf("HTC ratio = %v, paper ~8", r.HTCRatio)
+	}
+	if r.SuperheatRatio < 1.5 || r.SuperheatRatio > 3 {
+		t.Errorf("superheat ratio = %v, paper ~2", r.SuperheatRatio)
+	}
+	if r.FluidDropK <= 0 || r.FluidDropK > 2 {
+		t.Errorf("fluid drop = %v K, paper 0.5", r.FluidDropK)
+	}
+	if r.Table.NumRows() != 5 {
+		t.Errorf("Fig8 rows = %d, want 5 sensor rows", r.Table.NumRows())
+	}
+}
+
+func TestTwoPhaseVsWaterClaims(t *testing.T) {
+	r, err := TwoPhaseVsWater()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cmp.FlowRatio < 4 || r.Cmp.FlowRatio > 12 {
+		t.Errorf("flow ratio = %v, paper 5-10", r.Cmp.FlowRatio)
+	}
+	if r.Cmp.PumpSavingFrac < 0.6 {
+		t.Errorf("pump saving = %v, paper 0.8-0.9", r.Cmp.PumpSavingFrac)
+	}
+}
+
+func TestScalingClaims(t *testing.T) {
+	r, err := Scaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InterTierRiseK < 30 || r.InterTierRiseK > 90 {
+		t.Errorf("inter-tier rise = %v K, paper ~55", r.InterTierRiseK)
+	}
+	if r.BackSideRiseK < 140 || r.BackSideRiseK > 320 {
+		t.Errorf("back-side rise = %v K, paper ~223", r.BackSideRiseK)
+	}
+	if r.Ratio < 2.5 {
+		t.Errorf("rise ratio = %v, want ≫ 1", r.Ratio)
+	}
+}
+
+func TestSpeedupClaims(t *testing.T) {
+	r, err := Speedup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Speedup < 2 {
+		t.Errorf("speed-up = %v, compact must be far faster", r.Speedup)
+	}
+	if r.MaxRelErrPct > 10 {
+		t.Errorf("max error = %v%%, paper 3.4%%", r.MaxRelErrPct)
+	}
+}
+
+func TestRunStudyShapes(t *testing.T) {
+	results, err := RunStudy(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("configs = %d, want 7", len(results))
+	}
+	byLabel := map[string]*StudyResult{}
+	for _, r := range results {
+		byLabel[r.Config.Label] = r
+		if len(r.PerWorkload) != 3 || r.Peak == nil {
+			t.Fatalf("%s: incomplete workloads", r.Config.Label)
+		}
+	}
+
+	// Liquid cooling removes all hot spots (paper, Fig. 6).
+	for _, label := range []string{"2-tier LC_LB", "2-tier LC_FUZZY", "4-tier LC_LB", "4-tier LC_FUZZY"} {
+		if f := byLabel[label].Peak.HotspotFracMax; f > 0 {
+			t.Errorf("%s: hotspots remain (%v)", label, f)
+		}
+	}
+	// The 4-tier air-cooled stack is unmanageable (well above 110 °C).
+	if p := byLabel["4-tier AC_LB"].Peak.PeakTempC; p < 110 {
+		t.Errorf("4-tier AC peak = %v °C, paper: well above 110", p)
+	}
+	// TDVFS reduces hot spots vs plain LB on the stressor.
+	if byLabel["2-tier AC_TDVFS_LB"].Peak.HotspotFracAvg > byLabel["2-tier AC_LB"].Peak.HotspotFracAvg+1e-9 {
+		t.Error("TDVFS did not reduce hot-spot time")
+	}
+	// Fuzzy saves cooling and total energy vs LC_LB (paper, Fig. 7).
+	sv, err := ComputeSavings(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sv {
+		if s.CoolingSavingFrac <= 0.15 {
+			t.Errorf("%d-tier cooling saving = %v, paper ~0.5", s.Tiers, s.CoolingSavingFrac)
+		}
+		if s.SystemSavingFrac <= 0 {
+			t.Errorf("%d-tier system saving = %v", s.Tiers, s.SystemSavingFrac)
+		}
+		if s.PerfDegradationPct > 0.1 {
+			t.Errorf("%d-tier fuzzy perf loss = %v%%, paper <= 0.01%%", s.Tiers, s.PerfDegradationPct)
+		}
+	}
+	// 4-tier LC runs cooler than 2-tier LC (paper).
+	if byLabel["4-tier LC_LB"].Peak.PeakTempC >= byLabel["2-tier LC_LB"].Peak.PeakTempC {
+		t.Error("4-tier LC not cooler than 2-tier LC")
+	}
+
+	// Figure renderers produce one row per configuration.
+	if f6 := Fig6(results); f6.NumRows() != 7 {
+		t.Errorf("Fig6 rows = %d", f6.NumRows())
+	}
+	if f7 := Fig7(results); f7.NumRows() != 7 {
+		t.Errorf("Fig7 rows = %d", f7.NumRows())
+	}
+	if st := SavingsTable(sv); st.NumRows() != 2 {
+		t.Errorf("savings rows = %d", st.NumRows())
+	}
+}
+
+func TestTSVStudy(t *testing.T) {
+	r, err := TSVStudy(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Chains.NumRows() != 4 || r.Arrays.NumRows() != 4 {
+		t.Fatalf("expected 4 demonstrator rows, got %d/%d",
+			r.Chains.NumRows(), r.Arrays.NumRows())
+	}
+	// Copper TSVs short-circuit the inter-tier bond, so the enhanced
+	// stack must run cooler at equal power and flow.
+	if r.PeakTSVC >= r.PeakPlainC {
+		t.Fatalf("TSV-enhanced peak %.1f °C not below plain %.1f °C",
+			r.PeakTSVC, r.PeakPlainC)
+	}
+	// The effect is a correction, not a regime change.
+	if r.PeakPlainC-r.PeakTSVC > 20 {
+		t.Fatalf("TSV enhancement implausibly large: %.1f K",
+			r.PeakPlainC-r.PeakTSVC)
+	}
+}
+
+func TestTSVStudyDeterministic(t *testing.T) {
+	a, err := TSVStudy(7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TSVStudy(7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Chains.String() != b.Chains.String() {
+		t.Fatal("same seed produced different characterization tables")
+	}
+}
+
+func TestSplitFlowExperiment(t *testing.T) {
+	r, err := SplitFlow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Table.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", r.Table.NumRows())
+	}
+	// The §III claim: split flow greatly reduces the two-phase ΔP.
+	if r.Cmp.DPRatio >= 0.5 {
+		t.Fatalf("split/once ΔP = %.2f, want < 0.5", r.Cmp.DPRatio)
+	}
+	if r.Cmp.Split.DryOut {
+		t.Fatal("test vehicle should not dry out in split flow")
+	}
+}
+
+func TestRefrigerantsExperiment(t *testing.T) {
+	r, err := Refrigerants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Reports) != 3 || r.Table.NumRows() != 3 {
+		t.Fatalf("expected 3 candidates, got %d", len(r.Reports))
+	}
+	for _, rep := range r.Reports {
+		if !rep.Feasible {
+			t.Errorf("%s infeasible at the standard duty: %s", rep.Fluid.Name, rep.Reason)
+		}
+	}
+}
+
+func TestCodesignExperiment(t *testing.T) {
+	r, err := Codesign(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Front) == 0 || len(r.Evals) == 0 {
+		t.Fatal("empty exploration")
+	}
+	if !r.Best.Feasible {
+		t.Fatal("best design infeasible")
+	}
+	// The minimum-power feasible design should sit close under the
+	// limit, not far below it (otherwise it is over-cooled and a
+	// cheaper design would win).
+	if r.Best.JunctionC < 60 || r.Best.JunctionC > 85 {
+		t.Fatalf("best junction %.1f °C not tight against the 85 °C limit", r.Best.JunctionC)
+	}
+	// Channel winners are validated against the compact 3D model and
+	// the 1-D estimator must be a conservative bound.
+	if r.Check != nil && r.Check.ErrorK < -3 {
+		t.Fatalf("estimator under-predicts the model by %.1f K", -r.Check.ErrorK)
+	}
+}
+
+func TestAblationStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy co-simulation sweep")
+	}
+	r, err := Ablation(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 || r.Table.NumRows() != 5 {
+		t.Fatalf("rows = %d, want 5", len(r.Rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, row := range r.Rows {
+		byName[row.Policy] = row
+	}
+	// Every flow controller must beat the max-flow baseline on pump
+	// energy; the fuzzy controller must stay hot-spot free.
+	lb := byName["LB"]
+	for _, name := range []string{"LC_TTFLOW", "LC_PID", "LC_FUZZY", "LC_FUZZY_S"} {
+		if byName[name].PumpEnergyJ >= lb.PumpEnergyJ {
+			t.Errorf("%s pump energy %.0f J not below LB %.0f J",
+				name, byName[name].PumpEnergyJ, lb.PumpEnergyJ)
+		}
+	}
+	if byName["LC_FUZZY"].HotFrac > 0 {
+		t.Errorf("LC_FUZZY hot-spot fraction %v, want 0", byName["LC_FUZZY"].HotFrac)
+	}
+}
+
+func TestSavingsStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy co-simulation sweep")
+	}
+	det, err := SavingsStudy(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != 2 {
+		t.Fatalf("stacks = %d, want 2", len(det))
+	}
+	for _, d := range det {
+		if len(d.PerWorkload) != 4 {
+			t.Fatalf("%d-tier: workloads = %d, want 4", d.Tiers, len(d.PerWorkload))
+		}
+		var light, db WorkloadSaving
+		for _, ws := range d.PerWorkload {
+			switch ws.Workload {
+			case "light":
+				light = ws
+			case "db":
+				db = ws
+			}
+		}
+		// The idle-heavy trace must realise the best cooling saving —
+		// the paper's "up to" structure.
+		if light.CoolingSavingFrac <= db.CoolingSavingFrac {
+			t.Errorf("%d-tier: light saving %.2f not above db %.2f",
+				d.Tiers, light.CoolingSavingFrac, db.CoolingSavingFrac)
+		}
+		if d.UpToCooling < light.CoolingSavingFrac {
+			t.Errorf("%d-tier: up-to %.2f below light %.2f", d.Tiers, d.UpToCooling, light.CoolingSavingFrac)
+		}
+		// The hard bound: savings cannot exceed 1 − minPump/maxPump ≈ 0.69.
+		if d.UpToCooling >= 0.6873 {
+			t.Errorf("%d-tier: cooling saving %.3f exceeds the pump-range bound", d.Tiers, d.UpToCooling)
+		}
+	}
+	if tbl := SavingsDetailTable(det); tbl.NumRows() != 10 {
+		t.Errorf("detail rows = %d, want 10", tbl.NumRows())
+	}
+}
+
+func TestNanofluidsExperiment(t *testing.T) {
+	r, err := Nanofluids(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	byName := map[string]NanofluidRow{}
+	for _, row := range r.Rows {
+		byName[row.Coolant] = row
+	}
+	water := byName["water"]
+	diel := byName["dielectric"]
+	// §II-C: dielectric fluids are "not acceptable" — they must degrade
+	// the peak catastrophically relative to water.
+	if diel.PeakC < water.PeakC+40 {
+		t.Fatalf("dielectric peak %.1f °C not far above water %.1f °C", diel.PeakC, water.PeakC)
+	}
+	// Nanofluids must cool slightly better at slightly higher pumping
+	// power, monotonically in the loading.
+	prev := water
+	for _, name := range []string{"water+1.0%Al2O3", "water+3.0%Al2O3", "water+5.0%Al2O3"} {
+		nf, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing row %q", name)
+		}
+		if nf.PeakC >= prev.PeakC {
+			t.Errorf("%s peak %.2f not below %s %.2f", name, nf.PeakC, prev.Coolant, prev.PeakC)
+		}
+		if nf.PumpPowerW <= prev.PumpPowerW {
+			t.Errorf("%s pump %.4f not above %s %.4f", name, nf.PumpPowerW, prev.Coolant, prev.PumpPowerW)
+		}
+		prev = nf
+	}
+}
+
+func TestTierScaling(t *testing.T) {
+	r, err := TierScaling(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	// Air-cooled peaks must climb monotonically and catastrophically
+	// with stacking; liquid-cooled peaks must stay in a bounded band
+	// (each new tier brings a new cavity).
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].AirPeakC <= r.Rows[i-1].AirPeakC {
+			t.Errorf("air peak not increasing at %d tiers", r.Rows[i].Tiers)
+		}
+	}
+	if r.Rows[5].AirPeakC < 150 {
+		t.Errorf("6-tier air peak %.1f °C not catastrophic", r.Rows[5].AirPeakC)
+	}
+	for _, row := range r.Rows {
+		if row.LiquidPeakC > 85 {
+			t.Errorf("%d-tier liquid peak %.1f °C above threshold", row.Tiers, row.LiquidPeakC)
+		}
+	}
+}
+
+func TestStorageExperiment(t *testing.T) {
+	r, err := Storage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Margins) != 3 || r.Table.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", len(r.Margins))
+	}
+	for _, m := range r.Margins {
+		if m.ExcursionRatio <= 1 {
+			t.Errorf("overload %+.0f W: excursion ratio %.2f not above 1",
+				m.OverloadW, m.ExcursionRatio)
+		}
+	}
+	// The 100% overload exceeds the dry-out headroom at dX=0.3.
+	if !r.Margins[2].DryOut {
+		t.Error("full-base overload should trip the dry-out guard")
+	}
+	if r.Margins[0].DryOut {
+		t.Error("25% overload should be inside the margin")
+	}
+}
+
+func TestGridStudy(t *testing.T) {
+	r, err := GridStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(r.Rows))
+	}
+	// The default 16x16 grid must sit within a fraction of a kelvin of
+	// the finest solve — the justification for the system-level default.
+	for _, row := range r.Rows {
+		if row.Grid == 16 && (row.ErrVsFineK > 0.5 || row.ErrVsFineK < -0.5) {
+			t.Errorf("16x16 error %.2f K vs finest", row.ErrVsFineK)
+		}
+	}
+	if r.Rows[len(r.Rows)-1].ErrVsFineK != 0 {
+		t.Error("finest grid must be the error reference")
+	}
+}
+
+func TestPerCavityStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("policy co-simulation sweep")
+	}
+	r, err := PerCavity(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	// Per-cavity control must save pump energy without hot spots.
+	if r.PumpSavingFrac <= 0 {
+		t.Errorf("per-cavity saving %.3f, want > 0", r.PumpSavingFrac)
+	}
+	for _, row := range r.Rows {
+		if row.HotFrac > 0 {
+			t.Errorf("%s produced hot spots", row.Policy)
+		}
+	}
+}
+
+func TestFlowSweep(t *testing.T) {
+	r, err := FlowSweep(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Figure.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(r.Figure.Series))
+	}
+	for _, s := range r.Figure.Series[:2] {
+		// Peak temperature must fall monotonically with flow.
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] >= s.Y[i-1] {
+				t.Fatalf("%s not monotone at x=%v", s.Name, s.X[i])
+			}
+		}
+		// The Table-I range must straddle the 85 °C threshold at full
+		// power — the reason dynamic control has a feasible band.
+		if s.Y[0] < 85 {
+			t.Errorf("%s at min flow %.1f °C, expected above threshold", s.Name, s.Y[0])
+		}
+		if s.Y[len(s.Y)-1] > 85 {
+			t.Errorf("%s at max flow %.1f °C, expected below threshold", s.Name, s.Y[len(s.Y)-1])
+		}
+	}
+	// Pump power spans the Table-I endpoints.
+	p := r.Figure.Series[2]
+	if p.Y[0] != 3.5 || p.Y[len(p.Y)-1] < 11.1 {
+		t.Fatalf("pump endpoints %v..%v, want 3.5..11.176", p.Y[0], p.Y[len(p.Y)-1])
+	}
+}

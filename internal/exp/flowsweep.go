@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"repro/internal/cooling"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+// FlowSweepResult is the steady flow-rate trade-off that motivates
+// run-time flow control (§II-D / [9]): peak junction temperature falls
+// with flow while pump power rises, so any fixed flow either over-cools
+// or over-heats part of the duty cycle.
+type FlowSweepResult struct {
+	Figure *report.Figure
+}
+
+// FlowSweep sweeps the Table-I flow range on the 2- and 4-tier stacks at
+// full utilization and reports peak temperature and pump power.
+func FlowSweep(grid int) (*FlowSweepResult, error) {
+	flows := []float64{10, 12.5, 15, 17.5, 20, 22.5, 25, 27.5, 30, 32.3}
+	fig := &report.Figure{
+		Title:  "Steady flow-rate trade-off at full utilization (Table-I flow range)",
+		XLabel: "per-cavity flow (ml/min)",
+		YLabel: "peak °C / pump W",
+	}
+	for _, tiers := range []int{2, 4} {
+		sys, err := core.NewSystem(core.Options{
+			Tiers: tiers, Cooling: core.Liquid, Grid: grid,
+		})
+		if err != nil {
+			return nil, err
+		}
+		peaks := make([]float64, len(flows))
+		for i, q := range flows {
+			snap, err := sys.Steady(1.0, q)
+			if err != nil {
+				return nil, err
+			}
+			peaks[i] = snap.PeakC
+		}
+		name := "2-tier peak °C"
+		if tiers == 4 {
+			name = "4-tier peak °C"
+		}
+		fig.Add(name, flows, peaks)
+	}
+	pump2, err := cooling.TableIPump(2)
+	if err != nil {
+		return nil, err
+	}
+	powers := make([]float64, len(flows))
+	for i, q := range flows {
+		powers[i] = pump2.Power(units.MlPerMinToM3PerS(q))
+	}
+	fig.Add("2-cavity pump W", flows, powers)
+	return &FlowSweepResult{Figure: fig}, nil
+}

@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/fluids"
+	"repro/internal/microchannel"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+// Fig4Result is the fluid-focusing study (Fig. 4): uniform vs
+// fluid-focused heat removal of a hot spot.
+type Fig4Result struct {
+	Focus *microchannel.FocusResult
+	Table *report.Table
+}
+
+// Fig4 runs the fluid-focusing comparison on the Table-I cavity: 66
+// channels, the central six crossing a 150 W/cm² hot spot, guide
+// structures that triple the hot-spot route conductance while halving the
+// others'.
+func Fig4() (*Fig4Result, error) {
+	ch := microchannel.TableIChannel(11.5e-3)
+	res, err := microchannel.FluidFocusStudy(ch, fluids.Water(),
+		66, 30, 36, 3.0, 1.5, 2e4,
+		units.WPerCm2ToWPerM2(150), 150e-6)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Fig. 4 — hot-spot heat removal: uniform vs fluid-focused cavity",
+		"quantity", "uniform", "fluid-focused", "ratio")
+	t.AddRow("hot-spot flow (ml/min)",
+		fmt.Sprintf("%.3f", units.M3PerSToMlPerMin(res.UniformHotspotFlow)),
+		fmt.Sprintf("%.3f", units.M3PerSToMlPerMin(res.FocusedHotspotFlow)),
+		fmt.Sprintf("%.2f", res.HotspotFlowGain))
+	t.AddRow("aggregate flow (ml/min)",
+		fmt.Sprintf("%.2f", units.M3PerSToMlPerMin(res.UniformTotalFlow)),
+		fmt.Sprintf("%.2f", units.M3PerSToMlPerMin(res.FocusedTotalFlow)),
+		fmt.Sprintf("%.2f", res.TotalFlowRatio))
+	t.AddRow("hot-spot superheat (K)",
+		fmt.Sprintf("%.1f", res.UniformHotspotSuperheat),
+		fmt.Sprintf("%.1f", res.FocusedHotspotSuperheat),
+		fmt.Sprintf("%.2f", res.FocusedHotspotSuperheat/res.UniformHotspotSuperheat))
+	return &Fig4Result{Focus: res, Table: t}, nil
+}
+
+// ModulationResult is the §II-C structure-modulation claim (experiment
+// C2): width modulation of micro-channels (paper: pressure-drop factor
+// ~2) and density modulation of pin-fin arrays (paper: pumping-power
+// factor ~5).
+type ModulationResult struct {
+	Width   *microchannel.WidthDesign
+	Density *microchannel.DensityDesign
+	Table   *report.Table
+}
+
+// Modulation runs both modulation designs on a hot-spot profile (15 % of
+// the channel length at 8× the background flux).
+func Modulation() (*ModulationResult, error) {
+	w := fluids.Water()
+	segs := microchannel.HotspotProfile(11.5e-3, 0.15, 15e4, 1.2e6)
+	wd, err := microchannel.DesignWidths(segs, 100e-6, 150e-6, 25e-6, 100e-6, w, 6e-9, 35)
+	if err != nil {
+		return nil, err
+	}
+	base := microchannel.PinFinArray{
+		D: 50e-6, H: 100e-6, St: 120e-6, Sl: 120e-6,
+		Across: 10e-3, Along: 11.5e-3,
+		Arrangement: microchannel.InLine, Shape: microchannel.Circular,
+	}
+	q := units.MlPerMinToM3PerS(20)
+	need := base.EffectiveHTC(w, q) * 0.95
+	psegs := microchannel.HotspotProfile(11.5e-3, 0.15, need*0.05*20, need*20)
+	dd, err := microchannel.DesignDensity(psegs, base, 5.0, w, q, 20)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("§II-C structure modulation (paper: improvements by factors of 2 and 5)",
+		"design", "uniform ΔP (kPa)", "modulated ΔP (kPa)", "ΔP factor", "pump factor")
+	t.AddRow("channel width modulation",
+		fmt.Sprintf("%.2f", wd.UniformDP/1e3),
+		fmt.Sprintf("%.2f", wd.ModulatedDP/1e3),
+		fmt.Sprintf("%.2f", wd.PressureImprovement),
+		fmt.Sprintf("%.2f", wd.PumpImprovement))
+	t.AddRow("pin-fin density modulation",
+		fmt.Sprintf("%.2f", dd.UniformDP/1e3),
+		fmt.Sprintf("%.2f", dd.ModulatedDP/1e3),
+		fmt.Sprintf("%.2f", dd.PressureImprovement),
+		fmt.Sprintf("%.2f", dd.PumpImprovement))
+	return &ModulationResult{Width: wd, Density: dd, Table: t}, nil
+}
+
+// PinFinResult is the §II-C arrangement exploration (experiment C3).
+type PinFinResult struct {
+	Rows  []PinFinRow
+	Table *report.Table
+}
+
+// PinFinRow is one operating point of the sweep.
+type PinFinRow struct {
+	FlowMlMin               float64
+	InlineDP, StaggeredDP   float64
+	InlineHTC, StaggeredHTC float64
+	InlineCOP, StaggeredCOP float64
+}
+
+// PinFin sweeps flow rates over circular in-line vs staggered pin
+// lattices, reproducing the conclusion that "circular in-line pins result
+// in low pressure drop at acceptable convective heat transfer".
+func PinFin() (*PinFinResult, error) {
+	base := microchannel.PinFinArray{
+		D: 50e-6, H: 100e-6, St: 150e-6, Sl: 150e-6,
+		Across: 10e-3, Along: 11.5e-3,
+		Shape: microchannel.Circular,
+	}
+	w := fluids.Water()
+	t := report.NewTable("§II-C pin-fin arrangement exploration (circular pins)",
+		"flow (ml/min)", "in-line ΔP (kPa)", "staggered ΔP (kPa)",
+		"in-line h_eff", "staggered h_eff", "in-line h/P", "staggered h/P")
+	res := &PinFinResult{}
+	for _, ml := range []float64{10, 15, 20, 25, 32.3} {
+		q := units.MlPerMinToM3PerS(ml)
+		il, st, err := microchannel.ComparePinArrangements(base, w, q)
+		if err != nil {
+			return nil, err
+		}
+		row := PinFinRow{
+			FlowMlMin: ml,
+			InlineDP:  il.PressureDrop, StaggeredDP: st.PressureDrop,
+			InlineHTC: il.EffHTC, StaggeredHTC: st.EffHTC,
+			InlineCOP: il.EffHTC / il.PumpPower, StaggeredCOP: st.EffHTC / st.PumpPower,
+		}
+		res.Rows = append(res.Rows, row)
+		t.AddRow(
+			fmt.Sprintf("%.1f", ml),
+			fmt.Sprintf("%.2f", il.PressureDrop/1e3),
+			fmt.Sprintf("%.2f", st.PressureDrop/1e3),
+			fmt.Sprintf("%.0f", il.EffHTC),
+			fmt.Sprintf("%.0f", st.EffHTC),
+			fmt.Sprintf("%.3g", row.InlineCOP),
+			fmt.Sprintf("%.3g", row.StaggeredCOP))
+	}
+	res.Table = t
+	return res, nil
+}
+
+// FluidDTResult is the §II-C single-phase temperature-rise check
+// (experiment C7): "e.g. 40 K in case of water as coolant at 130 W power
+// dissipation per tier".
+type FluidDTResult struct {
+	RiseAtMaxFlowK float64
+	Table          *report.Table
+}
+
+// FluidDT computes the inlet→outlet water temperature rise at 130 W per
+// tier across the Table-I flow range.
+func FluidDT() (*FluidDTResult, error) {
+	arr, err := microchannel.TableIArray(11.5e-3, 10e-3)
+	if err != nil {
+		return nil, err
+	}
+	w := fluids.Water()
+	t := report.NewTable("§II-C single-phase bulk temperature rise at 130 W/tier (water)",
+		"per-cavity flow (ml/min)", "ΔT inlet→outlet (K)")
+	res := &FluidDTResult{}
+	for _, ml := range []float64{10, 15, 20, 25, 32.3} {
+		rise := arr.BulkTemperatureRise(w, 130, units.MlPerMinToM3PerS(ml))
+		t.AddRow(fmt.Sprintf("%.1f", ml), fmt.Sprintf("%.1f", rise))
+		if ml == 32.3 {
+			res.RiseAtMaxFlowK = rise
+		}
+	}
+	res.Table = t
+	return res, nil
+}

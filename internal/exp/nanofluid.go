@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/fluids"
+	"repro/internal/microchannel"
+	"repro/internal/report"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// NanofluidRow is one coolant candidate on the 2-tier full-power stack.
+type NanofluidRow struct {
+	Coolant string
+	// PeakC is the steady full-power junction peak at maximum flow.
+	PeakC float64
+	// PumpPowerW is the hydraulic pumping power through the Table-I
+	// array at maximum flow (viscosity penalty included).
+	PumpPowerW float64
+	// KWmK and MuMPaS document the property trade.
+	KWmK, MuMPaS float64
+}
+
+// NanofluidResult compares candidate single-phase coolants — water,
+// alumina and copper-oxide nanofluids at increasing loading, and the
+// dielectric fluid the paper rejects (§II-C: low volumetric heat
+// capacity, high viscosity).
+type NanofluidResult struct {
+	Rows  []NanofluidRow
+	Table *report.Table
+}
+
+// Nanofluids runs the coolant comparison at the Table-I maximum flow.
+func Nanofluids(grid int) (*NanofluidResult, error) {
+	water := fluids.Water()
+	cands := []fluids.Fluid{water}
+	for _, phi := range []float64{0.01, 0.03, 0.05} {
+		nf, err := fluids.Nanofluid(water, fluids.Alumina(), phi)
+		if err != nil {
+			return nil, err
+		}
+		cands = append(cands, nf)
+	}
+	cuo, err := fluids.Nanofluid(water, fluids.CopperOxide(), 0.03)
+	if err != nil {
+		return nil, err
+	}
+	cands = append(cands, cuo, fluids.Dielectric())
+
+	st := floorplan.Niagara2Tier()
+	res := &NanofluidResult{}
+	for _, f := range cands {
+		sm, err := thermal.BuildStack(st, thermal.StackOptions{
+			Nx: grid, Ny: grid,
+			Mode:          thermal.LiquidCooled,
+			FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+			Coolant:       f,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pm, err := sm.PowerMapFromUnits(fullNiagaraPowers(st))
+		if err != nil {
+			return nil, err
+		}
+		field, err := sm.Model.SteadyState(pm, nil)
+		if err != nil {
+			return nil, err
+		}
+		arr, err := microchannel.TableIArray(st.Tiers[0].FP.W, st.Tiers[0].FP.H)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, NanofluidRow{
+			Coolant:    f.Name,
+			PeakC:      field.MaxOverPowerLayers(),
+			PumpPowerW: float64(sm.NumCavities()) * arr.PumpingPower(f, units.MlPerMinToM3PerS(32.3)),
+			KWmK:       f.K,
+			MuMPaS:     f.Mu * 1e3,
+		})
+	}
+
+	t := report.NewTable(
+		"§I/§II-C coolant exploration — 2-tier stack, full power, max flow",
+		"coolant", "k (W/mK)", "µ (mPa·s)", "peak °C", "hydraulic pump (mW)")
+	for _, r := range res.Rows {
+		t.AddRow(r.Coolant,
+			fmt.Sprintf("%.3f", r.KWmK),
+			fmt.Sprintf("%.3f", r.MuMPaS),
+			fmt.Sprintf("%.1f", r.PeakC),
+			fmt.Sprintf("%.1f", r.PumpPowerW*1e3))
+	}
+	res.Table = t
+	return res, nil
+}
+
+// fullNiagaraPowers returns the full-utilization per-unit powers used by
+// the coolant and TSV studies.
+func fullNiagaraPowers(st *floorplan.Stack) [][]float64 {
+	powers := make([][]float64, st.NumTiers())
+	for k, tier := range st.Tiers {
+		up := make([]float64, len(tier.FP.Units))
+		for i, u := range tier.FP.Units {
+			switch u.Kind {
+			case floorplan.KindCore:
+				up[i] = 6.5
+			case floorplan.KindL2:
+				up[i] = 2.5
+			case floorplan.KindCrossbar:
+				up[i] = 7
+			default:
+				up[i] = 2
+			}
+		}
+		powers[k] = up
+	}
+	return powers
+}

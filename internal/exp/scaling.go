@@ -1,0 +1,325 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cfdref"
+	"repro/internal/floorplan"
+	"repro/internal/report"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// ScalingResult is the §II-C heat-removal scaling claim (experiment C1):
+// three active tiers with aligned 250 W/cm² hot spots on a 1 cm²
+// footprint; the paper reports an acceptable ~55 K rise with four fluid
+// cavities against a catastrophic ~223 K with back-side cooling.
+type ScalingResult struct {
+	InterTierRiseK float64
+	BackSideRiseK  float64
+	Ratio          float64
+	Table          *report.Table
+}
+
+// scalingPower builds the per-tier power map: 50 W/cm² background with a
+// 2×2 mm 250 W/cm² hot spot, on a 16×16 grid.
+func scalingPower(tier *floorplan.Tier, nx, ny int) ([]float64, error) {
+	r, err := tier.FP.Rasterize(nx, ny)
+	if err != nil {
+		return nil, err
+	}
+	unitP := make([]float64, len(tier.FP.Units))
+	for i, u := range tier.FP.Units {
+		flux := units.WPerCm2ToWPerM2(50)
+		if u.Name == "hot" {
+			flux = units.WPerCm2ToWPerM2(250)
+		}
+		unitP[i] = flux * u.Area()
+	}
+	return r.SpreadPower(unitP)
+}
+
+// Scaling runs both configurations and reports the junction rises.
+func Scaling() (*ScalingResult, error) {
+	const nx, ny = 16, 16
+	inlet := 27.0
+	tier := floorplan.HotspotTestTier("scale", 10e-3, 10e-3, 0.2)
+	cells, err := scalingPower(tier, nx, ny)
+	if err != nil {
+		return nil, err
+	}
+	pm := thermal.PowerMap{cells, cells, cells}
+
+	// Back-side cold plate: conduction through the whole stack to one
+	// cooled face.
+	var backLayers []thermal.LayerSpec
+	for k := 0; k < 3; k++ {
+		backLayers = append(backLayers,
+			thermal.LayerSpec{Name: "si", Thickness: thermal.DieThickness, Mat: thermal.Silicon, Power: true},
+			thermal.LayerSpec{Name: "wiring", Thickness: thermal.WiringThickness, Mat: thermal.Wiring},
+		)
+		if k < 2 {
+			backLayers = append(backLayers, thermal.LayerSpec{
+				Name: "bond", Thickness: thermal.InterTierThickness, Mat: thermal.InterTier})
+		}
+	}
+	mb, err := thermal.New(thermal.Config{
+		Nx: nx, Ny: ny, W: 10e-3, H: 10e-3,
+		Layers:   backLayers,
+		Face:     &thermal.FaceBC{HTC: 2e4, TempC: inlet},
+		AmbientC: inlet,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fb, err := mb.SteadyState(pm, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Inter-tier cooling: four cavities sandwiching the three tiers.
+	st := &floorplan.Stack{Name: "3tier-scaling", Tiers: []floorplan.Tier{*tier, *tier, *tier}}
+	sm, err := thermal.BuildStack(st, thermal.StackOptions{
+		Mode: thermal.LiquidCooled, FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+		InletC: inlet, AmbientC: inlet, Nx: nx, Ny: ny,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// BuildStack creates one cavity per tier (three); append the fourth,
+	// closing cavity under the bottom tier as in the claim.
+	interLayers := append([]thermal.LayerSpec(nil), sm.StackLayers()...)
+	interLayers = append(interLayers, sm.StackLayers()[0])
+	mi, err := thermal.New(thermal.Config{
+		Nx: nx, Ny: ny, W: 10e-3, H: 10e-3,
+		Layers: interLayers, AmbientC: inlet,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fi, err := mi.SteadyState(pm, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ScalingResult{
+		InterTierRiseK: fi.MaxOverPowerLayers() - inlet,
+		BackSideRiseK:  fb.MaxOverPowerLayers() - inlet,
+	}
+	res.Ratio = res.BackSideRiseK / res.InterTierRiseK
+	t := report.NewTable("§II-C heat-removal scaling — 3 tiers, aligned 250 W/cm² hot spots, 1 cm²",
+		"configuration", "max junction rise (K)", "paper")
+	t.AddRow("inter-tier cooling, 4 cavities", fmt.Sprintf("%.1f", res.InterTierRiseK), "~55 K")
+	t.AddRow("back-side cold plate", fmt.Sprintf("%.1f", res.BackSideRiseK), "~223 K")
+	res.Table = t
+	return res, nil
+}
+
+// SpeedupResult is the §II-D compact-vs-reference comparison (experiment
+// C4): 3D-ICE reports up to 975× speed-up over CFD at ≤3.4 % error.
+type SpeedupResult struct {
+	Speedup      float64
+	MaxRelErrPct float64
+	CompactMS    float64
+	ReferenceMS  float64
+	Table        *report.Table
+}
+
+// Speedup times one steady solve of the compact 2-tier model against the
+// refine×-finer reference and reports the accuracy gap.
+func Speedup(refine int) (*SpeedupResult, error) {
+	if refine == 0 {
+		refine = 4
+	}
+	st := floorplan.Niagara2Tier()
+	opt := thermal.StackOptions{
+		Mode:          thermal.LiquidCooled,
+		FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+		Nx:            12, Ny: 12,
+	}
+	compact, err := thermal.BuildStack(st, opt)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := cfdref.New(st, opt, refine)
+	if err != nil {
+		return nil, err
+	}
+	powers := make([][]float64, st.NumTiers())
+	for k, tier := range st.Tiers {
+		up := make([]float64, len(tier.FP.Units))
+		for i, u := range tier.FP.Units {
+			switch u.Kind {
+			case floorplan.KindCore:
+				up[i] = 6.5
+			case floorplan.KindL2:
+				up[i] = 2.5
+			case floorplan.KindCrossbar:
+				up[i] = 7
+			default:
+				up[i] = 2
+			}
+		}
+		powers[k] = up
+	}
+	pm, err := compact.PowerMapFromUnits(powers)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	if _, err := compact.Model.SteadyState(pm, nil); err != nil {
+		return nil, err
+	}
+	compactDur := time.Since(t0)
+	t0 = time.Now()
+	if _, _, err := ref.SteadyUnitTemps(powers); err != nil {
+		return nil, err
+	}
+	refDur := time.Since(t0)
+	acc, err := cfdref.CompareSteady(compact, ref, powers)
+	if err != nil {
+		return nil, err
+	}
+	res := &SpeedupResult{
+		Speedup:      float64(refDur) / float64(compactDur),
+		MaxRelErrPct: acc.MaxRelErrPct,
+		CompactMS:    float64(compactDur.Microseconds()) / 1e3,
+		ReferenceMS:  float64(refDur.Microseconds()) / 1e3,
+	}
+	tb := report.NewTable("§II-D compact model vs fine-grid reference (paper: up to 975×, ≤3.4% error)",
+		"solver", "nodes", "steady solve (ms)", "max rel. error")
+	tb.AddRow("compact (3D-ICE style)", fmt.Sprintf("%d", acc.CompactNodes),
+		fmt.Sprintf("%.2f", res.CompactMS), "—")
+	tb.AddRow(fmt.Sprintf("reference (%dx refined)", refine), fmt.Sprintf("%d", acc.ReferenceNodes),
+		fmt.Sprintf("%.2f", res.ReferenceMS), fmt.Sprintf("%.2f%% (compact vs ref)", acc.MaxRelErrPct))
+	tb.AddRow("speed-up", "", fmt.Sprintf("%.0fx", res.Speedup), "")
+	res.Table = tb
+	return res, nil
+}
+
+// TierScalingRow is one stack height in the tier-count sweep.
+type TierScalingRow struct {
+	Tiers int
+	// AirPeakC / LiquidPeakC are full-power steady junction peaks.
+	AirPeakC, LiquidPeakC float64
+}
+
+// TierScalingResult extends the §II-C scaling discussion: back-side heat
+// removal degrades with every stacked tier while inter-tier cooling
+// scales (one new cavity arrives with each new tier).
+type TierScalingResult struct {
+	Rows  []TierScalingRow
+	Table *report.Table
+}
+
+// TierScaling sweeps 1–6 tier Niagara stacks at full power under both
+// cooling technologies.
+func TierScaling(grid int) (*TierScalingResult, error) {
+	if grid < 4 {
+		grid = 12
+	}
+	res := &TierScalingResult{}
+	for n := 1; n <= 6; n++ {
+		st, err := floorplan.NiagaraNTier(n)
+		if err != nil {
+			return nil, err
+		}
+		row := TierScalingRow{Tiers: n}
+		for _, mode := range []thermal.CoolingMode{thermal.AirCooled, thermal.LiquidCooled} {
+			sm, err := thermal.BuildStack(st, thermal.StackOptions{
+				Nx: grid, Ny: grid, Mode: mode,
+				FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+			})
+			if err != nil {
+				return nil, err
+			}
+			pm, err := sm.PowerMapFromUnits(fullNiagaraPowers(st))
+			if err != nil {
+				return nil, err
+			}
+			f, err := sm.Model.SteadyState(pm, nil)
+			if err != nil {
+				return nil, err
+			}
+			if mode == thermal.AirCooled {
+				row.AirPeakC = f.MaxOverPowerLayers()
+			} else {
+				row.LiquidPeakC = f.MaxOverPowerLayers()
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	t := report.NewTable(
+		"§II-C tier-count scaling — full-power steady peaks (air vs inter-tier liquid)",
+		"tiers", "air-cooled peak °C", "liquid-cooled peak °C")
+	for _, r := range res.Rows {
+		t.AddRow(fmt.Sprintf("%d", r.Tiers),
+			fmt.Sprintf("%.1f", r.AirPeakC),
+			fmt.Sprintf("%.1f", r.LiquidPeakC))
+	}
+	res.Table = t
+	return res, nil
+}
+
+// GridStudyRow is one resolution in the discretisation ablation.
+type GridStudyRow struct {
+	Grid    int
+	PeakC   float64
+	SolveMS float64
+	// ErrVsFineK is the peak discrepancy against the finest grid.
+	ErrVsFineK float64
+}
+
+// GridStudyResult is the grid-resolution ablation behind the default
+// 16×16 system-level grid: peak-temperature convergence vs. solve time.
+type GridStudyResult struct {
+	Rows  []GridStudyRow
+	Table *report.Table
+}
+
+// GridStudy sweeps the 2-tier full-power steady solve over grid
+// resolutions.
+func GridStudy() (*GridStudyResult, error) {
+	st := floorplan.Niagara2Tier()
+	grids := []int{8, 12, 16, 24, 32}
+	res := &GridStudyResult{}
+	for _, g := range grids {
+		sm, err := thermal.BuildStack(st, thermal.StackOptions{
+			Nx: g, Ny: g,
+			Mode:          thermal.LiquidCooled,
+			FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+		})
+		if err != nil {
+			return nil, err
+		}
+		pm, err := sm.PowerMapFromUnits(fullNiagaraPowers(st))
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		f, err := sm.Model.SteadyState(pm, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, GridStudyRow{
+			Grid:    g,
+			PeakC:   f.MaxOverPowerLayers(),
+			SolveMS: float64(time.Since(t0).Microseconds()) / 1e3,
+		})
+	}
+	fine := res.Rows[len(res.Rows)-1].PeakC
+	t := report.NewTable(
+		"Ablation — grid resolution of the compact model (2-tier, full power)",
+		"grid", "peak °C", "error vs finest (K)", "steady solve (ms)")
+	for i := range res.Rows {
+		res.Rows[i].ErrVsFineK = res.Rows[i].PeakC - fine
+		r := res.Rows[i]
+		t.AddRow(fmt.Sprintf("%dx%d", r.Grid, r.Grid),
+			fmt.Sprintf("%.2f", r.PeakC),
+			fmt.Sprintf("%+.2f", r.ErrVsFineK),
+			fmt.Sprintf("%.2f", r.SolveMS))
+	}
+	res.Table = t
+	return res, nil
+}

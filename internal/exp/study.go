@@ -1,0 +1,354 @@
+// Package exp implements the benchmark harness: one entry point per
+// table, figure and quantitative claim of the DATE 2011 paper. Each
+// experiment returns both structured results (for tests and benches) and
+// rendered report tables (for cmd/experiments and EXPERIMENTS.md).
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options tunes experiment fidelity. The zero value gives the full-size
+// runs used for EXPERIMENTS.md; Quick() gives the reduced configuration
+// used by unit tests and benchmarks.
+type Options struct {
+	// Steps is the trace length in seconds (default 300 — "several
+	// minutes" in the paper).
+	Steps int
+	// Grid is the thermal grid resolution (default 16).
+	Grid int
+	// Seed makes the synthetic traces reproducible.
+	Seed int64
+}
+
+func (o Options) fill() Options {
+	if o.Steps == 0 {
+		o.Steps = 300
+	}
+	if o.Grid == 0 {
+		o.Grid = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Quick returns reduced-fidelity options for tests and benches.
+func Quick() Options { return Options{Steps: 40, Grid: 8, Seed: 1} }
+
+// StudyConfig is one of the seven policy/stack configurations of
+// Figs. 6 and 7.
+type StudyConfig struct {
+	Label   string
+	Tiers   int
+	Cooling core.Cooling
+	Policy  string
+}
+
+// StudyConfigs returns the paper's seven configurations in figure order.
+func StudyConfigs() []StudyConfig {
+	return []StudyConfig{
+		{"2-tier AC_LB", 2, core.Air, "LB"},
+		{"2-tier AC_TDVFS_LB", 2, core.Air, "TDVFS_LB"},
+		{"2-tier LC_LB", 2, core.Liquid, "LB"},
+		{"2-tier LC_FUZZY", 2, core.Liquid, "LC_FUZZY"},
+		{"4-tier AC_LB", 4, core.Air, "LB"},
+		{"4-tier LC_LB", 4, core.Liquid, "LB"},
+		{"4-tier LC_FUZZY", 4, core.Liquid, "LC_FUZZY"},
+	}
+}
+
+// StudyResult holds the per-configuration metrics across workloads.
+type StudyResult struct {
+	Config StudyConfig
+	// PerWorkload maps workload name → metrics.
+	PerWorkload map[string]*sim.Metrics
+	// Avg aggregates the three real workloads (web, db, mm); Peak is the
+	// maximum-utilization stressor.
+	Avg  AggMetrics
+	Peak *sim.Metrics
+}
+
+// AggMetrics is the across-workload average used by the figures.
+type AggMetrics struct {
+	HotspotFracAvg     float64
+	HotspotFracMax     float64
+	PeakTempC          float64
+	ChipEnergyJ        float64
+	PumpEnergyJ        float64
+	TotalEnergyJ       float64
+	PerfDegradationPct float64
+}
+
+// workloadSet is the benchmark suite of §IV-A plus the peak stressor.
+var workloadNames = []string{"web", "db", "mm"}
+
+// RunStudy executes the full policy study (the shared computation behind
+// Figs. 6 and 7): every configuration against every workload plus the
+// peak-utilization stressor.
+func RunStudy(opt Options) ([]*StudyResult, error) {
+	opt = opt.fill()
+	var out []*StudyResult
+	for _, cfg := range StudyConfigs() {
+		sys, err := core.NewSystem(core.Options{
+			Tiers: cfg.Tiers, Cooling: cfg.Cooling, Policy: cfg.Policy, Grid: opt.Grid,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", cfg.Label, err)
+		}
+		res := &StudyResult{Config: cfg, PerWorkload: map[string]*sim.Metrics{}}
+		for _, wl := range workloadNames {
+			tr, err := core.GenerateTrace(wl, sys.Threads(), opt.Steps, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			m, err := sys.RunTrace(tr)
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s/%s: %w", cfg.Label, wl, err)
+			}
+			res.PerWorkload[wl] = m
+		}
+		peakTr, err := core.GenerateTrace("peak", sys.Threads(), opt.Steps, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Peak, err = sys.RunTrace(peakTr)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s/peak: %w", cfg.Label, err)
+		}
+		n := float64(len(workloadNames))
+		for _, wl := range workloadNames {
+			m := res.PerWorkload[wl]
+			res.Avg.HotspotFracAvg += m.HotspotFracAvg / n
+			res.Avg.HotspotFracMax += m.HotspotFracMax / n
+			res.Avg.ChipEnergyJ += m.ChipEnergyJ / n
+			res.Avg.PumpEnergyJ += m.PumpEnergyJ / n
+			res.Avg.TotalEnergyJ += m.TotalEnergyJ / n
+			res.Avg.PerfDegradationPct += m.PerfDegradationPct / n
+			if m.PeakTempC > res.Avg.PeakTempC {
+				res.Avg.PeakTempC = m.PeakTempC
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Fig6 renders the hot-spot study: "% of time we observe hot spots for
+// all the policies, both for the average case across all workloads and
+// for maximum utilization".
+func Fig6(results []*StudyResult) *report.Table {
+	t := report.NewTable(
+		"Fig. 6 — percentage of time in hot spot (junction > 85 °C)",
+		"config", "hot avg (avg wl)", "hot max (avg wl)", "hot avg (max util)", "hot max (max util)", "peak °C (max util)")
+	for _, r := range results {
+		t.AddRow(
+			r.Config.Label,
+			report.Pct(r.Avg.HotspotFracAvg),
+			report.Pct(r.Avg.HotspotFracMax),
+			report.Pct(r.Peak.HotspotFracAvg),
+			report.Pct(r.Peak.HotspotFracMax),
+			fmt.Sprintf("%.1f", r.Peak.PeakTempC),
+		)
+	}
+	return t
+}
+
+// Fig7 renders the energy study, normalised to the 2-tier AC_LB total
+// energy as in the paper, plus the performance-degradation column.
+func Fig7(results []*StudyResult) *report.Table {
+	t := report.NewTable(
+		"Fig. 7 — normalised energy (ref: 2-tier AC_LB) and performance degradation",
+		"config", "system energy", "pump energy", "perf loss avg %", "perf loss max %")
+	ref := 0.0
+	for _, r := range results {
+		if r.Config.Label == "2-tier AC_LB" {
+			ref = r.Avg.TotalEnergyJ
+		}
+	}
+	if ref == 0 {
+		ref = 1
+	}
+	for _, r := range results {
+		t.AddRow(
+			r.Config.Label,
+			fmt.Sprintf("%.3f", r.Avg.TotalEnergyJ/ref),
+			fmt.Sprintf("%.3f", r.Avg.PumpEnergyJ/ref),
+			fmt.Sprintf("%.4f", r.Avg.PerfDegradationPct),
+			fmt.Sprintf("%.4f", r.Peak.PerfDegradationPct),
+		)
+	}
+	return t
+}
+
+// Savings summarises the headline §IV-A claims from study results: the
+// fuzzy controller's cooling-energy and system-energy reductions relative
+// to LC_LB for both stacks.
+type Savings struct {
+	Tiers              int
+	CoolingSavingFrac  float64 // 1 - fuzzyPump/lbPump
+	SystemSavingFrac   float64 // 1 - fuzzyTotal/lbTotal
+	FuzzyPeakC         float64
+	LBPeakC            float64
+	PerfDegradationPct float64
+}
+
+// ComputeSavings extracts the LC_FUZZY-vs-LC_LB savings per stack.
+func ComputeSavings(results []*StudyResult) ([]Savings, error) {
+	find := func(label string) *StudyResult {
+		for _, r := range results {
+			if r.Config.Label == label {
+				return r
+			}
+		}
+		return nil
+	}
+	var out []Savings
+	for _, tiers := range []int{2, 4} {
+		lb := find(fmt.Sprintf("%d-tier LC_LB", tiers))
+		fz := find(fmt.Sprintf("%d-tier LC_FUZZY", tiers))
+		if lb == nil || fz == nil {
+			return nil, fmt.Errorf("exp: study results missing LC configs for %d tiers", tiers)
+		}
+		s := Savings{
+			Tiers:              tiers,
+			FuzzyPeakC:         fz.Avg.PeakTempC,
+			LBPeakC:            lb.Avg.PeakTempC,
+			PerfDegradationPct: fz.Avg.PerfDegradationPct,
+		}
+		if lb.Avg.PumpEnergyJ > 0 {
+			s.CoolingSavingFrac = 1 - fz.Avg.PumpEnergyJ/lb.Avg.PumpEnergyJ
+		}
+		if lb.Avg.TotalEnergyJ > 0 {
+			s.SystemSavingFrac = 1 - fz.Avg.TotalEnergyJ/lb.Avg.TotalEnergyJ
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// SavingsTable renders the savings summary.
+func SavingsTable(sv []Savings) *report.Table {
+	t := report.NewTable(
+		"§IV-A savings — LC_FUZZY vs LC_LB (max flow)",
+		"stack", "cooling energy saved", "system energy saved", "fuzzy peak °C", "LC_LB peak °C", "perf loss %")
+	for _, s := range sv {
+		t.AddRow(
+			fmt.Sprintf("%d-tier", s.Tiers),
+			report.Pct(s.CoolingSavingFrac),
+			report.Pct(s.SystemSavingFrac),
+			fmt.Sprintf("%.1f", s.FuzzyPeakC),
+			fmt.Sprintf("%.1f", s.LBPeakC),
+			fmt.Sprintf("%.4f", s.PerfDegradationPct),
+		)
+	}
+	return t
+}
+
+// Workloads returns the study's workload names (for documentation).
+func Workloads() []string {
+	return append(append([]string(nil), workloadNames...), "peak")
+}
+
+var _ = workload.StandardSuite // documentational link
+
+// WorkloadSaving is the LC_FUZZY-vs-LC_LB saving on one workload.
+type WorkloadSaving struct {
+	Workload          string
+	CoolingSavingFrac float64
+	SystemSavingFrac  float64
+	FuzzyPeakC        float64
+}
+
+// SavingsDetail is the per-workload savings study behind the §IV-A
+// headline: "up to 67% reduction in cooling energy and up to 30%
+// reduction in system-level energy". The "up to" values are realised on
+// idle-heavy workloads where the controller parks the pump at minimum
+// flow; the detail table makes the workload dependence explicit.
+type SavingsDetail struct {
+	Tiers       int
+	PerWorkload []WorkloadSaving
+	// UpToCooling / UpToSystem are the best savings over the workloads.
+	UpToCooling, UpToSystem float64
+}
+
+// savingsWorkloads spans the duty range: the three §IV-A benchmarks plus
+// the idle-heavy off-peak trace that exhibits the "up to" bound.
+var savingsWorkloads = []string{"web", "db", "mm", "light"}
+
+// SavingsStudy runs LC_LB (max flow) and LC_FUZZY on each stack over the
+// savings workload set and reports per-workload and best-case savings.
+func SavingsStudy(opt Options) ([]SavingsDetail, error) {
+	opt = opt.fill()
+	var out []SavingsDetail
+	for _, tiers := range []int{2, 4} {
+		det := SavingsDetail{Tiers: tiers}
+		for _, wl := range savingsWorkloads {
+			var pump, total [2]float64 // [0] = LC_LB, [1] = LC_FUZZY
+			var fuzzyPeak float64
+			for pi, pol := range []string{"LB", "LC_FUZZY"} {
+				sys, err := core.NewSystem(core.Options{
+					Tiers: tiers, Cooling: core.Liquid, Policy: pol, Grid: opt.Grid,
+				})
+				if err != nil {
+					return nil, err
+				}
+				tr, err := core.GenerateTrace(wl, sys.Threads(), opt.Steps, opt.Seed)
+				if err != nil {
+					return nil, err
+				}
+				m, err := sys.RunTrace(tr)
+				if err != nil {
+					return nil, fmt.Errorf("exp: savings %d-tier %s/%s: %w", tiers, pol, wl, err)
+				}
+				pump[pi] = m.PumpEnergyJ
+				total[pi] = m.TotalEnergyJ
+				if pol == "LC_FUZZY" {
+					fuzzyPeak = m.PeakTempC
+				}
+			}
+			ws := WorkloadSaving{Workload: wl, FuzzyPeakC: fuzzyPeak}
+			if pump[0] > 0 {
+				ws.CoolingSavingFrac = 1 - pump[1]/pump[0]
+			}
+			if total[0] > 0 {
+				ws.SystemSavingFrac = 1 - total[1]/total[0]
+			}
+			det.PerWorkload = append(det.PerWorkload, ws)
+			if ws.CoolingSavingFrac > det.UpToCooling {
+				det.UpToCooling = ws.CoolingSavingFrac
+			}
+			if ws.SystemSavingFrac > det.UpToSystem {
+				det.UpToSystem = ws.SystemSavingFrac
+			}
+		}
+		out = append(out, det)
+	}
+	return out, nil
+}
+
+// SavingsDetailTable renders the per-workload savings study.
+func SavingsDetailTable(details []SavingsDetail) *report.Table {
+	t := report.NewTable(
+		"§IV-A savings by workload — LC_FUZZY vs LC_LB (paper: up to 67% cooling, 30% system)",
+		"stack", "workload", "cooling energy saved", "system energy saved", "fuzzy peak °C")
+	for _, d := range details {
+		for _, ws := range d.PerWorkload {
+			t.AddRow(
+				fmt.Sprintf("%d-tier", d.Tiers),
+				ws.Workload,
+				report.Pct(ws.CoolingSavingFrac),
+				report.Pct(ws.SystemSavingFrac),
+				fmt.Sprintf("%.1f", ws.FuzzyPeakC))
+		}
+		t.AddRow(fmt.Sprintf("%d-tier", d.Tiers), "up to",
+			report.Pct(d.UpToCooling), report.Pct(d.UpToSystem), "")
+	}
+	return t
+}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cooling"
+	"repro/internal/floorplan"
+	"repro/internal/report"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// TableI renders the model's Table-I parameters next to the paper's
+// values and returns an error if any constant drifted from the paper.
+func TableI() (*report.Table, error) {
+	t := report.NewTable("Table I — thermal and floorplan parameters",
+		"parameter", "paper", "model")
+	type row struct {
+		name, paper string
+		model       float64
+		want        float64
+		tol         float64
+	}
+	pump, err := cooling.TableIPump(2)
+	if err != nil {
+		return nil, err
+	}
+	core := floorplan.NiagaraCoreTier()
+	cache := floorplan.NiagaraCacheTier()
+	rows := []row{
+		{"silicon conductivity (W/mK)", "130", thermal.Silicon.K, 130, 0},
+		{"silicon capacitance (J/m³K)", "1635660", thermal.Silicon.C, 1.635660e6, 0},
+		{"wiring conductivity (W/mK)", "2.25", thermal.Wiring.K, 2.25, 0},
+		{"wiring capacitance (J/m³K)", "2174502", thermal.Wiring.C, 2.174502e6, 0},
+		{"water conductivity (W/mK)", "0.6", 0.6, 0.6, 0},
+		{"heat sink conductance (W/K)", "10", thermal.TableISink().SinkToAmbient, 10, 0},
+		{"heat sink capacitance (J/K)", "140", thermal.TableISink().Capacitance, 140, 0},
+		{"die thickness (mm)", "0.15", thermal.DieThickness * 1e3, 0.15, 1e-12},
+		{"area per core (mm²)", "10", core.Units[core.FindUnit("core0")].Area() * 1e6, 10, 1e-9},
+		{"area per L2 cache (mm²)", "19", cache.Units[cache.FindUnit("l2_0")].Area() * 1e6, 19, 1e-9},
+		{"layer area (mm²)", "115", core.Area() * 1e6, 115, 1e-9},
+		{"inter-tier thickness (mm)", "0.1", thermal.InterTierThickness * 1e3, 0.1, 1e-12},
+		{"channel width (mm)", "0.05", thermal.ChannelWidth * 1e3, 0.05, 1e-12},
+		{"channel pitch (mm)", "0.15", thermal.ChannelPitch * 1e3, 0.15, 1e-12},
+		{"min flow (ml/min/cavity)", "10", units.M3PerSToMlPerMin(pump.MinFlow), 10, 1e-9},
+		{"max flow (ml/min/cavity)", "32.3", units.M3PerSToMlPerMin(pump.MaxFlow), 32.3, 1e-9},
+		{"pump power min (W)", "3.5", pump.MinPower(), 3.5, 1e-9},
+		{"pump power max (W)", "11.176", pump.MaxPower(), 11.176, 1e-9},
+	}
+	var bad []string
+	for _, r := range rows {
+		t.AddRow(r.name, r.paper, fmt.Sprintf("%g", r.model))
+		if !units.ApproxEqual(r.model, r.want, r.tol+1e-12) {
+			bad = append(bad, r.name)
+		}
+	}
+	if len(bad) > 0 {
+		return t, fmt.Errorf("exp: Table-I drift in: %s", strings.Join(bad, ", "))
+	}
+	return t, nil
+}
+
+// Fig1 renders the tier layouts (the Fig. 1 stand-in): ASCII floorplans
+// of the core and cache tiers and the stacking order of both case
+// studies.
+func Fig1() string {
+	var b strings.Builder
+	core := floorplan.NiagaraCoreTier()
+	cache := floorplan.NiagaraCacheTier()
+	b.WriteString("Fig. 1 — layouts of the 3D multicore systems\n\n")
+	b.WriteString("Core tier (8 cores 'c' + crossbar 'x', 11.5 x 10 mm):\n")
+	b.WriteString(core.ASCII(46, 12))
+	b.WriteString("\nCache tier (4 L2 'l' + tags 't'):\n")
+	b.WriteString(cache.ASCII(46, 12))
+	b.WriteString("\nStacks (tier 0 adjacent to the heat-removal boundary):\n")
+	for _, st := range []*floorplan.Stack{floorplan.Niagara2Tier(), floorplan.Niagara4Tier()} {
+		b.WriteString("  " + st.Name + ": ")
+		names := make([]string, 0, st.NumTiers())
+		for _, tier := range st.Tiers {
+			names = append(names, tier.Name)
+		}
+		b.WriteString(strings.Join(names, " | "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

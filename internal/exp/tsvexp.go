@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/floorplan"
+	"repro/internal/report"
+	"repro/internal/thermal"
+	"repro/internal/tsv"
+	"repro/internal/units"
+)
+
+// TSVResult captures the §II-B demonstrator characterization: the
+// electrical figures of the first-generation daisy chains and the
+// geometric/thermal consequences of embedding the TSV arrays in the
+// inter-tier cavities.
+type TSVResult struct {
+	Chains *report.Table
+	Arrays *report.Table
+	// PeakPlainC / PeakTSVC are the 2-tier full-power steady peaks
+	// without and with the TSV-enhanced inter-tier conductivity.
+	PeakPlainC, PeakTSVC float64
+}
+
+// TSVStudy regenerates the §II-B demonstrator characterization. The
+// paper reports the structures (40–100 µm fully-filled Cu vias in a
+// 380 µm wafer, daisy-chained) without numbers; the study produces the
+// ideal and measured chain resistances, the yield under a Poisson defect
+// model, and the cavity constraints each array implies.
+func TSVStudy(seed int64, grid int) (*TSVResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		chainVias = 100
+		campaigns = 200
+		defectD0  = 2e5  // defects/m² referred to the via cross-section
+		sigma     = 0.05 // log-normal plating spread
+		tempC     = 25.0
+	)
+
+	chains := report.NewTable(
+		"§II-B TSV daisy-chain characterization (100 vias/chain, 200 chains/design)",
+		"via diameter (µm)", "ideal R (Ω)", "measured R (Ω)", "std (Ω)",
+		"yield", "RC delay (ps)", "EM limit (A)")
+	arrays := report.NewTable(
+		"§II-B/§II-C TSV array constraints on the inter-tier cavity",
+		"via diameter (µm)", "pitch (µm)", "Cu fraction", "KOZ overhead",
+		"max channel width (µm)", "k_z eff (W/mK)", "k_xy eff (W/mK)")
+
+	for _, via := range tsv.FirstGeneration() {
+		chain, err := tsv.NewDaisyChain(via, chainVias)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := chain.Characterize(rng, campaigns, defectD0, sigma, tempC)
+		if err != nil {
+			return nil, err
+		}
+		chains.AddRow(
+			fmt.Sprintf("%.0f", via.Diameter*1e6),
+			fmt.Sprintf("%.3f", ch.IdealOhms),
+			fmt.Sprintf("%.3f", ch.MeanOhms),
+			fmt.Sprintf("%.4f", ch.StdOhms),
+			fmt.Sprintf("%.1f%%", ch.YieldPct()),
+			fmt.Sprintf("%.2f", via.RCDelay(tempC)*1e12),
+			fmt.Sprintf("%.1f", via.MaxCurrent()),
+		)
+
+		arr := tsv.Demonstrator(via)
+		arrays.AddRow(
+			fmt.Sprintf("%.0f", via.Diameter*1e6),
+			fmt.Sprintf("%.0f", arr.Pitch*1e6),
+			fmt.Sprintf("%.4f", arr.CuFraction()),
+			fmt.Sprintf("%.1f%%", arr.KOZFraction()*100),
+			fmt.Sprintf("%.0f", arr.MaxChannelWidth()*1e6),
+			fmt.Sprintf("%.1f", arr.VerticalConductivity(thermal.InterTier.K)),
+			fmt.Sprintf("%.2f", arr.InPlaneConductivity(thermal.InterTier.K)),
+		)
+	}
+
+	// Thermal consequence: repeat a full-power 2-tier liquid-cooled
+	// steady solve with and without the 40 µm demonstrator array's
+	// copper fraction enhancing the inter-tier walls.
+	peak := func(density float64) (float64, error) {
+		st := floorplan.Niagara2Tier()
+		sm, err := thermal.BuildStack(st, thermal.StackOptions{
+			Nx: grid, Ny: grid,
+			Mode:          thermal.LiquidCooled,
+			FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+			TSVDensity:    density,
+		})
+		if err != nil {
+			return 0, err
+		}
+		pm, err := sm.PowerMapFromUnits(fullNiagaraPowers(st))
+		if err != nil {
+			return 0, err
+		}
+		f, err := sm.Model.SteadyState(pm, nil)
+		if err != nil {
+			return 0, err
+		}
+		return f.MaxOverPowerLayers(), nil
+	}
+	plain, err := peak(0)
+	if err != nil {
+		return nil, err
+	}
+	arr40 := tsv.Demonstrator(tsv.FirstGeneration()[0])
+	withTSV, err := peak(arr40.CuFraction())
+	if err != nil {
+		return nil, err
+	}
+
+	return &TSVResult{
+		Chains:     chains,
+		Arrays:     arrays,
+		PeakPlainC: plain,
+		PeakTSVC:   withTSV,
+	}, nil
+}

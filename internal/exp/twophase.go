@@ -1,0 +1,181 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+	"repro/internal/twophase"
+	"repro/internal/units"
+)
+
+// Fig8Result is the two-phase local hot-spot test of Fig. 8.
+type Fig8Result struct {
+	Rows           []twophase.Sample
+	Result         *twophase.Result
+	HTCRatio       float64 // hot-spot row HTC / background HTC (paper: ~8)
+	SuperheatRatio float64 // wall-superheat ratio (paper: ~2, vs 15 for water)
+	FluidDropK     float64 // inlet→outlet saturation temperature drop (paper: 0.5)
+	Table          *report.Table
+}
+
+// Fig8 runs the 35-heater / 135-channel R-245fa micro-evaporator of
+// Costa-Patry et al. and reports per-sensor-row fluid, wall and base
+// temperatures, heat flux and heat-transfer coefficient — the three
+// panels of Fig. 8.
+func Fig8() (*Fig8Result, error) {
+	res, rows, err := twophase.RunTestVehicle()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Fig. 8 — local hot spot test of the silicon micro-evaporator (R-245fa, Tsat,in = 30 °C)",
+		"sensor row", "heat flux (W/cm²)", "HTC (W/m²K)", "fluid °C", "wall °C", "base °C", "quality")
+	for i, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%.1f", units.WPerM2ToWPerCm2(r.FluxW)),
+			fmt.Sprintf("%.0f", r.HTC),
+			fmt.Sprintf("%.2f", r.TsatC),
+			fmt.Sprintf("%.2f", r.WallC),
+			fmt.Sprintf("%.2f", r.BaseC),
+			fmt.Sprintf("%.3f", r.Quality))
+	}
+	bgH := (rows[0].HTC + rows[4].HTC) / 2
+	bgSH := (rows[0].WallC - rows[0].TsatC + rows[4].WallC - rows[4].TsatC) / 2
+	out := &Fig8Result{
+		Rows:           rows,
+		Result:         res,
+		HTCRatio:       rows[2].HTC / bgH,
+		SuperheatRatio: (rows[2].WallC - rows[2].TsatC) / bgSH,
+		FluidDropK:     res.FluidTempDropC(),
+		Table:          t,
+	}
+	return out, nil
+}
+
+// TwoPhaseVsWaterResult quantifies the §III flow/pumping comparison
+// (experiment C5).
+type TwoPhaseVsWaterResult struct {
+	Cmp   *twophase.WaterComparison
+	Table *report.Table
+}
+
+// TwoPhaseVsWater sizes water and R-245fa loops for a 130 W tier load:
+// the refrigerant runs near its dry-out budget (ΔX = 0.6) against a water
+// loop constrained to a 5 K rise.
+func TwoPhaseVsWater() (*TwoPhaseVsWaterResult, error) {
+	e := twophase.TestVehicle()
+	cmp, err := twophase.CompareWithWater(e, 130, 5, 0.6)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("§III two-phase vs water at 130 W (paper: flow 1/5-1/10, pump energy 80-90% lower)",
+		"quantity", "water", "R-245fa", "ratio")
+	t.AddRow("flow (ml/min)",
+		fmt.Sprintf("%.1f", units.M3PerSToMlPerMin(cmp.WaterFlow)),
+		fmt.Sprintf("%.1f", units.M3PerSToMlPerMin(cmp.TwoPhaseFlow)),
+		fmt.Sprintf("%.1f", cmp.FlowRatio))
+	t.AddRow("hydraulic pump power (mW)",
+		fmt.Sprintf("%.2f", cmp.WaterPump*1e3),
+		fmt.Sprintf("%.2f", cmp.TwoPhasePump*1e3),
+		fmt.Sprintf("saving %s", report.Pct(cmp.PumpSavingFrac)))
+	return &TwoPhaseVsWaterResult{Cmp: cmp, Table: t}, nil
+}
+
+// SplitFlowResult is the §III split-flow comparison: one inlet/two
+// outlets vs. once-through, under the Fig. 8 flux profile.
+type SplitFlowResult struct {
+	Cmp   *twophase.SplitComparison
+	Table *report.Table
+}
+
+// SplitFlow compares the two feed configurations of the test vehicle.
+func SplitFlow() (*SplitFlowResult, error) {
+	e := twophase.TestVehicle()
+	cmp, err := twophase.CompareSplitFlow(e,
+		twophase.StepProfile(e.Length, twophase.TestVehicleFlux()), 500)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("§III once-through vs split flow (one inlet/two outlets; paper: split flow greatly reduces ΔP)",
+		"configuration", "ΔP (kPa)", "pump power (mW)", "exit quality", "dry-out")
+	t.AddRow("once-through",
+		fmt.Sprintf("%.2f", cmp.OnceThrough.PressureDrop/1e3),
+		fmt.Sprintf("%.3f", cmp.OnceThrough.PumpingPower*1e3),
+		fmt.Sprintf("%.3f", cmp.OnceThrough.ExitQuality),
+		fmt.Sprintf("%v", cmp.OnceThrough.DryOut))
+	t.AddRow("split flow",
+		fmt.Sprintf("%.2f", cmp.Split.PressureDrop/1e3),
+		fmt.Sprintf("%.3f", cmp.Split.PumpingPower*1e3),
+		fmt.Sprintf("%.3f", cmp.Split.ExitQuality),
+		fmt.Sprintf("%v", cmp.Split.DryOut))
+	t.AddRow("split/once ratio",
+		fmt.Sprintf("%.2f", cmp.DPRatio),
+		fmt.Sprintf("%.2f", cmp.PumpRatio), "", "")
+	return &SplitFlowResult{Cmp: cmp, Table: t}, nil
+}
+
+// RefrigerantsResult ranks the §III candidate refrigerants for a 130 W
+// tier duty at a 30 °C inlet saturation temperature.
+type RefrigerantsResult struct {
+	Reports []twophase.RefrigerantReport
+	Table   *report.Table
+}
+
+// Refrigerants runs the candidate comparison of §III.
+func Refrigerants() (*RefrigerantsResult, error) {
+	duty := twophase.Duty{HeatLoad: 130, InletTsatC: 30, QualityRise: 0.4}
+	reps, err := twophase.CompareRefrigerants(twophase.TestVehicle(), duty, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("§III refrigerant selection at 130 W, Tsat,in = 30 °C (low-pressure candidates preferred)",
+		"refrigerant", "Psat (bar)", "hfg (kJ/kg)", "flow (g/s)", "ΔP (kPa)",
+		"pump (mW)", "exit quality", "verdict")
+	for _, r := range reps {
+		verdict := "feasible"
+		if !r.Feasible {
+			verdict = r.Reason
+		}
+		t.AddRow(r.Fluid.Name,
+			fmt.Sprintf("%.2f", r.SatPressureBar),
+			fmt.Sprintf("%.0f", r.HfgKJPerKg),
+			fmt.Sprintf("%.2f", r.MassFlow*1e3),
+			fmt.Sprintf("%.2f", r.PressureDropBar*1e2),
+			fmt.Sprintf("%.2f", r.PumpingPowerW*1e3),
+			fmt.Sprintf("%.3f", r.ExitQuality),
+			verdict)
+	}
+	return &RefrigerantsResult{Reports: reps, Table: t}, nil
+}
+
+// StorageResult is the §III transient-storage comparison.
+type StorageResult struct {
+	Margins []*twophase.StorageMargin
+	Table   *report.Table
+}
+
+// Storage applies 25/50/100 % overloads to both sized loops on the test
+// vehicle at a 130 W base load.
+func Storage() (*StorageResult, error) {
+	e := twophase.TestVehicle()
+	res := &StorageResult{}
+	t := report.NewTable(
+		"§III transient thermal storage — overload excursions, water vs R-245fa (130 W base)",
+		"overload", "water outlet rise (K)", "two-phase wall rise (K)", "ratio", "dry-out headroom (W)", "dry-out")
+	for _, frac := range []float64{0.25, 0.5, 1.0} {
+		m, err := twophase.ComputeStorageMargin(e, 130, 5, 0.3, frac)
+		if err != nil {
+			return nil, err
+		}
+		res.Margins = append(res.Margins, m)
+		t.AddRow(
+			fmt.Sprintf("+%.0f%%", frac*100),
+			fmt.Sprintf("%.2f", m.WaterExcursionK),
+			fmt.Sprintf("%.2f", m.TwoPhaseExcursionK),
+			fmt.Sprintf("%.1fx", m.ExcursionRatio),
+			fmt.Sprintf("%.0f", m.DryOutHeadroomW),
+			fmt.Sprintf("%v", m.DryOut))
+	}
+	res.Table = t
+	return res, nil
+}

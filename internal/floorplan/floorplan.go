@@ -1,0 +1,278 @@
+// Package floorplan describes 2-D chip floorplans and 3-D MPSoC stacks.
+//
+// The DATE 2011 paper builds its 2- and 4-tier case studies from
+// UltraSPARC T1 (Niagara-1, 90 nm) tiers, placing the 8 cores and the 4
+// shared L2 caches on separate tiers (Fig. 1), with each layer occupying
+// 115 mm² (Table I: 10 mm² per core, 19 mm² per L2 cache). This package
+// provides those floorplans, generic floorplan construction/validation,
+// rasterisation onto solver grids, and the tier/stack description consumed
+// by the thermal model.
+package floorplan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// UnitKind classifies a floorplan unit for power modelling.
+type UnitKind int
+
+// Unit kinds.
+const (
+	KindCore UnitKind = iota
+	KindL2
+	KindCrossbar
+	KindOther
+)
+
+// String returns a short human-readable name for the kind.
+func (k UnitKind) String() string {
+	switch k {
+	case KindCore:
+		return "core"
+	case KindL2:
+		return "l2"
+	case KindCrossbar:
+		return "xbar"
+	case KindOther:
+		return "other"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Unit is an axis-aligned rectangular block of a floorplan. All geometry
+// is in metres, with the origin at the die's lower-left corner.
+type Unit struct {
+	Name string
+	Kind UnitKind
+	X, Y float64 // lower-left corner
+	W, H float64 // width (x extent) and height (y extent)
+}
+
+// Area returns the unit area in m².
+func (u Unit) Area() float64 { return u.W * u.H }
+
+// overlap returns the area of intersection between the unit and the
+// rectangle [x0,x1]×[y0,y1].
+func (u Unit) overlap(x0, x1, y0, y1 float64) float64 {
+	ox := math.Min(u.X+u.W, x1) - math.Max(u.X, x0)
+	oy := math.Min(u.Y+u.H, y1) - math.Max(u.Y, y0)
+	if ox <= 0 || oy <= 0 {
+		return 0
+	}
+	return ox * oy
+}
+
+// Floorplan is a validated set of non-overlapping units on a rectangular
+// die.
+type Floorplan struct {
+	Name  string
+	W, H  float64 // die extent in metres
+	Units []Unit
+}
+
+// Errors returned by New.
+var (
+	ErrOutOfBounds = errors.New("floorplan: unit extends outside the die")
+	ErrOverlap     = errors.New("floorplan: units overlap")
+	ErrBadGeometry = errors.New("floorplan: non-positive dimension")
+)
+
+// New validates and returns a floorplan. Units must lie within the die
+// and must not overlap one another (touching edges are fine).
+func New(name string, w, h float64, units []Unit) (*Floorplan, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("%w: die %gx%g", ErrBadGeometry, w, h)
+	}
+	const eps = 1e-12
+	for i, u := range units {
+		if u.W <= 0 || u.H <= 0 {
+			return nil, fmt.Errorf("%w: unit %q %gx%g", ErrBadGeometry, u.Name, u.W, u.H)
+		}
+		if u.X < -eps || u.Y < -eps || u.X+u.W > w+eps || u.Y+u.H > h+eps {
+			return nil, fmt.Errorf("%w: unit %q", ErrOutOfBounds, u.Name)
+		}
+		for j := 0; j < i; j++ {
+			v := units[j]
+			if u.overlap(v.X, v.X+v.W, v.Y, v.Y+v.H) > eps*w*h {
+				return nil, fmt.Errorf("%w: %q and %q", ErrOverlap, u.Name, v.Name)
+			}
+		}
+	}
+	return &Floorplan{Name: name, W: w, H: h, Units: append([]Unit(nil), units...)}, nil
+}
+
+// Area returns the die area in m².
+func (f *Floorplan) Area() float64 { return f.W * f.H }
+
+// CoveredArea returns the summed unit area in m².
+func (f *Floorplan) CoveredArea() float64 {
+	s := 0.0
+	for _, u := range f.Units {
+		s += u.Area()
+	}
+	return s
+}
+
+// UnitsOfKind returns the indices of units with the given kind, in
+// floorplan order.
+func (f *Floorplan) UnitsOfKind(k UnitKind) []int {
+	var idx []int
+	for i, u := range f.Units {
+		if u.Kind == k {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// FindUnit returns the index of the named unit, or -1.
+func (f *Floorplan) FindUnit(name string) int {
+	for i, u := range f.Units {
+		if u.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Raster maps a floorplan onto an nx×ny solver grid. Entry (c, u) of
+// Frac is the fraction of cell c's area covered by unit u; cells are
+// indexed row-major (ix + iy*nx). Fractions over all units sum to ≤ 1
+// per cell (uncovered area is bulk silicon).
+type Raster struct {
+	Nx, Ny int
+	// CellUnits[c] lists (unit index, area fraction of the cell) pairs
+	// for every unit overlapping cell c.
+	CellUnits [][]CellFrac
+	// UnitCells[u] lists (cell index, fraction of the *unit's* area in
+	// that cell) pairs; weights sum to 1 per unit.
+	UnitCells [][]CellFrac
+}
+
+// CellFrac is one (index, weight) pair of a raster mapping.
+type CellFrac struct {
+	Index int
+	Frac  float64
+}
+
+// Rasterize computes the floorplan↔grid mapping for an nx×ny grid.
+func (f *Floorplan) Rasterize(nx, ny int) (*Raster, error) {
+	if nx <= 0 || ny <= 0 {
+		return nil, fmt.Errorf("floorplan: Rasterize grid %dx%d invalid", nx, ny)
+	}
+	r := &Raster{
+		Nx:        nx,
+		Ny:        ny,
+		CellUnits: make([][]CellFrac, nx*ny),
+		UnitCells: make([][]CellFrac, len(f.Units)),
+	}
+	dx, dy := f.W/float64(nx), f.H/float64(ny)
+	cellArea := dx * dy
+	for ui, u := range f.Units {
+		// Only visit cells in the unit's bounding box.
+		ix0 := int(u.X / dx)
+		ix1 := int(math.Ceil((u.X + u.W) / dx))
+		iy0 := int(u.Y / dy)
+		iy1 := int(math.Ceil((u.Y + u.H) / dy))
+		if ix1 > nx {
+			ix1 = nx
+		}
+		if iy1 > ny {
+			iy1 = ny
+		}
+		uArea := u.Area()
+		for iy := iy0; iy < iy1; iy++ {
+			for ix := ix0; ix < ix1; ix++ {
+				ov := u.overlap(float64(ix)*dx, float64(ix+1)*dx, float64(iy)*dy, float64(iy+1)*dy)
+				if ov <= 0 {
+					continue
+				}
+				c := ix + iy*nx
+				r.CellUnits[c] = append(r.CellUnits[c], CellFrac{Index: ui, Frac: ov / cellArea})
+				r.UnitCells[ui] = append(r.UnitCells[ui], CellFrac{Index: c, Frac: ov / uArea})
+			}
+		}
+	}
+	return r, nil
+}
+
+// SpreadPower distributes per-unit powers (W) onto grid cells,
+// returning per-cell power in watts. Power of each unit is spread
+// uniformly over its own area.
+func (r *Raster) SpreadPower(unitPower []float64) ([]float64, error) {
+	if len(unitPower) != len(r.UnitCells) {
+		return nil, fmt.Errorf("floorplan: SpreadPower got %d powers for %d units",
+			len(unitPower), len(r.UnitCells))
+	}
+	p := make([]float64, r.Nx*r.Ny)
+	for ui, cells := range r.UnitCells {
+		for _, cf := range cells {
+			p[cf.Index] += unitPower[ui] * cf.Frac
+		}
+	}
+	return p, nil
+}
+
+// UnitTemperatures computes area-weighted average unit temperatures from a
+// per-cell temperature field of length Nx·Ny.
+func (r *Raster) UnitTemperatures(cellT []float64) ([]float64, error) {
+	if len(cellT) != r.Nx*r.Ny {
+		return nil, fmt.Errorf("floorplan: UnitTemperatures field length %d != %d",
+			len(cellT), r.Nx*r.Ny)
+	}
+	out := make([]float64, len(r.UnitCells))
+	for ui, cells := range r.UnitCells {
+		s := 0.0
+		for _, cf := range cells {
+			s += cellT[cf.Index] * cf.Frac
+		}
+		out[ui] = s
+	}
+	return out, nil
+}
+
+// UnitMaxTemperatures computes per-unit maximum cell temperature.
+func (r *Raster) UnitMaxTemperatures(cellT []float64) ([]float64, error) {
+	if len(cellT) != r.Nx*r.Ny {
+		return nil, fmt.Errorf("floorplan: UnitMaxTemperatures field length %d != %d",
+			len(cellT), r.Nx*r.Ny)
+	}
+	out := make([]float64, len(r.UnitCells))
+	for ui, cells := range r.UnitCells {
+		m := math.Inf(-1)
+		for _, cf := range cells {
+			if cellT[cf.Index] > m {
+				m = cellT[cf.Index]
+			}
+		}
+		out[ui] = m
+	}
+	return out, nil
+}
+
+// ASCII renders the floorplan as a coarse character map (for Fig. 1-style
+// layout dumps and debugging). Each unit is drawn with the first letter of
+// its name; empty area as '.'.
+func (f *Floorplan) ASCII(cols, rows int) string {
+	var b strings.Builder
+	dx, dy := f.W/float64(cols), f.H/float64(rows)
+	for iy := rows - 1; iy >= 0; iy-- {
+		for ix := 0; ix < cols; ix++ {
+			cx, cy := (float64(ix)+0.5)*dx, (float64(iy)+0.5)*dy
+			ch := byte('.')
+			for _, u := range f.Units {
+				if cx >= u.X && cx < u.X+u.W && cy >= u.Y && cy < u.Y+u.H {
+					ch = u.Name[0]
+					break
+				}
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,331 @@
+package floorplan
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("bad", -1, 1, nil); !errors.Is(err, ErrBadGeometry) {
+		t.Errorf("negative die: err = %v", err)
+	}
+	if _, err := New("bad", 1, 1, []Unit{{Name: "u", W: 0.5, H: 0}}); !errors.Is(err, ErrBadGeometry) {
+		t.Errorf("zero-height unit: err = %v", err)
+	}
+	if _, err := New("bad", 1, 1, []Unit{{Name: "u", X: 0.7, Y: 0, W: 0.5, H: 0.5}}); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("out of bounds: err = %v", err)
+	}
+	overlapping := []Unit{
+		{Name: "a", X: 0, Y: 0, W: 0.6, H: 0.6},
+		{Name: "b", X: 0.5, Y: 0.5, W: 0.4, H: 0.4},
+	}
+	if _, err := New("bad", 1, 1, overlapping); !errors.Is(err, ErrOverlap) {
+		t.Errorf("overlap: err = %v", err)
+	}
+	// Touching edges are allowed.
+	touching := []Unit{
+		{Name: "a", X: 0, Y: 0, W: 0.5, H: 1},
+		{Name: "b", X: 0.5, Y: 0, W: 0.5, H: 1},
+	}
+	if _, err := New("ok", 1, 1, touching); err != nil {
+		t.Errorf("touching units rejected: %v", err)
+	}
+}
+
+func TestNiagaraTableIAreas(t *testing.T) {
+	if err := CheckTableIAreas(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNiagaraCoreTierStructure(t *testing.T) {
+	f := NiagaraCoreTier()
+	cores := f.UnitsOfKind(KindCore)
+	if len(cores) != 8 {
+		t.Fatalf("core count = %d, want 8 (UltraSPARC T1)", len(cores))
+	}
+	if len(f.UnitsOfKind(KindCrossbar)) != 1 {
+		t.Fatal("want exactly one crossbar unit")
+	}
+	// The tier must be fully covered (units tile the die).
+	if !units.ApproxEqual(f.CoveredArea(), f.Area(), 1e-9) {
+		t.Errorf("covered %v != die %v", f.CoveredArea(), f.Area())
+	}
+}
+
+func TestNiagaraCacheTierStructure(t *testing.T) {
+	f := NiagaraCacheTier()
+	if got := len(f.UnitsOfKind(KindL2)); got != 4 {
+		t.Fatalf("L2 count = %d, want 4 (one per two cores)", got)
+	}
+	if !units.ApproxEqual(f.CoveredArea(), f.Area(), 1e-9) {
+		t.Errorf("covered %v != die %v", f.CoveredArea(), f.Area())
+	}
+}
+
+func TestStackBuilders(t *testing.T) {
+	s2 := Niagara2Tier()
+	if s2.NumTiers() != 2 {
+		t.Errorf("2-tier stack has %d tiers", s2.NumTiers())
+	}
+	if s2.CoreCount() != 8 {
+		t.Errorf("2-tier core count = %d, want 8", s2.CoreCount())
+	}
+	s4 := Niagara4Tier()
+	if s4.NumTiers() != 4 {
+		t.Errorf("4-tier stack has %d tiers", s4.NumTiers())
+	}
+	if s4.CoreCount() != 16 {
+		t.Errorf("4-tier core count = %d, want 16", s4.CoreCount())
+	}
+}
+
+func TestFindUnit(t *testing.T) {
+	f := NiagaraCoreTier()
+	if i := f.FindUnit("core3"); i < 0 || f.Units[i].Name != "core3" {
+		t.Errorf("FindUnit(core3) = %d", i)
+	}
+	if i := f.FindUnit("nope"); i != -1 {
+		t.Errorf("FindUnit(nope) = %d, want -1", i)
+	}
+}
+
+func TestRasterizeFractionsSumToOne(t *testing.T) {
+	f := NiagaraCoreTier()
+	r, err := f.Rasterize(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Die is fully tiled, so every cell's unit fractions must sum to 1.
+	for c, cus := range r.CellUnits {
+		s := 0.0
+		for _, cf := range cus {
+			s += cf.Frac
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("cell %d fractions sum to %v", c, s)
+		}
+	}
+	// Each unit's cell weights must sum to 1.
+	for ui, ucs := range r.UnitCells {
+		s := 0.0
+		for _, cf := range ucs {
+			s += cf.Frac
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("unit %d weights sum to %v", ui, s)
+		}
+	}
+}
+
+func TestSpreadPowerConservesTotal(t *testing.T) {
+	f := NiagaraCoreTier()
+	for _, grid := range []int{4, 16, 33} { // include a non-divisor grid
+		r, err := f.Rasterize(grid, grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		p := make([]float64, len(f.Units))
+		total := 0.0
+		for i := range p {
+			p[i] = rng.Float64() * 5
+			total += p[i]
+		}
+		cells, err := r.SpreadPower(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0.0
+		for _, v := range cells {
+			got += v
+		}
+		if math.Abs(got-total) > 1e-9*total {
+			t.Errorf("grid %d: spread power %v != injected %v", grid, got, total)
+		}
+	}
+}
+
+func TestSpreadPowerLocalisesToUnit(t *testing.T) {
+	f := NiagaraCoreTier()
+	r, err := f.Rasterize(23, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, len(f.Units))
+	ci := f.FindUnit("core0")
+	p[ci] = 7.0
+	cells, err := r.SpreadPower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := f.Units[ci]
+	dx, dy := f.W/23, f.H/20
+	for iy := 0; iy < 20; iy++ {
+		for ix := 0; ix < 23; ix++ {
+			v := cells[ix+iy*23]
+			if v == 0 {
+				continue
+			}
+			// Any powered cell must intersect core0's rectangle.
+			if ov := u.overlap(float64(ix)*dx, float64(ix+1)*dx, float64(iy)*dy, float64(iy+1)*dy); ov <= 0 {
+				t.Fatalf("cell (%d,%d) powered %v but outside core0", ix, iy, v)
+			}
+		}
+	}
+}
+
+func TestUnitTemperatures(t *testing.T) {
+	f := NiagaraCoreTier()
+	r, err := f.Rasterize(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform field: every unit must read exactly that value.
+	field := make([]float64, 100)
+	for i := range field {
+		field[i] = 68.5
+	}
+	ts, err := r.UnitTemperatures(field)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ts {
+		if math.Abs(v-68.5) > 1e-9 {
+			t.Errorf("unit %d avg temp = %v, want 68.5", i, v)
+		}
+	}
+	tmax, err := r.UnitMaxTemperatures(field)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range tmax {
+		if v != 68.5 {
+			t.Errorf("unit %d max temp = %v", i, v)
+		}
+	}
+}
+
+func TestUnitTemperatureGradient(t *testing.T) {
+	// A field that increases with y: top-row cores must be hotter than
+	// bottom-row cores.
+	f := NiagaraCoreTier()
+	nx, ny := 16, 16
+	r, err := f.Rasterize(nx, ny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := make([]float64, nx*ny)
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			field[ix+iy*nx] = float64(iy)
+		}
+	}
+	ts, err := r.UnitTemperatures(field)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bot := ts[f.FindUnit("core0")]
+	top := ts[f.FindUnit("core4")]
+	if top <= bot {
+		t.Errorf("top core %v not hotter than bottom core %v", top, bot)
+	}
+}
+
+func TestHotspotTestTier(t *testing.T) {
+	tier := HotspotTestTier("scaling", 0.01, 0.01, 0.2)
+	f := tier.FP
+	if !units.ApproxEqual(f.CoveredArea(), f.Area(), 1e-9) {
+		t.Errorf("hotspot tier not fully covered: %v vs %v", f.CoveredArea(), f.Area())
+	}
+	hi := f.FindUnit("hot")
+	if hi < 0 {
+		t.Fatal("no hot unit")
+	}
+	wantArea := 0.01 * 0.2 * 0.01 * 0.2
+	if !units.ApproxEqual(f.Units[hi].Area(), wantArea, 1e-9) {
+		t.Errorf("hot area = %v, want %v", f.Units[hi].Area(), wantArea)
+	}
+}
+
+func TestASCIILayout(t *testing.T) {
+	f := NiagaraCoreTier()
+	art := f.ASCII(40, 12)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 12 {
+		t.Fatalf("ASCII rows = %d, want 12", len(lines))
+	}
+	// Top and bottom rows are core rows ('c'); middle contains 'x'.
+	if !strings.Contains(lines[0], "c") {
+		t.Error("top row should show cores")
+	}
+	if !strings.Contains(lines[len(lines)/2], "x") {
+		t.Error("middle row should show crossbar")
+	}
+}
+
+func TestRasterizeBadGrid(t *testing.T) {
+	f := NiagaraCoreTier()
+	if _, err := f.Rasterize(0, 5); err == nil {
+		t.Error("expected error for zero grid")
+	}
+}
+
+func TestSpreadPowerBadLength(t *testing.T) {
+	f := NiagaraCoreTier()
+	r, _ := f.Rasterize(4, 4)
+	if _, err := r.SpreadPower([]float64{1}); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := r.UnitTemperatures([]float64{1}); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := r.UnitMaxTemperatures([]float64{1}); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestNiagaraNTier(t *testing.T) {
+	if _, err := NiagaraNTier(0); err == nil {
+		t.Error("0 tiers accepted")
+	}
+	if _, err := NiagaraNTier(9); err == nil {
+		t.Error("9 tiers accepted")
+	}
+	// n=2 and n=4 must match the paper's hand-built stacks tier-for-tier.
+	for _, tc := range []struct {
+		n    int
+		want *Stack
+	}{{2, Niagara2Tier()}, {4, Niagara4Tier()}} {
+		got, err := NiagaraNTier(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Tiers) != len(tc.want.Tiers) {
+			t.Fatalf("n=%d: %d tiers", tc.n, len(got.Tiers))
+		}
+		for k := range got.Tiers {
+			if got.Tiers[k].Name != tc.want.Tiers[k].Name {
+				t.Errorf("n=%d tier %d: %s, want %s", tc.n, k, got.Tiers[k].Name, tc.want.Tiers[k].Name)
+			}
+		}
+	}
+	// Every size builds, has the right count, and alternates pairs.
+	for n := 1; n <= 8; n++ {
+		st, err := NiagaraNTier(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.Tiers) != n {
+			t.Fatalf("n=%d: %d tiers", n, len(st.Tiers))
+		}
+		if st.CoreCount() == 0 {
+			t.Fatalf("n=%d: no cores", n)
+		}
+	}
+}

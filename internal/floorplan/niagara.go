@@ -1,0 +1,251 @@
+package floorplan
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Table-I derived geometry for the Niagara-based tiers. The paper gives
+// the areas (10 mm² per core, 19 mm² per L2, 115 mm² per layer); the
+// aspect ratios below realise them on an 11.5 mm × 10 mm die.
+const (
+	// DieW and DieH are the die extents in metres (11.5 mm × 10 mm =
+	// 115 mm², Table I "total area of each layer").
+	DieW = 11.5e-3
+	DieH = 10.0e-3
+
+	coreW = DieW / 4 // 2.875 mm; four cores abreast span the die exactly
+	coreH = 10.0e-6 / coreW
+	l2W   = DieW / 2 // 5.75 mm; two caches abreast span the die exactly
+	l2H   = 19.0e-6 / l2W
+)
+
+// NiagaraCoreTier returns the processing tier of the UltraSPARC T1-based
+// 3D MPSoC: 8 multi-threaded cores of 10 mm² each arranged in two rows of
+// four along the die edges (mirroring the published T1 floorplan), with
+// the crossbar/FPU/IO band occupying the centre strip. Total die area is
+// 115 mm² as in Table I.
+func NiagaraCoreTier() *Floorplan {
+	us := make([]Unit, 0, 9)
+	for i := 0; i < 4; i++ {
+		us = append(us, Unit{
+			Name: fmt.Sprintf("core%d", i),
+			Kind: KindCore,
+			X:    float64(i) * coreW, Y: 0,
+			W: coreW, H: coreH,
+		})
+	}
+	for i := 0; i < 4; i++ {
+		us = append(us, Unit{
+			Name: fmt.Sprintf("core%d", i+4),
+			Kind: KindCore,
+			X:    float64(i) * coreW, Y: DieH - coreH,
+			W: coreW, H: coreH,
+		})
+	}
+	us = append(us, Unit{
+		Name: "xbar",
+		Kind: KindCrossbar,
+		X:    0, Y: coreH,
+		W: DieW, H: DieH - 2*coreH,
+	})
+	f, err := New("niagara-cores", DieW, DieH, us)
+	if err != nil {
+		panic("floorplan: NiagaraCoreTier invalid: " + err.Error())
+	}
+	return f
+}
+
+// NiagaraCacheTier returns the memory tier: 4 shared L2 caches of 19 mm²
+// each (one per core pair, Table I), two along the bottom edge and two
+// along the top, with the tag/directory/interface band in the centre.
+func NiagaraCacheTier() *Floorplan {
+	us := make([]Unit, 0, 5)
+	for i := 0; i < 2; i++ {
+		us = append(us, Unit{
+			Name: fmt.Sprintf("l2_%d", i),
+			Kind: KindL2,
+			X:    float64(i) * l2W, Y: 0,
+			W: l2W, H: l2H,
+		})
+	}
+	for i := 0; i < 2; i++ {
+		us = append(us, Unit{
+			Name: fmt.Sprintf("l2_%d", i+2),
+			Kind: KindL2,
+			X:    float64(i) * l2W, Y: DieH - l2H,
+			W: l2W, H: l2H,
+		})
+	}
+	us = append(us, Unit{
+		Name: "tags",
+		Kind: KindOther,
+		X:    0, Y: l2H,
+		W: DieW, H: DieH - 2*l2H,
+	})
+	f, err := New("niagara-caches", DieW, DieH, us)
+	if err != nil {
+		panic("floorplan: NiagaraCacheTier invalid: " + err.Error())
+	}
+	return f
+}
+
+// Tier is one active silicon layer of a 3D stack.
+type Tier struct {
+	Name string
+	FP   *Floorplan
+}
+
+// Stack is an ordered set of tiers. Tiers[0] is the tier closest to the
+// back-side heat sink (air-cooled configurations); higher indices are
+// deeper into the stack. In liquid-cooled configurations each tier has a
+// micro-channel cavity directly beneath it (one cavity per tier, matching
+// the paper's "increased number of cooling tiers (cavities)" observation
+// for the 4-tier stack).
+type Stack struct {
+	Name  string
+	Tiers []Tier
+}
+
+// NumTiers returns the number of active tiers.
+func (s *Stack) NumTiers() int { return len(s.Tiers) }
+
+// CoreCount returns the total number of processing cores across tiers.
+func (s *Stack) CoreCount() int {
+	n := 0
+	for _, t := range s.Tiers {
+		n += len(t.FP.UnitsOfKind(KindCore))
+	}
+	return n
+}
+
+// Niagara2Tier builds the paper's 2-tier case study: one cache tier and
+// one core tier ("separating logic and memory layers is a preferred design
+// scenario", Fig. 1 left). Tier 0 — the tier adjacent to the back-side
+// heat sink in air-cooled mode — is the cache tier: the TSV interface to
+// the package substrate pins the memory tier to the outside of the stack,
+// which is also the configuration that reproduces the paper's air-cooled
+// peak temperatures (cores buried away from the sink).
+func Niagara2Tier() *Stack {
+	return &Stack{
+		Name: "niagara-2tier",
+		Tiers: []Tier{
+			{Name: "tier0-caches", FP: NiagaraCacheTier()},
+			{Name: "tier1-cores", FP: NiagaraCoreTier()},
+		},
+	}
+}
+
+// Niagara4Tier builds the paper's 4-tier case study: two Niagara systems
+// stacked with the cache tiers outside and the core tiers inside
+// (caches/cores/cores/caches). Each core tier stays adjacent to its cache
+// tier (the Fig. 1 pairing), and in liquid-cooled mode both core tiers are
+// flanked by cavities on both faces — the geometry behind the paper's
+// observation that the 4-tier liquid-cooled stack runs *cooler* than the
+// 2-tier one.
+func Niagara4Tier() *Stack {
+	return &Stack{
+		Name: "niagara-4tier",
+		Tiers: []Tier{
+			{Name: "tier0-caches", FP: NiagaraCacheTier()},
+			{Name: "tier1-cores", FP: NiagaraCoreTier()},
+			{Name: "tier2-cores", FP: NiagaraCoreTier()},
+			{Name: "tier3-caches", FP: NiagaraCacheTier()},
+		},
+	}
+}
+
+// UniformTestTier builds a single-unit tier of the given footprint with a
+// uniform heater covering the whole die; used by validation experiments
+// such as the §II-C heat-removal-scaling study (1 cm² foot print).
+func UniformTestTier(name string, w, h float64) *Tier {
+	f, err := New(name, w, h, []Unit{{Name: "heater", Kind: KindOther, X: 0, Y: 0, W: w, H: h}})
+	if err != nil {
+		panic("floorplan: UniformTestTier invalid: " + err.Error())
+	}
+	return &Tier{Name: name, FP: f}
+}
+
+// HotspotTestTier builds a tier with a centred hot-spot unit of the given
+// area fraction plus a background unit ring, used for the §II-C scaling
+// claim (aligned hot spots of 250 W/cm²) and the fluid-focusing study.
+// frac is the hot spot's linear size as a fraction of the die width.
+func HotspotTestTier(name string, w, h, frac float64) *Tier {
+	hw, hh := w*frac, h*frac
+	x0, y0 := (w-hw)/2, (h-hh)/2
+	us := []Unit{
+		{Name: "hot", Kind: KindCore, X: x0, Y: y0, W: hw, H: hh},
+		// Background ring as four rectangles around the hot spot.
+		{Name: "bgS", Kind: KindOther, X: 0, Y: 0, W: w, H: y0},
+		{Name: "bgN", Kind: KindOther, X: 0, Y: y0 + hh, W: w, H: h - y0 - hh},
+		{Name: "bgW", Kind: KindOther, X: 0, Y: y0, W: x0, H: hh},
+		{Name: "bgE", Kind: KindOther, X: x0 + hw, Y: y0, W: w - x0 - hw, H: hh},
+	}
+	f, err := New(name, w, h, us)
+	if err != nil {
+		panic("floorplan: HotspotTestTier invalid: " + err.Error())
+	}
+	return &Tier{Name: name, FP: f}
+}
+
+// CheckTableIAreas verifies that the Niagara tiers match Table I's areas;
+// it returns a non-nil error describing the first mismatch. Used by tests
+// and the Table-I experiment.
+func CheckTableIAreas() error {
+	core := NiagaraCoreTier()
+	cache := NiagaraCacheTier()
+	if got, want := core.Area(), units.Mm2ToM2(115); !units.ApproxEqual(got, want, 1e-9) {
+		return fmt.Errorf("core tier area %v != 115 mm²", got)
+	}
+	if got, want := cache.Area(), units.Mm2ToM2(115); !units.ApproxEqual(got, want, 1e-9) {
+		return fmt.Errorf("cache tier area %v != 115 mm²", got)
+	}
+	for _, i := range core.UnitsOfKind(KindCore) {
+		if got, want := core.Units[i].Area(), units.Mm2ToM2(10); !units.ApproxEqual(got, want, 1e-9) {
+			return fmt.Errorf("core %q area %v != 10 mm²", core.Units[i].Name, got)
+		}
+	}
+	for _, i := range cache.UnitsOfKind(KindL2) {
+		if got, want := cache.Units[i].Area(), units.Mm2ToM2(19); !units.ApproxEqual(got, want, 1e-9) {
+			return fmt.Errorf("l2 %q area %v != 19 mm²", cache.Units[i].Name, got)
+		}
+	}
+	return nil
+}
+
+// NiagaraNTier builds a stack of n tiers (1 ≤ n ≤ 8) by stacking
+// two-tier Niagara systems (cache + core tier) with every second system
+// mirrored, generalising the paper's case studies for tier-count
+// scaling sweeps: n=2 gives the paper's caches|cores, n=4 its
+// caches|cores|cores|caches. An odd n carries one extra core tier on
+// top.
+func NiagaraNTier(n int) (*Stack, error) {
+	if n < 1 || n > 8 {
+		return nil, fmt.Errorf("floorplan: tier count %d outside [1, 8]", n)
+	}
+	st := &Stack{Name: fmt.Sprintf("niagara-%dtier", n)}
+	add := func(kind string) {
+		k := len(st.Tiers)
+		if kind == "caches" {
+			st.Tiers = append(st.Tiers, Tier{
+				Name: fmt.Sprintf("tier%d-caches", k), FP: NiagaraCacheTier()})
+		} else {
+			st.Tiers = append(st.Tiers, Tier{
+				Name: fmt.Sprintf("tier%d-cores", k), FP: NiagaraCoreTier()})
+		}
+	}
+	for p := 0; p < n/2; p++ {
+		if p%2 == 0 {
+			add("caches")
+			add("cores")
+		} else {
+			add("cores")
+			add("caches")
+		}
+	}
+	if n%2 == 1 {
+		add("cores")
+	}
+	return st, nil
+}

@@ -1,0 +1,304 @@
+// Package fluids is the coolant property library for the CMOSAIC
+// reproduction. It covers the coolants the DATE 2011 paper discusses:
+//
+//   - liquid water (the single-phase baseline, Table I properties),
+//   - the low-pressure refrigerants R-134a, R-236fa and R-245fa used for
+//     two-phase flow boiling (Agostini et al., Costa-Patry et al.),
+//   - engineered nanofluids built from a base liquid and a nanoparticle
+//     loading via Maxwell (conductivity) and Einstein (viscosity) mixture
+//     rules.
+//
+// Refrigerant saturation behaviour (Psat(T), Tsat(P), latent heat) is
+// provided through small embedded property tables with piecewise-linear
+// interpolation; the tables are approximate engineering fits adequate to
+// reproduce the paper's trends (Tsat falls with the pressure drop along a
+// channel; hfg of common refrigerants is ~150–200 kJ/kg, i.e. far above
+// water's sensible 4.2 kJ/(kg·K)).
+package fluids
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Fluid holds single-phase transport properties for a liquid coolant,
+// evaluated at the reference state noted in the constructor. For the
+// micro-channel flows of this paper (laminar, modest temperature rise)
+// constant properties are the standard modelling choice.
+type Fluid struct {
+	Name string
+	// Rho is the density in kg/m³.
+	Rho float64
+	// Cp is the specific heat capacity in J/(kg·K).
+	Cp float64
+	// K is the thermal conductivity in W/(m·K).
+	K float64
+	// Mu is the dynamic viscosity in Pa·s.
+	Mu float64
+	// Sat is non-nil for refrigerants that support two-phase operation.
+	Sat *Saturation
+}
+
+// Prandtl returns the Prandtl number cp·µ/k.
+func (f Fluid) Prandtl() float64 { return f.Cp * f.Mu / f.K }
+
+// VolumetricHeatCapacity returns ρ·cp in J/(m³·K).
+func (f Fluid) VolumetricHeatCapacity() float64 { return f.Rho * f.Cp }
+
+// KinematicViscosity returns µ/ρ in m²/s.
+func (f Fluid) KinematicViscosity() float64 { return f.Mu / f.Rho }
+
+// Water returns liquid water at ~27 °C with the exact conductivity and
+// specific heat used in Table I of the paper (k = 0.6 W/(m·K),
+// cp = 4183 J/(kg·K)).
+func Water() Fluid {
+	return Fluid{
+		Name: "water",
+		Rho:  997.0,
+		Cp:   4183.0,
+		K:    0.6,
+		Mu:   0.855e-3,
+	}
+}
+
+// Saturation describes the two-phase saturation curve of a refrigerant via
+// tabulated points. Temperatures are in kelvin, pressures in pascal,
+// latent heats in J/kg.
+type Saturation struct {
+	tK   []float64 // ascending saturation temperatures
+	pPa  []float64 // corresponding saturation pressures (ascending)
+	hfg  []float64 // latent heat of vaporisation at tK
+	rhoV []float64 // saturated-vapour density at tK
+
+	// PCrit is the critical pressure in Pa and MolarMass the molar mass
+	// in kg/kmol; both feed reduced-pressure boiling correlations
+	// (Cooper).
+	PCrit     float64
+	MolarMass float64
+}
+
+// ReducedPressure returns p/p_crit for pressure pPa.
+func (s *Saturation) ReducedPressure(pPa float64) float64 { return pPa / s.PCrit }
+
+// Psat returns the saturation pressure (Pa) at temperature tK (K).
+func (s *Saturation) Psat(tK float64) float64 {
+	return units.Interp1(s.tK, s.pPa, tK)
+}
+
+// Tsat returns the saturation temperature (K) at pressure pPa (Pa).
+func (s *Saturation) Tsat(pPa float64) float64 {
+	return units.Interp1(s.pPa, s.tK, pPa)
+}
+
+// Hfg returns the latent heat of vaporisation (J/kg) at temperature tK.
+func (s *Saturation) Hfg(tK float64) float64 {
+	return units.Interp1(s.tK, s.hfg, tK)
+}
+
+// RhoVapor returns the saturated-vapour density (kg/m³) at temperature tK.
+func (s *Saturation) RhoVapor(tK float64) float64 {
+	return units.Interp1(s.tK, s.rhoV, tK)
+}
+
+// DTsatDP returns the local slope dTsat/dP (K/Pa) at pressure pPa,
+// estimated by central differencing of the table. It quantifies how much
+// the local saturation temperature falls per pascal of channel pressure
+// drop — the effect behind the refrigerant exiting colder than it enters.
+func (s *Saturation) DTsatDP(pPa float64) float64 {
+	dp := pPa * 1e-4
+	if dp == 0 {
+		dp = 1
+	}
+	return (s.Tsat(pPa+dp) - s.Tsat(pPa-dp)) / (2 * dp)
+}
+
+// TRange returns the temperature span [min,max] (K) covered by the table.
+func (s *Saturation) TRange() (lo, hi float64) {
+	return s.tK[0], s.tK[len(s.tK)-1]
+}
+
+// satTable builds a Saturation from tables in engineering units
+// (°C, kPa, kJ/kg, kg/m³), validating monotonicity.
+func satTable(name string, pCritPa, molarMass float64, tC, pKPa, hfgKJ, rhoV []float64) *Saturation {
+	n := len(tC)
+	if len(pKPa) != n || len(hfgKJ) != n || len(rhoV) != n || n < 2 {
+		panic(fmt.Sprintf("fluids: %s saturation table shape invalid", name))
+	}
+	s := &Saturation{
+		tK:        make([]float64, n),
+		pPa:       make([]float64, n),
+		hfg:       make([]float64, n),
+		rhoV:      make([]float64, n),
+		PCrit:     pCritPa,
+		MolarMass: molarMass,
+	}
+	for i := 0; i < n; i++ {
+		s.tK[i] = units.CToK(tC[i])
+		s.pPa[i] = pKPa[i] * 1e3
+		s.hfg[i] = hfgKJ[i] * 1e3
+		s.rhoV[i] = rhoV[i]
+		if i > 0 && (s.tK[i] <= s.tK[i-1] || s.pPa[i] <= s.pPa[i-1]) {
+			panic(fmt.Sprintf("fluids: %s saturation table not monotone at row %d", name, i))
+		}
+	}
+	return s
+}
+
+// R134a returns the refrigerant R-134a (1,1,1,2-tetrafluoroethane) with
+// liquid properties near 30 °C. The paper quotes its latent heat as
+// "about 150 kJ/kg" at operating conditions; the table spans −20…+70 °C.
+func R134a() Fluid {
+	return Fluid{
+		Name: "R134a",
+		Rho:  1187.0,
+		Cp:   1447.0,
+		K:    0.079,
+		Mu:   0.183e-3,
+		Sat: satTable("R134a", 4.059e6, 102.03,
+			[]float64{-20, 0, 20, 30, 40, 55, 70},
+			[]float64{132.7, 292.8, 571.7, 770.2, 1016.6, 1491.6, 2116.2},
+			[]float64{212.9, 198.6, 182.3, 173.1, 163.0, 145.2, 121.8},
+			[]float64{6.78, 14.43, 27.78, 37.54, 50.09, 74.14, 109.9}),
+	}
+}
+
+// R236fa returns the low-pressure refrigerant R-236fa
+// (1,1,1,3,3,3-hexafluoropropane) tested by Agostini et al. in silicon
+// multi-microchannels at heat fluxes up to 255 W/cm².
+func R236fa() Fluid {
+	return Fluid{
+		Name: "R236fa",
+		Rho:  1350.0,
+		Cp:   1265.0,
+		K:    0.074,
+		Mu:   0.276e-3,
+		Sat: satTable("R236fa", 3.200e6, 152.04,
+			[]float64{-10, 0, 10, 25, 30, 45, 60},
+			[]float64{77.9, 114.4, 162.7, 272.4, 320.1, 501.8, 749.8},
+			[]float64{168.1, 163.2, 157.9, 149.0, 145.9, 135.4, 123.3},
+			[]float64{5.16, 7.41, 10.37, 16.65, 19.42, 30.17, 44.87}),
+	}
+}
+
+// R245fa returns the low-pressure refrigerant R-245fa
+// (1,1,1,3,3-pentafluoropropane) used in the 85 µm-channel hot-spot
+// experiments of Costa-Patry et al. that Fig. 8 of the paper reports.
+// Its normal boiling point is ~15 °C, so Tsat = 30 °C corresponds to a
+// convenient ~1.8 bar operating pressure.
+func R245fa() Fluid {
+	return Fluid{
+		Name: "R245fa",
+		Rho:  1325.0,
+		Cp:   1322.0,
+		K:    0.081,
+		Mu:   0.376e-3,
+		Sat: satTable("R245fa", 3.651e6, 134.05,
+			[]float64{0, 10, 20, 30, 40, 55, 70},
+			[]float64{53.4, 82.4, 122.7, 177.8, 250.9, 401.4, 610.1},
+			[]float64{203.8, 198.3, 192.5, 186.3, 179.6, 168.8, 156.8},
+			[]float64{2.92, 4.34, 6.25, 8.77, 12.06, 18.83, 28.44}),
+	}
+}
+
+// Dielectric returns a generic dielectric liquid (FC-72-like). The paper
+// rejects such coolants for single-phase inter-tier cooling because of
+// their low volumetric heat capacity and high relative viscosity; this
+// fluid exists so that comparison can be demonstrated quantitatively.
+func Dielectric() Fluid {
+	return Fluid{
+		Name: "dielectric",
+		Rho:  1680.0,
+		Cp:   1100.0,
+		K:    0.057,
+		Mu:   0.64e-3,
+	}
+}
+
+// Nanoparticle describes a solid nanoparticle species for nanofluid
+// engineering.
+type Nanoparticle struct {
+	Name string
+	// Rho is the particle density in kg/m³.
+	Rho float64
+	// Cp is the particle specific heat in J/(kg·K).
+	Cp float64
+	// K is the particle thermal conductivity in W/(m·K).
+	K float64
+}
+
+// Alumina returns Al₂O₃ nanoparticles, the classic nanofluid additive.
+func Alumina() Nanoparticle {
+	return Nanoparticle{Name: "Al2O3", Rho: 3970, Cp: 765, K: 40}
+}
+
+// CopperOxide returns CuO nanoparticles.
+func CopperOxide() Nanoparticle {
+	return Nanoparticle{Name: "CuO", Rho: 6500, Cp: 535, K: 20}
+}
+
+// Nanofluid builds an engineered nanofluid from a base liquid and a
+// particle volume fraction phi (0 ≤ phi ≤ 0.1):
+//
+//   - conductivity via the Maxwell effective-medium model,
+//   - viscosity via the Einstein dilute-suspension model (1 + 2.5 φ),
+//   - density and volumetric heat capacity by volume-weighted mixing.
+//
+// The paper lists "novel engineered environmentally friendly nano-fluids"
+// among the candidate inter-tier coolants; this constructor lets the
+// single-phase machinery evaluate them like any other coolant.
+func Nanofluid(base Fluid, p Nanoparticle, phi float64) (Fluid, error) {
+	if phi < 0 || phi > 0.1 {
+		return Fluid{}, fmt.Errorf("fluids: nanoparticle volume fraction %v outside [0, 0.1]", phi)
+	}
+	kb, kp := base.K, p.K
+	kEff := kb * (kp + 2*kb + 2*phi*(kp-kb)) / (kp + 2*kb - phi*(kp-kb))
+	rho := (1-phi)*base.Rho + phi*p.Rho
+	// Volumetric heat capacity mixes by volume; convert back to per-mass.
+	rhoCp := (1-phi)*base.Rho*base.Cp + phi*p.Rho*p.Cp
+	return Fluid{
+		Name: fmt.Sprintf("%s+%.1f%%%s", base.Name, phi*100, p.Name),
+		Rho:  rho,
+		Cp:   rhoCp / rho,
+		K:    kEff,
+		Mu:   base.Mu * (1 + 2.5*phi),
+		Sat:  nil, // nanofluids are used single-phase only
+	}, nil
+}
+
+// Air returns air at ~35 °C, used by the lumped air-cooled heat-sink model.
+func Air() Fluid {
+	return Fluid{
+		Name: "air",
+		Rho:  1.145,
+		Cp:   1007,
+		K:    0.027,
+		Mu:   1.895e-5,
+	}
+}
+
+// WaterAt returns liquid water properties at the given temperature
+// (°C, valid 0–100). Viscosity follows the Vogel–Fulcher–Tammann
+// correlation (halving between 20 and 55 °C — a first-order effect on
+// micro-channel pressure drop, since laminar ΔP ∝ µ), conductivity a
+// quadratic fit peaking near 130 °C, density a quadratic fit around the
+// 4 °C maximum; heat capacity is flat to within 1 % over the range.
+func WaterAt(tempC float64) (Fluid, error) {
+	if tempC < 0 || tempC > 100 {
+		return Fluid{}, fmt.Errorf("fluids: water temperature %v °C outside liquid range", tempC)
+	}
+	tK := tempC + 273.15
+	// VFT: µ = A·10^(B/(T−C)), A = 2.414e-5 Pa·s, B = 247.8 K, C = 140 K.
+	mu := 2.414e-5 * math.Pow(10, 247.8/(tK-140))
+	// k(T) quadratic fit to IAPWS data (W/(m·K)).
+	k := -0.8691 + 0.008949*tK - 1.584e-5*tK*tK
+	// ρ(T) quadratic around the 4 °C maximum (kg/m³).
+	rho := 999.97 * (1 - (tempC-3.983)*(tempC-3.983)/508929.2*(tempC+288.94)/(tempC+68.13))
+	w := Water()
+	w.Name = fmt.Sprintf("water@%.0fC", tempC)
+	w.Mu = mu
+	w.K = k
+	w.Rho = rho
+	return w, nil
+}

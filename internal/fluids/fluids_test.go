@@ -1,0 +1,210 @@
+package fluids
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestWaterMatchesTableI(t *testing.T) {
+	w := Water()
+	if w.K != 0.6 {
+		t.Errorf("water k = %v, want 0.6 W/(m·K) (Table I)", w.K)
+	}
+	if w.Cp != 4183 {
+		t.Errorf("water cp = %v, want 4183 J/(kg·K) (Table I)", w.Cp)
+	}
+	if w.Sat != nil {
+		t.Error("water must not expose a saturation curve in this model")
+	}
+}
+
+func TestPrandtlNumbers(t *testing.T) {
+	// Water Pr ~ 6 at room temperature; refrigerants Pr ~ 3-6; air ~0.7.
+	if pr := Water().Prandtl(); pr < 4 || pr > 8 {
+		t.Errorf("water Pr = %v, want ~6", pr)
+	}
+	if pr := Air().Prandtl(); pr < 0.6 || pr > 0.8 {
+		t.Errorf("air Pr = %v, want ~0.7", pr)
+	}
+}
+
+func TestRefrigerantLatentHeatScale(t *testing.T) {
+	// The paper: "about 150 kJ/kg of R-134a compared to 4.2 kJ/kg K of
+	// water". Check the order of magnitude near operating conditions.
+	r := R134a()
+	h := r.Sat.Hfg(units.CToK(40))
+	if h < 120e3 || h > 200e3 {
+		t.Errorf("R134a hfg(40C) = %v J/kg, want 120-200 kJ/kg", h)
+	}
+	ratio := h / Water().Cp
+	if ratio < 20 {
+		t.Errorf("hfg/cp_water = %v K, expected ≫ 1 (latent ≫ sensible)", ratio)
+	}
+}
+
+func TestSaturationRoundTrip(t *testing.T) {
+	for _, f := range []Fluid{R134a(), R236fa(), R245fa()} {
+		lo, hi := f.Sat.TRange()
+		for tK := lo; tK <= hi; tK += 2 {
+			p := f.Sat.Psat(tK)
+			back := f.Sat.Tsat(p)
+			if math.Abs(back-tK) > 0.35 {
+				t.Errorf("%s: Tsat(Psat(%.2fK)) = %.2fK (off by %.2fK)",
+					f.Name, tK, back, back-tK)
+			}
+		}
+	}
+}
+
+func TestSaturationMonotone(t *testing.T) {
+	for _, f := range []Fluid{R134a(), R236fa(), R245fa()} {
+		lo, hi := f.Sat.TRange()
+		prev := -1.0
+		for tK := lo; tK <= hi; tK += 0.5 {
+			p := f.Sat.Psat(tK)
+			if p <= prev {
+				t.Fatalf("%s: Psat not strictly increasing at %v K", f.Name, tK)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestR245faOperatingPoint(t *testing.T) {
+	// Fig. 8: refrigerant enters at a saturation temperature of 30 °C.
+	// R245fa Psat(30 °C) ≈ 1.78 bar — a comfortable low-pressure point.
+	p := R245fa().Sat.Psat(units.CToK(30))
+	if p < 1.5e5 || p > 2.1e5 {
+		t.Errorf("R245fa Psat(30C) = %v Pa, want ~1.78e5", p)
+	}
+}
+
+func TestDTsatDPPositive(t *testing.T) {
+	// Saturation temperature must fall when pressure falls: dTsat/dP > 0.
+	// This is the mechanism by which the refrigerant exits *colder* than
+	// it enters (paper §III).
+	for _, f := range []Fluid{R134a(), R236fa(), R245fa()} {
+		p := f.Sat.Psat(units.CToK(30))
+		slope := f.Sat.DTsatDP(p)
+		if slope <= 0 {
+			t.Errorf("%s: dTsat/dP = %v, want > 0", f.Name, slope)
+		}
+		// Scale check: low-pressure refrigerants sit near 1e-4 K/Pa,
+		// i.e. ~1 K per 0.1 bar.
+		if slope < 1e-6 || slope > 1e-3 {
+			t.Errorf("%s: dTsat/dP = %v K/Pa outside plausible range", f.Name, slope)
+		}
+	}
+}
+
+func TestSaturationTempDropAcrossChannelPressureDrop(t *testing.T) {
+	// Agostini: pressure drops < 0.9 bar at up to 255 W/cm². A 0.1 bar
+	// drop at Tsat=30 °C should lower Tsat by a fraction of a kelvin to a
+	// few kelvin (Fig. 8 shows 30 -> 29.5 °C for the tested conditions).
+	f := R245fa()
+	pIn := f.Sat.Psat(units.CToK(30))
+	tOut := f.Sat.Tsat(pIn - units.BarToPa(0.05))
+	drop := units.CToK(30) - tOut
+	if drop <= 0 || drop > 5 {
+		t.Errorf("Tsat drop over 0.05 bar = %v K, want (0, 5]", drop)
+	}
+}
+
+func TestVaporDensityBelowLiquid(t *testing.T) {
+	for _, f := range []Fluid{R134a(), R236fa(), R245fa()} {
+		lo, hi := f.Sat.TRange()
+		for tK := lo; tK <= hi; tK += 5 {
+			if rv := f.Sat.RhoVapor(tK); rv >= f.Rho || rv <= 0 {
+				t.Errorf("%s: vapour density %v at %v K not in (0, rho_l)", f.Name, rv, tK)
+			}
+		}
+	}
+}
+
+func TestNanofluidMixtureRules(t *testing.T) {
+	base := Water()
+	nf, err := Nanofluid(base, Alumina(), 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf.K <= base.K {
+		t.Errorf("nanofluid k = %v, must exceed base %v", nf.K, base.K)
+	}
+	if nf.K > base.K*1.3 {
+		t.Errorf("nanofluid k = %v, Maxwell at 4%% should be < +30%%", nf.K)
+	}
+	if nf.Mu <= base.Mu {
+		t.Errorf("nanofluid mu = %v, must exceed base %v", nf.Mu, base.Mu)
+	}
+	if got, want := nf.Mu, base.Mu*1.1; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Einstein viscosity = %v, want %v", got, want)
+	}
+	if nf.Rho <= base.Rho {
+		t.Error("alumina loading must raise density")
+	}
+}
+
+func TestNanofluidZeroLoadingIsBase(t *testing.T) {
+	base := Water()
+	nf, err := Nanofluid(base, Alumina(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nf.K-base.K) > 1e-12 || math.Abs(nf.Mu-base.Mu) > 1e-12 ||
+		math.Abs(nf.Rho-base.Rho) > 1e-9 || math.Abs(nf.Cp-base.Cp) > 1e-9 {
+		t.Errorf("phi=0 nanofluid differs from base: %+v vs %+v", nf, base)
+	}
+}
+
+func TestNanofluidRejectsBadLoading(t *testing.T) {
+	if _, err := Nanofluid(Water(), Alumina(), 0.5); err == nil {
+		t.Error("expected error for phi=0.5")
+	}
+	if _, err := Nanofluid(Water(), Alumina(), -0.01); err == nil {
+		t.Error("expected error for negative phi")
+	}
+}
+
+func TestNanofluidMonotoneInLoading(t *testing.T) {
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		phi1 := math.Mod(math.Abs(raw), 0.05)
+		phi2 := phi1 + 0.03
+		nf1, err1 := Nanofluid(Water(), Alumina(), phi1)
+		nf2, err2 := Nanofluid(Water(), Alumina(), phi2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return nf2.K > nf1.K && nf2.Mu > nf1.Mu
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDielectricDisadvantage(t *testing.T) {
+	// Paper §II-C: dielectric fluids have lower volumetric heat capacity
+	// and higher viscosity relative to water, degrading inter-tier
+	// performance. Verify the property library encodes that.
+	w, d := Water(), Dielectric()
+	if d.VolumetricHeatCapacity() >= w.VolumetricHeatCapacity() {
+		t.Errorf("dielectric rho·cp %v should be below water %v",
+			d.VolumetricHeatCapacity(), w.VolumetricHeatCapacity())
+	}
+	if d.K >= w.K {
+		t.Errorf("dielectric k %v should be below water %v", d.K, w.K)
+	}
+}
+
+func TestKinematicViscosity(t *testing.T) {
+	w := Water()
+	want := w.Mu / w.Rho
+	if got := w.KinematicViscosity(); got != want {
+		t.Errorf("nu = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,231 @@
+// Package fuzzy implements the Mamdani fuzzy-inference machinery behind
+// the paper's LC_FUZZY run-time thermal controller ([15], Sabry et al.,
+// ICCAD 2010): trapezoidal/triangular membership functions, a min/max
+// rule base, and centroid defuzzification. The generic engine lives here;
+// the concrete controller (inputs: junction temperature and utilization;
+// outputs: coolant flow level and DVFS setting) is built on top in
+// controller.go.
+package fuzzy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MF is a trapezoidal membership function with shoulder points a ≤ b ≤
+// c ≤ d; b == c yields a triangle. Membership is 0 outside [a, d] and 1
+// on [b, c].
+type MF struct {
+	Name       string
+	A, B, C, D float64
+}
+
+// Tri builds a triangular membership function.
+func Tri(name string, a, b, c float64) MF { return MF{Name: name, A: a, B: b, C: b, D: c} }
+
+// Trap builds a trapezoidal membership function.
+func Trap(name string, a, b, c, d float64) MF { return MF{Name: name, A: a, B: b, C: c, D: d} }
+
+// Validate checks the shoulder ordering.
+func (m MF) Validate() error {
+	if !(m.A <= m.B && m.B <= m.C && m.C <= m.D) {
+		return fmt.Errorf("fuzzy: membership %q shoulders not ordered: %v %v %v %v", m.Name, m.A, m.B, m.C, m.D)
+	}
+	return nil
+}
+
+// Degree returns the membership of x in [0, 1].
+func (m MF) Degree(x float64) float64 {
+	switch {
+	case x < m.A || x > m.D:
+		return 0
+	case x >= m.B && x <= m.C:
+		return 1
+	case x < m.B:
+		if m.B == m.A {
+			return 1
+		}
+		return (x - m.A) / (m.B - m.A)
+	default:
+		if m.D == m.C {
+			return 1
+		}
+		return (m.D - x) / (m.D - m.C)
+	}
+}
+
+// Variable is a linguistic variable over the universe [Min, Max].
+type Variable struct {
+	Name     string
+	Min, Max float64
+	Terms    []MF
+}
+
+// Validate checks the variable's terms.
+func (v *Variable) Validate() error {
+	if v.Max <= v.Min {
+		return fmt.Errorf("fuzzy: variable %q empty universe", v.Name)
+	}
+	if len(v.Terms) == 0 {
+		return fmt.Errorf("fuzzy: variable %q has no terms", v.Name)
+	}
+	seen := map[string]bool{}
+	for _, t := range v.Terms {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("fuzzy: variable %q duplicate term %q", v.Name, t.Name)
+		}
+		seen[t.Name] = true
+	}
+	return nil
+}
+
+// Term looks up a term by name.
+func (v *Variable) Term(name string) (MF, bool) {
+	for _, t := range v.Terms {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return MF{}, false
+}
+
+// clampU clamps x to the variable's universe.
+func (v *Variable) clampU(x float64) float64 {
+	return math.Min(math.Max(x, v.Min), v.Max)
+}
+
+// Cond is one antecedent clause "Var is Term".
+type Cond struct{ Var, Term string }
+
+// Assign is one consequent clause "Var is Term".
+type Assign struct{ Var, Term string }
+
+// Rule combines antecedents with AND (min) and asserts the consequents at
+// the resulting activation.
+type Rule struct {
+	If   []Cond
+	Then []Assign
+}
+
+// Engine is a Mamdani fuzzy inference system.
+type Engine struct {
+	inputs  map[string]*Variable
+	outputs map[string]*Variable
+	rules   []Rule
+}
+
+// NewEngine validates and assembles an engine.
+func NewEngine(inputs, outputs []*Variable, rules []Rule) (*Engine, error) {
+	e := &Engine{
+		inputs:  map[string]*Variable{},
+		outputs: map[string]*Variable{},
+		rules:   append([]Rule(nil), rules...),
+	}
+	for _, v := range inputs {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		e.inputs[v.Name] = v
+	}
+	for _, v := range outputs {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		e.outputs[v.Name] = v
+	}
+	if len(e.inputs) == 0 || len(e.outputs) == 0 || len(rules) == 0 {
+		return nil, errors.New("fuzzy: engine needs inputs, outputs and rules")
+	}
+	for ri, r := range rules {
+		if len(r.If) == 0 || len(r.Then) == 0 {
+			return nil, fmt.Errorf("fuzzy: rule %d empty", ri)
+		}
+		for _, c := range r.If {
+			v, ok := e.inputs[c.Var]
+			if !ok {
+				return nil, fmt.Errorf("fuzzy: rule %d references unknown input %q", ri, c.Var)
+			}
+			if _, ok := v.Term(c.Term); !ok {
+				return nil, fmt.Errorf("fuzzy: rule %d: input %q has no term %q", ri, c.Var, c.Term)
+			}
+		}
+		for _, a := range r.Then {
+			v, ok := e.outputs[a.Var]
+			if !ok {
+				return nil, fmt.Errorf("fuzzy: rule %d references unknown output %q", ri, a.Var)
+			}
+			if _, ok := v.Term(a.Term); !ok {
+				return nil, fmt.Errorf("fuzzy: rule %d: output %q has no term %q", ri, a.Var, a.Term)
+			}
+		}
+	}
+	return e, nil
+}
+
+// defuzzSamples is the centroid integration resolution.
+const defuzzSamples = 201
+
+// Infer runs one Mamdani inference: fuzzify crisp inputs, fire every rule
+// with min-AND, aggregate clipped consequents with max, and defuzzify by
+// centroid. Inputs outside a variable's universe are clamped. Missing
+// inputs are an error; outputs with no activated rule default to the
+// centre of their universe.
+func (e *Engine) Infer(in map[string]float64) (map[string]float64, error) {
+	for name := range e.inputs {
+		if _, ok := in[name]; !ok {
+			return nil, fmt.Errorf("fuzzy: missing input %q", name)
+		}
+	}
+	// activation[outVar][term] = max over rules of the rule strength.
+	activation := map[string]map[string]float64{}
+	for name := range e.outputs {
+		activation[name] = map[string]float64{}
+	}
+	for _, r := range e.rules {
+		strength := 1.0
+		for _, c := range r.If {
+			v := e.inputs[c.Var]
+			term, _ := v.Term(c.Term)
+			d := term.Degree(v.clampU(in[c.Var]))
+			if d < strength {
+				strength = d
+			}
+		}
+		if strength <= 0 {
+			continue
+		}
+		for _, a := range r.Then {
+			if strength > activation[a.Var][a.Term] {
+				activation[a.Var][a.Term] = strength
+			}
+		}
+	}
+	out := map[string]float64{}
+	for name, v := range e.outputs {
+		act := activation[name]
+		num, den := 0.0, 0.0
+		for i := 0; i < defuzzSamples; i++ {
+			x := v.Min + (v.Max-v.Min)*float64(i)/float64(defuzzSamples-1)
+			mu := 0.0
+			for termName, a := range act {
+				t, _ := v.Term(termName)
+				m := math.Min(t.Degree(x), a)
+				if m > mu {
+					mu = m
+				}
+			}
+			num += mu * x
+			den += mu
+		}
+		if den == 0 {
+			out[name] = (v.Min + v.Max) / 2
+		} else {
+			out[name] = num / den
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,205 @@
+package fuzzy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMFDegrees(t *testing.T) {
+	tri := Tri("t", 0, 5, 10)
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0}, {2.5, 0.5}, {5, 1}, {7.5, 0.5}, {10, 0}, {11, 0},
+	}
+	for _, c := range cases {
+		if got := tri.Degree(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("tri.Degree(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	trap := Trap("t", 0, 2, 8, 10)
+	for _, c := range []struct{ x, want float64 }{
+		{1, 0.5}, {2, 1}, {5, 1}, {8, 1}, {9, 0.5},
+	} {
+		if got := trap.Degree(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("trap.Degree(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	// Left/right shoulders at the universe edge (a==b).
+	edge := Trap("e", 0, 0, 1, 2)
+	if edge.Degree(0) != 1 {
+		t.Error("shoulder at a==b should be fully on")
+	}
+}
+
+func TestMFValidate(t *testing.T) {
+	if err := (MF{Name: "bad", A: 5, B: 3, C: 6, D: 7}).Validate(); err == nil {
+		t.Error("unordered shoulders must fail")
+	}
+	if err := Tri("ok", 1, 2, 3).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentroidOfSymmetricTriangle(t *testing.T) {
+	// A single rule fully activating a symmetric triangle must defuzzify
+	// to its apex.
+	v := &Variable{Name: "in", Min: 0, Max: 1, Terms: []MF{Trap("on", 0, 0, 1, 1)}}
+	o := &Variable{Name: "out", Min: 0, Max: 10, Terms: []MF{Tri("mid", 2, 5, 8)}}
+	e, err := NewEngine([]*Variable{v}, []*Variable{o},
+		[]Rule{{If: []Cond{{"in", "on"}}, Then: []Assign{{"out", "mid"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Infer(map[string]float64{"in": 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got["out"]-5) > 0.05 {
+		t.Errorf("centroid = %v, want 5", got["out"])
+	}
+}
+
+func TestNoRuleFiredDefaultsToCentre(t *testing.T) {
+	v := &Variable{Name: "in", Min: 0, Max: 1, Terms: []MF{Tri("narrow", 0.4, 0.5, 0.6)}}
+	o := &Variable{Name: "out", Min: 0, Max: 4, Terms: []MF{Tri("x", 0, 1, 2)}}
+	e, err := NewEngine([]*Variable{v}, []*Variable{o},
+		[]Rule{{If: []Cond{{"in", "narrow"}}, Then: []Assign{{"out", "x"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Infer(map[string]float64{"in": 0.0}) // outside 'narrow'
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["out"] != 2 {
+		t.Errorf("default output = %v, want universe centre 2", got["out"])
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	in := &Variable{Name: "i", Min: 0, Max: 1, Terms: []MF{Tri("a", 0, 0.5, 1)}}
+	out := &Variable{Name: "o", Min: 0, Max: 1, Terms: []MF{Tri("b", 0, 0.5, 1)}}
+	ok := []Rule{{If: []Cond{{"i", "a"}}, Then: []Assign{{"o", "b"}}}}
+	if _, err := NewEngine(nil, []*Variable{out}, ok); err == nil {
+		t.Error("no inputs must fail")
+	}
+	if _, err := NewEngine([]*Variable{in}, []*Variable{out}, nil); err == nil {
+		t.Error("no rules must fail")
+	}
+	bad := []Rule{{If: []Cond{{"i", "zzz"}}, Then: []Assign{{"o", "b"}}}}
+	if _, err := NewEngine([]*Variable{in}, []*Variable{out}, bad); err == nil {
+		t.Error("unknown term must fail")
+	}
+	bad2 := []Rule{{If: []Cond{{"nope", "a"}}, Then: []Assign{{"o", "b"}}}}
+	if _, err := NewEngine([]*Variable{in}, []*Variable{out}, bad2); err == nil {
+		t.Error("unknown variable must fail")
+	}
+	e, err := NewEngine([]*Variable{in}, []*Variable{out}, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Infer(map[string]float64{}); err == nil {
+		t.Error("missing input must fail")
+	}
+}
+
+func TestControllerFlowMonotoneInTemperature(t *testing.T) {
+	c, err := NewController(85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for temp := 40.0; temp <= 100; temp += 5 {
+		out, err := c.Update(temp, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.FlowFrac < prev-0.02 {
+			t.Fatalf("flow decreased when hotter: T=%v flow=%v prev=%v", temp, out.FlowFrac, prev)
+		}
+		if out.FlowFrac < 0 || out.FlowFrac > 1 {
+			t.Fatalf("flow fraction %v outside [0,1]", out.FlowFrac)
+		}
+		prev = out.FlowFrac
+	}
+}
+
+func TestControllerIdleColdMeansMinimumCooling(t *testing.T) {
+	c, err := NewController(85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Update(40, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FlowFrac > 0.2 {
+		t.Errorf("cold idle system gets flow %v, want near minimum (no over-cooling)", out.FlowFrac)
+	}
+	if out.VFFrac < 0.8 {
+		t.Errorf("cold idle system throttled: vf %v", out.VFFrac)
+	}
+}
+
+func TestControllerCriticalMeansMaxCooling(t *testing.T) {
+	c, err := NewController(85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Update(92, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FlowFrac < 0.85 {
+		t.Errorf("critical system gets flow %v, want near max", out.FlowFrac)
+	}
+	if out.VFFrac > 0.5 {
+		t.Errorf("critical busy system keeps vf %v, want deep throttle", out.VFFrac)
+	}
+}
+
+func TestControllerPrefersCoolingOverThrottling(t *testing.T) {
+	// At "hot but not critical" with low utilization the controller must
+	// raise flow while keeping full speed — the paper's negligible
+	// performance degradation depends on this.
+	c, err := NewController(85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Update(78, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.VFFrac < 0.7 {
+		t.Errorf("hot low-util system throttled to %v; should cool with flow instead", out.VFFrac)
+	}
+	if out.FlowFrac < 0.5 {
+		t.Errorf("hot system flow %v too low", out.FlowFrac)
+	}
+}
+
+func TestControllerThresholdValidation(t *testing.T) {
+	if _, err := NewController(10); err == nil {
+		t.Error("threshold 10 °C must fail")
+	}
+	if _, err := NewController(500); err == nil {
+		t.Error("threshold 500 °C must fail")
+	}
+}
+
+func TestControllerBoundedOutputs(t *testing.T) {
+	c, err := NewController(85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for temp := -20.0; temp <= 200; temp += 17 {
+		for util := -0.5; util <= 1.5; util += 0.25 {
+			out, err := c.Update(temp, util)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.FlowFrac < 0 || out.FlowFrac > 1 || out.VFFrac < 0 || out.VFFrac > 1 {
+				t.Fatalf("unbounded output at T=%v u=%v: %+v", temp, util, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package fuzzy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SugenoEngine is a zero-order Takagi–Sugeno inference system sharing
+// the Mamdani engine's input variables and rule structure, but with
+// crisp singleton consequents and weighted-average defuzzification. It
+// exists as the inference-method ablation for the LC_FUZZY controller:
+// Sugeno output is piecewise-rational in the inputs (cheap, no centroid
+// integration) while Mamdani's clipped-centroid output saturates more
+// softly near the universe edges.
+type SugenoEngine struct {
+	inputs map[string]*Variable
+	// singletons[outVar][term] is the crisp consequent value.
+	singletons map[string]map[string]float64
+	rules      []Rule
+}
+
+// NewSugenoEngine assembles the engine. outputs maps each output
+// variable to its term→value singletons; rules reference those terms in
+// their consequents.
+func NewSugenoEngine(inputs []*Variable, outputs map[string]map[string]float64, rules []Rule) (*SugenoEngine, error) {
+	e := &SugenoEngine{
+		inputs:     map[string]*Variable{},
+		singletons: map[string]map[string]float64{},
+		rules:      append([]Rule(nil), rules...),
+	}
+	for _, v := range inputs {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		e.inputs[v.Name] = v
+	}
+	for name, terms := range outputs {
+		if len(terms) == 0 {
+			return nil, fmt.Errorf("fuzzy: sugeno output %q has no singletons", name)
+		}
+		cp := map[string]float64{}
+		for t, val := range terms {
+			cp[t] = val
+		}
+		e.singletons[name] = cp
+	}
+	if len(e.inputs) == 0 || len(e.singletons) == 0 || len(rules) == 0 {
+		return nil, errors.New("fuzzy: sugeno engine needs inputs, outputs and rules")
+	}
+	for ri, r := range rules {
+		if len(r.If) == 0 || len(r.Then) == 0 {
+			return nil, fmt.Errorf("fuzzy: sugeno rule %d empty", ri)
+		}
+		for _, c := range r.If {
+			v, ok := e.inputs[c.Var]
+			if !ok {
+				return nil, fmt.Errorf("fuzzy: sugeno rule %d references unknown input %q", ri, c.Var)
+			}
+			if _, ok := v.Term(c.Term); !ok {
+				return nil, fmt.Errorf("fuzzy: sugeno rule %d: input %q has no term %q", ri, c.Var, c.Term)
+			}
+		}
+		for _, a := range r.Then {
+			terms, ok := e.singletons[a.Var]
+			if !ok {
+				return nil, fmt.Errorf("fuzzy: sugeno rule %d references unknown output %q", ri, a.Var)
+			}
+			if _, ok := terms[a.Term]; !ok {
+				return nil, fmt.Errorf("fuzzy: sugeno rule %d: output %q has no singleton %q", ri, a.Var, a.Term)
+			}
+		}
+	}
+	return e, nil
+}
+
+// Infer runs one zero-order Sugeno inference: min-AND rule strengths,
+// then per-output weighted average of the fired singletons. Outputs with
+// no fired rule default to the mean of their singletons.
+func (e *SugenoEngine) Infer(in map[string]float64) (map[string]float64, error) {
+	for name := range e.inputs {
+		if _, ok := in[name]; !ok {
+			return nil, fmt.Errorf("fuzzy: missing input %q", name)
+		}
+	}
+	num := map[string]float64{}
+	den := map[string]float64{}
+	for _, r := range e.rules {
+		strength := 1.0
+		for _, c := range r.If {
+			v := e.inputs[c.Var]
+			term, _ := v.Term(c.Term)
+			d := term.Degree(v.clampU(in[c.Var]))
+			if d < strength {
+				strength = d
+			}
+		}
+		if strength <= 0 {
+			continue
+		}
+		for _, a := range r.Then {
+			num[a.Var] += strength * e.singletons[a.Var][a.Term]
+			den[a.Var] += strength
+		}
+	}
+	out := map[string]float64{}
+	for name, terms := range e.singletons {
+		if den[name] > 0 {
+			out[name] = num[name] / den[name]
+			continue
+		}
+		// No rule fired: fall back to the singleton mean.
+		s, n := 0.0, 0
+		for _, v := range terms {
+			s += v
+			n++
+		}
+		out[name] = s / math.Max(1, float64(n))
+	}
+	return out, nil
+}

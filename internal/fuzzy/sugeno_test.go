@@ -1,0 +1,177 @@
+package fuzzy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSugenoEngineValidation(t *testing.T) {
+	in := &Variable{Name: "x", Min: 0, Max: 1, Terms: []MF{Tri("low", 0, 0, 1), Tri("high", 0, 1, 1)}}
+	singles := map[string]map[string]float64{"y": {"a": 0, "b": 1}}
+	okRules := []Rule{{If: []Cond{{"x", "low"}}, Then: []Assign{{"y", "a"}}}}
+
+	if _, err := NewSugenoEngine(nil, singles, okRules); err == nil {
+		t.Error("no inputs accepted")
+	}
+	if _, err := NewSugenoEngine([]*Variable{in}, nil, okRules); err == nil {
+		t.Error("no outputs accepted")
+	}
+	if _, err := NewSugenoEngine([]*Variable{in}, singles, nil); err == nil {
+		t.Error("no rules accepted")
+	}
+	bad := []Rule{{If: []Cond{{"z", "low"}}, Then: []Assign{{"y", "a"}}}}
+	if _, err := NewSugenoEngine([]*Variable{in}, singles, bad); err == nil {
+		t.Error("unknown input accepted")
+	}
+	bad = []Rule{{If: []Cond{{"x", "low"}}, Then: []Assign{{"y", "zzz"}}}}
+	if _, err := NewSugenoEngine([]*Variable{in}, singles, bad); err == nil {
+		t.Error("unknown singleton accepted")
+	}
+	if _, err := NewSugenoEngine([]*Variable{in}, map[string]map[string]float64{"y": {}}, okRules); err == nil {
+		t.Error("empty singleton set accepted")
+	}
+}
+
+func TestSugenoWeightedAverage(t *testing.T) {
+	// One input with two complementary ramps driving singletons 0 and 1:
+	// the output must equal the membership of "high" exactly.
+	in := &Variable{Name: "x", Min: 0, Max: 1, Terms: []MF{
+		Tri("low", 0, 0, 1), Tri("high", 0, 1, 1),
+	}}
+	eng, err := NewSugenoEngine(
+		[]*Variable{in},
+		map[string]map[string]float64{"y": {"zero": 0, "one": 1}},
+		[]Rule{
+			{If: []Cond{{"x", "low"}}, Then: []Assign{{"y", "zero"}}},
+			{If: []Cond{{"x", "high"}}, Then: []Assign{{"y", "one"}}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.25, 0.5, 0.8, 1} {
+		out, err := eng.Infer(map[string]float64{"x": x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(out["y"]-x) > 1e-12 {
+			t.Fatalf("y(%v) = %v, want %v", x, out["y"], x)
+		}
+	}
+}
+
+func TestSugenoMissingInput(t *testing.T) {
+	in := &Variable{Name: "x", Min: 0, Max: 1, Terms: []MF{Tri("low", 0, 0, 1)}}
+	eng, err := NewSugenoEngine([]*Variable{in},
+		map[string]map[string]float64{"y": {"a": 0.5}},
+		[]Rule{{If: []Cond{{"x", "low"}}, Then: []Assign{{"y", "a"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Infer(map[string]float64{}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestSugenoNoFiredRuleFallback(t *testing.T) {
+	in := &Variable{Name: "x", Min: 0, Max: 10, Terms: []MF{Tri("narrow", 4, 5, 6)}}
+	eng, err := NewSugenoEngine([]*Variable{in},
+		map[string]map[string]float64{"y": {"a": 0.2, "b": 0.8}},
+		[]Rule{{If: []Cond{{"x", "narrow"}}, Then: []Assign{{"y", "a"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Infer(map[string]float64{"x": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out["y"]-0.5) > 1e-12 {
+		t.Fatalf("fallback %v, want singleton mean 0.5", out["y"])
+	}
+}
+
+func TestSugenoControllerMatchesMamdaniShape(t *testing.T) {
+	m, err := NewController(85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSugenoController(85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Across the whole operating plane the two inference methods must
+	// agree on the control direction: monotone flow in temperature and
+	// outputs within a loose envelope of each other.
+	for _, util := range []float64{0.05, 0.3, 0.6, 0.95} {
+		prevM, prevS := -1.0, -1.0
+		for temp := 30.0; temp <= 105; temp += 5 {
+			om, err := m.Update(temp, util)
+			if err != nil {
+				t.Fatal(err)
+			}
+			os, err := s.Update(temp, util)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Mamdani's clipped centroid can dip a hair as a term's
+			// activation changes within one linguistic region; require
+			// monotonicity up to that wiggle.
+			if om.FlowFrac < prevM-0.05 || os.FlowFrac < prevS-0.05 {
+				t.Fatalf("flow not monotone at temp=%v util=%v", temp, util)
+			}
+			prevM, prevS = om.FlowFrac, os.FlowFrac
+			if d := math.Abs(om.FlowFrac - os.FlowFrac); d > 0.25 {
+				t.Fatalf("inference methods disagree by %.2f at temp=%v util=%v", d, temp, util)
+			}
+			if d := math.Abs(om.VFFrac - os.VFFrac); d > 0.3 {
+				t.Fatalf("VF disagreement %.2f at temp=%v util=%v", d, temp, util)
+			}
+		}
+	}
+}
+
+func TestSugenoControllerEndpoints(t *testing.T) {
+	s, err := NewSugenoController(85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := s.Update(35, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.FlowFrac > 0.15 || cold.VFFrac < 0.85 {
+		t.Fatalf("cold+idle should park the pump at full speed: %+v", cold)
+	}
+	crit, err := s.Update(100, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit.FlowFrac < 0.85 || crit.VFFrac > 0.3 {
+		t.Fatalf("critical+busy should flood and throttle: %+v", crit)
+	}
+}
+
+func TestSugenoControllerThresholdValidation(t *testing.T) {
+	if _, err := NewSugenoController(10); err == nil {
+		t.Fatal("implausible threshold accepted")
+	}
+}
+
+func TestSugenoOutputsBoundedQuick(t *testing.T) {
+	s, err := NewSugenoController(85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(temp, util float64) bool {
+		tC := 20 + math.Mod(math.Abs(temp), 120)
+		u := math.Mod(math.Abs(util), 1)
+		out, err := s.Update(tC, u)
+		if err != nil {
+			return false
+		}
+		return out.FlowFrac >= 0 && out.FlowFrac <= 1 && out.VFFrac >= 0 && out.VFFrac <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,264 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// laplacian2D builds the standard 5-point grid Laplacian plus an
+// optional one-directional "advective" coupling that breaks symmetry —
+// the same structure the cavity model assembles.
+func laplacian2D(nx, ny int, advect float64) *Sparse {
+	n := nx * ny
+	b := NewBuilder(n)
+	idx := func(i, j int) int { return j*nx + i }
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			k := idx(i, j)
+			b.Add(k, k, 4+advect)
+			if i > 0 {
+				b.Add(k, idx(i-1, j), -1-advect) // upwind pull
+			}
+			if i < nx-1 {
+				b.Add(k, idx(i+1, j), -1)
+			}
+			if j > 0 {
+				b.Add(k, idx(i, j-1), -1)
+			}
+			if j < ny-1 {
+				b.Add(k, idx(i, j+1), -1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestGMRESSolvesNonsymmetric(t *testing.T) {
+	a := laplacian2D(12, 12, 0.7)
+	rng := rand.New(rand.NewSource(1))
+	rhs := make([]float64, a.N())
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	x, err := GMRES(a, rhs, IterOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := residual(a, x, rhs); r > 1e-8 {
+		t.Fatalf("residual %.3g too large", r)
+	}
+}
+
+func TestGMRESMatchesBiCGSTABAndLU(t *testing.T) {
+	a := laplacian2D(8, 8, 0.4)
+	rhs := make([]float64, a.N())
+	for i := range rhs {
+		rhs[i] = float64(i%7) - 3
+	}
+	xg, err := GMRES(a, rhs, IterOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xb, err := BiCGSTAB(a, rhs, IterOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu, err := NewDenseLU(a.Dense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xl, err := lu.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDiff(xg, xl); d > 1e-7 {
+		t.Fatalf("GMRES vs LU differ by %.3g", d)
+	}
+	if d := MaxDiff(xg, xb); d > 1e-7 {
+		t.Fatalf("GMRES vs BiCGSTAB differ by %.3g", d)
+	}
+}
+
+func TestGMRESWithILUAndGuess(t *testing.T) {
+	a := laplacian2D(16, 16, 0.5)
+	rhs := make([]float64, a.N())
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	ilu, err := NewILU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := GMRES(a, rhs, IterOptions{Precond: ilu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solving again with the solution as guess must return immediately
+	// with the same answer.
+	x2, err := GMRES(a, rhs, IterOptions{Precond: ilu, X0: x1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDiff(x1, x2); d > 1e-9 {
+		t.Fatalf("warm restart drifted by %.3g", d)
+	}
+}
+
+func TestGMRESZeroRHS(t *testing.T) {
+	a := laplacian2D(5, 5, 0)
+	x, err := GMRES(a, make([]float64, a.N()), IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if v != 0 {
+			t.Fatalf("x[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestGMRESErrors(t *testing.T) {
+	a := laplacian2D(4, 4, 0)
+	if _, err := GMRES(a, make([]float64, 3), IterOptions{}); err == nil {
+		t.Fatal("wrong rhs length accepted")
+	}
+	if _, err := GMRES(a, make([]float64, 16), IterOptions{X0: make([]float64, 2)}); err == nil {
+		t.Fatal("wrong guess length accepted")
+	}
+	rhs := make([]float64, 16)
+	rhs[0] = 1
+	if _, err := GMRES(a, rhs, IterOptions{MaxIter: 1, Tol: 1e-14}); err == nil {
+		t.Fatal("expected ErrNoConvergence with a 1-iteration budget")
+	}
+}
+
+func TestGMRESPropertyRandomDominant(t *testing.T) {
+	// Any strongly diagonally dominant random system must solve to the
+	// requested tolerance.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(40)
+		b := NewBuilder(n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for k := 0; k < 3; k++ {
+				j := rng.Intn(n)
+				if j == i {
+					continue
+				}
+				v := rng.NormFloat64()
+				b.Add(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			b.Add(i, i, rowSum+1+rng.Float64())
+		}
+		a := b.Build()
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		x, err := GMRES(a, rhs, IterOptions{Tol: 1e-10})
+		if err != nil {
+			return false
+		}
+		return residual(a, x, rhs) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	// A randomly permuted grid Laplacian has terrible bandwidth; RCM
+	// must restore something close to the natural nx bound.
+	nx, ny := 14, 14
+	a := laplacian2D(nx, ny, 0.3)
+	n := a.N()
+	rng := rand.New(rand.NewSource(3))
+	scramble := rng.Perm(n)
+	scrambled, err := Permute(a, scramble)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Bandwidth(scrambled)
+	perm := RCM(scrambled)
+	ordered, err := Permute(scrambled, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Bandwidth(ordered)
+	if after >= before/2 {
+		t.Fatalf("RCM bandwidth %d not well below scrambled %d", after, before)
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	a := laplacian2D(6, 6, 0.2)
+	n := a.N()
+	perm := RCM(a)
+	pa, err := Permute(a, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solve the permuted system and map back; must match the direct
+	// solve of the original.
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = float64(i)/10 - 1
+	}
+	prhs := make([]float64, n)
+	PermuteVec(prhs, rhs, perm)
+	px, err := GMRES(pa, prhs, IterOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	UnpermuteVec(x, px, perm)
+	xd, err := BiCGSTAB(a, rhs, IterOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDiff(x, xd); d > 1e-7 {
+		t.Fatalf("permuted solve differs by %.3g", d)
+	}
+}
+
+func TestPermuteErrors(t *testing.T) {
+	a := laplacian2D(4, 4, 0)
+	if _, err := Permute(a, []int{0, 1}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	bad := make([]int, 16)
+	for i := range bad {
+		bad[i] = 0 // duplicate entries
+	}
+	if _, err := Permute(a, bad); err == nil {
+		t.Fatal("duplicate permutation accepted")
+	}
+}
+
+func TestRCMPermutationIsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx := 3 + rng.Intn(8)
+		ny := 3 + rng.Intn(8)
+		a := laplacian2D(nx, ny, rng.Float64())
+		perm := RCM(a)
+		if len(perm) != a.N() {
+			return false
+		}
+		seen := make([]bool, a.N())
+		for _, p := range perm {
+			if p < 0 || p >= a.N() || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

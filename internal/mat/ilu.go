@@ -1,0 +1,105 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ILU is an incomplete LU factorisation with zero fill-in (ILU(0)), used
+// as a preconditioner for BiCGSTAB. For the diagonally dominant M-matrices
+// produced by thermal RC networks the factorisation exists and is stable
+// without pivoting, and it accelerates convergence by an order of
+// magnitude over Jacobi scaling.
+type ILU struct {
+	n      int
+	rowPtr []int
+	colIdx []int
+	vals   []float64
+	diag   []int // position of the diagonal entry in each row
+}
+
+// NewILU factors the matrix. The input must have an explicitly stored
+// non-zero diagonal in every row (true for any grounded thermal system).
+func NewILU(a *Sparse) (*ILU, error) {
+	n := a.N()
+	f := &ILU{
+		n:      n,
+		rowPtr: append([]int(nil), a.rowPtr...),
+		colIdx: append([]int(nil), a.colIdx...),
+		vals:   append([]float64(nil), a.vals...),
+		diag:   make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		f.diag[i] = -1
+		for p := f.rowPtr[i]; p < f.rowPtr[i+1]; p++ {
+			if f.colIdx[p] == i {
+				f.diag[i] = p
+				break
+			}
+		}
+		if f.diag[i] < 0 {
+			return nil, fmt.Errorf("mat: ILU row %d has no diagonal entry", i)
+		}
+	}
+	// IKJ-ordered in-place factorisation restricted to the pattern.
+	// colPos[j] maps column j to its position in the current row i.
+	colPos := make([]int, n)
+	for j := range colPos {
+		colPos[j] = -1
+	}
+	for i := 0; i < n; i++ {
+		for p := f.rowPtr[i]; p < f.rowPtr[i+1]; p++ {
+			colPos[f.colIdx[p]] = p
+		}
+		for p := f.rowPtr[i]; p < f.rowPtr[i+1]; p++ {
+			k := f.colIdx[p]
+			if k >= i {
+				break // columns are sorted; L part exhausted
+			}
+			piv := f.vals[f.diag[k]]
+			if piv == 0 {
+				return nil, errors.New("mat: ILU zero pivot")
+			}
+			lik := f.vals[p] / piv
+			f.vals[p] = lik
+			// Update row i against row k's upper part.
+			for q := f.diag[k] + 1; q < f.rowPtr[k+1]; q++ {
+				j := f.colIdx[q]
+				if pos := colPos[j]; pos >= 0 {
+					f.vals[pos] -= lik * f.vals[q]
+				}
+			}
+		}
+		if f.vals[f.diag[i]] == 0 {
+			return nil, errors.New("mat: ILU produced zero diagonal")
+		}
+		for p := f.rowPtr[i]; p < f.rowPtr[i+1]; p++ {
+			colPos[f.colIdx[p]] = -1
+		}
+	}
+	return f, nil
+}
+
+// Apply computes dst = (LU)⁻¹·v (one forward + one backward sweep).
+// dst and v may alias.
+func (f *ILU) Apply(dst, v []float64) {
+	if len(dst) != f.n || len(v) != f.n {
+		panic("mat: ILU.Apply dimension mismatch")
+	}
+	// Forward: L has unit diagonal.
+	for i := 0; i < f.n; i++ {
+		s := v[i]
+		for p := f.rowPtr[i]; p < f.diag[i]; p++ {
+			s -= f.vals[p] * dst[f.colIdx[p]]
+		}
+		dst[i] = s
+	}
+	// Backward with U.
+	for i := f.n - 1; i >= 0; i-- {
+		s := dst[i]
+		for p := f.diag[i] + 1; p < f.rowPtr[i+1]; p++ {
+			s -= f.vals[p] * dst[f.colIdx[p]]
+		}
+		dst[i] = s / f.vals[f.diag[i]]
+	}
+}

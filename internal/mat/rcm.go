@@ -1,0 +1,139 @@
+package mat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RCM computes a reverse Cuthill–McKee ordering of the matrix's
+// symmetrised adjacency graph: perm[new] = old. Renumbering grid/stack
+// unknowns with RCM clusters the nonzeros near the diagonal, which
+// tightens ILU(0) fill patterns and improves cache behaviour of the
+// triangular sweeps.
+func RCM(a *Sparse) []int {
+	n := a.N()
+	// Symmetrised adjacency (advective coupling is one-directional, but
+	// the ordering must see both endpoints).
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ {
+			j := a.colIdx[p]
+			if j != i {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	for i := range adj {
+		sort.Ints(adj[i])
+		adj[i] = dedupSorted(adj[i])
+	}
+	deg := func(i int) int { return len(adj[i]) }
+
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	// Process every connected component, seeding each from its
+	// minimum-degree node (a cheap peripheral-node heuristic).
+	for {
+		seed := -1
+		for i := 0; i < n; i++ {
+			if !visited[i] && (seed < 0 || deg(i) < deg(seed)) {
+				seed = i
+			}
+		}
+		if seed < 0 {
+			break
+		}
+		visited[seed] = true
+		queue := []int{seed}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			next := make([]int, 0, len(adj[v]))
+			for _, w := range adj[v] {
+				if !visited[w] {
+					visited[w] = true
+					next = append(next, w)
+				}
+			}
+			sort.Slice(next, func(a, b int) bool { return deg(next[a]) < deg(next[b]) })
+			queue = append(queue, next...)
+		}
+	}
+	// Reverse (the "R" in RCM).
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+func dedupSorted(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Permute returns P·A·Pᵀ for the ordering perm (perm[new] = old), plus
+// nothing else: use PermuteVec/UnpermuteVec on the right-hand side and
+// solution.
+func Permute(a *Sparse, perm []int) (*Sparse, error) {
+	n := a.N()
+	if len(perm) != n {
+		return nil, fmt.Errorf("mat: permutation length %d != n %d", len(perm), n)
+	}
+	inv := make([]int, n)
+	seen := make([]bool, n)
+	for newI, oldI := range perm {
+		if oldI < 0 || oldI >= n || seen[oldI] {
+			return nil, fmt.Errorf("mat: invalid permutation entry %d", oldI)
+		}
+		seen[oldI] = true
+		inv[oldI] = newI
+	}
+	b := NewBuilder(n)
+	for oldI := 0; oldI < n; oldI++ {
+		for p := a.rowPtr[oldI]; p < a.rowPtr[oldI+1]; p++ {
+			b.Add(inv[oldI], inv[a.colIdx[p]], a.vals[p])
+		}
+	}
+	return b.Build(), nil
+}
+
+// PermuteVec gathers src into the permuted ordering: dst[new] =
+// src[perm[new]].
+func PermuteVec(dst, src []float64, perm []int) {
+	for newI, oldI := range perm {
+		dst[newI] = src[oldI]
+	}
+}
+
+// UnpermuteVec scatters a permuted vector back: dst[perm[new]] =
+// src[new].
+func UnpermuteVec(dst, src []float64, perm []int) {
+	for newI, oldI := range perm {
+		dst[oldI] = src[newI]
+	}
+}
+
+// Bandwidth returns the maximum |i−j| over stored nonzeros — the
+// quantity RCM minimises heuristically.
+func Bandwidth(a *Sparse) int {
+	bw := 0
+	for i := 0; i < a.n; i++ {
+		for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ {
+			d := i - a.colIdx[p]
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}

@@ -1,0 +1,305 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func residual(a *Sparse, x, b []float64) float64 {
+	r := make([]float64, len(b))
+	a.MulVec(r, x)
+	Sub(r, b, r)
+	return Norm2(r) / (Norm2(b) + 1e-300)
+}
+
+func TestBiCGSTABSmallKnownSystem(t *testing.T) {
+	// [4 -1; -1 4] x = [3; 3]  =>  x = [1; 1]
+	b := NewBuilder(2)
+	b.Add(0, 0, 4)
+	b.Add(0, 1, -1)
+	b.Add(1, 0, -1)
+	b.Add(1, 1, 4)
+	a := b.Build()
+	x, err := BiCGSTAB(a, []float64{3, 3}, IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxDiff(x, []float64{1, 1}) > 1e-8 {
+		t.Errorf("x = %v, want [1 1]", x)
+	}
+}
+
+func TestBiCGSTABNonSymmetric(t *testing.T) {
+	// An advection-like upwind system: strictly lower bidiagonal coupling.
+	n := 50
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 3)
+		if i > 0 {
+			b.Add(i, i-1, -2) // upstream coupling only: non-symmetric
+		}
+	}
+	a := b.Build()
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1 + float64(i%5)
+	}
+	x, err := BiCGSTAB(a, rhs, IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := residual(a, x, rhs); r > 1e-8 {
+		t.Errorf("residual = %v", r)
+	}
+}
+
+func TestBiCGSTABRandomDiagDominant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(100)
+		a, _ := randomDiagDominant(rng, n)
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		x, err := BiCGSTAB(a, rhs, IterOptions{})
+		if err != nil {
+			t.Fatalf("trial %d (n=%d): %v", trial, n, err)
+		}
+		if r := residual(a, x, rhs); r > 1e-8 {
+			t.Errorf("trial %d: residual %v", trial, r)
+		}
+	}
+}
+
+func TestBiCGSTABWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, _ := randomDiagDominant(rng, 60)
+	rhs := make([]float64, 60)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	x1, err := BiCGSTAB(a, rhs, IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm start from the exact solution must return immediately with it.
+	x2, err := BiCGSTAB(a, rhs, IterOptions{X0: x1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxDiff(x1, x2) > 1e-7 {
+		t.Errorf("warm start diverged: %v", MaxDiff(x1, x2))
+	}
+}
+
+func TestBiCGSTABZeroRHS(t *testing.T) {
+	b := NewBuilder(3)
+	for i := 0; i < 3; i++ {
+		b.Add(i, i, 2)
+	}
+	x, err := BiCGSTAB(b.Build(), []float64{0, 0, 0}, IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Norm2(x) != 0 {
+		t.Errorf("x = %v, want zeros", x)
+	}
+}
+
+func TestBiCGSTABDimensionMismatch(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, 1)
+	if _, err := BiCGSTAB(b.Build(), []float64{1}, IterOptions{}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestCGSymmetricSystem(t *testing.T) {
+	// Grounded 1-D conduction chain: SPD.
+	n := 40
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddConductance(i, i+1, 1.5)
+	}
+	b.AddToGround(0, 2.0)
+	a := b.Build()
+	rhs := make([]float64, n)
+	rhs[n-1] = 10 // heat injected at the far end
+	x, err := CG(a, rhs, IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := residual(a, x, rhs); r > 1e-8 {
+		t.Errorf("residual = %v", r)
+	}
+	// Physics: temperature must decrease monotonically toward ground.
+	for i := 0; i+1 < n; i++ {
+		if x[i] > x[i+1]+1e-9 {
+			t.Fatalf("temperature not monotone at node %d: %v > %v", i, x[i], x[i+1])
+		}
+	}
+	// Node 0 must sit at P/g = 10/2 = 5 above ambient.
+	if math.Abs(x[0]-5) > 1e-6 {
+		t.Errorf("x[0] = %v, want 5", x[0])
+	}
+}
+
+func TestCGAgreesWithBiCGSTAB(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 30
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddConductance(i, i+1, 1+rng.Float64())
+	}
+	b.AddToGround(n/2, 3)
+	a := b.Build()
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.Float64()
+	}
+	x1, err := CG(a, rhs, IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := BiCGSTAB(a, rhs, IterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxDiff(x1, x2) > 1e-6 {
+		t.Errorf("CG and BiCGSTAB disagree by %v", MaxDiff(x1, x2))
+	}
+}
+
+func TestDenseLUKnownSystem(t *testing.T) {
+	a := [][]float64{
+		{2, 1, 0},
+		{1, 3, 1},
+		{0, 1, 2},
+	}
+	lu, err := NewDenseLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := lu.Solve([]float64{3, 5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxDiff(x, []float64{1, 1, 1}) > 1e-12 {
+		t.Errorf("x = %v, want ones", x)
+	}
+}
+
+func TestDenseLUNeedsPivoting(t *testing.T) {
+	// Zero leading pivot forces a row swap.
+	a := [][]float64{
+		{0, 1},
+		{1, 0},
+	}
+	lu, err := NewDenseLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := lu.Solve([]float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxDiff(x, []float64{3, 2}) > 1e-12 {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestDenseLUSingular(t *testing.T) {
+	a := [][]float64{
+		{1, 2},
+		{2, 4},
+	}
+	if _, err := NewDenseLU(a); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestDenseLUMatchesBiCGSTAB(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(15)
+		sp, dense := randomDiagDominant(rng, n)
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		lu, err := NewDenseLU(dense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xd, err := lu.Solve(rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xi, err := BiCGSTAB(sp, rhs, IterOptions{Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if MaxDiff(xd, xi) > 1e-7 {
+			t.Errorf("trial %d: direct vs iterative differ by %v", trial, MaxDiff(xd, xi))
+		}
+	}
+}
+
+func TestSolveTridiag(t *testing.T) {
+	// System: [2 -1 0; -1 2 -1; 0 -1 2] x = [1; 0; 1] => x = [1; 1; 1]
+	lower := []float64{0, -1, -1}
+	diag := []float64{2, 2, 2}
+	upper := []float64{-1, -1, 0}
+	rhs := []float64{1, 0, 1}
+	x, err := SolveTridiag(lower, diag, upper, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxDiff(x, []float64{1, 1, 1}) > 1e-12 {
+		t.Errorf("x = %v, want ones", x)
+	}
+}
+
+func TestSolveTridiagMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 20
+	lower := make([]float64, n)
+	diag := make([]float64, n)
+	upper := make([]float64, n)
+	rhs := make([]float64, n)
+	dense := make([][]float64, n)
+	for i := range dense {
+		dense[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		diag[i] = 4 + rng.Float64()
+		dense[i][i] = diag[i]
+		if i > 0 {
+			lower[i] = -rng.Float64()
+			dense[i][i-1] = lower[i]
+		}
+		if i < n-1 {
+			upper[i] = -rng.Float64()
+			dense[i][i+1] = upper[i]
+		}
+		rhs[i] = rng.NormFloat64()
+	}
+	lu, err := NewDenseLU(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lu.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveTridiag(lower, diag, upper, append([]float64(nil), rhs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxDiff(got, want) > 1e-9 {
+		t.Errorf("Thomas vs LU differ by %v", MaxDiff(got, want))
+	}
+}

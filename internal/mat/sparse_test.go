@@ -1,0 +1,226 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderSumsDuplicates(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 2)
+	b.Add(1, 2, -3)
+	b.Add(1, 2, 1)
+	m := b.Build()
+	if got := m.At(0, 0); got != 3 {
+		t.Errorf("At(0,0) = %v, want 3", got)
+	}
+	if got := m.At(1, 2); got != -2 {
+		t.Errorf("At(1,2) = %v, want -2", got)
+	}
+	if got := m.At(2, 2); got != 0 {
+		t.Errorf("At(2,2) = %v, want 0", got)
+	}
+	if m.NNZ() != 2 {
+		t.Errorf("NNZ = %d, want 2", m.NNZ())
+	}
+}
+
+func TestBuilderDropsExplicitZeros(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 1, 0)
+	m := b.Build()
+	if m.NNZ() != 0 {
+		t.Errorf("NNZ = %d, want 0", m.NNZ())
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2).Add(0, 2, 1)
+}
+
+func TestAddConductanceStamp(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddConductance(0, 1, 5)
+	m := b.Build()
+	want := [][]float64{{5, -5}, {-5, 5}}
+	d := m.Dense()
+	for i := range want {
+		for j := range want[i] {
+			if d[i][j] != want[i][j] {
+				t.Errorf("entry (%d,%d) = %v, want %v", i, j, d[i][j], want[i][j])
+			}
+		}
+	}
+	// A conductance stamp has zero row sums (energy conservation).
+	for i := 0; i < 2; i++ {
+		if s := d[i][0] + d[i][1]; s != 0 {
+			t.Errorf("row %d sum = %v, want 0", i, s)
+		}
+	}
+}
+
+func TestMulVecIdentity(t *testing.T) {
+	n := 7
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 1)
+	}
+	m := b.Build()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) - 3
+	}
+	y := make([]float64, n)
+	m.MulVec(y, x)
+	if MaxDiff(x, y) != 0 {
+		t.Errorf("identity MulVec differs: %v vs %v", x, y)
+	}
+}
+
+func randomDiagDominant(rng *rand.Rand, n int) (*Sparse, [][]float64) {
+	b := NewBuilder(n)
+	dense := make([][]float64, n)
+	for i := range dense {
+		dense[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for k := 0; k < 3; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.Float64()*2 - 1
+			b.Add(i, j, v)
+			dense[i][j] += v
+			rowSum += math.Abs(v)
+		}
+		d := rowSum + 1 + rng.Float64()
+		b.Add(i, i, d)
+		dense[i][i] += d
+	}
+	return b.Build(), dense
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(20)
+		m, dense := randomDiagDominant(rng, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, n)
+		m.MulVec(got, x)
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want[i] += dense[i][j] * x[j]
+			}
+		}
+		if MaxDiff(got, want) > 1e-12 {
+			t.Fatalf("trial %d: MulVec disagrees with dense product by %v", trial, MaxDiff(got, want))
+		}
+	}
+}
+
+func TestScaleAndAddDiagonal(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddConductance(0, 1, 2)
+	b.AddConductance(1, 2, 4)
+	m := b.Build()
+	s := m.Scale(0.5)
+	if got := s.At(0, 1); got != -1 {
+		t.Errorf("Scale: At(0,1) = %v, want -1", got)
+	}
+	if got := m.At(0, 1); got != -2 {
+		t.Errorf("Scale mutated the original: %v", got)
+	}
+	d := m.AddDiagonal([]float64{10, 0, 20})
+	if got := d.At(0, 0); got != 12 {
+		t.Errorf("AddDiagonal: At(0,0) = %v, want 12", got)
+	}
+	if got := d.At(1, 1); got != 6 {
+		t.Errorf("AddDiagonal: At(1,1) = %v, want 6", got)
+	}
+	if got := d.At(2, 2); got != 24 {
+		t.Errorf("AddDiagonal: At(2,2) = %v, want 24", got)
+	}
+}
+
+func TestDiagonal(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(0, 0, 2)
+	b.Add(2, 2, -7)
+	b.Add(0, 1, 9)
+	m := b.Build()
+	d := m.Diagonal()
+	want := []float64{2, 0, -7}
+	if MaxDiff(d, want) != 0 {
+		t.Errorf("Diagonal = %v, want %v", d, want)
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	a := []float64{3, 4}
+	if Norm2(a) != 5 {
+		t.Errorf("Norm2 = %v, want 5", Norm2(a))
+	}
+	if NormInf([]float64{-9, 2}) != 9 {
+		t.Errorf("NormInf wrong")
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Errorf("AXPY = %v", y)
+	}
+	dst := make([]float64, 2)
+	Sub(dst, []float64{5, 5}, []float64{2, 3})
+	if dst[0] != 3 || dst[1] != 2 {
+		t.Errorf("Sub = %v", dst)
+	}
+}
+
+// Property: for any vector x, the conductance-network matrix satisfies
+// sum_i (Mx)_i == 0 (a pure network conserves heat).
+func TestConductanceNetworkConservesFlux(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := 6
+		b := NewBuilder(n)
+		for k := 0; k+1 < len(raw) && k < 12; k += 2 {
+			i := int(math.Abs(raw[k])) % n
+			j := int(math.Abs(raw[k+1])) % n
+			if i == j || math.IsNaN(raw[k]) || math.IsNaN(raw[k+1]) {
+				continue
+			}
+			b.AddConductance(i, j, 1+math.Mod(math.Abs(raw[k]), 5))
+		}
+		m := b.Build()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i*i) - 3
+		}
+		y := make([]float64, n)
+		m.MulVec(y, x)
+		s := 0.0
+		for _, v := range y {
+			s += v
+		}
+		return math.Abs(s) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

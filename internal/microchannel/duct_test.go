@@ -1,0 +1,205 @@
+package microchannel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fluids"
+	"repro/internal/units"
+)
+
+func tableIChannelForTest() Channel { return TableIChannel(10e-3) }
+
+func TestHydraulicDiameter(t *testing.T) {
+	c := tableIChannelForTest() // 50 x 100 um
+	want := 2.0 * 50e-6 * 100e-6 / (150e-6)
+	if !units.ApproxEqual(c.Dh(), want, 1e-12) {
+		t.Errorf("Dh = %v, want %v", c.Dh(), want)
+	}
+	// Square duct: Dh = side.
+	sq := Channel{W: 80e-6, H: 80e-6, L: 1e-2}
+	if !units.ApproxEqual(sq.Dh(), 80e-6, 1e-12) {
+		t.Errorf("square Dh = %v, want 80e-6", sq.Dh())
+	}
+}
+
+func TestShahLondonLimits(t *testing.T) {
+	// Square duct: fRe = 14.23, Nu_H1 = 3.61 (Shah & London table values).
+	sq := Channel{W: 1e-4, H: 1e-4, L: 1}
+	if got := sq.FRe(); math.Abs(got-14.23) > 0.15 {
+		t.Errorf("square fRe = %v, want 14.23", got)
+	}
+	if got := sq.Nu(); math.Abs(got-3.61) > 0.1 {
+		t.Errorf("square Nu = %v, want 3.61", got)
+	}
+	// Parallel-plate limit (aspect -> 0): fRe -> 24, Nu -> 8.235.
+	pp := Channel{W: 1e-6, H: 1, L: 1}
+	if got := pp.FRe(); math.Abs(got-24) > 0.05 {
+		t.Errorf("plate fRe = %v, want 24", got)
+	}
+	if got := pp.Nu(); math.Abs(got-8.235) > 0.05 {
+		t.Errorf("plate Nu = %v, want 8.235", got)
+	}
+}
+
+func TestTableIOperatingPointIsLaminar(t *testing.T) {
+	// Table I: 50 um channels at 0.15 mm pitch across a 10 mm die, up to
+	// 32.3 ml/min per cavity. The design must be laminar.
+	arr, err := TableIArray(11.5e-3, 10e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.N < 60 || arr.N > 70 {
+		t.Errorf("channel count = %d, want ~66", arr.N)
+	}
+	w := fluids.Water()
+	qMax := units.MlPerMinToM3PerS(32.3)
+	re := arr.Ch.Reynolds(w, arr.PerChannelFlow(qMax))
+	if re <= 0 || re > 300 {
+		t.Errorf("Re at max flow = %v, want laminar (<300)", re)
+	}
+}
+
+func TestPressureDropScalesLinearlyWithFlow(t *testing.T) {
+	// Laminar flow: dP proportional to Q.
+	c := tableIChannelForTest()
+	w := fluids.Water()
+	q := 5e-9
+	dp1 := c.PressureDrop(w, q)
+	dp2 := c.PressureDrop(w, 2*q)
+	if !units.ApproxEqual(dp2, 2*dp1, 1e-9) {
+		t.Errorf("dP(2q)=%v != 2*dP(q)=%v", dp2, 2*dp1)
+	}
+}
+
+func TestPressureDropPlausibleMagnitude(t *testing.T) {
+	// Agostini: pressure drops below ~0.9 bar at full power. Our Table-I
+	// water design at max flow should produce a fraction of a bar.
+	arr, _ := TableIArray(11.5e-3, 10e-3)
+	w := fluids.Water()
+	dp := arr.PressureDrop(w, units.MlPerMinToM3PerS(32.3))
+	if dp < 1e3 || dp > 2e5 {
+		t.Errorf("cavity dP = %v Pa, want ~1e4-1e5 (fraction of a bar)", dp)
+	}
+}
+
+func TestHydraulicResistanceConsistent(t *testing.T) {
+	c := tableIChannelForTest()
+	w := fluids.Water()
+	q := 3e-9
+	if got, want := c.HydraulicResistance(w)*q, c.PressureDrop(w, q); !units.ApproxEqual(got, want, 1e-9) {
+		t.Errorf("R*q = %v, dP = %v", got, want)
+	}
+}
+
+func TestHTCMagnitude(t *testing.T) {
+	// h = Nu k / Dh with water in a 66.7um duct: ~4.4*0.6/6.7e-5 ≈ 4e4.
+	c := tableIChannelForTest()
+	h := c.HTC(fluids.Water())
+	if h < 2e4 || h > 8e4 {
+		t.Errorf("duct HTC = %v W/m²K, want ~4e4", h)
+	}
+}
+
+func TestBulkTemperatureRiseMatchesPaper(t *testing.T) {
+	// §II-C: "the fluid temperature increase from inlet to outlet in
+	// single-phase cooling is significant (e.g. 40 K in case of water as
+	// coolant at 130 W power dissipation per tier)". At what flow does
+	// 130 W produce 40 K? mdot*cp = 130/40 = 3.25 W/K -> Q ≈ 46.8 ml/min.
+	// Within the Table-I range (<= 32.3 ml/min) the rise must EXCEED 40 K
+	// at 130 W, confirming the paper's "significant" observation.
+	arr, _ := TableIArray(11.5e-3, 10e-3)
+	w := fluids.Water()
+	rise := arr.BulkTemperatureRise(w, 130, units.MlPerMinToM3PerS(32.3))
+	if rise < 40 {
+		t.Errorf("bulk rise at 130 W, max Table-I flow = %v K, want >= 40 K", rise)
+	}
+	if rise > 120 {
+		t.Errorf("bulk rise = %v K implausibly large", rise)
+	}
+}
+
+func TestDielectricWorseThanWater(t *testing.T) {
+	// §II-C: dielectric fluids degrade inter-tier performance vs water.
+	arr, _ := TableIArray(11.5e-3, 10e-3)
+	q := units.MlPerMinToM3PerS(20)
+	w, d := fluids.Water(), fluids.Dielectric()
+	if arr.BulkTemperatureRise(d, 100, q) <= arr.BulkTemperatureRise(w, 100, q) {
+		t.Error("dielectric should heat up more than water at equal flow")
+	}
+	if arr.EffectiveHTC(d) >= arr.EffectiveHTC(w) {
+		t.Error("dielectric effective HTC should be below water's")
+	}
+}
+
+func TestNanofluidImprovesHTCButCostsPressure(t *testing.T) {
+	arr, _ := TableIArray(11.5e-3, 10e-3)
+	w := fluids.Water()
+	nf, err := fluids.Nanofluid(w, fluids.Alumina(), 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.EffectiveHTC(nf) <= arr.EffectiveHTC(w) {
+		t.Error("nanofluid should raise effective HTC")
+	}
+	q := units.MlPerMinToM3PerS(20)
+	if arr.PressureDrop(nf, q) <= arr.PressureDrop(w, q) {
+		t.Error("nanofluid viscosity should raise pressure drop")
+	}
+}
+
+func TestEffectiveHTCPositiveAndBounded(t *testing.T) {
+	f := func(wRaw, hRaw float64) bool {
+		wm := 20e-6 + math.Mod(math.Abs(wRaw), 80e-6)
+		hm := 40e-6 + math.Mod(math.Abs(hRaw), 160e-6)
+		if math.IsNaN(wm) || math.IsNaN(hm) {
+			return true
+		}
+		arr, err := NewArray(Channel{W: wm, H: hm, L: 1e-2}, wm+50e-6, 1e-2)
+		if err != nil {
+			return true
+		}
+		h := arr.EffectiveHTC(fluids.Water())
+		return h > 0 && h < 1e7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	if _, err := NewArray(Channel{W: 50e-6, H: 100e-6, L: 1e-2}, 40e-6, 1e-2); err == nil {
+		t.Error("pitch < width must be rejected")
+	}
+	if _, err := NewArray(Channel{W: -1, H: 100e-6, L: 1e-2}, 150e-6, 1e-2); err == nil {
+		t.Error("negative width must be rejected")
+	}
+	if _, err := NewArray(Channel{W: 50e-6, H: 100e-6, L: 1e-2}, 150e-6, 100e-6); err == nil {
+		t.Error("die narrower than one pitch must be rejected")
+	}
+}
+
+func TestPumpingPowerIdentity(t *testing.T) {
+	arr, _ := TableIArray(11.5e-3, 10e-3)
+	w := fluids.Water()
+	q := units.MlPerMinToM3PerS(25)
+	want := arr.PressureDrop(w, q) * q
+	if got := arr.PumpingPower(w, q); !units.ApproxEqual(got, want, 1e-12) {
+		t.Errorf("pump power = %v, want %v", got, want)
+	}
+}
+
+func TestThermalEntranceLengthShortAtTableIFlows(t *testing.T) {
+	// At Table-I flows the entrance length should be a modest fraction of
+	// the channel, justifying the fully developed Nu assumption.
+	arr, _ := TableIArray(11.5e-3, 10e-3)
+	w := fluids.Water()
+	lt := arr.Ch.ThermalLength(w, arr.PerChannelFlow(units.MlPerMinToM3PerS(32.3)))
+	if lt > arr.Ch.L {
+		t.Logf("entrance length %v exceeds channel %v at max flow: Nu_fd is conservative", lt, arr.Ch.L)
+	}
+	if lt <= 0 {
+		t.Error("entrance length must be positive")
+	}
+}

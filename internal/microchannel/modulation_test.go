@@ -1,0 +1,140 @@
+package microchannel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fluids"
+	"repro/internal/units"
+)
+
+func TestHotspotProfile(t *testing.T) {
+	segs := HotspotProfile(10e-3, 0.2, 2e4, 2.5e6)
+	if len(segs) != 3 {
+		t.Fatalf("segments = %d, want 3", len(segs))
+	}
+	total := 0.0
+	for _, s := range segs {
+		total += s.Len
+	}
+	if !units.ApproxEqual(total, 10e-3, 1e-12) {
+		t.Errorf("profile length = %v, want 10mm", total)
+	}
+	if segs[1].Flux <= segs[0].Flux {
+		t.Error("hot segment must carry the higher flux")
+	}
+}
+
+func TestWidthModulationImprovement(t *testing.T) {
+	// §II-C claim: hot-spot-aware width modulation of micro-channels
+	// improves pressure drop by roughly a factor of 2.
+	w := fluids.Water()
+	segs := HotspotProfile(11.5e-3, 0.15, 15e4, 1.2e6)
+	d, err := DesignWidths(segs, 100e-6, 150e-6, 25e-6, 100e-6, w, 6e-9, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hot segment must be narrower than background segments.
+	if d.Widths[1] >= d.Widths[0] {
+		t.Errorf("hot width %v should be below background %v", d.Widths[1], d.Widths[0])
+	}
+	if d.PressureImprovement < 1.4 || d.PressureImprovement > 6 {
+		t.Errorf("pressure improvement = %v, want ~2 (1.4-6 band)", d.PressureImprovement)
+	}
+	// With equal flow, pump improvement equals pressure improvement.
+	if !units.ApproxEqual(d.PumpImprovement, d.PressureImprovement, 1e-9) {
+		t.Errorf("pump %v != pressure %v at equal flow", d.PumpImprovement, d.PressureImprovement)
+	}
+}
+
+func TestWidthModulationUnreachableFlux(t *testing.T) {
+	w := fluids.Water()
+	segs := []Segment{{Len: 1e-3, Flux: 1e9}} // absurd flux
+	if _, err := DesignWidths(segs, 100e-6, 150e-6, 25e-6, 100e-6, w, 6e-9, 10); err == nil {
+		t.Error("expected unreachable-flux error")
+	}
+}
+
+func TestWidthModulationUniformWhenFluxUniform(t *testing.T) {
+	w := fluids.Water()
+	segs := []Segment{{Len: 3e-3, Flux: 3e5}, {Len: 3e-3, Flux: 3e5}}
+	d, err := DesignWidths(segs, 100e-6, 150e-6, 25e-6, 100e-6, w, 6e-9, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Widths[0]-d.Widths[1]) > 1e-12 {
+		t.Errorf("uniform flux should give uniform widths: %v", d.Widths)
+	}
+	if !units.ApproxEqual(d.PressureImprovement, 1, 1e-9) {
+		t.Errorf("no hot spot -> no improvement, got %v", d.PressureImprovement)
+	}
+}
+
+func TestWidthModulationParameterValidation(t *testing.T) {
+	w := fluids.Water()
+	segs := HotspotProfile(1e-2, 0.2, 1e5, 1e6)
+	cases := []struct {
+		name                           string
+		h, pitch, wMin, wMax, q, dtmax float64
+	}{
+		{"wMin<=0", 1e-4, 150e-6, 0, 1e-4, 1e-9, 10},
+		{"wMax<=wMin", 1e-4, 150e-6, 5e-5, 5e-5, 1e-9, 10},
+		{"wMax>=pitch", 1e-4, 150e-6, 5e-5, 2e-4, 1e-9, 10},
+		{"q<=0", 1e-4, 150e-6, 2e-5, 1e-4, 0, 10},
+		{"dT<=0", 1e-4, 150e-6, 2e-5, 1e-4, 1e-9, 0},
+	}
+	for _, c := range cases {
+		if _, err := DesignWidths(segs, c.h, c.pitch, c.wMin, c.wMax, w, c.q, c.dtmax); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestDensityModulationImprovement(t *testing.T) {
+	// §II-C claim: density modulation of pin-fin arrays yields pumping
+	// power improvements up to a factor of ~5.
+	w := fluids.Water()
+	base := PinFinArray{
+		D: 50e-6, H: 100e-6, St: 120e-6, Sl: 120e-6,
+		Across: 10e-3, Along: 11.5e-3,
+		Arrangement: InLine, Shape: Circular,
+	}
+	q := units.MlPerMinToM3PerS(20)
+	// Scale the required superheat so the dense lattice is needed only at
+	// the hot spot.
+	hotNeed := base.EffectiveHTC(w, q) * 0.95
+	segs := HotspotProfile(11.5e-3, 0.15, hotNeed*0.12*20, hotNeed*20)
+	d, err := DesignDensity(segs, base, 4.0, w, q, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Scales[1] >= d.Scales[0] {
+		t.Errorf("hot lattice scale %v should be denser (smaller) than background %v",
+			d.Scales[1], d.Scales[0])
+	}
+	if d.PumpImprovement < 2.5 || d.PumpImprovement > 20 {
+		t.Errorf("pump improvement = %v, want ~5 (2.5-20 band)", d.PumpImprovement)
+	}
+}
+
+func TestDensityModulationValidation(t *testing.T) {
+	w := fluids.Water()
+	base := PinFinArray{D: 50e-6, H: 100e-6, St: 120e-6, Sl: 120e-6,
+		Across: 10e-3, Along: 11.5e-3}
+	segs := HotspotProfile(1e-2, 0.2, 1e4, 1e5)
+	if _, err := DesignDensity(segs, base, 1.0, w, 1e-8, 10); err == nil {
+		t.Error("maxScale <= 1 must be rejected")
+	}
+	if _, err := DesignDensity(nil, base, 2.0, w, 1e-8, 10); err == nil {
+		t.Error("empty segments must be rejected")
+	}
+}
+
+func TestEmptySegmentsRejected(t *testing.T) {
+	if err := validateSegments(nil); err == nil {
+		t.Error("nil segments must fail")
+	}
+	if err := validateSegments([]Segment{{Len: -1, Flux: 0}}); err == nil {
+		t.Error("negative length must fail")
+	}
+}

@@ -1,0 +1,106 @@
+package microchannel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fluids"
+	"repro/internal/units"
+)
+
+func TestNetworkBasics(t *testing.T) {
+	n, err := NewNetwork([]Path{
+		{Name: "a", R: 2},
+		{Name: "b", R: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Conductance(); got != 1 {
+		t.Errorf("conductance = %v, want 1", got)
+	}
+	flows, total := n.FlowsAtPressure(4)
+	if flows[0] != 2 || flows[1] != 2 || total != 4 {
+		t.Errorf("flows = %v total = %v", flows, total)
+	}
+	if got := n.PressureForTotal(4); got != 4 {
+		t.Errorf("pressure for total = %v, want 4", got)
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(nil); err == nil {
+		t.Error("empty network must be rejected")
+	}
+	if _, err := NewNetwork([]Path{{R: 0}}); err == nil {
+		t.Error("zero resistance must be rejected")
+	}
+}
+
+func TestNetworkFlowConservation(t *testing.T) {
+	n, _ := NewNetwork([]Path{{R: 1}, {R: 2}, {R: 4, Hotspot: true}})
+	flows, total := n.FlowsAtPressure(8)
+	s := 0.0
+	for _, f := range flows {
+		s += f
+	}
+	if math.Abs(s-total) > 1e-12 {
+		t.Errorf("per-path flows %v don't sum to total %v", s, total)
+	}
+	if got := n.HotspotFlow(8); got != 2 {
+		t.Errorf("hotspot flow = %v, want 2", got)
+	}
+}
+
+func TestFluidFocusFig4(t *testing.T) {
+	// Fig. 4: the fluid-focused cavity increases hot-spot flow (cooler
+	// hot spot) while reducing aggregate flow.
+	ch := TableIChannel(11.5e-3)
+	res, err := FluidFocusStudy(ch, fluids.Water(), 66, 30, 36, 3.0, 1.5,
+		2e4, units.WPerCm2ToWPerM2(150), 150e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HotspotFlowGain <= 1.5 {
+		t.Errorf("hotspot flow gain = %v, want > 1.5", res.HotspotFlowGain)
+	}
+	if res.TotalFlowRatio >= 1 {
+		t.Errorf("aggregate flow ratio = %v, want < 1 (the paper's caveat)", res.TotalFlowRatio)
+	}
+	if res.FocusedHotspotSuperheat >= res.UniformHotspotSuperheat {
+		t.Errorf("focused superheat %v should be below uniform %v",
+			res.FocusedHotspotSuperheat, res.UniformHotspotSuperheat)
+	}
+}
+
+func TestFluidFocusValidation(t *testing.T) {
+	ch := TableIChannel(1e-2)
+	w := fluids.Water()
+	if _, err := FluidFocusStudy(ch, w, 1, 0, 1, 2, 2, 1e4, 1e6, 150e-6); err == nil {
+		t.Error("nPaths < 2 must fail")
+	}
+	if _, err := FluidFocusStudy(ch, w, 10, 5, 3, 2, 2, 1e4, 1e6, 150e-6); err == nil {
+		t.Error("inverted hot range must fail")
+	}
+	if _, err := FluidFocusStudy(ch, w, 10, 2, 4, 0.5, 2, 1e4, 1e6, 150e-6); err == nil {
+		t.Error("focusFactor < 1 must fail")
+	}
+	if _, err := FluidFocusStudy(Channel{}, w, 10, 2, 4, 2, 2, 1e4, 1e6, 150e-6); err == nil {
+		t.Error("invalid channel must fail")
+	}
+}
+
+func TestFluidFocusNeutralFactorsChangeNothing(t *testing.T) {
+	ch := TableIChannel(11.5e-3)
+	res, err := FluidFocusStudy(ch, fluids.Water(), 20, 8, 12, 1, 1,
+		1e4, 1e6, 150e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(res.HotspotFlowGain, 1, 1e-9) {
+		t.Errorf("neutral focus changed hotspot flow: %v", res.HotspotFlowGain)
+	}
+	if !units.ApproxEqual(res.TotalFlowRatio, 1, 1e-9) {
+		t.Errorf("neutral focus changed total flow: %v", res.TotalFlowRatio)
+	}
+}

@@ -1,0 +1,225 @@
+package microchannel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fluids"
+)
+
+// PinArrangement selects the pin-fin lattice.
+type PinArrangement int
+
+// Supported arrangements.
+const (
+	InLine PinArrangement = iota
+	Staggered
+)
+
+// String implements fmt.Stringer.
+func (a PinArrangement) String() string {
+	if a == Staggered {
+		return "staggered"
+	}
+	return "in-line"
+}
+
+// PinShape selects the pin cross-section. The paper considers circular,
+// square and drop-shaped pins; shape enters through drag and heat-transfer
+// multipliers relative to the circular baseline.
+type PinShape int
+
+// Supported pin shapes.
+const (
+	Circular PinShape = iota
+	Square
+	DropShape
+)
+
+// String implements fmt.Stringer.
+func (s PinShape) String() string {
+	switch s {
+	case Square:
+		return "square"
+	case DropShape:
+		return "drop"
+	default:
+		return "circular"
+	}
+}
+
+// dragMul and htcMul encode the relative behaviour of pin shapes: square
+// pins shed stronger wakes (more drag, slightly more transfer); drop
+// shapes are streamlined (much less drag, slightly less transfer).
+func (s PinShape) dragMul() float64 {
+	switch s {
+	case Square:
+		return 1.35
+	case DropShape:
+		return 0.55
+	default:
+		return 1.0
+	}
+}
+
+func (s PinShape) htcMul() float64 {
+	switch s {
+	case Square:
+		return 1.08
+	case DropShape:
+		return 0.92
+	default:
+		return 1.0
+	}
+}
+
+// PinFinArray models a micro pin-fin heat-transfer cavity: pins of
+// diameter D and height H (the cavity height) on a lattice with
+// transverse pitch St and longitudinal pitch Sl, covering a die of width
+// `Across` (m, normal to flow) and length `Along` (m, streamwise).
+type PinFinArray struct {
+	D, H        float64
+	St, Sl      float64
+	Across      float64
+	Along       float64
+	Arrangement PinArrangement
+	Shape       PinShape
+}
+
+// Validate checks geometric consistency.
+func (p PinFinArray) Validate() error {
+	if p.D <= 0 || p.H <= 0 || p.St <= p.D || p.Sl <= 0 || p.Across <= 0 || p.Along <= 0 {
+		return fmt.Errorf("microchannel: invalid pin-fin geometry %+v", p)
+	}
+	return nil
+}
+
+// Rows returns the number of pin rows encountered by the flow.
+func (p PinFinArray) Rows() int { return int(math.Max(1, p.Along/p.Sl)) }
+
+// PinsPerRow returns the number of pins across the die in one row.
+func (p PinFinArray) PinsPerRow() int { return int(math.Max(1, p.Across/p.St)) }
+
+// MaxVelocity returns the velocity in the minimum flow cross-section for
+// total flow q (m³/s). For in-line lattices the minimum gap is the
+// transverse gap; staggered lattices can pinch the diagonal gap too, but
+// for the pitch ratios of interest the transverse gap governs.
+func (p PinFinArray) MaxVelocity(q float64) float64 {
+	aFront := p.Across * p.H          // frontal area
+	uInf := q / aFront                // approach velocity
+	return uInf * p.St / (p.St - p.D) // continuity through the min gap
+}
+
+// Reynolds returns the pin Reynolds number ρ·u_max·D/µ.
+func (p PinFinArray) Reynolds(f fluids.Fluid, q float64) float64 {
+	return f.Rho * p.MaxVelocity(q) * p.D / f.Mu
+}
+
+// euler returns the per-row Euler number ΔP_row/(ρ·u_max²/2) using a
+// low-Reynolds tube-bank correlation (Žukauskas form Eu = C/Re + C2).
+// Staggered banks present every row to the flow and pay a markedly higher
+// drag; in-line banks let downstream rows draft in the wakes of upstream
+// ones — exactly the effect behind the paper's conclusion that circular
+// in-line pins give low pressure drop at acceptable heat transfer.
+func (p PinFinArray) euler(re float64) float64 {
+	var c1, c2 float64
+	switch p.Arrangement {
+	case Staggered:
+		c1, c2 = 64.0, 0.75
+	default:
+		c1, c2 = 36.0, 0.36
+	}
+	return (c1/math.Max(re, 1e-9) + c2) * p.Shape.dragMul()
+}
+
+// PressureDrop returns the array pressure drop (Pa) at total flow q.
+func (p PinFinArray) PressureDrop(f fluids.Fluid, q float64) float64 {
+	u := p.MaxVelocity(q)
+	re := p.Reynolds(f, q)
+	return float64(p.Rows()) * p.euler(re) * 0.5 * f.Rho * u * u
+}
+
+// Nu returns the row-averaged pin Nusselt number via a Žukauskas-type
+// low-Re correlation Nu = C·Re^m·Pr^0.36. Staggered banks mix better
+// (higher C): they buy ~15–25 % more transfer for ~2× the drag.
+func (p PinFinArray) Nu(f fluids.Fluid, q float64) float64 {
+	re := math.Max(p.Reynolds(f, q), 1e-9)
+	var c, m float64
+	switch p.Arrangement {
+	case Staggered:
+		c, m = 0.90, 0.40
+	default:
+		c, m = 0.80, 0.40
+	}
+	return c * math.Pow(re, m) * math.Pow(f.Prandtl(), 0.36) * p.Shape.htcMul()
+}
+
+// HTC returns the pin-surface heat-transfer coefficient (W/m²K).
+func (p PinFinArray) HTC(f fluids.Fluid, q float64) float64 {
+	return p.Nu(f, q) * f.K / p.D
+}
+
+// WettedAreaPerFootprint returns pin lateral surface per die footprint.
+func (p PinFinArray) WettedAreaPerFootprint() float64 {
+	pinArea := math.Pi * p.D * p.H
+	cellArea := p.St * p.Sl
+	return pinArea / cellArea
+}
+
+// EffectiveHTC returns the footprint-referred HTC of the pin cavity,
+// comparable with Array.EffectiveHTC.
+func (p PinFinArray) EffectiveHTC(f fluids.Fluid, q float64) float64 {
+	return p.HTC(f, q) * p.WettedAreaPerFootprint() / 2
+}
+
+// PumpingPower returns ΔP·q (W).
+func (p PinFinArray) PumpingPower(f fluids.Fluid, q float64) float64 {
+	return p.PressureDrop(f, q) * q
+}
+
+// COP returns the "thermal performance per pumping watt" figure of merit
+// h_eff/P_pump used to rank structures; higher is better.
+func (p PinFinArray) COP(f fluids.Fluid, q float64) float64 {
+	pp := p.PumpingPower(f, q)
+	if pp <= 0 {
+		return math.Inf(1)
+	}
+	return p.EffectiveHTC(f, q) / pp
+}
+
+// StructureComparison summarises one geometry at one operating point; the
+// §II-C exploration (experiment C3) tabulates these across flow rates.
+type StructureComparison struct {
+	Label        string
+	PressureDrop float64 // Pa
+	EffHTC       float64 // W/m²K footprint-referred
+	PumpPower    float64 // W
+}
+
+// ComparePinArrangements evaluates circular in-line vs staggered pins of
+// identical size/pitch at total flow q, returning both summaries. The
+// paper's finding — in-line gives lower pressure drop at acceptable
+// convective transfer — corresponds to inline.PressureDrop <
+// staggered.PressureDrop with EffHTC within ~25 %.
+func ComparePinArrangements(base PinFinArray, f fluids.Fluid, q float64) (inline, staggered StructureComparison, err error) {
+	if err = base.Validate(); err != nil {
+		return
+	}
+	il := base
+	il.Arrangement = InLine
+	st := base
+	st.Arrangement = Staggered
+	inline = StructureComparison{
+		Label:        "circular in-line",
+		PressureDrop: il.PressureDrop(f, q),
+		EffHTC:       il.EffectiveHTC(f, q),
+		PumpPower:    il.PumpingPower(f, q),
+	}
+	staggered = StructureComparison{
+		Label:        "circular staggered",
+		PressureDrop: st.PressureDrop(f, q),
+		EffHTC:       st.EffectiveHTC(f, q),
+		PumpPower:    st.PumpingPower(f, q),
+	}
+	return
+}

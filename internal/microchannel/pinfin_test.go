@@ -1,0 +1,141 @@
+package microchannel
+
+import (
+	"testing"
+
+	"repro/internal/fluids"
+	"repro/internal/units"
+)
+
+func basePins() PinFinArray {
+	return PinFinArray{
+		D: 50e-6, H: 100e-6,
+		St: 150e-6, Sl: 150e-6,
+		Across: 10e-3, Along: 11.5e-3,
+		Arrangement: InLine,
+		Shape:       Circular,
+	}
+}
+
+func TestPinFinValidate(t *testing.T) {
+	p := basePins()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.St = p.D // pins touching: invalid
+	if err := p.Validate(); err == nil {
+		t.Error("St <= D must be rejected")
+	}
+}
+
+func TestInlineVsStaggeredPaperConclusion(t *testing.T) {
+	// §II-C: "circular in-line pins result in low pressure drop at
+	// acceptable convective heat transfer, compared to staggered".
+	w := fluids.Water()
+	q := units.MlPerMinToM3PerS(20)
+	inline, staggered, err := ComparePinArrangements(basePins(), w, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inline.PressureDrop >= staggered.PressureDrop {
+		t.Errorf("in-line dP %v should be below staggered %v",
+			inline.PressureDrop, staggered.PressureDrop)
+	}
+	// "Acceptable" heat transfer: within ~30% of staggered.
+	if inline.EffHTC < 0.7*staggered.EffHTC {
+		t.Errorf("in-line h_eff %v too far below staggered %v",
+			inline.EffHTC, staggered.EffHTC)
+	}
+	// The efficiency conclusion: in-line heat transfer per pump watt wins.
+	inlineCOP := inline.EffHTC / inline.PumpPower
+	staggeredCOP := staggered.EffHTC / staggered.PumpPower
+	if inlineCOP <= staggeredCOP {
+		t.Errorf("in-line COP %v should exceed staggered %v", inlineCOP, staggeredCOP)
+	}
+}
+
+func TestPinShapes(t *testing.T) {
+	w := fluids.Water()
+	q := units.MlPerMinToM3PerS(20)
+	circ, sq, drop := basePins(), basePins(), basePins()
+	sq.Shape = Square
+	drop.Shape = DropShape
+	if sq.PressureDrop(w, q) <= circ.PressureDrop(w, q) {
+		t.Error("square pins should cost more pressure than circular")
+	}
+	if drop.PressureDrop(w, q) >= circ.PressureDrop(w, q) {
+		t.Error("drop-shaped pins should cost less pressure than circular")
+	}
+	if drop.HTC(w, q) >= circ.HTC(w, q) {
+		t.Error("drop shape trades away some heat transfer")
+	}
+}
+
+func TestPinPressureDropIncreasingInFlow(t *testing.T) {
+	w := fluids.Water()
+	p := basePins()
+	prev := 0.0
+	for _, ml := range []float64{5, 10, 20, 30} {
+		dp := p.PressureDrop(w, units.MlPerMinToM3PerS(ml))
+		if dp <= prev {
+			t.Fatalf("dP not increasing at %v ml/min: %v <= %v", ml, dp, prev)
+		}
+		prev = dp
+	}
+}
+
+func TestPinHTCIncreasingInFlow(t *testing.T) {
+	w := fluids.Water()
+	p := basePins()
+	prev := 0.0
+	for _, ml := range []float64{5, 10, 20, 30} {
+		h := p.EffectiveHTC(w, units.MlPerMinToM3PerS(ml))
+		if h <= prev {
+			t.Fatalf("h_eff not increasing at %v ml/min: %v <= %v", ml, h, prev)
+		}
+		prev = h
+	}
+}
+
+func TestPinGeometryAccessors(t *testing.T) {
+	p := basePins()
+	if p.Rows() < 70 || p.Rows() > 80 {
+		t.Errorf("rows = %d, want ~76 (11.5mm / 0.15mm)", p.Rows())
+	}
+	if p.PinsPerRow() < 60 || p.PinsPerRow() > 70 {
+		t.Errorf("pins/row = %d, want ~66", p.PinsPerRow())
+	}
+	if p.WettedAreaPerFootprint() <= 0 {
+		t.Error("wetted area ratio must be positive")
+	}
+}
+
+func TestMaxVelocityContinuity(t *testing.T) {
+	p := basePins()
+	q := units.MlPerMinToM3PerS(20)
+	uInf := q / (p.Across * p.H)
+	uMax := p.MaxVelocity(q)
+	want := uInf * p.St / (p.St - p.D)
+	if !units.ApproxEqual(uMax, want, 1e-12) {
+		t.Errorf("uMax = %v, want %v", uMax, want)
+	}
+	if uMax <= uInf {
+		t.Error("uMax must exceed approach velocity")
+	}
+}
+
+func TestPinCOPFiniteAndPositive(t *testing.T) {
+	p := basePins()
+	cop := p.COP(fluids.Water(), units.MlPerMinToM3PerS(15))
+	if cop <= 0 {
+		t.Errorf("COP = %v, want > 0", cop)
+	}
+}
+
+func TestComparePinArrangementsRejectsBadGeometry(t *testing.T) {
+	bad := basePins()
+	bad.D = -1
+	if _, _, err := ComparePinArrangements(bad, fluids.Water(), 1e-8); err == nil {
+		t.Error("expected validation error")
+	}
+}

@@ -1,0 +1,133 @@
+package policy
+
+import (
+	"errors"
+
+	"repro/internal/units"
+)
+
+// The policies in this file are ablation baselines for the LC_FUZZY
+// design choices called out in DESIGN.md: what does the fuzzy engine buy
+// over a classical feedforward-PI flow loop, and what does proportional
+// actuation buy over a temperature-triggered (bang-bang) pump? Neither
+// touches DVFS, isolating the flow-control axis.
+//
+// A design constraint both must live with: the liquid-cooled stack's
+// thermal time constant is shorter than the 1 s control period (the thin
+// dies settle between decisions), so a pure feedback loop sees a nearly
+// static, quantised plant and limit-cycles unless its per-period gain
+// stays small. The PI baseline therefore carries a utilization
+// feedforward term and keeps small trim gains; the bang-bang baseline
+// swings between a mid and the maximum flow rather than between the
+// extremes.
+
+// PID is a classical flow controller: a utilization feedforward plus PI
+// trim that drives the hottest core toward a setpoint under the
+// threshold. Gains act on the normalised flow fraction per 1 s control
+// period.
+type PID struct {
+	// SetpointC is the target for the stack maximum (°C).
+	SetpointC float64
+	// FF scales the utilization feedforward: flow ≈ FF·meanUtil before
+	// trimming.
+	FF float64
+	// Kp, Ki are the trim gains on kelvin of error (positive error =
+	// too hot = more flow).
+	Kp, Ki float64
+
+	integ float64
+}
+
+// NewPID returns a controller tuned for the Table-I stack: the
+// feedforward supplies the bulk of the flow, the PI trim holds 78 °C.
+// Per-period loop gain (Kp+Ki)·|dT/dflow| stays below the discrete
+// stability bound (≈0.05·40 K = 2).
+func NewPID() *PID {
+	return &PID{SetpointC: 78, FF: 1.0, Kp: 0.02, Ki: 0.005}
+}
+
+// Name implements Policy.
+func (p *PID) Name() string { return "LC_PID" }
+
+// Decide implements Policy.
+func (p *PID) Decide(ctx Context) (Action, error) {
+	if err := validateCtx(ctx); err != nil {
+		return Action{}, err
+	}
+	if !ctx.LiquidCooled {
+		return Action{}, errors.New("policy: LC_PID requires a liquid-cooled stack")
+	}
+	err := ctx.MaxTempC - p.SetpointC
+	u := p.FF*ctx.MeanUtil + p.Kp*err + p.Ki*(p.integ+err)
+	flow := units.Clamp(u, 0, 1)
+	// Conditional integration (anti-windup): accumulate only while the
+	// actuator is off its stops or the error pulls it back inside, and
+	// cap the trim authority so long idle stretches cannot bank enough
+	// negative integral to blind the loop to a burst.
+	if !((flow == 1 && err > 0) || (flow == 0 && err < 0)) {
+		p.integ += err
+	}
+	const trimCap = 0.3 // max |Ki·integ|
+	p.integ = units.Clamp(p.integ, -trimCap/p.Ki, trimCap/p.Ki)
+	return Action{
+		CoreLevels: make([]int, len(ctx.CoreTempC)), // full speed
+		FlowFrac:   flow,
+		Rebalance:  true,
+	}, nil
+}
+
+// TTFlow is the temperature-triggered pump: high flow above the trigger,
+// low flow below the release, hold in between — the flow-rate analogue
+// of the paper's temperature-triggered DVFS.
+type TTFlow struct {
+	// TriggerC raises the pump to HighFlow (°C).
+	TriggerC float64
+	// ReleaseC drops it back to LowFlow.
+	ReleaseC float64
+	// LowFlow and HighFlow are the two settings in [0, 1]. The low
+	// setting must still hold the worst single-period excursion under
+	// the threshold, because the plant settles between decisions.
+	LowFlow, HighFlow float64
+
+	high bool
+}
+
+// NewTTFlow returns the ablation configuration: 78/72 °C hysteresis
+// between half and full flow.
+func NewTTFlow() *TTFlow {
+	return &TTFlow{TriggerC: 78, ReleaseC: 72, LowFlow: 0.5, HighFlow: 1}
+}
+
+// Name implements Policy.
+func (p *TTFlow) Name() string { return "LC_TTFLOW" }
+
+// Decide implements Policy.
+func (p *TTFlow) Decide(ctx Context) (Action, error) {
+	if err := validateCtx(ctx); err != nil {
+		return Action{}, err
+	}
+	if !ctx.LiquidCooled {
+		return Action{}, errors.New("policy: LC_TTFLOW requires a liquid-cooled stack")
+	}
+	if p.ReleaseC >= p.TriggerC {
+		return Action{}, errors.New("policy: release must be below trigger")
+	}
+	if p.LowFlow < 0 || p.HighFlow > 1 || p.LowFlow >= p.HighFlow {
+		return Action{}, errors.New("policy: need 0 <= LowFlow < HighFlow <= 1")
+	}
+	switch {
+	case ctx.MaxTempC > p.TriggerC:
+		p.high = true
+	case ctx.MaxTempC < p.ReleaseC:
+		p.high = false
+	}
+	flow := p.LowFlow
+	if p.high {
+		flow = p.HighFlow
+	}
+	return Action{
+		CoreLevels: make([]int, len(ctx.CoreTempC)),
+		FlowFrac:   flow,
+		Rebalance:  true,
+	}, nil
+}

@@ -1,0 +1,189 @@
+package policy
+
+import (
+	"testing"
+)
+
+func ablationCtx(maxT, meanU float64, n int) Context {
+	temps := make([]float64, n)
+	utils := make([]float64, n)
+	levels := make([]int, n)
+	for i := range temps {
+		temps[i] = maxT
+		utils[i] = meanU
+	}
+	return Context{
+		CoreTempC: temps, MaxTempC: maxT,
+		CoreUtil: utils, MeanUtil: meanU,
+		CoreLevels: levels, NumLevels: 4,
+		LiquidCooled: true,
+	}
+}
+
+func TestPIDRequiresLiquid(t *testing.T) {
+	p := NewPID()
+	ctx := ablationCtx(70, 0.5, 4)
+	ctx.LiquidCooled = false
+	if _, err := p.Decide(ctx); err == nil {
+		t.Fatal("PID accepted an air-cooled stack")
+	}
+}
+
+func TestPIDFeedforwardTracksUtilization(t *testing.T) {
+	p := NewPID()
+	lo, err := p.Decide(ablationCtx(p.SetpointC, 0.1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := NewPID().Decide(ablationCtx(NewPID().SetpointC, 0.9, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.FlowFrac <= lo.FlowFrac {
+		t.Fatalf("flow must track utilization at zero error: %.2f vs %.2f",
+			hi.FlowFrac, lo.FlowFrac)
+	}
+}
+
+func TestPIDProportionalOnError(t *testing.T) {
+	hot, err := NewPID().Decide(ablationCtx(95, 0.5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cool, err := NewPID().Decide(ablationCtx(50, 0.5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.FlowFrac <= cool.FlowFrac {
+		t.Fatalf("hotter stack must request more flow: %.2f vs %.2f",
+			hot.FlowFrac, cool.FlowFrac)
+	}
+}
+
+func TestPIDIntegralBounded(t *testing.T) {
+	// A very long idle stretch must not bank unbounded negative trim:
+	// one hot sample afterwards must still raise the flow decisively.
+	p := NewPID()
+	for i := 0; i < 10000; i++ {
+		if _, err := p.Decide(ablationCtx(45, 0.2, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	act, err := p.Decide(ablationCtx(95, 0.9, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.FlowFrac < 0.8 {
+		t.Fatalf("post-idle burst response %.2f too weak — integral wind-up", act.FlowFrac)
+	}
+}
+
+func TestPIDNeverTouchesDVFS(t *testing.T) {
+	act, err := NewPID().Decide(ablationCtx(95, 0.9, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range act.CoreLevels {
+		if l != 0 {
+			t.Fatalf("core %d throttled to level %d; PID must leave DVFS alone", i, l)
+		}
+	}
+}
+
+func TestTTFlowHysteresis(t *testing.T) {
+	p := NewTTFlow()
+	// Below release: low flow.
+	act, err := p.Decide(ablationCtx(60, 0.5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.FlowFrac != p.LowFlow {
+		t.Fatalf("flow %.2f below release, want low %.2f", act.FlowFrac, p.LowFlow)
+	}
+	// Above trigger: high flow.
+	act, _ = p.Decide(ablationCtx(p.TriggerC+1, 0.5, 4))
+	if act.FlowFrac != p.HighFlow {
+		t.Fatalf("flow %.2f above trigger, want high %.2f", act.FlowFrac, p.HighFlow)
+	}
+	// Inside the band while high: hold high.
+	act, _ = p.Decide(ablationCtx(p.ReleaseC+1, 0.5, 4))
+	if act.FlowFrac != p.HighFlow {
+		t.Fatal("flow released inside the hysteresis band")
+	}
+	// Below release: back to low.
+	act, _ = p.Decide(ablationCtx(p.ReleaseC-1, 0.5, 4))
+	if act.FlowFrac != p.LowFlow {
+		t.Fatal("flow not released below the release temperature")
+	}
+}
+
+func TestTTFlowValidation(t *testing.T) {
+	bad := &TTFlow{TriggerC: 70, ReleaseC: 75, LowFlow: 0.5, HighFlow: 1}
+	if _, err := bad.Decide(ablationCtx(60, 0.5, 4)); err == nil {
+		t.Fatal("inverted hysteresis accepted")
+	}
+	bad = &TTFlow{TriggerC: 78, ReleaseC: 72, LowFlow: 0.9, HighFlow: 0.5}
+	if _, err := bad.Decide(ablationCtx(60, 0.5, 4)); err == nil {
+		t.Fatal("inverted flow levels accepted")
+	}
+	p := NewTTFlow()
+	ctx := ablationCtx(60, 0.5, 4)
+	ctx.LiquidCooled = false
+	if _, err := p.Decide(ctx); err == nil {
+		t.Fatal("TTFlow accepted an air-cooled stack")
+	}
+}
+
+func TestAblationPoliciesRejectBadContext(t *testing.T) {
+	for _, pol := range []Policy{NewPID(), NewTTFlow()} {
+		if _, err := pol.Decide(Context{}); err == nil {
+			t.Errorf("%s accepted an empty context", pol.Name())
+		}
+	}
+}
+
+func TestFuzzyPerCavitySplitsFlow(t *testing.T) {
+	p, err := NewFuzzyPerCavity(85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := ablationCtx(70, 0.5, 8)
+	ctx.NumCavities = 4
+	ctx.TierMaxTempC = []float64{45, 83, 83, 45} // hot core tiers inside
+	act, err := p.Decide(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(act.PerCavityFlow) != 4 {
+		t.Fatalf("per-cavity flows = %d, want 4", len(act.PerCavityFlow))
+	}
+	if act.PerCavityFlow[1] <= act.PerCavityFlow[0] {
+		t.Fatalf("hot tier cavity %.2f should outrun cool tier %.2f",
+			act.PerCavityFlow[1], act.PerCavityFlow[0])
+	}
+	for k, f := range act.PerCavityFlow {
+		if f < 0 || f > 1 {
+			t.Fatalf("cavity %d flow %.2f outside [0,1]", k, f)
+		}
+	}
+}
+
+func TestFuzzyPerCavityFallsBackWithoutTierSensing(t *testing.T) {
+	p, err := NewFuzzyPerCavity(85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := ablationCtx(70, 0.5, 8)
+	ctx.NumCavities = 4
+	ctx.TierMaxTempC = nil
+	act, err := p.Decide(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.PerCavityFlow != nil {
+		t.Fatal("expected stack-wide fallback without per-tier sensing")
+	}
+	if act.FlowFrac < 0 || act.FlowFrac > 1 {
+		t.Fatalf("fallback flow %.2f outside [0,1]", act.FlowFrac)
+	}
+}

@@ -1,0 +1,249 @@
+// Package policy implements the run-time thermal-management strategies
+// compared in §IV-A of the paper:
+//
+//   - LB          — dynamic load balancing only (AC_LB / LC_LB; in
+//     liquid-cooled mode the pump runs at maximum flow, the
+//     worst-case baseline the savings are measured against),
+//   - TDVFSLB     — temperature-triggered DVFS on top of load balancing
+//     (AC_TDVFS_LB): scale a core's V/f down while it exceeds
+//     85 °C, back up when it cools below 82 °C,
+//   - Fuzzy       — the LC_FUZZY controller: joint run-time control of
+//     coolant flow rate and DVFS driven by a Mamdani fuzzy
+//     engine (see internal/fuzzy).
+//
+// Policies are pure decision functions over a sensor snapshot; the
+// simulator owns actuation and bookkeeping.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/fuzzy"
+)
+
+// Context is the sensor snapshot a policy sees at a control boundary.
+type Context struct {
+	// CoreTempC is the per-core temperature (°C) from the distributed
+	// sensors (one per core, 100 ms sampling in the paper).
+	CoreTempC []float64
+	// MaxTempC is the stack-wide junction maximum.
+	MaxTempC float64
+	// CoreUtil is the per-core utilization demanded this interval.
+	CoreUtil []float64
+	// MeanUtil is the average of CoreUtil.
+	MeanUtil float64
+	// CoreLevels is the current per-core DVFS level (0 = fastest).
+	CoreLevels []int
+	// NumLevels is the DVFS table depth.
+	NumLevels int
+	// FlowFrac is the current pump setting in [0, 1] (liquid mode).
+	FlowFrac float64
+	// LiquidCooled reports whether flow control is available.
+	LiquidCooled bool
+	// TierMaxTempC is the per-tier junction maximum (°C); in
+	// liquid-cooled stacks cavity k cools tier k, so per-cavity
+	// controllers key on this.
+	TierMaxTempC []float64
+	// NumCavities is the cavity count (= tier count in the paper's
+	// liquid-cooled stacks; 0 when air-cooled).
+	NumCavities int
+}
+
+// Action is a policy decision.
+type Action struct {
+	// CoreLevels is the desired per-core DVFS level (0 = fastest).
+	CoreLevels []int
+	// FlowFrac is the desired pump setting in [0, 1]; ignored when the
+	// stack is air-cooled.
+	FlowFrac float64
+	// PerCavityFlow, when it has Context.NumCavities entries, overrides
+	// FlowFrac with one setting per cavity in [0, 1] — the paper's
+	// "tune the flow rate of the coolant in each micro-channel".
+	PerCavityFlow []float64
+	// Rebalance requests a load-balancing pass.
+	Rebalance bool
+}
+
+// Policy is a thermal-management strategy.
+type Policy interface {
+	Name() string
+	Decide(ctx Context) (Action, error)
+}
+
+func validateCtx(ctx Context) error {
+	n := len(ctx.CoreTempC)
+	if n == 0 || len(ctx.CoreUtil) != n || len(ctx.CoreLevels) != n {
+		return fmt.Errorf("policy: inconsistent context shape (%d temps, %d utils, %d levels)",
+			n, len(ctx.CoreUtil), len(ctx.CoreLevels))
+	}
+	if ctx.NumLevels < 1 {
+		return errors.New("policy: NumLevels must be >= 1")
+	}
+	return nil
+}
+
+// LB is the load-balancing-only policy. In liquid-cooled mode it pins the
+// pump to maximum flow — the "setting the flow rate at the maximum value
+// to handle the worst-case temperature" baseline.
+type LB struct{}
+
+// Name implements Policy.
+func (LB) Name() string { return "LB" }
+
+// Decide implements Policy.
+func (LB) Decide(ctx Context) (Action, error) {
+	if err := validateCtx(ctx); err != nil {
+		return Action{}, err
+	}
+	return Action{
+		CoreLevels: make([]int, len(ctx.CoreTempC)), // all top speed
+		FlowFrac:   1,
+		Rebalance:  true,
+	}, nil
+}
+
+// TDVFSLB is temperature-triggered DVFS with load balancing: "as long as
+// the temperature is above the threshold and there is a lower setting, we
+// scale down the VF value at every scaling interval. When the temperature
+// falls below another threshold value (82 °C), we scale up."
+type TDVFSLB struct {
+	// ThresholdC triggers scaling down (85 °C in the paper).
+	ThresholdC float64
+	// ReleaseC triggers scaling back up (82 °C in the paper).
+	ReleaseC float64
+}
+
+// NewTDVFSLB returns the paper-configured policy (85/82 °C).
+func NewTDVFSLB() *TDVFSLB { return &TDVFSLB{ThresholdC: 85, ReleaseC: 82} }
+
+// Name implements Policy.
+func (p *TDVFSLB) Name() string { return "TDVFS_LB" }
+
+// Decide implements Policy.
+func (p *TDVFSLB) Decide(ctx Context) (Action, error) {
+	if err := validateCtx(ctx); err != nil {
+		return Action{}, err
+	}
+	if p.ReleaseC >= p.ThresholdC {
+		return Action{}, fmt.Errorf("policy: release %v must be below threshold %v", p.ReleaseC, p.ThresholdC)
+	}
+	levels := make([]int, len(ctx.CoreLevels))
+	copy(levels, ctx.CoreLevels)
+	for i, t := range ctx.CoreTempC {
+		switch {
+		case t > p.ThresholdC && levels[i] < ctx.NumLevels-1:
+			levels[i]++
+		case t < p.ReleaseC && levels[i] > 0:
+			levels[i]--
+		}
+	}
+	return Action{CoreLevels: levels, FlowFrac: 1, Rebalance: true}, nil
+}
+
+// fuzzyUpdater is the controller contract shared by the Mamdani and
+// Sugeno inference engines.
+type fuzzyUpdater interface {
+	Update(maxTempC, meanUtil float64) (fuzzy.Output, error)
+}
+
+// Fuzzy is the LC_FUZZY policy: a fuzzy controller jointly sets the flow
+// rate and a stack-wide DVFS bias, refined per core by utilization (idle
+// cores never pay a throttle).
+type Fuzzy struct {
+	name       string
+	ctrl       fuzzyUpdater
+	thresholdC float64
+}
+
+// NewFuzzy builds the paper's Mamdani policy for the given threshold
+// (85 °C in the paper).
+func NewFuzzy(thresholdC float64) (*Fuzzy, error) {
+	c, err := fuzzy.NewController(thresholdC)
+	if err != nil {
+		return nil, err
+	}
+	return &Fuzzy{name: "LC_FUZZY", ctrl: c, thresholdC: thresholdC}, nil
+}
+
+// NewFuzzySugeno builds the inference-method ablation: the same rule
+// base evaluated with zero-order Sugeno inference.
+func NewFuzzySugeno(thresholdC float64) (*Fuzzy, error) {
+	c, err := fuzzy.NewSugenoController(thresholdC)
+	if err != nil {
+		return nil, err
+	}
+	return &Fuzzy{name: "LC_FUZZY_S", ctrl: c, thresholdC: thresholdC}, nil
+}
+
+// Name implements Policy.
+func (p *Fuzzy) Name() string { return p.name }
+
+// Decide implements Policy.
+func (p *Fuzzy) Decide(ctx Context) (Action, error) {
+	if err := validateCtx(ctx); err != nil {
+		return Action{}, err
+	}
+	out, err := p.ctrl.Update(ctx.MaxTempC, ctx.MeanUtil)
+	if err != nil {
+		return Action{}, err
+	}
+	// Map VFFrac in [0,1] (1 = full speed) to a base level.
+	base := int(math.Round((1 - out.VFFrac) * float64(ctx.NumLevels-1)))
+	levels := make([]int, len(ctx.CoreTempC))
+	for i := range levels {
+		// "We apply DVFS based on the core utilization": idle cores keep
+		// the throttle only if they are also hot; busy-and-cool cores
+		// are left at speed to avoid performance loss.
+		l := base
+		if ctx.CoreUtil[i] < 0.1 && ctx.CoreTempC[i] < p.thresholdC-10 {
+			l = 0
+		}
+		levels[i] = l
+	}
+	return Action{CoreLevels: levels, FlowFrac: out.FlowFrac, Rebalance: true}, nil
+}
+
+// FuzzyPerCavity is the per-cavity extension of the fuzzy policy: the
+// same controller evaluated once per cavity on that tier's junction
+// maximum, so a cool cache tier's cavity can idle while the core tier's
+// cavity works — finer-grained than the stack-wide flow of LC_FUZZY.
+type FuzzyPerCavity struct {
+	inner *Fuzzy
+}
+
+// NewFuzzyPerCavity builds the per-cavity policy.
+func NewFuzzyPerCavity(thresholdC float64) (*FuzzyPerCavity, error) {
+	f, err := NewFuzzy(thresholdC)
+	if err != nil {
+		return nil, err
+	}
+	return &FuzzyPerCavity{inner: f}, nil
+}
+
+// Name implements Policy.
+func (p *FuzzyPerCavity) Name() string { return "LC_FUZZY_PC" }
+
+// Decide implements Policy.
+func (p *FuzzyPerCavity) Decide(ctx Context) (Action, error) {
+	act, err := p.inner.Decide(ctx)
+	if err != nil {
+		return Action{}, err
+	}
+	if !ctx.LiquidCooled || ctx.NumCavities == 0 ||
+		len(ctx.TierMaxTempC) != ctx.NumCavities {
+		// Without per-tier sensing fall back to the stack-wide flow.
+		return act, nil
+	}
+	flows := make([]float64, ctx.NumCavities)
+	for k, tMax := range ctx.TierMaxTempC {
+		out, err := p.inner.ctrl.Update(tMax, ctx.MeanUtil)
+		if err != nil {
+			return Action{}, err
+		}
+		flows[k] = out.FlowFrac
+	}
+	act.PerCavityFlow = flows
+	return act, nil
+}

@@ -1,0 +1,206 @@
+package policy
+
+import (
+	"testing"
+)
+
+func ctx(temps []float64, utils []float64, levels []int) Context {
+	mean := 0.0
+	for _, u := range utils {
+		mean += u
+	}
+	if len(utils) > 0 {
+		mean /= float64(len(utils))
+	}
+	maxT := temps[0]
+	for _, t := range temps {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	return Context{
+		CoreTempC:    temps,
+		MaxTempC:     maxT,
+		CoreUtil:     utils,
+		MeanUtil:     mean,
+		CoreLevels:   levels,
+		NumLevels:    4,
+		LiquidCooled: true,
+	}
+}
+
+func TestLBAlwaysMaxFlowFullSpeed(t *testing.T) {
+	c := ctx([]float64{90, 50}, []float64{0.9, 0.1}, []int{2, 0})
+	a, err := LB{}.Decide(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FlowFrac != 1 {
+		t.Errorf("LB flow = %v, want 1 (worst-case max flow)", a.FlowFrac)
+	}
+	for i, l := range a.CoreLevels {
+		if l != 0 {
+			t.Errorf("LB level[%d] = %d, want 0", i, l)
+		}
+	}
+	if !a.Rebalance {
+		t.Error("LB must request load balancing")
+	}
+}
+
+func TestLBValidatesContext(t *testing.T) {
+	bad := Context{CoreTempC: []float64{50}, CoreUtil: []float64{}, CoreLevels: []int{0}, NumLevels: 4}
+	if _, err := (LB{}).Decide(bad); err == nil {
+		t.Error("inconsistent context must fail")
+	}
+	zero := Context{}
+	if _, err := (LB{}).Decide(zero); err == nil {
+		t.Error("empty context must fail")
+	}
+}
+
+func TestTDVFSScalesDownAboveThreshold(t *testing.T) {
+	p := NewTDVFSLB()
+	c := ctx([]float64{86, 80}, []float64{0.5, 0.5}, []int{0, 0})
+	a, err := p.Decide(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CoreLevels[0] != 1 {
+		t.Errorf("hot core level = %d, want 1 (scaled down)", a.CoreLevels[0])
+	}
+	if a.CoreLevels[1] != 0 {
+		t.Errorf("core in hysteresis band level = %d, want 0 (unchanged)", a.CoreLevels[1])
+	}
+}
+
+func TestTDVFSScalesUpBelowRelease(t *testing.T) {
+	p := NewTDVFSLB()
+	c := ctx([]float64{75, 83}, []float64{0.5, 0.5}, []int{2, 2})
+	a, err := p.Decide(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CoreLevels[0] != 1 {
+		t.Errorf("cool core level = %d, want 1 (scaled up)", a.CoreLevels[0])
+	}
+	if a.CoreLevels[1] != 2 {
+		t.Errorf("83°C core level = %d, want 2 (within 82-85 hysteresis)", a.CoreLevels[1])
+	}
+}
+
+func TestTDVFSSaturatesAtLowestLevel(t *testing.T) {
+	p := NewTDVFSLB()
+	c := ctx([]float64{99}, []float64{1}, []int{3})
+	a, err := p.Decide(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CoreLevels[0] != 3 {
+		t.Errorf("level = %d, want clamp at 3", a.CoreLevels[0])
+	}
+}
+
+func TestTDVFSOneStepPerInterval(t *testing.T) {
+	// "We scale down the VF value at every scaling interval" — one step
+	// per decision, not a jump to the bottom.
+	p := NewTDVFSLB()
+	c := ctx([]float64{120}, []float64{1}, []int{0})
+	a, err := p.Decide(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CoreLevels[0] != 1 {
+		t.Errorf("level = %d, want 1 (single step)", a.CoreLevels[0])
+	}
+}
+
+func TestTDVFSRejectsBadThresholds(t *testing.T) {
+	p := &TDVFSLB{ThresholdC: 80, ReleaseC: 85}
+	if _, err := p.Decide(ctx([]float64{50}, []float64{0.5}, []int{0})); err == nil {
+		t.Error("release above threshold must fail")
+	}
+}
+
+func TestFuzzyColdIdleMinimumFlow(t *testing.T) {
+	p, err := NewFuzzy(85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	utils := []float64{0.02, 0.02, 0.02, 0.02}
+	temps := []float64{40, 41, 39, 40}
+	a, err := p.Decide(ctx(temps, utils, []int{0, 0, 0, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FlowFrac > 0.25 {
+		t.Errorf("cold idle flow = %v, want near min (no over-cooling)", a.FlowFrac)
+	}
+	for i, l := range a.CoreLevels {
+		if l != 0 {
+			t.Errorf("idle cool core %d throttled to %d", i, l)
+		}
+	}
+}
+
+func TestFuzzyCriticalMaxFlow(t *testing.T) {
+	p, err := NewFuzzy(85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Decide(ctx([]float64{92, 91}, []float64{0.9, 0.95}, []int{0, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FlowFrac < 0.85 {
+		t.Errorf("critical flow = %v, want near max", a.FlowFrac)
+	}
+	// Critical and busy: some throttle is expected.
+	throttled := false
+	for _, l := range a.CoreLevels {
+		if l > 0 {
+			throttled = true
+		}
+	}
+	if !throttled {
+		t.Error("critical busy system should throttle")
+	}
+}
+
+func TestFuzzyIdleCoresKeepSpeed(t *testing.T) {
+	// "We apply DVFS based on the core utilization": an idle, cool core
+	// is never throttled even when the stack-wide decision is to slow
+	// down.
+	p, err := NewFuzzy(85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := []float64{95, 60}
+	utils := []float64{0.95, 0.02}
+	a, err := p.Decide(ctx(temps, utils, []int{0, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CoreLevels[1] != 0 {
+		t.Errorf("idle cool core throttled to level %d", a.CoreLevels[1])
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (LB{}).Name() != "LB" {
+		t.Error("LB name")
+	}
+	if NewTDVFSLB().Name() != "TDVFS_LB" {
+		t.Error("TDVFS name")
+	}
+	p, _ := NewFuzzy(85)
+	if p.Name() != "LC_FUZZY" {
+		t.Error("fuzzy name")
+	}
+}
+
+func TestNewFuzzyValidation(t *testing.T) {
+	if _, err := NewFuzzy(10); err == nil {
+		t.Error("implausible threshold must fail")
+	}
+}

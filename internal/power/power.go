@@ -1,0 +1,266 @@
+// Package power models the electrical power of the UltraSPARC T1-based
+// tiers: per-unit dynamic power driven by utilization and the DVFS
+// voltage/frequency setting, plus area- and temperature-dependent leakage
+// ("we compute the leakage power of processing cores as a function of
+// their area and the temperature", §IV-A).
+//
+// Calibration: at the top V/f level, full utilization and 85 °C the unit
+// totals are core ≈ 6.5 W, L2 ≈ 2.5 W, crossbar ≈ 7 W, other ≈ 2 W —
+// chosen so the air-cooled baselines land at the paper's reported peak
+// temperatures with the Table-I package (see internal/thermal). The
+// UltraSPARC T1 reference is Leon et al., ISSCC 2007 (63 W typical at
+// 1.2 V; peak close to average, which is why the paper equates
+// instantaneous and average state power).
+package power
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+)
+
+// VFLevel is one DVFS operating point.
+type VFLevel struct {
+	// V is the supply voltage (volts).
+	V float64
+	// FGHz is the clock frequency (GHz).
+	FGHz float64
+}
+
+// DVFSTable lists operating points from fastest (index 0) to slowest.
+type DVFSTable []VFLevel
+
+// NiagaraDVFS returns the four-point V/f table used by the management
+// policies (top point = the stock 1.2 GHz part).
+func NiagaraDVFS() DVFSTable {
+	return DVFSTable{
+		{V: 1.30, FGHz: 1.2},
+		{V: 1.20, FGHz: 1.0},
+		{V: 1.10, FGHz: 0.8},
+		{V: 1.00, FGHz: 0.6},
+	}
+}
+
+// Validate checks monotonicity.
+func (t DVFSTable) Validate() error {
+	if len(t) == 0 {
+		return errors.New("power: empty DVFS table")
+	}
+	for i, l := range t {
+		if l.V <= 0 || l.FGHz <= 0 {
+			return fmt.Errorf("power: level %d non-positive", i)
+		}
+		if i > 0 && (l.V >= t[i-1].V || l.FGHz >= t[i-1].FGHz) {
+			return fmt.Errorf("power: level %d not strictly slower than %d", i, i-1)
+		}
+	}
+	return nil
+}
+
+// Scale returns the dynamic-power scale V²f of the given level relative
+// to level 0. Out-of-range levels are clamped.
+func (t DVFSTable) Scale(level int) float64 {
+	level = clampLevel(level, len(t))
+	l0, l := t[0], t[level]
+	return (l.V * l.V * l.FGHz) / (l0.V * l0.V * l0.FGHz)
+}
+
+// SpeedRatio returns f(level)/f(0) — the throughput scale used for
+// performance-degradation accounting.
+func (t DVFSTable) SpeedRatio(level int) float64 {
+	level = clampLevel(level, len(t))
+	return t[level].FGHz / t[0].FGHz
+}
+
+func clampLevel(level, n int) int {
+	if level < 0 {
+		return 0
+	}
+	if level >= n {
+		return n - 1
+	}
+	return level
+}
+
+// Params holds the calibrated per-unit power figures (watts at the top
+// V/f level) and the leakage law.
+type Params struct {
+	// CoreIdle/CoreDynSpan: core power = idle + span·util·V²f-scale.
+	CoreIdle, CoreDynSpan float64
+	// L2Idle/L2DynSpan: cache power (utilization-coupled).
+	L2Idle, L2DynSpan float64
+	// XbarIdle/XbarDynSpan: crossbar/FPU/IO band.
+	XbarIdle, XbarDynSpan float64
+	// OtherIdle/OtherDynSpan: tags and miscellaneous.
+	OtherIdle, OtherDynSpan float64
+
+	// LeakRefWPerMM2 is the leakage density at LeakTRefC (W/mm²).
+	LeakRefWPerMM2 float64
+	// LeakTRefC is the leakage reference temperature (°C).
+	LeakTRefC float64
+	// LeakBeta is the exponential sensitivity (1/K): leakage doubles
+	// every ln2/beta kelvin.
+	LeakBeta float64
+}
+
+// Default returns the calibrated parameter set.
+func Default() Params {
+	return Params{
+		CoreIdle: 1.2, CoreDynSpan: 5.0,
+		L2Idle: 0.45, L2DynSpan: 1.48,
+		XbarIdle: 1.5, XbarDynSpan: 4.45,
+		OtherIdle: 0.3, OtherDynSpan: 0.53,
+		LeakRefWPerMM2: 0.03,
+		LeakTRefC:      85,
+		LeakBeta:       0.017, // doubles every ~41 K
+	}
+}
+
+// Model evaluates unit and stack power.
+type Model struct {
+	P    Params
+	DVFS DVFSTable
+}
+
+// NewModel builds a model with validated inputs.
+func NewModel(p Params, dvfs DVFSTable) (*Model, error) {
+	if err := dvfs.Validate(); err != nil {
+		return nil, err
+	}
+	if p.LeakRefWPerMM2 < 0 || p.LeakBeta < 0 {
+		return nil, errors.New("power: negative leakage parameters")
+	}
+	return &Model{P: p, DVFS: dvfs}, nil
+}
+
+// NewDefaultModel returns the calibrated Niagara model.
+func NewDefaultModel() *Model {
+	m, err := NewModel(Default(), NiagaraDVFS())
+	if err != nil {
+		panic("power: default model invalid: " + err.Error())
+	}
+	return m
+}
+
+// Leakage returns the leakage power (W) of a block of the given area (m²)
+// at temperature tempC. The exponential law saturates at 150 °C: beyond
+// silicon operating limits the positive feedback loop (hotter → leakier →
+// hotter) would otherwise run away numerically in uncontrolled
+// configurations such as the 4-tier air-cooled stack, which the paper
+// itself deems unmanageable.
+func (m *Model) Leakage(areaM2, tempC float64) float64 {
+	if tempC > 150 {
+		tempC = 150
+	}
+	if tempC < -55 {
+		tempC = -55
+	}
+	mm2 := areaM2 * 1e6
+	return mm2 * m.P.LeakRefWPerMM2 * math.Exp(m.P.LeakBeta*(tempC-m.P.LeakTRefC))
+}
+
+// UnitPower returns the total power (W) of one floorplan unit at the
+// given utilization (0–1), DVFS level and temperature. Utilization is
+// clamped to [0, 1].
+func (m *Model) UnitPower(u floorplan.Unit, util float64, level int, tempC float64) float64 {
+	util = math.Min(math.Max(util, 0), 1)
+	scale := m.DVFS.Scale(level)
+	var idle, span float64
+	switch u.Kind {
+	case floorplan.KindCore:
+		idle, span = m.P.CoreIdle, m.P.CoreDynSpan
+	case floorplan.KindL2:
+		idle, span = m.P.L2Idle, m.P.L2DynSpan
+	case floorplan.KindCrossbar:
+		idle, span = m.P.XbarIdle, m.P.XbarDynSpan
+	default:
+		idle, span = m.P.OtherIdle, m.P.OtherDynSpan
+	}
+	return idle + span*util*scale + m.Leakage(u.Area(), tempC)
+}
+
+// StackState carries the run-time inputs of a power evaluation.
+type StackState struct {
+	// CoreUtil is the utilization of each core in global order (tier
+	// order, floorplan order within a tier).
+	CoreUtil []float64
+	// CoreLevel is the per-core DVFS level (same order); nil = all 0.
+	CoreLevel []int
+	// UnitTempC holds per-tier per-unit temperatures for leakage; nil
+	// uses the leakage reference temperature everywhere.
+	UnitTempC [][]float64
+}
+
+// StackPowers evaluates per-tier per-unit powers for a stack. Non-core
+// units (L2, crossbar, tags) follow the mean utilization of the stack's
+// cores at the top DVFS level, reflecting their shared nature.
+func (m *Model) StackPowers(st *floorplan.Stack, s StackState) ([][]float64, error) {
+	nc := st.CoreCount()
+	if len(s.CoreUtil) != nc {
+		return nil, fmt.Errorf("power: got %d core utilizations, stack has %d cores", len(s.CoreUtil), nc)
+	}
+	if s.CoreLevel != nil && len(s.CoreLevel) != nc {
+		return nil, fmt.Errorf("power: got %d core levels, stack has %d cores", len(s.CoreLevel), nc)
+	}
+	meanUtil := 0.0
+	for _, u := range s.CoreUtil {
+		meanUtil += math.Min(math.Max(u, 0), 1)
+	}
+	if nc > 0 {
+		meanUtil /= float64(nc)
+	}
+	out := make([][]float64, st.NumTiers())
+	core := 0
+	for k, tier := range st.Tiers {
+		if s.UnitTempC != nil && len(s.UnitTempC[k]) != len(tier.FP.Units) {
+			return nil, fmt.Errorf("power: tier %d temperatures mismatch", k)
+		}
+		up := make([]float64, len(tier.FP.Units))
+		for i, u := range tier.FP.Units {
+			tempC := m.P.LeakTRefC
+			if s.UnitTempC != nil {
+				tempC = s.UnitTempC[k][i]
+			}
+			switch u.Kind {
+			case floorplan.KindCore:
+				level := 0
+				if s.CoreLevel != nil {
+					level = s.CoreLevel[core]
+				}
+				up[i] = m.UnitPower(u, s.CoreUtil[core], level, tempC)
+				core++
+			default:
+				up[i] = m.UnitPower(u, meanUtil, 0, tempC)
+			}
+		}
+		out[k] = up
+	}
+	return out, nil
+}
+
+// Total sums a per-tier per-unit power map.
+func Total(p [][]float64) float64 {
+	s := 0.0
+	for _, tier := range p {
+		for _, w := range tier {
+			s += w
+		}
+	}
+	return s
+}
+
+// CoreOrder returns, for each global core index, its (tier, unit) pair —
+// the mapping StackPowers uses.
+func CoreOrder(st *floorplan.Stack) [][2]int {
+	var out [][2]int
+	for k, tier := range st.Tiers {
+		for i, u := range tier.FP.Units {
+			if u.Kind == floorplan.KindCore {
+				out = append(out, [2]int{k, i})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/floorplan"
+)
+
+func TestDVFSTableValidate(t *testing.T) {
+	if err := NiagaraDVFS().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DVFSTable{{V: 1.2, FGHz: 1.0}, {V: 1.2, FGHz: 0.8}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-decreasing voltage must fail")
+	}
+	if err := (DVFSTable{}).Validate(); err == nil {
+		t.Error("empty table must fail")
+	}
+}
+
+func TestDVFSScaleMonotone(t *testing.T) {
+	tbl := NiagaraDVFS()
+	if s := tbl.Scale(0); s != 1 {
+		t.Errorf("Scale(0) = %v, want 1", s)
+	}
+	prev := 2.0
+	for l := range tbl {
+		s := tbl.Scale(l)
+		if s >= prev {
+			t.Fatalf("Scale(%d) = %v not decreasing", l, s)
+		}
+		if s <= 0 {
+			t.Fatalf("Scale(%d) = %v not positive", l, s)
+		}
+		prev = s
+	}
+	// Cubic-ish scaling: the lowest level should cut dynamic power by
+	// well over half (V²f: (1.0/1.3)²·0.5 ≈ 0.30).
+	if s := tbl.Scale(len(tbl) - 1); s > 0.5 {
+		t.Errorf("lowest level scale = %v, want < 0.5", s)
+	}
+	// Clamping.
+	if tbl.Scale(-3) != 1 || tbl.Scale(99) != tbl.Scale(len(tbl)-1) {
+		t.Error("level clamping broken")
+	}
+}
+
+func TestSpeedRatio(t *testing.T) {
+	tbl := NiagaraDVFS()
+	if r := tbl.SpeedRatio(0); r != 1 {
+		t.Errorf("SpeedRatio(0) = %v", r)
+	}
+	if r := tbl.SpeedRatio(3); math.Abs(r-0.5) > 1e-12 {
+		t.Errorf("SpeedRatio(3) = %v, want 0.5 (0.6/1.2 GHz)", r)
+	}
+}
+
+func TestLeakageTemperatureDependence(t *testing.T) {
+	m := NewDefaultModel()
+	area := 10e-6 // one core, 10 mm²
+	l85 := m.Leakage(area, 85)
+	if math.Abs(l85-10*m.P.LeakRefWPerMM2) > 1e-12 {
+		t.Errorf("leakage at reference = %v, want %v", l85, 10*m.P.LeakRefWPerMM2)
+	}
+	l125 := m.Leakage(area, 125)
+	ratio := l125 / l85
+	if ratio < 1.5 || ratio > 3 {
+		t.Errorf("leakage(125)/leakage(85) = %v, want ~2 (doubling per ~41 K)", ratio)
+	}
+	if m.Leakage(area, 45) >= l85 {
+		t.Error("cooler silicon must leak less")
+	}
+}
+
+func TestUnitPowerCalibration(t *testing.T) {
+	// Full-activity figures at 85 °C: core ≈ 6.5 W, L2 ≈ 2.5 W,
+	// crossbar ≈ 7 W, other ≈ 2 W (the calibration in the package doc).
+	m := NewDefaultModel()
+	fp := floorplan.NiagaraCoreTier()
+	cache := floorplan.NiagaraCacheTier()
+	core := fp.Units[fp.FindUnit("core0")]
+	if p := m.UnitPower(core, 1, 0, 85); math.Abs(p-6.5) > 0.2 {
+		t.Errorf("core full power = %v, want ~6.5", p)
+	}
+	l2 := cache.Units[cache.FindUnit("l2_0")]
+	if p := m.UnitPower(l2, 1, 0, 85); math.Abs(p-2.5) > 0.2 {
+		t.Errorf("L2 full power = %v, want ~2.5", p)
+	}
+	xbar := fp.Units[fp.FindUnit("xbar")]
+	if p := m.UnitPower(xbar, 1, 0, 85); math.Abs(p-7.0) > 0.2 {
+		t.Errorf("xbar full power = %v, want ~7", p)
+	}
+}
+
+func TestUnitPowerMonotoneInUtilization(t *testing.T) {
+	m := NewDefaultModel()
+	fp := floorplan.NiagaraCoreTier()
+	core := fp.Units[0]
+	prev := -1.0
+	for u := 0.0; u <= 1.0; u += 0.1 {
+		p := m.UnitPower(core, u, 0, 60)
+		if p <= prev {
+			t.Fatalf("power not increasing at util %v", u)
+		}
+		prev = p
+	}
+	// Clamping outside [0,1].
+	if m.UnitPower(core, -0.5, 0, 60) != m.UnitPower(core, 0, 0, 60) {
+		t.Error("negative utilization should clamp to 0")
+	}
+	if m.UnitPower(core, 1.7, 0, 60) != m.UnitPower(core, 1, 0, 60) {
+		t.Error("utilization above 1 should clamp")
+	}
+}
+
+func TestDVFSReducesPower(t *testing.T) {
+	m := NewDefaultModel()
+	core := floorplan.NiagaraCoreTier().Units[0]
+	prev := math.Inf(1)
+	for l := 0; l < len(m.DVFS); l++ {
+		p := m.UnitPower(core, 1, l, 85)
+		if p >= prev {
+			t.Fatalf("level %d power %v not below level %d", l, p, l-1)
+		}
+		prev = p
+	}
+}
+
+func TestStackPowersTotalPlausible(t *testing.T) {
+	// At full activity and 85 °C the 2-tier stack should draw ~60-80 W
+	// (UltraSPARC T1 is 63 W typical; two tiers add the cache tier).
+	m := NewDefaultModel()
+	st := floorplan.Niagara2Tier()
+	utils := make([]float64, st.CoreCount())
+	for i := range utils {
+		utils[i] = 1
+	}
+	p, err := m.StackPowers(st, StackState{CoreUtil: utils})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := Total(p)
+	if total < 55 || total > 90 {
+		t.Errorf("2-tier full power = %v W, want 55-90", total)
+	}
+	// Idle should be far lower but non-zero.
+	idle, err := m.StackPowers(st, StackState{CoreUtil: make([]float64, st.CoreCount())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti := Total(idle)
+	if ti >= total/2 || ti <= 5 {
+		t.Errorf("idle power = %v W vs full %v W", ti, total)
+	}
+}
+
+func TestStackPowersPerCoreDVFS(t *testing.T) {
+	m := NewDefaultModel()
+	st := floorplan.Niagara2Tier()
+	n := st.CoreCount()
+	utils := make([]float64, n)
+	for i := range utils {
+		utils[i] = 1
+	}
+	levels := make([]int, n)
+	base, err := m.StackPowers(st, StackState{CoreUtil: utils, CoreLevel: levels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels[0] = 3 // throttle one core
+	thr, err := m.StackPowers(st, StackState{CoreUtil: utils, CoreLevel: levels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := CoreOrder(st)
+	k, i := order[0][0], order[0][1]
+	if thr[k][i] >= base[k][i] {
+		t.Error("throttled core power did not drop")
+	}
+	// Untouched cores unchanged.
+	k1, i1 := order[1][0], order[1][1]
+	if thr[k1][i1] != base[k1][i1] {
+		t.Error("unthrottled core power changed")
+	}
+}
+
+func TestStackPowersValidation(t *testing.T) {
+	m := NewDefaultModel()
+	st := floorplan.Niagara2Tier()
+	if _, err := m.StackPowers(st, StackState{CoreUtil: []float64{1}}); err == nil {
+		t.Error("wrong core count must fail")
+	}
+	if _, err := m.StackPowers(st, StackState{
+		CoreUtil:  make([]float64, st.CoreCount()),
+		CoreLevel: []int{0},
+	}); err == nil {
+		t.Error("wrong level count must fail")
+	}
+	if _, err := m.StackPowers(st, StackState{
+		CoreUtil:  make([]float64, st.CoreCount()),
+		UnitTempC: [][]float64{{1}, {2}},
+	}); err == nil {
+		t.Error("wrong temperature shape must fail")
+	}
+}
+
+func TestCoreOrderStable(t *testing.T) {
+	st := floorplan.Niagara4Tier()
+	order := CoreOrder(st)
+	if len(order) != 16 {
+		t.Fatalf("4-tier core order has %d entries, want 16", len(order))
+	}
+	// All cores must come from core tiers (1 and 2 in the 4-tier stack).
+	for _, ki := range order {
+		if ki[0] != 1 && ki[0] != 2 {
+			t.Errorf("core found on tier %d, want 1 or 2", ki[0])
+		}
+	}
+}
+
+func TestLeakageFeedbackProperty(t *testing.T) {
+	// Property: power is non-decreasing in temperature (leakage only).
+	m := NewDefaultModel()
+	core := floorplan.NiagaraCoreTier().Units[0]
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		t1 := 20 + math.Mod(math.Abs(a), 100)
+		t2 := t1 + math.Mod(math.Abs(b), 50)
+		return m.UnitPower(core, 0.5, 1, t2) >= m.UnitPower(core, 0.5, 1, t1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(Params{LeakRefWPerMM2: -1}, NiagaraDVFS()); err == nil {
+		t.Error("negative leakage must fail")
+	}
+	if _, err := NewModel(Default(), DVFSTable{}); err == nil {
+		t.Error("empty DVFS table must fail")
+	}
+}

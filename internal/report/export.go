@@ -1,0 +1,101 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the table as RFC-4180 CSV: one header row followed by
+// the data rows. Downstream plotting scripts consume this form of the
+// regenerated figures.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if len(t.Columns) == 0 {
+		return errors.New("report: table has no columns")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// tableJSON is the exported JSON shape of a table.
+type tableJSON struct {
+	Title   string     `json:"title,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// WriteJSON emits the table as a JSON object {title, columns, rows}.
+func (t *Table) WriteJSON(w io.Writer) error {
+	if len(t.Columns) == 0 {
+		return errors.New("report: table has no columns")
+	}
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tableJSON{Title: t.Title, Columns: t.Columns, Rows: rows})
+}
+
+// seriesJSON is the exported JSON shape of a figure.
+type seriesJSON struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+type figureJSON struct {
+	Title  string       `json:"title,omitempty"`
+	XLabel string       `json:"xlabel,omitempty"`
+	YLabel string       `json:"ylabel,omitempty"`
+	Series []seriesJSON `json:"series"`
+}
+
+// WriteJSON emits the figure's series as JSON for external plotting.
+func (f *Figure) WriteJSON(w io.Writer) error {
+	out := figureJSON{Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel}
+	for _, s := range f.Series {
+		out.Series = append(out.Series, seriesJSON{Name: s.Name, X: s.X, Y: s.Y})
+	}
+	if out.Series == nil {
+		out.Series = []seriesJSON{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteCSV emits the figure as long-form CSV: series,x,y rows.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		if len(s.X) != len(s.Y) {
+			return errors.New("report: series with mismatched x/y lengths")
+		}
+		for i := range s.X {
+			if err := cw.Write([]string{s.Name, formatFloat(s.X[i]), formatFloat(s.Y[i])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatFloat renders a float for CSV with full round-trip precision.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

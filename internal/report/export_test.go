@@ -1,0 +1,127 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := NewTable("sample", "name", "value")
+	t.AddRow("alpha", "1.5")
+	t.AddRow("beta, with comma", "2")
+	return t
+}
+
+func TestTableWriteCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want header + 2", len(recs))
+	}
+	if recs[0][0] != "name" || recs[2][0] != "beta, with comma" {
+		t.Fatalf("unexpected records: %v", recs)
+	}
+}
+
+func TestTableWriteCSVNoColumns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Table{}).WriteCSV(&buf); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "sample" || len(got.Columns) != 2 || len(got.Rows) != 2 {
+		t.Fatalf("bad JSON: %+v", got)
+	}
+}
+
+func TestTableWriteJSONEmptyRows(t *testing.T) {
+	var buf bytes.Buffer
+	tb := NewTable("t", "a")
+	if err := tb.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"rows": []`) {
+		t.Fatalf("rows should encode as [], got %s", buf.String())
+	}
+}
+
+func TestFigureWriteJSONAndCSV(t *testing.T) {
+	f := &Figure{Title: "fig", XLabel: "x", YLabel: "y"}
+	f.Add("s1", []float64{1, 2}, []float64{10, 20})
+	f.Add("s2", []float64{1}, []float64{5})
+
+	var jbuf bytes.Buffer
+	if err := f.WriteJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Series []struct {
+			Name string    `json:"name"`
+			X    []float64 `json:"x"`
+			Y    []float64 `json:"y"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(jbuf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 2 || got.Series[0].Y[1] != 20 {
+		t.Fatalf("bad series JSON: %+v", got)
+	}
+
+	var cbuf bytes.Buffer
+	if err := f.WriteCSV(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&cbuf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 { // header + 2 + 1
+		t.Fatalf("records = %d, want 4", len(recs))
+	}
+	if recs[1][0] != "s1" || recs[3][0] != "s2" {
+		t.Fatalf("unexpected rows: %v", recs)
+	}
+}
+
+func TestFigureWriteCSVMismatched(t *testing.T) {
+	f := &Figure{}
+	f.Series = append(f.Series, Series{Name: "bad", X: []float64{1, 2}, Y: []float64{1}})
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestFigureWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Figure{}).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"series": []`) {
+		t.Fatalf("series should encode as [], got %s", buf.String())
+	}
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "a", "bb")
+	tb.AddRow("x", "1")
+	tb.AddRow("longer", "2")
+	s := tb.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "longer") {
+		t.Errorf("render missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("lines = %d, want 5:\n%s", len(lines), s)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("1")                // short row
+	tb.AddRow("1", "2", "3", "4") // long row: extra dropped
+	s := tb.String()
+	if strings.Contains(s, "4") {
+		t.Errorf("extra cell not dropped:\n%s", s)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("", "name", "val", "n")
+	tb.AddRowf("pi", 3.14159, 42)
+	s := tb.String()
+	if !strings.Contains(s, "3.142") {
+		t.Errorf("float not formatted: %s", s)
+	}
+	if !strings.Contains(s, "42") {
+		t.Errorf("int not formatted: %s", s)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{Title: "fig", XLabel: "x", YLabel: "y"}
+	f.Add("a", []float64{1, 2, 3}, []float64{10, 20, 30})
+	f.Add("b", []float64{2, 3, 4}, []float64{5, 6, 7})
+	s := f.String()
+	for _, want := range []string{"fig", "a", "b", "10", "7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("figure render missing %q:\n%s", want, s)
+		}
+	}
+	// x=1 exists only in series a; series b's cell must be blank there.
+	lines := strings.Split(s, "\n")
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "1 ") && strings.Contains(l, "10") && !strings.Contains(l, "5") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sparse series not rendered correctly:\n%s", s)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.675); got != "67.5%" {
+		t.Errorf("Pct = %s", got)
+	}
+}

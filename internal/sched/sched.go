@@ -1,0 +1,141 @@
+// Package sched implements the thread scheduler and the dynamic
+// load-balancing (LB) policy of §IV-A: threads live in per-core run
+// queues and "dynamic load balancing balances the workload by moving
+// threads from a core's queue to another if the difference in queue
+// lengths is over a threshold".
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Scheduler tracks the assignment of hardware threads to cores.
+type Scheduler struct {
+	nCores int
+	// queue[c] lists thread ids assigned to core c.
+	queue [][]int
+	// Threshold is the queue-length difference that triggers migration.
+	Threshold int
+	// migrations counts thread moves performed by Rebalance.
+	migrations int
+}
+
+// New creates a scheduler with nThreads assigned round-robin over nCores
+// (the UltraSPARC T1 runs 4 hardware threads per core; the 2-tier stack
+// hosts 32 threads on 8 cores).
+func New(nCores, nThreads int) (*Scheduler, error) {
+	if nCores < 1 || nThreads < 1 {
+		return nil, fmt.Errorf("sched: bad shape cores=%d threads=%d", nCores, nThreads)
+	}
+	s := &Scheduler{nCores: nCores, queue: make([][]int, nCores), Threshold: 1}
+	for t := 0; t < nThreads; t++ {
+		c := t % nCores
+		s.queue[c] = append(s.queue[c], t)
+	}
+	return s, nil
+}
+
+// NumCores returns the core count.
+func (s *Scheduler) NumCores() int { return s.nCores }
+
+// QueueLengths returns the current per-core runnable-queue lengths for
+// the given per-thread demands (threads with negligible demand are not
+// runnable and don't count).
+func (s *Scheduler) QueueLengths(demand []float64) []int {
+	const eps = 0.02
+	out := make([]int, s.nCores)
+	for c, q := range s.queue {
+		for _, t := range q {
+			if t < len(demand) && demand[t] > eps {
+				out[c]++
+			}
+		}
+	}
+	return out
+}
+
+// Assignment returns a copy of the per-core thread queues.
+func (s *Scheduler) Assignment() [][]int {
+	out := make([][]int, s.nCores)
+	for c := range s.queue {
+		out[c] = append([]int(nil), s.queue[c]...)
+	}
+	return out
+}
+
+// Migrations returns the cumulative number of thread migrations.
+func (s *Scheduler) Migrations() int { return s.migrations }
+
+// Rebalance applies the LB rule for the current demands: while the
+// runnable-queue length spread exceeds Threshold, move one runnable
+// thread from the longest to the shortest queue. Returns the number of
+// migrations performed this call.
+func (s *Scheduler) Rebalance(demand []float64) int {
+	const eps = 0.02
+	moved := 0
+	for iter := 0; iter < 16*s.nCores; iter++ {
+		lens := s.QueueLengths(demand)
+		maxC, minC := 0, 0
+		for c := 1; c < s.nCores; c++ {
+			if lens[c] > lens[maxC] {
+				maxC = c
+			}
+			if lens[c] < lens[minC] {
+				minC = c
+			}
+		}
+		if lens[maxC]-lens[minC] <= s.Threshold {
+			break
+		}
+		// Move the last runnable thread off the longest queue.
+		q := s.queue[maxC]
+		moveIdx := -1
+		for i := len(q) - 1; i >= 0; i-- {
+			if q[i] < len(demand) && demand[q[i]] > eps {
+				moveIdx = i
+				break
+			}
+		}
+		if moveIdx < 0 {
+			break
+		}
+		t := q[moveIdx]
+		s.queue[maxC] = append(q[:moveIdx], q[moveIdx+1:]...)
+		s.queue[minC] = append(s.queue[minC], t)
+		moved++
+	}
+	s.migrations += moved
+	return moved
+}
+
+// CoreLoads sums the demands of each core's threads. The first return
+// value is the utilization each core can actually deliver (capped at 1);
+// the second is the backlog (demand beyond capacity) per core — work that
+// slips and shows up as performance degradation.
+func (s *Scheduler) CoreLoads(demand []float64) (util, backlog []float64, err error) {
+	util = make([]float64, s.nCores)
+	backlog = make([]float64, s.nCores)
+	for c, q := range s.queue {
+		sum := 0.0
+		for _, t := range q {
+			if t >= len(demand) {
+				return nil, nil, errors.New("sched: demand vector shorter than thread ids")
+			}
+			sum += demand[t]
+		}
+		util[c] = math.Min(sum, 1)
+		backlog[c] = math.Max(sum-1, 0)
+	}
+	return util, backlog, nil
+}
+
+// ThreadCount returns the number of threads managed.
+func (s *Scheduler) ThreadCount() int {
+	n := 0
+	for _, q := range s.queue {
+		n += len(q)
+	}
+	return n
+}

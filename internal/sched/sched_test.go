@@ -1,0 +1,176 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRoundRobin(t *testing.T) {
+	s, err := New(8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ThreadCount() != 32 {
+		t.Errorf("threads = %d", s.ThreadCount())
+	}
+	for c, q := range s.Assignment() {
+		if len(q) != 4 {
+			t.Errorf("core %d queue = %d, want 4 (T1: 4 threads/core)", c, len(q))
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("zero cores must fail")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Error("zero threads must fail")
+	}
+}
+
+func TestRebalanceEvensQueues(t *testing.T) {
+	s, err := New(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand concentrated on the threads of core 0 and 1: cores 2,3 have
+	// no runnable threads -> spread 4 > threshold.
+	demand := make([]float64, 16)
+	for _, q := range s.Assignment()[:2] {
+		for _, th := range q {
+			demand[th] = 0.8
+		}
+	}
+	moved := s.Rebalance(demand)
+	if moved == 0 {
+		t.Fatal("expected migrations")
+	}
+	lens := s.QueueLengths(demand)
+	mx, mn := lens[0], lens[0]
+	for _, l := range lens {
+		if l > mx {
+			mx = l
+		}
+		if l < mn {
+			mn = l
+		}
+	}
+	if mx-mn > s.Threshold {
+		t.Errorf("queues still unbalanced: %v", lens)
+	}
+	if s.Migrations() != moved {
+		t.Errorf("migration counter %d != %d", s.Migrations(), moved)
+	}
+}
+
+func TestRebalanceNoopWhenBalanced(t *testing.T) {
+	s, err := New(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := make([]float64, 16)
+	for i := range demand {
+		demand[i] = 0.5
+	}
+	if moved := s.Rebalance(demand); moved != 0 {
+		t.Errorf("balanced load migrated %d threads", moved)
+	}
+}
+
+func TestThreadsNeverLost(t *testing.T) {
+	// Property: rebalancing never loses or duplicates threads.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := New(2+rng.Intn(6), 4+rng.Intn(28))
+		if err != nil {
+			return false
+		}
+		n := s.ThreadCount()
+		for round := 0; round < 5; round++ {
+			demand := make([]float64, n)
+			for i := range demand {
+				if rng.Float64() < 0.5 {
+					demand[i] = rng.Float64()
+				}
+			}
+			s.Rebalance(demand)
+			seen := make(map[int]bool)
+			for _, q := range s.Assignment() {
+				for _, th := range q {
+					if seen[th] {
+						return false // duplicate
+					}
+					seen[th] = true
+				}
+			}
+			if len(seen) != n {
+				return false // lost
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoreLoads(t *testing.T) {
+	s, err := New(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin: core0 gets threads 0,2; core1 gets 1,3.
+	demand := []float64{0.6, 0.1, 0.7, 0.2}
+	util, backlog, err := s.CoreLoads(demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(util[0]-1.0) > 1e-12 || math.Abs(backlog[0]-0.3) > 1e-12 {
+		t.Errorf("core0 util=%v backlog=%v, want 1.0/0.3", util[0], backlog[0])
+	}
+	if math.Abs(util[1]-0.3) > 1e-12 || backlog[1] != 0 {
+		t.Errorf("core1 util=%v backlog=%v, want 0.3/0", util[1], backlog[1])
+	}
+}
+
+func TestCoreLoadsShortDemand(t *testing.T) {
+	s, _ := New(2, 4)
+	if _, _, err := s.CoreLoads([]float64{0.5}); err == nil {
+		t.Error("short demand vector must fail")
+	}
+}
+
+func TestRebalanceReducesBacklog(t *testing.T) {
+	// LB exists to spread work: after rebalancing a skewed load the total
+	// backlog must not increase.
+	s, _ := New(4, 16)
+	demand := make([]float64, 16)
+	for _, th := range s.Assignment()[0] {
+		demand[th] = 0.9
+	}
+	_, before, err := s.CoreLoads(demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Rebalance(demand)
+	_, after, err := s.CoreLoads(demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s
+	}
+	if sum(after) > sum(before)+1e-12 {
+		t.Errorf("backlog grew after rebalance: %v -> %v", sum(before), sum(after))
+	}
+	if sum(after) >= sum(before) && sum(before) > 0 {
+		t.Errorf("rebalance failed to reduce backlog: %v -> %v", sum(before), sum(after))
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"repro/internal/power"
+	"repro/internal/sched"
+)
+
+// hwThreadsPerCore is the UltraSPARC T1's hardware-thread count per core:
+// four contexts share one pipeline, so a thread at utilization u occupies
+// u/4 of its core at nominal speed.
+const hwThreadsPerCore = 4
+
+// schedState wraps the scheduler with the DVFS-aware load accounting the
+// simulator needs: a core at level l runs at speed s = f(l)/f(0), so a
+// thread demanding fraction u of its context occupies u/(4·s) of the
+// slowed core.
+type schedState struct {
+	s *sched.Scheduler
+}
+
+func newSchedState(nCores, nThreads int) (*schedState, error) {
+	s, err := sched.New(nCores, nThreads)
+	if err != nil {
+		return nil, err
+	}
+	return &schedState{s: s}, nil
+}
+
+// perCoreDemand sums the raw (nominal-speed) demand per core.
+func (ss *schedState) perCoreDemand(demand []float64) []float64 {
+	out := make([]float64, ss.s.NumCores())
+	for c, q := range ss.s.Assignment() {
+		for _, th := range q {
+			if th < len(demand) {
+				out[c] += demand[th] / hwThreadsPerCore
+			}
+		}
+	}
+	for i := range out {
+		if out[i] > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// loads computes per-core busy fraction (capped at 1) and backlog under
+// the current assignment and DVFS levels.
+func (ss *schedState) loads(demand []float64, levels []int, dvfs power.DVFSTable) (util, backlog []float64, err error) {
+	n := ss.s.NumCores()
+	util = make([]float64, n)
+	backlog = make([]float64, n)
+	for c, q := range ss.s.Assignment() {
+		sum := 0.0
+		for _, th := range q {
+			if th < len(demand) {
+				sum += demand[th] / hwThreadsPerCore
+			}
+		}
+		speed := dvfs.SpeedRatio(levels[c])
+		eff := sum / speed // occupancy of the slowed core
+		if eff > 1 {
+			util[c] = 1
+			backlog[c] = (eff - 1) * speed // nominal-speed work delayed
+		} else {
+			util[c] = eff
+		}
+	}
+	return util, backlog, nil
+}
+
+func (ss *schedState) rebalance(demand []float64) int {
+	return ss.s.Rebalance(demand)
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/policy"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+func noisyRun(t *testing.T, cfg Config) *Metrics {
+	t.Helper()
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func fuzzyPolicy(t *testing.T) policy.Policy {
+	t.Helper()
+	p, err := policy.NewFuzzy(85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSensorNoiseValidation(t *testing.T) {
+	tr := quickTrace(t, workload.WebServer, 5)
+	if _, err := Run(Config{
+		Stack: floorplan.Niagara2Tier(), Mode: thermal.LiquidCooled,
+		Policy: policy.LB{}, Trace: tr, Grid: 8,
+		SensorNoiseStdC: -1,
+	}); err == nil {
+		t.Fatal("negative sensor noise accepted")
+	}
+	if _, err := Run(Config{
+		Stack: floorplan.Niagara2Tier(), Mode: thermal.LiquidCooled,
+		Policy: policy.LB{}, Trace: tr, Grid: 8,
+		StuckSensor: &StuckSensor{Core: 99, ValueC: 45},
+	}); err == nil {
+		t.Fatal("out-of-range stuck sensor accepted")
+	}
+	if _, err := Run(Config{
+		Stack: floorplan.Niagara2Tier(), Mode: thermal.LiquidCooled,
+		Policy: policy.LB{}, Trace: tr, Grid: 8,
+		StuckSensor: &StuckSensor{Core: -1, ValueC: 45},
+	}); err == nil {
+		t.Fatal("negative stuck sensor core accepted")
+	}
+}
+
+func TestSensorNoiseDeterministicUnderSeed(t *testing.T) {
+	tr := quickTrace(t, workload.WebServer, 10)
+	base := Config{
+		Stack: floorplan.Niagara2Tier(), Mode: thermal.LiquidCooled,
+		Policy: fuzzyPolicy(t), Trace: tr, Grid: 8,
+		SensorNoiseStdC: 0.5, SensorSeed: 42,
+	}
+	m1 := noisyRun(t, base)
+	base.Policy = fuzzyPolicy(t)
+	m2 := noisyRun(t, base)
+	if m1.PumpEnergyJ != m2.PumpEnergyJ || m1.PeakTempC != m2.PeakTempC {
+		t.Fatalf("same seed, different outcomes: %+v vs %+v", m1, m2)
+	}
+	base.Policy = fuzzyPolicy(t)
+	base.SensorSeed = 7
+	m3 := noisyRun(t, base)
+	if m3.PumpEnergyJ == m1.PumpEnergyJ && m3.MeanFlowFrac == m1.MeanFlowFrac {
+		t.Fatal("different noise seeds produced identical actuation")
+	}
+}
+
+func TestFuzzyRobustToSensorNoise(t *testing.T) {
+	// Realistic sensor noise (0.5 K) must not destabilise the fuzzy
+	// controller: still no hot spots, peak within a couple kelvin of
+	// the clean run.
+	tr := quickTrace(t, workload.Database, 20)
+	clean := noisyRun(t, Config{
+		Stack: floorplan.Niagara2Tier(), Mode: thermal.LiquidCooled,
+		Policy: fuzzyPolicy(t), Trace: tr, Grid: 8,
+	})
+	noisy := noisyRun(t, Config{
+		Stack: floorplan.Niagara2Tier(), Mode: thermal.LiquidCooled,
+		Policy: fuzzyPolicy(t), Trace: tr, Grid: 8,
+		SensorNoiseStdC: 0.5,
+	})
+	if noisy.HotspotFracMax > 0 {
+		t.Fatalf("0.5 K sensor noise produced hot spots: %v", noisy.HotspotFracMax)
+	}
+	if d := noisy.PeakTempC - clean.PeakTempC; d > 3 || d < -3 {
+		t.Fatalf("noise moved the peak by %.1f K", d)
+	}
+}
+
+func TestStuckSensorSurvivable(t *testing.T) {
+	// One sensor wedged at a benign 45 °C: the fuzzy controller keys on
+	// the maximum of the remaining sensors, so the stack must stay cool
+	// as long as any functional sensor sees the heat. Load balancing
+	// spreads work across cores, so neighbours do.
+	tr := quickTrace(t, workload.PeakLoad, 20)
+	m := noisyRun(t, Config{
+		Stack: floorplan.Niagara2Tier(), Mode: thermal.LiquidCooled,
+		Policy: fuzzyPolicy(t), Trace: tr, Grid: 8,
+		StuckSensor: &StuckSensor{Core: 3, ValueC: 45},
+	})
+	if m.PeakTempC > 85 {
+		t.Fatalf("stuck sensor let the stack reach %.1f °C", m.PeakTempC)
+	}
+}
+
+func TestStuckSensorGroundTruthMetrics(t *testing.T) {
+	// Even with EVERY core's sensed maximum faked low via noise-free
+	// stuck injection on the hottest core, the metrics must report the
+	// ground-truth field — peak temperature comes from the model, not
+	// the sensors.
+	tr := quickTrace(t, workload.PeakLoad, 10)
+	m := noisyRun(t, Config{
+		Stack: floorplan.Niagara2Tier(), Mode: thermal.LiquidCooled,
+		Policy: policy.LB{}, Trace: tr, Grid: 8,
+		StuckSensor: &StuckSensor{Core: 0, ValueC: -100},
+	})
+	if m.PeakTempC < 30 {
+		t.Fatalf("metrics appear to use sensed temperatures: peak %.1f °C", m.PeakTempC)
+	}
+}
+
+func TestRecordSeries(t *testing.T) {
+	tr := quickTrace(t, workload.WebServer, 5)
+	m, err := Run(Config{
+		Stack: floorplan.Niagara2Tier(), Mode: thermal.LiquidCooled,
+		Policy: fuzzyPolicy(t), Trace: tr, Grid: 8,
+		Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Series) != 50 { // 5 s × 10 sensing steps
+		t.Fatalf("series samples = %d, want 50", len(m.Series))
+	}
+	for i, s := range m.Series {
+		if s.PeakC < 20 || s.PeakC > 120 {
+			t.Fatalf("sample %d: peak %.1f °C implausible", i, s.PeakC)
+		}
+		if i > 0 && s.TimeS <= m.Series[i-1].TimeS {
+			t.Fatalf("sample %d: time not increasing", i)
+		}
+		if s.ChipPowerW <= 0 || s.FlowFrac < 0 || s.FlowFrac > 1 {
+			t.Fatalf("sample %d: bad fields %+v", i, s)
+		}
+	}
+	// Off by default.
+	m2, err := Run(Config{
+		Stack: floorplan.Niagara2Tier(), Mode: thermal.LiquidCooled,
+		Policy: fuzzyPolicy(t), Trace: tr, Grid: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Series != nil {
+		t.Fatal("series recorded without Record")
+	}
+}

@@ -1,0 +1,488 @@
+// Package sim is the co-simulation engine that couples the workload
+// traces, the scheduler, the power model, the compact thermal model and a
+// management policy — the experimental loop of §IV-A:
+//
+//	every 1 s    : read the next trace sample, run the policy (DVFS +
+//	               flow actuation + load balancing), update power
+//	every 100 ms : advance the thermal model, sample the per-core
+//	               temperature sensors, accumulate metrics
+//
+// Simulations start from the steady state of the first trace sample,
+// matching the paper ("we initialize the simulations with steady state
+// temperature values").
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cooling"
+	"repro/internal/floorplan"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/thermal"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Stack is the MPSoC (2- or 4-tier Niagara in the paper).
+	Stack *floorplan.Stack
+	// Mode selects air or liquid cooling.
+	Mode thermal.CoolingMode
+	// Policy is the management strategy under test.
+	Policy policy.Policy
+	// Trace supplies per-thread utilization at 1 s granularity; it must
+	// carry at least as many threads as the stack has hardware threads
+	// (4 per core).
+	Trace *workload.Trace
+	// Power is the power model (default: calibrated Niagara).
+	Power *power.Model
+	// ThresholdC is the hot-spot threshold (default 85).
+	ThresholdC float64
+	// SenseDt is the sensor/thermal step (default 0.1 s).
+	SenseDt float64
+	// Grid is the thermal grid resolution (default 16).
+	Grid int
+	// FlowQuantLevels quantises pump actuation (default 8 settings).
+	FlowQuantLevels int
+	// SensorNoiseStdC adds zero-mean Gaussian noise of this standard
+	// deviation (kelvin) to every temperature reading the policy sees —
+	// real thermal sensors are a few tenths of a kelvin noisy. The
+	// ground-truth field used for the hot-spot metrics is unaffected.
+	SensorNoiseStdC float64
+	// SensorSeed makes the noise stream reproducible (default 1).
+	SensorSeed int64
+	// StuckSensor, when non-nil, injects a sensor failure.
+	StuckSensor *StuckSensor
+	// Record, when true, captures a per-sensing-step time series in
+	// Metrics.Series (the temperature/flow traces papers plot).
+	Record bool
+}
+
+// TimeSample is one recorded sensing step.
+type TimeSample struct {
+	// TimeS is the simulation time (s).
+	TimeS float64
+	// PeakC is the ground-truth junction maximum (°C).
+	PeakC float64
+	// FlowFrac is the pump setting in [0, 1] (0 for air cooling).
+	FlowFrac float64
+	// ChipPowerW and PumpPowerW are the instantaneous powers (W).
+	ChipPowerW, PumpPowerW float64
+}
+
+// StuckSensor is the failure-injection scenario: one core's sensor is
+// wedged at a fixed (typically benign) reading, and the policy must
+// survive on the remaining sensors.
+type StuckSensor struct {
+	// Core is the core whose sensor is wedged.
+	Core int
+	// ValueC is the frozen reading (°C).
+	ValueC float64
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Stack == nil || c.Policy == nil || c.Trace == nil {
+		return errors.New("sim: Stack, Policy and Trace are required")
+	}
+	if err := c.Trace.Validate(); err != nil {
+		return err
+	}
+	if c.Power == nil {
+		c.Power = power.NewDefaultModel()
+	}
+	if c.ThresholdC == 0 {
+		c.ThresholdC = 85
+	}
+	if c.SenseDt == 0 {
+		c.SenseDt = 0.1
+	}
+	if c.Grid == 0 {
+		c.Grid = 16
+	}
+	if c.FlowQuantLevels == 0 {
+		c.FlowQuantLevels = 8
+	}
+	if c.SenseDt <= 0 || c.SenseDt > 1 {
+		return fmt.Errorf("sim: SenseDt %v outside (0, 1]", c.SenseDt)
+	}
+	if c.SensorNoiseStdC < 0 {
+		return fmt.Errorf("sim: negative sensor noise %v", c.SensorNoiseStdC)
+	}
+	if c.SensorSeed == 0 {
+		c.SensorSeed = 1
+	}
+	if s := c.StuckSensor; s != nil && (s.Core < 0 || s.Core >= c.Stack.CoreCount()) {
+		return fmt.Errorf("sim: stuck sensor core %d out of range", s.Core)
+	}
+	threadsNeeded := 4 * c.Stack.CoreCount()
+	if c.Trace.Threads() < threadsNeeded {
+		return fmt.Errorf("sim: trace has %d threads, stack needs %d (4 per core)",
+			c.Trace.Threads(), threadsNeeded)
+	}
+	return nil
+}
+
+// Metrics summarises one run — the quantities Figs. 6 and 7 plot.
+type Metrics struct {
+	Policy string
+	Stack  string
+	Mode   string
+	Trace  string
+
+	// HotspotFracAvg is the mean over cores of the fraction of time the
+	// core spent above the threshold ("% hot spots avg" in Fig. 6).
+	HotspotFracAvg float64
+	// HotspotFracMax is the worst core's fraction ("% hot spots max").
+	HotspotFracMax float64
+	// PeakTempC is the maximum junction temperature observed.
+	PeakTempC float64
+
+	// ChipEnergyJ is the integrated chip (cores+caches+leakage) energy.
+	ChipEnergyJ float64
+	// PumpEnergyJ is the integrated pumping-network energy (0 for air).
+	PumpEnergyJ float64
+	// TotalEnergyJ = chip + pump.
+	TotalEnergyJ float64
+
+	// PerfDegradationPct is delayed work over demanded work, in percent.
+	PerfDegradationPct float64
+
+	// MeanFlowFrac is the time-average pump setting (liquid mode).
+	MeanFlowFrac float64
+	// Migrations counts scheduler thread moves.
+	Migrations int
+	// SimulatedS is the simulated wall-clock duration in seconds.
+	SimulatedS float64
+	// Series holds the per-sensing-step time series when Config.Record
+	// is set (nil otherwise).
+	Series []TimeSample
+}
+
+// Run executes the co-simulation over the whole trace.
+func Run(cfg Config) (*Metrics, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	st := cfg.Stack
+	nCores := st.CoreCount()
+	order := power.CoreOrder(st)
+
+	sm, err := thermal.BuildStack(st, thermal.StackOptions{
+		Mode: cfg.Mode, Nx: cfg.Grid, Ny: cfg.Grid,
+		// Start at the Table-I maximum; the policy retunes it below.
+		FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var pump *cooling.Pump
+	var flowLevels []float64
+	liquid := cfg.Mode == thermal.LiquidCooled
+	flowFrac := 1.0
+	if liquid {
+		pump, err = cooling.TableIPump(sm.NumCavities())
+		if err != nil {
+			return nil, err
+		}
+		flowLevels, err = pump.FlowLevels(cfg.FlowQuantLevels)
+		if err != nil {
+			return nil, err
+		}
+		if err := sm.SetFlowPerCavity(pump.MaxFlow); err != nil {
+			return nil, err
+		}
+	}
+
+	sched, err := newSchedState(nCores, cfg.Trace.Threads())
+	if err != nil {
+		return nil, err
+	}
+
+	levels := make([]int, nCores)
+	nLevels := len(cfg.Power.DVFS)
+
+	// Initial state: steady solve at the first sample's power.
+	demand := cfg.Trace.Util[0]
+	coreUtil, _, err := sched.loads(demand, levels, cfg.Power.DVFS)
+	if err != nil {
+		return nil, err
+	}
+	unitTemps := constUnitTemps(st, 60)
+	powers, err := cfg.Power.StackPowers(st, power.StackState{
+		CoreUtil: coreUtil, CoreLevel: levels, UnitTempC: unitTemps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pm, err := sm.PowerMapFromUnits(powers)
+	if err != nil {
+		return nil, err
+	}
+	field, err := sm.Model.SteadyState(pm, nil)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := sm.Model.NewTransientFrom(cfg.SenseDt, field)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Metrics{
+		Policy: cfg.Policy.Name(),
+		Stack:  st.Name,
+		Mode:   cfg.Mode.String(),
+		Trace:  cfg.Trace.Name,
+	}
+	noise := rand.New(rand.NewSource(cfg.SensorSeed))
+	var cavFlows []float64 // per-cavity flows when the policy splits them
+	subSteps := int(math.Round(1 / cfg.SenseDt))
+	hotTime := make([]float64, nCores)
+	var totalTime, flowIntegral float64
+	var demandedWork, delayedWork float64
+
+	for step := 0; step < cfg.Trace.Steps(); step++ {
+		demand = cfg.Trace.Util[step]
+
+		// --- Control boundary (1 s): sense, decide, actuate. ---
+		f := tr.Field()
+		uts, err := sm.UnitMaxTemperatures(f)
+		if err != nil {
+			return nil, err
+		}
+		coreTemps := make([]float64, nCores)
+		for ci, ki := range order {
+			coreTemps[ci] = uts[ki[0]][ki[1]]
+		}
+		// The policy senses through imperfect sensors: optional Gaussian
+		// noise and an optionally wedged sensor. Metrics keep using the
+		// ground-truth field.
+		sensedMax := f.MaxOverPowerLayers()
+		if cfg.SensorNoiseStdC > 0 || cfg.StuckSensor != nil {
+			for ci := range coreTemps {
+				if cfg.SensorNoiseStdC > 0 {
+					coreTemps[ci] += cfg.SensorNoiseStdC * noise.NormFloat64()
+				}
+			}
+			if s := cfg.StuckSensor; s != nil {
+				coreTemps[s.Core] = s.ValueC
+			}
+			sensedMax = coreTemps[0]
+			for _, t := range coreTemps[1:] {
+				if t > sensedMax {
+					sensedMax = t
+				}
+			}
+		}
+		coreDemand := sched.perCoreDemand(demand)
+		meanU := mean(coreDemand)
+		tierMax := make([]float64, st.NumTiers())
+		for k := range uts {
+			m := uts[k][0]
+			for _, v := range uts[k][1:] {
+				if v > m {
+					m = v
+				}
+			}
+			tierMax[k] = m
+		}
+		nCav := 0
+		if liquid {
+			nCav = sm.NumCavities()
+		}
+		act, err := cfg.Policy.Decide(policy.Context{
+			CoreTempC:    coreTemps,
+			MaxTempC:     sensedMax,
+			CoreUtil:     coreDemand,
+			MeanUtil:     meanU,
+			CoreLevels:   levels,
+			NumLevels:    nLevels,
+			FlowFrac:     flowFrac,
+			LiquidCooled: liquid,
+			TierMaxTempC: tierMax,
+			NumCavities:  nCav,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(act.CoreLevels) != nCores {
+			return nil, fmt.Errorf("sim: policy returned %d levels for %d cores", len(act.CoreLevels), nCores)
+		}
+		copy(levels, act.CoreLevels)
+		for i := range levels {
+			levels[i] = clampInt(levels[i], 0, nLevels-1)
+		}
+		if liquid {
+			if len(act.PerCavityFlow) == nCav && nCav > 0 {
+				// Per-cavity actuation (§I: tune the flow in each
+				// micro-channel cavity individually).
+				cavFlows = cavFlows[:0]
+				sum := 0.0
+				for k, layer := range sm.Model.Cavities() {
+					frac := quantize(units.Clamp(act.PerCavityFlow[k], 0, 1), flowLevels, pump)
+					q := pump.ClampFlow(units.Lerp(pump.MinFlow, pump.MaxFlow, frac))
+					if err := sm.Model.SetCavityFlow(layer, q); err != nil {
+						return nil, err
+					}
+					cavFlows = append(cavFlows, q)
+					sum += frac
+				}
+				flowFrac = sum / float64(nCav)
+			} else {
+				cavFlows = cavFlows[:0]
+				flowFrac = quantize(units.Clamp(act.FlowFrac, 0, 1), flowLevels, pump)
+				q := pump.ClampFlow(units.Lerp(pump.MinFlow, pump.MaxFlow, flowFrac))
+				if err := sm.SetFlowPerCavity(q); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if act.Rebalance {
+			sched.rebalance(demand)
+		}
+
+		// Power for this interval, with leakage at the sensed temps.
+		unitMeans, err := sm.UnitTemperatures(f)
+		if err != nil {
+			return nil, err
+		}
+		coreUtil, backlog, err := sched.loads(demand, levels, cfg.Power.DVFS)
+		if err != nil {
+			return nil, err
+		}
+		powers, err = cfg.Power.StackPowers(st, power.StackState{
+			CoreUtil: coreUtil, CoreLevel: levels, UnitTempC: unitMeans,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pm, err = sm.PowerMapFromUnits(powers)
+		if err != nil {
+			return nil, err
+		}
+		chipPower := power.Total(powers)
+		pumpPower := 0.0
+		if liquid {
+			if len(cavFlows) > 0 {
+				pumpPower, err = pump.PowerSplit(cavFlows)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				pumpPower = pump.Power(units.Lerp(pump.MinFlow, pump.MaxFlow, flowFrac))
+			}
+		}
+		for _, d := range demand {
+			demandedWork += d
+		}
+		for _, b := range backlog {
+			delayedWork += b
+		}
+
+		// --- Sensing sub-steps (100 ms). ---
+		for sub := 0; sub < subSteps; sub++ {
+			if err := tr.Step(pm); err != nil {
+				return nil, err
+			}
+			fs := tr.Field()
+			um, err := sm.UnitMaxTemperatures(fs)
+			if err != nil {
+				return nil, err
+			}
+			for ci, ki := range order {
+				if um[ki[0]][ki[1]] > cfg.ThresholdC {
+					hotTime[ci] += cfg.SenseDt
+				}
+			}
+			p := fs.MaxOverPowerLayers()
+			if p > m.PeakTempC {
+				m.PeakTempC = p
+			}
+			if cfg.Record {
+				m.Series = append(m.Series, TimeSample{
+					TimeS:      totalTime + cfg.SenseDt,
+					PeakC:      p,
+					FlowFrac:   flowFrac,
+					ChipPowerW: chipPower,
+					PumpPowerW: pumpPower,
+				})
+			}
+			totalTime += cfg.SenseDt
+			m.ChipEnergyJ += chipPower * cfg.SenseDt
+			m.PumpEnergyJ += pumpPower * cfg.SenseDt
+			flowIntegral += flowFrac * cfg.SenseDt
+		}
+	}
+
+	m.SimulatedS = totalTime
+	m.TotalEnergyJ = m.ChipEnergyJ + m.PumpEnergyJ
+	m.Migrations = sched.s.Migrations()
+	if totalTime > 0 {
+		m.MeanFlowFrac = flowIntegral / totalTime
+		maxFrac := 0.0
+		sumFrac := 0.0
+		for _, h := range hotTime {
+			frac := h / totalTime
+			sumFrac += frac
+			if frac > maxFrac {
+				maxFrac = frac
+			}
+		}
+		m.HotspotFracAvg = sumFrac / float64(nCores)
+		m.HotspotFracMax = maxFrac
+	}
+	if demandedWork > 0 {
+		m.PerfDegradationPct = 100 * delayedWork / demandedWork
+	}
+	return m, nil
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// quantize snaps a flow fraction to the nearest actuation level.
+func quantize(frac float64, levels []float64, p *cooling.Pump) float64 {
+	want := units.Lerp(p.MinFlow, p.MaxFlow, frac)
+	best, bestD := 0, math.Inf(1)
+	for i, q := range levels {
+		if d := math.Abs(q - want); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return units.InvLerp(p.MinFlow, p.MaxFlow, levels[best])
+}
+
+func constUnitTemps(st *floorplan.Stack, t float64) [][]float64 {
+	out := make([][]float64, st.NumTiers())
+	for k, tier := range st.Tiers {
+		row := make([]float64, len(tier.FP.Units))
+		for i := range row {
+			row[i] = t
+		}
+		out[k] = row
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/policy"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// quickTrace generates a short deterministic trace for the 2-tier stack
+// (32 hardware threads).
+func quickTrace(t *testing.T, p workload.Profile, steps int) *workload.Trace {
+	t.Helper()
+	tr, err := p.Generate(32, steps, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func quickRun(t *testing.T, mode thermal.CoolingMode, pol policy.Policy, tr *workload.Trace) *Metrics {
+	t.Helper()
+	m, err := Run(Config{
+		Stack: floorplan.Niagara2Tier(),
+		Mode:  mode, Policy: pol, Trace: tr, Grid: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunValidation(t *testing.T) {
+	tr := quickTrace(t, workload.Database, 5)
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config must fail")
+	}
+	small, err := workload.Database.Generate(4, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Config{
+		Stack: floorplan.Niagara2Tier(), Mode: thermal.AirCooled,
+		Policy: policy.LB{}, Trace: small,
+	}); err == nil {
+		t.Error("too few threads must fail")
+	}
+	if _, err := Run(Config{
+		Stack: floorplan.Niagara2Tier(), Mode: thermal.AirCooled,
+		Policy: policy.LB{}, Trace: tr, SenseDt: 3,
+	}); err == nil {
+		t.Error("SenseDt > 1 must fail")
+	}
+}
+
+func TestMetricsConsistency(t *testing.T) {
+	tr := quickTrace(t, workload.WebServer, 30)
+	m := quickRun(t, thermal.LiquidCooled, policy.LB{}, tr)
+	if math.Abs(m.TotalEnergyJ-(m.ChipEnergyJ+m.PumpEnergyJ)) > 1e-9 {
+		t.Error("total energy != chip + pump")
+	}
+	if math.Abs(m.SimulatedS-30) > 1e-6 {
+		t.Errorf("simulated time = %v, want 30 s", m.SimulatedS)
+	}
+	if m.HotspotFracAvg < 0 || m.HotspotFracAvg > 1 || m.HotspotFracMax < m.HotspotFracAvg {
+		t.Errorf("hotspot fractions inconsistent: avg %v max %v", m.HotspotFracAvg, m.HotspotFracMax)
+	}
+	if m.ChipEnergyJ <= 0 {
+		t.Error("chip energy must be positive")
+	}
+	if m.Policy != "LB" || m.Mode != "liquid-cooled" {
+		t.Errorf("labels wrong: %+v", m)
+	}
+}
+
+func TestAirCooledHotspotsUnderPeakLoad(t *testing.T) {
+	tr := quickTrace(t, workload.PeakLoad, 40)
+	m := quickRun(t, thermal.AirCooled, policy.LB{}, tr)
+	if m.HotspotFracMax == 0 {
+		t.Errorf("peak-load air-cooled run shows no hotspots (peak %v °C)", m.PeakTempC)
+	}
+	if m.PeakTempC < 80 {
+		t.Errorf("peak temp %v °C too low for the air-cooled baseline", m.PeakTempC)
+	}
+	if m.PumpEnergyJ != 0 {
+		t.Error("air-cooled run must have zero pump energy")
+	}
+}
+
+func TestLiquidCoolingRemovesHotspots(t *testing.T) {
+	tr := quickTrace(t, workload.PeakLoad, 40)
+	m := quickRun(t, thermal.LiquidCooled, policy.LB{}, tr)
+	if m.HotspotFracMax > 0 {
+		t.Errorf("liquid cooling at max flow left hotspots: %v (peak %v °C)",
+			m.HotspotFracMax, m.PeakTempC)
+	}
+	if m.PeakTempC >= 85 {
+		t.Errorf("LC_LB peak %v °C above threshold", m.PeakTempC)
+	}
+	if m.PumpEnergyJ <= 0 {
+		t.Error("liquid-cooled run must spend pump energy")
+	}
+	if m.MeanFlowFrac != 1 {
+		t.Errorf("LC_LB must pin flow at max, got %v", m.MeanFlowFrac)
+	}
+}
+
+func TestFuzzySavesCoolingEnergy(t *testing.T) {
+	// The headline §IV-A comparison on a short trace: LC_FUZZY must beat
+	// LC_LB on pump energy and total energy while staying below the
+	// threshold with negligible performance loss.
+	tr := quickTrace(t, workload.WebServer, 60)
+	lb := quickRun(t, thermal.LiquidCooled, policy.LB{}, tr)
+	fz, err := policy.NewFuzzy(85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := quickRun(t, thermal.LiquidCooled, fz, tr)
+	if fm.PumpEnergyJ >= lb.PumpEnergyJ {
+		t.Errorf("fuzzy pump energy %v >= LC_LB %v", fm.PumpEnergyJ, lb.PumpEnergyJ)
+	}
+	saving := 1 - fm.PumpEnergyJ/lb.PumpEnergyJ
+	if saving < 0.2 {
+		t.Errorf("cooling energy saving = %v, expected substantial (paper: ~0.5)", saving)
+	}
+	if fm.TotalEnergyJ >= lb.TotalEnergyJ {
+		t.Errorf("fuzzy total energy %v >= LC_LB %v", fm.TotalEnergyJ, lb.TotalEnergyJ)
+	}
+	if fm.HotspotFracMax > 0 {
+		t.Errorf("fuzzy left hotspots: %v", fm.HotspotFracMax)
+	}
+	if fm.PerfDegradationPct > 0.1 {
+		t.Errorf("fuzzy perf degradation %v%%, paper reports <= 0.01%%", fm.PerfDegradationPct)
+	}
+	if fm.MeanFlowFrac >= 0.9 {
+		t.Errorf("fuzzy mean flow %v suspiciously near max", fm.MeanFlowFrac)
+	}
+}
+
+func TestTDVFSReducesHotspotsVsLB(t *testing.T) {
+	tr := quickTrace(t, workload.PeakLoad, 40)
+	lb := quickRun(t, thermal.AirCooled, policy.LB{}, tr)
+	td := quickRun(t, thermal.AirCooled, policy.NewTDVFSLB(), tr)
+	if td.HotspotFracAvg > lb.HotspotFracAvg+1e-9 {
+		t.Errorf("TDVFS hotspot fraction %v above LB %v", td.HotspotFracAvg, lb.HotspotFracAvg)
+	}
+	// DVFS trades performance; LB-only never does.
+	if lb.PerfDegradationPct != 0 {
+		t.Errorf("LB-only run shows perf degradation %v%%", lb.PerfDegradationPct)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tr := quickTrace(t, workload.Multimedia, 20)
+	a := quickRun(t, thermal.LiquidCooled, policy.LB{}, tr)
+	b := quickRun(t, thermal.LiquidCooled, policy.LB{}, tr)
+	if a.ChipEnergyJ != b.ChipEnergyJ || a.PeakTempC != b.PeakTempC ||
+		a.HotspotFracAvg != b.HotspotFracAvg {
+		t.Errorf("identical configs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFourTierRunsAndIsHotterAirCooled(t *testing.T) {
+	tr64, err := workload.PeakLoad.Generate(64, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr32, err := workload.PeakLoad.Generate(32, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := Run(Config{
+		Stack: floorplan.Niagara4Tier(), Mode: thermal.AirCooled,
+		Policy: policy.LB{}, Trace: tr64, Grid: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Run(Config{
+		Stack: floorplan.Niagara2Tier(), Mode: thermal.AirCooled,
+		Policy: policy.LB{}, Trace: tr32, Grid: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4.PeakTempC <= m2.PeakTempC+10 {
+		t.Errorf("4-tier AC peak %v not well above 2-tier %v", m4.PeakTempC, m2.PeakTempC)
+	}
+	if m4.PeakTempC < 110 {
+		t.Errorf("4-tier AC peak %v °C; paper reports well above 110", m4.PeakTempC)
+	}
+}

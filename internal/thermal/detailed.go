@@ -1,0 +1,206 @@
+package thermal
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fluids"
+	"repro/internal/mat"
+	"repro/internal/microchannel"
+)
+
+// DetailedChannelModel resolves a single cooled tier at *individual
+// channel* granularity — the four-resistor-model (4RM) cell of 3D-ICE
+// (Sridhar et al., ICCAD 2010) that the porous-averaged cavity layer of
+// Model coarse-grains. The geometry is one silicon die with power on its
+// face and a micro-channel cavity beneath it:
+//
+//	[ die (power) ]
+//	[ wall | channel | wall | channel | ... ]   ← resolved per channel
+//	[ closing plate ]
+//
+// Each fluid cell couples to four structures: the die above, the plate
+// below, and the two side walls (the "4RM"), plus the upwind advective
+// link to its upstream neighbour. Intended for validation of the porous
+// model and for small test-vehicle geometries; the system-level
+// simulations use Model.
+type DetailedChannelModel struct {
+	Arr   microchannel.Array
+	Fluid fluids.Fluid
+	// DieThk, PlateThk are the silicon die and closing-plate thicknesses.
+	DieThk, PlateThk float64
+	// FlowRate is the total cavity flow (m³/s).
+	FlowRate float64
+	// InletC is the coolant inlet temperature.
+	InletC float64
+	// NxSlices is the number of axial slices along the channel.
+	NxSlices int
+
+	// Node layout: for each axial slice i (0..NxSlices-1) and each lane
+	// j (0..2N: even = wall, odd = channel):
+	//   die    node: idx(0, i, j)
+	//   cavity node: idx(1, i, j)  (fluid for odd j, wall solid for even)
+	//   plate  node: idx(2, i, j)
+	nLanes int
+}
+
+// NewDetailedChannelModel validates and returns the model.
+func NewDetailedChannelModel(arr microchannel.Array, f fluids.Fluid, flow float64, inletC float64, nx int) (*DetailedChannelModel, error) {
+	if arr.N < 1 {
+		return nil, errors.New("thermal: detailed model needs at least one channel")
+	}
+	if flow <= 0 {
+		return nil, errors.New("thermal: detailed model needs positive flow")
+	}
+	if nx < 2 {
+		return nil, fmt.Errorf("thermal: detailed model needs >= 2 slices, got %d", nx)
+	}
+	return &DetailedChannelModel{
+		Arr: arr, Fluid: f,
+		DieThk:   DieThickness,
+		PlateThk: DieThickness,
+		FlowRate: flow, InletC: inletC,
+		NxSlices: nx,
+		nLanes:   2*arr.N + 1,
+	}, nil
+}
+
+// NumNodes returns the unknown count: 3 planes × slices × lanes.
+func (d *DetailedChannelModel) NumNodes() int { return 3 * d.NxSlices * d.nLanes }
+
+func (d *DetailedChannelModel) idx(plane, i, j int) int {
+	return plane*d.NxSlices*d.nLanes + i*d.nLanes + j
+}
+
+// laneWidth returns the y-extent of lane j: walls are (pitch−w) wide
+// except the two edge walls which take half, channels are w wide.
+func (d *DetailedChannelModel) laneWidth(j int) float64 {
+	w := d.Arr.Ch.W
+	wall := d.Arr.Pitch - w
+	if j%2 == 1 {
+		return w
+	}
+	if j == 0 || j == d.nLanes-1 {
+		return wall / 2
+	}
+	return wall
+}
+
+func (d *DetailedChannelModel) isChannel(j int) bool { return j%2 == 1 }
+
+// Solve computes the steady state under a uniform die heat flux
+// (W/m², footprint-referred) and returns the die-plane temperature field
+// indexed [slice][lane], plus the mean fluid outlet temperature.
+func (d *DetailedChannelModel) Solve(flux float64) (dieT [][]float64, outletC float64, err error) {
+	if flux < 0 {
+		return nil, 0, errors.New("thermal: negative flux")
+	}
+	n := d.NumNodes()
+	b := mat.NewBuilder(n)
+	rhs := make([]float64, n)
+
+	ch := d.Arr.Ch
+	dx := ch.L / float64(d.NxSlices)
+	hDuct := ch.HTC(d.Fluid)
+	// Per-channel advective conductance.
+	mc := d.Fluid.Rho * d.Fluid.Cp * d.FlowRate / float64(d.Arr.N)
+	cavT := ch.H
+
+	siK := Silicon.K
+	for i := 0; i < d.NxSlices; i++ {
+		for j := 0; j < d.nLanes; j++ {
+			wy := d.laneWidth(j)
+			aFace := wy * dx // footprint area of the lane cell
+			die := d.idx(0, i, j)
+			cav := d.idx(1, i, j)
+			plate := d.idx(2, i, j)
+
+			// Power into the die plane.
+			rhs[die] += flux * aFace
+
+			// In-plane conduction within die and plate along x.
+			if i+1 < d.NxSlices {
+				gx := siK * wy * d.DieThk / dx
+				b.AddConductance(die, d.idx(0, i+1, j), gx)
+				gxp := siK * wy * d.PlateThk / dx
+				b.AddConductance(plate, d.idx(2, i+1, j), gxp)
+			}
+			// In-plane conduction within die and plate along y.
+			if j+1 < d.nLanes {
+				wy2 := d.laneWidth(j + 1)
+				gy := siK * dx * d.DieThk / ((wy + wy2) / 2)
+				b.AddConductance(die, d.idx(0, i, j+1), gy)
+				gyp := siK * dx * d.PlateThk / ((wy + wy2) / 2)
+				b.AddConductance(plate, d.idx(2, i, j+1), gyp)
+			}
+
+			if d.isChannel(j) {
+				// 4RM fluid cell: top (die), bottom (plate), two sides.
+				gTop := aFace / (1/hDuct + d.DieThk/(2*siK))
+				gBot := aFace / (1/hDuct + d.PlateThk/(2*siK))
+				b.AddConductance(cav, die, gTop)
+				b.AddConductance(cav, plate, gBot)
+				aSide := cavT * dx
+				for _, dj := range []int{-1, 1} {
+					jw := j + dj
+					if jw < 0 || jw >= d.nLanes {
+						continue
+					}
+					gSide := aSide / (1/hDuct + d.laneWidth(jw)/(2*siK))
+					b.AddConductance(cav, d.idx(1, i, jw), gSide)
+				}
+				// Upwind advection.
+				b.Add(cav, cav, mc)
+				if i == 0 {
+					rhs[cav] += mc * d.InletC
+				} else {
+					b.Add(cav, d.idx(1, i-1, j), -mc)
+				}
+			} else {
+				// Solid wall column: vertical conduction die↔wall↔plate.
+				gv := siK * aFace / (d.DieThk/2 + cavT/2)
+				b.AddConductance(die, cav, gv)
+				gv2 := siK * aFace / (d.PlateThk/2 + cavT/2)
+				b.AddConductance(cav, plate, gv2)
+				// Wall-to-wall in-plane x conduction.
+				if i+1 < d.NxSlices {
+					gx := siK * wy * cavT / dx
+					b.AddConductance(cav, d.idx(1, i+1, j), gx)
+				}
+			}
+		}
+	}
+
+	g := b.Build()
+	ilu, _ := mat.NewILU(g)
+	sol, err := mat.BiCGSTAB(g, rhs, mat.IterOptions{Tol: 1e-9, Precond: ilu, MaxIter: 40 * n})
+	if err != nil {
+		return nil, 0, fmt.Errorf("thermal: detailed solve: %w", err)
+	}
+	dieT = make([][]float64, d.NxSlices)
+	for i := range dieT {
+		dieT[i] = make([]float64, d.nLanes)
+		for j := range dieT[i] {
+			dieT[i][j] = sol[d.idx(0, i, j)]
+		}
+	}
+	sum := 0.0
+	for j := 1; j < d.nLanes; j += 2 {
+		sum += sol[d.idx(1, d.NxSlices-1, j)]
+	}
+	outletC = sum / float64(d.Arr.N)
+	return dieT, outletC, nil
+}
+
+// MaxDieTemp returns the hottest die cell of a solved field.
+func MaxDieTemp(dieT [][]float64) float64 {
+	m := dieT[0][0]
+	for _, row := range dieT {
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}

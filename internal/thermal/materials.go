@@ -1,0 +1,78 @@
+// Package thermal implements the compact transient thermal model for 3D
+// MPSoC stacks with inter-tier micro-channel liquid cooling — the 3D-ICE
+// modelling approach (§II-D of the DATE 2011 paper, Sridhar et al.,
+// ICCAD 2010) re-implemented in Go.
+//
+// The stack is discretised into an nx×ny grid per layer. Solid layers
+// (silicon, wiring, inter-tier bond) become conduction cells; cavity
+// layers become porous-averaged micro-channel cells holding one fluid
+// node each, with
+//
+//   - convective conductances to the cells above and below (laminar duct
+//     HTC scaled by wetted area per footprint),
+//   - an upwind advective coupling ṁ·cp to the upstream fluid cell (the
+//     non-symmetric term that carries heat toward the outlet),
+//   - a parallel solid path through the channel side-walls.
+//
+// Air-cooled configurations attach a lumped heat-sink node (Table I:
+// 10 W/K to ambient, 140 J/K); back-side cold plates attach a distributed
+// convective face boundary. Steady states solve G·T = P + b with
+// BiCGSTAB; transients use backward Euler (C/Δt + G)·Tⁿ⁺¹ = C/Δt·Tⁿ + P + b.
+package thermal
+
+// Material is a homogeneous solid with thermal conductivity K (W/(m·K))
+// and volumetric heat capacity C (J/(m³·K)).
+type Material struct {
+	Name string
+	K    float64
+	C    float64
+}
+
+// Table I materials of the paper.
+var (
+	// Silicon: 130 W/(m·K), 1 635 660 J/(m³·K).
+	Silicon = Material{Name: "silicon", K: 130, C: 1.635660e6}
+	// Wiring (BEOL metal/dielectric stack): 2.25 W/(m·K),
+	// 2 174 502 J/(m³·K).
+	Wiring = Material{Name: "wiring", K: 2.25, C: 2.174502e6}
+	// InterTier is the bond/underfill material between tiers; Table I
+	// lists only one "wiring layer" dielectric figure, which the paper's
+	// model reuses for the inter-tier material.
+	InterTier = Material{Name: "inter-tier", K: 2.25, C: 2.174502e6}
+)
+
+// Table I geometric constants (metres).
+const (
+	// DieThickness is the silicon thickness of one stacked tier (0.15 mm).
+	DieThickness = 0.15e-3
+	// WiringThickness is the assumed BEOL thickness (not listed in
+	// Table I; 12 µm is typical for the 90 nm node).
+	WiringThickness = 12e-6
+	// InterTierThickness is the inter-tier material / cavity height
+	// (0.1 mm).
+	InterTierThickness = 0.1e-3
+	// ChannelWidth and ChannelPitch are the Table-I micro-channel
+	// figures (0.05 mm and 0.15 mm).
+	ChannelWidth = 0.05e-3
+	ChannelPitch = 0.15e-3
+)
+
+// TSVEnhance returns an effective vertical-conductivity multiplier for an
+// inter-tier layer populated with copper TSVs at the given area density
+// (0–0.1 typical). Copper (~400 W/mK) vias short-circuit the low-k bond:
+// k_eff = (1−ρ)·k_bond + ρ·k_cu.
+func TSVEnhance(base Material, density float64) Material {
+	const kCu = 400.0
+	const cCu = 3.44e6
+	if density < 0 {
+		density = 0
+	}
+	if density > 0.5 {
+		density = 0.5
+	}
+	return Material{
+		Name: base.Name + "+tsv",
+		K:    (1-density)*base.K + density*kCu,
+		C:    (1-density)*base.C + density*cCu,
+	}
+}

@@ -1,0 +1,525 @@
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/fluids"
+	"repro/internal/mat"
+	"repro/internal/microchannel"
+)
+
+// CavitySpec configures one micro-channel cavity layer.
+type CavitySpec struct {
+	// Arr is the channel array geometry (channels run along +x).
+	Arr microchannel.Array
+	// Fluid is the coolant.
+	Fluid fluids.Fluid
+	// FlowRate is the cavity volumetric flow rate in m³/s; it can be
+	// changed at run time through Model.SetCavityFlow (the control knob
+	// of the paper's management policies).
+	FlowRate float64
+	// InletC is the coolant inlet temperature in °C.
+	InletC float64
+	// WallMat is the solid forming the channel side-walls.
+	WallMat Material
+}
+
+// LayerSpec describes one layer of the stack, ordered from the outer
+// (heat-sink side) face downward.
+type LayerSpec struct {
+	Name      string
+	Thickness float64
+	Mat       Material
+	// Cavity, when non-nil, turns the layer into a micro-channel cavity;
+	// Mat is then ignored in favour of Cavity.WallMat.
+	Cavity *CavitySpec
+	// Power marks the layer as a heat source plane (an active silicon
+	// layer); power maps are injected per such layer.
+	Power bool
+}
+
+// SinkSpec is the lumped air-cooled heat sink of Table I.
+type SinkSpec struct {
+	// DieToSink is the total spreading conductance from the outer die
+	// face into the sink base (W/K).
+	DieToSink float64
+	// SinkToAmbient is Table I's "heat sink conductivity": 10 W/K.
+	SinkToAmbient float64
+	// Capacitance is Table I's 140 J/K.
+	Capacitance float64
+}
+
+// TableISink returns the Table-I heat sink (10 W/K to ambient, 140 J/K).
+// The die→sink spreading conductance is not listed in Table I; 12 W/K is
+// calibrated so that the air-cooled Niagara baselines land near the
+// paper's reported peaks (≈87 °C for the 2-tier stack, well above 110 °C
+// for the 4-tier stack).
+func TableISink() *SinkSpec {
+	return &SinkSpec{DieToSink: 12, SinkToAmbient: 10, Capacitance: 140}
+}
+
+// FaceBC is a distributed convective boundary on the outer face of layer
+// 0 (e.g. a back-side micro-channel cold plate).
+type FaceBC struct {
+	// HTC is the face heat-transfer coefficient in W/(m²·K).
+	HTC float64
+	// TempC is the coolant/ambient temperature seen by the face.
+	TempC float64
+}
+
+// Config assembles a stack model.
+type Config struct {
+	// Nx, Ny are the per-layer grid dimensions; x is the flow direction.
+	Nx, Ny int
+	// W, H are the die extents (m) along x and y.
+	W, H float64
+	// Layers from the outer (sink-side) face downward.
+	Layers []LayerSpec
+	// Sink, when non-nil, attaches the lumped heat sink to layer 0.
+	Sink *SinkSpec
+	// Face, when non-nil, attaches a convective boundary to layer 0
+	// (mutually exclusive with Sink).
+	Face *FaceBC
+	// AmbientC is the air ambient (°C) used by the sink path.
+	AmbientC float64
+}
+
+// Model is an assembled compact thermal model.
+type Model struct {
+	cfg    Config
+	nx, ny int
+	nCells int
+	nTotal int // layer cells + optional sink node
+	sink   int // index of the sink node, -1 if absent
+
+	dx, dy   float64
+	cellArea float64
+
+	powerLayers []int // indices of layers with Power: true
+	cavities    []int // indices of cavity layers
+
+	// Cached assembly (rebuilt when a cavity flow rate changes).
+	g       *mat.Sparse
+	gILU    *mat.ILU
+	rhsBase []float64 // boundary-condition contribution to the RHS
+	cap     []float64 // per-node heat capacitance (J/K)
+	dirty   bool
+}
+
+// New validates the configuration and assembles the model.
+func New(cfg Config) (*Model, error) {
+	if cfg.Nx < 2 || cfg.Ny < 2 {
+		return nil, fmt.Errorf("thermal: grid %dx%d too small (min 2x2)", cfg.Nx, cfg.Ny)
+	}
+	if cfg.W <= 0 || cfg.H <= 0 {
+		return nil, errors.New("thermal: non-positive die extent")
+	}
+	if len(cfg.Layers) == 0 {
+		return nil, errors.New("thermal: no layers")
+	}
+	if cfg.Sink != nil && cfg.Face != nil {
+		return nil, errors.New("thermal: Sink and Face boundaries are mutually exclusive")
+	}
+	m := &Model{
+		cfg: cfg, nx: cfg.Nx, ny: cfg.Ny,
+		nCells: cfg.Nx * cfg.Ny,
+		dx:     cfg.W / float64(cfg.Nx),
+		dy:     cfg.H / float64(cfg.Ny),
+		sink:   -1,
+		dirty:  true,
+	}
+	m.cellArea = m.dx * m.dy
+	grounded := false
+	for li, l := range cfg.Layers {
+		if l.Thickness <= 0 {
+			return nil, fmt.Errorf("thermal: layer %d (%s) thickness %g", li, l.Name, l.Thickness)
+		}
+		if l.Cavity != nil {
+			c := l.Cavity
+			if c.FlowRate < 0 {
+				return nil, fmt.Errorf("thermal: cavity layer %d negative flow", li)
+			}
+			if c.Arr.N < 1 || c.Arr.Ch.W <= 0 {
+				return nil, fmt.Errorf("thermal: cavity layer %d has no channel array", li)
+			}
+			if l.Power {
+				return nil, fmt.Errorf("thermal: cavity layer %d cannot be a power layer", li)
+			}
+			m.cavities = append(m.cavities, li)
+			if c.FlowRate > 0 {
+				grounded = true
+			}
+		} else if l.Mat.K <= 0 || l.Mat.C <= 0 {
+			return nil, fmt.Errorf("thermal: layer %d (%s) has invalid material", li, l.Name)
+		}
+		if l.Power {
+			m.powerLayers = append(m.powerLayers, li)
+		}
+	}
+	if len(m.powerLayers) == 0 {
+		return nil, errors.New("thermal: no power layer")
+	}
+	m.nTotal = len(cfg.Layers) * m.nCells
+	if cfg.Sink != nil {
+		if cfg.Sink.SinkToAmbient <= 0 || cfg.Sink.DieToSink <= 0 || cfg.Sink.Capacitance <= 0 {
+			return nil, errors.New("thermal: invalid sink spec")
+		}
+		m.sink = m.nTotal
+		m.nTotal++
+		grounded = true
+	}
+	if cfg.Face != nil {
+		if cfg.Face.HTC <= 0 {
+			return nil, errors.New("thermal: invalid face boundary")
+		}
+		grounded = true
+	}
+	if !grounded {
+		return nil, errors.New("thermal: model has no heat-removal path (no sink, face BC, or flowing cavity)")
+	}
+	m.assemble()
+	return m, nil
+}
+
+// NumLayers returns the layer count.
+func (m *Model) NumLayers() int { return len(m.cfg.Layers) }
+
+// Layers returns a deep copy of the layer specification (cavity specs
+// are cloned so callers can reuse them in new configurations without
+// aliasing this model's run-time flow state).
+func (m *Model) Layers() []LayerSpec {
+	out := append([]LayerSpec(nil), m.cfg.Layers...)
+	for i := range out {
+		if out[i].Cavity != nil {
+			c := *out[i].Cavity
+			out[i].Cavity = &c
+		}
+	}
+	return out
+}
+
+// Grid returns (nx, ny).
+func (m *Model) Grid() (nx, ny int) { return m.nx, m.ny }
+
+// PowerLayers returns the indices of power-injection layers, outermost
+// first.
+func (m *Model) PowerLayers() []int { return append([]int(nil), m.powerLayers...) }
+
+// Cavities returns the indices of cavity layers.
+func (m *Model) Cavities() []int { return append([]int(nil), m.cavities...) }
+
+// NumNodes returns the total unknown count.
+func (m *Model) NumNodes() int { return m.nTotal }
+
+// Index maps (layer, ix, iy) to the global node index.
+func (m *Model) Index(layer, ix, iy int) int {
+	return layer*m.nCells + ix + iy*m.nx
+}
+
+// SetCavityFlow updates the flow rate (m³/s) of the cavity at the given
+// layer index, invalidating the cached assembly. Setting the same value
+// is a no-op.
+func (m *Model) SetCavityFlow(layer int, q float64) error {
+	l := &m.cfg.Layers[layer]
+	if l.Cavity == nil {
+		return fmt.Errorf("thermal: layer %d is not a cavity", layer)
+	}
+	if q < 0 {
+		return errors.New("thermal: negative flow rate")
+	}
+	if l.Cavity.FlowRate != q {
+		l.Cavity.FlowRate = q
+		m.dirty = true
+	}
+	return nil
+}
+
+// SetAllCavityFlows sets every cavity to the same per-cavity flow (the
+// paper's single-pump arrangement).
+func (m *Model) SetAllCavityFlows(q float64) error {
+	for _, li := range m.cavities {
+		if err := m.SetCavityFlow(li, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CavityFlow returns the current flow rate of the cavity layer.
+func (m *Model) CavityFlow(layer int) float64 {
+	if m.cfg.Layers[layer].Cavity == nil {
+		return 0
+	}
+	return m.cfg.Layers[layer].Cavity.FlowRate
+}
+
+// vertical conductance between the centres of adjacent solid layers.
+func seriesG(area, t1, k1, t2, k2 float64) float64 {
+	return area / (t1/(2*k1) + t2/(2*k2))
+}
+
+// assemble builds the conductance matrix, base RHS and capacitances.
+func (m *Model) assemble() {
+	b := mat.NewBuilder(m.nTotal)
+	rhs := make([]float64, m.nTotal)
+	cp := make([]float64, m.nTotal)
+
+	layers := m.cfg.Layers
+	for li, l := range layers {
+		if l.Cavity != nil {
+			m.assembleCavity(b, rhs, cp, li)
+			continue
+		}
+		// Per-cell capacitance.
+		vol := m.cellArea * l.Thickness
+		for c := 0; c < m.nCells; c++ {
+			cp[li*m.nCells+c] = l.Mat.C * vol
+		}
+		// In-plane conduction.
+		gx := l.Mat.K * m.dy * l.Thickness / m.dx
+		gy := l.Mat.K * m.dx * l.Thickness / m.dy
+		for iy := 0; iy < m.ny; iy++ {
+			for ix := 0; ix < m.nx; ix++ {
+				if ix+1 < m.nx {
+					b.AddConductance(m.Index(li, ix, iy), m.Index(li, ix+1, iy), gx)
+				}
+				if iy+1 < m.ny {
+					b.AddConductance(m.Index(li, ix, iy), m.Index(li, ix, iy+1), gy)
+				}
+			}
+		}
+		// Vertical conduction to the next solid layer (cavity layers own
+		// their couplings).
+		if li+1 < len(layers) && layers[li+1].Cavity == nil {
+			nl := layers[li+1]
+			g := seriesG(m.cellArea, l.Thickness, l.Mat.K, nl.Thickness, nl.Mat.K)
+			for c := 0; c < m.nCells; c++ {
+				b.AddConductance(li*m.nCells+c, (li+1)*m.nCells+c, g)
+			}
+		}
+	}
+
+	// Outer-face boundary on layer 0.
+	if m.cfg.Sink != nil {
+		s := m.cfg.Sink
+		l0 := layers[0]
+		// Die cell -> sink: spreading conductance distributed by area in
+		// series with the half-cell conduction of layer 0.
+		for c := 0; c < m.nCells; c++ {
+			gSpread := s.DieToSink * m.cellArea / (m.cfg.W * m.cfg.H)
+			gHalf := l0.Mat.K * m.cellArea / (l0.Thickness / 2)
+			g := 1 / (1/gSpread + 1/gHalf)
+			b.AddConductance(c, m.sink, g)
+		}
+		b.AddToGround(m.sink, s.SinkToAmbient)
+		rhs[m.sink] += s.SinkToAmbient * m.cfg.AmbientC
+		cp[m.sink] = s.Capacitance
+	}
+	if m.cfg.Face != nil {
+		f := m.cfg.Face
+		l0 := layers[0]
+		for c := 0; c < m.nCells; c++ {
+			g := m.cellArea / (1/f.HTC + l0.Thickness/(2*l0.Mat.K))
+			b.AddToGround(c, g)
+			rhs[c] += g * f.TempC
+		}
+	}
+
+	m.g = b.Build()
+	m.gILU, _ = mat.NewILU(m.g) // nil on failure: Jacobi fallback
+	m.rhsBase = rhs
+	m.cap = cp
+	m.dirty = false
+}
+
+// assembleCavity stamps one porous-averaged micro-channel cavity layer.
+func (m *Model) assembleCavity(b *mat.Builder, rhs, cp []float64, li int) {
+	l := m.cfg.Layers[li]
+	c := l.Cavity
+	t := l.Thickness
+	phi := c.Arr.FluidFraction()
+	f := c.Fluid
+
+	// Footprint-referred convective conductance per face. Zero flow
+	// still convects weakly through the stagnant fluid film; we scale the
+	// duct HTC by a floor of 5 % to keep the matrix well posed while
+	// making a stopped cavity an effective insulator.
+	hEff := c.Arr.EffectiveHTC(f)
+	if c.FlowRate <= 0 {
+		hEff *= 0.05
+	}
+
+	// Advective coupling per grid row: each of the ny rows carries an
+	// equal share of the cavity flow (uniform manifold).
+	mcRow := f.Rho * f.Cp * c.FlowRate / float64(m.ny)
+
+	haveAbove := li-1 >= 0 && m.cfg.Layers[li-1].Cavity == nil
+	haveBelow := li+1 < len(m.cfg.Layers) && m.cfg.Layers[li+1].Cavity == nil
+
+	for iy := 0; iy < m.ny; iy++ {
+		for ix := 0; ix < m.nx; ix++ {
+			fc := m.Index(li, ix, iy)
+			// Fluid thermal mass (plus the wall mass lumped in).
+			cp[fc] = m.cellArea * t * (phi*f.Rho*f.Cp + (1-phi)*c.WallMat.C)
+
+			if haveAbove {
+				la := m.cfg.Layers[li-1]
+				g := m.cellArea / (1/hEff + la.Thickness/(2*la.Mat.K))
+				b.AddConductance(fc, m.Index(li-1, ix, iy), g)
+			}
+			if haveBelow {
+				lb := m.cfg.Layers[li+1]
+				g := m.cellArea / (1/hEff + lb.Thickness/(2*lb.Mat.K))
+				b.AddConductance(fc, m.Index(li+1, ix, iy), g)
+			}
+			// Solid side-wall path bridging the cavity vertically.
+			if haveAbove && haveBelow {
+				la, lb := m.cfg.Layers[li-1], m.cfg.Layers[li+1]
+				g := m.cellArea / (la.Thickness/(2*la.Mat.K) +
+					t/((1-phi)*c.WallMat.K) +
+					lb.Thickness/(2*lb.Mat.K))
+				b.AddConductance(m.Index(li-1, ix, iy), m.Index(li+1, ix, iy), g)
+			}
+			// Upwind advection along +x.
+			if mcRow > 0 {
+				b.Add(fc, fc, mcRow)
+				if ix == 0 {
+					rhs[fc] += mcRow * c.InletC
+				} else {
+					b.Add(fc, m.Index(li, ix-1, iy), -mcRow)
+				}
+			}
+		}
+	}
+}
+
+// matrix returns the cached conductance matrix, reassembling if needed.
+func (m *Model) matrix() (*mat.Sparse, []float64) {
+	if m.dirty {
+		m.assemble()
+	}
+	return m.g, m.rhsBase
+}
+
+// Capacitances returns the per-node heat capacitances (J/K); the slice is
+// shared, do not modify.
+func (m *Model) Capacitances() []float64 {
+	if m.dirty {
+		m.assemble()
+	}
+	return m.cap
+}
+
+// PowerMap assigns per-cell powers (W) to power layers: the k-th entry
+// corresponds to the k-th element of PowerLayers().
+type PowerMap [][]float64
+
+// powerVector expands a PowerMap into a full RHS contribution.
+func (m *Model) powerVector(p PowerMap) ([]float64, error) {
+	if len(p) != len(m.powerLayers) {
+		return nil, fmt.Errorf("thermal: power map has %d layers, model has %d", len(p), len(m.powerLayers))
+	}
+	v := make([]float64, m.nTotal)
+	for k, li := range m.powerLayers {
+		if len(p[k]) != m.nCells {
+			return nil, fmt.Errorf("thermal: power layer %d has %d cells, want %d", k, len(p[k]), m.nCells)
+		}
+		base := li * m.nCells
+		for c, w := range p[k] {
+			if w < 0 {
+				return nil, fmt.Errorf("thermal: negative power %g at layer %d cell %d", w, k, c)
+			}
+			v[base+c] = w
+		}
+	}
+	return v, nil
+}
+
+// Field is a solved temperature state.
+type Field struct {
+	m *Model
+	// T holds node temperatures in °C.
+	T []float64
+}
+
+// Layer returns the temperatures of one layer as a copied slice of
+// length nx·ny.
+func (f *Field) Layer(l int) []float64 {
+	out := make([]float64, f.m.nCells)
+	copy(out, f.T[l*f.m.nCells:(l+1)*f.m.nCells])
+	return out
+}
+
+// Max returns the maximum temperature over the given layer.
+func (f *Field) Max(l int) float64 {
+	mx := math.Inf(-1)
+	for _, v := range f.T[l*f.m.nCells : (l+1)*f.m.nCells] {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// MaxOverPowerLayers returns the hottest cell across active layers — the
+// junction temperature the management policies monitor.
+func (f *Field) MaxOverPowerLayers() float64 {
+	mx := math.Inf(-1)
+	for _, l := range f.m.powerLayers {
+		if v := f.Max(l); v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Mean returns the average temperature of the given layer.
+func (f *Field) Mean(l int) float64 {
+	s := 0.0
+	for _, v := range f.T[l*f.m.nCells : (l+1)*f.m.nCells] {
+		s += v
+	}
+	return s / float64(f.m.nCells)
+}
+
+// SinkTemp returns the heat-sink node temperature, or NaN without a sink.
+func (f *Field) SinkTemp() float64 {
+	if f.m.sink < 0 {
+		return math.NaN()
+	}
+	return f.T[f.m.sink]
+}
+
+// OutletTemp returns the mean fluid outlet temperature of a cavity layer.
+func (f *Field) OutletTemp(l int) float64 {
+	s := 0.0
+	for iy := 0; iy < f.m.ny; iy++ {
+		s += f.T[f.m.Index(l, f.m.nx-1, iy)]
+	}
+	return s / float64(f.m.ny)
+}
+
+// SteadyState solves the steady temperature field for the given power
+// map. guess, when non-nil, warm-starts the iterative solver.
+func (m *Model) SteadyState(p PowerMap, guess *Field) (*Field, error) {
+	pv, err := m.powerVector(p)
+	if err != nil {
+		return nil, err
+	}
+	g, base := m.matrix()
+	rhs := make([]float64, m.nTotal)
+	for i := range rhs {
+		rhs[i] = base[i] + pv[i]
+	}
+	opt := mat.IterOptions{Tol: 1e-9, MaxIter: 20 * m.nTotal, Precond: m.gILU}
+	if guess != nil && len(guess.T) == m.nTotal {
+		opt.X0 = guess.T
+	}
+	t, err := mat.BiCGSTAB(g, rhs, opt)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: steady solve: %w", err)
+	}
+	return &Field{m: m, T: t}, nil
+}

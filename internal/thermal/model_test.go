@@ -1,0 +1,378 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fluids"
+	"repro/internal/microchannel"
+	"repro/internal/units"
+)
+
+// slabConfig builds a single silicon slab with a convective face boundary
+// — the configuration with a closed-form solution.
+func slabConfig(nx, ny int, h, tbc float64) Config {
+	return Config{
+		Nx: nx, Ny: ny,
+		W: 10e-3, H: 10e-3,
+		Layers: []LayerSpec{
+			{Name: "si", Thickness: 0.5e-3, Mat: Silicon, Power: true},
+		},
+		Face:     &FaceBC{HTC: h, TempC: tbc},
+		AmbientC: tbc,
+	}
+}
+
+func uniformPower(m *Model, total float64) PowerMap {
+	nx, ny := m.Grid()
+	cells := make([]float64, nx*ny)
+	for i := range cells {
+		cells[i] = total / float64(len(cells))
+	}
+	return PowerMap{cells}
+}
+
+func TestSlabAnalyticSolution(t *testing.T) {
+	// Uniform flux q'' through a slab of thickness L into a convective
+	// boundary: T = Tbc + q''*(1/h + L/(2k)) at the slab mid-plane
+	// (power injected at cell centres).
+	h, tbc := 2e4, 30.0
+	m, err := New(slabConfig(8, 8, h, tbc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 100.0
+	f, err := m.SteadyState(uniformPower(m, total), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := total / (10e-3 * 10e-3)
+	want := tbc + q*(1/h+0.5e-3/(2*Silicon.K))
+	got := f.Mean(0)
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("slab temperature = %v, analytic %v", got, want)
+	}
+	// Uniform problem: the field must be uniform.
+	if f.Max(0)-got > 1e-6 {
+		t.Errorf("uniform problem produced non-uniform field: max %v mean %v", f.Max(0), got)
+	}
+}
+
+func TestSinkEnergyConservation(t *testing.T) {
+	// All injected power must leave through the sink:
+	// (Tsink - Tamb) * SinkToAmbient == total power.
+	cfg := slabConfig(8, 8, 1e4, 25)
+	cfg.Face = nil
+	cfg.Sink = &SinkSpec{DieToSink: 20, SinkToAmbient: 10, Capacitance: 140}
+	cfg.AmbientC = 25
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 63.0
+	f, err := m.SteadyState(uniformPower(m, total), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := (f.SinkTemp() - 25) * 10
+	if math.Abs(out-total) > 1e-3*total {
+		t.Errorf("heat through sink = %v W, injected %v W", out, total)
+	}
+}
+
+func TestLinearityOfTemperatureRise(t *testing.T) {
+	// The model is linear: doubling power doubles the rise above the
+	// zero-power field.
+	m, err := New(slabConfig(6, 6, 1e4, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0, err := m.SteadyState(uniformPower(m, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := m.SteadyState(uniformPower(m, 50), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := m.SteadyState(uniformPower(m, 100), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := f1.Mean(0) - f0.Mean(0)
+	r2 := f2.Mean(0) - f0.Mean(0)
+	if math.Abs(r2-2*r1) > 1e-6*(1+math.Abs(r2)) {
+		t.Errorf("linearity violated: rise(100W)=%v, 2*rise(50W)=%v", r2, 2*r1)
+	}
+	// Zero power: everything at the boundary temperature.
+	if math.Abs(f0.Mean(0)-40) > 1e-6 {
+		t.Errorf("zero-power field = %v, want 40", f0.Mean(0))
+	}
+}
+
+func cavityTestConfig(qFlow float64) Config {
+	arr, err := microchannel.NewArray(
+		microchannel.Channel{W: ChannelWidth, H: InterTierThickness, L: 10e-3},
+		ChannelPitch, 10e-3)
+	if err != nil {
+		panic(err)
+	}
+	return Config{
+		Nx: 10, Ny: 10,
+		W: 10e-3, H: 10e-3,
+		Layers: []LayerSpec{
+			{Name: "cavity", Thickness: InterTierThickness, Cavity: &CavitySpec{
+				Arr: arr, Fluid: fluids.Water(), FlowRate: qFlow, InletC: 27,
+				WallMat: InterTier,
+			}},
+			{Name: "si", Thickness: DieThickness, Mat: Silicon, Power: true},
+			{Name: "wiring", Thickness: WiringThickness, Mat: Wiring},
+		},
+		AmbientC: 27,
+	}
+}
+
+func TestCavityEnergyBalance(t *testing.T) {
+	// Steady state: all power must be carried away by the coolant,
+	// so P = rho*cp*Q*(Tout - Tin).
+	q := units.MlPerMinToM3PerS(20)
+	m, err := New(cavityTestConfig(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 65.0
+	f, err := m.SteadyState(uniformPower(m, total), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := fluids.Water()
+	carried := w.Rho * w.Cp * q * (f.OutletTemp(0) - 27)
+	if math.Abs(carried-total)/total > 0.02 {
+		t.Errorf("coolant carries %v W, injected %v W", carried, total)
+	}
+}
+
+func TestCavityFluidHeatsDownstream(t *testing.T) {
+	m, err := New(cavityTestConfig(units.MlPerMinToM3PerS(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.SteadyState(uniformPower(m, 65), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fluid temperature must increase monotonically along +x.
+	nx, _ := m.Grid()
+	iy := 5
+	prev := -1e9
+	for ix := 0; ix < nx; ix++ {
+		v := f.T[m.Index(0, ix, iy)]
+		if v <= prev {
+			t.Fatalf("fluid not heating downstream at ix=%d: %v <= %v", ix, v, prev)
+		}
+		prev = v
+	}
+	// Inlet fluid close to the inlet temperature, outlet well above.
+	if in := f.T[m.Index(0, 0, iy)]; in > 40 {
+		t.Errorf("inlet cell %v °C too hot", in)
+	}
+	if out := f.OutletTemp(0); out < 35 {
+		t.Errorf("outlet %v °C too cold for 65 W at 20 ml/min", out)
+	}
+}
+
+func TestMoreFlowMeansCooler(t *testing.T) {
+	flows := []float64{10, 15, 20, 25, 32.3}
+	prev := math.Inf(1)
+	for _, ml := range flows {
+		m, err := New(cavityTestConfig(units.MlPerMinToM3PerS(ml)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := m.SteadyState(uniformPower(m, 65), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm := f.MaxOverPowerLayers()
+		if tm >= prev {
+			t.Fatalf("Tmax not decreasing with flow at %v ml/min: %v >= %v", ml, tm, prev)
+		}
+		prev = tm
+	}
+}
+
+func TestSetCavityFlowInvalidatesAssembly(t *testing.T) {
+	m, err := New(cavityTestConfig(units.MlPerMinToM3PerS(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := m.SteadyState(uniformPower(m, 65), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetCavityFlow(0, units.MlPerMinToM3PerS(32.3)); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := m.SteadyState(uniformPower(m, 65), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.MaxOverPowerLayers() >= f1.MaxOverPowerLayers() {
+		t.Errorf("raising flow did not cool: %v -> %v",
+			f1.MaxOverPowerLayers(), f2.MaxOverPowerLayers())
+	}
+	if err := m.SetCavityFlow(1, 1e-7); err == nil {
+		t.Error("layer 1 is not a cavity; expected error")
+	}
+	if err := m.SetCavityFlow(0, -1); err == nil {
+		t.Error("negative flow must be rejected")
+	}
+}
+
+func TestFieldSymmetry(t *testing.T) {
+	// A y-symmetric problem must give a y-symmetric field.
+	m, err := New(cavityTestConfig(units.MlPerMinToM3PerS(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.SteadyState(uniformPower(m, 65), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nx, ny := m.Grid()
+	for l := 0; l < m.NumLayers(); l++ {
+		for iy := 0; iy < ny/2; iy++ {
+			for ix := 0; ix < nx; ix++ {
+				a := f.T[m.Index(l, ix, iy)]
+				b := f.T[m.Index(l, ix, ny-1-iy)]
+				if math.Abs(a-b) > 1e-5 {
+					t.Fatalf("layer %d (%d,%d): %v vs mirror %v", l, ix, iy, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := slabConfig(4, 4, 1e4, 25)
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"tiny grid", func(c *Config) { c.Nx = 1 }},
+		{"no layers", func(c *Config) { c.Layers = nil }},
+		{"bad extent", func(c *Config) { c.W = 0 }},
+		{"no power layer", func(c *Config) { c.Layers[0].Power = false }},
+		{"zero thickness", func(c *Config) { c.Layers[0].Thickness = 0 }},
+		{"bad material", func(c *Config) { c.Layers[0].Mat = Material{} }},
+		{"no heat path", func(c *Config) { c.Face = nil }},
+		{"both sink and face", func(c *Config) { c.Sink = TableISink() }},
+		{"bad face", func(c *Config) { c.Face.HTC = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := slabConfig(4, 4, 1e4, 25)
+		cfg.Layers = append([]LayerSpec(nil), good.Layers...)
+		fbc := *good.Face
+		cfg.Face = &fbc
+		tc.mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestPowerMapValidation(t *testing.T) {
+	m, err := New(slabConfig(4, 4, 1e4, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SteadyState(PowerMap{}, nil); err == nil {
+		t.Error("wrong layer count must fail")
+	}
+	if _, err := m.SteadyState(PowerMap{{1, 2}}, nil); err == nil {
+		t.Error("wrong cell count must fail")
+	}
+	bad := make([]float64, 16)
+	bad[3] = -1
+	if _, err := m.SteadyState(PowerMap{bad}, nil); err == nil {
+		t.Error("negative power must fail")
+	}
+}
+
+func TestWarmStartConsistency(t *testing.T) {
+	m, err := New(cavityTestConfig(units.MlPerMinToM3PerS(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := uniformPower(m, 65)
+	f1, err := m.SteadyState(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := m.SteadyState(p, f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f1.T {
+		if math.Abs(f1.T[i]-f2.T[i]) > 1e-5 {
+			t.Fatalf("warm start changed the answer at node %d: %v vs %v", i, f1.T[i], f2.T[i])
+		}
+	}
+}
+
+func TestTSVEnhance(t *testing.T) {
+	base := InterTier
+	e := TSVEnhance(base, 0.05)
+	if e.K <= base.K {
+		t.Errorf("TSV enhancement did not raise conductivity: %v", e.K)
+	}
+	if e2 := TSVEnhance(base, 0.10); e2.K <= e.K {
+		t.Error("more TSVs must conduct better")
+	}
+	if z := TSVEnhance(base, 0); z.K != base.K {
+		t.Errorf("zero density changed k: %v", z.K)
+	}
+	if c := TSVEnhance(base, 5); c.K > 0.5*400+0.5*base.K+1 {
+		t.Errorf("density not clamped: k=%v", c.K)
+	}
+}
+
+func TestZeroFlowCavityInsulates(t *testing.T) {
+	// A stopped cavity must not cool: temperature with zero flow must be
+	// far above the 10 ml/min case. (Zero flow still keeps a well-posed
+	// matrix via the sink... here there is no sink, so we add a face BC
+	// below to keep the model grounded.)
+	cfg := cavityTestConfig(0)
+	// Ground through the wiring face.
+	cfg.Face = nil
+	cfg.Layers = append(cfg.Layers, LayerSpec{Name: "bond", Thickness: InterTierThickness, Mat: InterTier})
+	cfg.Sink = nil
+	// Attach face BC on layer 0? Layer 0 is the cavity; instead ground by
+	// giving the cavity some minimal flow vs real flow and compare.
+	cfgLow := cavityTestConfig(units.MlPerMinToM3PerS(0.5))
+	cfgHi := cavityTestConfig(units.MlPerMinToM3PerS(10))
+	mLow, err := New(cfgLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mHi, err := New(cfgHi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fLow, err := mLow.SteadyState(uniformPower(mLow, 65), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fHi, err := mHi.SteadyState(uniformPower(mHi, 65), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fLow.MaxOverPowerLayers() < fHi.MaxOverPowerLayers()+20 {
+		t.Errorf("starved cavity (%v °C) should run far hotter than 10 ml/min (%v °C)",
+			fLow.MaxOverPowerLayers(), fHi.MaxOverPowerLayers())
+	}
+	// Fully stopped cavity with no other path must be rejected.
+	if _, err := New(cavityTestConfig(0)); err == nil {
+		t.Error("zero-flow-only model must be rejected as ungrounded")
+	}
+}

@@ -1,0 +1,243 @@
+package thermal
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/fluids"
+	"repro/internal/microchannel"
+)
+
+// CoolingMode selects the heat-removal technology of a stack model.
+type CoolingMode int
+
+// Cooling modes.
+const (
+	// AirCooled attaches the Table-I lumped heat sink to the outer face;
+	// tiers are separated by solid inter-tier material.
+	AirCooled CoolingMode = iota
+	// LiquidCooled replaces every inter-tier layer with a micro-channel
+	// cavity (one cavity per tier, as in the paper's stacks).
+	LiquidCooled
+)
+
+// String implements fmt.Stringer.
+func (c CoolingMode) String() string {
+	if c == LiquidCooled {
+		return "liquid-cooled"
+	}
+	return "air-cooled"
+}
+
+// StackOptions configures BuildStack.
+type StackOptions struct {
+	// Nx, Ny are the grid resolution (default 16×16).
+	Nx, Ny int
+	// Mode selects air or liquid cooling.
+	Mode CoolingMode
+	// FlowPerCavity is the initial per-cavity flow (m³/s); liquid mode.
+	FlowPerCavity float64
+	// InletC is the coolant inlet temperature (°C), default 27.
+	InletC float64
+	// AmbientC is the air ambient (°C), default 27.
+	AmbientC float64
+	// Coolant defaults to water.
+	Coolant fluids.Fluid
+	// Sink overrides the Table-I sink (air mode).
+	Sink *SinkSpec
+	// TSVDensity is the copper TSV area density enhancing the vertical
+	// conductivity of inter-tier material (0 disables).
+	TSVDensity float64
+}
+
+func (o *StackOptions) fillDefaults() {
+	if o.Nx == 0 {
+		o.Nx = 16
+	}
+	if o.Ny == 0 {
+		o.Ny = 16
+	}
+	if o.InletC == 0 {
+		o.InletC = 27
+	}
+	if o.AmbientC == 0 {
+		// Hot-aisle server air; the paper gives no ambient, and 45 °C
+		// reproduces its air-cooled peaks with the Table-I sink.
+		o.AmbientC = 45
+	}
+	if o.Coolant.Name == "" {
+		o.Coolant = fluids.Water()
+	}
+	if o.Sink == nil {
+		o.Sink = TableISink()
+	}
+}
+
+// StackModel couples a floorplan stack with its thermal model: it owns
+// the per-tier rasters used to spread unit powers onto the grid and read
+// unit temperatures back.
+type StackModel struct {
+	Model   *Model
+	Stack   *floorplan.Stack
+	Opt     StackOptions
+	Rasters []*floorplan.Raster
+	// tierLayer[k] is the model layer index of tier k's silicon.
+	tierLayer []int
+}
+
+// BuildStack assembles the thermal model of a 2-/4-tier MPSoC per the
+// Table-I geometry. Tier 0 sits next to the heat-removal boundary.
+func BuildStack(st *floorplan.Stack, opt StackOptions) (*StackModel, error) {
+	if st == nil || st.NumTiers() == 0 {
+		return nil, errors.New("thermal: empty stack")
+	}
+	opt.fillDefaults()
+	w, h := st.Tiers[0].FP.W, st.Tiers[0].FP.H
+	for _, t := range st.Tiers {
+		if t.FP.W != w || t.FP.H != h {
+			return nil, fmt.Errorf("thermal: tier %s footprint differs", t.Name)
+		}
+	}
+	interMat := InterTier
+	if opt.TSVDensity > 0 {
+		interMat = TSVEnhance(InterTier, opt.TSVDensity)
+	}
+
+	var layers []LayerSpec
+	var tierLayer []int
+	mkCavity := func() (*CavitySpec, error) {
+		arr, err := microchannel.NewArray(
+			microchannel.Channel{W: ChannelWidth, H: InterTierThickness, L: w},
+			ChannelPitch, h)
+		if err != nil {
+			return nil, err
+		}
+		return &CavitySpec{
+			Arr:      arr,
+			Fluid:    opt.Coolant,
+			FlowRate: opt.FlowPerCavity,
+			InletC:   opt.InletC,
+			WallMat:  interMat,
+		}, nil
+	}
+
+	for k, tier := range st.Tiers {
+		if opt.Mode == LiquidCooled {
+			cav, err := mkCavity()
+			if err != nil {
+				return nil, err
+			}
+			layers = append(layers, LayerSpec{
+				Name:      fmt.Sprintf("cavity%d", k),
+				Thickness: InterTierThickness,
+				Cavity:    cav,
+			})
+		} else if k > 0 {
+			layers = append(layers, LayerSpec{
+				Name:      fmt.Sprintf("bond%d", k),
+				Thickness: InterTierThickness,
+				Mat:       interMat,
+			})
+		}
+		tierLayer = append(tierLayer, len(layers))
+		layers = append(layers, LayerSpec{
+			Name:      tier.Name + "-si",
+			Thickness: DieThickness,
+			Mat:       Silicon,
+			Power:     true,
+		})
+		layers = append(layers, LayerSpec{
+			Name:      tier.Name + "-wiring",
+			Thickness: WiringThickness,
+			Mat:       Wiring,
+		})
+	}
+
+	cfg := Config{
+		Nx: opt.Nx, Ny: opt.Ny,
+		W: w, H: h,
+		Layers:   layers,
+		AmbientC: opt.AmbientC,
+	}
+	if opt.Mode == AirCooled {
+		cfg.Sink = opt.Sink
+	}
+	model, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sm := &StackModel{Model: model, Stack: st, Opt: opt, tierLayer: tierLayer}
+	for _, t := range st.Tiers {
+		r, err := t.FP.Rasterize(opt.Nx, opt.Ny)
+		if err != nil {
+			return nil, err
+		}
+		sm.Rasters = append(sm.Rasters, r)
+	}
+	return sm, nil
+}
+
+// TierLayer returns the model layer index of tier k's silicon.
+func (s *StackModel) TierLayer(k int) int { return s.tierLayer[k] }
+
+// PowerMapFromUnits converts per-tier, per-unit powers (W) into the
+// model's PowerMap. unitPowers[k][u] is the power of unit u on tier k.
+func (s *StackModel) PowerMapFromUnits(unitPowers [][]float64) (PowerMap, error) {
+	if len(unitPowers) != len(s.Rasters) {
+		return nil, fmt.Errorf("thermal: got powers for %d tiers, stack has %d",
+			len(unitPowers), len(s.Rasters))
+	}
+	pm := make(PowerMap, len(unitPowers))
+	for k, up := range unitPowers {
+		cells, err := s.Rasters[k].SpreadPower(up)
+		if err != nil {
+			return nil, fmt.Errorf("thermal: tier %d: %w", k, err)
+		}
+		pm[k] = cells
+	}
+	return pm, nil
+}
+
+// UnitTemperatures reads back per-tier, per-unit average temperatures
+// (°C) from a solved field.
+func (s *StackModel) UnitTemperatures(f *Field) ([][]float64, error) {
+	out := make([][]float64, len(s.Rasters))
+	for k, r := range s.Rasters {
+		t, err := r.UnitTemperatures(f.Layer(s.tierLayer[k]))
+		if err != nil {
+			return nil, err
+		}
+		out[k] = t
+	}
+	return out, nil
+}
+
+// UnitMaxTemperatures reads back per-tier, per-unit peak temperatures.
+func (s *StackModel) UnitMaxTemperatures(f *Field) ([][]float64, error) {
+	out := make([][]float64, len(s.Rasters))
+	for k, r := range s.Rasters {
+		t, err := r.UnitMaxTemperatures(f.Layer(s.tierLayer[k]))
+		if err != nil {
+			return nil, err
+		}
+		out[k] = t
+	}
+	return out, nil
+}
+
+// SetFlowPerCavity updates every cavity (liquid mode only).
+func (s *StackModel) SetFlowPerCavity(q float64) error {
+	if s.Opt.Mode != LiquidCooled {
+		return errors.New("thermal: stack is not liquid-cooled")
+	}
+	return s.Model.SetAllCavityFlows(q)
+}
+
+// NumCavities returns the cavity count (= tier count in liquid mode).
+func (s *StackModel) NumCavities() int { return len(s.Model.Cavities()) }
+
+// StackLayers returns a deep copy of the model's layer specification,
+// usable as a starting point for custom configurations (e.g. adding a
+// closing cavity for the §II-C scaling study).
+func (s *StackModel) StackLayers() []LayerSpec { return s.Model.Layers() }

@@ -1,0 +1,293 @@
+package thermal
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/units"
+)
+
+// niagaraPowers fills per-unit powers with the calibrated full-activity
+// figures used across the reproduction (see internal/power for the full
+// model): core 6.5 W, L2 2.5 W, crossbar 7 W, other 2 W.
+func niagaraPowers(st *floorplan.Stack) [][]float64 {
+	out := make([][]float64, st.NumTiers())
+	for k, tier := range st.Tiers {
+		up := make([]float64, len(tier.FP.Units))
+		for i, u := range tier.FP.Units {
+			switch u.Kind {
+			case floorplan.KindCore:
+				up[i] = 6.5
+			case floorplan.KindL2:
+				up[i] = 2.5
+			case floorplan.KindCrossbar:
+				up[i] = 7
+			default:
+				up[i] = 2
+			}
+		}
+		out[k] = up
+	}
+	return out
+}
+
+func solveStack(t *testing.T, st *floorplan.Stack, mode CoolingMode, flowMl float64) (*StackModel, *Field) {
+	t.Helper()
+	sm, err := BuildStack(st, StackOptions{
+		Mode:          mode,
+		FlowPerCavity: units.MlPerMinToM3PerS(flowMl),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := sm.PowerMapFromUnits(niagaraPowers(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := sm.Model.SteadyState(pm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm, f
+}
+
+func TestAirCooled2TierNearPaperPeak(t *testing.T) {
+	// Paper §IV-A: the 2-tier air-cooled peak with LB is 87 °C. Our
+	// full-activity steady state must land in the 80–100 °C band.
+	_, f := solveStack(t, floorplan.Niagara2Tier(), AirCooled, 0)
+	peak := f.MaxOverPowerLayers()
+	if peak < 80 || peak > 100 {
+		t.Errorf("2-tier AC peak = %v °C, want 80-100 (paper: 87)", peak)
+	}
+}
+
+func TestAirCooled4TierCatastrophic(t *testing.T) {
+	// Paper: "in the 4-tier stack ... the maximum temperature is much
+	// higher than 110 °C and reaching up to 178 °C".
+	_, f := solveStack(t, floorplan.Niagara4Tier(), AirCooled, 0)
+	peak := f.MaxOverPowerLayers()
+	if peak < 110 {
+		t.Errorf("4-tier AC peak = %v °C, paper says well above 110", peak)
+	}
+	if peak > 220 {
+		t.Errorf("4-tier AC peak = %v °C implausibly high (paper: up to 178)", peak)
+	}
+}
+
+func TestLiquidCoolingRemovesHotspots(t *testing.T) {
+	// Paper: "the integration of liquid cooling removes all hot-spots in
+	// the tested 2- and 4-tiers 3D MPSoCs" (at max flow, 0.0323 l/min per
+	// cavity). Peak must be below the 85 °C threshold.
+	for _, st := range []*floorplan.Stack{floorplan.Niagara2Tier(), floorplan.Niagara4Tier()} {
+		_, f := solveStack(t, st, LiquidCooled, 32.3)
+		peak := f.MaxOverPowerLayers()
+		if peak >= 85 {
+			t.Errorf("%s LC peak = %v °C, must be < 85", st.Name, peak)
+		}
+		if peak < 40 {
+			t.Errorf("%s LC peak = %v °C implausibly cold", st.Name, peak)
+		}
+	}
+}
+
+func TestLiquid2TierPeakNearPaper(t *testing.T) {
+	// Paper: "LC_LB reduces the 2-tier 3D MPSoC peak temperature to
+	// 56 °C" — our full-activity steady peak should sit in 50-70 °C.
+	_, f := solveStack(t, floorplan.Niagara2Tier(), LiquidCooled, 32.3)
+	peak := f.MaxOverPowerLayers()
+	if peak < 50 || peak > 70 {
+		t.Errorf("2-tier LC peak = %v °C, want 50-70 (paper: 56)", peak)
+	}
+}
+
+func TestFourTierLiquidCoolerThanTwoTier(t *testing.T) {
+	// Paper: "the system temperature of a 4-tier 3D MPSoC is maintained
+	// even lower than the 2-tier 3D MPSoC in both techniques, due to the
+	// increased number of cooling tiers (cavities)".
+	_, f2 := solveStack(t, floorplan.Niagara2Tier(), LiquidCooled, 32.3)
+	_, f4 := solveStack(t, floorplan.Niagara4Tier(), LiquidCooled, 32.3)
+	if f4.MaxOverPowerLayers() >= f2.MaxOverPowerLayers() {
+		t.Errorf("4-tier LC peak %v °C should be below 2-tier %v °C",
+			f4.MaxOverPowerLayers(), f2.MaxOverPowerLayers())
+	}
+}
+
+func TestCavityCountEqualsTierCount(t *testing.T) {
+	sm2, _ := solveStack(t, floorplan.Niagara2Tier(), LiquidCooled, 20)
+	if sm2.NumCavities() != 2 {
+		t.Errorf("2-tier cavities = %d, want 2", sm2.NumCavities())
+	}
+	sm4, _ := solveStack(t, floorplan.Niagara4Tier(), LiquidCooled, 20)
+	if sm4.NumCavities() != 4 {
+		t.Errorf("4-tier cavities = %d, want 4", sm4.NumCavities())
+	}
+}
+
+func TestStackUnitTemperatureReadback(t *testing.T) {
+	sm, f := solveStack(t, floorplan.Niagara2Tier(), LiquidCooled, 32.3)
+	ts, err := sm.UnitTemperatures(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("tiers = %d", len(ts))
+	}
+	// Cores (tier 1 carries the core floorplan) must be the hottest units.
+	coreTier := 1
+	cores := sm.Stack.Tiers[coreTier].FP.UnitsOfKind(floorplan.KindCore)
+	maxCore := 0.0
+	for _, ci := range cores {
+		if ts[coreTier][ci] > maxCore {
+			maxCore = ts[coreTier][ci]
+		}
+	}
+	caches := sm.Stack.Tiers[0].FP.UnitsOfKind(floorplan.KindL2)
+	for _, li := range caches {
+		if ts[0][li] >= maxCore {
+			t.Errorf("cache %v °C hotter than hottest core %v °C", ts[0][li], maxCore)
+		}
+	}
+	tmax, err := sm.UnitMaxTemperatures(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range ts {
+		for u := range ts[k] {
+			if tmax[k][u] < ts[k][u]-1e-9 {
+				t.Errorf("tier %d unit %d: max %v below mean %v", k, u, tmax[k][u], ts[k][u])
+			}
+		}
+	}
+}
+
+func TestSetFlowPerCavity(t *testing.T) {
+	sm, f1 := solveStack(t, floorplan.Niagara2Tier(), LiquidCooled, 10)
+	if err := sm.SetFlowPerCavity(units.MlPerMinToM3PerS(32.3)); err != nil {
+		t.Fatal(err)
+	}
+	pm, err := sm.PowerMapFromUnits(niagaraPowers(sm.Stack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := sm.Model.SteadyState(pm, f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.MaxOverPowerLayers() >= f1.MaxOverPowerLayers() {
+		t.Error("raising per-cavity flow did not cool the stack")
+	}
+	smAC, _ := solveStack(t, floorplan.Niagara2Tier(), AirCooled, 0)
+	if err := smAC.SetFlowPerCavity(1e-7); err == nil {
+		t.Error("air-cooled stack must reject flow control")
+	}
+}
+
+func TestBuildStackValidation(t *testing.T) {
+	if _, err := BuildStack(nil, StackOptions{}); err == nil {
+		t.Error("nil stack must fail")
+	}
+	// Mismatched footprints must fail.
+	bad := &floorplan.Stack{
+		Name: "bad",
+		Tiers: []floorplan.Tier{
+			*floorplan.UniformTestTier("a", 10e-3, 10e-3),
+			*floorplan.UniformTestTier("b", 20e-3, 10e-3),
+		},
+	}
+	if _, err := BuildStack(bad, StackOptions{Mode: AirCooled}); err == nil {
+		t.Error("mismatched tier footprints must fail")
+	}
+}
+
+func TestScalingClaimShape(t *testing.T) {
+	// §II-C: three active tiers with aligned 250 W/cm² hot spots on a
+	// 1 cm² footprint: ~55 K junction rise with four fluid cavities vs a
+	// catastrophic ~223 K with back-side cooling.
+	mkTiers := func() []LayerSpec {
+		var ls []LayerSpec
+		for k := 0; k < 3; k++ {
+			ls = append(ls,
+				LayerSpec{Name: "si", Thickness: DieThickness, Mat: Silicon, Power: true},
+				LayerSpec{Name: "wiring", Thickness: WiringThickness, Mat: Wiring},
+			)
+			if k < 2 {
+				ls = append(ls, LayerSpec{Name: "bond", Thickness: InterTierThickness, Mat: InterTier})
+			}
+		}
+		return ls
+	}
+	tier := floorplan.HotspotTestTier("scale", 10e-3, 10e-3, 0.2)
+	r, err := tier.FP.Rasterize(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unitP := make([]float64, len(tier.FP.Units))
+	for i, u := range tier.FP.Units {
+		flux := units.WPerCm2ToWPerM2(50)
+		if u.Name == "hot" {
+			flux = units.WPerCm2ToWPerM2(250)
+		}
+		unitP[i] = flux * u.Area()
+	}
+	cells, err := r.SpreadPower(unitP)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Back-side cold plate configuration.
+	inlet := 27.0
+	back := Config{
+		Nx: 16, Ny: 16, W: 10e-3, H: 10e-3,
+		Layers:   mkTiers(),
+		Face:     &FaceBC{HTC: 2e4, TempC: inlet},
+		AmbientC: inlet,
+	}
+	mb, err := New(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := PowerMap{cells, cells, cells}
+	fb, err := mb.SteadyState(pm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	riseBack := fb.MaxOverPowerLayers() - inlet
+
+	// Inter-tier configuration: four cavities sandwiching three tiers.
+	sm, err := BuildStack(&floorplan.Stack{Name: "3tier", Tiers: []floorplan.Tier{*tier, *tier, *tier}},
+		StackOptions{Mode: LiquidCooled, FlowPerCavity: units.MlPerMinToM3PerS(32.3), InletC: inlet, Nx: 16, Ny: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BuildStack gives 3 cavities (one per tier); add the claim's fourth
+	// cavity by building a custom config instead.
+	var layers []LayerSpec
+	for k := 0; k < 3; k++ {
+		layers = append(layers, sm.Model.cfg.Layers[3*k]) // cavity
+		layers = append(layers, sm.Model.cfg.Layers[3*k+1], sm.Model.cfg.Layers[3*k+2])
+	}
+	extra := sm.Model.cfg.Layers[0]
+	layers = append(layers, extra)
+	mi, err := New(Config{
+		Nx: 16, Ny: 16, W: 10e-3, H: 10e-3,
+		Layers: layers, AmbientC: inlet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := mi.SteadyState(pm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	riseInter := fi.MaxOverPowerLayers() - inlet
+
+	if riseInter < 30 || riseInter > 90 {
+		t.Errorf("inter-tier rise = %v K, paper reports ~55 K", riseInter)
+	}
+	if riseBack < 140 || riseBack > 320 {
+		t.Errorf("back-side rise = %v K, paper reports ~223 K", riseBack)
+	}
+	if ratio := riseBack / riseInter; ratio < 2.5 {
+		t.Errorf("back-side/inter-tier rise ratio = %v, want ≫ 1 (paper: ~4)", ratio)
+	}
+}

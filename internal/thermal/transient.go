@@ -1,0 +1,105 @@
+package thermal
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Transient steps a model forward in time with the backward Euler scheme
+// (unconditionally stable — the solver the management loop runs at every
+// sensing interval).
+type Transient struct {
+	m  *Model
+	dt float64
+
+	// Current temperature state (°C).
+	t []float64
+
+	// Cached left-hand side (C/dt + G) and its ILU(0) preconditioner;
+	// rebuilt when the model's flow rates change.
+	lhs     *mat.Sparse
+	ilu     *mat.ILU
+	rhsBase []float64
+	capDt   []float64
+	dirtyAt *mat.Sparse // matrix identity marker for cache invalidation
+}
+
+// NewTransient creates a transient run starting from a uniform initial
+// temperature (°C).
+func (m *Model) NewTransient(dt float64, initC float64) (*Transient, error) {
+	if dt <= 0 {
+		return nil, errors.New("thermal: non-positive time step")
+	}
+	tr := &Transient{m: m, dt: dt, t: make([]float64, m.nTotal)}
+	for i := range tr.t {
+		tr.t[i] = initC
+	}
+	return tr, nil
+}
+
+// NewTransientFrom starts a transient run from a solved field (e.g. the
+// steady state, matching the paper's "we initialize the simulations with
+// steady state temperature values").
+func (m *Model) NewTransientFrom(dt float64, f *Field) (*Transient, error) {
+	if dt <= 0 {
+		return nil, errors.New("thermal: non-positive time step")
+	}
+	if len(f.T) != m.nTotal {
+		return nil, errors.New("thermal: field does not match model")
+	}
+	return &Transient{m: m, dt: dt, t: append([]float64(nil), f.T...)}, nil
+}
+
+// Dt returns the step size in seconds.
+func (tr *Transient) Dt() float64 { return tr.dt }
+
+// refresh rebuilds the cached LHS if the conductance matrix changed.
+func (tr *Transient) refresh() {
+	g, base := tr.m.matrix()
+	if tr.dirtyAt == g && tr.lhs != nil {
+		return
+	}
+	cp := tr.m.Capacitances()
+	tr.capDt = make([]float64, len(cp))
+	for i, c := range cp {
+		tr.capDt[i] = c / tr.dt
+	}
+	tr.lhs = g.AddDiagonal(tr.capDt)
+	tr.ilu, _ = mat.NewILU(tr.lhs) // nil on failure: Jacobi preconditioning
+
+	tr.rhsBase = base
+	tr.dirtyAt = g
+}
+
+// Step advances the state by one dt under the given power map.
+func (tr *Transient) Step(p PowerMap) error {
+	pv, err := tr.m.powerVector(p)
+	if err != nil {
+		return err
+	}
+	tr.refresh()
+	rhs := make([]float64, tr.m.nTotal)
+	for i := range rhs {
+		rhs[i] = tr.rhsBase[i] + pv[i] + tr.capDt[i]*tr.t[i]
+	}
+	sol, err := mat.BiCGSTAB(tr.lhs, rhs, mat.IterOptions{Tol: 1e-9, X0: tr.t, Precond: tr.ilu})
+	if err != nil {
+		return fmt.Errorf("thermal: transient step: %w", err)
+	}
+	tr.t = sol
+	return nil
+}
+
+// Field returns the current state (a snapshot copy).
+func (tr *Transient) Field() *Field {
+	return &Field{m: tr.m, T: append([]float64(nil), tr.t...)}
+}
+
+// MaxOverPowerLayers returns the current junction temperature without
+// copying the state.
+func (tr *Transient) MaxOverPowerLayers() float64 {
+	f := Field{m: tr.m, T: tr.t}
+	return f.MaxOverPowerLayers()
+}

@@ -1,0 +1,219 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	m, err := New(cavityTestConfig(units.MlPerMinToM3PerS(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := uniformPower(m, 65)
+	steady, err := m.SteadyState(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.NewTransient(0.05, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		if err := tr.Step(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tr.Field()
+	diff := 0.0
+	for i := range got.T {
+		if d := math.Abs(got.T[i] - steady.T[i]); d > diff {
+			diff = d
+		}
+	}
+	if diff > 0.2 {
+		t.Errorf("transient after 30 s differs from steady state by %v K", diff)
+	}
+}
+
+func TestTransientMonotoneHeatUp(t *testing.T) {
+	m, err := New(cavityTestConfig(units.MlPerMinToM3PerS(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := uniformPower(m, 65)
+	tr, err := m.NewTransient(0.1, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := tr.MaxOverPowerLayers()
+	for i := 0; i < 50; i++ {
+		if err := tr.Step(p); err != nil {
+			t.Fatal(err)
+		}
+		cur := tr.MaxOverPowerLayers()
+		if cur < prev-1e-9 {
+			t.Fatalf("step %d: junction temperature fell during constant-power heat-up: %v -> %v", i, prev, cur)
+		}
+		prev = cur
+	}
+	if prev <= 27.5 {
+		t.Errorf("after 5 s junction is only %v °C; thermal mass implausibly large", prev)
+	}
+}
+
+func TestTransientCoolDownAfterPowerOff(t *testing.T) {
+	m, err := New(cavityTestConfig(units.MlPerMinToM3PerS(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := uniformPower(m, 65)
+	tr, err := m.NewTransient(0.1, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tr.Step(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot := tr.MaxOverPowerLayers()
+	zero := uniformPower(m, 0)
+	for i := 0; i < 200; i++ {
+		if err := tr.Step(zero); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold := tr.MaxOverPowerLayers()
+	if cold >= hot {
+		t.Errorf("no cooling after power off: %v -> %v", hot, cold)
+	}
+	if cold > 28 {
+		t.Errorf("after 20 s unpowered the stack is still %v °C (inlet 27)", cold)
+	}
+}
+
+func TestTransientFromSteadyStateIsStationary(t *testing.T) {
+	// Starting a transient from the steady state under the same power
+	// must not move (the paper initialises simulations this way).
+	m, err := New(cavityTestConfig(units.MlPerMinToM3PerS(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := uniformPower(m, 65)
+	steady, err := m.SteadyState(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.NewTransientFrom(0.1, steady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := tr.Step(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tr.Field()
+	for i := range got.T {
+		if math.Abs(got.T[i]-steady.T[i]) > 1e-4 {
+			t.Fatalf("steady start drifted at node %d: %v vs %v", i, got.T[i], steady.T[i])
+		}
+	}
+}
+
+func TestTransientFlowStepResponds(t *testing.T) {
+	// Dropping the flow mid-run must heat the stack; the cached LHS must
+	// be invalidated correctly.
+	m, err := New(cavityTestConfig(units.MlPerMinToM3PerS(32.3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := uniformPower(m, 65)
+	steady, err := m.SteadyState(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.NewTransientFrom(0.1, steady)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.MaxOverPowerLayers()
+	if err := m.SetCavityFlow(0, units.MlPerMinToM3PerS(10)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tr.Step(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := tr.MaxOverPowerLayers()
+	if after <= before+2 {
+		t.Errorf("flow cut 32.3->10 ml/min should heat the stack noticeably: %v -> %v", before, after)
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	m, err := New(cavityTestConfig(units.MlPerMinToM3PerS(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.NewTransient(0, 27); err == nil {
+		t.Error("zero dt must fail")
+	}
+	if _, err := m.NewTransientFrom(-1, &Field{m: m, T: make([]float64, m.NumNodes())}); err == nil {
+		t.Error("negative dt must fail")
+	}
+	if _, err := m.NewTransientFrom(0.1, &Field{m: m, T: []float64{1}}); err == nil {
+		t.Error("mismatched field must fail")
+	}
+	tr, err := m.NewTransient(0.1, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Step(PowerMap{}); err == nil {
+		t.Error("bad power map must fail")
+	}
+	if tr.Dt() != 0.1 {
+		t.Errorf("Dt = %v", tr.Dt())
+	}
+}
+
+func TestSinkThermalMassSlowsResponse(t *testing.T) {
+	// The 140 J/K sink makes the air-cooled step response far slower than
+	// the liquid-cooled one — the transient storage contrast the paper's
+	// management exploits.
+	mkAC := func() *Model {
+		cfg := slabConfig(8, 8, 1e4, 27)
+		cfg.Face = nil
+		cfg.Sink = TableISink()
+		cfg.AmbientC = 27
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ac := mkAC()
+	p := uniformPower(ac, 60)
+	steady, err := ac.SteadyState(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ac.NewTransient(0.5, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ { // 10 s
+		if err := tr.Step(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rise := tr.MaxOverPowerLayers() - 27
+	full := steady.MaxOverPowerLayers() - 27
+	if rise > 0.9*full {
+		t.Errorf("air-cooled stack reached %.0f%% of its final rise in 10 s; sink mass should slow it", 100*rise/full)
+	}
+}

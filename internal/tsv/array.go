@@ -1,0 +1,95 @@
+package tsv
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Array is a regular square grid of identical TSVs at the given pitch,
+// with a keep-out zone (KOZ) around every via in which neither devices
+// nor micro-channel walls may be placed. §II-C: "The only geometrical
+// constraints are the implemented TSVs, which need to be embedded into
+// the heat transfer structure".
+type Array struct {
+	Via   Via
+	Pitch float64 // centre-to-centre spacing (m)
+	KOZ   float64 // keep-out annulus width around the opening (m)
+}
+
+// Validate reports whether the array is manufacturable: vias must fit
+// inside their pitch cell including the keep-out zone.
+func (a Array) Validate() error {
+	if err := a.Via.Validate(); err != nil {
+		return err
+	}
+	if a.Pitch <= 0 {
+		return errors.New("tsv: pitch must be positive")
+	}
+	if a.KOZ < 0 {
+		return errors.New("tsv: keep-out zone must be non-negative")
+	}
+	if occ := a.Via.Diameter + 2*a.KOZ; occ >= a.Pitch {
+		return fmt.Errorf("tsv: via+KOZ footprint %.3g m exceeds pitch %.3g m",
+			occ, a.Pitch)
+	}
+	return nil
+}
+
+// CuFraction returns the copper area density φ: copper cross-section per
+// pitch cell. This is the figure fed to thermal.StackOptions.TSVDensity.
+func (a Array) CuFraction() float64 {
+	return a.Via.ConductorArea() / (a.Pitch * a.Pitch)
+}
+
+// KOZFraction returns the fraction of tier area lost to vias plus
+// keep-out zones — the floorplanning overhead of the TSV array.
+func (a Array) KOZFraction() float64 {
+	r := a.Via.Diameter/2 + a.KOZ
+	f := math.Pi * r * r / (a.Pitch * a.Pitch)
+	return math.Min(f, 1)
+}
+
+// PerArea returns the via count per unit tier area (1/m²).
+func (a Array) PerArea() float64 { return 1 / (a.Pitch * a.Pitch) }
+
+// MaxChannelWidth returns the widest micro-channel that fits between two
+// TSV rows at this pitch (§II-C: "the maximal channel width, given by
+// the TSV spacing, should only be reduced at locations where the maximal
+// junction temperature would be exceeded").
+func (a Array) MaxChannelWidth() float64 {
+	return a.Pitch - a.Via.Diameter - 2*a.KOZ
+}
+
+// VerticalConductivity returns the effective through-stack thermal
+// conductivity (W/(m·K)) of a slab of the given base conductivity
+// penetrated by the array's copper vias: the parallel (arithmetic) rule,
+// exact for transport along the via axis.
+func (a Array) VerticalConductivity(kBase float64) float64 {
+	phi := a.CuFraction()
+	return (1-phi)*kBase + phi*KCu
+}
+
+// InPlaneConductivity returns the effective lateral conductivity
+// (W/(m·K)) from the Maxwell-Garnett rule for a dilute array of parallel
+// cylinders, exact to first order in the copper fraction.
+func (a Array) InPlaneConductivity(kBase float64) float64 {
+	phi := a.CuFraction()
+	kp := KCu
+	return kBase * ((1+phi)*kp + (1-phi)*kBase) / ((1-phi)*kp + (1+phi)*kBase)
+}
+
+// VolumetricHeatCapacity returns the effective volumetric heat capacity
+// (J/(m³·K)) of a slab with base capacity cBase: the volume-weighted
+// mixture rule (exact).
+func (a Array) VolumetricHeatCapacity(cBase float64) float64 {
+	phi := a.CuFraction()
+	return (1-phi)*cBase + phi*CCu
+}
+
+// Demonstrator returns the array used by the §II-B test-vehicle
+// discussion for a given via: pitch at 3 diameters (a typical daisy-chain
+// test layout) and a quarter-diameter keep-out.
+func Demonstrator(v Via) Array {
+	return Array{Via: v, Pitch: 3 * v.Diameter, KOZ: v.Diameter / 4}
+}

@@ -1,0 +1,162 @@
+package tsv
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DaisyChain is the §II-B electrical-characterization structure: N vias
+// connected in series by alternating front-/back-side metal links, probed
+// four-wire so the probe resistance drops out.
+type DaisyChain struct {
+	Via Via
+	// N is the number of vias in the chain.
+	N int
+	// LinkLength is the metal trace length between adjacent vias (m);
+	// in the demonstrator layouts this is the array pitch.
+	LinkLength float64
+	// LinkWidth and LinkThickness describe the Ti/Al interconnect
+	// (§II-B: 50 nm Ti / 1500 nm Al, patterned by RIE). The Ti adhesion
+	// layer carries negligible current, so the model uses the Al film.
+	LinkWidth, LinkThickness float64
+}
+
+// NewDaisyChain builds the §II-B demonstrator chain for a via: links one
+// pitch long (Demonstrator layout), as wide as the via, 1.5 µm Al.
+func NewDaisyChain(v Via, n int) (*DaisyChain, error) {
+	c := &DaisyChain{
+		Via:           v,
+		N:             n,
+		LinkLength:    Demonstrator(v).Pitch,
+		LinkWidth:     v.Diameter,
+		LinkThickness: 1.5e-6,
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Validate reports whether the chain is well-formed.
+func (c *DaisyChain) Validate() error {
+	if err := c.Via.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.N <= 0:
+		return errors.New("tsv: daisy chain needs at least one via")
+	case c.LinkLength <= 0 || c.LinkWidth <= 0 || c.LinkThickness <= 0:
+		return errors.New("tsv: link dimensions must be positive")
+	}
+	return nil
+}
+
+// LinkResistance returns the resistance (Ω) of one Al connecting trace at
+// the given temperature. Aluminium's temperature coefficient is close to
+// copper's; the model reuses AlphaCu.
+func (c *DaisyChain) LinkResistance(tempC float64) float64 {
+	rho := RhoAl * (1 + AlphaCu*(tempC-20))
+	return rho * c.LinkLength / (c.LinkWidth * c.LinkThickness)
+}
+
+// Resistance returns the ideal (defect-free) four-wire chain resistance
+// (Ω): N vias in series with N−1 links.
+func (c *DaisyChain) Resistance(tempC float64) float64 {
+	return float64(c.N)*c.Via.Resistance(tempC) +
+		float64(c.N-1)*c.LinkResistance(tempC)
+}
+
+// Yield returns the probability that the whole chain conducts, under a
+// Poisson defect model with density d0 (defects/m², referred to the via
+// cross-section): each via is open with probability 1−exp(−d0·A).
+func (c *DaisyChain) Yield(d0 float64) float64 {
+	if d0 < 0 {
+		return 1
+	}
+	pOK := math.Exp(-d0 * c.Via.ConductorArea())
+	return math.Pow(pOK, float64(c.N))
+}
+
+// Measurement is one simulated four-wire reading of a fabricated chain.
+type Measurement struct {
+	// Open reports a broken chain (at least one void/defective via).
+	Open bool
+	// Ohms is the measured resistance; meaningful only when !Open.
+	Ohms float64
+}
+
+// Measure simulates probing one fabricated chain at tempC: each via is
+// independently open with the Poisson probability for defect density d0,
+// via resistances vary log-normally with fractional sigma (plating
+// thickness spread), and the reading carries 0.5 % instrument noise.
+// The rng makes runs deterministic under a fixed seed.
+func (c *DaisyChain) Measure(rng *rand.Rand, d0, sigma, tempC float64) Measurement {
+	pOpen := 1 - math.Exp(-d0*c.Via.ConductorArea())
+	total := float64(c.N-1) * c.LinkResistance(tempC)
+	rVia := c.Via.Resistance(tempC)
+	for i := 0; i < c.N; i++ {
+		if rng.Float64() < pOpen {
+			return Measurement{Open: true}
+		}
+		total += rVia * math.Exp(sigma*rng.NormFloat64())
+	}
+	total *= 1 + 0.005*rng.NormFloat64()
+	return Measurement{Ohms: total}
+}
+
+// Characterization summarises a measurement campaign over one chain
+// design, as plotted for the §II-B demonstrators.
+type Characterization struct {
+	Via       Via
+	Chains    int // chains probed
+	OpenCount int // chains that failed open
+	MeanOhms  float64
+	StdOhms   float64
+	IdealOhms float64
+}
+
+// YieldPct returns the measured chain yield in percent.
+func (ch Characterization) YieldPct() float64 {
+	if ch.Chains == 0 {
+		return 0
+	}
+	return 100 * float64(ch.Chains-ch.OpenCount) / float64(ch.Chains)
+}
+
+// Characterize probes `chains` fabricated copies of the design and
+// aggregates the statistics. It returns an error only for invalid
+// designs; a campaign in which every chain fails open is a valid (and
+// reportable) outcome.
+func (c *DaisyChain) Characterize(rng *rand.Rand, chains int, d0, sigma, tempC float64) (Characterization, error) {
+	if err := c.Validate(); err != nil {
+		return Characterization{}, err
+	}
+	if chains <= 0 {
+		return Characterization{}, fmt.Errorf("tsv: need at least one chain, got %d", chains)
+	}
+	out := Characterization{Via: c.Via, Chains: chains, IdealOhms: c.Resistance(tempC)}
+	var sum, sumSq float64
+	good := 0
+	for i := 0; i < chains; i++ {
+		m := c.Measure(rng, d0, sigma, tempC)
+		if m.Open {
+			out.OpenCount++
+			continue
+		}
+		good++
+		sum += m.Ohms
+		sumSq += m.Ohms * m.Ohms
+	}
+	if good > 0 {
+		out.MeanOhms = sum / float64(good)
+		if good > 1 {
+			v := (sumSq - sum*sum/float64(good)) / float64(good-1)
+			if v > 0 {
+				out.StdOhms = math.Sqrt(v)
+			}
+		}
+	}
+	return out, nil
+}

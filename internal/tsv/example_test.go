@@ -1,0 +1,27 @@
+package tsv_test
+
+import (
+	"fmt"
+
+	"repro/internal/tsv"
+)
+
+// Electrical figures of the smallest first-generation demonstrator via.
+func ExampleVia_Resistance() {
+	via := tsv.Via{Diameter: 40e-6, Depth: 380e-6, Liner: 200e-9}
+	fmt.Printf("R = %.2f mΩ, C = %.1f pF, EM limit %.1f A\n",
+		via.Resistance(25)*1e3, via.LinerCapacitance()*1e12, via.MaxCurrent())
+	// Output: R = 5.28 mΩ, C = 8.2 pF, EM limit 6.2 A
+}
+
+// The §II-C constraint: how wide may a micro-channel be between TSV
+// rows at the Table-I pitch?
+func ExampleArray_MaxChannelWidth() {
+	arr := tsv.Array{
+		Via:   tsv.Via{Diameter: 40e-6, Depth: 380e-6, Liner: 200e-9},
+		Pitch: 150e-6,
+		KOZ:   10e-6,
+	}
+	fmt.Printf("max channel width: %.0f µm\n", arr.MaxChannelWidth()*1e6)
+	// Output: max channel width: 90 µm
+}

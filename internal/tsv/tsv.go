@@ -1,0 +1,131 @@
+// Package tsv models the through-silicon-via technology of §II-B of the
+// paper: the CMOSAIC first-generation TSV demonstrators (SiO2-insulated,
+// fully-filled Cu vias of 40–100 µm diameter in a 380 µm wafer, connected
+// in daisy chains for electrical characterization) and the constraints
+// TSVs impose on the inter-tier heat-transfer cavity (§II-C: "the
+// maximal channel width, given by the TSV spacing").
+//
+// The package is purely geometric/electrical/effective-medium; the
+// thermal package consumes its Density figures via
+// thermal.StackOptions.TSVDensity.
+package tsv
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Physical constants used by the electrical model.
+const (
+	// RhoCu is the resistivity of electroplated copper at 20 °C (Ω·m).
+	RhoCu = 1.68e-8
+	// AlphaCu is copper's temperature coefficient of resistivity (1/K).
+	AlphaCu = 3.9e-3
+	// RhoAl is the resistivity of sputtered aluminium at 20 °C (Ω·m).
+	RhoAl = 2.82e-8
+	// EpsSiO2 is the permittivity of thermal oxide (F/m): 3.9·ε0.
+	EpsSiO2 = 3.9 * 8.8541878128e-12
+	// KCu and KSi are thermal conductivities (W/(m·K)).
+	KCu = 400.0
+	KSi = 130.0
+	// CCu is copper's volumetric heat capacity (J/(m³·K)).
+	CCu = 3.44e6
+	// JMax is a conservative electromigration current-density limit for
+	// plated Cu vias (A/m²).
+	JMax = 5e9
+)
+
+// Via is one SiO2-insulated, fully-filled copper through-silicon via.
+// The demonstrators of §II-B use Diameter 40–100 µm, Depth 380 µm
+// (full wafer thickness) and a 200 nm thermally-grown oxide liner.
+type Via struct {
+	// Diameter is the drilled (DRIE) opening diameter (m), including
+	// the liner.
+	Diameter float64
+	// Depth is the via length through the wafer (m).
+	Depth float64
+	// Liner is the SiO2 sidewall insulation thickness (m).
+	Liner float64
+}
+
+// Validate reports whether the via geometry is physically meaningful.
+func (v Via) Validate() error {
+	switch {
+	case v.Diameter <= 0:
+		return errors.New("tsv: via diameter must be positive")
+	case v.Depth <= 0:
+		return errors.New("tsv: via depth must be positive")
+	case v.Liner < 0:
+		return errors.New("tsv: liner thickness must be non-negative")
+	case 2*v.Liner >= v.Diameter:
+		return fmt.Errorf("tsv: liner (2×%.3g m) consumes the whole %.3g m opening",
+			v.Liner, v.Diameter)
+	}
+	// DRIE aspect-ratio limit: beyond ~15:1 the etch and the conformal
+	// liner deposition are out of the demonstrated process window
+	// (§II-B lists aspect-ratio limitations among the critical issues).
+	if ar := v.AspectRatio(); ar > 15 {
+		return fmt.Errorf("tsv: aspect ratio %.1f exceeds DRIE process window (15)", ar)
+	}
+	return nil
+}
+
+// AspectRatio returns depth/diameter.
+func (v Via) AspectRatio() float64 { return v.Depth / v.Diameter }
+
+// ConductorRadius returns the radius of the copper fill (m): the opening
+// radius minus the oxide liner.
+func (v Via) ConductorRadius() float64 { return v.Diameter/2 - v.Liner }
+
+// ConductorArea returns the copper cross-section (m²).
+func (v Via) ConductorArea() float64 {
+	r := v.ConductorRadius()
+	return math.Pi * r * r
+}
+
+// Resistance returns the end-to-end DC resistance (Ω) of the copper fill
+// at the given temperature (°C). The §II-B demonstrators measure this on
+// daisy chains; a 40 µm × 380 µm via is about 5 mΩ at room temperature.
+func (v Via) Resistance(tempC float64) float64 {
+	rho := RhoCu * (1 + AlphaCu*(tempC-20))
+	return rho * v.Depth / v.ConductorArea()
+}
+
+// LinerCapacitance returns the coaxial capacitance (F) between the copper
+// fill and the silicon substrate across the SiO2 liner.
+func (v Via) LinerCapacitance() float64 {
+	if v.Liner == 0 {
+		return math.Inf(1)
+	}
+	rIn := v.ConductorRadius()
+	rOut := v.Diameter / 2
+	return 2 * math.Pi * EpsSiO2 * v.Depth / math.Log(rOut/rIn)
+}
+
+// RCDelay returns the intrinsic RC time constant (s) of the via at the
+// given temperature — the figure of merit for the paper's claimed 10–100×
+// connectivity advantage of 3D stacking over off-chip links.
+func (v Via) RCDelay(tempC float64) float64 {
+	return v.Resistance(tempC) * v.LinerCapacitance()
+}
+
+// MaxCurrent returns the electromigration-limited current (A).
+func (v Via) MaxCurrent() float64 { return JMax * v.ConductorArea() }
+
+// ThermalConductance returns the vertical thermal conductance (W/K)
+// through the copper fill.
+func (v Via) ThermalConductance() float64 {
+	return KCu * v.ConductorArea() / v.Depth
+}
+
+// FirstGeneration returns the §II-B first-generation demonstrator vias:
+// 40, 60, 80 and 100 µm diameters in a 380 µm-thick wafer with the
+// 200 nm thermally-grown oxide liner.
+func FirstGeneration() []Via {
+	out := make([]Via, 0, 4)
+	for _, d := range []float64{40e-6, 60e-6, 80e-6, 100e-6} {
+		out = append(out, Via{Diameter: d, Depth: 380e-6, Liner: 200e-9})
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package tsv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func demoVia() Via { return Via{Diameter: 40e-6, Depth: 380e-6, Liner: 200e-9} }
+
+func TestViaValidate(t *testing.T) {
+	if err := demoVia().Validate(); err != nil {
+		t.Fatalf("demonstrator via rejected: %v", err)
+	}
+	bad := []Via{
+		{Diameter: 0, Depth: 380e-6},
+		{Diameter: 40e-6, Depth: 0},
+		{Diameter: 40e-6, Depth: 380e-6, Liner: -1e-9},
+		{Diameter: 40e-6, Depth: 380e-6, Liner: 25e-6}, // liner eats the opening
+		{Diameter: 10e-6, Depth: 380e-6},               // aspect ratio 38 > 15
+	}
+	for i, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("case %d: invalid via %+v accepted", i, v)
+		}
+	}
+}
+
+func TestFirstGenerationAllValid(t *testing.T) {
+	gen := FirstGeneration()
+	if len(gen) != 4 {
+		t.Fatalf("expected 4 demonstrator diameters, got %d", len(gen))
+	}
+	for _, v := range gen {
+		if err := v.Validate(); err != nil {
+			t.Errorf("demonstrator %v: %v", v.Diameter, err)
+		}
+		if v.Depth != 380e-6 {
+			t.Errorf("demonstrator depth %v, want 380 µm wafer", v.Depth)
+		}
+	}
+}
+
+func TestViaResistanceScale(t *testing.T) {
+	// A fully-filled 40 µm × 380 µm Cu via is a few mΩ.
+	r := demoVia().Resistance(20)
+	if r < 1e-3 || r > 20e-3 {
+		t.Fatalf("40 µm via resistance %.3g Ω outside the mΩ regime", r)
+	}
+	// ρ(T) rises with temperature.
+	if hot := demoVia().Resistance(85); hot <= r {
+		t.Fatalf("resistance should rise with temperature: %g at 85C vs %g at 20C", hot, r)
+	}
+}
+
+func TestViaResistanceDiameterMonotonic(t *testing.T) {
+	gen := FirstGeneration()
+	for i := 1; i < len(gen); i++ {
+		if gen[i].Resistance(20) >= gen[i-1].Resistance(20) {
+			t.Fatalf("resistance must fall with diameter: %v vs %v",
+				gen[i].Resistance(20), gen[i-1].Resistance(20))
+		}
+	}
+}
+
+func TestLinerCapacitanceThinOxideLimit(t *testing.T) {
+	v := demoVia()
+	got := v.LinerCapacitance()
+	// For t_ox << r the coaxial formula approaches the parallel-plate
+	// value ε·(2πrL)/t_ox.
+	r := v.ConductorRadius()
+	plate := EpsSiO2 * 2 * math.Pi * r * v.Depth / v.Liner
+	if math.Abs(got-plate)/plate > 0.02 {
+		t.Fatalf("coaxial %.4g F vs thin-oxide limit %.4g F: disagree > 2%%", got, plate)
+	}
+	if v2 := (Via{Diameter: 40e-6, Depth: 380e-6}); !math.IsInf(v2.LinerCapacitance(), 1) {
+		t.Fatal("zero liner should read as infinite (shorted) capacitance")
+	}
+}
+
+func TestRCDelayPositiveAndTiny(t *testing.T) {
+	d := demoVia().RCDelay(20)
+	if d <= 0 || d > 1e-9 {
+		t.Fatalf("TSV RC delay %.3g s should be sub-nanosecond", d)
+	}
+}
+
+func TestMaxCurrent(t *testing.T) {
+	i := demoVia().MaxCurrent()
+	// 40 µm via at 5e9 A/m² carries amps.
+	if i < 1 || i > 100 {
+		t.Fatalf("EM-limited current %.3g A implausible", i)
+	}
+}
+
+func TestArrayValidate(t *testing.T) {
+	a := Demonstrator(demoVia())
+	if err := a.Validate(); err != nil {
+		t.Fatalf("demonstrator array rejected: %v", err)
+	}
+	bad := []Array{
+		{Via: demoVia(), Pitch: 0},
+		{Via: demoVia(), Pitch: 100e-6, KOZ: -1e-6},
+		{Via: demoVia(), Pitch: 50e-6, KOZ: 10e-6}, // 40+20 ≥ 50
+	}
+	for i, arr := range bad {
+		if err := arr.Validate(); err == nil {
+			t.Errorf("case %d: invalid array accepted", i)
+		}
+	}
+}
+
+func TestArrayFractionsAndChannelConstraint(t *testing.T) {
+	a := Demonstrator(demoVia()) // 40 µm via, 120 µm pitch, 10 µm KOZ
+	phi := a.CuFraction()
+	if phi <= 0 || phi >= 0.1 {
+		t.Fatalf("Cu fraction %.4f outside the dilute regime", phi)
+	}
+	if koz := a.KOZFraction(); koz <= phi {
+		t.Fatalf("KOZ fraction %.4f must exceed Cu fraction %.4f", koz, phi)
+	}
+	w := a.MaxChannelWidth()
+	want := 120e-6 - 40e-6 - 2*10e-6
+	if math.Abs(w-want) > 1e-12 {
+		t.Fatalf("max channel width %.3g, want %.3g", w, want)
+	}
+}
+
+func TestEffectiveConductivityBounds(t *testing.T) {
+	a := Demonstrator(demoVia())
+	kz := a.VerticalConductivity(KSi)
+	kxy := a.InPlaneConductivity(KSi)
+	if kz <= KSi || kz >= KCu {
+		t.Fatalf("vertical k_eff %.1f must lie between silicon and copper", kz)
+	}
+	if kxy <= KSi || kxy >= kz {
+		t.Fatalf("in-plane k_eff %.1f must lie between base and the parallel bound %.1f", kxy, kz)
+	}
+	if c := a.VolumetricHeatCapacity(1.63566e6); c <= 1.63566e6 || c >= CCu {
+		t.Fatalf("effective capacity %.4g outside mixture bounds", c)
+	}
+}
+
+func TestEffectiveConductivityProperty(t *testing.T) {
+	// Wiener bounds: for any valid array and base conductivity below
+	// copper's, series ≤ in-plane ≤ vertical (parallel) must hold.
+	f := func(dIdx uint8, pitchMul, kozMul, kFrac float64) bool {
+		gen := FirstGeneration()
+		v := gen[int(dIdx)%len(gen)]
+		pm := 2.5 + math.Mod(math.Abs(pitchMul), 5) // pitch 2.5–7.5 diameters
+		km := math.Mod(math.Abs(kozMul), 0.4)       // KOZ 0–0.4 diameters
+		a := Array{Via: v, Pitch: pm * v.Diameter, KOZ: km * v.Diameter}
+		if a.Validate() != nil {
+			return true // skip unbuildable combinations
+		}
+		kBase := 1 + math.Mod(math.Abs(kFrac), 300) // 1–301 W/mK
+		if kBase >= KCu {
+			return true
+		}
+		phi := a.CuFraction()
+		series := 1 / ((1-phi)/kBase + phi/KCu)
+		kz := a.VerticalConductivity(kBase)
+		kxy := a.InPlaneConductivity(kBase)
+		return series <= kxy+1e-9 && kxy <= kz+1e-9 && kz < KCu
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaisyChainResistance(t *testing.T) {
+	c, err := NewDaisyChain(demoVia(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.Resistance(20)
+	perVia := c.Via.Resistance(20)
+	perLink := c.LinkResistance(20)
+	want := 100*perVia + 99*perLink
+	if math.Abs(r-want) > 1e-12 {
+		t.Fatalf("chain resistance %.6g, want %.6g", r, want)
+	}
+	if perLink <= perVia {
+		t.Fatalf("thin-film link (%.3g Ω) should dominate the Cu via (%.3g Ω)", perLink, perVia)
+	}
+}
+
+func TestDaisyChainValidate(t *testing.T) {
+	if _, err := NewDaisyChain(demoVia(), 0); err == nil {
+		t.Fatal("zero-via chain accepted")
+	}
+	c := &DaisyChain{Via: demoVia(), N: 10, LinkLength: 0, LinkWidth: 1e-6, LinkThickness: 1e-6}
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero-length link accepted")
+	}
+}
+
+func TestDaisyChainYield(t *testing.T) {
+	c, _ := NewDaisyChain(demoVia(), 100)
+	if y := c.Yield(0); y != 1 {
+		t.Fatalf("defect-free yield %v, want 1", y)
+	}
+	if y := c.Yield(-1); y != 1 {
+		t.Fatalf("negative defect density should clamp to unity yield, got %v", y)
+	}
+	y1 := c.Yield(1e6)
+	y2 := c.Yield(1e7)
+	if !(y2 < y1 && y1 < 1) {
+		t.Fatalf("yield must fall with defect density: %v, %v", y1, y2)
+	}
+	// Larger vias intercept more defects.
+	big, _ := NewDaisyChain(Via{Diameter: 100e-6, Depth: 380e-6, Liner: 200e-9}, 100)
+	if big.Yield(1e6) >= c.Yield(1e6) {
+		t.Fatal("100 µm chain should yield worse than 40 µm at equal defect density")
+	}
+}
+
+func TestMeasureDeterministicUnderSeed(t *testing.T) {
+	c, _ := NewDaisyChain(demoVia(), 50)
+	m1 := c.Measure(rand.New(rand.NewSource(7)), 1e5, 0.05, 25)
+	m2 := c.Measure(rand.New(rand.NewSource(7)), 1e5, 0.05, 25)
+	if m1 != m2 {
+		t.Fatalf("same seed produced different measurements: %+v vs %+v", m1, m2)
+	}
+}
+
+func TestCharacterizeStatistics(t *testing.T) {
+	c, _ := NewDaisyChain(demoVia(), 100)
+	rng := rand.New(rand.NewSource(42))
+	ch, err := c.Characterize(rng, 200, 5e5, 0.03, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Chains != 200 {
+		t.Fatalf("chains %d, want 200", ch.Chains)
+	}
+	if ch.OpenCount == 0 || ch.OpenCount == 200 {
+		t.Fatalf("at d0=5e5 some but not all chains should fail open; got %d/200", ch.OpenCount)
+	}
+	if rel := math.Abs(ch.MeanOhms-ch.IdealOhms) / ch.IdealOhms; rel > 0.05 {
+		t.Fatalf("mean %.4g strays %.1f%% from ideal %.4g", ch.MeanOhms, rel*100, ch.IdealOhms)
+	}
+	if ch.StdOhms <= 0 {
+		t.Fatal("spread should be positive with sigma > 0")
+	}
+	if y := ch.YieldPct(); y <= 0 || y >= 100 {
+		t.Fatalf("yield %.1f%% should be interior", y)
+	}
+}
+
+func TestCharacterizeErrors(t *testing.T) {
+	c, _ := NewDaisyChain(demoVia(), 10)
+	if _, err := c.Characterize(rand.New(rand.NewSource(1)), 0, 0, 0, 25); err == nil {
+		t.Fatal("zero-chain campaign accepted")
+	}
+	bad := &DaisyChain{Via: Via{}, N: 10, LinkLength: 1, LinkWidth: 1, LinkThickness: 1}
+	if _, err := bad.Characterize(rand.New(rand.NewSource(1)), 10, 0, 0, 25); err == nil {
+		t.Fatal("invalid via accepted")
+	}
+}
+
+func TestCharacterizeAllOpenIsReportable(t *testing.T) {
+	c, _ := NewDaisyChain(demoVia(), 100)
+	ch, err := c.Characterize(rand.New(rand.NewSource(3)), 50, 1e9, 0.03, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.OpenCount != 50 || ch.YieldPct() != 0 {
+		t.Fatalf("catastrophic defect density should open every chain: %+v", ch)
+	}
+	if ch.MeanOhms != 0 || ch.StdOhms != 0 {
+		t.Fatal("no statistics should accumulate when every chain is open")
+	}
+}
+
+func TestYieldMatchesMonteCarlo(t *testing.T) {
+	c, _ := NewDaisyChain(demoVia(), 50)
+	const d0 = 3e5
+	rng := rand.New(rand.NewSource(11))
+	const n = 4000
+	open := 0
+	for i := 0; i < n; i++ {
+		if c.Measure(rng, d0, 0, 25).Open {
+			open++
+		}
+	}
+	got := 1 - float64(open)/n
+	want := c.Yield(d0)
+	if math.Abs(got-want) > 0.03 {
+		t.Fatalf("Monte-Carlo yield %.3f vs analytic %.3f", got, want)
+	}
+}
+
+func TestDemonstratorLayout(t *testing.T) {
+	for _, v := range FirstGeneration() {
+		a := Demonstrator(v)
+		if err := a.Validate(); err != nil {
+			t.Errorf("demonstrator array for d=%.0f µm invalid: %v", v.Diameter*1e6, err)
+		}
+		if a.MaxChannelWidth() <= 0 {
+			t.Errorf("demonstrator array for d=%.0f µm leaves no channel room", v.Diameter*1e6)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package twophase models flow boiling of refrigerants in silicon
+// multi-microchannels — the §III cooling technology of the DATE 2011
+// paper. A marching evaporator model tracks vapour quality, pressure,
+// local saturation temperature, heat-transfer coefficient and wall/base
+// temperatures along the channel, and a TestVehicle constructor reproduces
+// the 35-heater / 135-channel R-245fa hot-spot experiment of Fig. 8
+// (Costa-Patry et al., THERMINIC 2010).
+//
+// Model ingredients:
+//
+//   - energy balance: dx/dz = q″·w_footprint / (ṁ·h_fg);
+//   - homogeneous two-phase pressure drop (frictional, liquid-viscosity
+//     based, plus accelerational term from the mixture-density change);
+//   - local saturation temperature from the fluid's saturation curve at
+//     the local pressure — the mechanism by which the refrigerant leaves
+//     the channel *colder* than it entered;
+//   - a Cooper-type nucleate-boiling heat-transfer correlation
+//     h = C(p_r, M)·q″ⁿ with n ≈ 0.75 fitted to the Costa-Patry data:
+//     under a 15× heat-flux hot spot it yields an ≈8× HTC rise and an
+//     only ≈2× wall-superheat rise, the headline behaviour of Fig. 8;
+//   - a dry-out guard on exit quality.
+package twophase
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/fluids"
+)
+
+// BoilingModel evaluates the local flow-boiling heat-transfer coefficient.
+type BoilingModel struct {
+	// FluxExponent is n in h ∝ q″ⁿ. Cooper's pool-boiling value is 0.67;
+	// the Costa-Patry micro-channel data behind Fig. 8 are fitted better
+	// by 0.75 (which reproduces the reported 8× HTC ratio at a 15× flux
+	// contrast). Zero selects the default 0.75.
+	FluxExponent float64
+	// Calibration multiplies the Cooper prefactor; 1.0 (default when
+	// zero) reproduces the Fig. 8 HTC magnitudes within the band the
+	// paper reports.
+	Calibration float64
+}
+
+func (m BoilingModel) exponent() float64 {
+	if m.FluxExponent <= 0 {
+		return 0.75
+	}
+	return m.FluxExponent
+}
+
+func (m BoilingModel) calibration() float64 {
+	if m.Calibration <= 0 {
+		return 1.0
+	}
+	return m.Calibration
+}
+
+// HTC returns the local boiling heat-transfer coefficient (W/m²K) for
+// refrigerant f at local pressure pPa and local wall heat flux qWall
+// (W/m², referred to the wetted surface). Cooper (1984) form:
+//
+//	h = 55 · p_r^0.12 · (−log10 p_r)^−0.55 · M^−0.5 · q″ⁿ
+func (m BoilingModel) HTC(f fluids.Fluid, pPa, qWall float64) (float64, error) {
+	if f.Sat == nil {
+		return 0, fmt.Errorf("twophase: fluid %s has no saturation data", f.Name)
+	}
+	if qWall <= 0 {
+		return 0, errors.New("twophase: wall heat flux must be positive")
+	}
+	pr := f.Sat.ReducedPressure(pPa)
+	if pr <= 0 || pr >= 1 {
+		return 0, fmt.Errorf("twophase: reduced pressure %v outside (0,1)", pr)
+	}
+	c := 55.0 * math.Pow(pr, 0.12) * math.Pow(-math.Log10(pr), -0.55) / math.Sqrt(f.Sat.MolarMass)
+	return m.calibration() * c * math.Pow(qWall, m.exponent()), nil
+}
+
+// HomogeneousDensity returns the homogeneous two-phase mixture density at
+// vapour quality x: 1/ρ_h = x/ρ_v + (1−x)/ρ_l.
+func HomogeneousDensity(rhoL, rhoV, x float64) float64 {
+	x = math.Min(math.Max(x, 0), 1)
+	return 1 / (x/rhoV + (1-x)/rhoL)
+}
+
+// FrictionalGradient returns the homogeneous-model frictional pressure
+// gradient dP/dz (Pa/m) in a rectangular channel of hydraulic diameter dh
+// and friction constant fRe, at mass flux g (kg/m²s) and quality x.
+// Liquid viscosity is used (the dominant term at the low qualities of
+// interest); the mixture density enters through the velocity.
+func FrictionalGradient(f fluids.Fluid, fRe, dh, g, x, pPa float64) float64 {
+	rhoH := HomogeneousDensity(f.Rho, f.Sat.RhoVapor(f.Sat.Tsat(pPa)), x)
+	u := g / rhoH
+	return fRe * f.Mu * u / (2 * dh * dh)
+}
+
+// CriticalQuality is the exit-quality dry-out guard: annular-film dry-out
+// in micro-channels typically intrudes beyond x ≈ 0.5–0.9 depending on
+// flux; the model flags designs whose exit quality exceeds this value.
+const CriticalQuality = 0.6

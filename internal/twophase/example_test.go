@@ -1,0 +1,35 @@
+package twophase_test
+
+import (
+	"fmt"
+
+	"repro/internal/twophase"
+)
+
+// Run the Fig. 8 micro-evaporator and read the hot-spot signature.
+func ExampleRunTestVehicle() {
+	res, rows, err := twophase.RunTestVehicle()
+	if err != nil {
+		panic(err)
+	}
+	bg := (rows[0].HTC + rows[4].HTC) / 2
+	fmt.Printf("hot-spot HTC %.1fx background, fluid drop %.2f K, dry-out %v\n",
+		rows[2].HTC/bg, res.FluidTempDropC(), res.DryOut)
+	// Output: hot-spot HTC 7.7x background, fluid drop 0.62 K, dry-out false
+}
+
+// Rank the §III candidate refrigerants for a 130 W duty at 30 °C.
+func ExampleCompareRefrigerants() {
+	duty := twophase.Duty{HeatLoad: 130, InletTsatC: 30, QualityRise: 0.4}
+	reps, err := twophase.CompareRefrigerants(twophase.TestVehicle(), duty, nil)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range reps {
+		fmt.Printf("%s: %.1f bar, feasible=%v\n", r.Fluid.Name, r.SatPressureBar, r.Feasible)
+	}
+	// Output:
+	// R134a: 7.7 bar, feasible=true
+	// R236fa: 3.2 bar, feasible=true
+	// R245fa: 1.8 bar, feasible=true
+}

@@ -1,0 +1,137 @@
+package twophase
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/fluids"
+	"repro/internal/units"
+)
+
+// RefrigerantReport scores one candidate refrigerant for an evaporator
+// duty (§III: "the proper refrigerant must be chosen since its
+// saturation pressure may be too high for 3D MPSoCs depending on the
+// chip's operating temperature"; Agostini et al. tested several *low
+// pressure* refrigerants).
+type RefrigerantReport struct {
+	Fluid fluids.Fluid
+	// SatPressureBar is Psat at the inlet saturation temperature.
+	SatPressureBar float64
+	// HfgKJPerKg is the latent heat at the operating point.
+	HfgKJPerKg float64
+	// MassFlow is the flow (kg/s) needed to absorb the duty at the
+	// design quality rise.
+	MassFlow float64
+	// PressureDropBar and PumpingPowerW come from a once-through march
+	// under the duty's uniform footprint flux.
+	PressureDropBar float64
+	PumpingPowerW   float64
+	// ExitQuality and DryOut report the dry-out margin.
+	ExitQuality float64
+	DryOut      bool
+	// Feasible is false when the saturation pressure exceeds the package
+	// limit or the march dries out.
+	Feasible bool
+	// Reason explains an infeasible verdict.
+	Reason string
+}
+
+// Duty describes the evaporator mission for refrigerant selection.
+type Duty struct {
+	// HeatLoad is the total power to absorb (W).
+	HeatLoad float64
+	// InletTsatC is the inlet saturation temperature (°C).
+	InletTsatC float64
+	// QualityRise is the design Δx used for flow sizing (e.g. 0.3).
+	QualityRise float64
+	// MaxPressureBar is the package pressure limit (bar absolute);
+	// zero means 10 bar, a common limit for bonded silicon cavities.
+	MaxPressureBar float64
+}
+
+func (d Duty) withDefaults() Duty {
+	if d.MaxPressureBar == 0 {
+		d.MaxPressureBar = 10
+	}
+	return d
+}
+
+// Candidates returns the refrigerants the §III programme evaluated.
+func Candidates() []fluids.Fluid {
+	return []fluids.Fluid{fluids.R134a(), fluids.R236fa(), fluids.R245fa()}
+}
+
+// CompareRefrigerants sizes each candidate for the duty on a copy of the
+// given evaporator geometry and ranks feasible candidates by pumping
+// power (then by pressure). The geometry's fluid/mass-flux fields are
+// overwritten per candidate.
+func CompareRefrigerants(geom *Evaporator, duty Duty, cands []fluids.Fluid) ([]RefrigerantReport, error) {
+	duty = duty.withDefaults()
+	if duty.HeatLoad <= 0 || duty.QualityRise <= 0 || duty.QualityRise > 1 {
+		return nil, errors.New("twophase: invalid duty")
+	}
+	if len(cands) == 0 {
+		cands = Candidates()
+	}
+	reports := make([]RefrigerantReport, 0, len(cands))
+	for _, f := range cands {
+		rep := RefrigerantReport{Fluid: f, Feasible: true}
+		if f.Sat == nil {
+			rep.Feasible = false
+			rep.Reason = "no saturation data"
+			reports = append(reports, rep)
+			continue
+		}
+		tin := units.CToK(duty.InletTsatC)
+		if lo, hi := f.Sat.TRange(); tin <= lo || tin >= hi {
+			rep.Feasible = false
+			rep.Reason = "operating point outside property table"
+			reports = append(reports, rep)
+			continue
+		}
+		psat := f.Sat.Psat(tin)
+		rep.SatPressureBar = psat / 1e5
+		hfg := f.Sat.Hfg(tin)
+		rep.HfgKJPerKg = hfg / 1e3
+		rep.MassFlow = duty.HeatLoad / (hfg * duty.QualityRise)
+
+		e := *geom
+		e.Fluid = f
+		e.InletTsatC = duty.InletTsatC
+		// Mass flux from the sized flow through the array cross-section.
+		e.MassFlux = rep.MassFlow / (e.ChannelW * e.ChannelH * float64(e.NChannels))
+		flux := duty.HeatLoad / (e.Width() * e.Length) // uniform footprint W/m²
+		res, err := e.March(func(float64) float64 { return flux }, 200)
+		if err != nil {
+			rep.Feasible = false
+			rep.Reason = err.Error()
+			reports = append(reports, rep)
+			continue
+		}
+		rep.PressureDropBar = res.PressureDrop / 1e5
+		rep.PumpingPowerW = res.PumpingPower
+		rep.ExitQuality = res.ExitQuality
+		rep.DryOut = res.DryOut
+		if rep.SatPressureBar > duty.MaxPressureBar {
+			rep.Feasible = false
+			rep.Reason = fmt.Sprintf("Psat %.1f bar exceeds package limit %.1f bar",
+				rep.SatPressureBar, duty.MaxPressureBar)
+		} else if res.DryOut {
+			rep.Feasible = false
+			rep.Reason = fmt.Sprintf("dry-out: exit quality %.2f", res.ExitQuality)
+		}
+		reports = append(reports, rep)
+	}
+	sort.SliceStable(reports, func(i, j int) bool {
+		a, b := reports[i], reports[j]
+		if a.Feasible != b.Feasible {
+			return a.Feasible
+		}
+		if a.PumpingPowerW != b.PumpingPowerW {
+			return a.PumpingPowerW < b.PumpingPowerW
+		}
+		return a.SatPressureBar < b.SatPressureBar
+	})
+	return reports, nil
+}

@@ -1,0 +1,289 @@
+package twophase
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/fluids"
+	"repro/internal/units"
+)
+
+func uniformFlux(wPerCm2 float64) func(z float64) float64 {
+	v := units.WPerCm2ToWPerM2(wPerCm2)
+	return func(float64) float64 { return v }
+}
+
+func TestSplitFlowReducesPressureDrop(t *testing.T) {
+	e := TestVehicle()
+	c, err := CompareSplitFlow(e, uniformFlux(10), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ΔP scales with G·L in the laminar homogeneous model; halving both
+	// must land well below half, near a quarter.
+	if c.DPRatio >= 0.5 {
+		t.Fatalf("split/once ΔP ratio %.3f, want < 0.5", c.DPRatio)
+	}
+	if c.DPRatio < 0.1 {
+		t.Fatalf("split/once ΔP ratio %.3f implausibly low", c.DPRatio)
+	}
+	if c.PumpRatio >= 0.5 {
+		t.Fatalf("split/once pump ratio %.3f, want < 0.5", c.PumpRatio)
+	}
+}
+
+func TestSplitFlowEnergyConservation(t *testing.T) {
+	// Both configurations absorb the same heat, so the flow-weighted
+	// quality rise must match: Δx_once = ΔQ/(ṁ·hfg) and each split half
+	// sees half the heat at half the flow.
+	e := TestVehicle()
+	once, err := e.March(uniformFlux(10), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := e.MarchSplit(uniformFlux(10), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dxOnce := once.ExitQuality - e.InletQuality
+	dxL := split.Left.ExitQuality - e.InletQuality
+	dxR := split.Right.ExitQuality - e.InletQuality
+	// Uniform flux: both halves identical, and equal to the once-through
+	// rise (hfg varies a little with the different pressure profile).
+	if math.Abs(dxL-dxR)/dxOnce > 0.02 {
+		t.Fatalf("uniform flux should load the halves equally: %.4f vs %.4f", dxL, dxR)
+	}
+	if math.Abs(dxL-dxOnce)/dxOnce > 0.05 {
+		t.Fatalf("split half Δx %.4f vs once-through %.4f: > 5%%", dxL, dxOnce)
+	}
+}
+
+func TestSplitFlowSamplesCoverDie(t *testing.T) {
+	e := TestVehicle()
+	split, err := e.MarchSplit(uniformFlux(5), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := split.Samples()
+	if len(s) != 200 {
+		t.Fatalf("merged samples %d, want 200", len(s))
+	}
+	if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i].Z < s[j].Z }) {
+		t.Fatal("merged samples not ascending in die coordinate")
+	}
+	if s[0].Z < 0 || s[len(s)-1].Z > e.Length {
+		t.Fatalf("samples outside die: [%.4g, %.4g]", s[0].Z, s[len(s)-1].Z)
+	}
+	// The inlet plenum sits mid-die: saturation temperature must peak
+	// near the middle and fall toward both outlets.
+	mid := s[len(s)/2].TsatC
+	if mid <= s[0].TsatC || mid <= s[len(s)-1].TsatC {
+		t.Fatalf("Tsat should peak at the mid-die plenum: ends %.3f/%.3f, mid %.3f",
+			s[0].TsatC, s[len(s)-1].TsatC, mid)
+	}
+}
+
+func TestSplitFlowAsymmetricHotspot(t *testing.T) {
+	// A hot spot confined to one half must load only that half.
+	e := TestVehicle()
+	hot := StepProfile(e.Length, []float64{
+		units.WPerCm2ToWPerM2(2), units.WPerCm2ToWPerM2(2),
+		units.WPerCm2ToWPerM2(2), units.WPerCm2ToWPerM2(2),
+		units.WPerCm2ToWPerM2(30),
+	})
+	split, err := e.MarchSplit(hot, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Right.ExitQuality <= split.Left.ExitQuality {
+		t.Fatalf("hot spot in the right half should raise its exit quality: left %.3f right %.3f",
+			split.Left.ExitQuality, split.Right.ExitQuality)
+	}
+}
+
+func TestSplitFlowErrors(t *testing.T) {
+	e := TestVehicle()
+	if _, err := e.MarchSplit(uniformFlux(5), 2); err == nil {
+		t.Fatal("accepted nSteps < 4")
+	}
+	bad := *e
+	bad.MassFlux = 0
+	if _, err := bad.MarchSplit(uniformFlux(5), 100); err == nil {
+		t.Fatal("accepted invalid evaporator")
+	}
+}
+
+func TestCompareRefrigerantsRanking(t *testing.T) {
+	duty := Duty{HeatLoad: 80, InletTsatC: 30, QualityRise: 0.3}
+	reps, err := CompareRefrigerants(TestVehicle(), duty, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("expected 3 candidates, got %d", len(reps))
+	}
+	feasible := 0
+	for _, r := range reps {
+		if r.Feasible {
+			feasible++
+			if r.PumpingPowerW <= 0 || r.MassFlow <= 0 {
+				t.Errorf("%s: feasible but empty sizing: %+v", r.Fluid.Name, r)
+			}
+		} else if r.Reason == "" {
+			t.Errorf("%s: infeasible without a reason", r.Fluid.Name)
+		}
+	}
+	if feasible == 0 {
+		t.Fatal("no feasible refrigerant at a standard duty")
+	}
+	// Feasible entries come first and are sorted by pumping power.
+	for i := 1; i < feasible; i++ {
+		if reps[i].PumpingPowerW < reps[i-1].PumpingPowerW {
+			t.Fatal("feasible reports not sorted by pumping power")
+		}
+	}
+	// R-134a runs at a much higher saturation pressure than R-245fa at
+	// 30 °C (≈7.7 bar vs ≈1.8 bar) — the §III pressure concern.
+	var p134, p245 float64
+	for _, r := range reps {
+		switch r.Fluid.Name {
+		case "R134a":
+			p134 = r.SatPressureBar
+		case "R245fa":
+			p245 = r.SatPressureBar
+		}
+	}
+	if p134 <= 2*p245 {
+		t.Fatalf("R-134a Psat %.2f bar should far exceed R-245fa %.2f bar", p134, p245)
+	}
+}
+
+func TestCompareRefrigerantsPressureLimit(t *testing.T) {
+	// A 3-bar package limit must reject R-134a at 30 °C but keep R-245fa.
+	duty := Duty{HeatLoad: 80, InletTsatC: 30, QualityRise: 0.3, MaxPressureBar: 3}
+	reps, err := CompareRefrigerants(TestVehicle(), duty, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reps {
+		switch r.Fluid.Name {
+		case "R134a":
+			if r.Feasible {
+				t.Error("R-134a should violate a 3 bar limit at 30 °C")
+			}
+		case "R245fa":
+			if !r.Feasible {
+				t.Errorf("R-245fa should clear a 3 bar limit: %s", r.Reason)
+			}
+		}
+	}
+}
+
+func TestCompareRefrigerantsErrors(t *testing.T) {
+	if _, err := CompareRefrigerants(TestVehicle(), Duty{}, nil); err == nil {
+		t.Fatal("accepted empty duty")
+	}
+	noSat := fluids.Water()
+	noSat.Sat = nil
+	reps, err := CompareRefrigerants(TestVehicle(),
+		Duty{HeatLoad: 50, InletTsatC: 30, QualityRise: 0.3},
+		[]fluids.Fluid{noSat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[0].Feasible || reps[0].Reason == "" {
+		t.Fatal("fluid without saturation data must be infeasible with a reason")
+	}
+}
+
+func TestCompareRefrigerantsDryOutGuard(t *testing.T) {
+	// A tiny design quality rise oversizes the flow; a huge one must
+	// trip the dry-out guard.
+	duty := Duty{HeatLoad: 200, InletTsatC: 30, QualityRise: 0.9}
+	reps, err := CompareRefrigerants(TestVehicle(), duty, []fluids.Fluid{fluids.R245fa()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reps[0]
+	if r.Feasible {
+		t.Fatalf("Δx=0.9 should dry out (exit quality %.2f)", r.ExitQuality)
+	}
+}
+
+func TestStorageMargin(t *testing.T) {
+	e := TestVehicle()
+	m, err := ComputeStorageMargin(e, 80, 5, 0.3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §III: for the same overload the water outlet climbs by kelvins
+	// while the refrigerant moves only through the boiling film — the
+	// excursion ratio must be large.
+	if m.ExcursionRatio < 2 {
+		t.Fatalf("excursion ratio %.1f, expected well above 1", m.ExcursionRatio)
+	}
+	if m.WaterExcursionK <= 0 || m.TwoPhaseExcursionK <= 0 {
+		t.Fatalf("non-positive excursions: %+v", m)
+	}
+	if m.DryOut {
+		t.Fatalf("a 50%% overload at dX=0.3 should stay inside the dry-out margin: %+v", m)
+	}
+	// The banked-overload bound matches the latent-heat budget.
+	if m.DryOutHeadroomW <= m.OverloadW {
+		t.Fatalf("headroom %.1f W should exceed the %.1f W overload", m.DryOutHeadroomW, m.OverloadW)
+	}
+}
+
+func TestStorageMarginDryOutBound(t *testing.T) {
+	e := TestVehicle()
+	// Sized right against the dry-out guard, a big overload must trip it.
+	m, err := ComputeStorageMargin(e, 80, 5, 0.55, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.DryOut {
+		t.Fatalf("overload %.0f W vs headroom %.0f W should dry out", m.OverloadW, m.DryOutHeadroomW)
+	}
+	// A looser design point banks more.
+	loose, err := ComputeStorageMargin(e, 80, 5, 0.2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.DryOutHeadroomW <= m.DryOutHeadroomW {
+		t.Fatal("headroom should grow as the design point backs away from dry-out")
+	}
+}
+
+func TestStorageMarginSublinearFilm(t *testing.T) {
+	// Cooper h ∝ q^0.67 makes the film excursion sublinear: doubling
+	// the overload must less than double the two-phase excursion.
+	e := TestVehicle()
+	a, err := ComputeStorageMargin(e, 80, 5, 0.3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComputeStorageMargin(e, 80, 5, 0.3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TwoPhaseExcursionK >= 2*a.TwoPhaseExcursionK {
+		t.Fatalf("film excursion not sublinear: %.3f vs %.3f", a.TwoPhaseExcursionK, b.TwoPhaseExcursionK)
+	}
+	if b.WaterExcursionK != 2*a.WaterExcursionK {
+		t.Fatalf("water excursion must be exactly linear: %.3f vs %.3f", a.WaterExcursionK, b.WaterExcursionK)
+	}
+}
+
+func TestStorageMarginErrors(t *testing.T) {
+	e := TestVehicle()
+	for _, bad := range [][4]float64{
+		{0, 5, 0.3, 0.5}, {80, 0, 0.3, 0.5}, {80, 5, 0, 0.5},
+		{80, 5, 0.7, 0.5}, // dX beyond the dry-out guard
+		{80, 5, 0.3, 0},
+	} {
+		if _, err := ComputeStorageMargin(e, bad[0], bad[1], bad[2], bad[3]); err == nil {
+			t.Errorf("parameters %v accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package twophase
+
+import (
+	"errors"
+
+	"repro/internal/fluids"
+	"repro/internal/units"
+)
+
+// StorageMargin quantifies the §III transient-storage claim: "since an
+// evaporating refrigerant absorbs heat without an increase in its
+// temperature, two-phase flow cooling has a transient flow thermal
+// storage capacity, because simply more liquid evaporates into vapor, as
+// long as dry-out ... is avoided".
+//
+// Both loops are sized for the base load (refrigerant at quality rise
+// dX, water at a dTWater sensible rise), then hit with the same power
+// overload. The water loop's fluid temperature climbs linearly with the
+// overload; the refrigerant banks it as latent heat at a pinned
+// saturation temperature, moving only through the boiling-film term —
+// until dry-out, which bounds the usable margin.
+type StorageMargin struct {
+	// BaseLoad is the steady heat load (W); OverloadW the transient
+	// excess applied to both loops.
+	BaseLoad, OverloadW float64
+	// WaterExcursionK is the water outlet temperature rise caused by
+	// the overload (sensible heating: ΔP/(ṁ·cp)).
+	WaterExcursionK float64
+	// TwoPhaseExcursionK is the refrigerant-side wall rise: saturation
+	// temperature is pinned, only the film term Δ(q″/h) moves.
+	TwoPhaseExcursionK float64
+	// ExcursionRatio is water/twoPhase — the storage advantage.
+	ExcursionRatio float64
+	// DryOutHeadroomW is the largest overload the refrigerant can bank
+	// before the exit quality hits the dry-out guard; overloads beyond
+	// it set DryOut.
+	DryOutHeadroomW float64
+	DryOut          bool
+}
+
+// ComputeStorageMargin applies an overload of overloadFrac·baseLoad to
+// both sized loops and reports the temperature excursions.
+func ComputeStorageMargin(e *Evaporator, baseLoad, dTWater, dX, overloadFrac float64) (*StorageMargin, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	if baseLoad <= 0 || dTWater <= 0 || dX <= 0 || dX >= CriticalQuality || overloadFrac <= 0 {
+		return nil, errors.New("twophase: invalid storage-margin parameters")
+	}
+	sat := e.Fluid.Sat
+	tin := units.CToK(e.InletTsatC)
+	hfg := sat.Hfg(tin)
+	w := fluids.Water()
+
+	mdotR := baseLoad / (hfg * dX)       // refrigerant sized for Δx at base load
+	mdotW := baseLoad / (w.Cp * dTWater) // water sized for dTWater at base load
+	overload := overloadFrac * baseLoad
+
+	m := &StorageMargin{BaseLoad: baseLoad, OverloadW: overload}
+	m.WaterExcursionK = overload / (mdotW * w.Cp)
+	m.DryOutHeadroomW = mdotR * hfg * (CriticalQuality - e.InletQuality - dX)
+	m.DryOut = overload > m.DryOutHeadroomW
+
+	// Refrigerant wall excursion: only the boiling film responds, and
+	// because h grows with q″ (Cooper: h ∝ q^0.67) the superheat rise is
+	// sublinear in the overload.
+	area := e.Width() * e.Length
+	qBase := baseLoad / area / e.WettedPerFootprint()
+	qPeak := (baseLoad + overload) / area / e.WettedPerFootprint()
+	p := sat.Psat(tin)
+	hBase, err := e.Boiling.HTC(e.Fluid, p, qBase)
+	if err != nil {
+		return nil, err
+	}
+	hPeak, err := e.Boiling.HTC(e.Fluid, p, qPeak)
+	if err != nil {
+		return nil, err
+	}
+	m.TwoPhaseExcursionK = qPeak/hPeak - qBase/hBase
+	if m.TwoPhaseExcursionK > 0 {
+		m.ExcursionRatio = m.WaterExcursionK / m.TwoPhaseExcursionK
+	}
+	return m, nil
+}

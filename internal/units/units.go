@@ -1,0 +1,114 @@
+// Package units collects physical constants, unit conversions and small
+// numeric helpers shared by every other package in the repository.
+//
+// All internal computation is done in SI units (m, kg, s, K, W, Pa).
+// Conversion helpers exist so that package boundaries can speak the units
+// the DATE 2011 paper uses (ml/min flow rates, °C temperatures, W/cm² heat
+// fluxes, mm geometry).
+package units
+
+import "math"
+
+// Physical constants.
+const (
+	// ZeroCelsiusK is 0 °C expressed in kelvin.
+	ZeroCelsiusK = 273.15
+	// Gravity is the standard gravitational acceleration in m/s².
+	Gravity = 9.80665
+	// AtmPa is one standard atmosphere in pascal.
+	AtmPa = 101325.0
+)
+
+// CToK converts a temperature from degrees Celsius to kelvin.
+func CToK(c float64) float64 { return c + ZeroCelsiusK }
+
+// KToC converts a temperature from kelvin to degrees Celsius.
+func KToC(k float64) float64 { return k - ZeroCelsiusK }
+
+// MlPerMinToM3PerS converts a volumetric flow rate from ml/min to m³/s.
+func MlPerMinToM3PerS(q float64) float64 { return q * 1e-6 / 60.0 }
+
+// M3PerSToMlPerMin converts a volumetric flow rate from m³/s to ml/min.
+func M3PerSToMlPerMin(q float64) float64 { return q * 60.0 * 1e6 }
+
+// LPerMinToM3PerS converts a volumetric flow rate from l/min to m³/s.
+func LPerMinToM3PerS(q float64) float64 { return q * 1e-3 / 60.0 }
+
+// MmToM converts millimetres to metres.
+func MmToM(mm float64) float64 { return mm * 1e-3 }
+
+// UmToM converts micrometres to metres.
+func UmToM(um float64) float64 { return um * 1e-6 }
+
+// WPerCm2ToWPerM2 converts a heat flux from W/cm² to W/m².
+func WPerCm2ToWPerM2(q float64) float64 { return q * 1e4 }
+
+// WPerM2ToWPerCm2 converts a heat flux from W/m² to W/cm².
+func WPerM2ToWPerCm2(q float64) float64 { return q * 1e-4 }
+
+// Mm2ToM2 converts an area from mm² to m².
+func Mm2ToM2(a float64) float64 { return a * 1e-6 }
+
+// BarToPa converts pressure from bar to pascal.
+func BarToPa(p float64) float64 { return p * 1e5 }
+
+// PaToBar converts pressure from pascal to bar.
+func PaToBar(p float64) float64 { return p * 1e-5 }
+
+// ApproxEqual reports whether a and b agree to within tol in a mixed
+// absolute/relative sense: |a-b| <= tol*(1+max(|a|,|b|)).
+func ApproxEqual(a, b, tol float64) bool {
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*(1+m)
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Lerp linearly interpolates between a (t=0) and b (t=1); t is clamped.
+func Lerp(a, b, t float64) float64 {
+	t = Clamp(t, 0, 1)
+	return a + (b-a)*t
+}
+
+// InvLerp returns the parameter t in [0,1] such that Lerp(a,b,t)==x,
+// clamped; a and b must differ.
+func InvLerp(a, b, x float64) float64 {
+	return Clamp((x-a)/(b-a), 0, 1)
+}
+
+// Interp1 performs piecewise-linear interpolation of y(x) through the
+// sample points (xs, ys), which must be sorted ascending in xs and of equal
+// non-zero length. Values outside the range are clamped to the endpoints.
+func Interp1(xs, ys []float64, x float64) float64 {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		panic("units: Interp1 requires equal, non-empty xs and ys")
+	}
+	if x <= xs[0] {
+		return ys[0]
+	}
+	n := len(xs)
+	if x >= xs[n-1] {
+		return ys[n-1]
+	}
+	// Binary search for the bracketing interval.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if xs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := (x - xs[lo]) / (xs[hi] - xs[lo])
+	return ys[lo] + t*(ys[hi]-ys[lo])
+}

@@ -1,0 +1,169 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTemperatureConversions(t *testing.T) {
+	if got := CToK(0); got != 273.15 {
+		t.Errorf("CToK(0) = %v, want 273.15", got)
+	}
+	if got := CToK(85); got != 358.15 {
+		t.Errorf("CToK(85) = %v, want 358.15", got)
+	}
+	if got := KToC(273.15); got != 0 {
+		t.Errorf("KToC(273.15) = %v, want 0", got)
+	}
+}
+
+func TestTemperatureRoundTrip(t *testing.T) {
+	f := func(c float64) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		return math.Abs(KToC(CToK(c))-c) < 1e-9*math.Max(1, math.Abs(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowRateConversions(t *testing.T) {
+	// Table I maximum per-cavity flow: 32.3 ml/min.
+	q := MlPerMinToM3PerS(32.3)
+	want := 32.3e-6 / 60.0
+	if !ApproxEqual(q, want, 1e-12) {
+		t.Errorf("MlPerMinToM3PerS(32.3) = %v, want %v", q, want)
+	}
+	if !ApproxEqual(M3PerSToMlPerMin(q), 32.3, 1e-12) {
+		t.Errorf("round trip failed: %v", M3PerSToMlPerMin(q))
+	}
+	// 0.0323 l/min per cavity equals 32.3 ml/min.
+	if !ApproxEqual(LPerMinToM3PerS(0.0323), q, 1e-12) {
+		t.Errorf("LPerMinToM3PerS inconsistent with MlPerMinToM3PerS")
+	}
+}
+
+func TestGeometryConversions(t *testing.T) {
+	if got := MmToM(0.15); !ApproxEqual(got, 150e-6, 1e-15) {
+		t.Errorf("MmToM(0.15) = %v", got)
+	}
+	if got := UmToM(50); !ApproxEqual(got, 50e-6, 1e-15) {
+		t.Errorf("UmToM(50) = %v", got)
+	}
+	if got := Mm2ToM2(115); !ApproxEqual(got, 115e-6, 1e-15) {
+		t.Errorf("Mm2ToM2(115) = %v", got)
+	}
+}
+
+func TestHeatFluxConversions(t *testing.T) {
+	// 250 W/cm² hotspot flux from the paper.
+	if got := WPerCm2ToWPerM2(250); got != 2.5e6 {
+		t.Errorf("WPerCm2ToWPerM2(250) = %v, want 2.5e6", got)
+	}
+	if got := WPerM2ToWPerCm2(2.5e6); got != 250 {
+		t.Errorf("WPerM2ToWPerCm2(2.5e6) = %v, want 250", got)
+	}
+}
+
+func TestPressureConversions(t *testing.T) {
+	if got := BarToPa(0.9); !ApproxEqual(got, 90000, 1e-12) {
+		t.Errorf("BarToPa(0.9) = %v", got)
+	}
+	if got := PaToBar(101325); !ApproxEqual(got, 1.01325, 1e-12) {
+		t.Errorf("PaToBar(atm) = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(x, a, b float64) bool {
+		if math.IsNaN(x) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		got := Clamp(x, lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerpInvLerp(t *testing.T) {
+	if got := Lerp(10, 20, 0.5); got != 15 {
+		t.Errorf("Lerp(10,20,0.5) = %v", got)
+	}
+	if got := Lerp(10, 20, -1); got != 10 {
+		t.Errorf("Lerp clamps low: %v", got)
+	}
+	if got := Lerp(10, 20, 2); got != 20 {
+		t.Errorf("Lerp clamps high: %v", got)
+	}
+	if got := InvLerp(10, 20, 15); got != 0.5 {
+		t.Errorf("InvLerp(10,20,15) = %v", got)
+	}
+}
+
+func TestInterp1(t *testing.T) {
+	xs := []float64{0, 1, 2, 4}
+	ys := []float64{0, 10, 20, 40}
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 5}, {1, 10}, {3, 30}, {4, 40}, {5, 40},
+	}
+	for _, c := range cases {
+		if got := Interp1(xs, ys, c.x); !ApproxEqual(got, c.want, 1e-12) {
+			t.Errorf("Interp1(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestInterp1Monotone(t *testing.T) {
+	// Property: interpolation of a monotone table is monotone.
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := []float64{3.5, 4.0, 5.2, 7.0, 9.1, 11.176}
+	prev := math.Inf(-1)
+	for x := -0.5; x <= 5.5; x += 0.01 {
+		y := Interp1(xs, ys, x)
+		if y < prev-1e-12 {
+			t.Fatalf("Interp1 not monotone at x=%v: %v < %v", x, y, prev)
+		}
+		prev = y
+	}
+}
+
+func TestInterp1PanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched lengths")
+		}
+	}()
+	Interp1([]float64{1, 2}, []float64{1}, 1.5)
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("nearly equal values reported unequal")
+	}
+	if ApproxEqual(1.0, 1.1, 1e-9) {
+		t.Error("clearly different values reported equal")
+	}
+	if !ApproxEqual(1e9, 1e9+1, 1e-6) {
+		t.Error("relative tolerance not applied for large values")
+	}
+}

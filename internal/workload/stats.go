@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"errors"
+	"math"
+)
+
+// Stats summarises a trace's statistical fingerprint — the quantities
+// the synthetic generators are meant to match for their workload class
+// (DESIGN.md §2: "any trace ensemble with matching mean/variance/burst
+// structure exercises identical code paths").
+type Stats struct {
+	// Mean and Std are over all thread-steps.
+	Mean, Std float64
+	// Lag1 is the mean per-thread lag-1 autocorrelation (temporal
+	// burst persistence).
+	Lag1 float64
+	// BurstFrac is the fraction of thread-steps above 1.5× the mean.
+	BurstFrac float64
+	// ActiveFrac is the fraction of threads whose own mean exceeds 10 %
+	// utilization.
+	ActiveFrac float64
+}
+
+// ComputeStats scans the trace.
+func (t *Trace) ComputeStats() (Stats, error) {
+	if err := t.Validate(); err != nil {
+		return Stats{}, err
+	}
+	steps, threads := t.Steps(), t.Threads()
+	if steps < 2 {
+		return Stats{}, errors.New("workload: need at least 2 steps for statistics")
+	}
+	var s Stats
+	n := float64(steps * threads)
+	var sum, sumSq float64
+	for _, row := range t.Util {
+		for _, u := range row {
+			sum += u
+			sumSq += u * u
+		}
+	}
+	s.Mean = sum / n
+	if v := sumSq/n - s.Mean*s.Mean; v > 0 {
+		s.Std = math.Sqrt(v)
+	}
+
+	burst := 0
+	for _, row := range t.Util {
+		for _, u := range row {
+			if u > 1.5*s.Mean {
+				burst++
+			}
+		}
+	}
+	s.BurstFrac = float64(burst) / n
+
+	active := 0
+	var lagSum float64
+	lagThreads := 0
+	for th := 0; th < threads; th++ {
+		var tm, tsq float64
+		for st := 0; st < steps; st++ {
+			u := t.Util[st][th]
+			tm += u
+			tsq += u * u
+		}
+		tm /= float64(steps)
+		if tm > 0.1 {
+			active++
+		}
+		tvar := tsq/float64(steps) - tm*tm
+		if tvar <= 1e-12 {
+			continue // constant thread: autocorrelation undefined
+		}
+		var cov float64
+		for st := 1; st < steps; st++ {
+			cov += (t.Util[st][th] - tm) * (t.Util[st-1][th] - tm)
+		}
+		cov /= float64(steps - 1)
+		lagSum += cov / tvar
+		lagThreads++
+	}
+	s.ActiveFrac = float64(active) / float64(threads)
+	if lagThreads > 0 {
+		s.Lag1 = lagSum / float64(lagThreads)
+	}
+	return s, nil
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func genStats(t *testing.T, p Profile) Stats {
+	t.Helper()
+	tr, err := p.Generate(32, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tr.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStatsProfileFingerprints(t *testing.T) {
+	web := genStats(t, WebServer)
+	db := genStats(t, Database)
+	peak := genStats(t, PeakLoad)
+	light := genStats(t, LightLoad)
+
+	// Class ordering on the mean: light < web < db < peak.
+	if !(light.Mean < web.Mean && web.Mean < db.Mean && db.Mean < peak.Mean) {
+		t.Fatalf("mean ordering violated: light %.2f web %.2f db %.2f peak %.2f",
+			light.Mean, web.Mean, db.Mean, peak.Mean)
+	}
+	// Web serving is the bursty class.
+	if web.BurstFrac <= db.BurstFrac {
+		t.Errorf("web burst fraction %.3f not above db %.3f", web.BurstFrac, db.BurstFrac)
+	}
+	// The trace generators produce temporally correlated load (bursts
+	// persist across seconds), not white noise.
+	if web.Lag1 < 0.2 {
+		t.Errorf("web lag-1 autocorrelation %.3f too low for bursty load", web.Lag1)
+	}
+	// Active-thread fractions track the profiles.
+	if light.ActiveFrac >= web.ActiveFrac {
+		t.Errorf("light active fraction %.2f not below web %.2f", light.ActiveFrac, web.ActiveFrac)
+	}
+	if peak.ActiveFrac < 0.95 {
+		t.Errorf("peak active fraction %.2f, want ~1", peak.ActiveFrac)
+	}
+}
+
+func TestStatsMatchProfileMeans(t *testing.T) {
+	// The generated ensemble mean must land near the profile's design
+	// mean scaled by the active fraction.
+	for _, p := range []Profile{WebServer, Database, Multimedia} {
+		s := genStats(t, p)
+		want := p.Mean * p.ActiveFrac
+		if math.Abs(s.Mean-want) > 0.35*want {
+			t.Errorf("%s: ensemble mean %.3f far from design %.3f", p.Name, s.Mean, want)
+		}
+	}
+}
+
+func TestStatsErrors(t *testing.T) {
+	tr := &Trace{Name: "short", Util: [][]float64{{0.5}}}
+	if _, err := tr.ComputeStats(); err == nil {
+		t.Fatal("single-step trace accepted")
+	}
+	var nilTrace Trace
+	if _, err := nilTrace.ComputeStats(); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestStatsBoundsQuick(t *testing.T) {
+	f := func(seed int64, threadsRaw, stepsRaw uint8) bool {
+		threads := 4 + int(threadsRaw)%28
+		steps := 10 + int(stepsRaw)%90
+		tr, err := WebServer.Generate(threads, steps, seed)
+		if err != nil {
+			return false
+		}
+		s, err := tr.ComputeStats()
+		if err != nil {
+			return false
+		}
+		return s.Mean >= 0 && s.Mean <= 1 &&
+			s.Std >= 0 && s.Std <= 0.5 &&
+			s.BurstFrac >= 0 && s.BurstFrac <= 1 &&
+			s.ActiveFrac >= 0 && s.ActiveFrac <= 1 &&
+			s.Lag1 >= -1 && s.Lag1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,297 @@
+// Package workload models the utilization traces that drive the
+// experiments. The paper records "the utilization percentage for each
+// hardware thread at every second for several minutes" from real
+// applications (web server, database management, multimedia processing)
+// running on an UltraSPARC T1.
+//
+// Those proprietary traces are substituted with seeded synthetic
+// generators whose statistical profiles match the workload classes the
+// paper names: the policies only ever observe per-thread utilization at
+// one-second granularity, so matching means/variances/burst structure
+// exercises the identical control paths. Traces can be saved/loaded as
+// CSV for reproducibility.
+package workload
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Trace holds per-thread utilizations in [0,1] sampled at 1 s intervals:
+// Util[step][thread].
+type Trace struct {
+	Name string
+	Util [][]float64
+}
+
+// Steps returns the number of one-second samples.
+func (t *Trace) Steps() int { return len(t.Util) }
+
+// Threads returns the thread count (0 for an empty trace).
+func (t *Trace) Threads() int {
+	if len(t.Util) == 0 {
+		return 0
+	}
+	return len(t.Util[0])
+}
+
+// At returns the utilization of a thread at a step.
+func (t *Trace) At(step, thread int) float64 { return t.Util[step][thread] }
+
+// Validate checks rectangular shape and [0,1] range.
+func (t *Trace) Validate() error {
+	if t.Steps() == 0 {
+		return errors.New("workload: empty trace")
+	}
+	n := t.Threads()
+	if n == 0 {
+		return errors.New("workload: no threads")
+	}
+	for s, row := range t.Util {
+		if len(row) != n {
+			return fmt.Errorf("workload: step %d has %d threads, want %d", s, len(row), n)
+		}
+		for th, u := range row {
+			if u < 0 || u > 1 || math.IsNaN(u) {
+				return fmt.Errorf("workload: step %d thread %d utilization %v outside [0,1]", s, th, u)
+			}
+		}
+	}
+	return nil
+}
+
+// MeanUtil returns the grand mean utilization.
+func (t *Trace) MeanUtil() float64 {
+	s, n := 0.0, 0
+	for _, row := range t.Util {
+		for _, u := range row {
+			s += u
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// PeakStepUtil returns the maximum over steps of the per-step mean
+// utilization — the "maximum utilization" figure used by Fig. 6.
+func (t *Trace) PeakStepUtil() float64 {
+	peak := 0.0
+	for _, row := range t.Util {
+		s := 0.0
+		for _, u := range row {
+			s += u
+		}
+		if m := s / float64(len(row)); m > peak {
+			peak = m
+		}
+	}
+	return peak
+}
+
+// Slice returns a sub-trace covering steps [lo, hi).
+func (t *Trace) Slice(lo, hi int) (*Trace, error) {
+	if lo < 0 || hi > t.Steps() || lo >= hi {
+		return nil, fmt.Errorf("workload: bad slice [%d,%d) of %d steps", lo, hi, t.Steps())
+	}
+	return &Trace{Name: t.Name, Util: t.Util[lo:hi]}, nil
+}
+
+// Profile is a synthetic workload generator configuration.
+type Profile struct {
+	Name string
+	// Mean is the long-run mean utilization of an active thread.
+	Mean float64
+	// Jitter is the step-to-step white noise amplitude.
+	Jitter float64
+	// BurstProb is the per-step probability of entering a burst.
+	BurstProb float64
+	// BurstGain is the multiplicative burst amplitude.
+	BurstGain float64
+	// BurstLen is the mean burst duration in steps.
+	BurstLen int
+	// Period, when > 0, superimposes a sinusoidal modulation of the
+	// given step period and amplitude Swing (multimedia frame loops).
+	Period int
+	Swing  float64
+	// ActiveFrac is the fraction of threads that are active at all;
+	// inactive threads idle near zero.
+	ActiveFrac float64
+}
+
+// The workload classes named in §IV-A.
+var (
+	// WebServer: moderate mean with strong correlated request bursts.
+	WebServer = Profile{
+		Name: "web", Mean: 0.35, Jitter: 0.08,
+		BurstProb: 0.04, BurstGain: 2.3, BurstLen: 12,
+		ActiveFrac: 0.9,
+	}
+	// Database: high, steady utilization with occasional lulls.
+	Database = Profile{
+		Name: "db", Mean: 0.65, Jitter: 0.05,
+		BurstProb: 0.02, BurstGain: 1.35, BurstLen: 20,
+		ActiveFrac: 1.0,
+	}
+	// Multimedia: periodic frame-processing load.
+	Multimedia = Profile{
+		Name: "mm", Mean: 0.55, Jitter: 0.04,
+		BurstProb: 0.01, BurstGain: 1.5, BurstLen: 6,
+		Period: 25, Swing: 0.25,
+		ActiveFrac: 0.85,
+	}
+	// PeakLoad: the "maximum utilization rate" stressor of Fig. 6.
+	PeakLoad = Profile{
+		Name: "peak", Mean: 0.92, Jitter: 0.04,
+		BurstProb: 0.05, BurstGain: 1.1, BurstLen: 10,
+		ActiveFrac: 1.0,
+	}
+	// LightLoad: an idle-heavy off-peak trace (overnight web serving).
+	// The §IV-A "up to" savings are realised on workloads like this,
+	// where the fuzzy controller parks the pump at minimum flow and the
+	// DVFS bias at the lowest V/f almost continuously.
+	LightLoad = Profile{
+		Name: "light", Mean: 0.08, Jitter: 0.04,
+		BurstProb: 0.015, BurstGain: 3.0, BurstLen: 5,
+		ActiveFrac: 0.4,
+	}
+)
+
+// StandardSuite returns the benchmark set used by the Fig. 6/7
+// experiments.
+func StandardSuite() []Profile {
+	return []Profile{WebServer, Database, Multimedia}
+}
+
+// Generate synthesises a trace of the given shape. The same seed always
+// produces the same trace.
+func (p Profile) Generate(threads, steps int, seed int64) (*Trace, error) {
+	if threads < 1 || steps < 1 {
+		return nil, fmt.Errorf("workload: bad shape %dx%d", steps, threads)
+	}
+	if p.Mean < 0 || p.Mean > 1 {
+		return nil, fmt.Errorf("workload: profile mean %v outside [0,1]", p.Mean)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	active := make([]bool, threads)
+	for i := range active {
+		active[i] = rng.Float64() < p.ActiveFrac
+	}
+	// Shared burst state: request bursts hit all threads together.
+	burstLeft := 0
+	tr := &Trace{Name: p.Name, Util: make([][]float64, steps)}
+	for s := 0; s < steps; s++ {
+		if burstLeft > 0 {
+			burstLeft--
+		} else if rng.Float64() < p.BurstProb {
+			burstLeft = 1 + rng.Intn(2*maxInt(p.BurstLen, 1))
+		}
+		mod := 1.0
+		if burstLeft > 0 {
+			mod = p.BurstGain
+		}
+		season := 0.0
+		if p.Period > 0 {
+			season = p.Swing * math.Sin(2*math.Pi*float64(s)/float64(p.Period))
+		}
+		row := make([]float64, threads)
+		for th := 0; th < threads; th++ {
+			if !active[th] {
+				row[th] = clamp01(0.02 + 0.02*rng.Float64())
+				continue
+			}
+			u := p.Mean*mod + season + p.Jitter*rng.NormFloat64()
+			row[th] = clamp01(u)
+		}
+		tr.Util[s] = row
+	}
+	return tr, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EncodeCSV writes the trace as CSV: a header row of thread names, then
+// one row per step.
+func (t *Trace) EncodeCSV(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	for th := 0; th < t.Threads(); th++ {
+		if th > 0 {
+			bw.WriteByte(',')
+		}
+		fmt.Fprintf(bw, "t%d", th)
+	}
+	bw.WriteByte('\n')
+	for _, row := range t.Util {
+		for i, u := range row {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			fmt.Fprintf(bw, "%.6f", u)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// DecodeCSV reads a trace written by EncodeCSV.
+func DecodeCSV(name string, r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, errors.New("workload: empty CSV")
+	}
+	header := strings.Split(sc.Text(), ",")
+	n := len(header)
+	tr := &Trace{Name: name}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != n {
+			return nil, fmt.Errorf("workload: row %d has %d fields, want %d", len(tr.Util)+1, len(parts), n)
+		}
+		row := make([]float64, n)
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: row %d field %d: %w", len(tr.Util)+1, i, err)
+			}
+			row[i] = v
+		}
+		tr.Util = append(tr.Util, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateShapeAndRange(t *testing.T) {
+	for _, p := range append(StandardSuite(), PeakLoad) {
+		tr, err := p.Generate(32, 300, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if tr.Steps() != 300 || tr.Threads() != 32 {
+			t.Fatalf("%s: shape %dx%d", p.Name, tr.Steps(), tr.Threads())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := WebServer.Generate(16, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := WebServer.Generate(16, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range a.Util {
+		for th := range a.Util[s] {
+			if a.Util[s][th] != b.Util[s][th] {
+				t.Fatalf("seeded generation not reproducible at (%d,%d)", s, th)
+			}
+		}
+	}
+	c, err := WebServer.Generate(16, 100, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanUtil() == c.MeanUtil() {
+		t.Error("different seeds gave identical traces (suspicious)")
+	}
+}
+
+func TestProfileMeansOrdering(t *testing.T) {
+	// db > mm > web in mean; peak above all.
+	gen := func(p Profile) float64 {
+		tr, err := p.Generate(32, 600, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.MeanUtil()
+	}
+	web, db, mm, peak := gen(WebServer), gen(Database), gen(Multimedia), gen(PeakLoad)
+	if !(db > mm && mm > web) {
+		t.Errorf("mean ordering web %v < mm %v < db %v violated", web, mm, db)
+	}
+	if peak < 0.85 {
+		t.Errorf("peak workload mean = %v, want >= 0.85", peak)
+	}
+	if web < 0.15 || web > 0.6 {
+		t.Errorf("web mean = %v outside plausible band", web)
+	}
+}
+
+func TestWebServerIsBursty(t *testing.T) {
+	tr, err := WebServer.Generate(32, 900, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burstiness: peak step mean well above the long-run mean.
+	if tr.PeakStepUtil() < 1.5*tr.MeanUtil() {
+		t.Errorf("web peak %v not ≫ mean %v", tr.PeakStepUtil(), tr.MeanUtil())
+	}
+	// Database is steadier.
+	db, err := Database.Generate(32, 900, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	webRatio := tr.PeakStepUtil() / tr.MeanUtil()
+	dbRatio := db.PeakStepUtil() / db.MeanUtil()
+	if dbRatio >= webRatio {
+		t.Errorf("db peak/mean %v should be below web %v", dbRatio, webRatio)
+	}
+}
+
+func TestMultimediaPeriodicity(t *testing.T) {
+	tr, err := Multimedia.Generate(8, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Autocorrelation at the period should beat that at half the period.
+	mean := tr.MeanUtil()
+	ac := func(lag int) float64 {
+		s := 0.0
+		n := 0
+		for step := 0; step+lag < tr.Steps(); step++ {
+			for th := 0; th < tr.Threads(); th++ {
+				s += (tr.At(step, th) - mean) * (tr.At(step+lag, th) - mean)
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	if ac(Multimedia.Period) <= ac(Multimedia.Period/2) {
+		t.Errorf("autocorrelation at period %v not above half-period %v",
+			ac(Multimedia.Period), ac(Multimedia.Period/2))
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr, err := Database.Generate(4, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := tr.Slice(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Steps() != 10 {
+		t.Errorf("slice steps = %d", sub.Steps())
+	}
+	if sub.At(0, 0) != tr.At(10, 0) {
+		t.Error("slice misaligned")
+	}
+	if _, err := tr.Slice(-1, 5); err == nil {
+		t.Error("negative lo must fail")
+	}
+	if _, err := tr.Slice(5, 5); err == nil {
+		t.Error("empty slice must fail")
+	}
+	if _, err := tr.Slice(0, 1000); err == nil {
+		t.Error("overlong slice must fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr, err := Multimedia.Generate(6, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.EncodeCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeCSV("mm", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Steps() != tr.Steps() || back.Threads() != tr.Threads() {
+		t.Fatalf("round trip shape %dx%d", back.Steps(), back.Threads())
+	}
+	for s := range tr.Util {
+		for th := range tr.Util[s] {
+			if math.Abs(back.At(s, th)-tr.At(s, th)) > 1e-6 {
+				t.Fatalf("round trip value (%d,%d): %v vs %v", s, th, back.At(s, th), tr.At(s, th))
+			}
+		}
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tr, err := WebServer.Generate(3, 20, seed)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := tr.EncodeCSV(&buf); err != nil {
+			return false
+		}
+		back, err := DecodeCSV("w", &buf)
+		if err != nil {
+			return false
+		}
+		for s := range tr.Util {
+			for th := range tr.Util[s] {
+				if math.Abs(back.At(s, th)-tr.At(s, th)) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeCSVErrors(t *testing.T) {
+	if _, err := DecodeCSV("x", bytes.NewBufferString("")); err == nil {
+		t.Error("empty input must fail")
+	}
+	if _, err := DecodeCSV("x", bytes.NewBufferString("t0,t1\n0.5\n")); err == nil {
+		t.Error("ragged row must fail")
+	}
+	if _, err := DecodeCSV("x", bytes.NewBufferString("t0\nnope\n")); err == nil {
+		t.Error("non-numeric must fail")
+	}
+	if _, err := DecodeCSV("x", bytes.NewBufferString("t0\n1.5\n")); err == nil {
+		t.Error("out-of-range utilization must fail")
+	}
+}
+
+func TestValidateRejectsBadTraces(t *testing.T) {
+	bad := &Trace{Util: [][]float64{{0.5}, {0.5, 0.5}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("ragged trace must fail")
+	}
+	nan := &Trace{Util: [][]float64{{math.NaN()}}}
+	if err := nan.Validate(); err == nil {
+		t.Error("NaN must fail")
+	}
+	if err := (&Trace{}).Validate(); err == nil {
+		t.Error("empty must fail")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := WebServer.Generate(0, 10, 1); err == nil {
+		t.Error("zero threads must fail")
+	}
+	bad := WebServer
+	bad.Mean = 1.5
+	if _, err := bad.Generate(4, 10, 1); err == nil {
+		t.Error("bad mean must fail")
+	}
+}
