@@ -1,17 +1,19 @@
 // Package repro holds the top-level benchmark harness: one benchmark per
-// table/figure/claim of the paper (see DESIGN.md §5 for the experiment
+// table/figure/claim of the paper (see README.md for the experiment
 // index) plus performance benchmarks of the core solvers. Regenerate the
 // full-size tables with cmd/experiments; these benchmarks exercise the
 // same code paths at reduced fidelity so `go test -bench=.` stays fast.
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cfdref"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/floorplan"
+	"repro/internal/jobs"
 	"repro/internal/mat"
 	"repro/internal/power"
 	"repro/internal/thermal"
@@ -77,6 +79,51 @@ func benchPolicyRun(b *testing.B, cooling core.Cooling, pol string) {
 func BenchmarkFig6HotspotStudy(b *testing.B) { benchPolicyRun(b, core.Air, "LB") }
 
 func BenchmarkFig7EnergyStudy(b *testing.B) { benchPolicyRun(b, core.Liquid, "LC_FUZZY") }
+
+// --- Scenario-execution subsystem (internal/jobs) ---
+
+// BenchmarkPoolStudySweep measures the full 7×4 policy-study matrix
+// executed sequentially versus fanned out across the worker pool — the
+// ns/op ratio of the two sub-benchmarks is the subsystem's study
+// speedup on this machine.
+func BenchmarkPoolStudySweep(b *testing.B) {
+	opt := exp.Options{Steps: 4, Grid: 8, Seed: 1}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exp.RunStudySequential(opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exp.RunStudy(opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCacheHit measures serving a memoized scenario from the
+// content-addressed result cache (key hash + lookup + defensive copy)
+// against re-solving it; the cold solve is primed outside the timer.
+func BenchmarkCacheHit(b *testing.B) {
+	cache := jobs.NewCache(0)
+	sc := jobs.Scenario{Tiers: 2, Cooling: "air", Policy: "LB", Workload: "web", Steps: 4, Grid: 8, Seed: 1}
+	if _, _, err := cache.Metrics(context.Background(), sc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, hit, err := cache.Metrics(context.Background(), sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !hit || m == nil {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
 
 // --- F8: two-phase hot-spot test ---
 

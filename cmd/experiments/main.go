@@ -1,5 +1,5 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation, plus the quantitative claims of §§II–III (see DESIGN.md for
+// evaluation, plus the quantitative claims of §§II–III (see README.md for
 // the experiment index).
 //
 // Usage:

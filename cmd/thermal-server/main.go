@@ -1,0 +1,69 @@
+// Command thermal-server serves the paper's co-simulation engine as an
+// HTTP/JSON service (see internal/server for the API):
+//
+//	thermal-server -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/simulate \
+//	     -d '{"tiers":2,"cooling":"liquid","policy":"LC_FUZZY","workload":"web","steps":60,"grid":8}'
+//	curl -s -X POST 'localhost:8080/v1/studies?async=1' -d '{"steps":60,"grid":8}'
+//	curl -s localhost:8080/v1/jobs/job-000001?wait=1
+//
+// Scenario results are memoized under a content-addressed cache, so a
+// repeated request for the same configuration is served from memory.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent scenario executions (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache", 4096, "max cached scenario results (0 = unbounded)")
+	queueDepth := flag.Int("queue", 1024, "max queued async jobs")
+	flag.Parse()
+
+	svc := server.New(server.Options{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		QueueDepth:   *queueDepth,
+	})
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("thermal-server listening on %s", *addr)
+		errc <- httpServer.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		svc.Close()
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+}

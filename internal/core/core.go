@@ -71,6 +71,9 @@ type Options struct {
 	// (kelvin) to the temperature readings the policy sees (0 = ideal
 	// sensors); see sim.Config.
 	SensorNoiseStdC float64
+	// FlowQuantLevels quantises pump actuation (default 8 settings);
+	// see sim.Config. Liquid mode only.
+	FlowQuantLevels int
 }
 
 // Policies lists the supported management strategies. Beyond the
@@ -177,26 +180,17 @@ func (s *System) Policy() string { return s.policy.Name() }
 // RunTrace runs the full co-simulation over a utilization trace sampled
 // at 1 s (see package workload) and returns the Fig. 6/7 metrics.
 func (s *System) RunTrace(tr *workload.Trace) (*sim.Metrics, error) {
-	if tr == nil {
-		return nil, errors.New("core: nil trace")
-	}
-	cfg := sim.Config{
-		Stack:           s.stack,
-		Mode:            s.mode,
-		Policy:          s.policy,
-		Trace:           tr,
-		Power:           s.pmodel,
-		ThresholdC:      s.opt.ThresholdC,
-		Grid:            s.opt.Grid,
-		SensorNoiseStdC: s.opt.SensorNoiseStdC,
-	}
-	return sim.Run(cfg)
+	return s.runTrace(tr, false)
 }
 
 // RunTraceRecorded is RunTrace with per-sensing-step time-series
 // capture enabled (Metrics.Series): the temperature/flow traces papers
 // plot, at the cost of ~10 samples per simulated second.
 func (s *System) RunTraceRecorded(tr *workload.Trace) (*sim.Metrics, error) {
+	return s.runTrace(tr, true)
+}
+
+func (s *System) runTrace(tr *workload.Trace, record bool) (*sim.Metrics, error) {
 	if tr == nil {
 		return nil, errors.New("core: nil trace")
 	}
@@ -208,8 +202,9 @@ func (s *System) RunTraceRecorded(tr *workload.Trace) (*sim.Metrics, error) {
 		Power:           s.pmodel,
 		ThresholdC:      s.opt.ThresholdC,
 		Grid:            s.opt.Grid,
+		FlowQuantLevels: s.opt.FlowQuantLevels,
 		SensorNoiseStdC: s.opt.SensorNoiseStdC,
-		Record:          true,
+		Record:          record,
 	}
 	return sim.Run(cfg)
 }

@@ -1,11 +1,13 @@
 package dse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/fluids"
+	"repro/internal/jobs"
 	"repro/internal/microchannel"
 	"repro/internal/tsv"
 )
@@ -72,10 +74,57 @@ func DefaultSpace(d Duty, arr tsv.Array, qMin, qMax float64, nFlows int) (*Space
 	return &Space{Geometries: geoms, Flows: flows, Fluid: fluids.Water(), Duty: d}, nil
 }
 
-// Explore evaluates the full factorial sweep. Design points whose
-// evaluation fails (unbuildable geometry) are skipped only if other
-// points succeed; a space in which nothing evaluates is an error.
+// Explore evaluates the full factorial sweep, fanning the independent
+// design points across the machine's cores (jobs.Pool). Design points
+// whose evaluation fails (unbuildable geometry) are skipped only if
+// other points succeed; a space in which nothing evaluates is an error.
+// The result ordering and error selection are identical to the
+// sequential sweep regardless of worker scheduling.
 func (s *Space) Explore() ([]Evaluation, error) {
+	return s.ExploreParallel(context.Background(), nil)
+}
+
+// ExploreParallel is Explore on a caller-supplied pool (nil selects a
+// GOMAXPROCS-wide default) with cancellation: design points not yet
+// started when ctx is canceled are skipped and ctx's error returned.
+func (s *Space) ExploreParallel(ctx context.Context, pool *jobs.Pool) ([]Evaluation, error) {
+	if len(s.Geometries) == 0 || len(s.Flows) == 0 {
+		return nil, errors.New("dse: empty design space")
+	}
+	if pool == nil {
+		pool = jobs.NewPool(0)
+	}
+	nf := len(s.Flows)
+	n := len(s.Geometries) * nf
+	evals := make([]Evaluation, n)
+	errs, err := pool.Run(ctx, n, func(_ context.Context, i int) error {
+		ev, err := Evaluate(s.Geometries[i/nf], s.Fluid, s.Flows[i%nf], s.Duty)
+		evals[i] = ev
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Evaluation, 0, n)
+	var firstErr error
+	for i, e := range errs {
+		if e != nil {
+			if firstErr == nil {
+				firstErr = e
+			}
+			continue
+		}
+		out = append(out, evals[i])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dse: no design point evaluated: %w", firstErr)
+	}
+	return out, nil
+}
+
+// exploreSequential is the single-threaded reference sweep, kept as the
+// ground truth the parallel path is tested against.
+func (s *Space) exploreSequential() ([]Evaluation, error) {
 	if len(s.Geometries) == 0 || len(s.Flows) == 0 {
 		return nil, errors.New("dse: empty design space")
 	}

@@ -1,0 +1,71 @@
+package dse
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/tsv"
+	"repro/internal/units"
+)
+
+func exploreTestSpace(t *testing.T) *Space {
+	t.Helper()
+	duty := Duty{
+		TierPower:       60,
+		FootprintW:      11.5e-3,
+		FootprintH:      10e-3,
+		DieThickness:    0.15e-3,
+		DieConductivity: 130,
+		InletC:          27,
+	}
+	arr := tsv.Array{
+		Via:   tsv.Via{Diameter: 40e-6, Depth: 380e-6, Liner: 200e-9},
+		Pitch: 0.15e-3,
+		KOZ:   10e-6,
+	}
+	sp, err := DefaultSpace(duty, arr,
+		units.MlPerMinToM3PerS(10), units.MlPerMinToM3PerS(32.3), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestExploreParallelMatchesSequential is the acceptance check for the
+// jobs.Pool rewiring: the concurrent sweep must reproduce the
+// sequential sweep exactly — same evaluations, same order.
+func TestExploreParallelMatchesSequential(t *testing.T) {
+	sp := exploreTestSpace(t)
+	want, err := sp.exploreSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 0} {
+		got, err := sp.ExploreParallel(context.Background(), jobs.NewPool(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel sweep diverges from sequential", workers)
+		}
+	}
+	// The public entry point routes through the pool.
+	got, err := sp.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Explore() diverges from sequential sweep")
+	}
+}
+
+func TestExploreParallelCancellation(t *testing.T) {
+	sp := exploreTestSpace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sp.ExploreParallel(ctx, nil); err == nil {
+		t.Fatal("canceled exploration succeeded")
+	}
+}

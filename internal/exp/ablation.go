@@ -25,7 +25,7 @@ type AblationRow struct {
 // baselines: max-flow (LB), bang-bang flow (LC_TTFLOW), a classical PI
 // flow loop with utilization feedforward (LC_PID), and the same rule
 // base under Sugeno inference (LC_FUZZY_S) — the design-choice study
-// DESIGN.md calls out.
+// behind the controller's architecture.
 type AblationResult struct {
 	Rows  []AblationRow
 	Table *report.Table

@@ -5,9 +5,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -89,10 +91,98 @@ type AggMetrics struct {
 // workloadSet is the benchmark suite of §IV-A plus the peak stressor.
 var workloadNames = []string{"web", "db", "mm"}
 
+// StudyScenario maps one (configuration, workload) cell of the study
+// matrix onto the jobs subsystem's scenario description, so studies,
+// the HTTP service and ad-hoc callers all share one cache keyspace.
+func StudyScenario(cfg StudyConfig, wl string, opt Options) jobs.Scenario {
+	opt = opt.fill()
+	return jobs.Scenario{
+		Tiers:    cfg.Tiers,
+		Cooling:  cfg.Cooling.String(),
+		Policy:   cfg.Policy,
+		Workload: wl,
+		Steps:    opt.Steps,
+		Grid:     opt.Grid,
+		Seed:     opt.Seed,
+	}
+}
+
+// studyWorkloads is workloadNames plus the peak stressor, in run order.
+func studyWorkloads() []string { return append(append([]string(nil), workloadNames...), "peak") }
+
 // RunStudy executes the full policy study (the shared computation behind
 // Figs. 6 and 7): every configuration against every workload plus the
-// peak-utilization stressor.
+// peak-utilization stressor. The 7×4 scenario matrix fans out across
+// the machine's cores via jobs.Pool; results are assembled in the
+// deterministic figure order and match RunStudySequential exactly.
 func RunStudy(opt Options) ([]*StudyResult, error) {
+	return RunStudyOn(context.Background(), nil, nil, opt)
+}
+
+// RunStudyOn is RunStudy on a caller-supplied pool and cache. A nil
+// pool selects a GOMAXPROCS-wide default; a nil cache disables
+// memoization. Scenarios already resident in the cache are served
+// without re-solving — a second identical study is almost free.
+func RunStudyOn(ctx context.Context, pool *jobs.Pool, cache *jobs.Cache, opt Options) ([]*StudyResult, error) {
+	opt = opt.fill()
+	if pool == nil {
+		pool = jobs.NewPool(0)
+	}
+	configs := StudyConfigs()
+	wls := studyWorkloads()
+	nw := len(wls)
+	metrics := make([]*sim.Metrics, len(configs)*nw)
+	err := pool.ForEach(ctx, len(metrics), func(ctx context.Context, i int) error {
+		cfg, wl := configs[i/nw], wls[i%nw]
+		m, _, err := cache.Metrics(ctx, StudyScenario(cfg, wl, opt))
+		if err != nil {
+			return fmt.Errorf("exp: %s/%s: %w", cfg.Label, wl, err)
+		}
+		metrics[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*StudyResult, 0, len(configs))
+	for ci, cfg := range configs {
+		res := &StudyResult{Config: cfg, PerWorkload: map[string]*sim.Metrics{}}
+		for wi, wl := range wls {
+			m := metrics[ci*nw+wi]
+			if wl == "peak" {
+				res.Peak = m
+			} else {
+				res.PerWorkload[wl] = m
+			}
+		}
+		aggregate(res)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// aggregate folds the per-workload metrics into the figure averages, in
+// the fixed workload order so the float arithmetic is reproducible.
+func aggregate(res *StudyResult) {
+	n := float64(len(workloadNames))
+	for _, wl := range workloadNames {
+		m := res.PerWorkload[wl]
+		res.Avg.HotspotFracAvg += m.HotspotFracAvg / n
+		res.Avg.HotspotFracMax += m.HotspotFracMax / n
+		res.Avg.ChipEnergyJ += m.ChipEnergyJ / n
+		res.Avg.PumpEnergyJ += m.PumpEnergyJ / n
+		res.Avg.TotalEnergyJ += m.TotalEnergyJ / n
+		res.Avg.PerfDegradationPct += m.PerfDegradationPct / n
+		if m.PeakTempC > res.Avg.PeakTempC {
+			res.Avg.PeakTempC = m.PeakTempC
+		}
+	}
+}
+
+// RunStudySequential is the single-threaded reference implementation of
+// the study, kept as the ground truth the pooled path is tested and
+// benchmarked against.
+func RunStudySequential(opt Options) ([]*StudyResult, error) {
 	opt = opt.fill()
 	var out []*StudyResult
 	for _, cfg := range StudyConfigs() {
@@ -122,19 +212,7 @@ func RunStudy(opt Options) ([]*StudyResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s/peak: %w", cfg.Label, err)
 		}
-		n := float64(len(workloadNames))
-		for _, wl := range workloadNames {
-			m := res.PerWorkload[wl]
-			res.Avg.HotspotFracAvg += m.HotspotFracAvg / n
-			res.Avg.HotspotFracMax += m.HotspotFracMax / n
-			res.Avg.ChipEnergyJ += m.ChipEnergyJ / n
-			res.Avg.PumpEnergyJ += m.PumpEnergyJ / n
-			res.Avg.TotalEnergyJ += m.TotalEnergyJ / n
-			res.Avg.PerfDegradationPct += m.PerfDegradationPct / n
-			if m.PeakTempC > res.Avg.PeakTempC {
-				res.Avg.PeakTempC = m.PeakTempC
-			}
-		}
+		aggregate(res)
 		out = append(out, res)
 	}
 	return out, nil
@@ -282,17 +360,92 @@ type SavingsDetail struct {
 // the idle-heavy off-peak trace that exhibits the "up to" bound.
 var savingsWorkloads = []string{"web", "db", "mm", "light"}
 
+// savingsTiers and savingsPolicies span the savings matrix; index order
+// is fixed so the pooled and sequential paths assemble identically.
+var (
+	savingsTiers    = []int{2, 4}
+	savingsPolicies = []string{"LB", "LC_FUZZY"}
+)
+
 // SavingsStudy runs LC_LB (max flow) and LC_FUZZY on each stack over the
 // savings workload set and reports per-workload and best-case savings.
+// The 2×4×2 scenario matrix executes concurrently via jobs.Pool.
 func SavingsStudy(opt Options) ([]SavingsDetail, error) {
+	return SavingsStudyOn(context.Background(), nil, nil, opt)
+}
+
+// SavingsStudyOn is SavingsStudy on a caller-supplied pool and cache
+// (nil pool selects the GOMAXPROCS default; nil cache disables
+// memoization).
+func SavingsStudyOn(ctx context.Context, pool *jobs.Pool, cache *jobs.Cache, opt Options) ([]SavingsDetail, error) {
+	opt = opt.fill()
+	if pool == nil {
+		pool = jobs.NewPool(0)
+	}
+	nw, np := len(savingsWorkloads), len(savingsPolicies)
+	metrics := make([]*sim.Metrics, len(savingsTiers)*nw*np)
+	err := pool.ForEach(ctx, len(metrics), func(ctx context.Context, i int) error {
+		tiers := savingsTiers[i/(nw*np)]
+		wl := savingsWorkloads[(i/np)%nw]
+		pol := savingsPolicies[i%np]
+		m, _, err := cache.Metrics(ctx, jobs.Scenario{
+			Tiers: tiers, Cooling: core.Liquid.String(), Policy: pol,
+			Workload: wl, Steps: opt.Steps, Grid: opt.Grid, Seed: opt.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("exp: savings %d-tier %s/%s: %w", tiers, pol, wl, err)
+		}
+		metrics[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []SavingsDetail
+	for ti, tiers := range savingsTiers {
+		det := SavingsDetail{Tiers: tiers}
+		for wi, wl := range savingsWorkloads {
+			var pump, total [2]float64 // [0] = LC_LB, [1] = LC_FUZZY
+			var fuzzyPeak float64
+			for pi, pol := range savingsPolicies {
+				m := metrics[(ti*nw+wi)*np+pi]
+				pump[pi] = m.PumpEnergyJ
+				total[pi] = m.TotalEnergyJ
+				if pol == "LC_FUZZY" {
+					fuzzyPeak = m.PeakTempC
+				}
+			}
+			ws := WorkloadSaving{Workload: wl, FuzzyPeakC: fuzzyPeak}
+			if pump[0] > 0 {
+				ws.CoolingSavingFrac = 1 - pump[1]/pump[0]
+			}
+			if total[0] > 0 {
+				ws.SystemSavingFrac = 1 - total[1]/total[0]
+			}
+			det.PerWorkload = append(det.PerWorkload, ws)
+			if ws.CoolingSavingFrac > det.UpToCooling {
+				det.UpToCooling = ws.CoolingSavingFrac
+			}
+			if ws.SystemSavingFrac > det.UpToSystem {
+				det.UpToSystem = ws.SystemSavingFrac
+			}
+		}
+		out = append(out, det)
+	}
+	return out, nil
+}
+
+// savingsStudySequential is the single-threaded reference the pooled
+// path is tested against.
+func savingsStudySequential(opt Options) ([]SavingsDetail, error) {
 	opt = opt.fill()
 	var out []SavingsDetail
-	for _, tiers := range []int{2, 4} {
+	for _, tiers := range savingsTiers {
 		det := SavingsDetail{Tiers: tiers}
 		for _, wl := range savingsWorkloads {
 			var pump, total [2]float64 // [0] = LC_LB, [1] = LC_FUZZY
 			var fuzzyPeak float64
-			for pi, pol := range []string{"LB", "LC_FUZZY"} {
+			for pi, pol := range savingsPolicies {
 				sys, err := core.NewSystem(core.Options{
 					Tiers: tiers, Cooling: core.Liquid, Policy: pol, Grid: opt.Grid,
 				})

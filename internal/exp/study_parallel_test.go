@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+// tinyOpt keeps the 7×4 (study) and 2×4×2 (savings) matrices affordable
+// for the double (sequential + parallel) equivalence runs.
+func tinyOpt() Options { return Options{Steps: 6, Grid: 8, Seed: 1} }
+
+// TestRunStudyParallelMatchesSequential is the acceptance check for the
+// jobs.Pool rewiring: the pooled study must be byte-identical to the
+// single-threaded reference, whatever the worker count.
+func TestRunStudyParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study equivalence is not short")
+	}
+	opt := tinyOpt()
+	want, err := RunStudySequential(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunStudy(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("pooled RunStudy diverges from sequential reference")
+	}
+	// And through an explicit pool + cache, twice: the second pass must
+	// be served entirely from the cache and still be identical.
+	cache := jobs.NewCache(0)
+	pool := jobs.NewPool(2)
+	first, err := RunStudyOn(context.Background(), pool, cache, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Fatal("pooled+cached RunStudy diverges from sequential reference")
+	}
+	missesAfterFirst := cache.Stats().Misses
+	second, err := RunStudyOn(context.Background(), pool, cache, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second, want) {
+		t.Fatal("cache-served RunStudy diverges from sequential reference")
+	}
+	if misses := cache.Stats().Misses; misses != missesAfterFirst {
+		t.Fatalf("second study recomputed %d scenarios, want 0", misses-missesAfterFirst)
+	}
+}
+
+func TestSavingsStudyParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("savings equivalence is not short")
+	}
+	opt := tinyOpt()
+	want, err := savingsStudySequential(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SavingsStudy(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("pooled SavingsStudy diverges from sequential reference")
+	}
+}
+
+func TestRunStudyOnCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunStudyOn(ctx, nil, nil, tinyOpt()); err == nil {
+		t.Fatal("canceled study succeeded")
+	}
+}
+
+func TestStudyScenarioKeysCoverMatrix(t *testing.T) {
+	// Every cell of the study matrix must land on a distinct cache key.
+	opt := tinyOpt()
+	seen := map[string]string{}
+	for _, cfg := range StudyConfigs() {
+		for _, wl := range studyWorkloads() {
+			k := StudyScenario(cfg, wl, opt).Key()
+			id := cfg.Label + "/" + wl
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("%s and %s share a cache key", prev, id)
+			}
+			seen[k] = id
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package jobs
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// Cache is a content-addressed result cache with LRU eviction and
+// single-flight deduplication: concurrent requests for the same key
+// share one computation instead of racing duplicates. Values are cached
+// only on success — errors are never memoized. Safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	max      int
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key → *entry element
+	inflight map[string]*flightCall
+	stats    CacheStats
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// CacheStats counts cache outcomes. A single-flight join (a request
+// that waited on an identical in-flight computation) counts as a hit.
+type CacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// NewCache returns a cache holding at most maxEntries results;
+// maxEntries <= 0 means unbounded.
+func NewCache(maxEntries int) *Cache {
+	return &Cache{
+		max:      maxEntries,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+		inflight: map[string]*flightCall{},
+	}
+}
+
+// Get returns the cached value for key, promoting it to most recently
+// used.
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// GetOrCompute returns the value for key, computing it with fn on a
+// miss. The second return reports whether the value came from the cache
+// (including joining an in-flight computation of the same key). fn runs
+// outside the cache lock; a nil receiver always computes.
+func (c *Cache) GetOrCompute(key string, fn func() (any, error)) (any, bool, error) {
+	return c.GetOrComputeCtx(context.Background(), key, fn)
+}
+
+// GetOrComputeCtx is GetOrCompute with caller-scoped cancellation for
+// the single-flight join: a joiner waiting on another caller's
+// in-flight computation unblocks when its own ctx is done, and if the
+// originating computation failed only because the *originator* was
+// canceled, a joiner with a live context retries the computation itself
+// instead of inheriting the unrelated cancellation.
+func (c *Cache) GetOrComputeCtx(ctx context.Context, key string, fn func() (any, error)) (any, bool, error) {
+	if c == nil {
+		v, err := fn()
+		return v, false, err
+	}
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			c.stats.Hits++
+			v := el.Value.(*entry).val
+			c.mu.Unlock()
+			return v, true, nil
+		}
+		if call, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if isContextErr(call.err) && ctx.Err() == nil {
+				continue // the originator was canceled, not us: retry
+			}
+			c.mu.Lock()
+			c.stats.Hits++
+			c.mu.Unlock()
+			return call.val, true, call.err
+		}
+		call := &flightCall{done: make(chan struct{})}
+		c.inflight[key] = call
+		c.stats.Misses++
+		c.mu.Unlock()
+
+		call.val, call.err = fn()
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if call.err == nil {
+			c.add(key, call.val)
+		}
+		c.mu.Unlock()
+		close(call.done)
+		return call.val, false, call.err
+	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// add inserts under the lock and evicts past the bound.
+func (c *Cache) add(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	if c.max > 0 {
+		for c.ll.Len() > c.max {
+			last := c.ll.Back()
+			c.ll.Remove(last)
+			delete(c.items, last.Value.(*entry).key)
+		}
+	}
+}
+
+// Len reports the number of cached results.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,202 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheGetOrCompute(t *testing.T) {
+	c := NewCache(0)
+	calls := 0
+	compute := func() (any, error) { calls++; return 42, nil }
+
+	v, hit, err := c.GetOrCompute("k", compute)
+	if err != nil || hit || v.(int) != 42 {
+		t.Fatalf("first = (%v, %v, %v), want (42, false, nil)", v, hit, err)
+	}
+	v, hit, err = c.GetOrCompute("k", compute)
+	if err != nil || !hit || v.(int) != 42 {
+		t.Fatalf("second = (%v, %v, %v), want (42, true, nil)", v, hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", s)
+	}
+}
+
+func TestCacheDoesNotMemoizeErrors(t *testing.T) {
+	c := NewCache(0)
+	boom := errors.New("boom")
+	calls := 0
+	fn := func() (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return "ok", nil
+	}
+	if _, _, err := c.GetOrCompute("k", fn); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, hit, err := c.GetOrCompute("k", fn)
+	if err != nil || hit || v.(string) != "ok" {
+		t.Fatalf("retry = (%v, %v, %v), want recompute after error", v, hit, err)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	put := func(k string) {
+		t.Helper()
+		if _, _, err := c.GetOrCompute(k, func() (any, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a")
+	put("b")
+	if _, ok := c.Get("a"); !ok { // touch a → b becomes LRU
+		t.Fatal("a missing before eviction")
+	}
+	put("c") // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted, want resident", k)
+		}
+	}
+	if n := c.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache(0)
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]any, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.GetOrCompute("k", func() (any, error) {
+				computes.Add(1)
+				<-gate
+				return "shared", nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// All goroutines have either started the one compute or joined it;
+	// release the computation.
+	for c.Stats().Misses == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("%d concurrent computations for one key, want 1", n)
+	}
+	for i, v := range results {
+		if v != "shared" {
+			t.Fatalf("waiter %d got %v", i, v)
+		}
+	}
+}
+
+func TestCacheJoinerHonorsOwnContext(t *testing.T) {
+	c := NewCache(0)
+	gate := make(chan struct{})
+	defer close(gate)
+	go func() {
+		_, _, _ = c.GetOrComputeCtx(context.Background(), "k", func() (any, error) {
+			<-gate
+			return "slow", nil
+		})
+	}()
+	for c.Stats().Misses == 0 {
+		runtime.Gosched()
+	}
+	// A joiner whose own context is canceled must not block on the
+	// in-flight computation.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.GetOrComputeCtx(ctx, "k", func() (any, error) { return "never", nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("joiner error = %v, want context.Canceled", err)
+	}
+}
+
+func TestCacheJoinerRetriesAfterOriginatorCanceled(t *testing.T) {
+	c := NewCache(0)
+	gate := make(chan struct{})
+	originatorDone := make(chan struct{})
+	go func() {
+		defer close(originatorDone)
+		// The originator's own request is canceled mid-compute.
+		_, _, _ = c.GetOrComputeCtx(context.Background(), "k", func() (any, error) {
+			<-gate
+			return nil, context.Canceled
+		})
+	}()
+	for c.Stats().Misses == 0 {
+		runtime.Gosched()
+	}
+	joined := make(chan struct{})
+	var val any
+	var err error
+	go func() {
+		defer close(joined)
+		val, _, err = c.GetOrComputeCtx(context.Background(), "k", func() (any, error) {
+			return "healthy", nil
+		})
+	}()
+	close(gate)
+	<-originatorDone
+	<-joined
+	// The joiner's context was live, so it must not inherit the
+	// originator's cancellation — it recomputes (or raced ahead and
+	// computed first); either way it gets the healthy result.
+	if err != nil || val != "healthy" {
+		t.Fatalf("joiner = (%v, %v), want (healthy, nil)", val, err)
+	}
+}
+
+func TestNilCacheComputes(t *testing.T) {
+	var c *Cache
+	for i := 0; i < 2; i++ {
+		v, hit, err := c.GetOrCompute("k", func() (any, error) { return i, nil })
+		if err != nil || hit || v.(int) != i {
+			t.Fatalf("nil cache call %d = (%v, %v, %v)", i, v, hit, err)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+}
+
+func TestCacheUnboundedGrowth(t *testing.T) {
+	c := NewCache(0)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if _, _, err := c.GetOrCompute(k, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n != 100 {
+		t.Fatalf("Len = %d, want 100 (unbounded)", n)
+	}
+}

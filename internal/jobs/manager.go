@@ -1,0 +1,270 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Status is the lifecycle state of an asynchronous job.
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool { return s == StatusDone || s == StatusFailed }
+
+// JobView is an immutable snapshot of a job, shaped for the HTTP API.
+type JobView struct {
+	ID          string     `json:"id"`
+	Kind        string     `json:"kind"`
+	Status      Status     `json:"status"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	Result      any        `json:"result,omitempty"`
+}
+
+type job struct {
+	view JobView
+	fn   func(ctx context.Context) (any, error)
+	done chan struct{}
+}
+
+// Manager runs submitted jobs on a fixed set of workers and retains
+// their terminal snapshots for polling. It backs the HTTP service's
+// async endpoints: Submit returns immediately with an ID, Get polls,
+// Wait long-polls. Safe for concurrent use.
+type Manager struct {
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string
+	seq     uint64
+	maxJobs int
+	queue   chan *job
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// ErrQueueFull reports a Submit rejected because the backlog is at
+// capacity — the HTTP layer maps it to 503.
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// ErrManagerClosed reports a Submit after Close.
+var ErrManagerClosed = errors.New("jobs: manager closed")
+
+// NewManager starts workers goroutines draining a queue of at most
+// queueDepth waiting jobs. workers <= 0 selects NewPool's default
+// width; queueDepth <= 0 selects 1024. Terminal job snapshots are
+// retained for polling, bounded at 16× the queue depth (oldest
+// terminal jobs are evicted first) so a long-lived server cannot
+// accumulate results without limit.
+func NewManager(workers, queueDepth int) *Manager {
+	workers = NewPool(workers).Workers()
+	if queueDepth <= 0 {
+		queueDepth = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		jobs:    map[string]*job{},
+		maxJobs: 16 * queueDepth,
+		queue:   make(chan *job, queueDepth),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	m.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case j := <-m.queue:
+			if m.ctx.Err() != nil {
+				m.fail(j, ErrManagerClosed)
+				return
+			}
+			m.execute(j)
+		}
+	}
+}
+
+// fail marks a job terminal without running it.
+func (m *Manager) fail(j *job, err error) {
+	now := time.Now()
+	m.mu.Lock()
+	j.view.Status = StatusFailed
+	j.view.Error = err.Error()
+	j.view.FinishedAt = &now
+	m.mu.Unlock()
+	close(j.done)
+}
+
+func (m *Manager) execute(j *job) {
+	now := time.Now()
+	m.mu.Lock()
+	j.view.Status = StatusRunning
+	j.view.StartedAt = &now
+	m.mu.Unlock()
+
+	var result any
+	err := runJob(m.ctx, 0, func(ctx context.Context, _ int) error {
+		var e error
+		result, e = j.fn(ctx)
+		return e
+	})
+
+	end := time.Now()
+	m.mu.Lock()
+	j.view.FinishedAt = &end
+	if err != nil {
+		j.view.Status = StatusFailed
+		j.view.Error = err.Error()
+	} else {
+		j.view.Status = StatusDone
+		j.view.Result = result
+	}
+	m.mu.Unlock()
+	close(j.done)
+}
+
+// Submit enqueues fn under a fresh job ID and returns the queued
+// snapshot without waiting. fn receives a context that is canceled when
+// the manager closes. Registration and the (non-blocking) queue send
+// happen under one critical section so a concurrent Submit or Close can
+// neither lose another job's registration nor enqueue after shutdown.
+func (m *Manager) Submit(kind string, fn func(ctx context.Context) (any, error)) (JobView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobView{}, ErrManagerClosed
+	}
+	m.seq++
+	j := &job{
+		view: JobView{
+			ID:          fmt.Sprintf("job-%06d", m.seq),
+			Kind:        kind,
+			Status:      StatusQueued,
+			SubmittedAt: time.Now(),
+		},
+		fn:   fn,
+		done: make(chan struct{}),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		return JobView{}, ErrQueueFull
+	}
+	m.jobs[j.view.ID] = j
+	m.order = append(m.order, j.view.ID)
+	m.evictLocked()
+	return j.view, nil
+}
+
+// evictLocked drops the oldest terminal jobs once the retention bound
+// is exceeded. Non-terminal jobs are never evicted.
+func (m *Manager) evictLocked() {
+	if m.maxJobs <= 0 || len(m.order) <= m.maxJobs {
+		return
+	}
+	kept := m.order[:0]
+	excess := len(m.order) - m.maxJobs
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if excess > 0 && j.view.Status.Terminal() {
+			delete(m.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// Get returns a snapshot of the job.
+func (m *Manager) Get(id string) (JobView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view, true
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done,
+// then returns the latest snapshot.
+func (m *Manager) Wait(ctx context.Context, id string) (JobView, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobView{}, fmt.Errorf("jobs: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return j.view, nil
+}
+
+// Count reports the number of retained jobs without snapshotting them.
+func (m *Manager) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.order)
+}
+
+// List returns snapshots of every job in submission order.
+func (m *Manager) List() []JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobView, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].view)
+	}
+	return out
+}
+
+// Close stops accepting submissions, cancels running jobs' contexts,
+// waits for the workers to drain and fails any jobs still queued, so no
+// Wait caller is left hanging on a job that will never run.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.cancel()
+	m.wg.Wait()
+	for {
+		select {
+		case j := <-m.queue:
+			m.fail(j, ErrManagerClosed)
+		default:
+			return
+		}
+	}
+}

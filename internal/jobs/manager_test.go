@@ -1,0 +1,219 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func waitCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestManagerSubmitAndWait(t *testing.T) {
+	m := NewManager(2, 16)
+	defer m.Close()
+
+	view, err := m.Submit("test", func(context.Context) (any, error) { return "result", nil })
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if view.ID == "" || view.Status.Terminal() {
+		t.Fatalf("submitted view = %+v", view)
+	}
+	done, err := m.Wait(waitCtx(t), view.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if done.Status != StatusDone || done.Result != "result" || done.Error != "" {
+		t.Fatalf("terminal view = %+v", done)
+	}
+	if done.StartedAt == nil || done.FinishedAt == nil {
+		t.Fatalf("timestamps missing: %+v", done)
+	}
+
+	got, ok := m.Get(view.ID)
+	if !ok || got.Status != StatusDone {
+		t.Fatalf("Get = (%+v, %v)", got, ok)
+	}
+}
+
+func TestManagerCapturesFailure(t *testing.T) {
+	m := NewManager(1, 4)
+	defer m.Close()
+	view, err := m.Submit("boom", func(context.Context) (any, error) { return nil, errors.New("exploded") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := m.Wait(waitCtx(t), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != StatusFailed || done.Error != "exploded" || done.Result != nil {
+		t.Fatalf("terminal view = %+v", done)
+	}
+}
+
+func TestManagerCapturesPanic(t *testing.T) {
+	m := NewManager(1, 4)
+	defer m.Close()
+	view, err := m.Submit("panic", func(context.Context) (any, error) { panic("ouch") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := m.Wait(waitCtx(t), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != StatusFailed || done.Error == "" {
+		t.Fatalf("terminal view = %+v", done)
+	}
+}
+
+func TestManagerQueueFull(t *testing.T) {
+	m := NewManager(1, 1)
+	defer m.Close()
+	gate := make(chan struct{})
+	defer close(gate)
+	blocker := func(context.Context) (any, error) { <-gate; return nil, nil }
+
+	// First job occupies the worker; second fills the queue.
+	if _, err := m.Submit("a", blocker); err != nil {
+		t.Fatal(err)
+	}
+	// The worker may not have dequeued yet, so allow one extra submit
+	// before demanding rejection.
+	full := false
+	for i := 0; i < 3; i++ {
+		if _, err := m.Submit("b", blocker); errors.Is(err, ErrQueueFull) {
+			full = true
+			break
+		}
+	}
+	if !full {
+		t.Fatal("queue of depth 1 accepted every submission")
+	}
+}
+
+func TestManagerListOrder(t *testing.T) {
+	m := NewManager(1, 8)
+	defer m.Close()
+	var ids []string
+	for i := 0; i < 3; i++ {
+		v, err := m.Submit("seq", func(context.Context) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	list := m.List()
+	if len(list) != 3 {
+		t.Fatalf("List len = %d", len(list))
+	}
+	for i, v := range list {
+		if v.ID != ids[i] {
+			t.Fatalf("List[%d] = %s, want %s", i, v.ID, ids[i])
+		}
+	}
+}
+
+func TestManagerClosedRejectsSubmit(t *testing.T) {
+	m := NewManager(1, 4)
+	m.Close()
+	if _, err := m.Submit("late", func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrManagerClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrManagerClosed", err)
+	}
+}
+
+func TestManagerCloseFailsQueuedJobs(t *testing.T) {
+	m := NewManager(1, 8)
+	gate := make(chan struct{})
+	if _, err := m.Submit("blocker", func(context.Context) (any, error) { <-gate; return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	var queued []JobView
+	for i := 0; i < 3; i++ {
+		v, err := m.Submit("stuck", func(context.Context) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, v)
+	}
+	closed := make(chan struct{})
+	go func() { m.Close(); close(closed) }()
+	// Close cancels the workers' context; the blocker must be released
+	// for Close to drain.
+	close(gate)
+	<-closed
+	// Every queued job must be terminal — no Wait caller left hanging.
+	for _, v := range queued {
+		got, ok := m.Get(v.ID)
+		if !ok || !got.Status.Terminal() {
+			t.Fatalf("job %s after Close = %+v, want terminal", v.ID, got)
+		}
+	}
+}
+
+func TestManagerEvictsOldestTerminalJobs(t *testing.T) {
+	m := NewManager(1, 1) // retention bound = 16×1
+	defer m.Close()
+	var ids []string
+	for i := 0; i < 40; i++ {
+		v, err := m.Submit("n", func(context.Context) (any, error) { return i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Wait(waitCtx(t), v.ID); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	if n := len(m.List()); n > 16 {
+		t.Fatalf("retained %d jobs, bound is 16", n)
+	}
+	// The newest job survives; the oldest was evicted.
+	if _, ok := m.Get(ids[len(ids)-1]); !ok {
+		t.Fatal("newest job evicted")
+	}
+	if _, ok := m.Get(ids[0]); ok {
+		t.Fatal("oldest terminal job survived past the bound")
+	}
+}
+
+func TestManagerConcurrentSubmitQueueFullKeepsListConsistent(t *testing.T) {
+	m := NewManager(1, 1)
+	defer m.Close()
+	gate := make(chan struct{})
+	defer close(gate)
+	blocker := func(context.Context) (any, error) { <-gate; return nil, nil }
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = m.Submit("race", blocker)
+		}()
+	}
+	wg.Wait()
+	// Rejected submissions must not have corrupted the registry: every
+	// listed id resolves, so List cannot panic on a dangling entry.
+	for _, v := range m.List() {
+		if _, ok := m.Get(v.ID); !ok {
+			t.Fatalf("listed job %s has no registry entry", v.ID)
+		}
+	}
+}
+
+func TestManagerWaitUnknownJob(t *testing.T) {
+	m := NewManager(1, 4)
+	defer m.Close()
+	if _, err := m.Wait(waitCtx(t), "job-999999"); err == nil {
+		t.Fatal("Wait on unknown job succeeded")
+	}
+}

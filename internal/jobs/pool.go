@@ -1,0 +1,148 @@
+// Package jobs is the concurrent scenario-execution engine: a bounded
+// worker pool (Pool) that fans independent simulation and design-space
+// evaluations across the machine's cores, a content-addressed result
+// cache (Cache) that memoizes scenario metrics under a deterministic
+// configuration hash, and an asynchronous job manager (Manager) that
+// backs the HTTP simulation service (internal/server).
+//
+// The paper's experiment matrix — workloads × policies × flow rates ×
+// cavity configurations — is embarrassingly parallel; this package is
+// the seam through which every study sweep (exp.RunStudy,
+// exp.SavingsStudy, dse.(*Space).Explore) is scheduled, deduplicated
+// and served.
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker-pool runner. The zero value is not usable;
+// construct with NewPool. The bound is a shared semaphore, not a
+// per-call width: concurrent Run/ForEach/Do calls on the same Pool
+// together never execute more than Workers() jobs at once, so one Pool
+// can serve as a process-wide concurrency limit (the HTTP service
+// relies on this for its -workers flag).
+type Pool struct {
+	workers int
+	sem     chan struct{}
+}
+
+// NewPool returns a pool running at most workers jobs concurrently.
+// workers <= 0 selects GOMAXPROCS, the as-fast-as-the-hardware-allows
+// default.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, sem: make(chan struct{}, workers)}
+}
+
+// Workers reports the concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes jobs 0..n-1 with at most p.Workers() running at once and
+// captures every job's error individually: errs[i] is the error
+// returned by fn(ctx, i), or ctx.Err() for jobs that never started
+// because the context was canceled. Run itself returns non-nil only
+// when the context was canceled before all jobs completed. A panicking
+// job is captured as an error rather than crashing the process.
+func (p *Pool) Run(ctx context.Context, n int, fn func(ctx context.Context, i int) error) ([]error, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("jobs: negative job count %d", n)
+	}
+	errs := make([]error, n)
+	if n == 0 {
+		return errs, ctx.Err()
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Acquire a slot in the pool-wide semaphore so
+				// concurrent Run calls share one bound.
+				select {
+				case p.sem <- struct{}{}:
+				case <-ctx.Done():
+					errs[i] = ctx.Err()
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+				} else {
+					errs[i] = runJob(ctx, i, fn)
+				}
+				<-p.sem
+			}
+		}()
+	}
+	wg.Wait()
+	return errs, ctx.Err()
+}
+
+// Do runs one job under the pool's concurrency bound: it blocks until a
+// slot frees up (or ctx is done) and then executes fn. It is the
+// single-job path the HTTP service uses to keep ad-hoc scenario solves
+// inside the same global limit as the fanned-out sweeps.
+func (p *Pool) Do(ctx context.Context, fn func(ctx context.Context) error) error {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-p.sem }()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return runJob(ctx, 0, func(ctx context.Context, _ int) error { return fn(ctx) })
+}
+
+// runJob invokes one job with panic containment.
+func runJob(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: job %d panicked: %v", i, r)
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// ForEach is the fail-fast variant of Run: the first job error cancels
+// the remaining jobs and is returned. With no job errors it returns
+// ctx.Err() if the parent context was canceled, else nil.
+func (p *Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	inner, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var mu sync.Mutex
+	var firstErr error
+	_, _ = p.Run(inner, n, func(c context.Context, i int) error {
+		err := fn(c, i)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			cancel()
+		}
+		return err
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

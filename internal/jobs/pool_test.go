@@ -1,0 +1,225 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := NewPool(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() = %d, want %d", got, want)
+	}
+	if got := NewPool(3).Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+}
+
+func TestPoolRunsEveryJobExactlyOnce(t *testing.T) {
+	const n = 100
+	var counts [n]atomic.Int64
+	errs, err := NewPool(7).Run(context.Background(), n, func(_ context.Context, i int) error {
+		counts[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+		if errs[i] != nil {
+			t.Fatalf("job %d: unexpected error %v", i, errs[i])
+		}
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 4
+	var active, peak atomic.Int64
+	_, err := NewPool(workers).Run(context.Background(), 64, func(_ context.Context, i int) error {
+		cur := active.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		active.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, bound is %d", p, workers)
+	}
+}
+
+func TestPoolSharedBoundAcrossConcurrentCalls(t *testing.T) {
+	// The bound is a shared semaphore: two concurrent Run calls (plus
+	// Do calls) on one pool must never exceed Workers() in total.
+	const workers = 3
+	p := NewPool(workers)
+	var active, peak atomic.Int64
+	job := func(context.Context, int) error {
+		cur := active.Add(1)
+		for {
+			pk := peak.Load()
+			if cur <= pk || peak.CompareAndSwap(pk, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		active.Add(-1)
+		return nil
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Run(context.Background(), 20, job); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := p.Do(context.Background(), func(ctx context.Context) error { return job(ctx, 0) }); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	if pk := peak.Load(); pk > workers {
+		t.Fatalf("observed %d concurrent jobs across calls, shared bound is %d", pk, workers)
+	}
+}
+
+func TestPoolDoCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := NewPool(1).Do(ctx, func(context.Context) error {
+		t.Error("job ran on canceled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+}
+
+func TestPoolCapturesPerJobErrors(t *testing.T) {
+	boom := errors.New("boom")
+	errs, err := NewPool(2).Run(context.Background(), 5, func(_ context.Context, i int) error {
+		if i%2 == 1 {
+			return fmt.Errorf("job %d: %w", i, boom)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, e := range errs {
+		if odd := i%2 == 1; odd != (e != nil) {
+			t.Fatalf("job %d: error = %v", i, e)
+		}
+		if e != nil && !errors.Is(e, boom) {
+			t.Fatalf("job %d: error %v does not wrap boom", i, e)
+		}
+	}
+}
+
+func TestPoolRecoversPanics(t *testing.T) {
+	errs, err := NewPool(2).Run(context.Background(), 3, func(_ context.Context, i int) error {
+		if i == 1 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if errs[1] == nil || errs[0] != nil || errs[2] != nil {
+		t.Fatalf("errs = %v, want only job 1 failed", errs)
+	}
+}
+
+func TestPoolCancellationSkipsQueuedJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var started atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var errs []error
+	var runErr error
+	go func() {
+		defer wg.Done()
+		errs, runErr = NewPool(1).Run(ctx, 10, func(_ context.Context, i int) error {
+			started.Add(1)
+			if i == 0 {
+				<-release
+			}
+			return nil
+		})
+	}()
+	// Let job 0 start, cancel while it blocks, then release it.
+	for started.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	wg.Wait()
+
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", runErr)
+	}
+	if errs[0] != nil {
+		t.Fatalf("running job poisoned by cancel: %v", errs[0])
+	}
+	canceled := 0
+	for _, e := range errs[1:] {
+		if errors.Is(e, context.Canceled) {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no queued job observed the cancellation")
+	}
+}
+
+func TestForEachFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	var after atomic.Int64
+	err := NewPool(1).ForEach(context.Background(), 50, func(ctx context.Context, i int) error {
+		switch {
+		case i == 3:
+			return boom
+		case i > 3:
+			after.Add(1)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("ForEach = %v, want boom", err)
+	}
+	// Single worker: cancellation lands before most of the remaining 46.
+	if a := after.Load(); a > 2 {
+		t.Fatalf("%d jobs ran after the failure; fail-fast did not cancel", a)
+	}
+}
+
+func TestForEachNilOnSuccess(t *testing.T) {
+	if err := NewPool(4).ForEach(context.Background(), 10, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatalf("ForEach = %v, want nil", err)
+	}
+}

@@ -1,0 +1,193 @@
+package jobs
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Scenario is one fully-specified co-simulation run: the stack, the
+// cooling technology, the management policy, the workload trace and the
+// fidelity knobs. It is the unit of work the pool schedules and the
+// cache deduplicates; two scenarios with equal normalized fields always
+// hash to the same Key and produce identical Metrics (the whole
+// pipeline is deterministic given the seed).
+type Scenario struct {
+	// Tiers selects the stack: 2 (default) or 4.
+	Tiers int `json:"tiers,omitempty"`
+	// Cooling is "air" (default) or "liquid".
+	Cooling string `json:"cooling,omitempty"`
+	// Policy names the management strategy (default "LB"; see
+	// core.Policies).
+	Policy string `json:"policy,omitempty"`
+	// Workload names the trace profile: web, db, mm, peak, light
+	// (default "web").
+	Workload string `json:"workload,omitempty"`
+	// Steps is the trace length in seconds (default 300).
+	Steps int `json:"steps,omitempty"`
+	// Grid is the thermal grid resolution (default 16).
+	Grid int `json:"grid,omitempty"`
+	// Seed makes the synthetic trace reproducible (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// ThresholdC is the hot-spot threshold (default 85 °C).
+	ThresholdC float64 `json:"threshold_c,omitempty"`
+	// FlowQuantLevels quantises pump actuation (default 8 settings).
+	FlowQuantLevels int `json:"flow_levels,omitempty"`
+	// SensorNoiseStdC adds Gaussian sensor noise (default 0 = ideal).
+	SensorNoiseStdC float64 `json:"sensor_noise_std_c,omitempty"`
+	// Record captures the per-sensing-step time series.
+	Record bool `json:"record,omitempty"`
+}
+
+// Normalized returns the scenario with every zero field replaced by its
+// default, so that explicitly-defaulted and implicitly-defaulted
+// scenarios are the same cache entry.
+func (s Scenario) Normalized() Scenario {
+	if s.Tiers == 0 {
+		s.Tiers = 2
+	}
+	if s.Cooling == "" {
+		s.Cooling = core.Air.String()
+	}
+	if s.Policy == "" {
+		s.Policy = "LB"
+	}
+	if s.Workload == "" {
+		s.Workload = "web"
+	}
+	if s.Steps == 0 {
+		s.Steps = 300
+	}
+	if s.Grid == 0 {
+		s.Grid = 16
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.ThresholdC == 0 {
+		s.ThresholdC = 85
+	}
+	if s.FlowQuantLevels == 0 {
+		s.FlowQuantLevels = 8
+	}
+	return s
+}
+
+// Validate rejects scenarios the simulator cannot run.
+func (s Scenario) Validate() error {
+	s = s.Normalized()
+	if s.Tiers != 2 && s.Tiers != 4 {
+		return fmt.Errorf("jobs: unsupported tier count %d (want 2 or 4)", s.Tiers)
+	}
+	if _, err := ParseCooling(s.Cooling); err != nil {
+		return err
+	}
+	if _, err := core.MakePolicy(s.Policy, s.ThresholdC); err != nil {
+		return err
+	}
+	if s.Steps < 1 {
+		return fmt.Errorf("jobs: non-positive trace length %d", s.Steps)
+	}
+	if s.Grid < 2 {
+		return fmt.Errorf("jobs: grid %d too coarse (want >= 2)", s.Grid)
+	}
+	if s.FlowQuantLevels < 2 {
+		return fmt.Errorf("jobs: need >= 2 flow quantisation levels, got %d", s.FlowQuantLevels)
+	}
+	if s.SensorNoiseStdC < 0 {
+		return fmt.Errorf("jobs: negative sensor noise %v", s.SensorNoiseStdC)
+	}
+	return nil
+}
+
+// ParseCooling maps the wire name to the core enum.
+func ParseCooling(name string) (core.Cooling, error) {
+	switch name {
+	case "", core.Air.String():
+		return core.Air, nil
+	case core.Liquid.String():
+		return core.Liquid, nil
+	default:
+		return core.Air, fmt.Errorf("jobs: unknown cooling %q (want air or liquid)", name)
+	}
+}
+
+// keyVersion guards the hash format: bump it whenever the canonical
+// encoding below (or the simulation semantics behind it) changes, so a
+// persisted cache can never serve results computed under old physics.
+const keyVersion = "scenario/v1"
+
+// Key returns the content address of the scenario: a SHA-256 over the
+// canonical encoding of every normalized field. Any field change yields
+// a new key; field order and float formatting are fixed.
+func (s Scenario) Key() string {
+	s = s.Normalized()
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|tiers=%d|cooling=%s|policy=%s|workload=%s|steps=%d|grid=%d|seed=%d|threshold=%s|flowlevels=%d|noise=%s|record=%t",
+		keyVersion, s.Tiers, s.Cooling, s.Policy, s.Workload, s.Steps, s.Grid, s.Seed,
+		canonFloat(s.ThresholdC), s.FlowQuantLevels, canonFloat(s.SensorNoiseStdC), s.Record)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// canonFloat renders a float with the shortest exact representation.
+func canonFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Run executes the scenario on a fresh System and returns its metrics.
+// The context is checked before the (uninterruptible) solve starts;
+// pools use this to skip queued scenarios after cancellation.
+func (s Scenario) Run(ctx context.Context) (*sim.Metrics, error) {
+	s = s.Normalized()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cooling, err := ParseCooling(s.Cooling)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(core.Options{
+		Tiers:           s.Tiers,
+		Cooling:         cooling,
+		Policy:          s.Policy,
+		ThresholdC:      s.ThresholdC,
+		Grid:            s.Grid,
+		FlowQuantLevels: s.FlowQuantLevels,
+		SensorNoiseStdC: s.SensorNoiseStdC,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.GenerateTrace(s.Workload, sys.Threads(), s.Steps, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if s.Record {
+		return sys.RunTraceRecorded(tr)
+	}
+	return sys.RunTrace(tr)
+}
+
+// Metrics runs the scenario through the cache: a repeated request for
+// the same normalized configuration returns the memoized result (a
+// defensive copy — callers may mutate it freely) instead of re-solving.
+// The boolean reports a cache hit. A nil cache always computes.
+func (c *Cache) Metrics(ctx context.Context, s Scenario) (*sim.Metrics, bool, error) {
+	s = s.Normalized()
+	if err := s.Validate(); err != nil {
+		return nil, false, err
+	}
+	v, hit, err := c.GetOrComputeCtx(ctx, s.Key(), func() (any, error) {
+		return s.Run(ctx)
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	return v.(*sim.Metrics).Clone(), hit, nil
+}

@@ -1,0 +1,160 @@
+package jobs
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// quickScenario is a fast-but-real configuration for cache round trips.
+func quickScenario() Scenario {
+	return Scenario{Tiers: 2, Cooling: "air", Policy: "LB", Workload: "web", Steps: 2, Grid: 8, Seed: 1}
+}
+
+func TestScenarioKeyDeterministic(t *testing.T) {
+	a := quickScenario()
+	b := quickScenario()
+	if a.Key() != b.Key() {
+		t.Fatal("identical scenarios hash to different keys")
+	}
+	if len(a.Key()) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", a.Key())
+	}
+}
+
+func TestScenarioKeyNormalizesDefaults(t *testing.T) {
+	// A scenario with explicit defaults and one relying on zero values
+	// must be the same cache entry.
+	explicit := Scenario{
+		Tiers: 2, Cooling: "air", Policy: "LB", Workload: "web",
+		Steps: 300, Grid: 16, Seed: 1, ThresholdC: 85, FlowQuantLevels: 8,
+	}
+	if explicit.Key() != (Scenario{}).Key() {
+		t.Fatal("explicit defaults and zero-value scenario hash differently")
+	}
+}
+
+func TestScenarioKeyChangesWithEveryField(t *testing.T) {
+	base := quickScenario()
+	mutations := map[string]Scenario{}
+	for name, mutate := range map[string]func(*Scenario){
+		"Tiers":           func(s *Scenario) { s.Tiers = 4 },
+		"Cooling":         func(s *Scenario) { s.Cooling = "liquid" },
+		"Policy":          func(s *Scenario) { s.Policy = "TDVFS_LB" },
+		"Workload":        func(s *Scenario) { s.Workload = "db" },
+		"Steps":           func(s *Scenario) { s.Steps = 3 },
+		"Grid":            func(s *Scenario) { s.Grid = 10 },
+		"Seed":            func(s *Scenario) { s.Seed = 2 },
+		"ThresholdC":      func(s *Scenario) { s.ThresholdC = 80 },
+		"FlowQuantLevels": func(s *Scenario) { s.FlowQuantLevels = 4 },
+		"SensorNoiseStdC": func(s *Scenario) { s.SensorNoiseStdC = 0.3 },
+		"Record":          func(s *Scenario) { s.Record = true },
+	} {
+		sc := base
+		mutate(&sc)
+		mutations[name] = sc
+	}
+	seen := map[string]string{base.Key(): "base"}
+	for name, sc := range mutations {
+		k := sc.Key()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("mutating %s collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sc   Scenario
+		ok   bool
+	}{
+		{"defaults", Scenario{}, true},
+		{"quick", quickScenario(), true},
+		{"bad tiers", Scenario{Tiers: 3}, false},
+		{"bad cooling", Scenario{Cooling: "helium"}, false},
+		{"bad policy", Scenario{Policy: "YOLO"}, false},
+		{"bad steps", Scenario{Steps: -1}, false},
+		{"bad grid", Scenario{Grid: 1}, false},
+		{"bad noise", Scenario{SensorNoiseStdC: -1}, false},
+		{"bad flow levels", Scenario{FlowQuantLevels: 1}, false},
+		{"negative flow levels", Scenario{FlowQuantLevels: -7}, false},
+	} {
+		if err := tc.sc.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestCacheMetricsRoundTrip(t *testing.T) {
+	c := NewCache(0)
+	ctx := context.Background()
+	sc := quickScenario()
+
+	m1, hit, err := c.Metrics(ctx, sc)
+	if err != nil {
+		t.Fatalf("first Metrics: %v", err)
+	}
+	if hit {
+		t.Fatal("first request reported a cache hit")
+	}
+	m2, hit, err := c.Metrics(ctx, sc)
+	if err != nil {
+		t.Fatalf("second Metrics: %v", err)
+	}
+	if !hit {
+		t.Fatal("identical second request missed the cache")
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatal("cache hit returned different metrics")
+	}
+	if m1 == m2 {
+		t.Fatal("cache handed out the memoized pointer; want a defensive copy")
+	}
+	// Mutating the returned copy must not poison the cache.
+	m2.PeakTempC = -1
+	m3, _, err := c.Metrics(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.PeakTempC == -1 {
+		t.Fatal("caller mutation leaked into the cache")
+	}
+}
+
+func TestCacheMetricsRejectsInvalid(t *testing.T) {
+	c := NewCache(0)
+	if _, _, err := c.Metrics(context.Background(), Scenario{Tiers: 5}); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+	if c.Len() != 0 {
+		t.Fatal("invalid scenario left a cache entry")
+	}
+}
+
+func TestScenarioRunMatchesDirectCoreRun(t *testing.T) {
+	// The scenario path (fresh System per run) must reproduce the
+	// direct core path bit for bit — determinism is what makes the
+	// content-addressed cache sound.
+	sc := quickScenario()
+	m1, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatal("same scenario produced different metrics across runs")
+	}
+}
+
+func TestScenarioRunHonorsCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := quickScenario().Run(ctx); err == nil {
+		t.Fatal("Run on canceled context succeeded")
+	}
+}

@@ -7,7 +7,7 @@ import (
 )
 
 // The policies in this file are ablation baselines for the LC_FUZZY
-// design choices called out in DESIGN.md: what does the fuzzy engine buy
+// design choices: what does the fuzzy engine buy
 // over a classical feedforward-PI flow loop, and what does proportional
 // actuation buy over a temperature-triggered (bang-bang) pump? Neither
 // touches DVFS, isolating the flow-control axis.

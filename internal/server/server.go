@@ -1,0 +1,390 @@
+// Package server exposes the concurrent scenario-execution subsystem
+// (internal/jobs) as an HTTP/JSON simulation service:
+//
+//	GET  /healthz            liveness + pool/cache/job counters
+//	POST /v1/simulate        run one co-simulation scenario
+//	POST /v1/dse             run a §II-C cavity design-space exploration
+//	POST /v1/studies         run the paper's Fig. 6/7 policy study
+//	GET  /v1/jobs            list submitted jobs
+//	GET  /v1/jobs/{id}       poll one job (?wait=1 long-polls)
+//
+// The three POST endpoints run synchronously by default and return the
+// result body; with ?async=1 they enqueue the work on the job manager
+// and immediately return 202 with a job snapshot whose id is polled via
+// /v1/jobs/{id}. Identical simulate requests are deduplicated by the
+// content-addressed result cache: the second request for a scenario is
+// served from memory, flagged "cached": true.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/dse"
+	"repro/internal/exp"
+	"repro/internal/jobs"
+	"repro/internal/sim"
+	"repro/internal/tsv"
+	"repro/internal/units"
+)
+
+// Options tunes the service.
+type Options struct {
+	// Workers bounds concurrent scenario execution (<= 0: GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the result cache (<= 0: unbounded).
+	CacheEntries int
+	// QueueDepth bounds the async job backlog (<= 0: 1024).
+	QueueDepth int
+}
+
+// Server is the simulation service. Construct with New, mount Handler,
+// and Close when done.
+type Server struct {
+	pool    *jobs.Pool
+	cache   *jobs.Cache
+	mgr     *jobs.Manager
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds the service and its routes.
+func New(opt Options) *Server {
+	s := &Server{
+		pool:    jobs.NewPool(opt.Workers),
+		cache:   jobs.NewCache(opt.CacheEntries),
+		mgr:     jobs.NewManager(opt.Workers, opt.QueueDepth),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/dse", s.handleDSE)
+	s.mux.HandleFunc("POST /v1/studies", s.handleStudies)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	return s
+}
+
+// Handler returns the route multiplexer.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the result cache (shared with embedding callers).
+func (s *Server) Cache() *jobs.Cache { return s.cache }
+
+// Close drains the async job workers.
+func (s *Server) Close() { s.mgr.Close() }
+
+// errorJSON is the uniform failure body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+// decodeBody strictly decodes the JSON request body into v. An empty
+// body is allowed and leaves v at its defaults.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// wantFlag reports a truthy query parameter (1/true/yes).
+func wantFlag(r *http.Request, name string) bool {
+	switch r.URL.Query().Get(name) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// dispatch runs compute synchronously and writes its result, or — with
+// ?async=1 — submits it to the job manager and writes the queued job
+// snapshot with status 202.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind string, compute func(ctx context.Context) (any, error)) {
+	if wantFlag(r, "async") {
+		view, err := s.mgr.Submit(kind, compute)
+		if err != nil {
+			status := http.StatusServiceUnavailable
+			if errors.Is(err, jobs.ErrManagerClosed) {
+				status = http.StatusConflict
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, view)
+		return
+	}
+	res, err := compute(r.Context())
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptime_s":      time.Since(s.started).Seconds(),
+		"workers":       s.pool.Workers(),
+		"cache_entries": s.cache.Len(),
+		"cache_stats":   s.cache.Stats(),
+		"jobs":          s.mgr.Count(),
+	})
+}
+
+// SimulateResponse is the body of a synchronous /v1/simulate call.
+type SimulateResponse struct {
+	// Key is the scenario's content address in the result cache.
+	Key string `json:"key"`
+	// Cached reports whether the metrics were served from the cache.
+	Cached  bool          `json:"cached"`
+	Metrics *sim.Metrics  `json:"metrics"`
+	Request jobs.Scenario `json:"request"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var sc jobs.Scenario
+	if err := decodeBody(r, &sc); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sc = sc.Normalized()
+	if err := sc.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.dispatch(w, r, "simulate", func(ctx context.Context) (any, error) {
+		// The solve runs under the shared pool bound so ad-hoc
+		// requests and study sweeps compete for the same -workers
+		// slots.
+		var m *sim.Metrics
+		var hit bool
+		err := s.pool.Do(ctx, func(ctx context.Context) error {
+			var err error
+			m, hit, err = s.cache.Metrics(ctx, sc)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &SimulateResponse{Key: sc.Key(), Cached: hit, Metrics: m, Request: sc}, nil
+	})
+}
+
+// DSERequest parameterizes a §II-C cavity design-space exploration.
+// The zero value reproduces the paper's Table-I space: a 60 W tier,
+// 11.5×10 mm die, 40 µm TSVs at 150 µm pitch, water, 10–32.3 ml/min.
+type DSERequest struct {
+	TierPowerW      float64 `json:"tier_power_w,omitempty"`
+	FootprintWMM    float64 `json:"footprint_w_mm,omitempty"`
+	FootprintHMM    float64 `json:"footprint_h_mm,omitempty"`
+	DieThicknessUM  float64 `json:"die_thickness_um,omitempty"`
+	DieConductivity float64 `json:"die_conductivity_w_mk,omitempty"`
+	InletC          float64 `json:"inlet_c,omitempty"`
+	LimitC          float64 `json:"limit_c,omitempty"`
+	TSVDiameterUM   float64 `json:"tsv_diameter_um,omitempty"`
+	TSVPitchUM      float64 `json:"tsv_pitch_um,omitempty"`
+	TSVKeepOutUM    float64 `json:"tsv_keepout_um,omitempty"`
+	FlowMinMlPerMin float64 `json:"flow_min_ml_min,omitempty"`
+	FlowMaxMlPerMin float64 `json:"flow_max_ml_min,omitempty"`
+	FlowLevels      int     `json:"flow_levels,omitempty"`
+}
+
+func (q DSERequest) withDefaults() DSERequest {
+	def := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&q.TierPowerW, 60)
+	def(&q.FootprintWMM, 11.5)
+	def(&q.FootprintHMM, 10)
+	def(&q.DieThicknessUM, 150)
+	def(&q.DieConductivity, 130)
+	def(&q.InletC, 27)
+	def(&q.LimitC, 85)
+	def(&q.TSVDiameterUM, 40)
+	def(&q.TSVPitchUM, 150)
+	def(&q.TSVKeepOutUM, 10)
+	def(&q.FlowMinMlPerMin, 10)
+	def(&q.FlowMaxMlPerMin, 32.3)
+	if q.FlowLevels == 0 {
+		q.FlowLevels = 8
+	}
+	return q
+}
+
+// DSEEvaluation is the wire form of one scored design point.
+type DSEEvaluation struct {
+	Design     string  `json:"design"`
+	FlowMlMin  float64 `json:"flow_ml_min"`
+	JunctionC  float64 `json:"junction_c"`
+	PumpPowerW float64 `json:"pump_power_w"`
+	COP        float64 `json:"cop"`
+	Feasible   bool    `json:"feasible"`
+}
+
+// DSEResponse is the body of a /v1/dse call.
+type DSEResponse struct {
+	Evaluations []DSEEvaluation `json:"evaluations"`
+	ParetoFront []DSEEvaluation `json:"pareto_front"`
+	Best        *DSEEvaluation  `json:"best,omitempty"`
+	BestError   string          `json:"best_error,omitempty"`
+}
+
+func toWireEvals(evals []dse.Evaluation) []DSEEvaluation {
+	out := make([]DSEEvaluation, 0, len(evals))
+	for _, e := range evals {
+		out = append(out, DSEEvaluation{
+			Design:     e.Geometry.Label(),
+			FlowMlMin:  units.M3PerSToMlPerMin(e.FlowM3s),
+			JunctionC:  e.JunctionC,
+			PumpPowerW: e.PumpPowerW,
+			COP:        e.COP(),
+			Feasible:   e.Feasible,
+		})
+	}
+	return out
+}
+
+func (s *Server) handleDSE(w http.ResponseWriter, r *http.Request) {
+	var req DSERequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req = req.withDefaults()
+	duty := dse.Duty{
+		TierPower:       req.TierPowerW,
+		FootprintW:      req.FootprintWMM * 1e-3,
+		FootprintH:      req.FootprintHMM * 1e-3,
+		DieThickness:    req.DieThicknessUM * 1e-6,
+		DieConductivity: req.DieConductivity,
+		InletC:          req.InletC,
+		LimitC:          req.LimitC,
+	}
+	arr := tsv.Array{
+		Via:   tsv.Via{Diameter: req.TSVDiameterUM * 1e-6, Depth: 380e-6, Liner: 200e-9},
+		Pitch: req.TSVPitchUM * 1e-6,
+		KOZ:   req.TSVKeepOutUM * 1e-6,
+	}
+	space, err := dse.DefaultSpace(duty, arr,
+		units.MlPerMinToM3PerS(req.FlowMinMlPerMin),
+		units.MlPerMinToM3PerS(req.FlowMaxMlPerMin),
+		req.FlowLevels)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.dispatch(w, r, "dse", func(ctx context.Context) (any, error) {
+		evals, err := space.ExploreParallel(ctx, s.pool)
+		if err != nil {
+			return nil, err
+		}
+		resp := &DSEResponse{
+			Evaluations: toWireEvals(evals),
+			ParetoFront: toWireEvals(dse.ParetoFront(evals)),
+		}
+		if best, err := dse.BestUnderLimit(evals); err != nil {
+			resp.BestError = err.Error()
+		} else {
+			wire := toWireEvals([]dse.Evaluation{best})[0]
+			resp.Best = &wire
+		}
+		return resp, nil
+	})
+}
+
+// StudyRequest parameterizes the Fig. 6/7 policy study.
+type StudyRequest struct {
+	// Steps, Grid, Seed are exp.Options (0 = full-fidelity defaults:
+	// 300 s traces on a 16×16 grid, seed 1).
+	Steps int   `json:"steps,omitempty"`
+	Grid  int   `json:"grid,omitempty"`
+	Seed  int64 `json:"seed,omitempty"`
+	// Savings additionally runs the per-workload §IV-A savings study.
+	Savings bool `json:"savings,omitempty"`
+}
+
+// StudyResponse is the body of a /v1/studies call: the structured
+// per-configuration results plus the rendered paper tables.
+type StudyResponse struct {
+	Results []*exp.StudyResult  `json:"results"`
+	Fig6    string              `json:"fig6"`
+	Fig7    string              `json:"fig7"`
+	Savings []exp.SavingsDetail `json:"savings,omitempty"`
+}
+
+func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
+	var req StudyRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opt := exp.Options{Steps: req.Steps, Grid: req.Grid, Seed: req.Seed}
+	s.dispatch(w, r, "study", func(ctx context.Context) (any, error) {
+		results, err := exp.RunStudyOn(ctx, s.pool, s.cache, opt)
+		if err != nil {
+			return nil, err
+		}
+		resp := &StudyResponse{
+			Results: results,
+			Fig6:    exp.Fig6(results).String(),
+			Fig7:    exp.Fig7(results).String(),
+		}
+		if req.Savings {
+			resp.Savings, err = exp.SavingsStudyOn(ctx, s.pool, s.cache, opt)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return resp, nil
+	})
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if wantFlag(r, "wait") {
+		view, err := s.mgr.Wait(r.Context(), id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	view, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}

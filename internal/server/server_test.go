@@ -1,0 +1,253 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Options{Workers: 2, QueueDepth: 16})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// quickBody is a fast-but-real simulate request.
+func quickBody(t *testing.T) *bytes.Reader {
+	t.Helper()
+	b, err := json.Marshal(jobs.Scenario{
+		Tiers: 2, Cooling: "air", Policy: "LB", Workload: "web",
+		Steps: 2, Grid: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+func decode[T any](t *testing.T, resp *http.Response, wantStatus int) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if resp.StatusCode != wantStatus {
+		var e errorJSON
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("status = %d (%s), want %d", resp.StatusCode, e.Error, wantStatus)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return v
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := decode[map[string]any](t, resp, http.StatusOK)
+	if body["status"] != "ok" {
+		t.Fatalf("healthz body = %v", body)
+	}
+}
+
+// TestSimulateEndToEndWithCacheHit is the acceptance check: a simulate
+// request served end to end, with the second identical request hitting
+// the cache and returning the same metrics.
+func TestSimulateEndToEndWithCacheHit(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	post := func() SimulateResponse {
+		resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", quickBody(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return decode[SimulateResponse](t, resp, http.StatusOK)
+	}
+	first := post()
+	if first.Cached {
+		t.Fatal("first request reported a cache hit")
+	}
+	if first.Metrics == nil || first.Metrics.SimulatedS <= 0 {
+		t.Fatalf("first metrics = %+v", first.Metrics)
+	}
+	second := post()
+	if !second.Cached {
+		t.Fatal("second identical request missed the cache")
+	}
+	if second.Key != first.Key {
+		t.Fatalf("keys differ: %s vs %s", first.Key, second.Key)
+	}
+	if !reflect.DeepEqual(second.Metrics, first.Metrics) {
+		t.Fatal("cached metrics differ from computed metrics")
+	}
+}
+
+func TestSimulateAsyncSubmitPollResult(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, err := http.Post(ts.URL+"/v1/simulate?async=1", "application/json", quickBody(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := decode[jobs.JobView](t, resp, http.StatusAccepted)
+	if queued.ID == "" || queued.Status.Terminal() {
+		t.Fatalf("queued view = %+v", queued)
+	}
+
+	// Long-poll until terminal.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + queued.ID + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := decode[jobs.JobView](t, resp, http.StatusOK)
+	if done.Status != jobs.StatusDone {
+		t.Fatalf("terminal job = %+v", done)
+	}
+	result, err := json.Marshal(done.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr SimulateResponse
+	if err := json.Unmarshal(result, &sr); err != nil {
+		t.Fatalf("job result is not a SimulateResponse: %v", err)
+	}
+	if sr.Metrics == nil || sr.Metrics.SimulatedS <= 0 {
+		t.Fatalf("async metrics = %+v", sr.Metrics)
+	}
+
+	// Plain poll works too and the job shows up in the listing.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := decode[jobs.JobView](t, resp, http.StatusOK); v.Status != jobs.StatusDone {
+		t.Fatalf("polled job = %+v", v)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decode[map[string][]jobs.JobView](t, resp, http.StatusOK)
+	if len(list["jobs"]) != 1 || list["jobs"][0].ID != queued.ID {
+		t.Fatalf("job list = %+v", list)
+	}
+}
+
+func TestSimulateRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	for name, body := range map[string]string{
+		"malformed json": "{not json",
+		"unknown field":  `{"tiresome": 1}`,
+		"bad tiers":      `{"tiers": 3}`,
+		"bad cooling":    `{"cooling": "helium"}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestUnknownJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDSEEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/dse", "application/json", bytes.NewReader([]byte(`{"flow_levels": 4}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := decode[DSEResponse](t, resp, http.StatusOK)
+	if len(body.Evaluations) == 0 || len(body.ParetoFront) == 0 {
+		t.Fatalf("dse response empty: %+v", body)
+	}
+	if body.Best == nil {
+		t.Fatalf("no feasible best design: %s", body.BestError)
+	}
+	for _, e := range body.ParetoFront {
+		if e.JunctionC <= 0 || e.FlowMlMin <= 0 {
+			t.Fatalf("implausible evaluation %+v", e)
+		}
+	}
+}
+
+func TestStudiesEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study matrix is not short")
+	}
+	s, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/studies", "application/json",
+		bytes.NewReader([]byte(`{"steps": 4, "grid": 8}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := decode[StudyResponse](t, resp, http.StatusOK)
+	if len(body.Results) != 7 {
+		t.Fatalf("got %d study rows, want 7", len(body.Results))
+	}
+	if body.Fig6 == "" || body.Fig7 == "" {
+		t.Fatal("rendered tables missing")
+	}
+	// The study populated the shared scenario cache: 7 configs × 4
+	// workloads.
+	if n := s.Cache().Len(); n != 28 {
+		t.Fatalf("cache holds %d scenarios after the study, want 28", n)
+	}
+}
+
+func TestStudiesAsync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study matrix is not short")
+	}
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/studies?async=1", "application/json",
+		bytes.NewReader([]byte(`{"steps": 2, "grid": 8}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := decode[jobs.JobView](t, resp, http.StatusAccepted)
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + queued.ID + "?wait=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := decode[jobs.JobView](t, resp, http.StatusOK)
+		if v.Status.Terminal() {
+			if v.Status != jobs.StatusDone {
+				t.Fatalf("study job failed: %s", v.Error)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("study job did not finish in time")
+		}
+	}
+}

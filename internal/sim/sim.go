@@ -163,6 +163,19 @@ type Metrics struct {
 	Series []TimeSample
 }
 
+// Clone returns a deep copy of the metrics, so memoized results (see
+// internal/jobs) can be handed to callers that mutate them.
+func (m *Metrics) Clone() *Metrics {
+	if m == nil {
+		return nil
+	}
+	cp := *m
+	if m.Series != nil {
+		cp.Series = append([]TimeSample(nil), m.Series...)
+	}
+	return &cp
+}
+
 // Run executes the co-simulation over the whole trace.
 func Run(cfg Config) (*Metrics, error) {
 	if err := cfg.fillDefaults(); err != nil {

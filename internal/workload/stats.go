@@ -7,8 +7,8 @@ import (
 
 // Stats summarises a trace's statistical fingerprint — the quantities
 // the synthetic generators are meant to match for their workload class
-// (DESIGN.md §2: "any trace ensemble with matching mean/variance/burst
-// structure exercises identical code paths").
+// (any trace ensemble with matching mean/variance/burst structure
+// exercises identical code paths).
 type Stats struct {
 	// Mean and Std are over all thread-steps.
 	Mean, Std float64
