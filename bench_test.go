@@ -170,12 +170,17 @@ func BenchmarkPinFinExploration(b *testing.B) {
 // packaged comparison end to end. ---
 
 func speedupFixtures(b *testing.B) (*thermal.StackModel, *cfdref.Reference, [][]float64) {
+	return speedupFixturesSolver(b, "")
+}
+
+func speedupFixturesSolver(b *testing.B, solver string) (*thermal.StackModel, *cfdref.Reference, [][]float64) {
 	b.Helper()
 	st := floorplan.Niagara2Tier()
 	opt := thermal.StackOptions{
 		Mode:          thermal.LiquidCooled,
 		FlowPerCavity: units.MlPerMinToM3PerS(32.3),
 		Nx:            12, Ny: 12,
+		Solver: solver,
 	}
 	compact, err := thermal.BuildStack(st, opt)
 	if err != nil {
@@ -250,11 +255,19 @@ func BenchmarkFluidTemperatureRise(b *testing.B) {
 
 // --- Solver performance ---
 
-func BenchmarkTransientStep(b *testing.B) {
+// benchTransientStep measures one backward-Euler step of the
+// liquid-cooled stack at the given tier count, on the given solver
+// backend — the hot path of every scenario's sensing loop.
+func benchTransientStep(b *testing.B, tiers int, solver string) {
+	b.Helper()
 	st := floorplan.Niagara2Tier()
+	if tiers == 4 {
+		st = floorplan.Niagara4Tier()
+	}
 	sm, err := thermal.BuildStack(st, thermal.StackOptions{
 		Mode:          thermal.LiquidCooled,
 		FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+		Solver:        solver,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -279,9 +292,98 @@ func BenchmarkTransientStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	if err := tr.Step(pm); err != nil { // build LHS + workspace outside the timer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := tr.Step(pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransientStep(b *testing.B) { benchTransientStep(b, 2, "") }
+
+func BenchmarkTransientStepDirect(b *testing.B) { benchTransientStep(b, 2, "direct") }
+
+func BenchmarkTransientStep4Tier(b *testing.B) { benchTransientStep(b, 4, "") }
+
+func BenchmarkTransientStep4TierDirect(b *testing.B) { benchTransientStep(b, 4, "direct") }
+
+// benchTransientStepActive alternates between two power maps every
+// step, so every solve does real work (no fixed-point short-circuit):
+// iterative backends iterate from the warm start, the direct backend
+// runs its two triangular sweeps against the cached factorisation.
+func benchTransientStepActive(b *testing.B, solver string) {
+	b.Helper()
+	st := floorplan.Niagara4Tier()
+	sm, err := thermal.BuildStack(st, thermal.StackOptions{
+		Mode:          thermal.LiquidCooled,
+		FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+		Solver:        solver,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pmodel := power.NewDefaultModel()
+	mkPM := func(util float64) thermal.PowerMap {
+		utils := make([]float64, st.CoreCount())
+		for i := range utils {
+			utils[i] = util
+		}
+		powers, err := pmodel.StackPowers(st, power.StackState{CoreUtil: utils})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pm, err := sm.PowerMapFromUnits(powers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return pm
+	}
+	pms := [2]thermal.PowerMap{mkPM(0.3), mkPM(0.9)}
+	f, err := sm.Model.SteadyState(pms[0], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := sm.Model.NewTransientFrom(0.1, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.Step(pms[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Step(pms[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransientStepActive(b *testing.B) { benchTransientStepActive(b, "") }
+
+func BenchmarkTransientStepActiveDirect(b *testing.B) { benchTransientStepActive(b, "direct") }
+
+// BenchmarkSteadyDirect is BenchmarkCompactSteady on the direct backend:
+// the factorisation happens once at the first solve, every subsequent
+// steady solve is two triangular sweeps.
+func BenchmarkSteadyDirect(b *testing.B) {
+	compact, _, powers := speedupFixturesSolver(b, "direct")
+	pm, err := compact.PowerMapFromUnits(powers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := compact.Model.SteadyState(pm, nil); err != nil { // factor outside the timer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compact.Model.SteadyState(pm, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/mat"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -31,6 +33,7 @@ func main() {
 	seriesPath := flag.String("series", "", "write the peak-temperature/flow time series to this CSV file")
 	noise := flag.Float64("noise", 0, "sensor noise standard deviation (K)")
 	traceFile := flag.String("trace", "", "load a recorded utilization trace (CSV) instead of synthesising one")
+	solver := flag.String("solver", "", "linear-solver backend: "+strings.Join(mat.Backends(), ", ")+" (default bicgstab)")
 	flag.Parse()
 
 	var cool core.Cooling
@@ -47,6 +50,7 @@ func main() {
 		Tiers: *tiers, Cooling: cool, Policy: *policyFlag,
 		ThresholdC: *threshold, Grid: *grid,
 		SensorNoiseStdC: *noise,
+		Solver:          *solver,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpsoc-sim:", err)
@@ -99,6 +103,11 @@ func main() {
 	fmt.Printf("perf degradation: %.4f%%\n", m.PerfDegradationPct)
 	fmt.Printf("mean flow:        %.0f%% of max (liquid only)\n", 100*m.MeanFlowFrac)
 	fmt.Printf("migrations:       %d\n", m.Migrations)
+	fmt.Printf("solver:           %s (%d solves, %d iterations, %d factorizations, %d early exits)\n",
+		m.Solver.Backend, m.Solver.Solves, m.Solver.Iterations, m.Solver.Factorizations, m.Solver.EarlyExits)
+	if m.Solver.FallbackReason != "" {
+		fmt.Printf("solver fallback:  %s\n", m.Solver.FallbackReason)
+	}
 }
 
 // writeSeries dumps the recorded time series as CSV.

@@ -20,9 +20,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/mat"
 	"repro/internal/server"
 )
 
@@ -31,12 +33,17 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent scenario executions (0 = GOMAXPROCS)")
 	cacheEntries := flag.Int("cache", 4096, "max cached scenario results (0 = unbounded)")
 	queueDepth := flag.Int("queue", 1024, "max queued async jobs")
+	solver := flag.String("solver", "", "default linear-solver backend for /v1/simulate and /v1/studies requests that omit one: "+strings.Join(mat.Backends(), ", ")+" (/v1/dse uses the closed-form explorer, no linear solves)")
 	flag.Parse()
 
+	if !mat.KnownBackend(*solver) {
+		log.Fatalf("unknown solver backend %q (want one of %v)", *solver, mat.Backends())
+	}
 	svc := server.New(server.Options{
-		Workers:      *workers,
-		CacheEntries: *cacheEntries,
-		QueueDepth:   *queueDepth,
+		Workers:       *workers,
+		CacheEntries:  *cacheEntries,
+		QueueDepth:    *queueDepth,
+		DefaultSolver: *solver,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/floorplan"
+	"repro/internal/mat"
 	"repro/internal/power"
 	"repro/internal/thermal"
 	"repro/internal/units"
@@ -26,6 +27,7 @@ func main() {
 	util := flag.Float64("util", 1.0, "core utilization (0-1)")
 	grid := flag.Int("grid", 16, "grid resolution")
 	heatmap := flag.Bool("heatmap", true, "print ASCII heat map of the hottest tier")
+	solver := flag.String("solver", "", "linear-solver backend: "+strings.Join(mat.Backends(), ", ")+" (default bicgstab)")
 	flag.Parse()
 
 	var st *floorplan.Stack
@@ -45,6 +47,7 @@ func main() {
 	sm, err := thermal.BuildStack(st, thermal.StackOptions{
 		Mode: mode, Nx: *grid, Ny: *grid,
 		FlowPerCavity: units.MlPerMinToM3PerS(units.Clamp(*flow, 10, 32.3)),
+		Solver:        *solver,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "thermal-solve:", err)
@@ -73,6 +76,12 @@ func main() {
 	fmt.Printf("%s, %s, util %.0f%%, flow %.1f ml/min per cavity\n",
 		st.Name, mode, 100**util, *flow)
 	fmt.Printf("total power: %.1f W\n", power.Total(powers))
+	ss := sm.Model.SolverStats()
+	fmt.Printf("solver: %s (%d solve, %d iterations, %d factorization)\n",
+		ss.Backend, ss.Solves, ss.Iterations, ss.Factorizations)
+	if ss.FallbackReason != "" {
+		fmt.Printf("solver fallback: %s\n", ss.FallbackReason)
+	}
 	hottest, hotTier := -1e9, 0
 	for k := range st.Tiers {
 		peak := f.Max(sm.TierLayer(k))

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/floorplan"
 	"repro/internal/fluids"
+	"repro/internal/mat"
 	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -74,6 +75,10 @@ type Options struct {
 	// FlowQuantLevels quantises pump actuation (default 8 settings);
 	// see sim.Config. Liquid mode only.
 	FlowQuantLevels int
+	// Solver selects the linear-solver backend for every thermal solve
+	// ("" = default): "bicgstab", "gmres" or "direct" (sparse LU that
+	// factors once per flow setting — see mat.Backends).
+	Solver string
 }
 
 // Policies lists the supported management strategies. Beyond the
@@ -111,13 +116,23 @@ func MakePolicy(name string, thresholdC float64) (policy.Policy, error) {
 	}
 }
 
-// System is a configured 3D MPSoC ready to run workloads.
+// System is a configured 3D MPSoC ready to run workloads. A System is
+// not safe for concurrent use: Steady caches its thermal model and last
+// solution so that sweeps over utilization or flow rate — e.g. the
+// design-space explorations — warm-start from the neighbouring
+// operating point instead of solving cold.
 type System struct {
 	opt    Options
 	stack  *floorplan.Stack
 	mode   thermal.CoolingMode
 	policy policy.Policy
 	pmodel *power.Model
+
+	// Steady-state sweep cache: the stack model is built once and
+	// retuned via SetFlowPerCavity; the previous solution seeds the
+	// next solve.
+	steadySM    *thermal.StackModel
+	steadyField *thermal.Field
 }
 
 // NewSystem validates the options and builds the system.
@@ -141,6 +156,9 @@ func NewSystem(opt Options) (*System, error) {
 	mode := thermal.AirCooled
 	if opt.Cooling == Liquid {
 		mode = thermal.LiquidCooled
+	}
+	if !mat.KnownBackend(opt.Solver) {
+		return nil, fmt.Errorf("core: unknown solver backend %q (want one of %v)", opt.Solver, mat.Backends())
 	}
 	pol, err := MakePolicy(opt.Policy, opt.ThresholdC)
 	if err != nil {
@@ -204,6 +222,7 @@ func (s *System) runTrace(tr *workload.Trace, record bool) (*sim.Metrics, error)
 		Grid:            s.opt.Grid,
 		FlowQuantLevels: s.opt.FlowQuantLevels,
 		SensorNoiseStdC: s.opt.SensorNoiseStdC,
+		Solver:          s.opt.Solver,
 		Record:          record,
 	}
 	return sim.Run(cfg)
@@ -221,14 +240,14 @@ type Snapshot struct {
 
 // Steady solves the steady state with every core at the given utilization
 // and, for liquid cooling, the given per-cavity flow in ml/min (clamped
-// to the Table-I range; ignored for air cooling).
+// to the Table-I range; ignored for air cooling). Repeated calls on one
+// System reuse the thermal model (retuning the cavity flow in place) and
+// warm-start from the previous solution, so sweeps over neighbouring
+// operating points — flow sweeps, DSE chains — skip both the model
+// rebuild and most solver iterations.
 func (s *System) Steady(util, flowMlPerMin float64) (*Snapshot, error) {
 	flow := units.MlPerMinToM3PerS(units.Clamp(flowMlPerMin, 10, 32.3))
-	sm, err := thermal.BuildStack(s.stack, thermal.StackOptions{
-		Mode: s.mode, Nx: s.opt.Grid, Ny: s.opt.Grid,
-		FlowPerCavity: flow,
-		Coolant:       s.coolant(),
-	})
+	sm, err := s.steadyModel(flow)
 	if err != nil {
 		return nil, err
 	}
@@ -244,10 +263,11 @@ func (s *System) Steady(util, flowMlPerMin float64) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := sm.Model.SteadyState(pm, nil)
+	f, err := sm.Model.SteadyState(pm, s.steadyField)
 	if err != nil {
 		return nil, err
 	}
+	s.steadyField = f
 	snap := &Snapshot{
 		PeakC:       f.MaxOverPowerLayers(),
 		TotalPowerW: power.Total(powers),
@@ -256,6 +276,30 @@ func (s *System) Steady(util, flowMlPerMin float64) (*Snapshot, error) {
 		snap.TierPeakC = append(snap.TierPeakC, f.Max(sm.TierLayer(k)))
 	}
 	return snap, nil
+}
+
+// steadyModel returns the cached steady-sweep stack model, building it
+// on first use and retuning the cavity flow on subsequent calls.
+func (s *System) steadyModel(flow float64) (*thermal.StackModel, error) {
+	if s.steadySM == nil {
+		sm, err := thermal.BuildStack(s.stack, thermal.StackOptions{
+			Mode: s.mode, Nx: s.opt.Grid, Ny: s.opt.Grid,
+			FlowPerCavity: flow,
+			Coolant:       s.coolant(),
+			Solver:        s.opt.Solver,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.steadySM = sm
+		return sm, nil
+	}
+	if s.mode == thermal.LiquidCooled {
+		if err := s.steadySM.SetFlowPerCavity(flow); err != nil {
+			return nil, err
+		}
+	}
+	return s.steadySM, nil
 }
 
 func (s *System) coolant() fluids.Fluid {
@@ -300,6 +344,7 @@ func (s *System) SteadyCoupled(util, flowMlPerMin float64) (*Snapshot, error) {
 		Mode: s.mode, Nx: s.opt.Grid, Ny: s.opt.Grid,
 		FlowPerCavity: flow,
 		Coolant:       s.coolant(),
+		Solver:        s.opt.Solver,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSteadySweepWarmStarts verifies the steady-sweep cache: repeated
+// Steady calls on one System must reuse the stack model (retuning flow
+// in place) and warm-start the solver from the previous operating
+// point, without changing the answer relative to a cold solve.
+func TestSteadySweepWarmStarts(t *testing.T) {
+	sys, err := NewSystem(Options{Tiers: 2, Cooling: Liquid, Grid: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Steady(1.0, 32.3); err != nil {
+		t.Fatal(err)
+	}
+	sm := sys.steadySM
+	if sm == nil {
+		t.Fatal("Steady did not cache the stack model")
+	}
+	coldIters := sm.Model.SolverStats().Iterations
+	if coldIters == 0 {
+		t.Fatal("cold steady solve reported zero iterations")
+	}
+
+	// A neighbouring flow setting: same model object, warm-started.
+	warm, err := sys.Steady(1.0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.steadySM != sm {
+		t.Fatal("neighbouring design point rebuilt the stack model")
+	}
+	warmIters := sm.Model.SolverStats().Iterations - coldIters
+	if warmIters >= coldIters {
+		t.Errorf("warm-started sweep point took %d iterations, cold start took %d — no warm-start benefit",
+			warmIters, coldIters)
+	}
+
+	// The warm-started answer must match a cold solve on a fresh system.
+	ref, err := NewSystem(Options{Tiers: 2, Cooling: Liquid, Grid: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSnap, err := ref.Steady(1.0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(warm.PeakC - coldSnap.PeakC); d > 1e-6 {
+		t.Errorf("warm vs cold peak differs by %g K (warm %.6f, cold %.6f)", d, warm.PeakC, coldSnap.PeakC)
+	}
+
+	// An unchanged-matrix re-solve (same flow, same power) short-circuits
+	// entirely via the warm-start residual check.
+	before := sm.Model.SolverStats()
+	if _, err := sys.Steady(1.0, 30); err != nil {
+		t.Fatal(err)
+	}
+	after := sm.Model.SolverStats()
+	if after.EarlyExits != before.EarlyExits+1 {
+		t.Errorf("repeated operating point: EarlyExits %d -> %d, want +1", before.EarlyExits, after.EarlyExits)
+	}
+}
+
+// TestSteadySolverBackendsAgree cross-checks the Steady snapshot across
+// every registered backend on the liquid stack.
+func TestSteadySolverBackendsAgree(t *testing.T) {
+	var ref *Snapshot
+	for _, backend := range []string{"bicgstab", "gmres", "direct"} {
+		sys, err := NewSystem(Options{Tiers: 2, Cooling: Liquid, Grid: 8, Solver: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := sys.Steady(0.8, 20)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if ref == nil {
+			ref = snap
+			continue
+		}
+		if d := math.Abs(snap.PeakC - ref.PeakC); d > 1e-6 {
+			t.Errorf("%s: peak %.8f differs from bicgstab %.8f by %g K", backend, snap.PeakC, ref.PeakC, d)
+		}
+	}
+	if _, err := NewSystem(Options{Solver: "not-a-backend"}); err == nil {
+		t.Error("NewSystem accepted an unknown solver backend")
+	}
+}

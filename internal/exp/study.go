@@ -26,6 +26,10 @@ type Options struct {
 	Grid int
 	// Seed makes the synthetic traces reproducible.
 	Seed int64
+	// Solver selects the linear-solver backend for every scenario of
+	// the study ("" = default bicgstab; see mat.Backends). Metrics are
+	// backend-agnostic within solver tolerance.
+	Solver string
 }
 
 func (o Options) fill() Options {
@@ -104,6 +108,7 @@ func StudyScenario(cfg StudyConfig, wl string, opt Options) jobs.Scenario {
 		Steps:    opt.Steps,
 		Grid:     opt.Grid,
 		Seed:     opt.Seed,
+		Solver:   opt.Solver,
 	}
 }
 
@@ -188,6 +193,7 @@ func RunStudySequential(opt Options) ([]*StudyResult, error) {
 	for _, cfg := range StudyConfigs() {
 		sys, err := core.NewSystem(core.Options{
 			Tiers: cfg.Tiers, Cooling: cfg.Cooling, Policy: cfg.Policy, Grid: opt.Grid,
+			Solver: opt.Solver,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s: %w", cfg.Label, err)
@@ -391,6 +397,7 @@ func SavingsStudyOn(ctx context.Context, pool *jobs.Pool, cache *jobs.Cache, opt
 		m, _, err := cache.Metrics(ctx, jobs.Scenario{
 			Tiers: tiers, Cooling: core.Liquid.String(), Policy: pol,
 			Workload: wl, Steps: opt.Steps, Grid: opt.Grid, Seed: opt.Seed,
+			Solver: opt.Solver,
 		})
 		if err != nil {
 			return fmt.Errorf("exp: savings %d-tier %s/%s: %w", tiers, pol, wl, err)
@@ -448,6 +455,7 @@ func savingsStudySequential(opt Options) ([]SavingsDetail, error) {
 			for pi, pol := range savingsPolicies {
 				sys, err := core.NewSystem(core.Options{
 					Tiers: tiers, Cooling: core.Liquid, Policy: pol, Grid: opt.Grid,
+					Solver: opt.Solver,
 				})
 				if err != nil {
 					return nil, err

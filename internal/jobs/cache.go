@@ -18,6 +18,7 @@ type Cache struct {
 	items    map[string]*list.Element // key → *entry element
 	inflight map[string]*flightCall
 	stats    CacheStats
+	hook     func(key string, val any)
 }
 
 type entry struct {
@@ -117,11 +118,15 @@ func (c *Cache) GetOrComputeCtx(ctx context.Context, key string, fn func() (any,
 
 		c.mu.Lock()
 		delete(c.inflight, key)
+		hook := c.hook
 		if call.err == nil {
 			c.add(key, call.val)
 		}
 		c.mu.Unlock()
 		close(call.done)
+		if call.err == nil && hook != nil {
+			hook(key, call.val)
+		}
 		return call.val, false, call.err
 	}
 }
@@ -145,6 +150,20 @@ func (c *Cache) add(key string, val any) {
 			delete(c.items, last.Value.(*entry).key)
 		}
 	}
+}
+
+// SetComputeHook registers fn to observe every successful fresh
+// computation (cache hits and single-flight joins are not reported, so
+// an observer sees each distinct result exactly once). fn runs outside
+// the cache lock on the computing goroutine; it must be safe for
+// concurrent calls.
+func (c *Cache) SetComputeHook(fn func(key string, val any)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.hook = fn
+	c.mu.Unlock()
 }
 
 // Len reports the number of cached results.

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/mat"
 	"repro/internal/sim"
 )
 
@@ -38,6 +39,11 @@ type Scenario struct {
 	ThresholdC float64 `json:"threshold_c,omitempty"`
 	// FlowQuantLevels quantises pump actuation (default 8 settings).
 	FlowQuantLevels int `json:"flow_levels,omitempty"`
+	// Solver selects the linear-solver backend: "bicgstab" (default),
+	// "gmres" or "direct" (see mat.Backends). Metrics are
+	// backend-agnostic within solver tolerance, but each backend keys
+	// its own cache entry so timing studies never alias.
+	Solver string `json:"solver,omitempty"`
 	// SensorNoiseStdC adds Gaussian sensor noise (default 0 = ideal).
 	SensorNoiseStdC float64 `json:"sensor_noise_std_c,omitempty"`
 	// Record captures the per-sensing-step time series.
@@ -75,6 +81,9 @@ func (s Scenario) Normalized() Scenario {
 	if s.FlowQuantLevels == 0 {
 		s.FlowQuantLevels = 8
 	}
+	if s.Solver == "" {
+		s.Solver = mat.DefaultBackend
+	}
 	return s
 }
 
@@ -102,6 +111,9 @@ func (s Scenario) Validate() error {
 	if s.SensorNoiseStdC < 0 {
 		return fmt.Errorf("jobs: negative sensor noise %v", s.SensorNoiseStdC)
 	}
+	if !mat.KnownBackend(s.Solver) {
+		return fmt.Errorf("jobs: unknown solver backend %q (want one of %v)", s.Solver, mat.Backends())
+	}
 	return nil
 }
 
@@ -120,7 +132,7 @@ func ParseCooling(name string) (core.Cooling, error) {
 // keyVersion guards the hash format: bump it whenever the canonical
 // encoding below (or the simulation semantics behind it) changes, so a
 // persisted cache can never serve results computed under old physics.
-const keyVersion = "scenario/v1"
+const keyVersion = "scenario/v2"
 
 // Key returns the content address of the scenario: a SHA-256 over the
 // canonical encoding of every normalized field. Any field change yields
@@ -128,9 +140,9 @@ const keyVersion = "scenario/v1"
 func (s Scenario) Key() string {
 	s = s.Normalized()
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|tiers=%d|cooling=%s|policy=%s|workload=%s|steps=%d|grid=%d|seed=%d|threshold=%s|flowlevels=%d|noise=%s|record=%t",
+	fmt.Fprintf(h, "%s|tiers=%d|cooling=%s|policy=%s|workload=%s|steps=%d|grid=%d|seed=%d|threshold=%s|flowlevels=%d|noise=%s|solver=%s|record=%t",
 		keyVersion, s.Tiers, s.Cooling, s.Policy, s.Workload, s.Steps, s.Grid, s.Seed,
-		canonFloat(s.ThresholdC), s.FlowQuantLevels, canonFloat(s.SensorNoiseStdC), s.Record)
+		canonFloat(s.ThresholdC), s.FlowQuantLevels, canonFloat(s.SensorNoiseStdC), s.Solver, s.Record)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -160,6 +172,7 @@ func (s Scenario) Run(ctx context.Context) (*sim.Metrics, error) {
 		Grid:            s.Grid,
 		FlowQuantLevels: s.FlowQuantLevels,
 		SensorNoiseStdC: s.SensorNoiseStdC,
+		Solver:          s.Solver,
 	})
 	if err != nil {
 		return nil, err

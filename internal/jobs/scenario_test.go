@@ -48,6 +48,7 @@ func TestScenarioKeyChangesWithEveryField(t *testing.T) {
 		"ThresholdC":      func(s *Scenario) { s.ThresholdC = 80 },
 		"FlowQuantLevels": func(s *Scenario) { s.FlowQuantLevels = 4 },
 		"SensorNoiseStdC": func(s *Scenario) { s.SensorNoiseStdC = 0.3 },
+		"Solver":          func(s *Scenario) { s.Solver = "direct" },
 		"Record":          func(s *Scenario) { s.Record = true },
 	} {
 		sc := base
@@ -80,10 +81,46 @@ func TestScenarioValidate(t *testing.T) {
 		{"bad noise", Scenario{SensorNoiseStdC: -1}, false},
 		{"bad flow levels", Scenario{FlowQuantLevels: 1}, false},
 		{"negative flow levels", Scenario{FlowQuantLevels: -7}, false},
+		{"direct solver", Scenario{Solver: "direct"}, true},
+		{"gmres solver", Scenario{Solver: "gmres"}, true},
+		{"bad solver", Scenario{Solver: "quantum"}, false},
 	} {
 		if err := tc.sc.Validate(); (err == nil) != tc.ok {
 			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
 		}
+	}
+}
+
+func TestScenarioSolverNormalizationAndEquivalence(t *testing.T) {
+	// An explicit default backend and an omitted one are the same cache
+	// entry; metrics across backends agree within solver tolerance.
+	implicit := quickScenario()
+	explicit := quickScenario()
+	explicit.Solver = "bicgstab"
+	if implicit.Key() != explicit.Key() {
+		t.Fatal("omitted and explicit default solver hash differently")
+	}
+	ctx := context.Background()
+	base, err := implicit.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Solver.Backend != "bicgstab" || base.Solver.Solves == 0 {
+		t.Fatalf("metrics did not record solver work: %+v", base.Solver)
+	}
+	direct := quickScenario()
+	direct.Solver = "direct"
+	m, err := direct.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Solver.Backend != "direct" {
+		t.Fatalf("direct run recorded backend %q", m.Solver.Backend)
+	}
+	// Metrics integrate hundreds of 1e-9-relative-residual solves, so
+	// backends agree to solver tolerance, not bit-exactly.
+	if d := m.PeakTempC - base.PeakTempC; d > 1e-3 || d < -1e-3 {
+		t.Errorf("direct vs bicgstab peak differs by %g K", d)
 	}
 }
 

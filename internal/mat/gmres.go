@@ -2,7 +2,6 @@ package mat
 
 import (
 	"fmt"
-	"math"
 )
 
 // GMRES solves A·x = b for a general matrix with the restarted
@@ -15,147 +14,32 @@ import (
 // BiCGSTAB. Restart length is fixed at 30 Krylov vectors — deep enough
 // for diagonally dominant RC systems, small enough to keep the dense
 // Hessenberg work negligible.
+// GMRES is a convenience wrapper that builds a fresh workspace per call;
+// repeated solves against one matrix should go through the Solver seam
+// (NewSolver(BackendGMRES, …).Prepare), which additionally applies the
+// RCM ordering and reuses every buffer.
 func GMRES(a *Sparse, b []float64, opt IterOptions) ([]float64, error) {
-	const restart = 30
 	n := a.N()
 	if len(b) != n {
 		return nil, fmt.Errorf("mat: GMRES rhs length %d != n %d", len(b), n)
+	}
+	if opt.X0 != nil && len(opt.X0) != n {
+		return nil, fmt.Errorf("mat: GMRES guess length %d != n %d", len(opt.X0), n)
 	}
 	var prec func(dst, v []float64)
 	if opt.Precond != nil {
 		prec = opt.Precond.Apply
 	} else {
-		diag := a.Diagonal()
-		inv := make([]float64, n)
-		for i, d := range diag {
-			if d == 0 {
-				d = 1
-			}
-			inv[i] = 1 / d
-		}
-		prec = func(dst, v []float64) {
-			for i := range dst {
-				dst[i] = v[i] * inv[i]
-			}
-		}
+		prec = jacobiPrecond(a)
 	}
-
+	var ws gmresWS
+	ws.init(a, opt.tol(), opt.maxIter(4*n), prec)
 	x := make([]float64, n)
 	if opt.X0 != nil {
-		if len(opt.X0) != n {
-			return nil, fmt.Errorf("mat: GMRES guess length %d != n %d", len(opt.X0), n)
-		}
 		copy(x, opt.X0)
 	}
-	// Preconditioned rhs norm for the stopping test: we iterate on
-	// M⁻¹A·x = M⁻¹b.
-	pb := make([]float64, n)
-	prec(pb, b)
-	bnorm := Norm2(pb)
-	if bnorm == 0 {
-		return x, nil // b = 0 ⇒ x = 0 (or the guess projected to zero residual)
+	if err := ws.solve(x, b); err != nil {
+		return nil, err
 	}
-	tol := opt.tol()
-	maxIter := opt.maxIter(4 * n)
-
-	// Workspaces reused across restarts.
-	v := make([][]float64, restart+1)
-	for i := range v {
-		v[i] = make([]float64, n)
-	}
-	h := make([][]float64, restart+1)
-	for i := range h {
-		h[i] = make([]float64, restart)
-	}
-	cs := make([]float64, restart)
-	sn := make([]float64, restart)
-	g := make([]float64, restart+1)
-	w := make([]float64, n)
-	aw := make([]float64, n)
-
-	iters := 0
-	for iters < maxIter {
-		// r = M⁻¹(b − A·x)
-		a.MulVec(aw, x)
-		for i := range aw {
-			aw[i] = b[i] - aw[i]
-		}
-		prec(v[0], aw)
-		beta := Norm2(v[0])
-		if beta/bnorm <= tol {
-			return x, nil
-		}
-		for i := range v[0] {
-			v[0][i] /= beta
-		}
-		for i := range g {
-			g[i] = 0
-		}
-		g[0] = beta
-
-		k := 0
-		for ; k < restart && iters < maxIter; k++ {
-			iters++
-			// w = M⁻¹A·v_k
-			a.MulVec(aw, v[k])
-			prec(w, aw)
-			// Modified Gram–Schmidt.
-			for j := 0; j <= k; j++ {
-				h[j][k] = Dot(w, v[j])
-				AXPY(-h[j][k], v[j], w)
-			}
-			h[k+1][k] = Norm2(w)
-			if h[k+1][k] > 0 {
-				for i := range w {
-					v[k+1][i] = w[i] / h[k+1][k]
-				}
-			}
-			// Apply the accumulated Givens rotations to column k.
-			for j := 0; j < k; j++ {
-				t := cs[j]*h[j][k] + sn[j]*h[j+1][k]
-				h[j+1][k] = -sn[j]*h[j][k] + cs[j]*h[j+1][k]
-				h[j][k] = t
-			}
-			// New rotation eliminating h[k+1][k].
-			denom := math.Hypot(h[k][k], h[k+1][k])
-			if denom == 0 {
-				cs[k], sn[k] = 1, 0
-			} else {
-				cs[k], sn[k] = h[k][k]/denom, h[k+1][k]/denom
-			}
-			h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
-			h[k+1][k] = 0
-			g[k+1] = -sn[k] * g[k]
-			g[k] = cs[k] * g[k]
-			if math.Abs(g[k+1])/bnorm <= tol {
-				k++
-				break
-			}
-		}
-		// Back-substitute y from the k×k triangular system and update x.
-		y := make([]float64, k)
-		for i := k - 1; i >= 0; i-- {
-			s := g[i]
-			for j := i + 1; j < k; j++ {
-				s -= h[i][j] * y[j]
-			}
-			if h[i][i] == 0 {
-				return nil, ErrSingular
-			}
-			y[i] = s / h[i][i]
-		}
-		for j := 0; j < k; j++ {
-			AXPY(y[j], v[j], x)
-		}
-	}
-	// Final residual check.
-	a.MulVec(aw, x)
-	for i := range aw {
-		aw[i] = b[i] - aw[i]
-	}
-	prec(w, aw)
-	if Norm2(w)/bnorm <= tol {
-		return x, nil
-	}
-	return nil, ErrNoConvergence
+	return x, nil
 }

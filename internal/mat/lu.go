@@ -1,0 +1,223 @@
+package mat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SparseLU is a sparse direct LU factorisation P·A·Pᵀ = L·U with a
+// caller-supplied symmetric ordering P (typically RCM, which keeps the
+// fill of the banded thermal-stack systems low). The factorisation is
+// computed without pivoting: the grounded thermal RC systems this
+// package targets are (nearly) diagonally dominant M-matrices, for which
+// elimination in any symmetric ordering is stable. For the symmetric
+// conduction-only systems the elimination is numerically identical to an
+// LDLᵀ/Cholesky factorisation (computed here without exploiting the
+// symmetry); the same code handles the non-symmetric upwind-advection
+// systems of the liquid-cooled cavities.
+//
+// Factor once per matrix, then Solve per right-hand side: two triangular
+// sweeps over the fill-in pattern, no iteration and no convergence
+// failure modes. Solve reuses an internal scratch vector, so a SparseLU
+// is not safe for concurrent use.
+type SparseLU struct {
+	n    int
+	perm []int // perm[new] = old; nil means natural order
+
+	// L is unit-lower-triangular, stored strictly below the diagonal in
+	// CSR with ascending column indices per row.
+	lPtr []int
+	lIdx []int
+	lVal []float64
+
+	// U is upper-triangular: the diagonal lives in uDiag, the strict
+	// upper part in CSR with ascending column indices per row.
+	uDiag []float64
+	uPtr  []int
+	uIdx  []int
+	uVal  []float64
+
+	work []float64 // permuted rhs/solution scratch
+}
+
+// NewSparseLU factors a under the symmetric ordering perm (perm[new] =
+// old; nil keeps the natural order). Every row must carry a structural
+// diagonal — true for any grounded thermal system — and elimination must
+// not produce an exactly zero pivot, else ErrSingular is returned.
+func NewSparseLU(a *Sparse, perm []int) (*SparseLU, error) {
+	pa := a
+	if perm != nil {
+		var err error
+		pa, err = Permute(a, perm)
+		if err != nil {
+			return nil, err
+		}
+		perm = append([]int(nil), perm...)
+	}
+	n := pa.N()
+	f := &SparseLU{
+		n:     n,
+		perm:  perm,
+		lPtr:  make([]int, n+1),
+		uDiag: make([]float64, n),
+		uPtr:  make([]int, n+1),
+		work:  make([]float64, n),
+	}
+
+	// Row-wise elimination with a sparse accumulator: scatter row i of
+	// P·A·Pᵀ into w, consume the lower-triangular columns in ascending
+	// order (a binary min-heap orders the worklist, since eliminating
+	// column k can fill new columns between k and i), gather the
+	// surviving upper part as row i of U.
+	w := make([]float64, n)     // dense accumulator
+	inPat := make([]bool, n)    // pattern membership for w
+	heap := make([]int, 0, 64)  // pending lower columns, min-heap
+	upper := make([]int, 0, 64) // pattern indices >= i of the current row
+	push := func(j int) {
+		heap = append(heap, j)
+		for c := len(heap) - 1; c > 0; {
+			p := (c - 1) / 2
+			if heap[p] <= heap[c] {
+				break
+			}
+			heap[p], heap[c] = heap[c], heap[p]
+			c = p
+		}
+	}
+	pop := func() int {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for c := 0; ; {
+			l, r := 2*c+1, 2*c+2
+			m := c
+			if l < len(heap) && heap[l] < heap[m] {
+				m = l
+			}
+			if r < len(heap) && heap[r] < heap[m] {
+				m = r
+			}
+			if m == c {
+				break
+			}
+			heap[c], heap[m] = heap[m], heap[c]
+			c = m
+		}
+		return top
+	}
+
+	for i := 0; i < n; i++ {
+		upper = upper[:0]
+		for p := pa.rowPtr[i]; p < pa.rowPtr[i+1]; p++ {
+			j := pa.colIdx[p]
+			w[j] = pa.vals[p]
+			inPat[j] = true
+			if j < i {
+				push(j)
+			} else {
+				upper = append(upper, j)
+			}
+		}
+		for len(heap) > 0 {
+			k := pop()
+			lik := w[k] / f.uDiag[k]
+			w[k] = 0
+			inPat[k] = false
+			if lik == 0 {
+				continue
+			}
+			f.lIdx = append(f.lIdx, k)
+			f.lVal = append(f.lVal, lik)
+			// Update against row k of U: fill may appear anywhere right
+			// of k, both in the pending lower part and in the upper part.
+			for q := f.uPtr[k]; q < f.uPtr[k+1]; q++ {
+				j := f.uIdx[q]
+				if !inPat[j] {
+					inPat[j] = true
+					w[j] = 0
+					if j < i {
+						push(j)
+					} else {
+						upper = append(upper, j)
+					}
+				}
+				w[j] -= lik * f.uVal[q]
+			}
+		}
+		f.lPtr[i+1] = len(f.lIdx)
+		if !inPat[i] {
+			clearPattern(w, inPat, upper)
+			return nil, fmt.Errorf("mat: SparseLU row %d has no diagonal entry: %w", i, ErrSingular)
+		}
+		if w[i] == 0 {
+			clearPattern(w, inPat, upper)
+			return nil, fmt.Errorf("mat: SparseLU zero pivot at row %d: %w", i, ErrSingular)
+		}
+		f.uDiag[i] = w[i]
+		w[i] = 0
+		inPat[i] = false
+		sort.Ints(upper)
+		for _, j := range upper {
+			if j == i {
+				continue
+			}
+			f.uIdx = append(f.uIdx, j)
+			f.uVal = append(f.uVal, w[j])
+			w[j] = 0
+			inPat[j] = false
+		}
+		f.uPtr[i+1] = len(f.uIdx)
+	}
+	return f, nil
+}
+
+func clearPattern(w []float64, inPat []bool, pattern []int) {
+	for _, j := range pattern {
+		w[j] = 0
+		inPat[j] = false
+	}
+}
+
+// N returns the matrix dimension.
+func (f *SparseLU) N() int { return f.n }
+
+// NNZ returns the number of stored factor entries (L strictly below the
+// diagonal, U on and above it) — the quantity RCM keeps small.
+func (f *SparseLU) NNZ() int { return len(f.lVal) + len(f.uVal) + f.n }
+
+// Solve writes the solution of A·x = b into dst, performing one forward
+// and one backward sweep over the factors. dst must not alias b. No
+// allocations; not safe for concurrent use (shared scratch).
+func (f *SparseLU) Solve(dst, b []float64) {
+	if len(dst) != f.n || len(b) != f.n {
+		panic(fmt.Sprintf("mat: SparseLU.Solve dimension mismatch: n=%d len(dst)=%d len(b)=%d", f.n, len(dst), len(b)))
+	}
+	x := f.work
+	if f.perm != nil {
+		PermuteVec(x, b, f.perm)
+	} else {
+		copy(x, b)
+	}
+	// Forward: L has unit diagonal.
+	for i := 0; i < f.n; i++ {
+		s := x[i]
+		for p := f.lPtr[i]; p < f.lPtr[i+1]; p++ {
+			s -= f.lVal[p] * x[f.lIdx[p]]
+		}
+		x[i] = s
+	}
+	// Backward with U.
+	for i := f.n - 1; i >= 0; i-- {
+		s := x[i]
+		for p := f.uPtr[i]; p < f.uPtr[i+1]; p++ {
+			s -= f.uVal[p] * x[f.uIdx[p]]
+		}
+		x[i] = s / f.uDiag[i]
+	}
+	if f.perm != nil {
+		UnpermuteVec(dst, x, f.perm)
+	} else {
+		copy(dst, x)
+	}
+}

@@ -50,6 +50,10 @@ func (o IterOptions) maxIter(def int) int {
 // preconditioning. Thermal RC systems with advective coupling are strongly
 // diagonally dominant, so this converges in a few dozen iterations even on
 // large grids.
+//
+// This is a convenience wrapper that builds a fresh workspace per call;
+// repeated solves against one matrix should go through the Solver seam
+// (NewSolver(BackendBiCGSTAB, …).Prepare), which reuses every buffer.
 func BiCGSTAB(a *Sparse, b []float64, opt IterOptions) ([]float64, error) {
 	n := a.N()
 	if len(b) != n {
@@ -59,100 +63,13 @@ func BiCGSTAB(a *Sparse, b []float64, opt IterOptions) ([]float64, error) {
 	if opt.Precond != nil {
 		prec = opt.Precond.Apply
 	} else {
-		d := a.Diagonal()
-		for i, v := range d {
-			if v == 0 {
-				d[i] = 1 // row without stored diagonal: fall back to identity
-			}
-		}
-		prec = func(dst, v []float64) {
-			for i := range dst {
-				dst[i] = v[i] / d[i]
-			}
-		}
+		prec = jacobiPrecond(a)
 	}
-
+	var ws bicgstabWS
+	ws.init(a, opt.tol(), opt.maxIter(4*n+40), prec)
 	x := make([]float64, n)
-	if opt.X0 != nil {
-		copy(x, opt.X0)
-	}
-	r := make([]float64, n)
-	a.MulVec(r, x)
-	Sub(r, b, r)
-
-	bnorm := Norm2(b)
-	if bnorm == 0 {
-		return make([]float64, n), nil
-	}
-	tol := opt.tol()
-	if Norm2(r)/bnorm <= tol {
-		return x, nil
-	}
-
-	rhat := append([]float64(nil), r...)
-	var (
-		rho, alpha, omega = 1.0, 1.0, 1.0
-		v                 = make([]float64, n)
-		p                 = make([]float64, n)
-		phat              = make([]float64, n)
-		s                 = make([]float64, n)
-		shat              = make([]float64, n)
-		t                 = make([]float64, n)
-	)
-	maxIter := opt.maxIter(4*n + 40)
-	for it := 0; it < maxIter; it++ {
-		rhoNew := Dot(rhat, r)
-		if math.Abs(rhoNew) < 1e-300 {
-			// Breakdown: restart with the current residual.
-			copy(rhat, r)
-			rhoNew = Dot(rhat, r)
-			if math.Abs(rhoNew) < 1e-300 {
-				return x, ErrNoConvergence
-			}
-			Fill(p, 0)
-			rho, alpha, omega = 1, 1, 1
-		}
-		beta := (rhoNew / rho) * (alpha / omega)
-		rho = rhoNew
-		for i := range p {
-			p[i] = r[i] + beta*(p[i]-omega*v[i])
-		}
-		prec(phat, p)
-		a.MulVec(v, phat)
-		den := Dot(rhat, v)
-		if den == 0 {
-			return x, ErrNoConvergence
-		}
-		alpha = rho / den
-		for i := range s {
-			s[i] = r[i] - alpha*v[i]
-		}
-		if Norm2(s)/bnorm <= tol {
-			AXPY(alpha, phat, x)
-			return x, nil
-		}
-		prec(shat, s)
-		a.MulVec(t, shat)
-		tt := Dot(t, t)
-		if tt == 0 {
-			return x, ErrNoConvergence
-		}
-		omega = Dot(t, s) / tt
-		for i := range x {
-			x[i] += alpha*phat[i] + omega*shat[i]
-		}
-		for i := range r {
-			r[i] = s[i] - omega*t[i]
-		}
-		res := Norm2(r) / bnorm
-		if res <= tol {
-			return x, nil
-		}
-		if omega == 0 || math.IsNaN(res) || math.IsInf(res, 0) {
-			return x, ErrNoConvergence
-		}
-	}
-	return x, ErrNoConvergence
+	err := ws.Solve(x, b, opt.X0)
+	return x, err
 }
 
 // CG solves A·x = b for a symmetric positive-definite matrix using the

@@ -1,0 +1,285 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testGridSystem builds a small non-symmetric grid system with the same
+// structure the cavity model produces: a diffusive 5-point stencil plus
+// an upwind advective pull, diagonally dominant.
+func testGridSystem(n int) (*Sparse, []float64) {
+	b := NewBuilder(n * n)
+	idx := func(i, j int) int { return j*n + i }
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			k := idx(i, j)
+			b.Add(k, k, 4.8)
+			if i > 0 {
+				b.Add(k, idx(i-1, j), -1.8)
+			}
+			if i < n-1 {
+				b.Add(k, idx(i+1, j), -1)
+			}
+			if j > 0 {
+				b.Add(k, idx(i, j-1), -1)
+			}
+			if j < n-1 {
+				b.Add(k, idx(i, j+1), -1)
+			}
+		}
+	}
+	a := b.Build()
+	rhs := make([]float64, n*n)
+	for i := range rhs {
+		rhs[i] = float64(i%13) - 6
+	}
+	return a, rhs
+}
+
+func denseReference(t *testing.T, a *Sparse, b []float64) []float64 {
+	t.Helper()
+	lu, err := NewDenseLU(a.Dense())
+	if err != nil {
+		t.Fatalf("dense LU: %v", err)
+	}
+	x, err := lu.Solve(b)
+	if err != nil {
+		t.Fatalf("dense solve: %v", err)
+	}
+	return x
+}
+
+func TestBackendsRegistered(t *testing.T) {
+	got := Backends()
+	for _, want := range []string{BackendBiCGSTAB, BackendDirect, BackendGMRES} {
+		found := false
+		for _, name := range got {
+			if name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("backend %q not registered (have %v)", want, got)
+		}
+	}
+	if !KnownBackend("") || !KnownBackend(BackendDirect) || KnownBackend("nope") {
+		t.Error("KnownBackend misclassifies names")
+	}
+	if _, err := NewSolver("nope", SolverOptions{}); err == nil {
+		t.Error("NewSolver accepted an unknown backend")
+	}
+	s, err := NewSolver("", SolverOptions{})
+	if err != nil {
+		t.Fatalf("NewSolver default: %v", err)
+	}
+	if s.Name() != DefaultBackend {
+		t.Errorf("default backend = %q, want %q", s.Name(), DefaultBackend)
+	}
+}
+
+func TestSolverBackendsMatchDenseLU(t *testing.T) {
+	a, rhs := testGridSystem(12)
+	want := denseReference(t, a, rhs)
+	for _, name := range Backends() {
+		s, err := NewSolver(name, SolverOptions{Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := s.Prepare(a)
+		if err != nil {
+			t.Fatalf("%s: Prepare: %v", name, err)
+		}
+		x := make([]float64, a.N())
+		if err := ws.Solve(x, rhs, nil); err != nil {
+			t.Fatalf("%s: Solve: %v", name, err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-8 {
+				t.Fatalf("%s: x[%d] = %g, want %g", name, i, x[i], want[i])
+			}
+		}
+		st := ws.Stats()
+		if st.Backend != name || st.Solves != 1 || st.Factorizations != 1 {
+			t.Errorf("%s: unexpected stats %+v", name, st)
+		}
+	}
+}
+
+func TestSparseLUMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 60
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 6+rng.Float64())
+		for k := 0; k < 4; k++ {
+			j := rng.Intn(n)
+			if j != i {
+				b.Add(i, j, -rng.Float64())
+			}
+		}
+	}
+	a := b.Build()
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	want := denseReference(t, a, rhs)
+	for _, perm := range [][]int{nil, RCM(a)} {
+		f, err := NewSparseLU(a, perm)
+		if err != nil {
+			t.Fatalf("perm=%v: %v", perm != nil, err)
+		}
+		x := make([]float64, n)
+		f.Solve(x, rhs)
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-9 {
+				t.Fatalf("perm=%v: x[%d] = %g, want %g", perm != nil, i, x[i], want[i])
+			}
+		}
+		if f.NNZ() < a.NNZ() {
+			t.Errorf("factor nnz %d < matrix nnz %d", f.NNZ(), a.NNZ())
+		}
+	}
+}
+
+func TestSparseLUSingular(t *testing.T) {
+	// Second row is a scalar multiple of the first: elimination hits an
+	// exactly zero pivot.
+	b := NewBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(0, 1, 2)
+	b.Add(1, 0, 2)
+	b.Add(1, 1, 4)
+	if _, err := NewSparseLU(b.Build(), nil); !errors.Is(err, ErrSingular) {
+		t.Fatalf("singular matrix: err = %v, want ErrSingular", err)
+	}
+	// A structurally missing diagonal is also rejected.
+	b2 := NewBuilder(2)
+	b2.Add(0, 1, 1)
+	b2.Add(1, 0, 1)
+	if _, err := NewSparseLU(b2.Build(), nil); !errors.Is(err, ErrSingular) {
+		t.Fatalf("missing diagonal: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestWarmStartEarlyExit(t *testing.T) {
+	a, rhs := testGridSystem(10)
+	for _, name := range Backends() {
+		s, err := NewSolver(name, SolverOptions{Tol: 1e-10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := s.Prepare(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, a.N())
+		if err := ws.Solve(x, rhs, nil); err != nil {
+			t.Fatalf("%s: cold solve: %v", name, err)
+		}
+		y := make([]float64, a.N())
+		if err := ws.Solve(y, rhs, x); err != nil {
+			t.Fatalf("%s: warm solve: %v", name, err)
+		}
+		st := ws.Stats()
+		if st.EarlyExits != 1 {
+			t.Errorf("%s: EarlyExits = %d, want 1 (stats %+v)", name, st.EarlyExits, st)
+		}
+		if st.Solves != 2 {
+			t.Errorf("%s: Solves = %d, want 2", name, st.Solves)
+		}
+	}
+}
+
+func TestWorkspaceSolveDoesNotAllocate(t *testing.T) {
+	a, rhs := testGridSystem(10)
+	for _, name := range Backends() {
+		s, err := NewSolver(name, SolverOptions{Tol: 1e-10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := s.Prepare(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, a.N())
+		if err := ws.Solve(x, rhs, nil); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Cold re-solves (x0 nil) and warm re-solves must both be
+		// allocation-free.
+		cold := testing.AllocsPerRun(10, func() {
+			if err := ws.Solve(x, rhs, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if cold != 0 {
+			t.Errorf("%s: cold Solve allocates %.0f objects/op", name, cold)
+		}
+		warm := testing.AllocsPerRun(10, func() {
+			if err := ws.Solve(x, rhs, x); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if warm != 0 {
+			t.Errorf("%s: warm Solve allocates %.0f objects/op", name, warm)
+		}
+	}
+}
+
+func TestILUFallbackRecorded(t *testing.T) {
+	// Row 0 has no stored diagonal, so ILU(0) construction fails and the
+	// iterative backends must fall back to Jacobi scaling — recording
+	// the reason instead of discarding it.
+	b := NewBuilder(2)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	b.Add(1, 1, 0.5)
+	a := b.Build()
+	rhs := []float64{2, 3.5}
+	want := denseReference(t, a, rhs)
+	for _, name := range []string{BackendBiCGSTAB, BackendGMRES} {
+		s, err := NewSolver(name, SolverOptions{Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := s.Prepare(a)
+		if err != nil {
+			t.Fatalf("%s: Prepare: %v", name, err)
+		}
+		if ws.Stats().FallbackReason == "" {
+			t.Errorf("%s: ILU failure not recorded in stats", name)
+		}
+		x := make([]float64, 2)
+		if err := ws.Solve(x, rhs, nil); err != nil {
+			t.Fatalf("%s: Solve with Jacobi fallback: %v", name, err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-8 {
+				t.Fatalf("%s: x = %v, want %v", name, x, want)
+			}
+		}
+	}
+	// The direct backend needs no fallback: the RCM reordering plus LU
+	// fill handle the missing diagonal outright.
+	s, err := NewSolver(BackendDirect, SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := s.Prepare(a)
+	if err != nil {
+		t.Fatalf("direct Prepare: %v", err)
+	}
+	x := make([]float64, 2)
+	if err := ws.Solve(x, rhs, nil); err != nil {
+		t.Fatalf("direct Solve: %v", err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-8 {
+			t.Fatalf("direct: x = %v, want %v", x, want)
+		}
+	}
+}

@@ -2,6 +2,7 @@
 // (internal/jobs) as an HTTP/JSON simulation service:
 //
 //	GET  /healthz            liveness + pool/cache/job counters
+//	GET  /v1/stats           service counters + per-backend solver metrics
 //	POST /v1/simulate        run one co-simulation scenario
 //	POST /v1/dse             run a §II-C cavity design-space exploration
 //	POST /v1/studies         run the paper's Fig. 6/7 policy study
@@ -23,11 +24,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/dse"
 	"repro/internal/exp"
 	"repro/internal/jobs"
+	"repro/internal/mat"
 	"repro/internal/sim"
 	"repro/internal/tsv"
 	"repro/internal/units"
@@ -41,34 +44,67 @@ type Options struct {
 	CacheEntries int
 	// QueueDepth bounds the async job backlog (<= 0: 1024).
 	QueueDepth int
+	// DefaultSolver is applied to simulate requests that do not name a
+	// solver backend ("" keeps the library default; see mat.Backends).
+	DefaultSolver string
 }
 
 // Server is the simulation service. Construct with New, mount Handler,
 // and Close when done.
 type Server struct {
-	pool    *jobs.Pool
-	cache   *jobs.Cache
-	mgr     *jobs.Manager
-	mux     *http.ServeMux
-	started time.Time
+	pool          *jobs.Pool
+	cache         *jobs.Cache
+	mgr           *jobs.Manager
+	mux           *http.ServeMux
+	started       time.Time
+	defaultSolver string
+
+	// Solver-metrics surface: per-backend aggregates of every scenario
+	// freshly computed through the result cache (cache hits re-serve a
+	// recorded result and are not double counted).
+	solverMu  sync.Mutex
+	solver    map[string]mat.SolveStats
+	scenarios int
 }
 
 // New builds the service and its routes.
 func New(opt Options) *Server {
 	s := &Server{
-		pool:    jobs.NewPool(opt.Workers),
-		cache:   jobs.NewCache(opt.CacheEntries),
-		mgr:     jobs.NewManager(opt.Workers, opt.QueueDepth),
-		mux:     http.NewServeMux(),
-		started: time.Now(),
+		pool:          jobs.NewPool(opt.Workers),
+		cache:         jobs.NewCache(opt.CacheEntries),
+		mgr:           jobs.NewManager(opt.Workers, opt.QueueDepth),
+		mux:           http.NewServeMux(),
+		started:       time.Now(),
+		defaultSolver: opt.DefaultSolver,
+		solver:        map[string]mat.SolveStats{},
 	}
+	s.cache.SetComputeHook(func(_ string, val any) {
+		if m, ok := val.(*sim.Metrics); ok {
+			s.recordSolver(m)
+		}
+	})
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/dse", s.handleDSE)
 	s.mux.HandleFunc("POST /v1/studies", s.handleStudies)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	return s
+}
+
+// recordSolver folds one freshly computed scenario's solver counters
+// into the per-backend aggregates.
+func (s *Server) recordSolver(m *sim.Metrics) {
+	if m == nil || m.Solver.Backend == "" {
+		return
+	}
+	s.solverMu.Lock()
+	agg := s.solver[m.Solver.Backend]
+	agg.Accumulate(m.Solver)
+	s.solver[m.Solver.Backend] = agg
+	s.scenarios++
+	s.solverMu.Unlock()
 }
 
 // Handler returns the route multiplexer.
@@ -156,6 +192,55 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// StatsResponse is the body of /v1/stats: service counters plus the
+// per-backend linear-solver metrics aggregated over every scenario the
+// service has computed.
+type StatsResponse struct {
+	UptimeS      float64 `json:"uptime_s"`
+	Workers      int     `json:"workers"`
+	CacheEntries int     `json:"cache_entries"`
+	// CacheStats reports hit/miss counters; hits re-serve an already
+	// recorded solve, so they do not grow the solver aggregates.
+	CacheStats jobs.CacheStats `json:"cache_stats"`
+	Jobs       int             `json:"jobs"`
+	// ScenariosComputed counts fresh (non-cached) scenario solves.
+	ScenariosComputed int `json:"scenarios_computed"`
+	// Solver maps backend name → aggregated work counters, including
+	// any preconditioner fallback reason (e.g. an ILU construction
+	// failure downgraded to Jacobi).
+	Solver map[string]mat.SolveStats `json:"solver"`
+	// Backends lists the registered solver backends accepted by the
+	// "solver" field of /v1/simulate requests.
+	Backends []string `json:"backends"`
+	// DefaultSolver is applied to requests that omit "solver".
+	DefaultSolver string `json:"default_solver"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.solverMu.Lock()
+	solver := make(map[string]mat.SolveStats, len(s.solver))
+	for k, v := range s.solver {
+		solver[k] = v
+	}
+	scenarios := s.scenarios
+	s.solverMu.Unlock()
+	def := s.defaultSolver
+	if def == "" {
+		def = mat.DefaultBackend
+	}
+	writeJSON(w, http.StatusOK, &StatsResponse{
+		UptimeS:           time.Since(s.started).Seconds(),
+		Workers:           s.pool.Workers(),
+		CacheEntries:      s.cache.Len(),
+		CacheStats:        s.cache.Stats(),
+		Jobs:              s.mgr.Count(),
+		ScenariosComputed: scenarios,
+		Solver:            solver,
+		Backends:          mat.Backends(),
+		DefaultSolver:     def,
+	})
+}
+
 // SimulateResponse is the body of a synchronous /v1/simulate call.
 type SimulateResponse struct {
 	// Key is the scenario's content address in the result cache.
@@ -171,6 +256,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if err := decodeBody(r, &sc); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	if sc.Solver == "" {
+		sc.Solver = s.defaultSolver
 	}
 	sc = sc.Normalized()
 	if err := sc.Validate(); err != nil {
@@ -326,6 +414,9 @@ type StudyRequest struct {
 	Steps int   `json:"steps,omitempty"`
 	Grid  int   `json:"grid,omitempty"`
 	Seed  int64 `json:"seed,omitempty"`
+	// Solver selects the linear-solver backend for every scenario of
+	// the study ("" = the server's default backend).
+	Solver string `json:"solver,omitempty"`
 	// Savings additionally runs the per-workload §IV-A savings study.
 	Savings bool `json:"savings,omitempty"`
 }
@@ -345,7 +436,15 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	opt := exp.Options{Steps: req.Steps, Grid: req.Grid, Seed: req.Seed}
+	if req.Solver == "" {
+		req.Solver = s.defaultSolver
+	}
+	if !mat.KnownBackend(req.Solver) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown solver backend %q (want one of %v)", req.Solver, mat.Backends()))
+		return
+	}
+	opt := exp.Options{Steps: req.Steps, Grid: req.Grid, Seed: req.Seed, Solver: req.Solver}
 	s.dispatch(w, r, "study", func(ctx context.Context) (any, error) {
 		results, err := exp.RunStudyOn(ctx, s.pool, s.cache, opt)
 		if err != nil {

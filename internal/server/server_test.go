@@ -95,6 +95,77 @@ func TestSimulateEndToEndWithCacheHit(t *testing.T) {
 	}
 }
 
+// TestStatsSolverMetrics exercises the /v1/stats surface: fresh solves
+// grow the per-backend aggregates, cache hits do not, and the request
+// "solver" field routes work to the named backend.
+func TestStatsSolverMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	getStats := func() StatsResponse {
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return decode[StatsResponse](t, resp, http.StatusOK)
+	}
+	if st := getStats(); st.ScenariosComputed != 0 || len(st.Backends) < 3 {
+		t.Fatalf("fresh server stats = %+v", st)
+	}
+
+	post := func(body []byte) SimulateResponse {
+		resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return decode[SimulateResponse](t, resp, http.StatusOK)
+	}
+	mk := func(solver string) []byte {
+		b, err := json.Marshal(jobs.Scenario{
+			Tiers: 2, Cooling: "air", Policy: "LB", Workload: "web",
+			Steps: 2, Grid: 8, Seed: 1, Solver: solver,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	first := post(mk(""))
+	if first.Request.Solver != "bicgstab" {
+		t.Fatalf("normalized request solver = %q", first.Request.Solver)
+	}
+	st := getStats()
+	if st.ScenariosComputed != 1 {
+		t.Fatalf("after one solve: ScenariosComputed = %d", st.ScenariosComputed)
+	}
+	if agg, ok := st.Solver["bicgstab"]; !ok || agg.Solves == 0 {
+		t.Fatalf("bicgstab aggregate missing or empty: %+v", st.Solver)
+	}
+
+	// A cache hit must not grow the aggregates.
+	if resp := post(mk("")); !resp.Cached {
+		t.Fatal("second identical request missed the cache")
+	}
+	if st := getStats(); st.ScenariosComputed != 1 {
+		t.Fatalf("cache hit grew ScenariosComputed to %d", st.ScenariosComputed)
+	}
+
+	// A direct-backend request is a distinct cache entry and records
+	// under its own backend, with factor-once visible in the counters.
+	dresp := post(mk("direct"))
+	if dresp.Cached || dresp.Key == first.Key {
+		t.Fatal("direct-backend request aliased the bicgstab cache entry")
+	}
+	st = getStats()
+	agg, ok := st.Solver["direct"]
+	if !ok || agg.Factorizations == 0 || agg.Solves == 0 {
+		t.Fatalf("direct aggregate missing or empty: %+v", st.Solver)
+	}
+	if agg.Iterations != 0 {
+		t.Fatalf("direct backend reported %d iterations", agg.Iterations)
+	}
+}
+
 func TestSimulateAsyncSubmitPollResult(t *testing.T) {
 	_, ts := newTestServer(t)
 

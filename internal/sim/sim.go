@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cooling"
 	"repro/internal/floorplan"
+	"repro/internal/mat"
 	"repro/internal/policy"
 	"repro/internal/power"
 	"repro/internal/thermal"
@@ -56,6 +57,11 @@ type Config struct {
 	SensorNoiseStdC float64
 	// SensorSeed makes the noise stream reproducible (default 1).
 	SensorSeed int64
+	// Solver selects the linear-solver backend for the thermal model
+	// ("" = default bicgstab; see mat.Backends). Results are
+	// backend-agnostic within solver tolerance; the choice only moves
+	// compute time between factorisation and iteration.
+	Solver string
 	// StuckSensor, when non-nil, injects a sensor failure.
 	StuckSensor *StuckSensor
 	// Record, when true, captures a per-sensing-step time series in
@@ -119,6 +125,9 @@ func (c *Config) fillDefaults() error {
 	if s := c.StuckSensor; s != nil && (s.Core < 0 || s.Core >= c.Stack.CoreCount()) {
 		return fmt.Errorf("sim: stuck sensor core %d out of range", s.Core)
 	}
+	if !mat.KnownBackend(c.Solver) {
+		return fmt.Errorf("sim: unknown solver backend %q (want one of %v)", c.Solver, mat.Backends())
+	}
 	threadsNeeded := 4 * c.Stack.CoreCount()
 	if c.Trace.Threads() < threadsNeeded {
 		return fmt.Errorf("sim: trace has %d threads, stack needs %d (4 per core)",
@@ -158,6 +167,10 @@ type Metrics struct {
 	Migrations int
 	// SimulatedS is the simulated wall-clock duration in seconds.
 	SimulatedS float64
+	// Solver reports the linear-solver backend used and its cumulative
+	// work counters (steady-state initialisation plus every transient
+	// step), including any preconditioner fallback reason.
+	Solver mat.SolveStats
 	// Series holds the per-sensing-step time series when Config.Record
 	// is set (nil otherwise).
 	Series []TimeSample
@@ -189,6 +202,7 @@ func Run(cfg Config) (*Metrics, error) {
 		Mode: cfg.Mode, Nx: cfg.Grid, Ny: cfg.Grid,
 		// Start at the Table-I maximum; the policy retunes it below.
 		FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+		Solver:        cfg.Solver,
 	})
 	if err != nil {
 		return nil, err
@@ -435,6 +449,8 @@ func Run(cfg Config) (*Metrics, error) {
 	m.SimulatedS = totalTime
 	m.TotalEnergyJ = m.ChipEnergyJ + m.PumpEnergyJ
 	m.Migrations = sched.s.Migrations()
+	m.Solver = sm.Model.SolverStats()
+	m.Solver.Accumulate(tr.SolverStats())
 	if totalTime > 0 {
 		m.MeanFlowFrac = flowIntegral / totalTime
 		maxFrac := 0.0

@@ -35,6 +35,13 @@ type DetailedChannelModel struct {
 	InletC float64
 	// NxSlices is the number of axial slices along the channel.
 	NxSlices int
+	// Solver optionally selects the linear-solver backend (see
+	// mat.Backends); empty uses the default. Set it on the returned
+	// struct before calling Solve. Because the geometry fields are
+	// mutable, Solve assembles and prepares (for "direct": factors) a
+	// fresh system on every call — the factor-once amortisation lives
+	// in Model/Transient, not here.
+	Solver string
 
 	// Node layout: for each axial slice i (0..NxSlices-1) and each lane
 	// j (0..2N: even = wall, odd = channel):
@@ -42,7 +49,15 @@ type DetailedChannelModel struct {
 	//   cavity node: idx(1, i, j)  (fluid for odd j, wall solid for even)
 	//   plate  node: idx(2, i, j)
 	nLanes int
+
+	// lastStats records the most recent Solve's solver counters —
+	// including any preconditioner fallback reason, which used to be
+	// silently discarded.
+	lastStats mat.SolveStats
 }
+
+// SolverStats returns the solver counters of the most recent Solve.
+func (d *DetailedChannelModel) SolverStats() mat.SolveStats { return d.lastStats }
 
 // NewDetailedChannelModel validates and returns the model.
 func NewDetailedChannelModel(arr microchannel.Array, f fluids.Fluid, flow float64, inletC float64, nx int) (*DetailedChannelModel, error) {
@@ -172,8 +187,17 @@ func (d *DetailedChannelModel) Solve(flux float64) (dieT [][]float64, outletC fl
 	}
 
 	g := b.Build()
-	ilu, _ := mat.NewILU(g)
-	sol, err := mat.BiCGSTAB(g, rhs, mat.IterOptions{Tol: 1e-9, Precond: ilu, MaxIter: 40 * n})
+	solver, err := mat.NewSolver(d.Solver, mat.SolverOptions{Tol: 1e-9, MaxIter: 40 * n})
+	if err != nil {
+		return nil, 0, fmt.Errorf("thermal: detailed solve: %w", err)
+	}
+	ws, err := solver.Prepare(g)
+	if err != nil {
+		return nil, 0, fmt.Errorf("thermal: detailed solve: %w", err)
+	}
+	sol := make([]float64, n)
+	err = ws.Solve(sol, rhs, nil)
+	d.lastStats = ws.Stats()
 	if err != nil {
 		return nil, 0, fmt.Errorf("thermal: detailed solve: %w", err)
 	}

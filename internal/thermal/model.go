@@ -84,9 +84,21 @@ type Config struct {
 	Face *FaceBC
 	// AmbientC is the air ambient (°C) used by the sink path.
 	AmbientC float64
+	// Solver selects the linear-solver backend (see mat.Backends): ""
+	// or "bicgstab" for ILU(0)-preconditioned BiCGSTAB, "gmres" for
+	// RCM-ordered GMRES(30), "direct" for the sparse direct LU that
+	// factors once per assembly and back-substitutes per solve.
+	Solver string
+	// SolverTol overrides the relative residual tolerance of every
+	// solve (default 1e-9). Tighter tolerances shrink the cross-backend
+	// spread at the cost of extra iterations.
+	SolverTol float64
 }
 
-// Model is an assembled compact thermal model.
+// Model is an assembled compact thermal model. A Model is not safe for
+// concurrent use: the assembly cache, the solver workspace and the
+// steady-solve buffers are shared across calls (scenario fan-out builds
+// one model per scenario instead).
 type Model struct {
 	cfg    Config
 	nx, ny int
@@ -102,10 +114,20 @@ type Model struct {
 
 	// Cached assembly (rebuilt when a cavity flow rate changes).
 	g       *mat.Sparse
-	gILU    *mat.ILU
 	rhsBase []float64 // boundary-condition contribution to the RHS
 	cap     []float64 // per-node heat capacitance (J/K)
 	dirty   bool
+
+	// Linear-solver seam: the backend is fixed at construction, the
+	// steady-state workspace (preconditioner or factorisation of g plus
+	// every solve buffer) is prepared lazily and reused until the next
+	// reassembly. steadyStats accumulates the counters of superseded
+	// workspaces so flow changes don't lose solver history.
+	solver      mat.Solver
+	steadyWS    mat.Workspace
+	steadyStats mat.SolveStats
+	pvBuf       []float64 // reusable power-vector buffer
+	rhsBuf      []float64 // reusable right-hand-side buffer
 }
 
 // New validates the configuration and assembles the model.
@@ -179,8 +201,37 @@ func New(cfg Config) (*Model, error) {
 	if !grounded {
 		return nil, errors.New("thermal: model has no heat-removal path (no sink, face BC, or flowing cavity)")
 	}
+	tol := cfg.SolverTol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	solver, err := mat.NewSolver(cfg.Solver, mat.SolverOptions{Tol: tol, MaxIter: 20 * m.nTotal})
+	if err != nil {
+		return nil, fmt.Errorf("thermal: %w", err)
+	}
+	m.solver = solver
+	m.pvBuf = make([]float64, m.nTotal)
+	m.rhsBuf = make([]float64, m.nTotal)
 	m.assemble()
 	return m, nil
+}
+
+// SolverName returns the linear-solver backend this model was built
+// with.
+func (m *Model) SolverName() string { return m.solver.Name() }
+
+// SolverStats returns the cumulative steady-state solver counters,
+// including work done by workspaces superseded by reassemblies. The
+// transient stepper keeps its own counters (Transient.SolverStats).
+func (m *Model) SolverStats() mat.SolveStats {
+	s := m.steadyStats
+	if m.steadyWS != nil {
+		s.Accumulate(m.steadyWS.Stats())
+	}
+	if s.Backend == "" {
+		s.Backend = m.solver.Name()
+	}
+	return s
 }
 
 // NumLayers returns the layer count.
@@ -328,10 +379,32 @@ func (m *Model) assemble() {
 	}
 
 	m.g = b.Build()
-	m.gILU, _ = mat.NewILU(m.g) // nil on failure: Jacobi fallback
+	// The old workspace is bound to the superseded matrix: retire it,
+	// folding its counters into the accumulated stats, and let the next
+	// steady solve prepare a fresh one.
+	if m.steadyWS != nil {
+		m.steadyStats.Accumulate(m.steadyWS.Stats())
+		m.steadyWS = nil
+	}
 	m.rhsBase = rhs
 	m.cap = cp
 	m.dirty = false
+}
+
+// steadyWorkspace lazily prepares (and then reuses) the solver workspace
+// for the current conductance matrix.
+func (m *Model) steadyWorkspace() (mat.Workspace, error) {
+	if m.dirty {
+		m.assemble()
+	}
+	if m.steadyWS == nil {
+		ws, err := m.solver.Prepare(m.g)
+		if err != nil {
+			return nil, fmt.Errorf("thermal: preparing %s solver: %w", m.solver.Name(), err)
+		}
+		m.steadyWS = ws
+	}
+	return m.steadyWS, nil
 }
 
 // assembleCavity stamps one porous-averaged micro-channel cavity layer.
@@ -416,25 +489,29 @@ func (m *Model) Capacitances() []float64 {
 // corresponds to the k-th element of PowerLayers().
 type PowerMap [][]float64
 
-// powerVector expands a PowerMap into a full RHS contribution.
-func (m *Model) powerVector(p PowerMap) ([]float64, error) {
+// powerVectorInto expands a PowerMap into dst (a full RHS contribution)
+// without allocating — the transient stepper calls it every step. dst
+// must only ever be filled through this function: power-layer segments
+// are fully overwritten on every call and the remaining entries are
+// never touched, so they stay at their initial zero without a full
+// clear.
+func (m *Model) powerVectorInto(dst []float64, p PowerMap) error {
 	if len(p) != len(m.powerLayers) {
-		return nil, fmt.Errorf("thermal: power map has %d layers, model has %d", len(p), len(m.powerLayers))
+		return fmt.Errorf("thermal: power map has %d layers, model has %d", len(p), len(m.powerLayers))
 	}
-	v := make([]float64, m.nTotal)
 	for k, li := range m.powerLayers {
 		if len(p[k]) != m.nCells {
-			return nil, fmt.Errorf("thermal: power layer %d has %d cells, want %d", k, len(p[k]), m.nCells)
+			return fmt.Errorf("thermal: power layer %d has %d cells, want %d", k, len(p[k]), m.nCells)
 		}
 		base := li * m.nCells
 		for c, w := range p[k] {
 			if w < 0 {
-				return nil, fmt.Errorf("thermal: negative power %g at layer %d cell %d", w, k, c)
+				return fmt.Errorf("thermal: negative power %g at layer %d cell %d", w, k, c)
 			}
-			v[base+c] = w
+			dst[base+c] = w
 		}
 	}
-	return v, nil
+	return nil
 }
 
 // Field is a solved temperature state.
@@ -502,23 +579,31 @@ func (f *Field) OutletTemp(l int) float64 {
 }
 
 // SteadyState solves the steady temperature field for the given power
-// map. guess, when non-nil, warm-starts the iterative solver.
+// map through the model's solver backend. guess, when non-nil,
+// warm-starts the solve (iterative backends iterate from it; the direct
+// backend skips its triangular sweeps when the guess already meets the
+// tolerance). The model-level workspace — preconditioner or
+// factorisation plus the rhs buffer — is reused across calls, so sweeps
+// over power maps or warm-started design-point chains pay the
+// preparation cost once per assembly.
 func (m *Model) SteadyState(p PowerMap, guess *Field) (*Field, error) {
-	pv, err := m.powerVector(p)
+	if err := m.powerVectorInto(m.pvBuf, p); err != nil {
+		return nil, err
+	}
+	_, base := m.matrix()
+	ws, err := m.steadyWorkspace()
 	if err != nil {
 		return nil, err
 	}
-	g, base := m.matrix()
-	rhs := make([]float64, m.nTotal)
-	for i := range rhs {
-		rhs[i] = base[i] + pv[i]
+	for i := range m.rhsBuf {
+		m.rhsBuf[i] = base[i] + m.pvBuf[i]
 	}
-	opt := mat.IterOptions{Tol: 1e-9, MaxIter: 20 * m.nTotal, Precond: m.gILU}
+	var x0 []float64
 	if guess != nil && len(guess.T) == m.nTotal {
-		opt.X0 = guess.T
+		x0 = guess.T
 	}
-	t, err := mat.BiCGSTAB(g, rhs, opt)
-	if err != nil {
+	t := make([]float64, m.nTotal)
+	if err := ws.Solve(t, m.rhsBuf, x0); err != nil {
 		return nil, fmt.Errorf("thermal: steady solve: %w", err)
 	}
 	return &Field{m: m, T: t}, nil

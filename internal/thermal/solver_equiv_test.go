@@ -1,0 +1,190 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/fluids"
+	"repro/internal/mat"
+	"repro/internal/microchannel"
+	"repro/internal/units"
+)
+
+// buildBackendStack assembles a 2-tier Niagara stack at reduced grid
+// with a tight solver tolerance, so cross-backend spreads stay at the
+// 1e-6 °C level even over long transients.
+func buildBackendStack(t *testing.T, mode CoolingMode, backend string) *StackModel {
+	t.Helper()
+	sm, err := BuildStack(floorplan.Niagara2Tier(), StackOptions{
+		Mode: mode, Nx: 8, Ny: 8,
+		FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+		Solver:        backend,
+		SolverTol:     1e-12,
+	})
+	if err != nil {
+		t.Fatalf("%s/%s: %v", mode, backend, err)
+	}
+	return sm
+}
+
+// uniformStackPower spreads watts evenly over every power layer.
+func uniformStackPower(m *Model, watts float64) PowerMap {
+	nx, ny := m.Grid()
+	per := watts / float64(nx*ny)
+	pm := make(PowerMap, len(m.PowerLayers()))
+	for k := range pm {
+		cells := make([]float64, nx*ny)
+		for c := range cells {
+			cells[c] = per
+		}
+		pm[k] = cells
+	}
+	return pm
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// TestSolverBackendsEquivalent is the cross-backend acceptance test:
+// direct, BiCGSTAB and GMRES must agree within 1e-6 °C on the steady
+// state and on a 50-step transient — in both air and liquid modes, with
+// a power step and (for liquid) a flow change mid-run to force
+// refactorisation.
+func TestSolverBackendsEquivalent(t *testing.T) {
+	for _, mode := range []CoolingMode{AirCooled, LiquidCooled} {
+		var refSteady, refFinal []float64
+		for _, backend := range []string{mat.BackendBiCGSTAB, mat.BackendGMRES, mat.BackendDirect} {
+			sm := buildBackendStack(t, mode, backend)
+			pmLow := uniformStackPower(sm.Model, 30)
+			pmHigh := uniformStackPower(sm.Model, 60)
+
+			steady, err := sm.Model.SteadyState(pmLow, nil)
+			if err != nil {
+				t.Fatalf("%s/%s: steady: %v", mode, backend, err)
+			}
+			tr, err := sm.Model.NewTransientFrom(0.1, steady)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < 50; step++ {
+				pm := pmLow
+				if step >= 10 {
+					pm = pmHigh // power step at 1 s
+				}
+				if step == 30 && mode == LiquidCooled {
+					// Flow change invalidates the LHS: the next Step
+					// must rebuild and (direct) refactor.
+					if err := sm.SetFlowPerCavity(units.MlPerMinToM3PerS(15)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := tr.Step(pm); err != nil {
+					t.Fatalf("%s/%s: step %d: %v", mode, backend, step, err)
+				}
+			}
+			final := tr.Field()
+
+			if refSteady == nil {
+				refSteady, refFinal = steady.T, final.T
+				continue
+			}
+			if d := maxAbsDiff(steady.T, refSteady); d > 1e-6 {
+				t.Errorf("%s/%s: steady field differs from bicgstab by %g K", mode, backend, d)
+			}
+			if d := maxAbsDiff(final.T, refFinal); d > 1e-6 {
+				t.Errorf("%s/%s: 50-step transient differs from bicgstab by %g K", mode, backend, d)
+			}
+			st := tr.SolverStats()
+			if st.Backend != backend || st.Solves != 50 {
+				t.Errorf("%s/%s: transient stats %+v, want backend %q with 50 solves", mode, backend, st, backend)
+			}
+			if backend == mat.BackendDirect {
+				if st.Iterations != 0 {
+					t.Errorf("direct transient reported %d iterations", st.Iterations)
+				}
+				wantFactors := 1
+				if mode == LiquidCooled {
+					wantFactors = 2 // initial LHS + post-flow-change LHS
+				}
+				if st.Factorizations != wantFactors {
+					t.Errorf("%s/direct: %d factorizations, want %d", mode, st.Factorizations, wantFactors)
+				}
+			}
+		}
+	}
+}
+
+// TestDetailedModelSolverBackends exercises the DetailedChannelModel
+// solver seam: backend selection via the Solver field, cross-backend
+// agreement, and the recorded per-solve stats.
+func TestDetailedModelSolverBackends(t *testing.T) {
+	arr, err := microchannel.NewArray(
+		microchannel.Channel{W: 50e-6, H: 100e-6, L: 2e-3}, 100e-6, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref float64
+	for _, backend := range []string{mat.BackendBiCGSTAB, mat.BackendDirect} {
+		d, err := NewDetailedChannelModel(arr, fluids.Water(), 1e-7, 27, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Solver = backend
+		dieT, _, err := d.Solve(5e4)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		st := d.SolverStats()
+		if st.Backend != backend || st.Solves != 1 || st.Factorizations != 1 {
+			t.Errorf("%s: stats %+v", backend, st)
+		}
+		if backend == mat.BackendDirect && st.Iterations != 0 {
+			t.Errorf("direct reported %d iterations", st.Iterations)
+		}
+		peak := MaxDieTemp(dieT)
+		if ref == 0 {
+			ref = peak
+			continue
+		}
+		if d := math.Abs(peak - ref); d > 1e-6 {
+			t.Errorf("%s: peak die temp differs from bicgstab by %g K", backend, d)
+		}
+	}
+}
+
+// TestTransientStepZeroAllocs guards the hot path: with the LHS
+// unchanged, Transient.Step must not allocate — for any backend.
+func TestTransientStepZeroAllocs(t *testing.T) {
+	for _, backend := range []string{mat.BackendBiCGSTAB, mat.BackendGMRES, mat.BackendDirect} {
+		sm := buildBackendStack(t, LiquidCooled, backend)
+		pm := uniformStackPower(sm.Model, 60)
+		steady, err := sm.Model.SteadyState(pm, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := sm.Model.NewTransientFrom(0.1, steady)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm up: first Step builds the LHS and prepares the workspace.
+		if err := tr.Step(pm); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if err := tr.Step(pm); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Transient.Step allocates %.1f objects/op on the steady path, want 0", backend, allocs)
+		}
+	}
+}

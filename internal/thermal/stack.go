@@ -49,6 +49,12 @@ type StackOptions struct {
 	// TSVDensity is the copper TSV area density enhancing the vertical
 	// conductivity of inter-tier material (0 disables).
 	TSVDensity float64
+	// Solver selects the linear-solver backend (see mat.Backends);
+	// empty uses the default (ILU-preconditioned BiCGSTAB).
+	Solver string
+	// SolverTol overrides the solver's relative residual tolerance
+	// (0 = default 1e-9).
+	SolverTol float64
 }
 
 func (o *StackOptions) fillDefaults() {
@@ -157,8 +163,10 @@ func BuildStack(st *floorplan.Stack, opt StackOptions) (*StackModel, error) {
 	cfg := Config{
 		Nx: opt.Nx, Ny: opt.Ny,
 		W: w, H: h,
-		Layers:   layers,
-		AmbientC: opt.AmbientC,
+		Layers:    layers,
+		AmbientC:  opt.AmbientC,
+		Solver:    opt.Solver,
+		SolverTol: opt.SolverTol,
 	}
 	if opt.Mode == AirCooled {
 		cfg.Sink = opt.Sink

@@ -3,6 +3,7 @@ package thermal
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"repro/internal/mat"
 )
@@ -10,6 +11,15 @@ import (
 // Transient steps a model forward in time with the backward Euler scheme
 // (unconditionally stable — the solver the management loop runs at every
 // sensing interval).
+//
+// The stepper owns every buffer the per-step solve needs: while the
+// model's flow rates are unchanged, Step performs no allocations at all
+// (the left-hand side (C/dt + G), its prepared solver workspace and the
+// rhs/solution/power vectors are reused), so the 10-steps-per-policy-
+// interval hot loop of every scenario runs garbage-free. When a flow
+// change invalidates the matrix, the next Step rebuilds the LHS and
+// re-prepares the backend — for the direct backend that is the single
+// factorisation the following steps amortise.
 type Transient struct {
 	m  *Model
 	dt float64
@@ -17,13 +27,27 @@ type Transient struct {
 	// Current temperature state (°C).
 	t []float64
 
-	// Cached left-hand side (C/dt + G) and its ILU(0) preconditioner;
+	// Reusable per-step buffers: candidate solution (swapped with t),
+	// right-hand side, expanded power vector and C/dt diagonal.
+	sol, rhs, pv, capDt []float64
+
+	// lastRhs memoizes the right-hand side of the last accepted solve:
+	// when the LHS is unchanged and the freshly assembled rhs is
+	// bit-identical (the fixed-point regime between power and flow
+	// changes), the current state already solves the system and the
+	// step is a no-op. lastRhsOK gates the comparison.
+	lastRhs   []float64
+	lastRhsOK bool
+
+	// Cached left-hand side (C/dt + G) and its prepared workspace;
 	// rebuilt when the model's flow rates change.
 	lhs     *mat.Sparse
-	ilu     *mat.ILU
+	ws      mat.Workspace
 	rhsBase []float64
-	capDt   []float64
 	dirtyAt *mat.Sparse // matrix identity marker for cache invalidation
+
+	// stats accumulates counters of superseded workspaces.
+	stats mat.SolveStats
 }
 
 // NewTransient creates a transient run starting from a uniform initial
@@ -32,7 +56,7 @@ func (m *Model) NewTransient(dt float64, initC float64) (*Transient, error) {
 	if dt <= 0 {
 		return nil, errors.New("thermal: non-positive time step")
 	}
-	tr := &Transient{m: m, dt: dt, t: make([]float64, m.nTotal)}
+	tr := newTransient(m, dt)
 	for i := range tr.t {
 		tr.t[i] = initC
 	}
@@ -49,47 +73,96 @@ func (m *Model) NewTransientFrom(dt float64, f *Field) (*Transient, error) {
 	if len(f.T) != m.nTotal {
 		return nil, errors.New("thermal: field does not match model")
 	}
-	return &Transient{m: m, dt: dt, t: append([]float64(nil), f.T...)}, nil
+	tr := newTransient(m, dt)
+	copy(tr.t, f.T)
+	return tr, nil
+}
+
+func newTransient(m *Model, dt float64) *Transient {
+	return &Transient{
+		m: m, dt: dt,
+		t:       make([]float64, m.nTotal),
+		sol:     make([]float64, m.nTotal),
+		rhs:     make([]float64, m.nTotal),
+		pv:      make([]float64, m.nTotal),
+		lastRhs: make([]float64, m.nTotal),
+	}
 }
 
 // Dt returns the step size in seconds.
 func (tr *Transient) Dt() float64 { return tr.dt }
 
-// refresh rebuilds the cached LHS if the conductance matrix changed.
-func (tr *Transient) refresh() {
+// refresh rebuilds the cached LHS and its solver workspace if the
+// conductance matrix changed.
+func (tr *Transient) refresh() error {
 	g, base := tr.m.matrix()
-	if tr.dirtyAt == g && tr.lhs != nil {
-		return
+	if tr.dirtyAt == g && tr.ws != nil {
+		return nil
 	}
 	cp := tr.m.Capacitances()
-	tr.capDt = make([]float64, len(cp))
+	if tr.capDt == nil {
+		tr.capDt = make([]float64, len(cp))
+	}
 	for i, c := range cp {
 		tr.capDt[i] = c / tr.dt
 	}
 	tr.lhs = g.AddDiagonal(tr.capDt)
-	tr.ilu, _ = mat.NewILU(tr.lhs) // nil on failure: Jacobi preconditioning
-
+	if tr.ws != nil {
+		tr.stats.Accumulate(tr.ws.Stats())
+		tr.ws = nil
+	}
+	ws, err := tr.m.solver.Prepare(tr.lhs)
+	if err != nil {
+		return fmt.Errorf("thermal: preparing %s transient solver: %w", tr.m.solver.Name(), err)
+	}
+	tr.ws = ws
 	tr.rhsBase = base
 	tr.dirtyAt = g
+	tr.lastRhsOK = false
+	return nil
 }
 
-// Step advances the state by one dt under the given power map.
+// Step advances the state by one dt under the given power map. On the
+// steady path — flow rates unchanged since the previous step — it
+// allocates nothing.
 func (tr *Transient) Step(p PowerMap) error {
-	pv, err := tr.m.powerVector(p)
-	if err != nil {
+	if err := tr.m.powerVectorInto(tr.pv, p); err != nil {
 		return err
 	}
-	tr.refresh()
-	rhs := make([]float64, tr.m.nTotal)
-	for i := range rhs {
-		rhs[i] = tr.rhsBase[i] + pv[i] + tr.capDt[i]*tr.t[i]
+	if err := tr.refresh(); err != nil {
+		return err
 	}
-	sol, err := mat.BiCGSTAB(tr.lhs, rhs, mat.IterOptions{Tol: 1e-9, X0: tr.t, Precond: tr.ilu})
-	if err != nil {
+	for i := range tr.rhs {
+		tr.rhs[i] = tr.rhsBase[i] + tr.pv[i] + tr.capDt[i]*tr.t[i]
+	}
+	if tr.lastRhsOK && slices.Equal(tr.rhs, tr.lastRhs) {
+		// Identical system to the last accepted solve: the state is the
+		// fixed point already. Record the no-op as an early exit so the
+		// solves-per-step invariant holds for observers.
+		tr.stats.Solves++
+		tr.stats.EarlyExits++
+		return nil
+	}
+	if err := tr.ws.Solve(tr.sol, tr.rhs, tr.t); err != nil {
 		return fmt.Errorf("thermal: transient step: %w", err)
 	}
-	tr.t = sol
+	tr.t, tr.sol = tr.sol, tr.t
+	tr.lastRhs, tr.rhs = tr.rhs, tr.lastRhs
+	tr.lastRhsOK = true
 	return nil
+}
+
+// SolverStats returns the cumulative transient solver counters,
+// including workspaces superseded by flow changes.
+func (tr *Transient) SolverStats() mat.SolveStats {
+	s := tr.stats
+	if tr.ws != nil {
+		s.Accumulate(tr.ws.Stats())
+	}
+	if s.Backend == "" {
+		s.Backend = tr.m.solver.Name()
+	}
+	return s
 }
 
 // Field returns the current state (a snapshot copy).

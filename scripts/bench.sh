@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# bench.sh — run the solver/scenario benchmark suite and emit a
+# machine-readable snapshot (default BENCH_PR2.json) so the performance
+# trajectory of the repo is tracked in-tree.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#   BENCHTIME=2s scripts/bench.sh       # longer sampling
+#   BENCH='TransientStep' scripts/bench.sh  # subset
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR2.json}"
+benchtime="${BENCHTIME:-1s}"
+pattern="${BENCH:-TransientStep|CompactSteady|SteadyDirect|SolverBiCGSTAB|SolverGMRES|SolverGMRESWithRCMILU|PoolStudySweep|CacheHit}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count 1 . | tee "$tmp"
+
+awk -v benchtime="$benchtime" '
+BEGIN { n = 0 }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    line = sprintf("  {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", name, $2, $3)
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "B/op")      line = line sprintf(",\"bytes_per_op\":%s", $i)
+        if ($(i+1) == "allocs/op") line = line sprintf(",\"allocs_per_op\":%s", $i)
+    }
+    lines[n++] = line "}"
+}
+END {
+    printf("{\n  \"goos\":\"%s\",\"goarch\":\"%s\",\"cpu\":\"%s\",\"benchtime\":\"%s\",\n", goos, goarch, cpu, benchtime)
+    printf("  \"benchmarks\":[\n")
+    for (i = 0; i < n; i++) printf("  %s%s\n", lines[i], i < n-1 ? "," : "")
+    printf("  ]\n}\n")
+}' "$tmp" > "$out"
+
+echo "wrote $out"
