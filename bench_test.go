@@ -16,6 +16,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/mat"
 	"repro/internal/power"
+	"repro/internal/sweep"
 	"repro/internal/thermal"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -121,6 +122,56 @@ func BenchmarkCacheHit(b *testing.B) {
 		}
 		if !hit || m == nil {
 			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+// --- Batched sweep engine (internal/sweep) ---
+
+// sweepBenchCase is the 50-point flow × utilization steady sweep of the
+// acceptance criteria: 10 utilizations × 5 flows on the fixed 2-tier
+// liquid stack with the factor-once direct backend.
+func sweepBenchCase() sweep.SteadySweep {
+	return sweep.SteadySweep{
+		Tiers: 2, Grid: 16, Solver: "direct",
+		Utils:         []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 1},
+		FlowsMlPerMin: []float64{10, 15, 20, 25, 32.3},
+	}
+}
+
+// BenchmarkSweepShared measures the 50-point sweep through the engine's
+// per-group factor cache: one factorisation per distinct flow (5 total)
+// serves all 50 points. Compare against BenchmarkSweepUnshared — the
+// ns/op ratio is the factorization-sharing speedup on this machine.
+func BenchmarkSweepShared(b *testing.B) {
+	eng := &sweep.Engine{Pool: jobs.NewPool(1)} // one worker: isolate sharing from parallelism
+	sw := sweepBenchCase()
+	for i := 0; i < b.N; i++ {
+		rep, err := eng.RunSteady(context.Background(), sw, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors != 0 || rep.Prep.Factorizations != len(sw.FlowsMlPerMin) {
+			b.Fatalf("sweep: %d errors, %d factorizations", rep.Errors, rep.Prep.Factorizations)
+		}
+	}
+}
+
+// BenchmarkSweepUnshared is the per-scenario baseline: the same 50
+// points, each solving on a fresh System with private preparation.
+func BenchmarkSweepUnshared(b *testing.B) {
+	sw := sweepBenchCase()
+	for i := 0; i < b.N; i++ {
+		for _, util := range sw.Utils {
+			for _, flow := range sw.FlowsMlPerMin {
+				sys, err := core.NewSystem(core.Options{Tiers: sw.Tiers, Cooling: core.Liquid, Grid: sw.Grid, Solver: sw.Solver})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sys.Steady(util, flow); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}
 	}
 }

@@ -13,11 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
 	"repro/internal/dse"
+	"repro/internal/jobs"
 	"repro/internal/tsv"
 	"repro/internal/units"
 )
@@ -34,6 +36,7 @@ func main() {
 	nFlows := flag.Int("flows", 8, "flow levels in the sweep")
 	validate := flag.Bool("validate", false, "validate the winner on the compact 3D model")
 	grid := flag.Int("grid", 16, "validation grid resolution")
+	workers := flag.Int("workers", 0, "concurrent design-point evaluations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	duty := dse.Duty{
@@ -62,7 +65,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	evals, err := space.Explore()
+	evals, err := space.ExploreParallel(context.Background(), jobs.NewPool(*workers))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,7 +10,7 @@
 //	experiments -steps 120 -grid 12 # reduced fidelity
 //
 // Experiment ids: tableI, fig1, fig4, fig6, fig7, fig8, scaling,
-// modulation, pinfin, tierscaling, speedup, twophase-vs-water, splitflow, refrigerants, flowsweep, storage, gridstudy, nanofluids, codesign, ablation, percavity, savings, fluiddt, tsv.
+// modulation, pinfin, tierscaling, sweep, speedup, twophase-vs-water, splitflow, refrigerants, flowsweep, storage, gridstudy, nanofluids, codesign, ablation, percavity, savings, fluiddt, tsv.
 package main
 
 import (
@@ -116,6 +116,13 @@ func main() {
 			fail("tierscaling", err)
 		}
 		emit("tierscaling", r.Table)
+	}
+	if sel("sweep") {
+		r, err := exp.FlowUtilSweep(*grid)
+		if err != nil {
+			fail("sweep", err)
+		}
+		emit("sweep", r.Table)
 	}
 	if sel("speedup") {
 		r, err := exp.Speedup(4)

@@ -7,9 +7,14 @@
 //	     -d '{"tiers":2,"cooling":"liquid","policy":"LC_FUZZY","workload":"web","steps":60,"grid":8}'
 //	curl -s -X POST 'localhost:8080/v1/studies?async=1' -d '{"steps":60,"grid":8}'
 //	curl -s localhost:8080/v1/jobs/job-000001?wait=1
+//	curl -sN -X POST 'localhost:8080/v1/sweeps?stream=1' \
+//	     -d '{"grid":{"coolings":["air","liquid"],"workloads":["web","db"],"steps":60,"grid":8}}'
 //
 // Scenario results are memoized under a content-addressed cache, so a
-// repeated request for the same configuration is served from memory.
+// repeated request for the same configuration is served from memory, and
+// batched sweeps (/v1/sweeps) share one thermal factorisation per
+// structural scenario group (see internal/sweep); /v1/stats reports how
+// many factorizations the sharing saved.
 package main
 
 import (

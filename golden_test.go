@@ -1,0 +1,180 @@
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/twophase"
+)
+
+// update regenerates the golden corpus:
+//
+//	go test . -run Golden -update
+var update = flag.Bool("update", false, "rewrite testdata/golden expectations")
+
+// goldenTolC is the regression tolerance on the pinned temperatures.
+// The simulation pipeline is deterministic, so any drift past it means
+// the physics changed — a fast-but-wrong refactor cannot ride through.
+const goldenTolC = 1e-4
+
+// goldenCase is one versioned scenario of the regression corpus
+// (testdata/golden/*.json): a fully specified simulation — transient
+// co-simulation, steady operating point, or two-phase evaporator march —
+// with its expected peak and average temperatures.
+type goldenCase struct {
+	// Name identifies the case; the filename is <name>.json.
+	Name string `json:"name"`
+	// Kind selects the pipeline: "transient", "steady" or "twophase".
+	Kind string `json:"kind"`
+	// Scenario specifies a transient co-simulation run (kind
+	// "transient"); Record must be set so the average is well defined.
+	Scenario *jobs.Scenario `json:"scenario,omitempty"`
+	// Steady specifies a steady operating point (kind "steady").
+	Steady *goldenSteady `json:"steady,omitempty"`
+	// TwoPhaseSteps is the axial station count of the Fig. 8
+	// micro-evaporator march (kind "twophase").
+	TwoPhaseSteps int `json:"twophase_steps,omitempty"`
+	// Expect pins the outputs.
+	Expect goldenExpect `json:"expect"`
+}
+
+type goldenSteady struct {
+	Tiers        int     `json:"tiers"`
+	Cooling      string  `json:"cooling"`
+	Grid         int     `json:"grid"`
+	Solver       string  `json:"solver,omitempty"`
+	Util         float64 `json:"util"`
+	FlowMlPerMin float64 `json:"flow_ml_min,omitempty"`
+}
+
+type goldenExpect struct {
+	// PeakC is the hottest temperature of the run (junction peak for
+	// the stacks, heater-face peak for the evaporator).
+	PeakC float64 `json:"peak_c"`
+	// AvgC is the matching average: time-averaged junction peak for
+	// transient runs, across-tier peak average for steady points, mean
+	// heater-face temperature for the evaporator.
+	AvgC float64 `json:"avg_c"`
+}
+
+// evalGolden runs one corpus case and returns its (peak, avg).
+func evalGolden(c goldenCase) (float64, float64, error) {
+	switch c.Kind {
+	case "transient":
+		if c.Scenario == nil {
+			return 0, 0, fmt.Errorf("transient case without scenario")
+		}
+		if !c.Scenario.Record {
+			return 0, 0, fmt.Errorf("transient case must set record for the time average")
+		}
+		m, err := c.Scenario.Run(context.Background())
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(m.Series) == 0 {
+			return 0, 0, fmt.Errorf("no time series recorded")
+		}
+		sum := 0.0
+		for _, s := range m.Series {
+			sum += s.PeakC
+		}
+		return m.PeakTempC, sum / float64(len(m.Series)), nil
+	case "steady":
+		if c.Steady == nil {
+			return 0, 0, fmt.Errorf("steady case without operating point")
+		}
+		cooling, err := jobs.ParseCooling(c.Steady.Cooling)
+		if err != nil {
+			return 0, 0, err
+		}
+		sys, err := core.NewSystem(core.Options{
+			Tiers: c.Steady.Tiers, Cooling: cooling,
+			Grid: c.Steady.Grid, Solver: c.Steady.Solver,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		snap, err := sys.Steady(c.Steady.Util, c.Steady.FlowMlPerMin)
+		if err != nil {
+			return 0, 0, err
+		}
+		sum := 0.0
+		for _, t := range snap.TierPeakC {
+			sum += t
+		}
+		return snap.PeakC, sum / float64(len(snap.TierPeakC)), nil
+	case "twophase":
+		ev := twophase.TestVehicle()
+		res, err := ev.March(twophase.StepProfile(ev.Length, twophase.TestVehicleFlux()), c.TwoPhaseSteps)
+		if err != nil {
+			return 0, 0, err
+		}
+		peak, sum := math.Inf(-1), 0.0
+		for _, s := range res.Samples {
+			if s.BaseC > peak {
+				peak = s.BaseC
+			}
+			sum += s.BaseC
+		}
+		return peak, sum / float64(len(res.Samples)), nil
+	default:
+		return 0, 0, fmt.Errorf("unknown kind %q", c.Kind)
+	}
+}
+
+// TestGolden compares every corpus scenario against its pinned
+// temperatures at 1e-4 °C; -update regenerates the expectations.
+func TestGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "golden", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 10 {
+		t.Fatalf("golden corpus holds %d cases, want >= 10", len(files))
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var c goldenCase
+			if err := json.Unmarshal(raw, &c); err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			peak, avg, err := evalGolden(c)
+			if err != nil {
+				t.Fatalf("%s: %v", c.Name, err)
+			}
+			if *update {
+				c.Expect = goldenExpect{PeakC: peak, AvgC: avg}
+				out, err := json.MarshalIndent(&c, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			if d := math.Abs(peak - c.Expect.PeakC); d > goldenTolC {
+				t.Errorf("%s: peak %.6f °C, golden %.6f °C (drift %.2g)", c.Name, peak, c.Expect.PeakC, d)
+			}
+			if d := math.Abs(avg - c.Expect.AvgC); d > goldenTolC {
+				t.Errorf("%s: avg %.6f °C, golden %.6f °C (drift %.2g)", c.Name, avg, c.Expect.AvgC, d)
+			}
+		})
+	}
+}

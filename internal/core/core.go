@@ -79,6 +79,12 @@ type Options struct {
 	// ("" = default): "bicgstab", "gmres" or "direct" (sparse LU that
 	// factors once per flow setting — see mat.Backends).
 	Solver string
+	// Prep, when non-nil, shares solver preparations with every other
+	// System plugged into the same cache (see mat.PrepCache): systems
+	// built from the same stack, grid and solver assemble bit-identical
+	// matrices at matching flows, so sweeps pay for each distinct matrix
+	// once. Sharing never changes results.
+	Prep *mat.PrepCache
 }
 
 // Policies lists the supported management strategies. Beyond the
@@ -223,6 +229,7 @@ func (s *System) runTrace(tr *workload.Trace, record bool) (*sim.Metrics, error)
 		FlowQuantLevels: s.opt.FlowQuantLevels,
 		SensorNoiseStdC: s.opt.SensorNoiseStdC,
 		Solver:          s.opt.Solver,
+		Prep:            s.opt.Prep,
 		Record:          record,
 	}
 	return sim.Run(cfg)
@@ -287,6 +294,7 @@ func (s *System) steadyModel(flow float64) (*thermal.StackModel, error) {
 			FlowPerCavity: flow,
 			Coolant:       s.coolant(),
 			Solver:        s.opt.Solver,
+			Prep:          s.opt.Prep,
 		})
 		if err != nil {
 			return nil, err
@@ -345,6 +353,7 @@ func (s *System) SteadyCoupled(util, flowMlPerMin float64) (*Snapshot, error) {
 		FlowPerCavity: flow,
 		Coolant:       s.coolant(),
 		Solver:        s.opt.Solver,
+		Prep:          s.opt.Prep,
 	})
 	if err != nil {
 		return nil, err

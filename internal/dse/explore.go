@@ -9,6 +9,7 @@ import (
 	"repro/internal/fluids"
 	"repro/internal/jobs"
 	"repro/internal/microchannel"
+	"repro/internal/sweep"
 	"repro/internal/tsv"
 )
 
@@ -87,20 +88,16 @@ func (s *Space) Explore() ([]Evaluation, error) {
 // ExploreParallel is Explore on a caller-supplied pool (nil selects a
 // GOMAXPROCS-wide default) with cancellation: design points not yet
 // started when ctx is canceled are skipped and ctx's error returned.
+// The fan-out runs through the batched sweep engine's primitive
+// (sweep.FanOut), the same execution path the scenario sweeps use.
 func (s *Space) ExploreParallel(ctx context.Context, pool *jobs.Pool) ([]Evaluation, error) {
 	if len(s.Geometries) == 0 || len(s.Flows) == 0 {
 		return nil, errors.New("dse: empty design space")
 	}
-	if pool == nil {
-		pool = jobs.NewPool(0)
-	}
 	nf := len(s.Flows)
 	n := len(s.Geometries) * nf
-	evals := make([]Evaluation, n)
-	errs, err := pool.Run(ctx, n, func(_ context.Context, i int) error {
-		ev, err := Evaluate(s.Geometries[i/nf], s.Fluid, s.Flows[i%nf], s.Duty)
-		evals[i] = ev
-		return err
+	evals, errs, err := sweep.FanOut(ctx, pool, n, func(_ context.Context, i int) (Evaluation, error) {
+		return Evaluate(s.Geometries[i/nf], s.Fluid, s.Flows[i%nf], s.Duty)
 	})
 	if err != nil {
 		return nil, err

@@ -12,6 +12,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -115,40 +116,35 @@ func StudyScenario(cfg StudyConfig, wl string, opt Options) jobs.Scenario {
 // studyWorkloads is workloadNames plus the peak stressor, in run order.
 func studyWorkloads() []string { return append(append([]string(nil), workloadNames...), "peak") }
 
-// RunStudy executes the full policy study (the shared computation behind
-// Figs. 6 and 7): every configuration against every workload plus the
-// peak-utilization stressor. The 7×4 scenario matrix fans out across
-// the machine's cores via jobs.Pool; results are assembled in the
-// deterministic figure order and match RunStudySequential exactly.
-func RunStudy(opt Options) ([]*StudyResult, error) {
-	return RunStudyOn(context.Background(), nil, nil, opt)
+// StudyScenarios expands the full study matrix — every configuration ×
+// every workload plus the peak stressor, in figure order — through
+// StudyScenario. It is the single scenario-construction point shared by
+// the pooled and sequential paths, so the two can never diverge on what
+// they simulate (a key-equality test pins this).
+func StudyScenarios(opt Options) []jobs.Scenario {
+	configs := StudyConfigs()
+	wls := studyWorkloads()
+	out := make([]jobs.Scenario, 0, len(configs)*len(wls))
+	for _, cfg := range configs {
+		for _, wl := range wls {
+			out = append(out, StudyScenario(cfg, wl, opt))
+		}
+	}
+	return out
 }
 
-// RunStudyOn is RunStudy on a caller-supplied pool and cache. A nil
-// pool selects a GOMAXPROCS-wide default; a nil cache disables
-// memoization. Scenarios already resident in the cache are served
-// without re-solving — a second identical study is almost free.
-func RunStudyOn(ctx context.Context, pool *jobs.Pool, cache *jobs.Cache, opt Options) ([]*StudyResult, error) {
-	opt = opt.fill()
-	if pool == nil {
-		pool = jobs.NewPool(0)
-	}
+// studyCell maps a StudyScenarios index back to its (config, workload).
+func studyCell(i int) (StudyConfig, string) {
+	wls := studyWorkloads()
+	return StudyConfigs()[i/len(wls)], wls[i%len(wls)]
+}
+
+// assembleStudy folds the flat metrics slice (StudyScenarios order) into
+// the per-configuration results — shared by both execution paths.
+func assembleStudy(metrics []*sim.Metrics) []*StudyResult {
 	configs := StudyConfigs()
 	wls := studyWorkloads()
 	nw := len(wls)
-	metrics := make([]*sim.Metrics, len(configs)*nw)
-	err := pool.ForEach(ctx, len(metrics), func(ctx context.Context, i int) error {
-		cfg, wl := configs[i/nw], wls[i%nw]
-		m, _, err := cache.Metrics(ctx, StudyScenario(cfg, wl, opt))
-		if err != nil {
-			return fmt.Errorf("exp: %s/%s: %w", cfg.Label, wl, err)
-		}
-		metrics[i] = m
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
 	out := make([]*StudyResult, 0, len(configs))
 	for ci, cfg := range configs {
 		res := &StudyResult{Config: cfg, PerWorkload: map[string]*sim.Metrics{}}
@@ -163,7 +159,41 @@ func RunStudyOn(ctx context.Context, pool *jobs.Pool, cache *jobs.Cache, opt Opt
 		aggregate(res)
 		out = append(out, res)
 	}
-	return out, nil
+	return out
+}
+
+// RunStudy executes the full policy study (the shared computation behind
+// Figs. 6 and 7): every configuration against every workload plus the
+// peak-utilization stressor. The 7×4 scenario matrix fans out across
+// the machine's cores via the batched sweep engine; results are
+// assembled in the deterministic figure order and match
+// RunStudySequential exactly.
+func RunStudy(opt Options) ([]*StudyResult, error) {
+	return RunStudyOn(context.Background(), nil, nil, opt)
+}
+
+// RunStudyOn is RunStudy on a caller-supplied pool and cache. A nil
+// pool selects a GOMAXPROCS-wide default; a nil cache disables
+// memoization. Scenarios already resident in the cache are served
+// without re-solving — a second identical study is almost free — and
+// scenarios of one structural group share their thermal factorizations
+// through the engine's per-group factor cache.
+func RunStudyOn(ctx context.Context, pool *jobs.Pool, cache *jobs.Cache, opt Options) ([]*StudyResult, error) {
+	opt = opt.fill()
+	eng := &sweep.Engine{Pool: pool, Cache: cache, FailFast: true}
+	rep, err := eng.Run(ctx, StudyScenarios(opt), nil)
+	if err != nil {
+		if i := rep.FirstFailure(); i >= 0 {
+			cfg, wl := studyCell(i)
+			return nil, fmt.Errorf("exp: %s/%s: %w", cfg.Label, wl, rep.Results[i].Err)
+		}
+		return nil, err
+	}
+	metrics := make([]*sim.Metrics, len(rep.Results))
+	for i := range rep.Results {
+		metrics[i] = rep.Results[i].Metrics
+	}
+	return assembleStudy(metrics), nil
 }
 
 // aggregate folds the per-workload metrics into the figure averages, in
@@ -186,42 +216,21 @@ func aggregate(res *StudyResult) {
 
 // RunStudySequential is the single-threaded reference implementation of
 // the study, kept as the ground truth the pooled path is tested and
-// benchmarked against.
+// benchmarked against. It iterates the very same scenario list the
+// pooled path submits (StudyScenarios), solving each standalone.
 func RunStudySequential(opt Options) ([]*StudyResult, error) {
 	opt = opt.fill()
-	var out []*StudyResult
-	for _, cfg := range StudyConfigs() {
-		sys, err := core.NewSystem(core.Options{
-			Tiers: cfg.Tiers, Cooling: cfg.Cooling, Policy: cfg.Policy, Grid: opt.Grid,
-			Solver: opt.Solver,
-		})
+	scenarios := StudyScenarios(opt)
+	metrics := make([]*sim.Metrics, len(scenarios))
+	for i, sc := range scenarios {
+		m, err := sc.Run(context.Background())
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", cfg.Label, err)
+			cfg, wl := studyCell(i)
+			return nil, fmt.Errorf("exp: %s/%s: %w", cfg.Label, wl, err)
 		}
-		res := &StudyResult{Config: cfg, PerWorkload: map[string]*sim.Metrics{}}
-		for _, wl := range workloadNames {
-			tr, err := core.GenerateTrace(wl, sys.Threads(), opt.Steps, opt.Seed)
-			if err != nil {
-				return nil, err
-			}
-			m, err := sys.RunTrace(tr)
-			if err != nil {
-				return nil, fmt.Errorf("exp: %s/%s: %w", cfg.Label, wl, err)
-			}
-			res.PerWorkload[wl] = m
-		}
-		peakTr, err := core.GenerateTrace("peak", sys.Threads(), opt.Steps, opt.Seed)
-		if err != nil {
-			return nil, err
-		}
-		res.Peak, err = sys.RunTrace(peakTr)
-		if err != nil {
-			return nil, fmt.Errorf("exp: %s/peak: %w", cfg.Label, err)
-		}
-		aggregate(res)
-		out = append(out, res)
+		metrics[i] = m
 	}
-	return out, nil
+	return assembleStudy(metrics), nil
 }
 
 // Fig6 renders the hot-spot study: "% of time we observe hot spots for
@@ -373,41 +382,42 @@ var (
 	savingsPolicies = []string{"LB", "LC_FUZZY"}
 )
 
-// SavingsStudy runs LC_LB (max flow) and LC_FUZZY on each stack over the
-// savings workload set and reports per-workload and best-case savings.
-// The 2×4×2 scenario matrix executes concurrently via jobs.Pool.
-func SavingsStudy(opt Options) ([]SavingsDetail, error) {
-	return SavingsStudyOn(context.Background(), nil, nil, opt)
+// savingsScenario maps one (stack, workload, policy) cell of the
+// savings matrix onto the jobs subsystem — the single construction
+// point shared by the pooled and sequential paths.
+func savingsScenario(tiers int, wl, pol string, opt Options) jobs.Scenario {
+	opt = opt.fill()
+	return jobs.Scenario{
+		Tiers: tiers, Cooling: core.Liquid.String(), Policy: pol,
+		Workload: wl, Steps: opt.Steps, Grid: opt.Grid, Seed: opt.Seed,
+		Solver: opt.Solver,
+	}
 }
 
-// SavingsStudyOn is SavingsStudy on a caller-supplied pool and cache
-// (nil pool selects the GOMAXPROCS default; nil cache disables
-// memoization).
-func SavingsStudyOn(ctx context.Context, pool *jobs.Pool, cache *jobs.Cache, opt Options) ([]SavingsDetail, error) {
-	opt = opt.fill()
-	if pool == nil {
-		pool = jobs.NewPool(0)
-	}
-	nw, np := len(savingsWorkloads), len(savingsPolicies)
-	metrics := make([]*sim.Metrics, len(savingsTiers)*nw*np)
-	err := pool.ForEach(ctx, len(metrics), func(ctx context.Context, i int) error {
-		tiers := savingsTiers[i/(nw*np)]
-		wl := savingsWorkloads[(i/np)%nw]
-		pol := savingsPolicies[i%np]
-		m, _, err := cache.Metrics(ctx, jobs.Scenario{
-			Tiers: tiers, Cooling: core.Liquid.String(), Policy: pol,
-			Workload: wl, Steps: opt.Steps, Grid: opt.Grid, Seed: opt.Seed,
-			Solver: opt.Solver,
-		})
-		if err != nil {
-			return fmt.Errorf("exp: savings %d-tier %s/%s: %w", tiers, pol, wl, err)
+// SavingsScenarios expands the savings matrix in its fixed index order
+// (tiers ≻ workloads ≻ policies).
+func SavingsScenarios(opt Options) []jobs.Scenario {
+	out := make([]jobs.Scenario, 0, len(savingsTiers)*len(savingsWorkloads)*len(savingsPolicies))
+	for _, tiers := range savingsTiers {
+		for _, wl := range savingsWorkloads {
+			for _, pol := range savingsPolicies {
+				out = append(out, savingsScenario(tiers, wl, pol, opt))
+			}
 		}
-		metrics[i] = m
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
+	return out
+}
+
+// savingsCell maps a SavingsScenarios index back to (tiers, wl, pol).
+func savingsCell(i int) (int, string, string) {
+	nw, np := len(savingsWorkloads), len(savingsPolicies)
+	return savingsTiers[i/(nw*np)], savingsWorkloads[(i/np)%nw], savingsPolicies[i%np]
+}
+
+// assembleSavings folds the flat metrics slice (SavingsScenarios order)
+// into the per-stack savings details — shared by both execution paths.
+func assembleSavings(metrics []*sim.Metrics) []SavingsDetail {
+	nw, np := len(savingsWorkloads), len(savingsPolicies)
 	var out []SavingsDetail
 	for ti, tiers := range savingsTiers {
 		det := SavingsDetail{Tiers: tiers}
@@ -439,59 +449,54 @@ func SavingsStudyOn(ctx context.Context, pool *jobs.Pool, cache *jobs.Cache, opt
 		}
 		out = append(out, det)
 	}
-	return out, nil
+	return out
+}
+
+// SavingsStudy runs LC_LB (max flow) and LC_FUZZY on each stack over the
+// savings workload set and reports per-workload and best-case savings.
+// The 2×4×2 scenario matrix executes concurrently via the sweep engine.
+func SavingsStudy(opt Options) ([]SavingsDetail, error) {
+	return SavingsStudyOn(context.Background(), nil, nil, opt)
+}
+
+// SavingsStudyOn is SavingsStudy on a caller-supplied pool and cache
+// (nil pool selects the GOMAXPROCS default; nil cache disables
+// memoization). All sixteen scenarios are liquid-cooled, so each stack
+// height forms one structural group sharing thermal factorizations.
+func SavingsStudyOn(ctx context.Context, pool *jobs.Pool, cache *jobs.Cache, opt Options) ([]SavingsDetail, error) {
+	opt = opt.fill()
+	eng := &sweep.Engine{Pool: pool, Cache: cache, FailFast: true}
+	rep, err := eng.Run(ctx, SavingsScenarios(opt), nil)
+	if err != nil {
+		if i := rep.FirstFailure(); i >= 0 {
+			tiers, wl, pol := savingsCell(i)
+			return nil, fmt.Errorf("exp: savings %d-tier %s/%s: %w", tiers, pol, wl, rep.Results[i].Err)
+		}
+		return nil, err
+	}
+	metrics := make([]*sim.Metrics, len(rep.Results))
+	for i := range rep.Results {
+		metrics[i] = rep.Results[i].Metrics
+	}
+	return assembleSavings(metrics), nil
 }
 
 // savingsStudySequential is the single-threaded reference the pooled
-// path is tested against.
+// path is tested against; it iterates the very same scenario list the
+// pooled path submits.
 func savingsStudySequential(opt Options) ([]SavingsDetail, error) {
 	opt = opt.fill()
-	var out []SavingsDetail
-	for _, tiers := range savingsTiers {
-		det := SavingsDetail{Tiers: tiers}
-		for _, wl := range savingsWorkloads {
-			var pump, total [2]float64 // [0] = LC_LB, [1] = LC_FUZZY
-			var fuzzyPeak float64
-			for pi, pol := range savingsPolicies {
-				sys, err := core.NewSystem(core.Options{
-					Tiers: tiers, Cooling: core.Liquid, Policy: pol, Grid: opt.Grid,
-					Solver: opt.Solver,
-				})
-				if err != nil {
-					return nil, err
-				}
-				tr, err := core.GenerateTrace(wl, sys.Threads(), opt.Steps, opt.Seed)
-				if err != nil {
-					return nil, err
-				}
-				m, err := sys.RunTrace(tr)
-				if err != nil {
-					return nil, fmt.Errorf("exp: savings %d-tier %s/%s: %w", tiers, pol, wl, err)
-				}
-				pump[pi] = m.PumpEnergyJ
-				total[pi] = m.TotalEnergyJ
-				if pol == "LC_FUZZY" {
-					fuzzyPeak = m.PeakTempC
-				}
-			}
-			ws := WorkloadSaving{Workload: wl, FuzzyPeakC: fuzzyPeak}
-			if pump[0] > 0 {
-				ws.CoolingSavingFrac = 1 - pump[1]/pump[0]
-			}
-			if total[0] > 0 {
-				ws.SystemSavingFrac = 1 - total[1]/total[0]
-			}
-			det.PerWorkload = append(det.PerWorkload, ws)
-			if ws.CoolingSavingFrac > det.UpToCooling {
-				det.UpToCooling = ws.CoolingSavingFrac
-			}
-			if ws.SystemSavingFrac > det.UpToSystem {
-				det.UpToSystem = ws.SystemSavingFrac
-			}
+	scenarios := SavingsScenarios(opt)
+	metrics := make([]*sim.Metrics, len(scenarios))
+	for i, sc := range scenarios {
+		m, err := sc.Run(context.Background())
+		if err != nil {
+			tiers, wl, pol := savingsCell(i)
+			return nil, fmt.Errorf("exp: savings %d-tier %s/%s: %w", tiers, pol, wl, err)
 		}
-		out = append(out, det)
+		metrics[i] = m
 	}
-	return out, nil
+	return assembleSavings(metrics), nil
 }
 
 // SavingsDetailTable renders the per-workload savings study.

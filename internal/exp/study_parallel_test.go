@@ -81,6 +81,36 @@ func TestRunStudyOnCancellation(t *testing.T) {
 	}
 }
 
+// TestStudyPathsBuildIdenticalCacheKeys pins the shared-construction
+// fix: the pooled and sequential paths both iterate StudyScenarios /
+// SavingsScenarios, and those lists must match the legacy cell-by-cell
+// construction key for key — so the equivalence tests above can never
+// pass while the two paths silently simulate different scenarios.
+func TestStudyPathsBuildIdenticalCacheKeys(t *testing.T) {
+	opt := tinyOpt()
+	scenarios := StudyScenarios(opt)
+	wls := studyWorkloads()
+	if len(scenarios) != len(StudyConfigs())*len(wls) {
+		t.Fatalf("StudyScenarios has %d cells, want %d", len(scenarios), len(StudyConfigs())*len(wls))
+	}
+	for i, sc := range scenarios {
+		cfg, wl := studyCell(i)
+		if want := StudyScenario(cfg, wl, opt).Key(); sc.Key() != want {
+			t.Fatalf("study cell %d (%s/%s): key mismatch", i, cfg.Label, wl)
+		}
+	}
+	savings := SavingsScenarios(opt)
+	if len(savings) != len(savingsTiers)*len(savingsWorkloads)*len(savingsPolicies) {
+		t.Fatalf("SavingsScenarios has %d cells", len(savings))
+	}
+	for i, sc := range savings {
+		tiers, wl, pol := savingsCell(i)
+		if want := savingsScenario(tiers, wl, pol, opt).Key(); sc.Key() != want {
+			t.Fatalf("savings cell %d (%d-tier %s/%s): key mismatch", i, tiers, pol, wl)
+		}
+	}
+}
+
 func TestStudyScenarioKeysCoverMatrix(t *testing.T) {
 	// Every cell of the study matrix must land on a distinct cache key.
 	opt := tinyOpt()

@@ -1,0 +1,57 @@
+package jobs
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioKey pins the cache-key contract under arbitrary field
+// permutations: hashing is deterministic, normalization-invariant, and
+// injective — two scenarios whose normalized forms differ must never
+// share a key (a collision would silently serve one configuration's
+// physics for another). The injectivity check is what caught the v2
+// encoding's "|field=" separator collision.
+func FuzzScenarioKey(f *testing.F) {
+	f.Add(2, "liquid", "LC_FUZZY", "web", 300, 16, int64(1), 85.0, 8, 0.0, "direct", false,
+		4, "air", "LB", "db", 60, 8, int64(2), 80.0, 4, 0.1, "gmres", true)
+	f.Add(0, "", "", "", 0, 0, int64(0), 0.0, 0, 0.0, "", false,
+		0, "", "", "", 0, 0, int64(0), 0.0, 0, 0.0, "", false)
+	// A v2-encoding collision shape: a separator sequence smuggled into
+	// one string field versus split across two.
+	f.Add(2, "air", "a|workload=b", "c", 1, 2, int64(1), 1.0, 2, 0.0, "", false,
+		2, "air", "a", "b|workload=c", 1, 2, int64(1), 1.0, 2, 0.0, "", false)
+	f.Fuzz(func(t *testing.T,
+		tiers1 int, cooling1, policy1, workload1 string, steps1, grid1 int, seed1 int64,
+		threshold1 float64, levels1 int, noise1 float64, solver1 string, record1 bool,
+		tiers2 int, cooling2, policy2, workload2 string, steps2, grid2 int, seed2 int64,
+		threshold2 float64, levels2 int, noise2 float64, solver2 string, record2 bool) {
+		if math.IsNaN(threshold1) || math.IsNaN(noise1) || math.IsNaN(threshold2) || math.IsNaN(noise2) {
+			t.Skip("NaN is never equal to itself; key equality is undefined")
+		}
+		s1 := Scenario{
+			Tiers: tiers1, Cooling: cooling1, Policy: policy1, Workload: workload1,
+			Steps: steps1, Grid: grid1, Seed: seed1, ThresholdC: threshold1,
+			FlowQuantLevels: levels1, SensorNoiseStdC: noise1, Solver: solver1, Record: record1,
+		}
+		s2 := Scenario{
+			Tiers: tiers2, Cooling: cooling2, Policy: policy2, Workload: workload2,
+			Steps: steps2, Grid: grid2, Seed: seed2, ThresholdC: threshold2,
+			FlowQuantLevels: levels2, SensorNoiseStdC: noise2, Solver: solver2, Record: record2,
+		}
+		k1, k2 := s1.Key(), s2.Key()
+		if k1 != s1.Key() {
+			t.Fatal("Key is not deterministic")
+		}
+		if s1.Normalized().Key() != k1 {
+			t.Fatal("Key is not normalization-invariant")
+		}
+		if reflect.DeepEqual(s1.Normalized(), s2.Normalized()) {
+			if k1 != k2 {
+				t.Fatalf("equal normalized scenarios hash differently:\n%+v\n%+v", s1, s2)
+			}
+		} else if k1 == k2 {
+			t.Fatalf("distinct scenarios collide on key %s:\n%+v\n%+v", k1, s1.Normalized(), s2.Normalized())
+		}
+	})
+}

@@ -132,27 +132,52 @@ func ParseCooling(name string) (core.Cooling, error) {
 // keyVersion guards the hash format: bump it whenever the canonical
 // encoding below (or the simulation semantics behind it) changes, so a
 // persisted cache can never serve results computed under old physics.
-const keyVersion = "scenario/v2"
+// v3 length-prefixes the string fields — under the v2 encoding two
+// distinct scenarios could collide when a string field contained the
+// "|field=" separator sequence (found by FuzzScenarioKey).
+const keyVersion = "scenario/v3"
 
 // Key returns the content address of the scenario: a SHA-256 over the
-// canonical encoding of every normalized field. Any field change yields
-// a new key; field order and float formatting are fixed.
+// canonical encoding of every normalized field. The encoding is
+// injective — string fields are length-prefixed, field order and float
+// formatting are fixed — so distinct normalized scenarios always hash
+// distinct inputs.
 func (s Scenario) Key() string {
 	s = s.Normalized()
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|tiers=%d|cooling=%s|policy=%s|workload=%s|steps=%d|grid=%d|seed=%d|threshold=%s|flowlevels=%d|noise=%s|solver=%s|record=%t",
-		keyVersion, s.Tiers, s.Cooling, s.Policy, s.Workload, s.Steps, s.Grid, s.Seed,
-		canonFloat(s.ThresholdC), s.FlowQuantLevels, canonFloat(s.SensorNoiseStdC), s.Solver, s.Record)
+	fmt.Fprintf(h, "%s|tiers=%d|cooling=%d:%s|policy=%d:%s|workload=%d:%s|steps=%d|grid=%d|seed=%d|threshold=%s|flowlevels=%d|noise=%s|solver=%d:%s|record=%t",
+		keyVersion, s.Tiers,
+		len(s.Cooling), s.Cooling, len(s.Policy), s.Policy, len(s.Workload), s.Workload,
+		s.Steps, s.Grid, s.Seed,
+		canonFloat(s.ThresholdC), s.FlowQuantLevels, canonFloat(s.SensorNoiseStdC),
+		len(s.Solver), s.Solver, s.Record)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
 // canonFloat renders a float with the shortest exact representation.
-func canonFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+// Negative zero compares equal to zero (and normalizes like it), so it
+// must encode like it too.
+func canonFloat(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
 
 // Run executes the scenario on a fresh System and returns its metrics.
 // The context is checked before the (uninterruptible) solve starts;
 // pools use this to skip queued scenarios after cancellation.
 func (s Scenario) Run(ctx context.Context) (*sim.Metrics, error) {
+	return s.RunWith(ctx, nil)
+}
+
+// RunWith is Run with a shared solver-preparation cache: scenarios of
+// one structural group (same stack, grid, solver) hand the same
+// mat.PrepCache here so identical thermal systems are factored once per
+// group instead of once per scenario. prep is pure plumbing — it is not
+// part of the scenario's identity (Key) and never changes the metrics;
+// a nil prep solves standalone.
+func (s Scenario) RunWith(ctx context.Context, prep *mat.PrepCache) (*sim.Metrics, error) {
 	s = s.Normalized()
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -173,6 +198,7 @@ func (s Scenario) Run(ctx context.Context) (*sim.Metrics, error) {
 		FlowQuantLevels: s.FlowQuantLevels,
 		SensorNoiseStdC: s.SensorNoiseStdC,
 		Solver:          s.Solver,
+		Prep:            prep,
 	})
 	if err != nil {
 		return nil, err
@@ -192,12 +218,19 @@ func (s Scenario) Run(ctx context.Context) (*sim.Metrics, error) {
 // defensive copy — callers may mutate it freely) instead of re-solving.
 // The boolean reports a cache hit. A nil cache always computes.
 func (c *Cache) Metrics(ctx context.Context, s Scenario) (*sim.Metrics, bool, error) {
+	return c.MetricsWith(ctx, s, nil)
+}
+
+// MetricsWith is Metrics with a shared solver-preparation cache for the
+// compute path (see Scenario.RunWith); results served from the result
+// cache never touch it.
+func (c *Cache) MetricsWith(ctx context.Context, s Scenario, prep *mat.PrepCache) (*sim.Metrics, bool, error) {
 	s = s.Normalized()
 	if err := s.Validate(); err != nil {
 		return nil, false, err
 	}
 	v, hit, err := c.GetOrComputeCtx(ctx, s.Key(), func() (any, error) {
-		return s.Run(ctx)
+		return s.RunWith(ctx, prep)
 	})
 	if err != nil {
 		return nil, hit, err

@@ -188,12 +188,22 @@ func (f *SparseLU) NNZ() int { return len(f.lVal) + len(f.uVal) + f.n }
 
 // Solve writes the solution of A·x = b into dst, performing one forward
 // and one backward sweep over the factors. dst must not alias b. No
-// allocations; not safe for concurrent use (shared scratch).
+// allocations; not safe for concurrent use (shared scratch) — concurrent
+// callers must use SolveWith with per-caller scratch.
 func (f *SparseLU) Solve(dst, b []float64) {
-	if len(dst) != f.n || len(b) != f.n {
-		panic(fmt.Sprintf("mat: SparseLU.Solve dimension mismatch: n=%d len(dst)=%d len(b)=%d", f.n, len(dst), len(b)))
+	f.SolveWith(dst, b, f.work)
+}
+
+// SolveWith is Solve with caller-supplied scratch of length N. The
+// factors themselves are immutable after construction, so any number of
+// goroutines may call SolveWith concurrently on one SparseLU as long as
+// each brings its own scratch — the mechanism that lets a sweep group
+// share one factorisation across scenario workers.
+func (f *SparseLU) SolveWith(dst, b, work []float64) {
+	if len(dst) != f.n || len(b) != f.n || len(work) != f.n {
+		panic(fmt.Sprintf("mat: SparseLU.Solve dimension mismatch: n=%d len(dst)=%d len(b)=%d len(work)=%d", f.n, len(dst), len(b), len(work)))
 	}
-	x := f.work
+	x := work
 	if f.perm != nil {
 		PermuteVec(x, b, f.perm)
 	} else {

@@ -1,0 +1,172 @@
+package mat
+
+import "sync"
+
+// PrepCache shares the expensive per-matrix solver preparation —
+// factorisations and preconditioners — across the models of a sweep
+// group. Scenarios built from the same stack, grid and time step
+// assemble bit-identical matrices whenever their cavity flows coincide
+// (matrix assembly is deterministic), so a 100-point sweep revisits the
+// same handful of left-hand sides over and over; the cache lets the
+// whole group pay for each distinct matrix once and stamp out cheap
+// per-caller workspaces everywhere else.
+//
+// Lookup is keyed by the backend's FactorKey plus a caller-supplied
+// semantic tag (e.g. the cavity-flow vector and time step), and every
+// hit is verified by exact matrix equality before reuse — a tag
+// collision can cost a redundant factorisation, never a wrong solve.
+//
+// Sharing is invisible in results and workspace stats: workspaces
+// derived from a shared factorization report the same logical counters
+// (Factorizations: 1) as standalone preparation, so metrics are
+// bit-identical whether or not a cache was plugged in. The physical
+// work actually saved is reported by Stats.
+//
+// A PrepCache is safe for concurrent use; concurrent requests for the
+// same matrix single-flight the factorisation.
+type PrepCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string][]*prepEntry
+	n       int
+	stats   PrepStats
+}
+
+type prepEntry struct {
+	a    *Sparse
+	done chan struct{}
+	fact Factorization
+	err  error
+}
+
+// PrepStats counts the physical preparation work of a cache — the
+// counters sweep reports surface as "factorization sharing". With an
+// unexceeded capacity the counters are deterministic for a
+// deterministic scenario set, independent of worker scheduling.
+type PrepStats struct {
+	// Factorizations counts matrices actually factored (cache misses and
+	// overflow preparations).
+	Factorizations int `json:"factorizations"`
+	// Shares counts workspaces served from an existing factorization,
+	// including single-flight joins.
+	Shares int `json:"shares"`
+	// Overflows counts preparations performed uncached because the
+	// capacity bound was reached (also included in Factorizations).
+	Overflows int `json:"overflows,omitempty"`
+	// Fallbacks counts preparations for backends that do not support
+	// factorization sharing (also included in Factorizations).
+	Fallbacks int `json:"fallbacks,omitempty"`
+}
+
+// Accumulate folds o's counters into s.
+func (s *PrepStats) Accumulate(o PrepStats) {
+	s.Factorizations += o.Factorizations
+	s.Shares += o.Shares
+	s.Overflows += o.Overflows
+	s.Fallbacks += o.Fallbacks
+}
+
+// NewPrepCache returns a cache holding at most maxEntries factored
+// matrices; maxEntries <= 0 means unbounded. Past the bound new
+// matrices are prepared uncached (no eviction — the hot entries of a
+// sweep group are its quantised flow levels, which arrive first), so a
+// runaway per-cavity policy cannot pin unbounded factor memory.
+func NewPrepCache(maxEntries int) *PrepCache {
+	return &PrepCache{max: maxEntries, entries: map[string][]*prepEntry{}}
+}
+
+// Len reports the number of cached factorizations.
+func (c *PrepCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Stats returns a snapshot of the physical-work counters.
+func (c *PrepCache) Stats() PrepStats {
+	if c == nil {
+		return PrepStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Prepare returns a workspace for a through s, sharing the factorisation
+// with every other caller that presented an identical matrix under the
+// same backend configuration. The boolean reports whether an existing
+// factorization was reused. A nil cache, or a backend that is not a
+// Factorizer, degrades to plain s.Prepare.
+func (c *PrepCache) Prepare(s Solver, tag string, a *Sparse) (Workspace, bool, error) {
+	fz, ok := s.(Factorizer)
+	if c == nil || !ok {
+		if c != nil {
+			c.mu.Lock()
+			c.stats.Factorizations++
+			c.stats.Fallbacks++
+			c.mu.Unlock()
+		}
+		ws, err := s.Prepare(a)
+		return ws, false, err
+	}
+	key := fz.FactorKey() + "|" + tag
+	for {
+		c.mu.Lock()
+		var e *prepEntry
+		for _, cand := range c.entries[key] {
+			if cand.a == a || cand.a.Equal(a) {
+				e = cand
+				break
+			}
+		}
+		if e == nil {
+			if c.max > 0 && c.n >= c.max {
+				// Full: prepare uncached rather than evict, so the stats
+				// of a within-bound sweep stay deterministic.
+				c.stats.Factorizations++
+				c.stats.Overflows++
+				c.mu.Unlock()
+				ws, err := s.Prepare(a)
+				return ws, false, err
+			}
+			e = &prepEntry{a: a, done: make(chan struct{})}
+			c.entries[key] = append(c.entries[key], e)
+			c.n++
+			c.mu.Unlock()
+
+			e.fact, e.err = fz.Factor(a)
+			c.mu.Lock()
+			if e.err != nil {
+				// Drop the failed entry so later callers retry.
+				bucket := c.entries[key]
+				for i, cand := range bucket {
+					if cand == e {
+						c.entries[key] = append(bucket[:i], bucket[i+1:]...)
+						break
+					}
+				}
+				c.n--
+			} else {
+				c.stats.Factorizations++
+			}
+			c.mu.Unlock()
+			close(e.done)
+			if e.err != nil {
+				return nil, false, e.err
+			}
+			return e.fact.NewWorkspace(), false, nil
+		}
+		c.mu.Unlock()
+		<-e.done
+		if e.err != nil {
+			continue // the originating factorisation failed; retry as originator
+		}
+		c.mu.Lock()
+		c.stats.Shares++
+		c.mu.Unlock()
+		return e.fact.NewWorkspace(), true, nil
+	}
+}

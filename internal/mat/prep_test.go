@@ -1,0 +1,223 @@
+package mat
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// rebuildGridSystem returns a matrix bit-identical to testGridSystem(n)
+// but a distinct object, as two scenarios of one sweep group would
+// assemble it independently.
+func rebuildGridSystem(n int) *Sparse {
+	a, _ := testGridSystem(n)
+	return a
+}
+
+func TestSparseEqual(t *testing.T) {
+	a, _ := testGridSystem(6)
+	b := rebuildGridSystem(6)
+	if !a.Equal(a) || !a.Equal(b) {
+		t.Fatal("identical matrices compare unequal")
+	}
+	c := a.Scale(1.0000001)
+	if a.Equal(c) {
+		t.Fatal("scaled matrix compares equal")
+	}
+	d, _ := testGridSystem(5)
+	if a.Equal(d) || a.Equal(nil) {
+		t.Fatal("mismatched matrices compare equal")
+	}
+}
+
+func TestPrepCacheSharesFactorization(t *testing.T) {
+	for _, backend := range []string{BackendBiCGSTAB, BackendGMRES, BackendDirect} {
+		t.Run(backend, func(t *testing.T) {
+			a, rhs := testGridSystem(8)
+			want := denseReference(t, a, rhs)
+			s, err := NewSolver(backend, SolverOptions{Tol: 1e-11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cache := NewPrepCache(0)
+			ws1, shared, err := cache.Prepare(s, "tag", a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if shared {
+				t.Fatal("first Prepare reported a share")
+			}
+			// A bit-identical rebuild (different pointer) must share.
+			ws2, shared, err := cache.Prepare(s, "tag", rebuildGridSystem(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !shared {
+				t.Fatal("identical matrix did not share the factorization")
+			}
+			st := cache.Stats()
+			if st.Factorizations != 1 || st.Shares != 1 {
+				t.Fatalf("stats = %+v, want 1 factorization + 1 share", st)
+			}
+			// Both workspaces solve correctly and report the same logical
+			// counters as standalone preparation would.
+			for _, ws := range []Workspace{ws1, ws2} {
+				x := make([]float64, a.N())
+				if err := ws.Solve(x, rhs, nil); err != nil {
+					t.Fatal(err)
+				}
+				for i := range x {
+					if d := x[i] - want[i]; d > 1e-7 || d < -1e-7 {
+						t.Fatalf("x[%d] = %g, want %g", i, x[i], want[i])
+					}
+				}
+				if got := ws.Stats().Factorizations; got != 1 {
+					t.Fatalf("workspace reports %d logical factorizations, want 1", got)
+				}
+			}
+		})
+	}
+}
+
+func TestPrepCacheVerifiesMatrixOnTagCollision(t *testing.T) {
+	a, rhsA := testGridSystem(7)
+	b := a.Scale(2) // same tag, different matrix
+	s, _ := NewSolver(BackendDirect, SolverOptions{})
+	cache := NewPrepCache(0)
+	wsA, _, err := cache.Prepare(s, "same-tag", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsB, shared, err := cache.Prepare(s, "same-tag", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared {
+		t.Fatal("different matrix reused a factorization under a colliding tag")
+	}
+	if st := cache.Stats(); st.Factorizations != 2 {
+		t.Fatalf("factorizations = %d, want 2", st.Factorizations)
+	}
+	wantA := denseReference(t, a, rhsA)
+	xA := make([]float64, a.N())
+	xB := make([]float64, b.N())
+	if err := wsA.Solve(xA, rhsA, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := wsB.Solve(xB, rhsA, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xA {
+		if d := xA[i] - wantA[i]; d > 1e-8 || d < -1e-8 {
+			t.Fatalf("A solve off at %d", i)
+		}
+		// b = 2a, so x_B must be x_A / 2 — proof the right factors served
+		// each matrix.
+		if d := xB[i] - wantA[i]/2; d > 1e-8 || d < -1e-8 {
+			t.Fatalf("B solve off at %d: got %g want %g", i, xB[i], wantA[i]/2)
+		}
+	}
+}
+
+func TestPrepCacheConcurrentSingleFlight(t *testing.T) {
+	a, rhs := testGridSystem(10)
+	want := denseReference(t, a, rhs)
+	s, _ := NewSolver(BackendDirect, SolverOptions{})
+	cache := NewPrepCache(0)
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			ws, _, err := cache.Prepare(s, "t", rebuildGridSystem(10))
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			x := make([]float64, a.N())
+			for rep := 0; rep < 4; rep++ {
+				if err := ws.Solve(x, rhs, nil); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			for i := range x {
+				if d := x[i] - want[i]; d > 1e-8 || d < -1e-8 {
+					errs[w] = fmt.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	st := cache.Stats()
+	if st.Factorizations != 1 {
+		t.Fatalf("concurrent preparation factored %d times, want 1 (single-flight)", st.Factorizations)
+	}
+	if st.Shares != workers-1 {
+		t.Fatalf("shares = %d, want %d", st.Shares, workers-1)
+	}
+}
+
+func TestPrepCacheCapacityOverflow(t *testing.T) {
+	s, _ := NewSolver(BackendDirect, SolverOptions{})
+	cache := NewPrepCache(1)
+	a, _ := testGridSystem(5)
+	if _, _, err := cache.Prepare(s, "a", a); err != nil {
+		t.Fatal(err)
+	}
+	// Second distinct matrix exceeds the bound: prepared uncached.
+	if _, shared, err := cache.Prepare(s, "b", a.Scale(3)); err != nil || shared {
+		t.Fatalf("overflow prepare: shared=%v err=%v", shared, err)
+	}
+	if _, shared, err := cache.Prepare(s, "b", a.Scale(3)); err != nil || shared {
+		t.Fatalf("overflow matrices must not be cached: shared=%v err=%v", shared, err)
+	}
+	// The cached entry still shares.
+	if _, shared, err := cache.Prepare(s, "a", rebuildGridSystem(5)); err != nil || !shared {
+		t.Fatalf("cached entry lost: shared=%v err=%v", shared, err)
+	}
+	st := cache.Stats()
+	if st.Overflows != 2 || st.Factorizations != 3 || st.Shares != 1 || cache.Len() != 1 {
+		t.Fatalf("stats = %+v len=%d, want 2 overflows, 3 factorizations, 1 share, len 1", st, cache.Len())
+	}
+}
+
+func TestPrepCacheNilAndNonFactorizer(t *testing.T) {
+	a, rhs := testGridSystem(5)
+	s, _ := NewSolver(BackendBiCGSTAB, SolverOptions{})
+	var nilCache *PrepCache
+	ws, shared, err := nilCache.Prepare(s, "t", a)
+	if err != nil || shared {
+		t.Fatalf("nil cache: shared=%v err=%v", shared, err)
+	}
+	x := make([]float64, a.N())
+	if err := ws.Solve(x, rhs, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A backend outside the Factorizer seam degrades to plain Prepare.
+	cache := NewPrepCache(0)
+	ws2, shared, err := cache.Prepare(plainSolver{s}, "t", a)
+	if err != nil || shared {
+		t.Fatalf("non-factorizer: shared=%v err=%v", shared, err)
+	}
+	if err := ws2.Solve(x, rhs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Fallbacks != 1 || st.Factorizations != 1 {
+		t.Fatalf("stats = %+v, want 1 fallback", st)
+	}
+}
+
+// plainSolver hides the Factorizer methods of a backend.
+type plainSolver struct{ s Solver }
+
+func (p plainSolver) Name() string                         { return p.s.Name() }
+func (p plainSolver) Prepare(a *Sparse) (Workspace, error) { return p.s.Prepare(a) }

@@ -60,6 +60,41 @@ type Solver interface {
 	Prepare(a *Sparse) (Workspace, error)
 }
 
+// Factorization is the immutable, shareable product of one backend's
+// per-matrix preparation: the ILU preconditioner or the full LU factors,
+// plus the (read-only) matrix they were built from. A Factorization is
+// safe for concurrent use; NewWorkspace stamps out independent
+// workspaces — each owning its scratch buffers — so many goroutines can
+// solve against one factorisation simultaneously (see PrepCache).
+type Factorization interface {
+	// NewWorkspace returns a fresh workspace backed by this shared
+	// factorization. The workspace performs no factorisation work of its
+	// own, but still reports Factorizations: 1 in its Stats — workspace
+	// counters are *logical* (what the preparation would cost standalone)
+	// so that results and metrics are bit-identical whether or not a
+	// preparation was shared. Physical factorisation counts live in
+	// PrepStats.
+	NewWorkspace() Workspace
+}
+
+// Factorizer is implemented by backends whose Prepare splits into an
+// immutable shareable Factorization and cheap per-caller workspaces.
+// All three built-in backends implement it.
+type Factorizer interface {
+	Solver
+	// FactorKey names the backend configuration: two solver instances
+	// with equal FactorKeys produce interchangeable factorizations for
+	// the same matrix. It namespaces PrepCache entries.
+	FactorKey() string
+	// Factor performs the per-matrix preparation once.
+	Factor(a *Sparse) (Factorization, error)
+}
+
+// factorKey renders the canonical FactorKey for a backend configuration.
+func factorKey(name string, opt SolverOptions) string {
+	return fmt.Sprintf("%s|tol=%g|maxiter=%d", name, opt.tol(), opt.MaxIter)
+}
+
 // Workspace solves repeated systems against one prepared matrix. A
 // workspace owns all scratch buffers: Solve performs no allocations.
 // Workspaces are not safe for concurrent use.
@@ -204,14 +239,48 @@ type bicgstabSolver struct{ opt SolverOptions }
 // Name implements Solver.
 func (s bicgstabSolver) Name() string { return BackendBiCGSTAB }
 
+// FactorKey implements Factorizer.
+func (s bicgstabSolver) FactorKey() string { return factorKey(BackendBiCGSTAB, s.opt) }
+
+// bicgstabFact is the shareable prepared form: the matrix and its ILU(0)
+// (or Jacobi-fallback) preconditioner, both immutable.
+type bicgstabFact struct {
+	a        *Sparse
+	tol      float64
+	maxIter  int
+	prec     func(dst, v []float64)
+	fallback string
+}
+
+// Factor implements Factorizer.
+func (s bicgstabSolver) Factor(a *Sparse) (Factorization, error) {
+	var st SolveStats
+	return &bicgstabFact{
+		a:        a,
+		tol:      s.opt.tol(),
+		maxIter:  s.opt.maxIter(4*a.N() + 40),
+		prec:     iluOrJacobi(a, &st),
+		fallback: st.FallbackReason,
+	}, nil
+}
+
+// NewWorkspace implements Factorization.
+func (f *bicgstabFact) NewWorkspace() Workspace {
+	ws := &bicgstabWS{
+		stats: SolveStats{Backend: BackendBiCGSTAB, Factorizations: 1, FallbackReason: f.fallback},
+	}
+	ws.init(f.a, f.tol, f.maxIter, f.prec)
+	return ws
+}
+
 // Prepare implements Solver: it builds the ILU(0) preconditioner (Jacobi
 // on failure) and the eight iteration vectors.
 func (s bicgstabSolver) Prepare(a *Sparse) (Workspace, error) {
-	ws := &bicgstabWS{
-		stats: SolveStats{Backend: BackendBiCGSTAB, Factorizations: 1},
+	f, err := s.Factor(a)
+	if err != nil {
+		return nil, err
 	}
-	ws.init(a, s.opt.tol(), s.opt.maxIter(4*a.N()+40), iluOrJacobi(a, &ws.stats))
-	return ws, nil
+	return f.NewWorkspace(), nil
 }
 
 // bicgstabWS is the reusable BiCGSTAB state for one matrix.
@@ -341,24 +410,60 @@ type gmresSolver struct{ opt SolverOptions }
 // Name implements Solver.
 func (s gmresSolver) Name() string { return BackendGMRES }
 
-// Prepare implements Solver: it computes the RCM ordering, permutes the
-// matrix, builds ILU(0) on the permuted system (Jacobi on failure) and
-// allocates the Krylov basis.
-func (s gmresSolver) Prepare(a *Sparse) (Workspace, error) {
+// FactorKey implements Factorizer.
+func (s gmresSolver) FactorKey() string { return factorKey(BackendGMRES, s.opt) }
+
+// gmresFact is the shareable prepared form: the RCM permutation, the
+// permuted matrix and its ILU(0) (or Jacobi-fallback) preconditioner.
+type gmresFact struct {
+	perm     []int
+	pa       *Sparse
+	tol      float64
+	maxIter  int
+	prec     func(dst, v []float64)
+	fallback string
+}
+
+// Factor implements Factorizer: it computes the RCM ordering, permutes
+// the matrix and builds ILU(0) on the permuted system.
+func (s gmresSolver) Factor(a *Sparse) (Factorization, error) {
 	perm := RCM(a)
 	pa, err := Permute(a, perm)
 	if err != nil {
 		return nil, err
 	}
+	var st SolveStats
+	return &gmresFact{
+		perm:     perm,
+		pa:       pa,
+		tol:      s.opt.tol(),
+		maxIter:  s.opt.maxIter(4*a.N() + 40),
+		prec:     iluOrJacobi(pa, &st),
+		fallback: st.FallbackReason,
+	}, nil
+}
+
+// NewWorkspace implements Factorization: it allocates the Krylov basis
+// and permutation scratch for one caller.
+func (f *gmresFact) NewWorkspace() Workspace {
 	ws := &gmresBackendWS{
-		perm:  perm,
-		stats: SolveStats{Backend: BackendGMRES, Factorizations: 1},
+		perm:  f.perm,
+		stats: SolveStats{Backend: BackendGMRES, Factorizations: 1, FallbackReason: f.fallback},
 	}
-	n := a.N()
+	n := f.pa.N()
 	ws.pb = make([]float64, n)
 	ws.px = make([]float64, n)
-	ws.core.init(pa, s.opt.tol(), s.opt.maxIter(4*n+40), iluOrJacobi(pa, &ws.stats))
-	return ws, nil
+	ws.core.init(f.pa, f.tol, f.maxIter, f.prec)
+	return ws
+}
+
+// Prepare implements Solver.
+func (s gmresSolver) Prepare(a *Sparse) (Workspace, error) {
+	f, err := s.Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.NewWorkspace(), nil
 }
 
 // gmresBackendWS wraps the GMRES core with the RCM permutation.
@@ -549,32 +654,61 @@ type directSolver struct{ opt SolverOptions }
 // Name implements Solver.
 func (s directSolver) Name() string { return BackendDirect }
 
-// Prepare implements Solver: it computes the RCM fill-reducing ordering
-// and the full sparse LU factorisation. Solves are then two triangular
-// sweeps — no iteration, no convergence failure modes.
-func (s directSolver) Prepare(a *Sparse) (Workspace, error) {
+// FactorKey implements Factorizer.
+func (s directSolver) FactorKey() string { return factorKey(BackendDirect, s.opt) }
+
+// directFact is the shareable prepared form: the immutable LU factors.
+type directFact struct {
+	a   *Sparse
+	f   *SparseLU
+	tol float64
+}
+
+// Factor implements Factorizer: it computes the RCM fill-reducing
+// ordering and the full sparse LU factorisation — the expensive step a
+// sweep group pays once per distinct matrix.
+func (s directSolver) Factor(a *Sparse) (Factorization, error) {
 	f, err := NewSparseLU(a, RCM(a))
 	if err != nil {
 		return nil, err
 	}
+	return &directFact{a: a, f: f, tol: s.opt.tol()}, nil
+}
+
+// NewWorkspace implements Factorization: per-caller residual and
+// triangular-sweep scratch over the shared factors.
+func (f *directFact) NewWorkspace() Workspace {
 	return &directWS{
-		a:   a,
-		f:   f,
-		tol: s.opt.tol(),
-		r:   make([]float64, a.N()),
+		a:    f.a,
+		f:    f.f,
+		tol:  f.tol,
+		r:    make([]float64, f.a.N()),
+		work: make([]float64, f.a.N()),
 		stats: SolveStats{
 			Backend:        BackendDirect,
 			Factorizations: 1,
 		},
-	}, nil
+	}
 }
 
-// directWS solves against one factored matrix.
+// Prepare implements Solver: factor once, then two triangular sweeps per
+// solve — no iteration, no convergence failure modes.
+func (s directSolver) Prepare(a *Sparse) (Workspace, error) {
+	f, err := s.Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.NewWorkspace(), nil
+}
+
+// directWS solves against one (possibly shared) factored matrix with its
+// own scratch.
 type directWS struct {
 	a     *Sparse
 	f     *SparseLU
 	tol   float64
 	r     []float64
+	work  []float64
 	stats SolveStats
 }
 
@@ -608,6 +742,6 @@ func (w *directWS) Solve(dst, b, x0 []float64) error {
 			return nil
 		}
 	}
-	w.f.Solve(dst, b)
+	w.f.SolveWith(dst, b, w.work)
 	return nil
 }

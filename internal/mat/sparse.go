@@ -70,6 +70,35 @@ func (m *Sparse) Diagonal() []float64 {
 	return d
 }
 
+// Equal reports whether two matrices are identical: same dimension, same
+// stored pattern and bit-identical values. It is the verification step
+// behind shared-factorization reuse (see PrepCache), where a false
+// positive would silently solve against the wrong system.
+func (m *Sparse) Equal(o *Sparse) bool {
+	if m == o {
+		return true
+	}
+	if m == nil || o == nil || m.n != o.n || len(m.vals) != len(o.vals) {
+		return false
+	}
+	for i, p := range m.rowPtr {
+		if o.rowPtr[i] != p {
+			return false
+		}
+	}
+	for i, j := range m.colIdx {
+		if o.colIdx[i] != j {
+			return false
+		}
+	}
+	for i, v := range m.vals {
+		if o.vals[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
 // Dense expands the matrix into a row-major dense representation; intended
 // for tests on small systems.
 func (m *Sparse) Dense() [][]float64 {

@@ -2,19 +2,28 @@
 // (internal/jobs) as an HTTP/JSON simulation service:
 //
 //	GET  /healthz            liveness + pool/cache/job counters
-//	GET  /v1/stats           service counters + per-backend solver metrics
+//	GET  /v1/stats           service counters + solver + sweep metrics
 //	POST /v1/simulate        run one co-simulation scenario
 //	POST /v1/dse             run a §II-C cavity design-space exploration
 //	POST /v1/studies         run the paper's Fig. 6/7 policy study
+//	POST /v1/sweeps          run a batched parameter sweep (?stream=1
+//	                         streams NDJSON progress)
 //	GET  /v1/jobs            list submitted jobs
 //	GET  /v1/jobs/{id}       poll one job (?wait=1 long-polls)
 //
-// The three POST endpoints run synchronously by default and return the
-// result body; with ?async=1 they enqueue the work on the job manager
-// and immediately return 202 with a job snapshot whose id is polled via
+// The POST endpoints run synchronously by default and return the result
+// body; with ?async=1 they enqueue the work on the job manager and
+// immediately return 202 with a job snapshot whose id is polled via
 // /v1/jobs/{id}. Identical simulate requests are deduplicated by the
 // content-addressed result cache: the second request for a scenario is
 // served from memory, flagged "cached": true.
+//
+// Sweeps — scenario grids and steady flow × utilization batches — run
+// through the batched sweep engine (internal/sweep): scenarios are
+// grouped structurally and each group shares one factor cache, so an
+// N-point sweep pays for O(distinct matrices) factorizations instead of
+// O(N). The per-sweep sharing outcome rides in every response and is
+// folded into /v1/stats.
 package server
 
 import (
@@ -32,6 +41,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/mat"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/tsv"
 	"repro/internal/units"
 )
@@ -55,16 +65,19 @@ type Server struct {
 	pool          *jobs.Pool
 	cache         *jobs.Cache
 	mgr           *jobs.Manager
+	sweeps        *sweep.Engine
 	mux           *http.ServeMux
 	started       time.Time
 	defaultSolver string
 
 	// Solver-metrics surface: per-backend aggregates of every scenario
 	// freshly computed through the result cache (cache hits re-serve a
-	// recorded result and are not double counted).
+	// recorded result and are not double counted), plus the cumulative
+	// sweep-sharing counters.
 	solverMu  sync.Mutex
 	solver    map[string]mat.SolveStats
 	scenarios int
+	sweepAgg  SweepStats
 }
 
 // New builds the service and its routes.
@@ -83,11 +96,13 @@ func New(opt Options) *Server {
 			s.recordSolver(m)
 		}
 	})
+	s.sweeps = &sweep.Engine{Pool: s.pool, Cache: s.cache}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/dse", s.handleDSE)
 	s.mux.HandleFunc("POST /v1/studies", s.handleStudies)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweeps)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	return s
@@ -214,6 +229,9 @@ type StatsResponse struct {
 	Backends []string `json:"backends"`
 	// DefaultSolver is applied to requests that omit "solver".
 	DefaultSolver string `json:"default_solver"`
+	// Sweeps aggregates the sweep engine's outcomes — factorizations
+	// paid versus shared across every sweep the service has run.
+	Sweeps SweepStats `json:"sweeps"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -223,6 +241,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		solver[k] = v
 	}
 	scenarios := s.scenarios
+	sweeps := s.sweepAgg
 	s.solverMu.Unlock()
 	def := s.defaultSolver
 	if def == "" {
@@ -238,6 +257,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Solver:            solver,
 		Backends:          mat.Backends(),
 		DefaultSolver:     def,
+		Sweeps:            sweeps,
 	})
 }
 
@@ -463,6 +483,160 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 		}
 		return resp, nil
 	})
+}
+
+// SweepStats aggregates the sweep engine's outcomes across every sweep
+// the service has completed (grid and steady alike) — the /v1/stats
+// surface for factorization sharing.
+type SweepStats struct {
+	// Sweeps counts completed sweep requests.
+	Sweeps int `json:"sweeps"`
+	// Scenarios counts points across those sweeps.
+	Scenarios int `json:"scenarios"`
+	// Errors counts failed points.
+	Errors int `json:"errors"`
+	// CacheHits counts points served without a fresh solve.
+	CacheHits int `json:"cache_hits"`
+	// Groups counts structural groups.
+	Groups int `json:"groups"`
+	// Prep aggregates physical preparation work: Factorizations paid,
+	// Shares avoided via per-group factor caches.
+	Prep mat.PrepStats `json:"prep"`
+}
+
+// recordSweep folds one completed sweep into the service aggregates.
+func (s *Server) recordSweep(scenarios, errors, cacheHits, groups int, prep mat.PrepStats) {
+	s.solverMu.Lock()
+	s.sweepAgg.Sweeps++
+	s.sweepAgg.Scenarios += scenarios
+	s.sweepAgg.Errors += errors
+	s.sweepAgg.CacheHits += cacheHits
+	s.sweepAgg.Groups += groups
+	s.sweepAgg.Prep.Accumulate(prep)
+	s.solverMu.Unlock()
+}
+
+// SweepRequest parameterizes POST /v1/sweeps: exactly one of the two
+// sweep kinds.
+type SweepRequest struct {
+	// Grid is a transient scenario sweep — the cartesian product of the
+	// given axes, each point a full co-simulation.
+	Grid *sweep.Grid `json:"grid,omitempty"`
+	// Steady is a steady-state flow × utilization sweep on one stack.
+	Steady *sweep.SteadySweep `json:"steady,omitempty"`
+}
+
+// sweepLine is one NDJSON line of a streamed sweep (?stream=1): a
+// progress line carries Result or Point; the final line carries Report
+// or SteadyReport (with the already-streamed point lists elided).
+type sweepLine struct {
+	Type         string              `json:"type"` // "result", "point", "report", "error"
+	Result       *sweep.Result       `json:"result,omitempty"`
+	Point        *sweep.SteadyPoint  `json:"point,omitempty"`
+	Report       *sweep.Report       `json:"report,omitempty"`
+	SteadyReport *sweep.SteadyReport `json:"steady_report,omitempty"`
+	Error        string              `json:"error,omitempty"`
+}
+
+func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if (req.Grid == nil) == (req.Steady == nil) {
+		writeError(w, http.StatusBadRequest,
+			errors.New(`want exactly one of "grid" or "steady"`))
+		return
+	}
+	if req.Grid != nil && len(req.Grid.Solvers) == 0 && s.defaultSolver != "" {
+		req.Grid.Solvers = []string{s.defaultSolver}
+	}
+	if req.Steady != nil && req.Steady.Solver == "" && s.defaultSolver != "" {
+		req.Steady.Solver = s.defaultSolver
+	}
+	// Validate the whole request up front so a streamed sweep fails with
+	// a status code instead of a 200 followed by a mid-stream error line.
+	var scenarios []jobs.Scenario
+	if req.Grid != nil {
+		var err error
+		if scenarios, err = req.Grid.Expand(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		for i, sc := range scenarios {
+			if err := sc.Validate(); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("grid point %d: %w", i, err))
+				return
+			}
+		}
+	}
+	if req.Steady != nil {
+		if err := req.Steady.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if wantFlag(r, "stream") {
+		s.streamSweep(w, r, req, scenarios)
+		return
+	}
+	s.dispatch(w, r, "sweep", func(ctx context.Context) (any, error) {
+		if req.Steady != nil {
+			rep, err := s.sweeps.RunSteady(ctx, *req.Steady, nil)
+			if err != nil {
+				return nil, err
+			}
+			s.recordSweep(rep.Scenarios, rep.Errors, 0, 1, rep.Prep)
+			return rep, nil
+		}
+		rep, err := s.sweeps.Run(ctx, scenarios, nil)
+		if err != nil {
+			return nil, err
+		}
+		s.recordSweep(rep.Scenarios, rep.Errors, rep.CacheHits, len(rep.Groups), rep.Prep)
+		return rep, nil
+	})
+}
+
+// streamSweep writes the sweep as NDJSON: one line per completed point,
+// then the summary report (point lists elided — they were streamed).
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRequest, scenarios []jobs.Scenario) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	line := func(l sweepLine) {
+		_ = enc.Encode(l)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if req.Steady != nil {
+		rep, err := s.sweeps.RunSteady(r.Context(), *req.Steady, func(p sweep.SteadyPoint) {
+			line(sweepLine{Type: "point", Point: &p})
+		})
+		if err != nil {
+			line(sweepLine{Type: "error", Error: err.Error()})
+			return
+		}
+		s.recordSweep(rep.Scenarios, rep.Errors, 0, 1, rep.Prep)
+		summary := *rep
+		summary.Points = nil
+		line(sweepLine{Type: "report", SteadyReport: &summary})
+		return
+	}
+	rep, err := s.sweeps.Run(r.Context(), scenarios, func(res sweep.Result) {
+		line(sweepLine{Type: "result", Result: &res})
+	})
+	if err != nil {
+		line(sweepLine{Type: "error", Error: err.Error()})
+		return
+	}
+	s.recordSweep(rep.Scenarios, rep.Errors, rep.CacheHits, len(rep.Groups), rep.Prep)
+	summary := *rep
+	summary.Results = nil
+	line(sweepLine{Type: "report", Report: &summary})
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {

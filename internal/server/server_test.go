@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/sweep"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -319,6 +320,106 @@ func TestStudiesAsync(t *testing.T) {
 		}
 		if time.Now().After(deadline) {
 			t.Fatal("study job did not finish in time")
+		}
+	}
+}
+
+func TestSweepsGridEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep endpoint test is not short")
+	}
+	_, ts := newTestServer(t)
+	body := `{"grid": {"coolings": ["air", "liquid"], "workloads": ["web", "light"], "steps": 3, "grid": 8}}`
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := decode[sweep.Report](t, resp, http.StatusOK)
+	if rep.Scenarios != 4 || rep.Errors != 0 || len(rep.Results) != 4 {
+		t.Fatalf("report: %d scenarios, %d errors, %d results", rep.Scenarios, rep.Errors, len(rep.Results))
+	}
+	if len(rep.Groups) != 2 {
+		t.Fatalf("got %d structural groups, want 2", len(rep.Groups))
+	}
+	if rep.Prep.Shares == 0 {
+		t.Fatal("sweep shared no factorizations")
+	}
+	// The sharing outcome is folded into /v1/stats.
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decode[StatsResponse](t, resp, http.StatusOK)
+	if stats.Sweeps.Sweeps != 1 || stats.Sweeps.Scenarios != 4 || stats.Sweeps.Prep.Shares == 0 {
+		t.Fatalf("stats.sweeps = %+v", stats.Sweeps)
+	}
+}
+
+func TestSweepsSteadyStreaming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep endpoint test is not short")
+	}
+	_, ts := newTestServer(t)
+	body := `{"steady": {"tiers": 2, "grid": 8, "utils": [0.2, 0.8], "flows_ml_min": [10, 32.3]}}`
+	resp, err := http.Post(ts.URL+"/v1/sweeps?stream=1", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var points, reports int
+	var final sweepLine
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var l sweepLine
+		if err := dec.Decode(&l); err != nil {
+			t.Fatal(err)
+		}
+		switch l.Type {
+		case "point":
+			points++
+			if l.Point == nil || l.Point.Error != "" {
+				t.Fatalf("bad point line: %+v", l)
+			}
+		case "report":
+			reports++
+			final = l
+		default:
+			t.Fatalf("unexpected line type %q", l.Type)
+		}
+	}
+	if points != 4 || reports != 1 {
+		t.Fatalf("streamed %d points and %d reports, want 4 and 1", points, reports)
+	}
+	if final.SteadyReport == nil || final.SteadyReport.Prep.Factorizations != 2 {
+		t.Fatalf("final report: %+v", final.SteadyReport)
+	}
+	if len(final.SteadyReport.Points) != 0 {
+		t.Fatal("summary line repeats the streamed points")
+	}
+}
+
+func TestSweepsRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, body := range []string{
+		`{}`,
+		`{"grid": {}, "steady": {"utils": [0.5], "flows_ml_min": [20]}}`,
+		`{"grid": {"tiers": [3]}}`,
+		`{"steady": {"utils": [], "flows_ml_min": [20]}}`,
+		`{"nope": 1}`,
+	} {
+		// Streamed and unstreamed alike must reject before any 200.
+		for _, path := range []string{"/v1/sweeps", "/v1/sweeps?stream=1"} {
+			resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode == http.StatusOK {
+				t.Fatalf("bad sweep request accepted on %s: %s", path, body)
+			}
+			resp.Body.Close()
 		}
 	}
 }

@@ -62,6 +62,13 @@ type Config struct {
 	// backend-agnostic within solver tolerance; the choice only moves
 	// compute time between factorisation and iteration.
 	Solver string
+	// Prep, when non-nil, shares solver preparations (factorizations,
+	// preconditioners) with other runs plugged into the same cache —
+	// the sweep engine (internal/sweep) hands every scenario of a
+	// structural group one cache so identical (C/dt + G) systems are
+	// factored once per group instead of once per scenario. Sharing
+	// never changes results or per-run solver stats.
+	Prep *mat.PrepCache
 	// StuckSensor, when non-nil, injects a sensor failure.
 	StuckSensor *StuckSensor
 	// Record, when true, captures a per-sensing-step time series in
@@ -203,6 +210,7 @@ func Run(cfg Config) (*Metrics, error) {
 		// Start at the Table-I maximum; the policy retunes it below.
 		FlowPerCavity: units.MlPerMinToM3PerS(32.3),
 		Solver:        cfg.Solver,
+		Prep:          cfg.Prep,
 	})
 	if err != nil {
 		return nil, err

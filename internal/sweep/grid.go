@@ -1,0 +1,131 @@
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/jobs"
+)
+
+// MaxGridPoints bounds one grid expansion; a request past the bound is
+// rejected up front instead of exhausting memory mid-sweep.
+const MaxGridPoints = 65536
+
+// Grid is a declarative parameter grid over scenario axes: the sweep is
+// the cartesian product of every non-empty axis, with omitted axes
+// pinned to the scenario default. The expansion order is fixed —
+// tiers ≻ coolings ≻ policies ≻ workloads ≻ solvers ≻ seeds ≻
+// flow_levels ≻ thresholds ≻ noises, rightmost fastest — so a grid
+// always produces the same scenario sequence and the same result
+// ordering, whatever the worker count.
+type Grid struct {
+	// Tiers sweeps the stack height (2 or 4).
+	Tiers []int `json:"tiers,omitempty"`
+	// Coolings sweeps the heat-removal technology ("air", "liquid").
+	Coolings []string `json:"coolings,omitempty"`
+	// Policies sweeps the management strategy (see core.Policies).
+	Policies []string `json:"policies,omitempty"`
+	// Workloads sweeps the trace profile (web, db, mm, peak, light).
+	Workloads []string `json:"workloads,omitempty"`
+	// Solvers sweeps the linear-solver backend (see mat.Backends).
+	Solvers []string `json:"solvers,omitempty"`
+	// Seeds sweeps the trace-generator seed.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// FlowLevels sweeps the pump quantisation (jobs.Scenario.FlowQuantLevels).
+	FlowLevels []int `json:"flow_levels,omitempty"`
+	// Thresholds sweeps the hot-spot threshold (°C).
+	Thresholds []float64 `json:"thresholds_c,omitempty"`
+	// Noises sweeps the sensor-noise standard deviation (°C).
+	Noises []float64 `json:"sensor_noise_std_c,omitempty"`
+
+	// Steps, Res and Record apply to every point of the grid: the trace
+	// length (s), the thermal grid resolution and time-series capture.
+	Steps  int  `json:"steps,omitempty"`
+	Res    int  `json:"grid,omitempty"`
+	Record bool `json:"record,omitempty"`
+}
+
+// axes returns the lengths of every axis, empty axes counting as one
+// (the pinned default).
+func (g Grid) axes() [9]int {
+	dim := func(n int) int {
+		if n == 0 {
+			return 1
+		}
+		return n
+	}
+	return [9]int{
+		dim(len(g.Tiers)), dim(len(g.Coolings)), dim(len(g.Policies)),
+		dim(len(g.Workloads)), dim(len(g.Solvers)), dim(len(g.Seeds)),
+		dim(len(g.FlowLevels)), dim(len(g.Thresholds)), dim(len(g.Noises)),
+	}
+}
+
+// Size returns the number of points the grid expands to, saturating at
+// MaxGridPoints+1 once the bound is exceeded — the product of nine
+// user-controlled axis lengths can overflow int, and a wrapped product
+// must never slip past the expansion guard.
+func (g Grid) Size() int {
+	n := 1
+	for _, d := range g.axes() {
+		if d > MaxGridPoints || n > MaxGridPoints/d {
+			return MaxGridPoints + 1
+		}
+		n *= d
+	}
+	return n
+}
+
+// At returns the scenario at mixed-radix index i of the expansion
+// (0 <= i < Size), without materialising the full grid.
+func (g Grid) At(i int) jobs.Scenario {
+	dims := g.axes()
+	var idx [9]int
+	for a := len(dims) - 1; a >= 0; a-- {
+		idx[a] = i % dims[a]
+		i /= dims[a]
+	}
+	s := jobs.Scenario{Steps: g.Steps, Grid: g.Res, Record: g.Record}
+	if len(g.Tiers) > 0 {
+		s.Tiers = g.Tiers[idx[0]]
+	}
+	if len(g.Coolings) > 0 {
+		s.Cooling = g.Coolings[idx[1]]
+	}
+	if len(g.Policies) > 0 {
+		s.Policy = g.Policies[idx[2]]
+	}
+	if len(g.Workloads) > 0 {
+		s.Workload = g.Workloads[idx[3]]
+	}
+	if len(g.Solvers) > 0 {
+		s.Solver = g.Solvers[idx[4]]
+	}
+	if len(g.Seeds) > 0 {
+		s.Seed = g.Seeds[idx[5]]
+	}
+	if len(g.FlowLevels) > 0 {
+		s.FlowQuantLevels = g.FlowLevels[idx[6]]
+	}
+	if len(g.Thresholds) > 0 {
+		s.ThresholdC = g.Thresholds[idx[7]]
+	}
+	if len(g.Noises) > 0 {
+		s.SensorNoiseStdC = g.Noises[idx[8]]
+	}
+	return s
+}
+
+// Expand materialises the full scenario sequence of the grid. Every
+// index tuple of the cartesian product appears exactly once, in the
+// fixed expansion order — the property FuzzSweepGrid pins.
+func (g Grid) Expand() ([]jobs.Scenario, error) {
+	n := g.Size()
+	if n > MaxGridPoints {
+		return nil, fmt.Errorf("sweep: grid expands to more than %d points", MaxGridPoints)
+	}
+	out := make([]jobs.Scenario, n)
+	for i := range out {
+		out[i] = g.At(i)
+	}
+	return out, nil
+}

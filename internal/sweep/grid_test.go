@@ -1,0 +1,207 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+func TestGridExpandDefaults(t *testing.T) {
+	out, err := (Grid{}).Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !reflect.DeepEqual(out[0], jobs.Scenario{}) {
+		t.Fatalf("empty grid expanded to %v", out)
+	}
+}
+
+func TestGridExpandOrderAndScalars(t *testing.T) {
+	g := Grid{
+		Tiers:     []int{2, 4},
+		Workloads: []string{"web", "db", "mm"},
+		Steps:     40, Res: 8, Record: true,
+	}
+	out, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 6 {
+		t.Fatalf("expanded to %d points, want 6", len(out))
+	}
+	// tiers-major, workloads-minor.
+	want := []jobs.Scenario{
+		{Tiers: 2, Workload: "web", Steps: 40, Grid: 8, Record: true},
+		{Tiers: 2, Workload: "db", Steps: 40, Grid: 8, Record: true},
+		{Tiers: 2, Workload: "mm", Steps: 40, Grid: 8, Record: true},
+		{Tiers: 4, Workload: "web", Steps: 40, Grid: 8, Record: true},
+		{Tiers: 4, Workload: "db", Steps: 40, Grid: 8, Record: true},
+		{Tiers: 4, Workload: "mm", Steps: 40, Grid: 8, Record: true},
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("expansion order wrong:\ngot  %v\nwant %v", out, want)
+	}
+}
+
+func TestGridExpandRejectsOversize(t *testing.T) {
+	seeds := make([]int64, MaxGridPoints/2+1)
+	g := Grid{Seeds: seeds, Tiers: []int{2, 4}}
+	if _, err := g.Expand(); err == nil {
+		t.Fatal("oversized grid accepted")
+	}
+}
+
+func TestGridSizeSaturatesOnOverflow(t *testing.T) {
+	// Nine 256-element axes multiply to 2^72 — far past int overflow.
+	// Size must saturate (not wrap negative or to a small value that
+	// would slip past the expansion guard and crash make()).
+	g := Grid{
+		Tiers:      make([]int, 256),
+		Coolings:   make([]string, 256),
+		Policies:   make([]string, 256),
+		Workloads:  make([]string, 256),
+		Solvers:    make([]string, 256),
+		Seeds:      make([]int64, 256),
+		FlowLevels: make([]int, 256),
+		Thresholds: make([]float64, 256),
+		Noises:     make([]float64, 256),
+	}
+	if got := g.Size(); got != MaxGridPoints+1 {
+		t.Fatalf("Size() = %d, want saturation at %d", got, MaxGridPoints+1)
+	}
+	if _, err := g.Expand(); err == nil {
+		t.Fatal("overflowing grid accepted")
+	}
+}
+
+// expandReference is the naive nested-loop expansion FuzzSweepGrid
+// checks the mixed-radix implementation against.
+func expandReference(g Grid) []jobs.Scenario {
+	orDefault := func(n int) int {
+		if n == 0 {
+			return 1
+		}
+		return n
+	}
+	var out []jobs.Scenario
+	for i0 := 0; i0 < orDefault(len(g.Tiers)); i0++ {
+		for i1 := 0; i1 < orDefault(len(g.Coolings)); i1++ {
+			for i2 := 0; i2 < orDefault(len(g.Policies)); i2++ {
+				for i3 := 0; i3 < orDefault(len(g.Workloads)); i3++ {
+					for i4 := 0; i4 < orDefault(len(g.Solvers)); i4++ {
+						for i5 := 0; i5 < orDefault(len(g.Seeds)); i5++ {
+							for i6 := 0; i6 < orDefault(len(g.FlowLevels)); i6++ {
+								for i7 := 0; i7 < orDefault(len(g.Thresholds)); i7++ {
+									for i8 := 0; i8 < orDefault(len(g.Noises)); i8++ {
+										s := jobs.Scenario{Steps: g.Steps, Grid: g.Res, Record: g.Record}
+										if len(g.Tiers) > 0 {
+											s.Tiers = g.Tiers[i0]
+										}
+										if len(g.Coolings) > 0 {
+											s.Cooling = g.Coolings[i1]
+										}
+										if len(g.Policies) > 0 {
+											s.Policy = g.Policies[i2]
+										}
+										if len(g.Workloads) > 0 {
+											s.Workload = g.Workloads[i3]
+										}
+										if len(g.Solvers) > 0 {
+											s.Solver = g.Solvers[i4]
+										}
+										if len(g.Seeds) > 0 {
+											s.Seed = g.Seeds[i5]
+										}
+										if len(g.FlowLevels) > 0 {
+											s.FlowQuantLevels = g.FlowLevels[i6]
+										}
+										if len(g.Thresholds) > 0 {
+											s.ThresholdC = g.Thresholds[i7]
+										}
+										if len(g.Noises) > 0 {
+											s.SensorNoiseStdC = g.Noises[i8]
+										}
+										out = append(out, s)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FuzzSweepGrid pins the expansion contract: the grid materialises
+// exactly the cartesian product of its axes — no point dropped, none
+// duplicated, in the documented order.
+func FuzzSweepGrid(f *testing.F) {
+	f.Add(uint8(2), uint8(2), uint8(1), uint8(3), uint8(0), uint8(2), uint8(1), uint8(0), uint8(1), 40, 8)
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), 0, 0)
+	f.Add(uint8(5), uint8(2), uint8(3), uint8(4), uint8(3), uint8(5), uint8(4), uint8(3), uint8(2), 1, 2)
+	f.Fuzz(func(t *testing.T, nTiers, nCool, nPol, nWl, nSolv, nSeed, nLvl, nThr, nNoise uint8, steps, res int) {
+		// Bound axis lengths so the product stays affordable; values are
+		// derived from the index so every point is distinguishable.
+		dim := func(n uint8) int { return int(n % 6) }
+		g := Grid{Steps: steps, Res: res}
+		for i := 0; i < dim(nTiers); i++ {
+			g.Tiers = append(g.Tiers, 2+2*i)
+		}
+		coolNames := []string{"air", "liquid", "c2", "c3", "c4"}
+		for i := 0; i < dim(nCool); i++ {
+			g.Coolings = append(g.Coolings, coolNames[i])
+		}
+		polNames := []string{"LB", "LC_FUZZY", "p2", "p3", "p4"}
+		for i := 0; i < dim(nPol); i++ {
+			g.Policies = append(g.Policies, polNames[i])
+		}
+		wlNames := []string{"web", "db", "mm", "peak", "light"}
+		for i := 0; i < dim(nWl); i++ {
+			g.Workloads = append(g.Workloads, wlNames[i])
+		}
+		solvNames := []string{"bicgstab", "gmres", "direct", "s3", "s4"}
+		for i := 0; i < dim(nSolv); i++ {
+			g.Solvers = append(g.Solvers, solvNames[i])
+		}
+		for i := 0; i < dim(nSeed); i++ {
+			g.Seeds = append(g.Seeds, int64(i+1))
+		}
+		for i := 0; i < dim(nLvl); i++ {
+			g.FlowLevels = append(g.FlowLevels, 2+i)
+		}
+		for i := 0; i < dim(nThr); i++ {
+			g.Thresholds = append(g.Thresholds, 70+float64(i))
+		}
+		for i := 0; i < dim(nNoise); i++ {
+			g.Noises = append(g.Noises, float64(i)/10)
+		}
+		out, err := g.Expand()
+		if g.Size() > MaxGridPoints {
+			if err == nil {
+				t.Fatalf("oversized grid (%d points) accepted", g.Size())
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("expand: %v", err)
+		}
+		want := expandReference(g)
+		if len(out) != len(want) {
+			t.Fatalf("expanded to %d points, want %d", len(out), len(want))
+		}
+		if g.Size() != len(want) {
+			t.Fatalf("Size() = %d, want %d", g.Size(), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(out[i], want[i]) {
+				t.Fatalf("point %d = %+v, want %+v", i, out[i], want[i])
+			}
+			if got := g.At(i); !reflect.DeepEqual(got, want[i]) {
+				t.Fatalf("At(%d) = %+v, want %+v", i, got, want[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,323 @@
+// Package sweep is the batched scenario-sweep engine: it expands
+// parameter grids into scenario batches (Grid), groups scenarios by
+// structural key — same stack, thermal grid and solver backend mean the
+// same matrix sparsity pattern, and matching cavity flows mean the very
+// same left-hand side — and executes each group through a jobs.Pool with
+// one shared mat.PrepCache per group, so an N-point sweep pays for
+// O(distinct matrices) factorizations instead of O(N).
+//
+// The paper's headline results are exactly such sweeps (flow rates ×
+// workloads × stack configurations under the fuzzy controller), and the
+// design-space/ study entry points (dse.(*Space).ExploreParallel,
+// exp.RunStudyOn) and the HTTP service's /v1/dse, /v1/studies and
+// /v1/sweeps endpoints all route through this package.
+//
+// Sharing is result-invariant by construction: matrix assembly is
+// deterministic, a shared factorization is bit-identical to a private
+// one, and workspace solver counters are logical (see mat.PrepCache) —
+// so the engine returns byte-identical results whether it runs on one
+// worker or sixteen, with or without sharing. Tests pin this.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/jobs"
+	"repro/internal/mat"
+	"repro/internal/sim"
+)
+
+// DefaultPrepEntries bounds each group's factor cache: past the bound
+// new matrices are solved with private preparations instead of growing
+// the cache (a per-cavity policy can visit levels^cavities distinct flow
+// vectors; the sweep must not pin that many factorizations).
+const DefaultPrepEntries = 256
+
+// Engine executes scenario batches. The zero value works: a nil Pool
+// selects a GOMAXPROCS-wide default per call, a nil Cache disables
+// result memoization. One Engine may serve many concurrent Run calls —
+// the HTTP service holds exactly one.
+type Engine struct {
+	// Pool bounds concurrent scenario execution across all Run calls.
+	Pool *jobs.Pool
+	// Cache memoizes scenario results under their content-addressed key.
+	Cache *jobs.Cache
+	// PrepEntries bounds each group's shared factor cache: 0 selects
+	// DefaultPrepEntries, negative is unbounded.
+	PrepEntries int
+	// FailFast cancels the remaining scenarios of a batch after the
+	// first failure instead of completing the survivors.
+	FailFast bool
+}
+
+// StructuralKey names the scenario properties that fix the thermal
+// system's structure: stack height, cooling technology, grid resolution
+// and solver backend. Scenarios sharing a structural key assemble
+// matrices with one sparsity pattern — and bit-identical matrices
+// whenever their cavity flows coincide — so they share one factor cache.
+func StructuralKey(s jobs.Scenario) string {
+	s = s.Normalized()
+	return fmt.Sprintf("tiers=%d|cooling=%s|grid=%d|solver=%s", s.Tiers, s.Cooling, s.Grid, s.Solver)
+}
+
+// Result is the outcome of one scenario of a batch, in batch order.
+type Result struct {
+	// Index is the scenario's position in the submitted batch.
+	Index int `json:"index"`
+	// Key is the scenario's content address (jobs.Scenario.Key).
+	Key string `json:"key"`
+	// Group is the scenario's structural key.
+	Group string `json:"group"`
+	// Scenario echoes the normalized scenario.
+	Scenario jobs.Scenario `json:"scenario"`
+	// Metrics holds the simulation result (nil on error).
+	Metrics *sim.Metrics `json:"metrics,omitempty"`
+	// CacheHit reports that the result was served without a fresh solve:
+	// from the result cache, or from an identical scenario earlier in
+	// the same batch.
+	CacheHit bool `json:"cache_hit"`
+	// Error carries the failure, if any ("" on the wire when absent).
+	Error string `json:"error,omitempty"`
+	// Err is the underlying error for in-process callers.
+	Err error `json:"-"`
+}
+
+// GroupStats reports one structural group's sharing outcome.
+type GroupStats struct {
+	// Key is the structural key.
+	Key string `json:"key"`
+	// Scenarios counts batch members in the group.
+	Scenarios int `json:"scenarios"`
+	// Distinct counts matrices held by the group's factor cache.
+	Distinct int `json:"distinct_matrices"`
+	// Prep counts the group's physical preparation work: Factorizations
+	// is what the group actually paid, Shares what it avoided.
+	Prep mat.PrepStats `json:"prep"`
+}
+
+// Report is the full outcome of one batch.
+type Report struct {
+	// Results holds one entry per submitted scenario, in batch order.
+	Results []Result `json:"results"`
+	// Groups holds the structural groups in first-appearance order.
+	Groups []GroupStats `json:"groups"`
+	// Scenarios, Errors and CacheHits count batch outcomes.
+	Scenarios int `json:"scenarios"`
+	Errors    int `json:"errors"`
+	CacheHits int `json:"cache_hits"`
+	// Solver aggregates the per-scenario logical solver counters —
+	// Factorizations here is what the batch would have cost without
+	// sharing; Prep.Factorizations below is what it actually paid.
+	Solver mat.SolveStats `json:"solver"`
+	// Prep aggregates the physical preparation work across groups.
+	Prep mat.PrepStats `json:"prep"`
+}
+
+// FirstFailure returns the lowest result index holding a root-cause
+// error — preferring non-cancellation failures over fail-fast skips —
+// or -1 when every result succeeded (or the report is nil). It is the
+// error-selection policy behind the engine's FailFast return and the
+// study wrappers' labeled errors.
+func (r *Report) FirstFailure() int {
+	if r == nil {
+		return -1
+	}
+	first := -1
+	for i := range r.Results {
+		if r.Results[i].Err == nil {
+			continue
+		}
+		if !errors.Is(r.Results[i].Err, context.Canceled) {
+			return i
+		}
+		if first < 0 {
+			first = i
+		}
+	}
+	return first
+}
+
+// FanOut fans n independent evaluations across pool (nil selects a
+// GOMAXPROCS-wide default): values[i] and errs[i] capture evaluation i,
+// errs[i] holding ctx.Err() for evaluations skipped after cancellation.
+// The returned error is non-nil only when ctx was canceled. It is the
+// shared fan-out primitive behind the engine and the DSE explorer.
+func FanOut[T any](ctx context.Context, pool *jobs.Pool, n int, eval func(ctx context.Context, i int) (T, error)) ([]T, []error, error) {
+	if pool == nil {
+		pool = jobs.NewPool(0)
+	}
+	values := make([]T, n)
+	errs, err := pool.Run(ctx, n, func(ctx context.Context, i int) error {
+		v, e := eval(ctx, i)
+		values[i] = v
+		return e
+	})
+	return values, errs, err
+}
+
+// group is one structural group during a run.
+type group struct {
+	key       string
+	prep      *mat.PrepCache
+	scenarios int
+}
+
+// newPrepCache applies the engine's capacity convention: 0 selects
+// DefaultPrepEntries, negative is unbounded.
+func (e *Engine) newPrepCache() *mat.PrepCache {
+	max := e.PrepEntries
+	if max == 0 {
+		max = DefaultPrepEntries
+	} else if max < 0 {
+		max = 0
+	}
+	return mat.NewPrepCache(max)
+}
+
+// Run executes a scenario batch: normalize and validate every scenario,
+// deduplicate identical ones (the first occurrence computes, the rest
+// reuse its result), group the distinct scenarios structurally, and fan
+// them across the pool with one shared factor cache per group. onResult,
+// when non-nil, observes every Result as it completes (any order, one
+// call at a time) — the streaming hook behind POST /v1/sweeps. The
+// returned Report lists results in batch order; it is byte-identical for
+// any worker count. Run fails fast only on validation errors, context
+// cancellation, or — with FailFast — the first scenario error.
+func (e *Engine) Run(ctx context.Context, scenarios []jobs.Scenario, onResult func(Result)) (*Report, error) {
+	n := len(scenarios)
+	if n == 0 {
+		return nil, fmt.Errorf("sweep: empty batch")
+	}
+	norm := make([]jobs.Scenario, n)
+	keys := make([]string, n)
+	for i, s := range scenarios {
+		norm[i] = s.Normalized()
+		if err := norm[i].Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: scenario %d: %w", i, err)
+		}
+		keys[i] = norm[i].Key()
+	}
+
+	// Deduplicate by content key: only first occurrences run, so the
+	// computed/joined flags of duplicates cannot depend on scheduling.
+	firstOf := map[string]int{}
+	var distinct []int // batch indices of first occurrences
+	dupsOf := map[int][]int{}
+	for i, k := range keys {
+		if f, ok := firstOf[k]; ok {
+			dupsOf[f] = append(dupsOf[f], i)
+			continue
+		}
+		firstOf[k] = i
+		distinct = append(distinct, i)
+	}
+
+	// Group the distinct scenarios structurally; each group owns one
+	// factor cache for the whole batch.
+	groups := map[string]*group{}
+	var groupOrder []*group
+	groupOf := make([]*group, n)
+	for _, i := range distinct {
+		gk := StructuralKey(norm[i])
+		g := groups[gk]
+		if g == nil {
+			g = &group{key: gk, prep: e.newPrepCache()}
+			groups[gk] = g
+			groupOrder = append(groupOrder, g)
+		}
+		g.scenarios += 1 + len(dupsOf[i])
+		groupOf[i] = g
+	}
+
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if e.FailFast {
+		runCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
+
+	results := make([]Result, n)
+	var emitMu sync.Mutex
+	emit := func(r Result) {
+		results[r.Index] = r
+		if onResult != nil {
+			emitMu.Lock()
+			onResult(r)
+			emitMu.Unlock()
+		}
+	}
+
+	pool := e.Pool
+	if pool == nil {
+		pool = jobs.NewPool(0)
+	}
+	_, _ = pool.Run(runCtx, len(distinct), func(ctx context.Context, di int) error {
+		i := distinct[di]
+		g := groupOf[i]
+		m, hit, err := e.Cache.MetricsWith(ctx, norm[i], g.prep)
+		r := Result{Index: i, Key: keys[i], Group: g.key, Scenario: norm[i], Metrics: m, CacheHit: hit}
+		if err != nil {
+			r.Err = err
+			r.Error = err.Error()
+			if cancel != nil {
+				cancel()
+			}
+		}
+		emit(r)
+		for _, d := range dupsOf[i] {
+			dr := r
+			dr.Index = d
+			if err == nil {
+				dr.Metrics = m.Clone()
+				dr.CacheHit = true
+			}
+			emit(dr)
+		}
+		return err
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Scenarios skipped by a fail-fast cancellation never ran their
+	// emitter: fill their slots so the report stays self-describing.
+	for _, i := range distinct {
+		if results[i].Key != "" {
+			continue
+		}
+		err := fmt.Errorf("sweep: skipped after batch failure: %w", context.Canceled)
+		for _, d := range append([]int{i}, dupsOf[i]...) {
+			results[d] = Result{Index: d, Key: keys[d], Group: groupOf[i].key,
+				Scenario: norm[d], Err: err, Error: err.Error()}
+		}
+	}
+
+	rep := &Report{Results: results, Scenarios: n}
+	for i := range results {
+		r := &results[i]
+		if r.Err != nil {
+			rep.Errors++
+			continue
+		}
+		if r.CacheHit {
+			rep.CacheHits++
+		}
+		if r.Metrics != nil {
+			rep.Solver.Accumulate(r.Metrics.Solver)
+		}
+	}
+	for _, g := range groupOrder {
+		gs := GroupStats{Key: g.key, Scenarios: g.scenarios, Distinct: g.prep.Len(), Prep: g.prep.Stats()}
+		rep.Groups = append(rep.Groups, gs)
+		rep.Prep.Accumulate(gs.Prep)
+	}
+	if e.FailFast && rep.Errors > 0 {
+		// Surface the root cause, not a skipped scenario's cancellation.
+		first := rep.FirstFailure()
+		return rep, fmt.Errorf("sweep: scenario %d (%s/%s/%s): %w", first,
+			norm[first].Cooling, norm[first].Policy, norm[first].Workload, results[first].Err)
+	}
+	return rep, nil
+}

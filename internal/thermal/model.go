@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"repro/internal/fluids"
 	"repro/internal/mat"
@@ -93,6 +95,13 @@ type Config struct {
 	// solve (default 1e-9). Tighter tolerances shrink the cross-backend
 	// spread at the cost of extra iterations.
 	SolverTol float64
+	// Prep, when non-nil, shares solver preparations (factorizations,
+	// preconditioners) with every other model plugged into the same
+	// cache: models assembled from identical configurations at matching
+	// cavity flows produce bit-identical matrices, so a sweep group pays
+	// for each distinct matrix once (see mat.PrepCache). Sharing never
+	// changes results or per-model solver stats.
+	Prep *mat.PrepCache
 }
 
 // Model is an assembled compact thermal model. A Model is not safe for
@@ -124,6 +133,7 @@ type Model struct {
 	// reassembly. steadyStats accumulates the counters of superseded
 	// workspaces so flow changes don't lose solver history.
 	solver      mat.Solver
+	prep        *mat.PrepCache
 	steadyWS    mat.Workspace
 	steadyStats mat.SolveStats
 	pvBuf       []float64 // reusable power-vector buffer
@@ -210,10 +220,38 @@ func New(cfg Config) (*Model, error) {
 		return nil, fmt.Errorf("thermal: %w", err)
 	}
 	m.solver = solver
+	m.prep = cfg.Prep
 	m.pvBuf = make([]float64, m.nTotal)
 	m.rhsBuf = make([]float64, m.nTotal)
 	m.assemble()
 	return m, nil
+}
+
+// prepare obtains a solver workspace for a, through the shared
+// preparation cache when one is configured. tag is the semantic identity
+// of the matrix within this model family (steady vs. a transient dt,
+// plus the cavity flows); the cache verifies exact matrix equality
+// before any reuse, so the tag only has to be right for sharing to
+// happen, never for correctness.
+func (m *Model) prepare(tag string, a *mat.Sparse) (mat.Workspace, error) {
+	if m.prep != nil {
+		ws, _, err := m.prep.Prepare(m.solver, m.prepTag(tag), a)
+		return ws, err
+	}
+	return m.solver.Prepare(a)
+}
+
+// prepTag renders the semantic matrix tag: the kind marker plus the
+// dimension and every cavity flow (the only run-time knobs that reshape
+// the assembled system).
+func (m *Model) prepTag(kind string) string {
+	var b strings.Builder
+	b.WriteString(kind)
+	fmt.Fprintf(&b, "|n=%d", m.nTotal)
+	for _, li := range m.cavities {
+		fmt.Fprintf(&b, "|q%d=%s", li, strconv.FormatFloat(m.cfg.Layers[li].Cavity.FlowRate, 'g', -1, 64))
+	}
+	return b.String()
 }
 
 // SolverName returns the linear-solver backend this model was built
@@ -398,7 +436,7 @@ func (m *Model) steadyWorkspace() (mat.Workspace, error) {
 		m.assemble()
 	}
 	if m.steadyWS == nil {
-		ws, err := m.solver.Prepare(m.g)
+		ws, err := m.prepare("steady", m.g)
 		if err != nil {
 			return nil, fmt.Errorf("thermal: preparing %s solver: %w", m.solver.Name(), err)
 		}

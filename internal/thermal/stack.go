@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/floorplan"
 	"repro/internal/fluids"
+	"repro/internal/mat"
 	"repro/internal/microchannel"
 )
 
@@ -55,6 +56,8 @@ type StackOptions struct {
 	// SolverTol overrides the solver's relative residual tolerance
 	// (0 = default 1e-9).
 	SolverTol float64
+	// Prep shares solver preparations across models; see Config.Prep.
+	Prep *mat.PrepCache
 }
 
 func (o *StackOptions) fillDefaults() {
@@ -167,6 +170,7 @@ func BuildStack(st *floorplan.Stack, opt StackOptions) (*StackModel, error) {
 		AmbientC:  opt.AmbientC,
 		Solver:    opt.Solver,
 		SolverTol: opt.SolverTol,
+		Prep:      opt.Prep,
 	}
 	if opt.Mode == AirCooled {
 		cfg.Sink = opt.Sink

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"strconv"
 
 	"repro/internal/mat"
 )
@@ -111,7 +112,7 @@ func (tr *Transient) refresh() error {
 		tr.stats.Accumulate(tr.ws.Stats())
 		tr.ws = nil
 	}
-	ws, err := tr.m.solver.Prepare(tr.lhs)
+	ws, err := tr.m.prepare("dt="+strconv.FormatFloat(tr.dt, 'g', -1, 64), tr.lhs)
 	if err != nil {
 		return fmt.Errorf("thermal: preparing %s transient solver: %w", tr.m.solver.Name(), err)
 	}

@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
-# bench.sh — run the solver/scenario benchmark suite and emit a
-# machine-readable snapshot (default BENCH_PR2.json) so the performance
+# bench.sh — run the solver/scenario/sweep benchmark suite and emit a
+# machine-readable snapshot (default BENCH_PR3.json) so the performance
 # trajectory of the repo is tracked in-tree.
 #
 # Usage:
@@ -10,9 +10,9 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR3.json}"
 benchtime="${BENCHTIME:-1s}"
-pattern="${BENCH:-TransientStep|CompactSteady|SteadyDirect|SolverBiCGSTAB|SolverGMRES|SolverGMRESWithRCMILU|PoolStudySweep|CacheHit}"
+pattern="${BENCH:-TransientStep|CompactSteady|SteadyDirect|SolverBiCGSTAB|SolverGMRES|SolverGMRESWithRCMILU|PoolStudySweep|CacheHit|SweepShared|SweepUnshared}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
