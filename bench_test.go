@@ -176,6 +176,70 @@ func BenchmarkSweepUnshared(b *testing.B) {
 	}
 }
 
+// --- Batched transient sweep engine (lockstep multi-RHS stepping) ---
+
+// transientSweepBatch is the 50-scenario transient policy sweep of the
+// acceptance criteria: the paper's flow-control policy comparison —
+// the fuzzy controller versus the classical PID loop — across 25 trace
+// seeds each, on the 2-tier liquid stack at the default grid with the
+// direct backend. Both policies actuate the pump every control
+// interval, the regime the lockstep engine targets: the per-scenario
+// baseline reassembles and re-touches the factorization on every
+// actuation of every scenario, while the batch engine shares each
+// distinct (flow, dt) system group-wide and advances all co-located
+// scenarios through one blocked multi-RHS solve per step.
+func transientSweepBatch() []jobs.Scenario {
+	var out []jobs.Scenario
+	for _, p := range []string{"LC_FUZZY", "LC_PID"} {
+		for seed := int64(1); seed <= 25; seed++ {
+			out = append(out, jobs.Scenario{
+				Tiers: 2, Cooling: "liquid", Policy: p, Workload: "web",
+				Steps: 12, Grid: 16, Solver: "direct", Seed: seed,
+			})
+		}
+	}
+	return out
+}
+
+// BenchmarkTransientSweepBatched measures the 50-scenario transient
+// sweep through the lockstep batch engine (sweep.Engine.RunTransient):
+// one worker, one chunk, blocked multi-RHS stepping with group-wide
+// factorization and assembly sharing. Compare against
+// BenchmarkTransientSweepUnbatched — the ns/op ratio is the lockstep
+// batching speedup on this machine (acceptance floor: 3×).
+func BenchmarkTransientSweepBatched(b *testing.B) {
+	eng := &sweep.Engine{Pool: jobs.NewPool(1), BatchWidth: 50}
+	batch := transientSweepBatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eng.RunTransient(context.Background(), batch, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors != 0 || rep.Batch == nil || rep.Batch.BatchedColumns == 0 {
+			b.Fatalf("sweep: %d errors, batch %+v", rep.Errors, rep.Batch)
+		}
+	}
+}
+
+// BenchmarkTransientSweepUnbatched is the per-scenario baseline: the
+// same 50 scenarios through the PR-3 sweep engine (shared factor cache,
+// independent stepping), on the same single worker.
+func BenchmarkTransientSweepUnbatched(b *testing.B) {
+	eng := &sweep.Engine{Pool: jobs.NewPool(1)}
+	batch := transientSweepBatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eng.Run(context.Background(), batch, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors != 0 {
+			b.Fatalf("sweep: %d errors", rep.Errors)
+		}
+	}
+}
+
 // --- F8: two-phase hot-spot test ---
 
 func BenchmarkFig8TwoPhase(b *testing.B) {

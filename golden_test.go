@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/jobs"
+	"repro/internal/sweep"
 	"repro/internal/twophase"
 )
 
@@ -33,11 +34,18 @@ const goldenTolC = 1e-4
 type goldenCase struct {
 	// Name identifies the case; the filename is <name>.json.
 	Name string `json:"name"`
-	// Kind selects the pipeline: "transient", "steady" or "twophase".
+	// Kind selects the pipeline: "transient", "transient-sweep",
+	// "steady" or "twophase".
 	Kind string `json:"kind"`
 	// Scenario specifies a transient co-simulation run (kind
 	// "transient"); Record must be set so the average is well defined.
 	Scenario *jobs.Scenario `json:"scenario,omitempty"`
+	// Sweep specifies a lockstep transient sweep (kind
+	// "transient-sweep"): the scenarios run as one batch through
+	// sweep.Engine.RunTransient; every scenario must set Record. The
+	// pinned peak is the batch maximum, the pinned average the mean of
+	// the per-scenario time averages.
+	Sweep []jobs.Scenario `json:"sweep,omitempty"`
 	// Steady specifies a steady operating point (kind "steady").
 	Steady *goldenSteady `json:"steady,omitempty"`
 	// TwoPhaseSteps is the axial station count of the Fig. 8
@@ -88,6 +96,39 @@ func evalGolden(c goldenCase) (float64, float64, error) {
 			sum += s.PeakC
 		}
 		return m.PeakTempC, sum / float64(len(m.Series)), nil
+	case "transient-sweep":
+		if len(c.Sweep) < 2 {
+			return 0, 0, fmt.Errorf("transient-sweep case needs at least two scenarios")
+		}
+		for i, s := range c.Sweep {
+			if !s.Record {
+				return 0, 0, fmt.Errorf("sweep scenario %d must set record for the time average", i)
+			}
+		}
+		eng := &sweep.Engine{Pool: jobs.NewPool(2)}
+		rep, err := eng.RunTransient(context.Background(), c.Sweep, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		peak, avgSum := math.Inf(-1), 0.0
+		for _, r := range rep.Results {
+			if r.Err != nil {
+				return 0, 0, fmt.Errorf("scenario %d: %w", r.Index, r.Err)
+			}
+			m := r.Metrics
+			if m.PeakTempC > peak {
+				peak = m.PeakTempC
+			}
+			if len(m.Series) == 0 {
+				return 0, 0, fmt.Errorf("scenario %d recorded no series", r.Index)
+			}
+			sum := 0.0
+			for _, s := range m.Series {
+				sum += s.PeakC
+			}
+			avgSum += sum / float64(len(m.Series))
+		}
+		return peak, avgSum / float64(len(rep.Results)), nil
 	case "steady":
 		if c.Steady == nil {
 			return 0, 0, fmt.Errorf("steady case without operating point")
@@ -174,6 +215,71 @@ func TestGolden(t *testing.T) {
 			}
 			if d := math.Abs(avg - c.Expect.AvgC); d > goldenTolC {
 				t.Errorf("%s: avg %.6f °C, golden %.6f °C (drift %.2g)", c.Name, avg, c.Expect.AvgC, d)
+			}
+		})
+	}
+}
+
+// TestGoldenSweepBatchInvariance pins the lockstep engine's equivalence
+// claim on the golden sweep corpus: for every transient-sweep case, the
+// batched metrics are bit-for-bit identical to solo per-scenario
+// stepping, at every batch width and worker count.
+func TestGoldenSweepBatchInvariance(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "golden", "sweep-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 6 {
+		t.Fatalf("sweep golden corpus holds %d cases, want >= 6", len(files))
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var c goldenCase
+			if err := json.Unmarshal(raw, &c); err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if c.Kind != "transient-sweep" {
+				t.Fatalf("sweep-*.json file of kind %q", c.Kind)
+			}
+			// Solo reference: every scenario stepped independently.
+			solo := make([][]byte, len(c.Sweep))
+			for i, s := range c.Sweep {
+				m, err := s.Run(context.Background())
+				if err != nil {
+					t.Fatalf("scenario %d: %v", i, err)
+				}
+				if solo[i], err = json.Marshal(m); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, tc := range []struct{ width, workers int }{
+				{1, 1}, {3, 2}, {64, 1},
+			} {
+				eng := &sweep.Engine{Pool: jobs.NewPool(tc.workers), BatchWidth: tc.width}
+				rep, err := eng.RunTransient(context.Background(), c.Sweep, nil)
+				if err != nil {
+					t.Fatalf("width=%d: %v", tc.width, err)
+				}
+				for i, r := range rep.Results {
+					if r.Err != nil {
+						t.Fatalf("width=%d scenario %d: %v", tc.width, i, r.Err)
+					}
+					got, err := json.Marshal(r.Metrics)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(got) != string(solo[i]) {
+						t.Fatalf("width=%d workers=%d scenario %d: batched metrics differ from solo stepping",
+							tc.width, tc.workers, i)
+					}
+				}
 			}
 		})
 	}

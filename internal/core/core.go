@@ -85,6 +85,11 @@ type Options struct {
 	// matrices at matching flows, so sweeps pay for each distinct matrix
 	// once. Sharing never changes results.
 	Prep *mat.PrepCache
+	// Assemblies, when non-nil, additionally shares the deterministic
+	// matrix assemblies themselves across structurally identical systems
+	// (see thermal.AssemblyCache) — the lockstep batch sweep engine hands
+	// every scenario of a group one cache. Sharing never changes results.
+	Assemblies *thermal.AssemblyCache
 }
 
 // Policies lists the supported management strategies. Beyond the
@@ -214,11 +219,8 @@ func (s *System) RunTraceRecorded(tr *workload.Trace) (*sim.Metrics, error) {
 	return s.runTrace(tr, true)
 }
 
-func (s *System) runTrace(tr *workload.Trace, record bool) (*sim.Metrics, error) {
-	if tr == nil {
-		return nil, errors.New("core: nil trace")
-	}
-	cfg := sim.Config{
+func (s *System) simConfig(tr *workload.Trace, record bool) sim.Config {
+	return sim.Config{
 		Stack:           s.stack,
 		Mode:            s.mode,
 		Policy:          s.policy,
@@ -230,9 +232,27 @@ func (s *System) runTrace(tr *workload.Trace, record bool) (*sim.Metrics, error)
 		SensorNoiseStdC: s.opt.SensorNoiseStdC,
 		Solver:          s.opt.Solver,
 		Prep:            s.opt.Prep,
+		Assemblies:      s.opt.Assemblies,
 		Record:          record,
 	}
-	return sim.Run(cfg)
+}
+
+func (s *System) runTrace(tr *workload.Trace, record bool) (*sim.Metrics, error) {
+	if tr == nil {
+		return nil, errors.New("core: nil trace")
+	}
+	return sim.Run(s.simConfig(tr, record))
+}
+
+// NewTraceRunner returns the resumable co-simulation runner for the
+// trace — the form the lockstep batch sweep engine drives interval by
+// interval (see sim.Runner and sim.RunBatch). Driving the runner to
+// completion is byte-identical to RunTrace.
+func (s *System) NewTraceRunner(tr *workload.Trace, record bool) (*sim.Runner, error) {
+	if tr == nil {
+		return nil, errors.New("core: nil trace")
+	}
+	return sim.NewRunner(s.simConfig(tr, record))
 }
 
 // Snapshot is a steady-state operating point of the system.
@@ -295,6 +315,7 @@ func (s *System) steadyModel(flow float64) (*thermal.StackModel, error) {
 			Coolant:       s.coolant(),
 			Solver:        s.opt.Solver,
 			Prep:          s.opt.Prep,
+			Assemblies:    s.opt.Assemblies,
 		})
 		if err != nil {
 			return nil, err
@@ -354,6 +375,7 @@ func (s *System) SteadyCoupled(util, flowMlPerMin float64) (*Snapshot, error) {
 		Coolant:       s.coolant(),
 		Solver:        s.opt.Solver,
 		Prep:          s.opt.Prep,
+		Assemblies:    s.opt.Assemblies,
 	})
 	if err != nil {
 		return nil, err

@@ -237,11 +237,21 @@ func (r *Raster) UnitTemperatures(cellT []float64) ([]float64, error) {
 
 // UnitMaxTemperatures computes per-unit maximum cell temperature.
 func (r *Raster) UnitMaxTemperatures(cellT []float64) ([]float64, error) {
+	return r.UnitMaxTemperaturesInto(nil, cellT)
+}
+
+// UnitMaxTemperaturesInto is UnitMaxTemperatures writing into dst,
+// allocating only when dst cannot hold the unit count — the form the
+// simulation's per-sensing-step loop calls with a reused buffer.
+func (r *Raster) UnitMaxTemperaturesInto(dst []float64, cellT []float64) ([]float64, error) {
 	if len(cellT) != r.Nx*r.Ny {
 		return nil, fmt.Errorf("floorplan: UnitMaxTemperatures field length %d != %d",
 			len(cellT), r.Nx*r.Ny)
 	}
-	out := make([]float64, len(r.UnitCells))
+	if cap(dst) < len(r.UnitCells) {
+		dst = make([]float64, len(r.UnitCells))
+	}
+	dst = dst[:len(r.UnitCells)]
 	for ui, cells := range r.UnitCells {
 		m := math.Inf(-1)
 		for _, cf := range cells {
@@ -249,9 +259,9 @@ func (r *Raster) UnitMaxTemperatures(cellT []float64) ([]float64, error) {
 				m = cellT[cf.Index]
 			}
 		}
-		out[ui] = m
+		dst[ui] = m
 	}
-	return out, nil
+	return dst, nil
 }
 
 // ASCII renders the floorplan as a coarse character map (for Fig. 1-style

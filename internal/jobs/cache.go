@@ -85,6 +85,43 @@ func (c *Cache) GetOrComputeCtx(ctx context.Context, key string, fn func() (any,
 		v, err := fn()
 		return v, false, err
 	}
+	v, cached, fl, err := c.StartFlight(ctx, key)
+	if fl == nil {
+		return v, cached, err
+	}
+	v, err = fn()
+	fl.Complete(v, err)
+	return v, false, err
+}
+
+// Flight is a reserved single-flight computation slot handed out by
+// StartFlight: the holder computes the value on the cache's behalf and
+// publishes it with Complete. It is the seam batch engines fill the
+// cache through — a lockstep batch reserves every uncached scenario up
+// front (so concurrent requests join instead of racing duplicates),
+// runs the whole batch, then completes each flight.
+type Flight struct {
+	c    *Cache
+	key  string
+	call *flightCall
+}
+
+// StartFlight resolves key for a caller that wants to compute the value
+// itself. Outcomes:
+//
+//   - cached (or joined from another caller's in-flight computation):
+//     (val, true, nil, err) — err carries the joined computation's
+//     failure, exactly like GetOrComputeCtx.
+//   - reserved: (nil, false, flight, nil) — the caller MUST call
+//     flight.Complete exactly once, on success or failure.
+//   - canceled while joining: (nil, false, nil, ctx.Err()).
+//
+// A nil cache returns a no-op flight, so uncached batch paths need no
+// special casing.
+func (c *Cache) StartFlight(ctx context.Context, key string) (any, bool, *Flight, error) {
+	if c == nil {
+		return nil, false, &Flight{}, nil
+	}
 	for {
 		c.mu.Lock()
 		if el, ok := c.items[key]; ok {
@@ -92,14 +129,14 @@ func (c *Cache) GetOrComputeCtx(ctx context.Context, key string, fn func() (any,
 			c.stats.Hits++
 			v := el.Value.(*entry).val
 			c.mu.Unlock()
-			return v, true, nil
+			return v, true, nil, nil
 		}
 		if call, ok := c.inflight[key]; ok {
 			c.mu.Unlock()
 			select {
 			case <-call.done:
 			case <-ctx.Done():
-				return nil, false, ctx.Err()
+				return nil, false, nil, ctx.Err()
 			}
 			if isContextErr(call.err) && ctx.Err() == nil {
 				continue // the originator was canceled, not us: retry
@@ -107,27 +144,34 @@ func (c *Cache) GetOrComputeCtx(ctx context.Context, key string, fn func() (any,
 			c.mu.Lock()
 			c.stats.Hits++
 			c.mu.Unlock()
-			return call.val, true, call.err
+			return call.val, true, nil, call.err
 		}
 		call := &flightCall{done: make(chan struct{})}
 		c.inflight[key] = call
 		c.stats.Misses++
 		c.mu.Unlock()
+		return nil, false, &Flight{c: c, key: key, call: call}, nil
+	}
+}
 
-		call.val, call.err = fn()
-
-		c.mu.Lock()
-		delete(c.inflight, key)
-		hook := c.hook
-		if call.err == nil {
-			c.add(key, call.val)
-		}
-		c.mu.Unlock()
-		close(call.done)
-		if call.err == nil && hook != nil {
-			hook(key, call.val)
-		}
-		return call.val, false, call.err
+// Complete publishes the computed value — cached on success, never on
+// error — and wakes every joiner. A flight from a nil cache is a no-op.
+func (f *Flight) Complete(val any, err error) {
+	if f == nil || f.c == nil {
+		return
+	}
+	f.call.val, f.call.err = val, err
+	c := f.c
+	c.mu.Lock()
+	delete(c.inflight, f.key)
+	hook := c.hook
+	if err == nil {
+		c.add(f.key, val)
+	}
+	c.mu.Unlock()
+	close(f.call.done)
+	if err == nil && hook != nil {
+		hook(f.key, val)
 	}
 }
 

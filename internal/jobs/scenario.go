@@ -10,6 +10,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/mat"
 	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/workload"
 )
 
 // Scenario is one fully-specified co-simulation run: the stack, the
@@ -164,6 +166,19 @@ func canonFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// Shared carries the cross-scenario sharing caches of one sweep group:
+// solver preparations (factorizations, preconditioners) and — for the
+// lockstep batch engine — the matrix assemblies themselves. Both are
+// pure plumbing: they are not part of a scenario's identity (Key) and
+// never change its metrics; the zero value solves standalone.
+type Shared struct {
+	// Prep shares solver preparations (see mat.PrepCache).
+	Prep *mat.PrepCache
+	// Assemblies shares matrix assemblies across structurally identical
+	// scenarios (see thermal.AssemblyCache).
+	Assemblies *thermal.AssemblyCache
+}
+
 // Run executes the scenario on a fresh System and returns its metrics.
 // The context is checked before the (uninterruptible) solve starts;
 // pools use this to skip queued scenarios after cancellation.
@@ -174,20 +189,22 @@ func (s Scenario) Run(ctx context.Context) (*sim.Metrics, error) {
 // RunWith is Run with a shared solver-preparation cache: scenarios of
 // one structural group (same stack, grid, solver) hand the same
 // mat.PrepCache here so identical thermal systems are factored once per
-// group instead of once per scenario. prep is pure plumbing — it is not
-// part of the scenario's identity (Key) and never changes the metrics;
-// a nil prep solves standalone.
+// group instead of once per scenario.
 func (s Scenario) RunWith(ctx context.Context, prep *mat.PrepCache) (*sim.Metrics, error) {
-	s = s.Normalized()
+	return s.RunShared(ctx, Shared{Prep: prep})
+}
+
+// system validates the scenario and builds its System and trace.
+func (s Scenario) system(ctx context.Context, sh Shared) (*core.System, *workload.Trace, error) {
 	if err := s.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cooling, err := ParseCooling(s.Cooling)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sys, err := core.NewSystem(core.Options{
 		Tiers:           s.Tiers,
@@ -198,12 +215,23 @@ func (s Scenario) RunWith(ctx context.Context, prep *mat.PrepCache) (*sim.Metric
 		FlowQuantLevels: s.FlowQuantLevels,
 		SensorNoiseStdC: s.SensorNoiseStdC,
 		Solver:          s.Solver,
-		Prep:            prep,
+		Prep:            sh.Prep,
+		Assemblies:      sh.Assemblies,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tr, err := core.GenerateTrace(s.Workload, sys.Threads(), s.Steps, s.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, tr, nil
+}
+
+// RunShared is Run with the full sharing-cache set of a sweep group.
+func (s Scenario) RunShared(ctx context.Context, sh Shared) (*sim.Metrics, error) {
+	s = s.Normalized()
+	sys, tr, err := s.system(ctx, sh)
 	if err != nil {
 		return nil, err
 	}
@@ -211,6 +239,19 @@ func (s Scenario) RunWith(ctx context.Context, prep *mat.PrepCache) (*sim.Metric
 		return sys.RunTraceRecorded(tr)
 	}
 	return sys.RunTrace(tr)
+}
+
+// NewRunner builds the scenario's resumable co-simulation runner — the
+// unit the lockstep batch sweep engine advances interval by interval
+// (sim.RunBatch). Driving the runner to completion yields exactly
+// RunShared's metrics.
+func (s Scenario) NewRunner(ctx context.Context, sh Shared) (*sim.Runner, error) {
+	s = s.Normalized()
+	sys, tr, err := s.system(ctx, sh)
+	if err != nil {
+		return nil, err
+	}
+	return sys.NewTraceRunner(tr, s.Record)
 }
 
 // Metrics runs the scenario through the cache: a repeated request for

@@ -101,8 +101,22 @@ func (c *PrepCache) Stats() PrepStats {
 // factorization was reused. A nil cache, or a backend that is not a
 // Factorizer, degrades to plain s.Prepare.
 func (c *PrepCache) Prepare(s Solver, tag string, a *Sparse) (Workspace, bool, error) {
+	_, ws, shared, err := c.prepare(s, tag, a)
+	return ws, shared, err
+}
+
+// PrepareFact is Prepare additionally exposing the factorization behind
+// the workspace — the shareable handle lockstep batch solvers group
+// their columns by. fact is nil when the backend is not a Factorizer
+// (no sharing or batching possible).
+func (c *PrepCache) PrepareFact(s Solver, tag string, a *Sparse) (Factorization, Workspace, error) {
+	fact, ws, _, err := c.prepare(s, tag, a)
+	return fact, ws, err
+}
+
+func (c *PrepCache) prepare(s Solver, tag string, a *Sparse) (Factorization, Workspace, bool, error) {
 	fz, ok := s.(Factorizer)
-	if c == nil || !ok {
+	if !ok {
 		if c != nil {
 			c.mu.Lock()
 			c.stats.Factorizations++
@@ -110,7 +124,14 @@ func (c *PrepCache) Prepare(s Solver, tag string, a *Sparse) (Workspace, bool, e
 			c.mu.Unlock()
 		}
 		ws, err := s.Prepare(a)
-		return ws, false, err
+		return nil, ws, false, err
+	}
+	if c == nil {
+		fact, err := fz.Factor(a)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return fact, fact.NewWorkspace(), false, nil
 	}
 	key := fz.FactorKey() + "|" + tag
 	for {
@@ -129,8 +150,11 @@ func (c *PrepCache) Prepare(s Solver, tag string, a *Sparse) (Workspace, bool, e
 				c.stats.Factorizations++
 				c.stats.Overflows++
 				c.mu.Unlock()
-				ws, err := s.Prepare(a)
-				return ws, false, err
+				fact, err := fz.Factor(a)
+				if err != nil {
+					return nil, nil, false, err
+				}
+				return fact, fact.NewWorkspace(), false, nil
 			}
 			e = &prepEntry{a: a, done: make(chan struct{})}
 			c.entries[key] = append(c.entries[key], e)
@@ -155,9 +179,9 @@ func (c *PrepCache) Prepare(s Solver, tag string, a *Sparse) (Workspace, bool, e
 			c.mu.Unlock()
 			close(e.done)
 			if e.err != nil {
-				return nil, false, e.err
+				return nil, nil, false, e.err
 			}
-			return e.fact.NewWorkspace(), false, nil
+			return e.fact, e.fact.NewWorkspace(), false, nil
 		}
 		c.mu.Unlock()
 		<-e.done
@@ -167,6 +191,6 @@ func (c *PrepCache) Prepare(s Solver, tag string, a *Sparse) (Workspace, bool, e
 		c.mu.Lock()
 		c.stats.Shares++
 		c.mu.Unlock()
-		return e.fact.NewWorkspace(), true, nil
+		return e.fact, e.fact.NewWorkspace(), true, nil
 	}
 }

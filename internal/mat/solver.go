@@ -75,6 +75,11 @@ type Factorization interface {
 	// preparation was shared. Physical factorisation counts live in
 	// PrepStats.
 	NewWorkspace() Workspace
+	// NewBatchWorkspace returns a fresh lockstep multi-RHS workspace
+	// backed by this shared factorization (see BatchWorkspace): column
+	// results are bit-identical to NewWorkspace().Solve on the same
+	// inputs.
+	NewBatchWorkspace() BatchWorkspace
 }
 
 // Factorizer is implemented by backends whose Prepare splits into an
@@ -206,14 +211,21 @@ func init() {
 	RegisterSolver(BackendDirect, func(opt SolverOptions) Solver { return directSolver{opt} })
 }
 
-// jacobiPrecond builds the diagonal-scaling fallback preconditioner.
-func jacobiPrecond(a *Sparse) func(dst, v []float64) {
+// jacobiDiag extracts the diagonal-scaling fallback preconditioner's
+// divisors.
+func jacobiDiag(a *Sparse) []float64 {
 	d := a.Diagonal()
 	for i, v := range d {
 		if v == 0 {
 			d[i] = 1 // row without stored diagonal: fall back to identity
 		}
 	}
+	return d
+}
+
+// jacobiPrecond builds the diagonal-scaling fallback preconditioner.
+func jacobiPrecond(a *Sparse) func(dst, v []float64) {
+	d := jacobiDiag(a)
 	return func(dst, v []float64) {
 		for i := range dst {
 			dst[i] = v[i] / d[i]
@@ -243,25 +255,42 @@ func (s bicgstabSolver) Name() string { return BackendBiCGSTAB }
 func (s bicgstabSolver) FactorKey() string { return factorKey(BackendBiCGSTAB, s.opt) }
 
 // bicgstabFact is the shareable prepared form: the matrix and its ILU(0)
-// (or Jacobi-fallback) preconditioner, both immutable.
+// (or Jacobi-fallback) preconditioner, both immutable. The
+// preconditioner is held structurally (not as a closure) so the batch
+// workspace can apply it blocked across a whole column set.
 type bicgstabFact struct {
 	a        *Sparse
 	tol      float64
 	maxIter  int
-	prec     func(dst, v []float64)
+	ilu      *ILU
+	jacobi   []float64 // diagonal fallback when the ILU construction failed
 	fallback string
 }
 
 // Factor implements Factorizer.
 func (s bicgstabSolver) Factor(a *Sparse) (Factorization, error) {
-	var st SolveStats
-	return &bicgstabFact{
-		a:        a,
-		tol:      s.opt.tol(),
-		maxIter:  s.opt.maxIter(4*a.N() + 40),
-		prec:     iluOrJacobi(a, &st),
-		fallback: st.FallbackReason,
-	}, nil
+	f := &bicgstabFact{a: a, tol: s.opt.tol(), maxIter: s.opt.maxIter(4*a.N() + 40)}
+	ilu, err := NewILU(a)
+	if err != nil {
+		f.fallback = fmt.Sprintf("ILU(0) unavailable (%v); using Jacobi scaling", err)
+		f.jacobi = jacobiDiag(a)
+	} else {
+		f.ilu = ilu
+	}
+	return f, nil
+}
+
+// prec renders the solo preconditioner application.
+func (f *bicgstabFact) prec() func(dst, v []float64) {
+	if f.ilu != nil {
+		return f.ilu.Apply
+	}
+	d := f.jacobi
+	return func(dst, v []float64) {
+		for i := range dst {
+			dst[i] = v[i] / d[i]
+		}
+	}
 }
 
 // NewWorkspace implements Factorization.
@@ -269,7 +298,7 @@ func (f *bicgstabFact) NewWorkspace() Workspace {
 	ws := &bicgstabWS{
 		stats: SolveStats{Backend: BackendBiCGSTAB, Factorizations: 1, FallbackReason: f.fallback},
 	}
-	ws.init(f.a, f.tol, f.maxIter, f.prec)
+	ws.init(f.a, f.tol, f.maxIter, f.prec())
 	return ws
 }
 

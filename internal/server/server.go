@@ -22,8 +22,12 @@
 // through the batched sweep engine (internal/sweep): scenarios are
 // grouped structurally and each group shares one factor cache, so an
 // N-point sweep pays for O(distinct matrices) factorizations instead of
-// O(N). The per-sweep sharing outcome rides in every response and is
-// folded into /v1/stats.
+// O(N). Transient grids additionally advance in lockstep
+// (sweep.Engine.RunTransient): structurally identical scenarios share
+// matrix assemblies and step through blocked multi-RHS solves, with
+// results byte-identical to per-scenario stepping. The per-sweep
+// sharing and batching outcome rides in every response and is folded
+// into /v1/stats.
 package server
 
 import (
@@ -42,6 +46,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/thermal"
 	"repro/internal/tsv"
 	"repro/internal/units"
 )
@@ -487,7 +492,7 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 
 // SweepStats aggregates the sweep engine's outcomes across every sweep
 // the service has completed (grid and steady alike) — the /v1/stats
-// surface for factorization sharing.
+// surface for factorization sharing and lockstep batching.
 type SweepStats struct {
 	// Sweeps counts completed sweep requests.
 	Sweeps int `json:"sweeps"`
@@ -502,10 +507,17 @@ type SweepStats struct {
 	// Prep aggregates physical preparation work: Factorizations paid,
 	// Shares avoided via per-group factor caches.
 	Prep mat.PrepStats `json:"prep"`
+	// Batch aggregates the lockstep multi-RHS stepping of transient grid
+	// sweeps: blocked solves performed, columns advanced together, and
+	// the matrix assemblies shared group-wide.
+	Batch thermal.BatchStats `json:"batch"`
+	// Assemblies aggregates the physical matrix-assembly work of the
+	// batched sweeps (builds paid, adoptions avoided).
+	Assemblies thermal.AsmStats `json:"assemblies"`
 }
 
 // recordSweep folds one completed sweep into the service aggregates.
-func (s *Server) recordSweep(scenarios, errors, cacheHits, groups int, prep mat.PrepStats) {
+func (s *Server) recordSweep(scenarios, errors, cacheHits, groups int, prep mat.PrepStats, batch *sweep.BatchReport) {
 	s.solverMu.Lock()
 	s.sweepAgg.Sweeps++
 	s.sweepAgg.Scenarios += scenarios
@@ -513,6 +525,10 @@ func (s *Server) recordSweep(scenarios, errors, cacheHits, groups int, prep mat.
 	s.sweepAgg.CacheHits += cacheHits
 	s.sweepAgg.Groups += groups
 	s.sweepAgg.Prep.Accumulate(prep)
+	if batch != nil {
+		s.sweepAgg.Batch.Accumulate(batch.BatchStats)
+		s.sweepAgg.Assemblies.Accumulate(batch.Assemblies)
+	}
 	s.solverMu.Unlock()
 }
 
@@ -587,30 +603,32 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			s.recordSweep(rep.Scenarios, rep.Errors, 0, 1, rep.Prep)
+			s.recordSweep(rep.Scenarios, rep.Errors, 0, 1, rep.Prep, nil)
 			return rep, nil
 		}
-		rep, err := s.sweeps.Run(ctx, scenarios, nil)
+		rep, err := s.sweeps.RunTransient(ctx, scenarios, nil)
 		if err != nil {
 			return nil, err
 		}
-		s.recordSweep(rep.Scenarios, rep.Errors, rep.CacheHits, len(rep.Groups), rep.Prep)
+		s.recordSweep(rep.Scenarios, rep.Errors, rep.CacheHits, len(rep.Groups), rep.Prep, rep.Batch)
 		return rep, nil
 	})
 }
 
 // streamSweep writes the sweep as NDJSON: one line per completed point,
 // then the summary report (point lists elided — they were streamed).
+// Every record is flushed as soon as it is encoded — through
+// http.ResponseController, so middleware-wrapped writers flush too —
+// so a long transient sweep streams incrementally instead of buffering
+// until completion.
 func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRequest, scenarios []jobs.Scenario) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
-	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	line := func(l sweepLine) {
 		_ = enc.Encode(l)
-		if flusher != nil {
-			flusher.Flush()
-		}
+		_ = rc.Flush()
 	}
 	if req.Steady != nil {
 		rep, err := s.sweeps.RunSteady(r.Context(), *req.Steady, func(p sweep.SteadyPoint) {
@@ -620,20 +638,20 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRe
 			line(sweepLine{Type: "error", Error: err.Error()})
 			return
 		}
-		s.recordSweep(rep.Scenarios, rep.Errors, 0, 1, rep.Prep)
+		s.recordSweep(rep.Scenarios, rep.Errors, 0, 1, rep.Prep, nil)
 		summary := *rep
 		summary.Points = nil
 		line(sweepLine{Type: "report", SteadyReport: &summary})
 		return
 	}
-	rep, err := s.sweeps.Run(r.Context(), scenarios, func(res sweep.Result) {
+	rep, err := s.sweeps.RunTransient(r.Context(), scenarios, func(res sweep.Result) {
 		line(sweepLine{Type: "result", Result: &res})
 	})
 	if err != nil {
 		line(sweepLine{Type: "error", Error: err.Error()})
 		return
 	}
-	s.recordSweep(rep.Scenarios, rep.Errors, rep.CacheHits, len(rep.Groups), rep.Prep)
+	s.recordSweep(rep.Scenarios, rep.Errors, rep.CacheHits, len(rep.Groups), rep.Prep, rep.Batch)
 	summary := *rep
 	summary.Results = nil
 	line(sweepLine{Type: "report", Report: &summary})

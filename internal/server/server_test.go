@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -421,5 +422,105 @@ func TestSweepsRejectsBadRequests(t *testing.T) {
 			}
 			resp.Body.Close()
 		}
+	}
+}
+
+func TestSweepsGridBatchStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep endpoint test is not short")
+	}
+	_, ts := newTestServer(t)
+	body := `{"grid": {"coolings": ["liquid"], "policies": ["LC_FUZZY"], "seeds": [1, 2, 3], "solvers": ["direct"], "steps": 3, "grid": 8}}`
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := decode[sweep.Report](t, resp, http.StatusOK)
+	if rep.Errors != 0 || rep.Batch == nil {
+		t.Fatalf("report: %d errors, batch %+v", rep.Errors, rep.Batch)
+	}
+	if rep.Batch.BatchedColumns == 0 || rep.Batch.Assemblies.Shares == 0 {
+		t.Fatalf("grid sweep did not lockstep: %+v", rep.Batch)
+	}
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decode[StatsResponse](t, resp, http.StatusOK)
+	if stats.Sweeps.Batch.BatchedColumns != rep.Batch.BatchedColumns {
+		t.Fatalf("stats batch aggregate %+v != report %+v", stats.Sweeps.Batch, rep.Batch.BatchStats)
+	}
+	if stats.Sweeps.Assemblies.Shares == 0 {
+		t.Fatalf("stats assemblies aggregate %+v", stats.Sweeps.Assemblies)
+	}
+}
+
+// flushRecorder is a ResponseWriter whose Flush hands everything written
+// since the previous flush to an unbuffered channel and blocks until the
+// consumer takes it — a deterministic slow reader: the handler cannot
+// run ahead of the client by more than one record.
+type flushRecorder struct {
+	header  http.Header
+	pending bytes.Buffer
+	chunks  chan string
+}
+
+func (f *flushRecorder) Header() http.Header         { return f.header }
+func (f *flushRecorder) WriteHeader(int)             {}
+func (f *flushRecorder) Write(p []byte) (int, error) { return f.pending.Write(p) }
+func (f *flushRecorder) Flush() {
+	if f.pending.Len() == 0 {
+		return
+	}
+	f.chunks <- f.pending.String()
+	f.pending.Reset()
+}
+
+// TestSweepsStreamFlushesEveryRecord pins the incremental-streaming
+// contract of /v1/sweeps?stream=1: every NDJSON record is flushed on its
+// own, so a slow reader receives result lines one at a time while the
+// sweep is still running, instead of one buffered blob at the end.
+func TestSweepsStreamFlushesEveryRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep endpoint test is not short")
+	}
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	body := `{"grid": {"workloads": ["web", "light", "db", "mm"], "steps": 2, "grid": 8}}`
+	req := httptest.NewRequest("POST", "/v1/sweeps?stream=1", bytes.NewReader([]byte(body)))
+	rec := &flushRecorder{header: http.Header{}, chunks: make(chan string)}
+	done := make(chan struct{})
+	go func() {
+		s.Handler().ServeHTTP(rec, req)
+		close(done)
+	}()
+	var lines []string
+	for open := true; open; {
+		select {
+		case chunk := <-rec.chunks:
+			trimmed := strings.TrimSuffix(chunk, "\n")
+			if strings.Contains(trimmed, "\n") {
+				t.Fatalf("one flush carried multiple records: %q", chunk)
+			}
+			lines = append(lines, trimmed)
+		case <-done:
+			open = false
+		}
+	}
+	if want := 4 + 1; len(lines) != want { // one per scenario + the summary
+		t.Fatalf("streamed %d flushed records, want %d", len(lines), want)
+	}
+	for _, raw := range lines[:4] {
+		var l sweepLine
+		if err := json.Unmarshal([]byte(raw), &l); err != nil || l.Type != "result" {
+			t.Fatalf("bad result line %q: %v", raw, err)
+		}
+	}
+	var final sweepLine
+	if err := json.Unmarshal([]byte(lines[4]), &final); err != nil || final.Type != "report" || final.Report == nil {
+		t.Fatalf("bad summary line %q: %v", lines[4], err)
+	}
+	if final.Report.Batch == nil {
+		t.Fatal("streamed transient sweep missing batch stats")
 	}
 }

@@ -16,7 +16,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/cooling"
 	"repro/internal/floorplan"
@@ -69,6 +68,12 @@ type Config struct {
 	// factored once per group instead of once per scenario. Sharing
 	// never changes results or per-run solver stats.
 	Prep *mat.PrepCache
+	// Assemblies, when non-nil, shares deterministic matrix assemblies
+	// with other runs of the same structural family (see
+	// thermal.AssemblyCache) — the lockstep batch engine hands every
+	// scenario of a group one cache so identical conductance systems are
+	// assembled once per group. Like Prep, sharing never changes results.
+	Assemblies *thermal.AssemblyCache
 	// StuckSensor, when non-nil, injects a sensor failure.
 	StuckSensor *StuckSensor
 	// Record, when true, captures a per-sensing-step time series in
@@ -196,287 +201,25 @@ func (m *Metrics) Clone() *Metrics {
 	return &cp
 }
 
-// Run executes the co-simulation over the whole trace.
+// Run executes the co-simulation over the whole trace: NewRunner plus
+// the interval/sub-step loop (see Runner for the resumable form the
+// lockstep batch engine drives).
 func Run(cfg Config) (*Metrics, error) {
-	if err := cfg.fillDefaults(); err != nil {
-		return nil, err
-	}
-	st := cfg.Stack
-	nCores := st.CoreCount()
-	order := power.CoreOrder(st)
-
-	sm, err := thermal.BuildStack(st, thermal.StackOptions{
-		Mode: cfg.Mode, Nx: cfg.Grid, Ny: cfg.Grid,
-		// Start at the Table-I maximum; the policy retunes it below.
-		FlowPerCavity: units.MlPerMinToM3PerS(32.3),
-		Solver:        cfg.Solver,
-		Prep:          cfg.Prep,
-	})
+	r, err := NewRunner(cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	var pump *cooling.Pump
-	var flowLevels []float64
-	liquid := cfg.Mode == thermal.LiquidCooled
-	flowFrac := 1.0
-	if liquid {
-		pump, err = cooling.TableIPump(sm.NumCavities())
-		if err != nil {
+	for step := 0; step < r.Intervals(); step++ {
+		if err := r.BeginInterval(step); err != nil {
 			return nil, err
 		}
-		flowLevels, err = pump.FlowLevels(cfg.FlowQuantLevels)
-		if err != nil {
-			return nil, err
-		}
-		if err := sm.SetFlowPerCavity(pump.MaxFlow); err != nil {
-			return nil, err
-		}
-	}
-
-	sched, err := newSchedState(nCores, cfg.Trace.Threads())
-	if err != nil {
-		return nil, err
-	}
-
-	levels := make([]int, nCores)
-	nLevels := len(cfg.Power.DVFS)
-
-	// Initial state: steady solve at the first sample's power.
-	demand := cfg.Trace.Util[0]
-	coreUtil, _, err := sched.loads(demand, levels, cfg.Power.DVFS)
-	if err != nil {
-		return nil, err
-	}
-	unitTemps := constUnitTemps(st, 60)
-	powers, err := cfg.Power.StackPowers(st, power.StackState{
-		CoreUtil: coreUtil, CoreLevel: levels, UnitTempC: unitTemps,
-	})
-	if err != nil {
-		return nil, err
-	}
-	pm, err := sm.PowerMapFromUnits(powers)
-	if err != nil {
-		return nil, err
-	}
-	field, err := sm.Model.SteadyState(pm, nil)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := sm.Model.NewTransientFrom(cfg.SenseDt, field)
-	if err != nil {
-		return nil, err
-	}
-
-	m := &Metrics{
-		Policy: cfg.Policy.Name(),
-		Stack:  st.Name,
-		Mode:   cfg.Mode.String(),
-		Trace:  cfg.Trace.Name,
-	}
-	noise := rand.New(rand.NewSource(cfg.SensorSeed))
-	var cavFlows []float64 // per-cavity flows when the policy splits them
-	subSteps := int(math.Round(1 / cfg.SenseDt))
-	hotTime := make([]float64, nCores)
-	var totalTime, flowIntegral float64
-	var demandedWork, delayedWork float64
-
-	for step := 0; step < cfg.Trace.Steps(); step++ {
-		demand = cfg.Trace.Util[step]
-
-		// --- Control boundary (1 s): sense, decide, actuate. ---
-		f := tr.Field()
-		uts, err := sm.UnitMaxTemperatures(f)
-		if err != nil {
-			return nil, err
-		}
-		coreTemps := make([]float64, nCores)
-		for ci, ki := range order {
-			coreTemps[ci] = uts[ki[0]][ki[1]]
-		}
-		// The policy senses through imperfect sensors: optional Gaussian
-		// noise and an optionally wedged sensor. Metrics keep using the
-		// ground-truth field.
-		sensedMax := f.MaxOverPowerLayers()
-		if cfg.SensorNoiseStdC > 0 || cfg.StuckSensor != nil {
-			for ci := range coreTemps {
-				if cfg.SensorNoiseStdC > 0 {
-					coreTemps[ci] += cfg.SensorNoiseStdC * noise.NormFloat64()
-				}
-			}
-			if s := cfg.StuckSensor; s != nil {
-				coreTemps[s.Core] = s.ValueC
-			}
-			sensedMax = coreTemps[0]
-			for _, t := range coreTemps[1:] {
-				if t > sensedMax {
-					sensedMax = t
-				}
-			}
-		}
-		coreDemand := sched.perCoreDemand(demand)
-		meanU := mean(coreDemand)
-		tierMax := make([]float64, st.NumTiers())
-		for k := range uts {
-			m := uts[k][0]
-			for _, v := range uts[k][1:] {
-				if v > m {
-					m = v
-				}
-			}
-			tierMax[k] = m
-		}
-		nCav := 0
-		if liquid {
-			nCav = sm.NumCavities()
-		}
-		act, err := cfg.Policy.Decide(policy.Context{
-			CoreTempC:    coreTemps,
-			MaxTempC:     sensedMax,
-			CoreUtil:     coreDemand,
-			MeanUtil:     meanU,
-			CoreLevels:   levels,
-			NumLevels:    nLevels,
-			FlowFrac:     flowFrac,
-			LiquidCooled: liquid,
-			TierMaxTempC: tierMax,
-			NumCavities:  nCav,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if len(act.CoreLevels) != nCores {
-			return nil, fmt.Errorf("sim: policy returned %d levels for %d cores", len(act.CoreLevels), nCores)
-		}
-		copy(levels, act.CoreLevels)
-		for i := range levels {
-			levels[i] = clampInt(levels[i], 0, nLevels-1)
-		}
-		if liquid {
-			if len(act.PerCavityFlow) == nCav && nCav > 0 {
-				// Per-cavity actuation (§I: tune the flow in each
-				// micro-channel cavity individually).
-				cavFlows = cavFlows[:0]
-				sum := 0.0
-				for k, layer := range sm.Model.Cavities() {
-					frac := quantize(units.Clamp(act.PerCavityFlow[k], 0, 1), flowLevels, pump)
-					q := pump.ClampFlow(units.Lerp(pump.MinFlow, pump.MaxFlow, frac))
-					if err := sm.Model.SetCavityFlow(layer, q); err != nil {
-						return nil, err
-					}
-					cavFlows = append(cavFlows, q)
-					sum += frac
-				}
-				flowFrac = sum / float64(nCav)
-			} else {
-				cavFlows = cavFlows[:0]
-				flowFrac = quantize(units.Clamp(act.FlowFrac, 0, 1), flowLevels, pump)
-				q := pump.ClampFlow(units.Lerp(pump.MinFlow, pump.MaxFlow, flowFrac))
-				if err := sm.SetFlowPerCavity(q); err != nil {
-					return nil, err
-				}
-			}
-		}
-		if act.Rebalance {
-			sched.rebalance(demand)
-		}
-
-		// Power for this interval, with leakage at the sensed temps.
-		unitMeans, err := sm.UnitTemperatures(f)
-		if err != nil {
-			return nil, err
-		}
-		coreUtil, backlog, err := sched.loads(demand, levels, cfg.Power.DVFS)
-		if err != nil {
-			return nil, err
-		}
-		powers, err = cfg.Power.StackPowers(st, power.StackState{
-			CoreUtil: coreUtil, CoreLevel: levels, UnitTempC: unitMeans,
-		})
-		if err != nil {
-			return nil, err
-		}
-		pm, err = sm.PowerMapFromUnits(powers)
-		if err != nil {
-			return nil, err
-		}
-		chipPower := power.Total(powers)
-		pumpPower := 0.0
-		if liquid {
-			if len(cavFlows) > 0 {
-				pumpPower, err = pump.PowerSplit(cavFlows)
-				if err != nil {
-					return nil, err
-				}
-			} else {
-				pumpPower = pump.Power(units.Lerp(pump.MinFlow, pump.MaxFlow, flowFrac))
-			}
-		}
-		for _, d := range demand {
-			demandedWork += d
-		}
-		for _, b := range backlog {
-			delayedWork += b
-		}
-
-		// --- Sensing sub-steps (100 ms). ---
-		for sub := 0; sub < subSteps; sub++ {
-			if err := tr.Step(pm); err != nil {
+		for sub := 0; sub < r.SubSteps(); sub++ {
+			if err := r.SubStep(); err != nil {
 				return nil, err
 			}
-			fs := tr.Field()
-			um, err := sm.UnitMaxTemperatures(fs)
-			if err != nil {
-				return nil, err
-			}
-			for ci, ki := range order {
-				if um[ki[0]][ki[1]] > cfg.ThresholdC {
-					hotTime[ci] += cfg.SenseDt
-				}
-			}
-			p := fs.MaxOverPowerLayers()
-			if p > m.PeakTempC {
-				m.PeakTempC = p
-			}
-			if cfg.Record {
-				m.Series = append(m.Series, TimeSample{
-					TimeS:      totalTime + cfg.SenseDt,
-					PeakC:      p,
-					FlowFrac:   flowFrac,
-					ChipPowerW: chipPower,
-					PumpPowerW: pumpPower,
-				})
-			}
-			totalTime += cfg.SenseDt
-			m.ChipEnergyJ += chipPower * cfg.SenseDt
-			m.PumpEnergyJ += pumpPower * cfg.SenseDt
-			flowIntegral += flowFrac * cfg.SenseDt
 		}
 	}
-
-	m.SimulatedS = totalTime
-	m.TotalEnergyJ = m.ChipEnergyJ + m.PumpEnergyJ
-	m.Migrations = sched.s.Migrations()
-	m.Solver = sm.Model.SolverStats()
-	m.Solver.Accumulate(tr.SolverStats())
-	if totalTime > 0 {
-		m.MeanFlowFrac = flowIntegral / totalTime
-		maxFrac := 0.0
-		sumFrac := 0.0
-		for _, h := range hotTime {
-			frac := h / totalTime
-			sumFrac += frac
-			if frac > maxFrac {
-				maxFrac = frac
-			}
-		}
-		m.HotspotFracAvg = sumFrac / float64(nCores)
-		m.HotspotFracMax = maxFrac
-	}
-	if demandedWork > 0 {
-		m.PerfDegradationPct = 100 * delayedWork / demandedWork
-	}
-	return m, nil
+	return r.Finish()
 }
 
 func mean(v []float64) float64 {

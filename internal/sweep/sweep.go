@@ -28,6 +28,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/mat"
 	"repro/internal/sim"
+	"repro/internal/thermal"
 )
 
 // DefaultPrepEntries bounds each group's factor cache: past the bound
@@ -48,6 +49,12 @@ type Engine struct {
 	// PrepEntries bounds each group's shared factor cache: 0 selects
 	// DefaultPrepEntries, negative is unbounded.
 	PrepEntries int
+	// BatchWidth bounds the scenarios one lockstep batch advances
+	// together in RunTransient: 0 selects DefaultBatchWidth, negative
+	// (or 1) steps every scenario solo. Results are identical for every
+	// width; the width only trades blocked-solve locality against
+	// cross-chunk parallelism.
+	BatchWidth int
 	// FailFast cancels the remaining scenarios of a batch after the
 	// first failure instead of completing the survivors.
 	FailFast bool
@@ -69,7 +76,9 @@ type Result struct {
 	Index int `json:"index"`
 	// Key is the scenario's content address (jobs.Scenario.Key).
 	Key string `json:"key"`
-	// Group is the scenario's structural key.
+	// Group labels the sharing group the scenario ran in: the
+	// structural key under Run, the lockstep key (structural key +
+	// trace length) under RunTransient.
 	Group string `json:"group"`
 	// Scenario echoes the normalized scenario.
 	Scenario jobs.Scenario `json:"scenario"`
@@ -96,6 +105,10 @@ type GroupStats struct {
 	// Prep counts the group's physical preparation work: Factorizations
 	// is what the group actually paid, Shares what it avoided.
 	Prep mat.PrepStats `json:"prep"`
+	// Assemblies counts the group's physical matrix-assembly work
+	// (RunTransient only — the lockstep engine additionally shares the
+	// assemblies themselves group-wide).
+	Assemblies *thermal.AsmStats `json:"assemblies,omitempty"`
 }
 
 // Report is the full outcome of one batch.
@@ -114,6 +127,20 @@ type Report struct {
 	Solver mat.SolveStats `json:"solver"`
 	// Prep aggregates the physical preparation work across groups.
 	Prep mat.PrepStats `json:"prep"`
+	// Batch reports the lockstep batching outcome (RunTransient only).
+	Batch *BatchReport `json:"batch,omitempty"`
+}
+
+// BatchReport is the lockstep batching section of a transient sweep's
+// report: how much stepping was actually blocked, and how much assembly
+// work the group-wide sharing avoided.
+type BatchReport struct {
+	thermal.BatchStats
+	// Chunks counts the lockstep batches the sweep was split into
+	// (≤ BatchWidth scenarios each).
+	Chunks int `json:"chunks"`
+	// Assemblies aggregates the physical assembly work across groups.
+	Assemblies thermal.AsmStats `json:"assemblies"`
 }
 
 // FirstFailure returns the lowest result index holding a root-cause
@@ -165,6 +192,46 @@ type group struct {
 	scenarios int
 }
 
+// plan is the normalized, validated, deduplicated form of one scenario
+// batch — the shared prologue of Run and RunTransient. Only first
+// occurrences of a content key run, so the computed/joined flags of
+// duplicates cannot depend on scheduling.
+type plan struct {
+	norm     []jobs.Scenario
+	keys     []string
+	distinct []int // batch indices of first occurrences
+	dupsOf   map[int][]int
+}
+
+func newPlan(scenarios []jobs.Scenario) (*plan, error) {
+	n := len(scenarios)
+	if n == 0 {
+		return nil, fmt.Errorf("sweep: empty batch")
+	}
+	p := &plan{
+		norm:   make([]jobs.Scenario, n),
+		keys:   make([]string, n),
+		dupsOf: map[int][]int{},
+	}
+	for i, s := range scenarios {
+		p.norm[i] = s.Normalized()
+		if err := p.norm[i].Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: scenario %d: %w", i, err)
+		}
+		p.keys[i] = p.norm[i].Key()
+	}
+	firstOf := map[string]int{}
+	for i, k := range p.keys {
+		if f, ok := firstOf[k]; ok {
+			p.dupsOf[f] = append(p.dupsOf[f], i)
+			continue
+		}
+		firstOf[k] = i
+		p.distinct = append(p.distinct, i)
+	}
+	return p, nil
+}
+
 // newPrepCache applies the engine's capacity convention: 0 selects
 // DefaultPrepEntries, negative is unbounded.
 func (e *Engine) newPrepCache() *mat.PrepCache {
@@ -187,33 +254,12 @@ func (e *Engine) newPrepCache() *mat.PrepCache {
 // any worker count. Run fails fast only on validation errors, context
 // cancellation, or — with FailFast — the first scenario error.
 func (e *Engine) Run(ctx context.Context, scenarios []jobs.Scenario, onResult func(Result)) (*Report, error) {
-	n := len(scenarios)
-	if n == 0 {
-		return nil, fmt.Errorf("sweep: empty batch")
+	p, err := newPlan(scenarios)
+	if err != nil {
+		return nil, err
 	}
-	norm := make([]jobs.Scenario, n)
-	keys := make([]string, n)
-	for i, s := range scenarios {
-		norm[i] = s.Normalized()
-		if err := norm[i].Validate(); err != nil {
-			return nil, fmt.Errorf("sweep: scenario %d: %w", i, err)
-		}
-		keys[i] = norm[i].Key()
-	}
-
-	// Deduplicate by content key: only first occurrences run, so the
-	// computed/joined flags of duplicates cannot depend on scheduling.
-	firstOf := map[string]int{}
-	var distinct []int // batch indices of first occurrences
-	dupsOf := map[int][]int{}
-	for i, k := range keys {
-		if f, ok := firstOf[k]; ok {
-			dupsOf[f] = append(dupsOf[f], i)
-			continue
-		}
-		firstOf[k] = i
-		distinct = append(distinct, i)
-	}
+	n := len(p.norm)
+	norm, keys, distinct, dupsOf := p.norm, p.keys, p.distinct, p.dupsOf
 
 	// Group the distinct scenarios structurally; each group owns one
 	// factor cache for the whole batch.

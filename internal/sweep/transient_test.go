@@ -1,0 +1,293 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// transientTestBatch is a small but structurally diverse batch: three
+// lockstep groups (liquid/direct, air/direct, liquid/bicgstab), flow
+// actuation policies that diverge matrices mid-run, and a duplicate
+// scenario.
+func transientTestBatch() []jobs.Scenario {
+	base := jobs.Scenario{Tiers: 2, Cooling: "liquid", Workload: "web", Steps: 3, Grid: 8, Solver: "direct"}
+	with := func(mut func(*jobs.Scenario)) jobs.Scenario {
+		s := base
+		mut(&s)
+		return s
+	}
+	return []jobs.Scenario{
+		base,
+		with(func(s *jobs.Scenario) { s.Policy = "LC_FUZZY" }),
+		with(func(s *jobs.Scenario) { s.Policy = "LC_PID" }),
+		with(func(s *jobs.Scenario) { s.Policy = "LC_FUZZY"; s.Seed = 7 }),
+		with(func(s *jobs.Scenario) { s.Cooling = "air"; s.Policy = "TDVFS_LB" }),
+		with(func(s *jobs.Scenario) { s.Cooling = "air" }),
+		with(func(s *jobs.Scenario) { s.Solver = "bicgstab"; s.Policy = "LC_TTFLOW" }),
+		base, // duplicate of scenario 0
+	}
+}
+
+// resultsJSON renders the per-scenario outcomes for byte comparison.
+// The Group annotation is normalized away: Run labels results with the
+// structural key, RunTransient with the lockstep key (structural key +
+// trace length) — TestRunTransientMatchesRun asserts that mapping
+// separately; everything else must match byte for byte.
+func resultsJSON(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	rs := append([]Result(nil), rep.Results...)
+	for i := range rs {
+		rs[i].Group = ""
+	}
+	raw, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestRunTransientMatchesRun pins the headline equivalence: the lockstep
+// batch engine returns byte-identical per-scenario results to the
+// per-scenario engine, for every batch width and worker count.
+func TestRunTransientMatchesRun(t *testing.T) {
+	batch := transientTestBatch()
+	ref, err := (&Engine{Pool: jobs.NewPool(1), Cache: jobs.NewCache(0)}).
+		Run(context.Background(), batch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Errors != 0 {
+		t.Fatalf("reference sweep had %d errors", ref.Errors)
+	}
+	want := resultsJSON(t, ref)
+
+	for _, tc := range []struct{ width, workers int }{
+		{1, 1}, {2, 1}, {3, 4}, {50, 1}, {50, 4}, {-1, 2},
+	} {
+		eng := &Engine{Pool: jobs.NewPool(tc.workers), Cache: jobs.NewCache(0), BatchWidth: tc.width}
+		rep, err := eng.RunTransient(context.Background(), batch, nil)
+		if err != nil {
+			t.Fatalf("width=%d workers=%d: %v", tc.width, tc.workers, err)
+		}
+		got := resultsJSON(t, rep)
+		if string(got) != string(want) {
+			t.Fatalf("width=%d workers=%d: results differ from Engine.Run", tc.width, tc.workers)
+		}
+		for i, r := range rep.Results {
+			if want := TransientKey(r.Scenario); r.Group != want {
+				t.Fatalf("width=%d workers=%d result %d: group %q, want %q",
+					tc.width, tc.workers, i, r.Group, want)
+			}
+		}
+		if rep.Solver != ref.Solver {
+			t.Fatalf("width=%d workers=%d: solver aggregate %+v != %+v", tc.width, tc.workers, rep.Solver, ref.Solver)
+		}
+		if rep.CacheHits != ref.CacheHits || rep.Errors != 0 {
+			t.Fatalf("width=%d workers=%d: hits=%d errors=%d (ref hits=%d)",
+				tc.width, tc.workers, rep.CacheHits, rep.Errors, ref.CacheHits)
+		}
+	}
+}
+
+// TestRunTransientWidthInvariantReports pins full-report determinism for
+// a fixed width across worker counts (the Batch section varies only
+// with the chunking, never with scheduling).
+func TestRunTransientWidthInvariantReports(t *testing.T) {
+	batch := transientTestBatch()
+	var want []byte
+	for _, workers := range []int{1, 3, 8} {
+		eng := &Engine{Pool: jobs.NewPool(workers), Cache: jobs.NewCache(0), BatchWidth: 4}
+		rep, err := eng.RunTransient(context.Background(), batch, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = raw
+			continue
+		}
+		if string(raw) != string(want) {
+			t.Fatalf("workers=%d: full report differs:\n%s\n%s", workers, raw, want)
+		}
+	}
+}
+
+// TestRunTransientBatching checks the sweep actually locksteps: one
+// structural group of many scenarios reports blocked multi-RHS solves,
+// factorization sharing and assembly sharing.
+func TestRunTransientBatching(t *testing.T) {
+	var batch []jobs.Scenario
+	for seed := int64(1); seed <= 8; seed++ {
+		batch = append(batch, jobs.Scenario{
+			Tiers: 2, Cooling: "liquid", Policy: "LC_FUZZY", Workload: "web",
+			Steps: 3, Grid: 8, Solver: "direct", Seed: seed,
+		})
+	}
+	eng := &Engine{Pool: jobs.NewPool(1), Cache: jobs.NewCache(0), BatchWidth: 8}
+	rep, err := eng.RunTransient(context.Background(), batch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors", rep.Errors)
+	}
+	if len(rep.Groups) != 1 {
+		t.Fatalf("want one lockstep group, got %d", len(rep.Groups))
+	}
+	b := rep.Batch
+	if b == nil || b.Chunks != 1 {
+		t.Fatalf("batch section %+v", b)
+	}
+	if b.BatchSolves == 0 || b.BatchedColumns <= b.BatchSolves {
+		t.Fatalf("no blocked multi-RHS stepping: %+v", b.BatchStats)
+	}
+	if b.Assemblies.Shares == 0 {
+		t.Fatalf("no assembly sharing: %+v", b.Assemblies)
+	}
+	if rep.Prep.Shares == 0 {
+		t.Fatalf("no factorization sharing: %+v", rep.Prep)
+	}
+	// Every scenario's solver counters rode through untouched: the
+	// logical totals must match what an unshared run would report.
+	for _, r := range rep.Results {
+		if r.Metrics == nil || r.Metrics.Solver.Solves == 0 {
+			t.Fatalf("scenario %d missing solver stats", r.Index)
+		}
+	}
+}
+
+// TestRunTransientCacheFill checks batch-aware result-cache fills: a
+// second identical sweep is served entirely from the cache, and the
+// cached metrics equal the computed ones.
+func TestRunTransientCacheFill(t *testing.T) {
+	batch := transientTestBatch()
+	cache := jobs.NewCache(0)
+	eng := &Engine{Pool: jobs.NewPool(2), Cache: cache, BatchWidth: 4}
+	first, err := eng.RunTransient(context.Background(), batch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := eng.RunTransient(context.Background(), batch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHits != second.Scenarios {
+		t.Fatalf("second sweep: %d/%d cache hits", second.CacheHits, second.Scenarios)
+	}
+	for i := range first.Results {
+		a, b := first.Results[i].Metrics, second.Results[i].Metrics
+		if a == nil || b == nil || !reflect.DeepEqual(a, b) {
+			t.Fatalf("scenario %d: cached metrics differ", i)
+		}
+	}
+}
+
+// TestRunTransientStreams checks the streaming callback observes every
+// result exactly once, matching the report.
+func TestRunTransientStreams(t *testing.T) {
+	batch := transientTestBatch()
+	eng := &Engine{Pool: jobs.NewPool(2), Cache: jobs.NewCache(0)}
+	seen := map[int]int{}
+	rep, err := eng.RunTransient(context.Background(), batch, func(r Result) {
+		seen[r.Index]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != rep.Scenarios {
+		t.Fatalf("streamed %d of %d results", len(seen), rep.Scenarios)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("result %d streamed %d times", i, n)
+		}
+	}
+}
+
+// TestRunTransientCancel checks context cancellation surfaces like Run.
+func TestRunTransientCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := &Engine{Pool: jobs.NewPool(1)}
+	if _, err := eng.RunTransient(ctx, transientTestBatch(), nil); err == nil {
+		t.Fatal("canceled sweep did not fail")
+	}
+}
+
+// TestRunTransientFailFast checks the fail-fast path: the first
+// scenario failure (a workload unknown to the trace generator — it
+// passes validation but fails at run time) cancels the batch, the
+// report carries the root cause, and skipped scenarios are labeled.
+func TestRunTransientFailFast(t *testing.T) {
+	var batch []jobs.Scenario
+	for seed := int64(1); seed <= 6; seed++ {
+		batch = append(batch, jobs.Scenario{
+			Tiers: 2, Cooling: "air", Workload: "web", Steps: 2, Grid: 8, Seed: seed,
+		})
+	}
+	batch[2].Workload = "bogus" // fails in GenerateTrace, not in Validate
+	eng := &Engine{Pool: jobs.NewPool(1), FailFast: true, BatchWidth: 2, PrepEntries: -1}
+	rep, err := eng.RunTransient(context.Background(), batch, nil)
+	if err == nil {
+		t.Fatal("fail-fast sweep returned no error")
+	}
+	if rep == nil || rep.Errors == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	first := rep.FirstFailure()
+	if first != 2 {
+		t.Fatalf("FirstFailure = %d, want 2", first)
+	}
+	if rep.Results[2].Err == nil {
+		t.Fatal("failing scenario has no error")
+	}
+}
+
+// TestRunTransientConcurrentOverlap runs two sweeps with overlapping
+// scenario sets in opposite orders concurrently on one shared result
+// cache. The chunks reserve their single-flight slots in global key
+// order, so the cross-sweep joins cannot form a hold-and-wait cycle —
+// this test deadlocks (and times out) if that ordering discipline is
+// ever lost.
+func TestRunTransientConcurrentOverlap(t *testing.T) {
+	var fwd []jobs.Scenario
+	for seed := int64(1); seed <= 6; seed++ {
+		fwd = append(fwd, jobs.Scenario{
+			Tiers: 2, Cooling: "air", Workload: "web", Steps: 1, Grid: 8, Seed: seed,
+		})
+	}
+	rev := make([]jobs.Scenario, len(fwd))
+	for i := range fwd {
+		rev[len(fwd)-1-i] = fwd[i]
+	}
+	for round := 0; round < 5; round++ {
+		cache := jobs.NewCache(0)
+		eng := &Engine{Pool: jobs.NewPool(4), Cache: cache, BatchWidth: 2}
+		done := make(chan error, 2)
+		for _, batch := range [][]jobs.Scenario{fwd, rev} {
+			batch := batch
+			go func() {
+				_, err := eng.RunTransient(context.Background(), batch, nil)
+				done <- err
+			}()
+		}
+		for i := 0; i < 2; i++ {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(60 * time.Second):
+				t.Fatal("concurrent overlapping sweeps deadlocked")
+			}
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package thermal
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/mat"
+	"repro/internal/units"
+)
+
+// batchFixture builds one liquid-cooled 2-tier stack model.
+func batchFixture(t testing.TB, solver string, prep *mat.PrepCache, asm *AssemblyCache) *StackModel {
+	t.Helper()
+	sm, err := BuildStack(floorplan.Niagara2Tier(), StackOptions{
+		Mode:          LiquidCooled,
+		FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+		Nx:            8, Ny: 8,
+		Solver:     solver,
+		Prep:       prep,
+		Assemblies: asm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+// batchPower synthesises a power map with per-scenario variation.
+func batchPower(t testing.TB, sm *StackModel, scale float64) PowerMap {
+	t.Helper()
+	nx, ny := sm.Model.Grid()
+	pm := make(PowerMap, len(sm.Model.PowerLayers()))
+	for k := range pm {
+		cells := make([]float64, nx*ny)
+		for c := range cells {
+			cells[c] = scale * (0.05 + 0.01*float64((c+k)%7))
+		}
+		pm[k] = cells
+	}
+	return pm
+}
+
+// TestBatchStepperBitIdentical pins the lockstep contract per backend:
+// N transients advanced by a BatchStepper — through shared prep and
+// assembly caches, with mid-run flow changes splitting and re-merging
+// the factor groups — hold bit-identical states and solver stats to the
+// same scenarios stepped solo without any sharing.
+func TestBatchStepperBitIdentical(t *testing.T) {
+	const scenarios = 5
+	const steps = 12
+	for _, backend := range mat.Backends() {
+		t.Run(backend, func(t *testing.T) {
+			// Solo references: private models, plain Step.
+			solo := make([]*Transient, scenarios)
+			soloPMs := make([]PowerMap, scenarios)
+			soloSMs := make([]*StackModel, scenarios)
+			for s := 0; s < scenarios; s++ {
+				sm := batchFixture(t, backend, nil, nil)
+				tr, err := sm.Model.NewTransient(0.1, 40+float64(s))
+				if err != nil {
+					t.Fatal(err)
+				}
+				solo[s] = tr
+				soloSMs[s] = sm
+				soloPMs[s] = batchPower(t, sm, 1+0.2*float64(s))
+			}
+			// Batched runs: shared caches, lockstep stepping.
+			prep := mat.NewPrepCache(0)
+			asm := NewAssemblyCache(0)
+			batched := make([]*Transient, scenarios)
+			pms := make([]PowerMap, scenarios)
+			sms := make([]*StackModel, scenarios)
+			for s := 0; s < scenarios; s++ {
+				sm := batchFixture(t, backend, prep, asm)
+				tr, err := sm.Model.NewTransient(0.1, 40+float64(s))
+				if err != nil {
+					t.Fatal(err)
+				}
+				batched[s] = tr
+				sms[s] = sm
+				pms[s] = batchPower(t, sm, 1+0.2*float64(s))
+			}
+			bs := NewBatchStepper()
+			flows := []float64{32.3, 32.3, 20, 20, 10, 32.3, 32.3, 32.3, 20, 10, 10, 32.3}
+			for step := 0; step < steps; step++ {
+				// Scenarios 0..2 follow the flow schedule, 3..4 hold max:
+				// the batch splits into diverging factor groups mid-run.
+				for s := 0; s < 3; s++ {
+					q := units.MlPerMinToM3PerS(flows[step])
+					if err := sms[s].SetFlowPerCavity(q); err != nil {
+						t.Fatal(err)
+					}
+					if err := soloSMs[s].SetFlowPerCavity(q); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if errs := bs.Step(batched, pms); errs != nil {
+					t.Fatalf("step %d: %v", step, errs)
+				}
+				for s := 0; s < scenarios; s++ {
+					if err := solo[s].Step(soloPMs[s]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for s := 0; s < scenarios; s++ {
+					got, want := batched[s].View(), solo[s].View()
+					for i := range want.T {
+						if got.T[i] != want.T[i] {
+							t.Fatalf("step %d scenario %d node %d: %v != %v",
+								step, s, i, got.T[i], want.T[i])
+						}
+					}
+				}
+			}
+			for s := 0; s < scenarios; s++ {
+				got, want := batched[s].SolverStats(), solo[s].SolverStats()
+				if got != want {
+					t.Fatalf("scenario %d stats: %+v != solo %+v", s, got, want)
+				}
+			}
+			st := bs.Stats()
+			if st.Steps != steps || st.BatchedColumns == 0 {
+				t.Fatalf("unexpected batch stats %+v", st)
+			}
+			if backend == mat.BackendDirect && asm.Stats().Shares == 0 {
+				t.Fatalf("assembly cache never shared: %+v", asm.Stats())
+			}
+		})
+	}
+}
+
+// TestBatchStepperSoloFallback checks that a batch of one (and a group
+// of one) routes through the solo workspace and still matches Step.
+func TestBatchStepperSoloFallback(t *testing.T) {
+	sm := batchFixture(t, mat.BackendDirect, nil, nil)
+	ref := batchFixture(t, mat.BackendDirect, nil, nil)
+	tr, err := sm.Model.NewTransient(0.1, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtr, err := ref.Model.NewTransient(0.1, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := batchPower(t, sm, 1)
+	bs := NewBatchStepper()
+	for step := 0; step < 5; step++ {
+		if errs := bs.Step([]*Transient{tr}, []PowerMap{pm}); errs != nil {
+			t.Fatal(errs)
+		}
+		if err := rtr.Step(pm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, want := tr.View(), rtr.View()
+	for i := range want.T {
+		if got.T[i] != want.T[i] {
+			t.Fatalf("node %d: %v != %v", i, got.T[i], want.T[i])
+		}
+	}
+	if st := bs.Stats(); st.BatchSolves != 0 || st.SoloSolves == 0 {
+		t.Fatalf("expected solo-only stepping, got %+v", st)
+	}
+}
+
+// TestBatchStepperColumnFailure checks that one stepper's failure (a
+// power map of the wrong shape) leaves its neighbours advancing
+// bit-identically.
+func TestBatchStepperColumnFailure(t *testing.T) {
+	prep := mat.NewPrepCache(0)
+	asm := NewAssemblyCache(0)
+	var trs []*Transient
+	var pms []PowerMap
+	for s := 0; s < 3; s++ {
+		sm := batchFixture(t, mat.BackendDirect, prep, asm)
+		tr, err := sm.Model.NewTransient(0.1, 45)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs = append(trs, tr)
+		pms = append(pms, batchPower(t, sm, 1))
+	}
+	ref := batchFixture(t, mat.BackendDirect, nil, nil)
+	rtr, err := ref.Model.NewTransient(0.1, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pms[1] = pms[1][:1] // malformed: missing a power layer
+	bs := NewBatchStepper()
+	errs := bs.Step(trs, pms)
+	if errs == nil || errs[1] == nil {
+		t.Fatal("malformed scenario did not fail")
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("healthy scenarios failed: %v", errs)
+	}
+	if err := rtr.Step(batchPower(t, ref, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int{0, 2} {
+		got, want := trs[s].View(), rtr.View()
+		for i := range want.T {
+			if got.T[i] != want.T[i] {
+				t.Fatalf("scenario %d node %d drifted", s, i)
+			}
+		}
+	}
+}
+
+// TestAssemblyCacheBounds checks the overflow path builds uncached.
+func TestAssemblyCacheBounds(t *testing.T) {
+	asm := NewAssemblyCache(1)
+	calls := 0
+	build := func() (*mat.Sparse, []float64, []float64) {
+		calls++
+		b := mat.NewBuilder(2)
+		b.Add(0, 0, 1)
+		b.Add(1, 1, 1)
+		return b.Build(), nil, nil
+	}
+	g1, _, _ := asm.assembly("k1", build)
+	g1b, _, _ := asm.assembly("k1", build)
+	if g1 != g1b {
+		t.Fatal("same key returned different assemblies")
+	}
+	g2, _, _ := asm.assembly("k2", build)
+	g2b, _, _ := asm.assembly("k2", build)
+	if g2 == g2b {
+		t.Fatal("overflow builds should be private")
+	}
+	st := asm.Stats()
+	if st.Assemblies != 3 || st.Shares != 1 || st.Overflows != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if asm.Len() != 1 {
+		t.Fatalf("len %d", asm.Len())
+	}
+}

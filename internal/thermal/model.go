@@ -102,6 +102,12 @@ type Config struct {
 	// for each distinct matrix once (see mat.PrepCache). Sharing never
 	// changes results or per-model solver stats.
 	Prep *mat.PrepCache
+	// Assemblies, when non-nil, shares the deterministic matrix
+	// assemblies themselves (conductance matrix, boundary rhs,
+	// capacitances and derived transient left-hand sides) across models
+	// of one structurally identical family — see AssemblyCache for the
+	// contract. Like Prep, sharing is bit-invisible in results and stats.
+	Assemblies *AssemblyCache
 }
 
 // Model is an assembled compact thermal model. A Model is not safe for
@@ -134,6 +140,7 @@ type Model struct {
 	// workspaces so flow changes don't lose solver history.
 	solver      mat.Solver
 	prep        *mat.PrepCache
+	asm         *AssemblyCache
 	steadyWS    mat.Workspace
 	steadyStats mat.SolveStats
 	pvBuf       []float64 // reusable power-vector buffer
@@ -221,6 +228,7 @@ func New(cfg Config) (*Model, error) {
 	}
 	m.solver = solver
 	m.prep = cfg.Prep
+	m.asm = cfg.Assemblies
 	m.pvBuf = make([]float64, m.nTotal)
 	m.rhsBuf = make([]float64, m.nTotal)
 	m.assemble()
@@ -239,6 +247,38 @@ func (m *Model) prepare(tag string, a *mat.Sparse) (mat.Workspace, error) {
 		return ws, err
 	}
 	return m.solver.Prepare(a)
+}
+
+// prepareFact is prepare additionally exposing the shared factorization
+// behind the workspace — the handle the lockstep batch stepper groups
+// scenarios by (see BatchStepper). The factorization is nil for
+// backends that cannot share one.
+func (m *Model) prepareFact(tag string, a *mat.Sparse) (mat.Factorization, mat.Workspace, error) {
+	if m.prep != nil {
+		return m.prep.PrepareFact(m.solver, m.prepTag(tag), a)
+	}
+	if fz, ok := m.solver.(mat.Factorizer); ok {
+		fact, err := fz.Factor(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fact, fact.NewWorkspace(), nil
+	}
+	ws, err := m.solver.Prepare(a)
+	return nil, ws, err
+}
+
+// transientLHS derives the backward-Euler left-hand side C/dt + G for
+// the current assembly, shared through the assembly cache when one is
+// configured (AddDiagonal is deterministic, so sharing is
+// bit-invisible).
+func (m *Model) transientLHS(g *mat.Sparse, capDt []float64, dtTag string) *mat.Sparse {
+	if m.asm == nil {
+		return g.AddDiagonal(capDt)
+	}
+	return m.asm.derived(m.prepTag("lhs|"+dtTag), func() *mat.Sparse {
+		return g.AddDiagonal(capDt)
+	})
 }
 
 // prepTag renders the semantic matrix tag: the kind marker plus the
@@ -349,8 +389,28 @@ func seriesG(area, t1, k1, t2, k2 float64) float64 {
 	return area / (t1/(2*k1) + t2/(2*k2))
 }
 
-// assemble builds the conductance matrix, base RHS and capacitances.
+// assemble refreshes the cached assembly products for the current
+// cavity flows — building them, or adopting the bit-identical shared
+// build of a structurally identical sibling through the assembly cache —
+// and retires the solver workspace bound to the superseded matrix.
 func (m *Model) assemble() {
+	if m.asm != nil {
+		m.g, m.rhsBase, m.cap = m.asm.assembly(m.prepTag("asm"), m.buildAssembly)
+	} else {
+		m.g, m.rhsBase, m.cap = m.buildAssembly()
+	}
+	// The old workspace is bound to the superseded matrix: retire it,
+	// folding its counters into the accumulated stats, and let the next
+	// steady solve prepare a fresh one.
+	if m.steadyWS != nil {
+		m.steadyStats.Accumulate(m.steadyWS.Stats())
+		m.steadyWS = nil
+	}
+	m.dirty = false
+}
+
+// buildAssembly builds the conductance matrix, base RHS and capacitances.
+func (m *Model) buildAssembly() (*mat.Sparse, []float64, []float64) {
 	b := mat.NewBuilder(m.nTotal)
 	rhs := make([]float64, m.nTotal)
 	cp := make([]float64, m.nTotal)
@@ -416,17 +476,7 @@ func (m *Model) assemble() {
 		}
 	}
 
-	m.g = b.Build()
-	// The old workspace is bound to the superseded matrix: retire it,
-	// folding its counters into the accumulated stats, and let the next
-	// steady solve prepare a fresh one.
-	if m.steadyWS != nil {
-		m.steadyStats.Accumulate(m.steadyWS.Stats())
-		m.steadyWS = nil
-	}
-	m.rhsBase = rhs
-	m.cap = cp
-	m.dirty = false
+	return b.Build(), rhs, cp
 }
 
 // steadyWorkspace lazily prepares (and then reuses) the solver workspace
@@ -563,8 +613,13 @@ type Field struct {
 // length nx·ny.
 func (f *Field) Layer(l int) []float64 {
 	out := make([]float64, f.m.nCells)
-	copy(out, f.T[l*f.m.nCells:(l+1)*f.m.nCells])
+	copy(out, f.layer(l))
 	return out
+}
+
+// layer borrows one layer's temperatures without copying.
+func (f *Field) layer(l int) []float64 {
+	return f.T[l*f.m.nCells : (l+1)*f.m.nCells]
 }
 
 // Max returns the maximum temperature over the given layer.

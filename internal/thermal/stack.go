@@ -58,6 +58,9 @@ type StackOptions struct {
 	SolverTol float64
 	// Prep shares solver preparations across models; see Config.Prep.
 	Prep *mat.PrepCache
+	// Assemblies shares deterministic matrix assemblies across
+	// structurally identical models; see Config.Assemblies.
+	Assemblies *AssemblyCache
 }
 
 func (o *StackOptions) fillDefaults() {
@@ -166,11 +169,12 @@ func BuildStack(st *floorplan.Stack, opt StackOptions) (*StackModel, error) {
 	cfg := Config{
 		Nx: opt.Nx, Ny: opt.Ny,
 		W: w, H: h,
-		Layers:    layers,
-		AmbientC:  opt.AmbientC,
-		Solver:    opt.Solver,
-		SolverTol: opt.SolverTol,
-		Prep:      opt.Prep,
+		Layers:     layers,
+		AmbientC:   opt.AmbientC,
+		Solver:     opt.Solver,
+		SolverTol:  opt.SolverTol,
+		Prep:       opt.Prep,
+		Assemblies: opt.Assemblies,
 	}
 	if opt.Mode == AirCooled {
 		cfg.Sink = opt.Sink
@@ -216,7 +220,7 @@ func (s *StackModel) PowerMapFromUnits(unitPowers [][]float64) (PowerMap, error)
 func (s *StackModel) UnitTemperatures(f *Field) ([][]float64, error) {
 	out := make([][]float64, len(s.Rasters))
 	for k, r := range s.Rasters {
-		t, err := r.UnitTemperatures(f.Layer(s.tierLayer[k]))
+		t, err := r.UnitTemperatures(f.layer(s.tierLayer[k]))
 		if err != nil {
 			return nil, err
 		}
@@ -229,13 +233,31 @@ func (s *StackModel) UnitTemperatures(f *Field) ([][]float64, error) {
 func (s *StackModel) UnitMaxTemperatures(f *Field) ([][]float64, error) {
 	out := make([][]float64, len(s.Rasters))
 	for k, r := range s.Rasters {
-		t, err := r.UnitMaxTemperatures(f.Layer(s.tierLayer[k]))
+		t, err := r.UnitMaxTemperatures(f.layer(s.tierLayer[k]))
 		if err != nil {
 			return nil, err
 		}
 		out[k] = t
 	}
 	return out, nil
+}
+
+// UnitMaxTemperaturesInto is UnitMaxTemperatures writing into dst
+// (shaped by a previous call), the allocation-free form the
+// per-sensing-step hot loop uses. dst rows are resized on first use.
+func (s *StackModel) UnitMaxTemperaturesInto(dst [][]float64, f *Field) ([][]float64, error) {
+	if cap(dst) < len(s.Rasters) {
+		dst = make([][]float64, len(s.Rasters))
+	}
+	dst = dst[:len(s.Rasters)]
+	for k, r := range s.Rasters {
+		t, err := r.UnitMaxTemperaturesInto(dst[k], f.layer(s.tierLayer[k]))
+		if err != nil {
+			return nil, err
+		}
+		dst[k] = t
+	}
+	return dst, nil
 }
 
 // SetFlowPerCavity updates every cavity (liquid mode only).

@@ -40,14 +40,19 @@ type Transient struct {
 	lastRhs   []float64
 	lastRhsOK bool
 
-	// Cached left-hand side (C/dt + G) and its prepared workspace;
-	// rebuilt when the model's flow rates change.
+	// Cached left-hand side (C/dt + G), its prepared workspace and the
+	// shareable factorization behind it (nil for backends that cannot
+	// share one); rebuilt when the model's flow rates change.
 	lhs     *mat.Sparse
 	ws      mat.Workspace
+	fact    mat.Factorization
 	rhsBase []float64
 	dirtyAt *mat.Sparse // matrix identity marker for cache invalidation
 
-	// stats accumulates counters of superseded workspaces.
+	// stats accumulates counters of superseded workspaces, fixed-point
+	// no-op steps, and — in lockstep batch mode — the logical per-column
+	// counters of batched solves, so Step and BatchStepper.Step report
+	// identical totals for identical step sequences.
 	stats mat.SolveStats
 }
 
@@ -107,15 +112,17 @@ func (tr *Transient) refresh() error {
 	for i, c := range cp {
 		tr.capDt[i] = c / tr.dt
 	}
-	tr.lhs = g.AddDiagonal(tr.capDt)
+	dtTag := "dt=" + strconv.FormatFloat(tr.dt, 'g', -1, 64)
+	tr.lhs = tr.m.transientLHS(g, tr.capDt, dtTag)
 	if tr.ws != nil {
 		tr.stats.Accumulate(tr.ws.Stats())
 		tr.ws = nil
 	}
-	ws, err := tr.m.prepare("dt="+strconv.FormatFloat(tr.dt, 'g', -1, 64), tr.lhs)
+	fact, ws, err := tr.m.prepareFact(dtTag, tr.lhs)
 	if err != nil {
 		return fmt.Errorf("thermal: preparing %s transient solver: %w", tr.m.solver.Name(), err)
 	}
+	tr.fact = fact
 	tr.ws = ws
 	tr.rhsBase = base
 	tr.dirtyAt = g
@@ -127,11 +134,25 @@ func (tr *Transient) refresh() error {
 // steady path — flow rates unchanged since the previous step — it
 // allocates nothing.
 func (tr *Transient) Step(p PowerMap) error {
-	if err := tr.m.powerVectorInto(tr.pv, p); err != nil {
+	need, err := tr.stage(p)
+	if err != nil || !need {
 		return err
 	}
+	return tr.solveStaged()
+}
+
+// stage prepares one step: expand the power vector, refresh the cached
+// left-hand side, assemble the right-hand side and detect the
+// fixed-point no-op. It returns false when the current state already
+// solves the staged system — the step is then complete (recorded as an
+// early exit). A true return must be followed by exactly one
+// solveStaged or commitBatch call.
+func (tr *Transient) stage(p PowerMap) (bool, error) {
+	if err := tr.m.powerVectorInto(tr.pv, p); err != nil {
+		return false, err
+	}
 	if err := tr.refresh(); err != nil {
-		return err
+		return false, err
 	}
 	for i := range tr.rhs {
 		tr.rhs[i] = tr.rhsBase[i] + tr.pv[i] + tr.capDt[i]*tr.t[i]
@@ -142,15 +163,44 @@ func (tr *Transient) Step(p PowerMap) error {
 		// solves-per-step invariant holds for observers.
 		tr.stats.Solves++
 		tr.stats.EarlyExits++
-		return nil
+		return false, nil
 	}
+	return true, nil
+}
+
+// solveStaged performs the staged solve through the stepper's own
+// workspace and accepts the solution.
+func (tr *Transient) solveStaged() error {
 	if err := tr.ws.Solve(tr.sol, tr.rhs, tr.t); err != nil {
 		return fmt.Errorf("thermal: transient step: %w", err)
 	}
+	tr.commit()
+	return nil
+}
+
+// commitBatch accepts a staged step solved externally by a lockstep
+// batch workspace (the solution is already in tr.sol), folding the
+// column's logical counters into the stepper's stats so batched and
+// solo stepping report identical SolverStats.
+func (tr *Transient) commitBatch(r mat.ColumnResult) error {
+	tr.stats.Solves++
+	tr.stats.Iterations += r.Iterations
+	if r.EarlyExit {
+		tr.stats.EarlyExits++
+	}
+	if r.Err != nil {
+		return fmt.Errorf("thermal: transient step: %w", r.Err)
+	}
+	tr.commit()
+	return nil
+}
+
+// commit swaps in the staged solution and memoizes its right-hand side
+// for the fixed-point check.
+func (tr *Transient) commit() {
 	tr.t, tr.sol = tr.sol, tr.t
 	tr.lastRhs, tr.rhs = tr.rhs, tr.lastRhs
 	tr.lastRhsOK = true
-	return nil
 }
 
 // SolverStats returns the cumulative transient solver counters,
@@ -169,6 +219,13 @@ func (tr *Transient) SolverStats() mat.SolveStats {
 // Field returns the current state (a snapshot copy).
 func (tr *Transient) Field() *Field {
 	return &Field{m: tr.m, T: append([]float64(nil), tr.t...)}
+}
+
+// View returns a borrowed read-only view of the current state, valid
+// until the next Step — the allocation-free accessor the per-sensing-
+// step metrics loop reads through.
+func (tr *Transient) View() Field {
+	return Field{m: tr.m, T: tr.t}
 }
 
 // MaxOverPowerLayers returns the current junction temperature without

@@ -1,25 +1,35 @@
 #!/usr/bin/env sh
 # bench.sh — run the solver/scenario/sweep benchmark suite and emit a
-# machine-readable snapshot (default BENCH_PR3.json) so the performance
-# trajectory of the repo is tracked in-tree.
+# machine-readable snapshot (default BENCH_PR4.json) so the performance
+# trajectory of the repo is tracked in-tree, or — with --check — rerun
+# the benchmarks pinned in the latest committed snapshot and fail when
+# any ns/op regressed past the tolerance (the CI bench-gate job).
 #
 # Usage:
-#   scripts/bench.sh [output.json]
-#   BENCHTIME=2s scripts/bench.sh       # longer sampling
-#   BENCH='TransientStep' scripts/bench.sh  # subset
+#   scripts/bench.sh [output.json]          # snapshot mode
+#   scripts/bench.sh --check [base.json]    # regression gate against the
+#                                           # latest BENCH_*.json (or base)
+#   BENCHTIME=2s scripts/bench.sh           # longer sampling
+#   BENCH='TransientStep' scripts/bench.sh  # subset (snapshot mode)
+#   BENCH_GATE_TOLERANCE=1.5 scripts/bench.sh --check   # looser gate
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR3.json}"
+mode=snapshot
+if [ "${1:-}" = "--check" ]; then
+    mode=check
+    shift
+fi
+
 benchtime="${BENCHTIME:-1s}"
-pattern="${BENCH:-TransientStep|CompactSteady|SteadyDirect|SolverBiCGSTAB|SolverGMRES|SolverGMRESWithRCMILU|PoolStudySweep|CacheHit|SweepShared|SweepUnshared}"
+tolerance="${BENCH_GATE_TOLERANCE:-1.35}"
 
-tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
-
-go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count 1 . | tee "$tmp"
-
-awk -v benchtime="$benchtime" '
+# emit_json parses `go test -bench` output on stdin into the snapshot
+# format: one benchmark per line, so the gate can re-parse it with awk
+# alone (no jq dependency). Repeated samples of one benchmark (-count N)
+# collapse to the fastest — the noise-robust statistic the gate compares.
+emit_json() {
+    awk -v benchtime="$1" '
 BEGIN { n = 0 }
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -32,6 +42,12 @@ BEGIN { n = 0 }
         if ($(i+1) == "B/op")      line = line sprintf(",\"bytes_per_op\":%s", $i)
         if ($(i+1) == "allocs/op") line = line sprintf(",\"allocs_per_op\":%s", $i)
     }
+    if (name in best) {
+        if ($3 + 0 < best[name]) { best[name] = $3 + 0; lines[slot[name]] = line "}" }
+        next
+    }
+    best[name] = $3 + 0
+    slot[name] = n
     lines[n++] = line "}"
 }
 END {
@@ -39,6 +55,75 @@ END {
     printf("  \"benchmarks\":[\n")
     for (i = 0; i < n; i++) printf("  %s%s\n", lines[i], i < n-1 ? "," : "")
     printf("  ]\n}\n")
-}' "$tmp" > "$out"
+}'
+}
 
-echo "wrote $out"
+if [ "$mode" = "snapshot" ]; then
+    out="${1:-BENCH_PR4.json}"
+    pattern="${BENCH:-TransientStep|CompactSteady|SteadyDirect|SolverBiCGSTAB|SolverGMRES|SolverGMRESWithRCMILU|PoolStudySweep|CacheHit|SweepShared|SweepUnshared|TransientSweepBatched|TransientSweepUnbatched|SolveBlock$}"
+    tmp="$(mktemp)"
+    trap 'rm -f "$tmp"' EXIT
+    go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count 1 ./internal/mat . | tee "$tmp"
+    emit_json "$benchtime" < "$tmp" > "$out"
+    echo "wrote $out"
+    exit 0
+fi
+
+# --- check mode: the benchmark-regression gate ---
+
+base="${1:-$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1)}"
+if [ -z "$base" ] || [ ! -f "$base" ]; then
+    echo "bench-gate: no BENCH_*.json snapshot to check against" >&2
+    exit 2
+fi
+echo "bench-gate: checking against $base (tolerance ${tolerance}x, benchtime $benchtime)"
+
+# The -bench pattern matches the top-level benchmark names (sub-benchmark
+# names like PoolStudySweep/sequential select their parent); comparison
+# below still happens per full pinned name.
+names="$(awk -F'"' '/"name":/ {split($4, a, "/"); print a[1]}' "$base" | sort -u)"
+if [ -z "$names" ]; then
+    echo "bench-gate: $base pins no benchmarks" >&2
+    exit 2
+fi
+pattern="^($(printf '%s' "$names" | tr '\n' '|'))$"
+
+tmp="$(mktemp)"
+fresh="${BENCH_GATE_OUT:-bench-gate.json}"
+count="${BENCH_GATE_COUNT:-3}"
+trap 'rm -f "$tmp"' EXIT
+# -count 3, fastest sample per benchmark: a single descheduled run on a
+# noisy shared runner must not trip the gate.
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count "$count" ./internal/mat . | tee "$tmp"
+emit_json "$benchtime" < "$tmp" > "$fresh"
+echo "wrote $fresh"
+
+awk -F'"' -v tol="$tolerance" '
+FNR == 1 { file++ }
+/"name":/ {
+    name = $4
+    rest = $0
+    sub(/.*"ns_per_op":/, "", rest)
+    sub(/[,}].*/, "", rest)
+    if (file == 1) { old[name] = rest + 0 }
+    else           { new[name] = rest + 0 }
+}
+END {
+    bad = 0
+    for (name in old) {
+        if (!(name in new)) {
+            printf("bench-gate: FAIL %-45s pinned in snapshot but not rerun\n", name)
+            bad++
+            continue
+        }
+        ratio = (old[name] > 0) ? new[name] / old[name] : 1
+        status = (ratio > tol) ? "FAIL" : "ok"
+        printf("bench-gate: %-4s %-45s %14.0f -> %14.0f ns/op (%.2fx)\n", status, name, old[name], new[name], ratio)
+        if (ratio > tol) bad++
+    }
+    if (bad > 0) {
+        printf("bench-gate: %d benchmark(s) regressed past %.2fx\n", bad, tol)
+        exit 1
+    }
+    print "bench-gate: all pinned benchmarks within tolerance"
+}' "$base" "$fresh"
