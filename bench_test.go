@@ -427,11 +427,9 @@ func BenchmarkTransientStep4Tier(b *testing.B) { benchTransientStep(b, 4, "") }
 
 func BenchmarkTransientStep4TierDirect(b *testing.B) { benchTransientStep(b, 4, "direct") }
 
-// benchTransientStepActive alternates between two power maps every
-// step, so every solve does real work (no fixed-point short-circuit):
-// iterative backends iterate from the warm start, the direct backend
-// runs its two triangular sweeps against the cached factorisation.
-func benchTransientStepActive(b *testing.B, solver string) {
+// activeStepFixture builds the 4-tier liquid stack and a power-map
+// factory for the active-regime step benchmarks.
+func activeStepFixture(b *testing.B, solver string) (*thermal.StackModel, func(util float64) thermal.PowerMap) {
 	b.Helper()
 	st := floorplan.Niagara4Tier()
 	sm, err := thermal.BuildStack(st, thermal.StackOptions{
@@ -458,6 +456,20 @@ func benchTransientStepActive(b *testing.B, solver string) {
 		}
 		return pm
 	}
+	return sm, mkPM
+}
+
+// benchTransientStepActive alternates between two power maps every
+// step — the bang-bang epoch pattern of the management policies. The
+// stepper's solved-system memo locks onto the period-2 cycle once the
+// state bit-converges: each step then verifies the staged rhs against
+// the remembered systems and adopts the accepted solution, so the
+// steady regime of a quantised control loop costs a few vector
+// compares instead of a solve. BenchmarkTransientStepSolve pins the
+// genuine-solve path this memo bypasses.
+func benchTransientStepActive(b *testing.B, solver string) {
+	b.Helper()
+	sm, mkPM := activeStepFixture(b, solver)
 	pms := [2]thermal.PowerMap{mkPM(0.3), mkPM(0.9)}
 	f, err := sm.Model.SteadyState(pms[0], nil)
 	if err != nil {
@@ -482,6 +494,126 @@ func benchTransientStepActive(b *testing.B, solver string) {
 func BenchmarkTransientStepActive(b *testing.B) { benchTransientStepActive(b, "") }
 
 func BenchmarkTransientStepActiveDirect(b *testing.B) { benchTransientStepActive(b, "direct") }
+
+// benchTransientStepSolve drives a non-repeating power drift (97
+// distinct levels) so no memo ever hits and every step performs a
+// genuine solve: iterative backends iterate from the warm start, the
+// direct backend runs its two triangular sweeps. This is the solve-path
+// sentinel the solved-system memo must not be allowed to hide.
+func benchTransientStepSolve(b *testing.B, solver string) {
+	b.Helper()
+	sm, mkPM := activeStepFixture(b, solver)
+	pms := make([]thermal.PowerMap, 97)
+	for i := range pms {
+		pms[i] = mkPM(0.3 + 0.6*float64(i)/96)
+	}
+	f, err := sm.Model.SteadyState(pms[0], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := sm.Model.NewTransientFrom(0.1, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.Step(pms[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Step(pms[i%97]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransientStepSolve(b *testing.B) { benchTransientStepSolve(b, "") }
+
+func BenchmarkTransientStepSolveDirect(b *testing.B) { benchTransientStepSolve(b, "direct") }
+
+// benchFlowChangeStep measures the management loop's actuation step —
+// SetFlowPerCavity followed by a transient step — alternating between
+// two quantised pump levels, the regime of the paper's flow-control
+// policies. With the incremental pipeline the revisited levels hit the
+// assembly and preparation memos, so the step costs one genuine solve
+// instead of a full re-stamp, re-sort and refactorisation (formerly
+// ~10.7 ms on bicgstab and ~126 ms on the direct backend per change).
+func benchFlowChangeStep(b *testing.B, solver string) {
+	b.Helper()
+	sm, mkPM := activeStepFixture(b, solver)
+	pm := mkPM(0.8)
+	f, err := sm.Model.SteadyState(pm, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := sm.Model.NewTransientFrom(0.1, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows := [2]float64{units.MlPerMinToM3PerS(32.3), units.MlPerMinToM3PerS(20)}
+	for _, q := range flows {
+		// Prime both quantised levels outside the timer: the loop then
+		// measures the steady actuation regime (memo adoptions + solves),
+		// not the first-visit preparations.
+		if err := sm.SetFlowPerCavity(q); err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Step(pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sm.SetFlowPerCavity(flows[i%2]); err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Step(pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlowChangeStep(b *testing.B) { benchFlowChangeStep(b, "") }
+
+func BenchmarkFlowChangeStepDirect(b *testing.B) { benchFlowChangeStep(b, "direct") }
+
+// benchFlowChangeFresh cycles through 97 distinct flow levels so every
+// change misses the memos and exercises the numeric-refresh pipeline
+// itself: cavity-segment restamp on the frozen pattern, in-place
+// C/dt+G combination and numeric-only refactorisation of the
+// superseded factors.
+func benchFlowChangeFresh(b *testing.B, solver string) {
+	b.Helper()
+	sm, mkPM := activeStepFixture(b, solver)
+	pm := mkPM(0.8)
+	f, err := sm.Model.SteadyState(pm, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := sm.Model.NewTransientFrom(0.1, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.Step(pm); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := units.MlPerMinToM3PerS(20 + float64(i%97)*0.1)
+		if err := sm.SetFlowPerCavity(q); err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Step(pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlowChangeFresh(b *testing.B) { benchFlowChangeFresh(b, "") }
+
+func BenchmarkFlowChangeFreshDirect(b *testing.B) { benchFlowChangeFresh(b, "direct") }
 
 // BenchmarkSteadyDirect is BenchmarkCompactSteady on the direct backend:
 // the factorisation happens once at the first solve, every subsequent

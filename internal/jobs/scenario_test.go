@@ -2,7 +2,11 @@ package jobs
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"reflect"
+	"strconv"
 	"testing"
 )
 
@@ -19,6 +23,62 @@ func TestScenarioKeyDeterministic(t *testing.T) {
 	}
 	if len(a.Key()) != 64 {
 		t.Fatalf("key %q is not a sha256 hex digest", a.Key())
+	}
+}
+
+// legacyKey is the historical fmt.Fprintf-based encoder Key replaced
+// with an allocation-light appender: the bytes hashed must be identical
+// so that persisted cache entries and cross-version deployments keep
+// their content addresses.
+func legacyKey(s Scenario) string {
+	s = s.Normalized()
+	canonFloat := func(v float64) string {
+		if v == 0 {
+			return "0"
+		}
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|tiers=%d|cooling=%d:%s|policy=%d:%s|workload=%d:%s|steps=%d|grid=%d|seed=%d|threshold=%s|flowlevels=%d|noise=%s|solver=%d:%s|record=%t",
+		keyVersion, s.Tiers,
+		len(s.Cooling), s.Cooling, len(s.Policy), s.Policy, len(s.Workload), s.Workload,
+		s.Steps, s.Grid, s.Seed,
+		canonFloat(s.ThresholdC), s.FlowQuantLevels, canonFloat(s.SensorNoiseStdC),
+		len(s.Solver), s.Solver, s.Record)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestScenarioKeyEncodingStable(t *testing.T) {
+	cases := []Scenario{
+		{},
+		quickScenario(),
+		{Tiers: 4, Cooling: "liquid", Policy: "LC_FUZZY", Workload: "db", Steps: 17, Grid: 12, Seed: -3},
+		{ThresholdC: 92.5, FlowQuantLevels: 3, SensorNoiseStdC: 0.25, Solver: "direct", Record: true},
+		{Policy: "LC_PID", Workload: "a|b=c", ThresholdC: 1e-9},
+	}
+	for _, sc := range cases {
+		if got, want := sc.Key(), legacyKey(sc); got != want {
+			t.Fatalf("key encoding drifted for %+v: %s vs %s", sc, got, want)
+		}
+	}
+}
+
+// TestCacheHitAllocs guards the pure-hit fast path: one allocation for
+// the hex key, one for the defensive metrics clone.
+func TestCacheHitAllocs(t *testing.T) {
+	cache := NewCache(0)
+	sc := quickScenario()
+	if _, _, err := cache.Metrics(context.Background(), sc); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		m, hit, err := cache.Metrics(context.Background(), sc)
+		if err != nil || !hit || m == nil {
+			t.Fatal("expected a cache hit")
+		}
+	})
+	if avg > 2 {
+		t.Fatalf("cache hit allocates %.1f times, want <= 2", avg)
 	}
 }
 

@@ -1,0 +1,109 @@
+package mat
+
+// DiagSum is the pattern-reusing form of AddDiagonal: it freezes the
+// structure of M + diag(d) once and then refreshes values in place of
+// that structure, replacing the Builder round trip (copy, sort, dedup)
+// the backward-Euler left-hand side C/dt + G otherwise pays on every
+// flow change. Refresh is bit-identical to AddDiagonal: every output
+// slot is the sum of at most one stored entry of M and one entry of d,
+// and two-term floating-point addition is commutative, so the summation
+// order of the Builder path cannot produce different bits.
+type DiagSum struct {
+	n      int
+	rowPtr []int
+	colIdx []int
+	// pattern identity of the source matrix the structure was frozen
+	// from: refresh requires the same structure.
+	srcRowPtr []int
+	srcColIdx []int
+	srcSlot   []int  // source entry -> output slot
+	diagSlot  []int  // row -> output slot of the diagonal, -1 if absent
+	dmask     []bool // d[i] != 0 at freeze time
+}
+
+// NewDiagSum freezes the structure of m + diag(d): the pattern of m,
+// plus a diagonal slot for every row where d is nonzero (matching
+// AddDiagonal, which only stamps nonzero d entries).
+func NewDiagSum(m *Sparse, d []float64) *DiagSum {
+	if len(d) != m.n {
+		panic("mat: NewDiagSum dimension mismatch")
+	}
+	ds := &DiagSum{
+		n:         m.n,
+		rowPtr:    make([]int, m.n+1),
+		srcRowPtr: m.rowPtr,
+		srcColIdx: m.colIdx,
+		srcSlot:   make([]int, len(m.colIdx)),
+		diagSlot:  make([]int, m.n),
+		dmask:     make([]bool, m.n),
+	}
+	for i := 0; i < m.n; i++ {
+		ds.diagSlot[i] = -1
+		ds.dmask[i] = d[i] != 0
+		placed := false
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			j := m.colIdx[p]
+			if !placed && ds.dmask[i] && j > i {
+				// d adds a diagonal this row lacks: slot it in order.
+				ds.diagSlot[i] = len(ds.colIdx)
+				ds.colIdx = append(ds.colIdx, i)
+				placed = true
+			}
+			ds.srcSlot[p] = len(ds.colIdx)
+			ds.colIdx = append(ds.colIdx, j)
+			if j == i {
+				ds.diagSlot[i] = ds.srcSlot[p]
+				placed = true
+			}
+		}
+		if !placed && ds.dmask[i] {
+			ds.diagSlot[i] = len(ds.colIdx)
+			ds.colIdx = append(ds.colIdx, i)
+		}
+		ds.rowPtr[i+1] = len(ds.colIdx)
+	}
+	return ds
+}
+
+// Refresh builds m + diag(d) on the frozen structure, returning a fresh
+// matrix that shares the structure's rowPtr/colIdx storage. It reports
+// false — and returns nil — when m's pattern or d's nonzero mask no
+// longer matches the frozen structure; the caller then rebuilds the
+// DiagSum (or falls back to AddDiagonal).
+func (ds *DiagSum) Refresh(m *Sparse, d []float64) (*Sparse, bool) {
+	if m.n != ds.n || len(d) != ds.n || !sameIntSlice(m.rowPtr, ds.srcRowPtr) || !sameIntSlice(m.colIdx, ds.srcColIdx) {
+		return nil, false
+	}
+	for i, nz := range ds.dmask {
+		if (d[i] != 0) != nz {
+			return nil, false
+		}
+	}
+	vals := make([]float64, len(ds.colIdx))
+	for p, slot := range ds.srcSlot {
+		vals[slot] = m.vals[p]
+	}
+	for i, slot := range ds.diagSlot {
+		if slot >= 0 && ds.dmask[i] {
+			vals[slot] += d[i]
+		}
+	}
+	return &Sparse{n: ds.n, rowPtr: ds.rowPtr, colIdx: ds.colIdx, vals: vals}, true
+}
+
+// sameIntSlice reports structural identity: the same backing array
+// (the frozen-pattern fast path) or element-wise equality.
+func sameIntSlice(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 || &a[0] == &b[0] {
+		return true
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -23,9 +23,13 @@ type ILU struct {
 func NewILU(a *Sparse) (*ILU, error) {
 	n := a.N()
 	f := &ILU{
-		n:      n,
-		rowPtr: append([]int(nil), a.rowPtr...),
-		colIdx: append([]int(nil), a.colIdx...),
+		n: n,
+		// The pattern is borrowed from the (immutable) matrix: only vals
+		// is factor-private. Sharing keeps the structure-identity check
+		// of Refactor/Refactored on the pointer fast path for matrices
+		// restamped onto one frozen pattern.
+		rowPtr: a.rowPtr,
+		colIdx: a.colIdx,
 		vals:   append([]float64(nil), a.vals...),
 		diag:   make([]int, n),
 	}
@@ -41,13 +45,22 @@ func NewILU(a *Sparse) (*ILU, error) {
 			return nil, fmt.Errorf("mat: ILU row %d has no diagonal entry", i)
 		}
 	}
-	// IKJ-ordered in-place factorisation restricted to the pattern.
-	// colPos[j] maps column j to its position in the current row i.
+	// IKJ-ordered in-place factorisation restricted to the pattern
+	// (shared with the numeric-only refactorisation paths).
 	colPos := make([]int, n)
+	if err := f.factorInPlace(colPos); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// factorInPlace runs the IKJ pattern-restricted elimination over vals,
+// the shared numeric phase of NewILU, Refactor and Refactored.
+func (f *ILU) factorInPlace(colPos []int) error {
 	for j := range colPos {
 		colPos[j] = -1
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < f.n; i++ {
 		for p := f.rowPtr[i]; p < f.rowPtr[i+1]; p++ {
 			colPos[f.colIdx[p]] = p
 		}
@@ -58,7 +71,7 @@ func NewILU(a *Sparse) (*ILU, error) {
 			}
 			piv := f.vals[f.diag[k]]
 			if piv == 0 {
-				return nil, errors.New("mat: ILU zero pivot")
+				return errors.New("mat: ILU zero pivot")
 			}
 			lik := f.vals[p] / piv
 			f.vals[p] = lik
@@ -71,13 +84,50 @@ func NewILU(a *Sparse) (*ILU, error) {
 			}
 		}
 		if f.vals[f.diag[i]] == 0 {
-			return nil, errors.New("mat: ILU produced zero diagonal")
+			return errors.New("mat: ILU produced zero diagonal")
 		}
 		for p := f.rowPtr[i]; p < f.rowPtr[i+1]; p++ {
 			colPos[f.colIdx[p]] = -1
 		}
 	}
-	return f, nil
+	return nil
+}
+
+// Refactor refreshes the numeric factors in place for a matrix with the
+// same sparsity pattern, skipping the structural work (pattern copy and
+// diagonal scan). The elimination is the exact floating-point sequence
+// of NewILU, so the refreshed factors are bit-identical to a cold
+// construction. The receiver must not be shared while refactoring;
+// shared-factorization paths use Refactored instead.
+func (f *ILU) Refactor(a *Sparse) error {
+	if a.n != f.n || !sameIntSlice(a.rowPtr, f.rowPtr) || !sameIntSlice(a.colIdx, f.colIdx) {
+		return errors.New("mat: ILU.Refactor: matrix pattern differs from the factored one")
+	}
+	copy(f.vals, a.vals)
+	colPos := make([]int, f.n)
+	return f.factorInPlace(colPos)
+}
+
+// Refactored returns a fresh factorisation of a sharing this one's
+// immutable structure (pattern and diagonal index) with new numeric
+// content, leaving the receiver untouched — the form shared
+// preconditioners are refreshed through. Bit-identical to NewILU(a).
+func (f *ILU) Refactored(a *Sparse) (*ILU, error) {
+	if a.n != f.n || !sameIntSlice(a.rowPtr, f.rowPtr) || !sameIntSlice(a.colIdx, f.colIdx) {
+		return nil, errors.New("mat: ILU.Refactored: matrix pattern differs from the factored one")
+	}
+	nf := &ILU{
+		n:      f.n,
+		rowPtr: f.rowPtr,
+		colIdx: f.colIdx,
+		vals:   append([]float64(nil), a.vals...),
+		diag:   f.diag,
+	}
+	colPos := make([]int, f.n)
+	if err := nf.factorInPlace(colPos); err != nil {
+		return nil, err
+	}
+	return nf, nil
 }
 
 // Apply computes dst = (LU)⁻¹·v (one forward + one backward sweep).

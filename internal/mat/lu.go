@@ -38,6 +38,22 @@ type SparseLU struct {
 	uVal  []float64
 
 	work []float64 // permuted rhs/solution scratch
+
+	// Symbolic replay state for Refactor: the matrix the factorisation
+	// was computed from, the permuted pattern and the scatter map from
+	// permuted slots back to source entries. All immutable after
+	// construction (shared by Refactored clones).
+	src   *Sparse
+	paPtr []int
+	paIdx []int
+	paSrc []int
+	// safe reports that the elimination never dropped a zero multiplier:
+	// the L pattern then covers every value the numeric replay can
+	// produce, making Refactor exact. The degenerate alternative (an
+	// exact zero met during elimination) forces a cold refactorisation.
+	safe bool
+
+	wbuf []float64 // dense accumulator reused across Refactor calls
 }
 
 // NewSparseLU factors a under the symmetric ordering perm (perm[new] =
@@ -62,7 +78,13 @@ func NewSparseLU(a *Sparse, perm []int) (*SparseLU, error) {
 		uDiag: make([]float64, n),
 		uPtr:  make([]int, n+1),
 		work:  make([]float64, n),
+		src:   a,
+		paPtr: pa.rowPtr,
+		paIdx: pa.colIdx,
+		safe:  true,
 	}
+
+	f.buildScatterMap(a, pa)
 
 	// Row-wise elimination with a sparse accumulator: scatter row i of
 	// P·A·Pᵀ into w, consume the lower-triangular columns in ascending
@@ -125,6 +147,7 @@ func NewSparseLU(a *Sparse, perm []int) (*SparseLU, error) {
 			w[k] = 0
 			inPat[k] = false
 			if lik == 0 {
+				f.safe = false
 				continue
 			}
 			f.lIdx = append(f.lIdx, k)
@@ -230,4 +253,138 @@ func (f *SparseLU) SolveWith(dst, b, work []float64) {
 	} else {
 		copy(dst, x)
 	}
+}
+
+// buildScatterMap precomputes the map from permuted-pattern slots back
+// to source entries, so Refactor scatters new values without rebuilding
+// the permuted matrix. An unmappable entry (possible only when the
+// Builder behind Permute dropped an explicitly stored zero) disables
+// numeric refactorisation instead of risking a wrong scatter.
+func (f *SparseLU) buildScatterMap(a, pa *Sparse) {
+	if f.perm == nil {
+		return // pa is a itself: the scatter is the identity
+	}
+	f.paSrc = permEntryMap(a, pa, f.perm)
+	if f.paSrc == nil {
+		f.safe = false
+	}
+}
+
+// CanRefactor reports whether the factorisation supports numeric-only
+// refactorisation: the symbolic analysis covered every multiplier the
+// replay can produce and the permuted scatter map is complete.
+func (f *SparseLU) CanRefactor() bool { return f.safe }
+
+// Refactor recomputes the numeric factors in place for a matrix with
+// the same sparsity structure as the one this factorisation was built
+// from, skipping every symbolic step — no ordering, no fill discovery,
+// no sorting, no factor-array allocation. The elimination performs the
+// exact floating-point sequence of a cold factorisation of the same
+// matrix, so the refreshed L/U (and every solve through them) are
+// bit-identical to NewSparseLU(a, perm) with the original ordering.
+//
+// Refactor returns an error — leaving the factors unusable — when the
+// structure differs, when CanRefactor is false, or when the elimination
+// meets an exactly zero pivot or multiplier (the caller then falls back
+// to a cold factorisation). On error the factorisation must be
+// discarded.
+func (f *SparseLU) Refactor(a *Sparse) error {
+	if !f.safe {
+		return fmt.Errorf("mat: SparseLU.Refactor: factorisation not refactorable: %w", ErrSingular)
+	}
+	if a.n != f.n || !sameIntSlice(a.rowPtr, f.src.rowPtr) || !sameIntSlice(a.colIdx, f.src.colIdx) {
+		return fmt.Errorf("mat: SparseLU.Refactor: matrix structure differs from the factored one: %w", ErrSingular)
+	}
+	if f.wbuf == nil {
+		f.wbuf = make([]float64, f.n)
+	}
+	w := f.wbuf
+	for i := 0; i < f.n; i++ {
+		// Scatter row i of P·A·Pᵀ; fill slots start from the zeros the
+		// previous row's gather left behind.
+		if f.paSrc != nil {
+			for q := f.paPtr[i]; q < f.paPtr[i+1]; q++ {
+				w[f.paIdx[q]] = a.vals[f.paSrc[q]]
+			}
+		} else {
+			for q := a.rowPtr[i]; q < a.rowPtr[i+1]; q++ {
+				w[a.colIdx[q]] = a.vals[q]
+			}
+		}
+		// Consume the recorded lower pattern in its (ascending) order —
+		// the order the cold elimination's heap produced.
+		for p := f.lPtr[i]; p < f.lPtr[i+1]; p++ {
+			k := f.lIdx[p]
+			lik := w[k] / f.uDiag[k]
+			w[k] = 0
+			f.lVal[p] = lik
+			if lik == 0 {
+				// The cold factorisation would have dropped this entry,
+				// shrinking the pattern: the replay no longer matches.
+				f.clearAccumulator()
+				f.safe = false
+				return fmt.Errorf("mat: SparseLU.Refactor: zero multiplier at row %d: %w", i, ErrSingular)
+			}
+			for q := f.uPtr[k]; q < f.uPtr[k+1]; q++ {
+				w[f.uIdx[q]] -= lik * f.uVal[q]
+			}
+		}
+		if w[i] == 0 {
+			f.clearAccumulator()
+			f.safe = false
+			return fmt.Errorf("mat: SparseLU.Refactor: zero pivot at row %d: %w", i, ErrSingular)
+		}
+		f.uDiag[i] = w[i]
+		w[i] = 0
+		for q := f.uPtr[i]; q < f.uPtr[i+1]; q++ {
+			f.uVal[q] = w[f.uIdx[q]]
+			w[f.uIdx[q]] = 0
+		}
+	}
+	return nil
+}
+
+// clearAccumulator zeroes the whole dense accumulator after a failed
+// Refactor row (fill from eliminated rows may extend anywhere right of
+// the pattern), so the buffer is clean for a later attempt.
+func (f *SparseLU) clearAccumulator() {
+	for j := range f.wbuf {
+		f.wbuf[j] = 0
+	}
+}
+
+// Refactored returns a new factorisation of a that shares this one's
+// immutable symbolic analysis (ordering, fill pattern, scatter maps)
+// with fresh numeric arrays, leaving the receiver untouched — the form
+// shared-factorization caches use, where the prior factorisation may
+// still be serving other callers. The result is bit-identical to a cold
+// NewSparseLU(a, perm) under the same ordering.
+func (f *SparseLU) Refactored(a *Sparse) (*SparseLU, error) {
+	if !f.safe {
+		return nil, fmt.Errorf("mat: SparseLU.Refactored: factorisation not refactorable: %w", ErrSingular)
+	}
+	if a.n != f.n || !sameIntSlice(a.rowPtr, f.src.rowPtr) || !sameIntSlice(a.colIdx, f.src.colIdx) {
+		return nil, fmt.Errorf("mat: SparseLU.Refactored: matrix structure differs from the factored one: %w", ErrSingular)
+	}
+	nf := &SparseLU{
+		n:     f.n,
+		perm:  f.perm,
+		lPtr:  f.lPtr,
+		lIdx:  f.lIdx,
+		lVal:  make([]float64, len(f.lVal)),
+		uDiag: make([]float64, f.n),
+		uPtr:  f.uPtr,
+		uIdx:  f.uIdx,
+		uVal:  make([]float64, len(f.uVal)),
+		work:  make([]float64, f.n),
+		src:   a,
+		paPtr: f.paPtr,
+		paIdx: f.paIdx,
+		paSrc: f.paSrc,
+		safe:  true,
+	}
+	if err := nf.Refactor(a); err != nil {
+		return nil, err
+	}
+	return nf, nil
 }

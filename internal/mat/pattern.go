@@ -1,0 +1,226 @@
+package mat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the symbolic/numeric split of the assembly layer. A
+// Builder pays for structure on every Build: the coordinate entries are
+// copied, sorted and deduplicated even when only their values changed.
+// Freeze performs that structural work once and captures it in a
+// Pattern; a NumericBuilder then re-stamps values onto the frozen CSR
+// structure with zero sorting and zero per-entry allocations — the hot
+// path of a cavity-flow change, which alters convection and advection
+// coefficients but never the sparsity pattern.
+//
+// The restamp is bit-identical to a fresh Build of the same Add
+// sequence: the Pattern records the exact summation order Build's sort
+// produces (the sort comparator never inspects values, so the
+// permutation is a pure function of the (i, j) key sequence), and the
+// replay accumulates duplicate entries in that order.
+
+// Stamper is the assembly-stamping surface shared by Builder (cold
+// build) and NumericBuilder (frozen-pattern restamp), letting one
+// stamping routine serve both paths.
+type Stamper interface {
+	// Add accumulates v into entry (i, j). A zero v is skipped, exactly
+	// as Builder.Add skips it.
+	Add(i, j int, v float64)
+	// AddConductance wires a symmetric conductance between i and j.
+	AddConductance(i, j int, g float64)
+	// AddToGround wires a conductance from i to the implicit fixed node.
+	AddToGround(i int, g float64)
+	// Pos reports the number of entries stamped so far — the cursor
+	// callers record to delimit replayable segments.
+	Pos() int
+}
+
+var (
+	_ Stamper = (*Builder)(nil)
+	_ Stamper = (*NumericBuilder)(nil)
+)
+
+// Pos implements Stamper for Builder.
+func (b *Builder) Pos() int { return len(b.entries) }
+
+// Pattern is the frozen structural product of a Builder: the compiled
+// CSR skeleton, the expected (i, j) key of every coordinate entry, each
+// entry's output slot and the exact summation order Build would use.
+// A Pattern is immutable and safe for concurrent use; matrices built
+// from it share its rowPtr/colIdx storage.
+type Pattern struct {
+	n      int
+	rowPtr []int
+	colIdx []int
+	keys   []int64   // (i·n + j) per entry, in Add order
+	slot   []int     // entry index -> CSR slot
+	order  []int     // entry indices in Build's summation order
+	vals0  []float64 // entry values at freeze time (seed for restamps)
+}
+
+// Freeze compiles the builder's accumulated entries into a Pattern.
+// The builder remains usable afterwards. Build of the same entry set is
+// bit-identical to Pattern.NewNumeric().Build().
+func (b *Builder) Freeze() *Pattern {
+	es := b.entries
+	idx := make([]int, len(es))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Sorting the index slice with a comparator that indirects through
+	// it reproduces exactly the permutation Build's sort.Slice applies
+	// to the entry slice: the algorithm sees the same length and the
+	// same comparison outcomes, so it performs the same swaps.
+	sort.Slice(idx, func(a, c int) bool {
+		ea, ec := es[idx[a]], es[idx[c]]
+		if ea.i != ec.i {
+			return ea.i < ec.i
+		}
+		return ea.j < ec.j
+	})
+	p := &Pattern{
+		n:      b.n,
+		rowPtr: make([]int, b.n+1),
+		keys:   make([]int64, len(es)),
+		slot:   make([]int, len(es)),
+		order:  idx,
+		vals0:  make([]float64, len(es)),
+	}
+	for e, c := range es {
+		p.keys[e] = int64(c.i)*int64(b.n) + int64(c.j)
+		p.vals0[e] = c.v
+	}
+	for k := 0; k < len(idx); {
+		e := idx[k]
+		i, j := es[e].i, es[e].j
+		slot := len(p.colIdx)
+		p.colIdx = append(p.colIdx, j)
+		p.slot[e] = slot
+		k++
+		for k < len(idx) && es[idx[k]].i == i && es[idx[k]].j == j {
+			p.slot[idx[k]] = slot
+			k++
+		}
+		p.rowPtr[i+1] = len(p.colIdx)
+	}
+	for i := 1; i <= b.n; i++ {
+		if p.rowPtr[i] < p.rowPtr[i-1] {
+			p.rowPtr[i] = p.rowPtr[i-1]
+		}
+	}
+	return p
+}
+
+// N returns the matrix dimension.
+func (p *Pattern) N() int { return p.n }
+
+// NNZ returns the number of CSR slots of the frozen structure.
+func (p *Pattern) NNZ() int { return len(p.colIdx) }
+
+// Entries returns the number of coordinate entries the pattern replays.
+func (p *Pattern) Entries() int { return len(p.keys) }
+
+// NewNumeric returns a NumericBuilder seeded with the values the
+// pattern was frozen from, so callers re-stamp only the entry segments
+// whose values actually changed.
+func (p *Pattern) NewNumeric() *NumericBuilder {
+	nb := &NumericBuilder{pat: p, ev: make([]float64, len(p.vals0))}
+	copy(nb.ev, p.vals0)
+	nb.cur = len(p.vals0)
+	return nb
+}
+
+// NumericBuilder re-stamps values onto a frozen Pattern by replaying
+// the original Add sequence (or any segment of it, positioned with
+// Seek). Each nonzero Add must match the recorded (i, j) key at the
+// cursor; a deviation — an entry that became exactly zero, or a
+// structural change — is recorded as a mismatch, and the caller falls
+// back to a full Build/Freeze. A NumericBuilder is not safe for
+// concurrent use.
+type NumericBuilder struct {
+	pat *Pattern
+	ev  []float64
+	cur int
+	bad bool
+}
+
+// Pattern returns the frozen pattern behind the builder.
+func (nb *NumericBuilder) Pattern() *Pattern { return nb.pat }
+
+// N returns the matrix dimension.
+func (nb *NumericBuilder) N() int { return nb.pat.n }
+
+// Pos implements Stamper: the replay cursor.
+func (nb *NumericBuilder) Pos() int { return nb.cur }
+
+// Seek positions the replay cursor at an entry index previously
+// recorded with Pos during the frozen build.
+func (nb *NumericBuilder) Seek(pos int) {
+	if pos < 0 || pos > len(nb.ev) {
+		panic(fmt.Sprintf("mat: NumericBuilder.Seek position %d out of range [0,%d]", pos, len(nb.ev)))
+	}
+	nb.cur = pos
+}
+
+// Mismatch reports that a replay deviated from the frozen Add sequence
+// since the last Reset; the builder's values are then unusable and the
+// caller must rebuild from scratch.
+func (nb *NumericBuilder) Mismatch() bool { return nb.bad }
+
+// Reset clears the mismatch flag and restores the frozen seed values.
+func (nb *NumericBuilder) Reset() {
+	copy(nb.ev, nb.pat.vals0)
+	nb.cur = len(nb.ev)
+	nb.bad = false
+}
+
+// Add implements Stamper: it writes v at the cursor after verifying the
+// (i, j) key matches the frozen sequence. Zero values are skipped, as
+// Builder.Add skips them — if the frozen sequence stored this entry,
+// the key check of the next Add flags the mismatch.
+func (nb *NumericBuilder) Add(i, j int, v float64) {
+	if i < 0 || i >= nb.pat.n || j < 0 || j >= nb.pat.n {
+		panic(fmt.Sprintf("mat: NumericBuilder.Add index (%d,%d) out of range n=%d", i, j, nb.pat.n))
+	}
+	if v == 0 {
+		return
+	}
+	if nb.cur >= len(nb.ev) || nb.pat.keys[nb.cur] != int64(i)*int64(nb.pat.n)+int64(j) {
+		nb.bad = true
+		return
+	}
+	nb.ev[nb.cur] = v
+	nb.cur++
+}
+
+// AddConductance implements Stamper, mirroring Builder.AddConductance.
+func (nb *NumericBuilder) AddConductance(i, j int, g float64) {
+	nb.Add(i, i, g)
+	nb.Add(j, j, g)
+	nb.Add(i, j, -g)
+	nb.Add(j, i, -g)
+}
+
+// AddToGround implements Stamper, mirroring Builder.AddToGround.
+func (nb *NumericBuilder) AddToGround(i int, g float64) {
+	nb.Add(i, i, g)
+}
+
+// Build compiles the current entry values into a matrix sharing the
+// frozen rowPtr/colIdx storage, with a fresh value array: duplicates
+// are summed in exactly the order Build's sort would visit them, so the
+// result is bit-identical to a fresh Builder.Build of the same Add
+// sequence. Build panics after a mismatched replay. The builder remains
+// usable for further restamps.
+func (nb *NumericBuilder) Build() *Sparse {
+	if nb.bad {
+		panic("mat: NumericBuilder.Build after a mismatched replay")
+	}
+	p := nb.pat
+	vals := make([]float64, len(p.colIdx))
+	for _, e := range p.order {
+		vals[p.slot[e]] += nb.ev[e]
+	}
+	return &Sparse{n: p.n, rowPtr: p.rowPtr, colIdx: p.colIdx, vals: vals}
+}

@@ -1,0 +1,303 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sparseBitEqual reports exact structural and value identity, including
+// distinguishing -0.0 from +0.0 — the invariant the frozen-pattern
+// restamp pins against a fresh Build.
+func sparseBitEqual(t *testing.T, got, want *Sparse) {
+	t.Helper()
+	if got.N() != want.N() {
+		t.Fatalf("n: got %d want %d", got.N(), want.N())
+	}
+	if got.NNZ() != want.NNZ() {
+		t.Fatalf("nnz: got %d want %d", got.NNZ(), want.NNZ())
+	}
+	for i := range want.rowPtr {
+		if got.rowPtr[i] != want.rowPtr[i] {
+			t.Fatalf("rowPtr[%d]: got %d want %d", i, got.rowPtr[i], want.rowPtr[i])
+		}
+	}
+	for p := range want.colIdx {
+		if got.colIdx[p] != want.colIdx[p] {
+			t.Fatalf("colIdx[%d]: got %d want %d", p, got.colIdx[p], want.colIdx[p])
+		}
+	}
+	for p := range want.vals {
+		if math.Float64bits(got.vals[p]) != math.Float64bits(want.vals[p]) {
+			t.Fatalf("vals[%d]: got %v want %v (bits %x vs %x)", p, got.vals[p], want.vals[p],
+				math.Float64bits(got.vals[p]), math.Float64bits(want.vals[p]))
+		}
+	}
+}
+
+// randomStampSeq generates a reproducible Add sequence with duplicate
+// entries (the finite-volume pattern: several contributions per slot).
+func randomStampSeq(rng *rand.Rand, n, adds int) (is, js []int) {
+	for k := 0; k < adds; k++ {
+		is = append(is, rng.Intn(n))
+		js = append(js, rng.Intn(n))
+	}
+	return
+}
+
+func TestFreezeRestampMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(12)
+		is, js := randomStampSeq(rng, n, 1+rng.Intn(60))
+
+		stamp := func(st Stamper, vals []float64) {
+			for k := range is {
+				st.Add(is[k], js[k], vals[k])
+			}
+		}
+		v1 := make([]float64, len(is))
+		for k := range v1 {
+			v1[k] = rng.NormFloat64()
+		}
+		b1 := NewBuilder(n)
+		stamp(b1, v1)
+		pat := b1.Freeze()
+		sparseBitEqual(t, pat.NewNumeric().Build(), b1.Build())
+
+		// Restamp with fresh values (same nonzero structure) and compare
+		// against a cold Build of the same sequence — including sums that
+		// cancel to exactly zero, which both paths must keep as stored
+		// zeros in identical slots.
+		for rv := 0; rv < 4; rv++ {
+			v2 := make([]float64, len(is))
+			for k := range v2 {
+				v2[k] = rng.NormFloat64()
+			}
+			if rv == 2 && len(v2) >= 2 {
+				// Force an exact cancellation within one slot when the
+				// sequence has a duplicate pair.
+				for a := 0; a < len(is); a++ {
+					for c := a + 1; c < len(is); c++ {
+						if is[a] == is[c] && js[a] == js[c] {
+							v2[c] = -v2[a]
+						}
+					}
+				}
+			}
+			nb := pat.NewNumeric()
+			nb.Seek(0)
+			stamp(nb, v2)
+			if nb.Mismatch() || nb.Pos() != pat.Entries() {
+				t.Fatalf("trial %d: unexpected mismatch (pos %d of %d)", trial, nb.Pos(), pat.Entries())
+			}
+			b2 := NewBuilder(n)
+			stamp(b2, v2)
+			sparseBitEqual(t, nb.Build(), b2.Build())
+		}
+	}
+}
+
+func TestNumericBuilderSegmentReplay(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddConductance(0, 1, 2.5) // segment A: entries 0..3
+	segB := b.Pos()
+	b.AddConductance(1, 2, 1.5) // segment B: entries 4..7
+	segEnd := b.Pos()
+	b.AddToGround(3, 9) // static tail
+	pat := b.Freeze()
+
+	nb := pat.NewNumeric()
+	nb.Seek(segB)
+	nb.AddConductance(1, 2, 4.5)
+	if nb.Mismatch() || nb.Pos() != segEnd {
+		t.Fatalf("segment replay: mismatch=%v pos=%d want %d", nb.Mismatch(), nb.Pos(), segEnd)
+	}
+	got := nb.Build()
+
+	want := NewBuilder(4)
+	want.AddConductance(0, 1, 2.5)
+	want.AddConductance(1, 2, 4.5)
+	want.AddToGround(3, 9)
+	sparseBitEqual(t, got, want.Build())
+}
+
+func TestNumericBuilderMismatch(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, 2)
+	pat := b.Freeze()
+
+	// Deviating key flags a mismatch and Build panics.
+	nb := pat.NewNumeric()
+	nb.Seek(0)
+	nb.Add(0, 1, 5)
+	if !nb.Mismatch() {
+		t.Fatal("expected mismatch for a deviating key")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Build after mismatch should panic")
+			}
+		}()
+		nb.Build()
+	}()
+
+	// A value that becomes exactly zero shortens the replayed sequence:
+	// the next key lands on the wrong slot and is flagged.
+	nb2 := pat.NewNumeric()
+	nb2.Seek(0)
+	nb2.Add(0, 0, 0)
+	nb2.Add(1, 1, 2)
+	if nb2.Pos() == pat.Entries() && !nb2.Mismatch() {
+		t.Fatal("zero-valued entry must not silently complete the replay")
+	}
+
+	// Reset clears the flag and restores the frozen values.
+	nb.Reset()
+	if nb.Mismatch() {
+		t.Fatal("Reset should clear the mismatch")
+	}
+	sparseBitEqual(t, nb.Build(), pat.NewNumeric().Build())
+}
+
+// FuzzNumericRestamp drives random stamp sequences and revaluations
+// through Freeze/NumericBuilder and pins bit-identity with a fresh
+// Build — the contract the incremental thermal assembly rests on.
+func FuzzNumericRestamp(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(30))
+	f.Add(int64(42), uint8(2), uint8(3))
+	f.Add(int64(99), uint8(14), uint8(80))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, addsRaw uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%16
+		adds := 1 + int(addsRaw)
+		is, js := randomStampSeq(rng, n, adds)
+		vals := make([]float64, adds)
+		mk := func(st Stamper) {
+			for k := range is {
+				st.Add(is[k], js[k], vals[k])
+			}
+		}
+		for k := range vals {
+			vals[k] = rng.NormFloat64()
+		}
+		b := NewBuilder(n)
+		mk(b)
+		pat := b.Freeze()
+		want := b.Build()
+		got := pat.NewNumeric().Build()
+		if !want.Equal(got) {
+			t.Fatalf("freeze/build mismatch: %v vs %v", got.Dense(), want.Dense())
+		}
+		// Revalue and replay.
+		for k := range vals {
+			vals[k] = rng.NormFloat64()
+		}
+		nb := pat.NewNumeric()
+		nb.Seek(0)
+		mk(nb)
+		if nb.Mismatch() || nb.Pos() != pat.Entries() {
+			t.Fatalf("replay deviated: mismatch=%v pos=%d/%d", nb.Mismatch(), nb.Pos(), pat.Entries())
+		}
+		b2 := NewBuilder(n)
+		mk(b2)
+		want2 := b2.Build()
+		got2 := nb.Build()
+		if !want2.Equal(got2) {
+			t.Fatalf("restamp mismatch: %v vs %v", got2.Dense(), want2.Dense())
+		}
+	})
+}
+
+func TestDiagSumMatchesAddDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(10)
+		b := NewBuilder(n)
+		for k := 0; k < 3*n; k++ {
+			b.Add(rng.Intn(n), rng.Intn(n), rng.NormFloat64())
+		}
+		// Leave some rows without a stored diagonal and some d entries
+		// zero: both shapes AddDiagonal special-cases.
+		m := b.Build()
+		d := make([]float64, n)
+		for i := range d {
+			if rng.Intn(3) > 0 {
+				d[i] = rng.NormFloat64()
+			}
+		}
+		want := m.AddDiagonal(d)
+		ds := NewDiagSum(m, d)
+		got, ok := ds.Refresh(m, d)
+		if !ok {
+			t.Fatalf("trial %d: refresh rejected its own freeze basis", trial)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("trial %d: DiagSum differs from AddDiagonal:\n%v\nvs\n%v", trial, got.Dense(), want.Dense())
+		}
+
+		// Refresh with new values on the same pattern.
+		m2 := &Sparse{n: m.n, rowPtr: m.rowPtr, colIdx: m.colIdx, vals: make([]float64, len(m.vals))}
+		for p := range m2.vals {
+			m2.vals[p] = rng.NormFloat64()
+			if m2.vals[p] == 0 {
+				m2.vals[p] = 1
+			}
+		}
+		want2 := m2.AddDiagonal(d)
+		got2, ok := ds.Refresh(m2, d)
+		if !ok {
+			t.Fatalf("trial %d: same-pattern refresh rejected", trial)
+		}
+		if !want2.Equal(got2) {
+			t.Fatalf("trial %d: refreshed DiagSum differs from AddDiagonal", trial)
+		}
+
+		// A changed nonzero mask of d, or a different pattern, is refused.
+		d2 := append([]float64(nil), d...)
+		d2[0] = 0
+		if d[0] != 0 {
+			if _, ok := ds.Refresh(m, d2); ok {
+				t.Fatalf("trial %d: mask change must be refused", trial)
+			}
+		}
+	}
+}
+
+func TestDiagSumRejectsForeignPattern(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, 2)
+	b.Add(2, 2, 3)
+	m := b.Build()
+	ds := NewDiagSum(m, []float64{1, 1, 1})
+
+	b2 := NewBuilder(3)
+	b2.Add(0, 0, 1)
+	b2.Add(0, 1, 5)
+	b2.Add(1, 1, 2)
+	b2.Add(2, 2, 3)
+	if _, ok := ds.Refresh(b2.Build(), []float64{1, 1, 1}); ok {
+		t.Fatal("foreign pattern must be refused")
+	}
+}
+
+func TestSparseChecksum(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(0, 0, 1.5)
+	b.Add(1, 2, -2)
+	b.Add(2, 2, 4)
+	m := b.Build()
+	if m.Checksum() == 0 || m.Checksum() != m.Checksum() {
+		t.Fatal("checksum must be stable and nonzero")
+	}
+	b.Add(0, 0, 0.5)
+	if b.Build().Checksum() == m.Checksum() {
+		t.Fatal("value change should (generically) change the checksum")
+	}
+	if !m.SameStructure(m) {
+		t.Fatal("SameStructure must accept itself")
+	}
+}

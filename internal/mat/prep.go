@@ -14,7 +14,10 @@ import "sync"
 // Lookup is keyed by the backend's FactorKey plus a caller-supplied
 // semantic tag (e.g. the cavity-flow vector and time step), and every
 // hit is verified by exact matrix equality before reuse — a tag
-// collision can cost a redundant factorisation, never a wrong solve.
+// collision can cost a redundant factorisation, never a wrong solve. A
+// precomputed content checksum short-circuits the common miss (distinct
+// matrices under one tag); the O(nnz) equality walk runs only on
+// checksum agreement, as the confirming check.
 //
 // Sharing is invisible in results and workspace stats: workspaces
 // derived from a shared factorization report the same logical counters
@@ -34,6 +37,7 @@ type PrepCache struct {
 
 type prepEntry struct {
 	a    *Sparse
+	ck   uint64 // a.Checksum(), snapshotted at insert
 	done chan struct{}
 	fact Factorization
 	err  error
@@ -56,6 +60,11 @@ type PrepStats struct {
 	// Fallbacks counts preparations for backends that do not support
 	// factorization sharing (also included in Factorizations).
 	Fallbacks int `json:"fallbacks,omitempty"`
+	// Refactors counts cache misses prepared through the numeric-refresh
+	// path (Refactorer.RefactorFrom with a caller-supplied prior
+	// factorization) rather than an unconditional cold Factor. Also
+	// included in Factorizations; results are bit-identical either way.
+	Refactors int `json:"refactors,omitempty"`
 }
 
 // Accumulate folds o's counters into s.
@@ -64,6 +73,7 @@ func (s *PrepStats) Accumulate(o PrepStats) {
 	s.Shares += o.Shares
 	s.Overflows += o.Overflows
 	s.Fallbacks += o.Fallbacks
+	s.Refactors += o.Refactors
 }
 
 // NewPrepCache returns a cache holding at most maxEntries factored
@@ -101,7 +111,7 @@ func (c *PrepCache) Stats() PrepStats {
 // factorization was reused. A nil cache, or a backend that is not a
 // Factorizer, degrades to plain s.Prepare.
 func (c *PrepCache) Prepare(s Solver, tag string, a *Sparse) (Workspace, bool, error) {
-	_, ws, shared, err := c.prepare(s, tag, a)
+	_, ws, shared, err := c.prepare(s, tag, a, nil)
 	return ws, shared, err
 }
 
@@ -110,11 +120,37 @@ func (c *PrepCache) Prepare(s Solver, tag string, a *Sparse) (Workspace, bool, e
 // their columns by. fact is nil when the backend is not a Factorizer
 // (no sharing or batching possible).
 func (c *PrepCache) PrepareFact(s Solver, tag string, a *Sparse) (Factorization, Workspace, error) {
-	fact, ws, _, err := c.prepare(s, tag, a)
+	fact, ws, _, err := c.prepare(s, tag, a, nil)
 	return fact, ws, err
 }
 
-func (c *PrepCache) prepare(s Solver, tag string, a *Sparse) (Factorization, Workspace, bool, error) {
+// PrepareFactPrior is PrepareFact with a numeric-refresh hint: on a
+// cache miss, a backend implementing Refactorer refreshes prior — a
+// factorization of a structurally identical matrix, typically the one
+// the caller is superseding — instead of cold-factoring, skipping the
+// symbolic analysis. The hint never changes results (refactorisation is
+// bit-identical to a cold preparation) and never changes what the cache
+// stores or shares; it only makes misses cheaper.
+func (c *PrepCache) PrepareFactPrior(s Solver, tag string, a *Sparse, prior Factorization) (Factorization, Workspace, error) {
+	fact, ws, _, err := c.prepare(s, tag, a, prior)
+	return fact, ws, err
+}
+
+// factorWith performs the physical preparation of a miss: the
+// numeric-refresh path when a prior factorization is available, a cold
+// Factor otherwise. The boolean reports which path ran.
+func factorWith(fz Factorizer, a *Sparse, prior Factorization) (Factorization, bool, error) {
+	if prior != nil {
+		if rf, ok := fz.(Refactorer); ok {
+			fact, err := rf.RefactorFrom(prior, a)
+			return fact, true, err
+		}
+	}
+	fact, err := fz.Factor(a)
+	return fact, false, err
+}
+
+func (c *PrepCache) prepare(s Solver, tag string, a *Sparse, prior Factorization) (Factorization, Workspace, bool, error) {
 	fz, ok := s.(Factorizer)
 	if !ok {
 		if c != nil {
@@ -127,18 +163,22 @@ func (c *PrepCache) prepare(s Solver, tag string, a *Sparse) (Factorization, Wor
 		return nil, ws, false, err
 	}
 	if c == nil {
-		fact, err := fz.Factor(a)
+		fact, _, err := factorWith(fz, a, prior)
 		if err != nil {
 			return nil, nil, false, err
 		}
 		return fact, fact.NewWorkspace(), false, nil
 	}
 	key := fz.FactorKey() + "|" + tag
+	ck := a.Checksum()
 	for {
 		c.mu.Lock()
 		var e *prepEntry
 		for _, cand := range c.entries[key] {
-			if cand.a == a || cand.a.Equal(a) {
+			// Checksum first: a mismatch proves inequality without the
+			// O(nnz) walk; a match is confirmed by full equality before
+			// any reuse.
+			if cand.a == a || (cand.ck == ck && cand.a.Equal(a)) {
 				e = cand
 				break
 			}
@@ -150,18 +190,24 @@ func (c *PrepCache) prepare(s Solver, tag string, a *Sparse) (Factorization, Wor
 				c.stats.Factorizations++
 				c.stats.Overflows++
 				c.mu.Unlock()
-				fact, err := fz.Factor(a)
+				fact, refact, err := factorWith(fz, a, prior)
 				if err != nil {
 					return nil, nil, false, err
 				}
+				if refact {
+					c.mu.Lock()
+					c.stats.Refactors++
+					c.mu.Unlock()
+				}
 				return fact, fact.NewWorkspace(), false, nil
 			}
-			e = &prepEntry{a: a, done: make(chan struct{})}
+			e = &prepEntry{a: a, ck: ck, done: make(chan struct{})}
 			c.entries[key] = append(c.entries[key], e)
 			c.n++
 			c.mu.Unlock()
 
-			e.fact, e.err = fz.Factor(a)
+			var refact bool
+			e.fact, refact, e.err = factorWith(fz, a, prior)
 			c.mu.Lock()
 			if e.err != nil {
 				// Drop the failed entry so later callers retry.
@@ -175,6 +221,9 @@ func (c *PrepCache) prepare(s Solver, tag string, a *Sparse) (Factorization, Wor
 				c.n--
 			} else {
 				c.stats.Factorizations++
+				if refact {
+					c.stats.Refactors++
+				}
 			}
 			c.mu.Unlock()
 			close(e.done)

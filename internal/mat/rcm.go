@@ -104,6 +104,44 @@ func Permute(a *Sparse, perm []int) (*Sparse, error) {
 	return b.Build(), nil
 }
 
+// permEntryMap computes, for each stored entry of pa = P·A·Pᵀ, the index
+// of the source entry of a it carries — the scatter map that lets a
+// numeric refactorisation re-permute fresh values without rebuilding the
+// permuted matrix. It returns nil when the mapping is not a bijection
+// (Permute's Builder drops explicitly stored zeros, so the patterns can
+// disagree); callers then fall back to a full Permute.
+func permEntryMap(a, pa *Sparse, perm []int) []int {
+	if pa.NNZ() != a.NNZ() {
+		return nil
+	}
+	n := a.N()
+	inv := make([]int, n)
+	for newI, oldI := range perm {
+		inv[oldI] = newI
+	}
+	src := make([]int, pa.NNZ())
+	for oldI := 0; oldI < n; oldI++ {
+		newI := inv[oldI]
+		for p := a.rowPtr[oldI]; p < a.rowPtr[oldI+1]; p++ {
+			j := inv[a.colIdx[p]]
+			lo, hi := pa.rowPtr[newI], pa.rowPtr[newI+1]
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if pa.colIdx[mid] < j {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo >= pa.rowPtr[newI+1] || pa.colIdx[lo] != j {
+				return nil
+			}
+			src[lo] = p
+		}
+	}
+	return src
+}
+
 // PermuteVec gathers src into the permuted ordering: dst[new] =
 // src[perm[new]].
 func PermuteVec(dst, src []float64, perm []int) {

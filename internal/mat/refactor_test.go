@@ -1,0 +1,333 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gridSystem builds the non-symmetric advective grid pattern the cavity
+// model produces, with values drawn from vals (indexed by entry order).
+// The entry order is fixed, so two calls with different values yield
+// structurally identical matrices — the flow-change shape.
+func gridSystem(n int, vary float64) *Sparse {
+	b := NewBuilder(n * n)
+	idx := func(i, j int) int { return j*n + i }
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			k := idx(i, j)
+			b.Add(k, k, 4.8+vary)
+			if i > 0 {
+				b.Add(k, idx(i-1, j), -1.8-vary)
+			}
+			if i < n-1 {
+				b.Add(k, idx(i+1, j), -1)
+			}
+			if j > 0 {
+				b.Add(k, idx(i, j-1), -1)
+			}
+			if j < n-1 {
+				b.Add(k, idx(i, j+1), -1+vary/2)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func luBitEqual(t *testing.T, got, want *SparseLU) {
+	t.Helper()
+	if len(got.lVal) != len(want.lVal) || len(got.uVal) != len(want.uVal) {
+		t.Fatalf("factor sizes differ: L %d vs %d, U %d vs %d", len(got.lVal), len(want.lVal), len(got.uVal), len(want.uVal))
+	}
+	for p := range want.lVal {
+		if got.lIdx[p] != want.lIdx[p] || math.Float64bits(got.lVal[p]) != math.Float64bits(want.lVal[p]) {
+			t.Fatalf("L[%d]: got (%d,%v) want (%d,%v)", p, got.lIdx[p], got.lVal[p], want.lIdx[p], want.lVal[p])
+		}
+	}
+	for i := range want.uDiag {
+		if math.Float64bits(got.uDiag[i]) != math.Float64bits(want.uDiag[i]) {
+			t.Fatalf("uDiag[%d]: got %v want %v", i, got.uDiag[i], want.uDiag[i])
+		}
+	}
+	for p := range want.uVal {
+		if got.uIdx[p] != want.uIdx[p] || math.Float64bits(got.uVal[p]) != math.Float64bits(want.uVal[p]) {
+			t.Fatalf("U[%d]: got (%d,%v) want (%d,%v)", p, got.uIdx[p], got.uVal[p], want.uIdx[p], want.uVal[p])
+		}
+	}
+}
+
+// TestSparseLURefactorBitIdentical pins the tentpole invariant: a
+// numeric-only refactorisation performs the exact floating-point
+// sequence of a cold factorisation of the same matrix — bit-identical
+// L/U factors and bit-identical solves.
+func TestSparseLURefactorBitIdentical(t *testing.T) {
+	for _, usePerm := range []bool{false, true} {
+		a1 := gridSystem(7, 0)
+		a2 := gridSystem(7, 0.35)
+		if !a1.SameStructure(a2) {
+			t.Fatal("test fixture: structures must match")
+		}
+		var perm []int
+		if usePerm {
+			perm = RCM(a1)
+		}
+		f, err := NewSparseLU(a1, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.CanRefactor() {
+			t.Fatal("grid factorisation should be refactorable")
+		}
+		cold, err := NewSparseLU(a2, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Shared-symbolic clone first (the factorization-cache path).
+		shared, err := f.Refactored(a2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		luBitEqual(t, shared, cold)
+
+		// Then the in-place form.
+		if err := f.Refactor(a2); err != nil {
+			t.Fatal(err)
+		}
+		luBitEqual(t, f, cold)
+
+		n := a1.N()
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = float64(i%13) - 6
+		}
+		x1 := make([]float64, n)
+		x2 := make([]float64, n)
+		cold.Solve(x1, b)
+		f.Solve(x2, b)
+		for i := range x1 {
+			if math.Float64bits(x1[i]) != math.Float64bits(x2[i]) {
+				t.Fatalf("perm=%v solve[%d]: %v vs %v", usePerm, i, x1[i], x2[i])
+			}
+		}
+	}
+}
+
+func TestSparseLURefactorRandomMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(20)
+		b := NewBuilder(n)
+		// Diagonally dominant random pattern: always factorable, never
+		// an exact zero multiplier.
+		for i := 0; i < n; i++ {
+			b.Add(i, i, 4+rng.Float64())
+			for k := 0; k < 2; k++ {
+				j := rng.Intn(n)
+				if j != i {
+					b.Add(i, j, rng.Float64()-0.5)
+				}
+			}
+		}
+		a1 := b.Build()
+		// Same structure, new values.
+		vals := make([]float64, len(a1.vals))
+		for p := range vals {
+			vals[p] = a1.vals[p] * (1 + 0.3*rng.Float64())
+		}
+		a2 := &Sparse{n: n, rowPtr: a1.rowPtr, colIdx: a1.colIdx, vals: vals}
+
+		perm := RCM(a1)
+		f, err := NewSparseLU(a1, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := NewSparseLU(a2, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.CanRefactor() {
+			continue // degenerate draw; the fallback path covers it
+		}
+		got, err := f.Refactored(a2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		luBitEqual(t, got, cold)
+	}
+}
+
+func TestSparseLURefactorRejectsForeignStructure(t *testing.T) {
+	a := gridSystem(4, 0)
+	f, err := NewSparseLU(a, RCM(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := gridSystem(5, 0)
+	if err := f.Refactor(other); err == nil {
+		t.Fatal("foreign structure must be rejected")
+	}
+	if _, err := f.Refactored(other); err == nil {
+		t.Fatal("foreign structure must be rejected by Refactored")
+	}
+}
+
+func TestILURefactorBitIdentical(t *testing.T) {
+	a1 := gridSystem(8, 0)
+	a2 := gridSystem(8, 0.4)
+	f1, err := NewILU(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewILU(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := f1.Refactored(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range cold.vals {
+		if math.Float64bits(shared.vals[p]) != math.Float64bits(cold.vals[p]) {
+			t.Fatalf("Refactored vals[%d]: %v vs %v", p, shared.vals[p], cold.vals[p])
+		}
+	}
+	if err := f1.Refactor(a2); err != nil {
+		t.Fatal(err)
+	}
+	for p := range cold.vals {
+		if math.Float64bits(f1.vals[p]) != math.Float64bits(cold.vals[p]) {
+			t.Fatalf("Refactor vals[%d]: %v vs %v", p, f1.vals[p], cold.vals[p])
+		}
+	}
+	if err := f1.Refactor(gridSystem(9, 0)); err == nil {
+		t.Fatal("foreign pattern must be rejected")
+	}
+}
+
+// TestRefactorFromBitIdenticalAcrossBackends pins, for every backend,
+// that a factorization refreshed from a prior one solves bit-identically
+// to a cold preparation of the same matrix — the mid-run flow-change
+// equivalence of the incremental pipeline.
+func TestRefactorFromBitIdenticalAcrossBackends(t *testing.T) {
+	a1 := gridSystem(9, 0)
+	a2 := gridSystem(9, 0.3)
+	b := make([]float64, a1.N())
+	for i := range b {
+		b[i] = float64(i%11) - 5
+	}
+	for _, name := range Backends() {
+		s, err := NewSolver(name, SolverOptions{Tol: 1e-10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, ok := s.(Refactorer)
+		if !ok {
+			t.Fatalf("backend %s must implement Refactorer", name)
+		}
+		prior, err := rf.Factor(a1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refreshed, err := rf.RefactorFrom(prior, a2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := rf.Factor(a2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x1 := make([]float64, a1.N())
+		x2 := make([]float64, a1.N())
+		if err := cold.NewWorkspace().Solve(x1, b, nil); err != nil {
+			t.Fatalf("%s cold solve: %v", name, err)
+		}
+		if err := refreshed.NewWorkspace().Solve(x2, b, nil); err != nil {
+			t.Fatalf("%s refreshed solve: %v", name, err)
+		}
+		for i := range x1 {
+			if math.Float64bits(x1[i]) != math.Float64bits(x2[i]) {
+				t.Fatalf("%s solve[%d]: %v vs %v", name, i, x1[i], x2[i])
+			}
+		}
+		// A nil or foreign prior degrades to a cold factorisation.
+		if _, err := rf.RefactorFrom(nil, a2); err != nil {
+			t.Fatalf("%s nil prior: %v", name, err)
+		}
+		if _, err := rf.RefactorFrom(prior, gridSystem(5, 0)); err != nil {
+			t.Fatalf("%s foreign prior: %v", name, err)
+		}
+	}
+}
+
+func TestPrepCachePriorRefactors(t *testing.T) {
+	a1 := gridSystem(6, 0)
+	a2 := gridSystem(6, 0.25)
+	s, err := NewSolver(BackendDirect, SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewPrepCache(0)
+	f1, _, err := c.PrepareFactPrior(s, "q=1", a1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Factorizations != 1 || got.Refactors != 0 {
+		t.Fatalf("after cold prep: %+v", got)
+	}
+	// Miss with a prior: numeric-refresh path.
+	f2, _, err := c.PrepareFactPrior(s, "q=2", a2, f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Factorizations != 2 || got.Refactors != 1 {
+		t.Fatalf("after refactor prep: %+v", got)
+	}
+	// Hit: the prior hint is irrelevant, the entry is shared.
+	f3, _, err := c.PrepareFactPrior(s, "q=2", a2, f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3 != f2 {
+		t.Fatal("revisited matrix must share the cached factorization")
+	}
+	if got := c.Stats(); got.Shares != 1 || got.Refactors != 1 {
+		t.Fatalf("after hit: %+v", got)
+	}
+}
+
+// TestPrepCacheChecksumStillVerifies pins that the checksum fast path
+// cannot produce a false hit: two distinct matrices under one tag stay
+// distinct entries, and a re-presented equal matrix (a different object
+// with identical content) still shares.
+func TestPrepCacheChecksumStillVerifies(t *testing.T) {
+	a1 := gridSystem(6, 0)
+	a2 := gridSystem(6, 0.25) // same tag, different content
+	clone := &Sparse{n: a1.n, rowPtr: a1.rowPtr, colIdx: a1.colIdx, vals: append([]float64(nil), a1.vals...)}
+	s, err := NewSolver(BackendDirect, SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewPrepCache(0)
+	fa, _, err := c.PrepareFact(s, "tag", a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, _, err := c.PrepareFact(s, "tag", a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa == fb {
+		t.Fatal("distinct matrices must not share a factorization")
+	}
+	fc, _, err := c.PrepareFact(s, "tag", clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc != fa {
+		t.Fatal("an equal clone must share the cached factorization")
+	}
+	if got := c.Stats(); got.Factorizations != 2 || got.Shares != 1 {
+		t.Fatalf("stats: %+v", got)
+	}
+}

@@ -100,6 +100,23 @@ func factorKey(name string, opt SolverOptions) string {
 	return fmt.Sprintf("%s|tol=%g|maxiter=%d", name, opt.tol(), opt.MaxIter)
 }
 
+// Refactorer is implemented by Factorizer backends that can refresh the
+// numeric content of an existing factorization for a matrix with the
+// same sparsity structure, skipping the symbolic analysis (ordering,
+// fill discovery, pattern construction). All three built-in backends
+// implement it.
+type Refactorer interface {
+	Factorizer
+	// RefactorFrom produces a factorization of a, reusing prior's
+	// symbolic analysis when prior is one of this backend's
+	// factorizations for a structurally identical matrix. The result is
+	// bit-identical to Factor(a) — the refactorisation replays the exact
+	// floating-point sequence of a cold preparation — and prior is left
+	// untouched (it may still serve other callers). When prior is nil or
+	// unsuitable, RefactorFrom degrades to a cold Factor.
+	RefactorFrom(prior Factorization, a *Sparse) (Factorization, error)
+}
+
 // Workspace solves repeated systems against one prepared matrix. A
 // workspace owns all scratch buffers: Solve performs no allocations.
 // Workspaces are not safe for concurrent use.
@@ -233,17 +250,6 @@ func jacobiPrecond(a *Sparse) func(dst, v []float64) {
 	}
 }
 
-// iluOrJacobi builds an ILU(0) preconditioner, downgrading to Jacobi
-// scaling — with the reason recorded — when the factorisation fails.
-func iluOrJacobi(a *Sparse, stats *SolveStats) func(dst, v []float64) {
-	ilu, err := NewILU(a)
-	if err != nil {
-		stats.FallbackReason = fmt.Sprintf("ILU(0) unavailable (%v); using Jacobi scaling", err)
-		return jacobiPrecond(a)
-	}
-	return ilu.Apply
-}
-
 // --- bicgstab backend ---
 
 type bicgstabSolver struct{ opt SolverOptions }
@@ -310,6 +316,19 @@ func (s bicgstabSolver) Prepare(a *Sparse) (Workspace, error) {
 		return nil, err
 	}
 	return f.NewWorkspace(), nil
+}
+
+// RefactorFrom implements Refactorer: the ILU(0) numeric content is
+// refreshed on the prior preconditioner's pattern; any deviation
+// (structure change, Jacobi-fallback prior, zero pivot) degrades to a
+// cold Factor, which handles every case bit-identically.
+func (s bicgstabSolver) RefactorFrom(prior Factorization, a *Sparse) (Factorization, error) {
+	if pf, ok := prior.(*bicgstabFact); ok && pf.ilu != nil {
+		if ilu, err := pf.ilu.Refactored(a); err == nil {
+			return &bicgstabFact{a: a, tol: s.opt.tol(), maxIter: s.opt.maxIter(4*a.N() + 40), ilu: ilu}, nil
+		}
+	}
+	return s.Factor(a)
 }
 
 // bicgstabWS is the reusable BiCGSTAB state for one matrix.
@@ -443,14 +462,32 @@ func (s gmresSolver) Name() string { return BackendGMRES }
 func (s gmresSolver) FactorKey() string { return factorKey(BackendGMRES, s.opt) }
 
 // gmresFact is the shareable prepared form: the RCM permutation, the
-// permuted matrix and its ILU(0) (or Jacobi-fallback) preconditioner.
+// permuted matrix and its ILU(0) (or Jacobi-fallback) preconditioner,
+// plus the scatter map that lets a refactorisation re-permute new
+// values without rebuilding the permuted matrix.
 type gmresFact struct {
+	src      *Sparse
 	perm     []int
 	pa       *Sparse
+	paSrc    []int // permuted slot -> src entry; nil disables refactoring
 	tol      float64
 	maxIter  int
-	prec     func(dst, v []float64)
+	ilu      *ILU
+	jacobi   []float64
 	fallback string
+}
+
+// precond renders the preconditioner application.
+func (f *gmresFact) precond() func(dst, v []float64) {
+	if f.ilu != nil {
+		return f.ilu.Apply
+	}
+	d := f.jacobi
+	return func(dst, v []float64) {
+		for i := range dst {
+			dst[i] = v[i] / d[i]
+		}
+	}
 }
 
 // Factor implements Factorizer: it computes the RCM ordering, permutes
@@ -461,14 +498,52 @@ func (s gmresSolver) Factor(a *Sparse) (Factorization, error) {
 	if err != nil {
 		return nil, err
 	}
-	var st SolveStats
+	f := &gmresFact{
+		src:     a,
+		perm:    perm,
+		pa:      pa,
+		paSrc:   permEntryMap(a, pa, perm),
+		tol:     s.opt.tol(),
+		maxIter: s.opt.maxIter(4*a.N() + 40),
+	}
+	ilu, err := NewILU(pa)
+	if err != nil {
+		f.fallback = fmt.Sprintf("ILU(0) unavailable (%v); using Jacobi scaling", err)
+		f.jacobi = jacobiDiag(pa)
+	} else {
+		f.ilu = ilu
+	}
+	return f, nil
+}
+
+// RefactorFrom implements Refactorer: the RCM ordering, the permuted
+// pattern and the ILU structure are reused; only values are re-permuted
+// and re-eliminated. Any deviation degrades to a cold Factor. RCM is a
+// pure function of the sparsity structure, so the reused ordering is
+// exactly what a cold Factor of the structurally identical matrix would
+// compute — the refactored preparation is bit-identical to it.
+func (s gmresSolver) RefactorFrom(prior Factorization, a *Sparse) (Factorization, error) {
+	pf, ok := prior.(*gmresFact)
+	if !ok || pf.paSrc == nil || pf.ilu == nil || !a.SameStructure(pf.src) {
+		return s.Factor(a)
+	}
+	vals := make([]float64, len(pf.paSrc))
+	for slot, src := range pf.paSrc {
+		vals[slot] = a.vals[src]
+	}
+	pa := &Sparse{n: a.n, rowPtr: pf.pa.rowPtr, colIdx: pf.pa.colIdx, vals: vals}
+	ilu, err := pf.ilu.Refactored(pa)
+	if err != nil {
+		return s.Factor(a)
+	}
 	return &gmresFact{
-		perm:     perm,
-		pa:       pa,
-		tol:      s.opt.tol(),
-		maxIter:  s.opt.maxIter(4*a.N() + 40),
-		prec:     iluOrJacobi(pa, &st),
-		fallback: st.FallbackReason,
+		src:     a,
+		perm:    pf.perm,
+		pa:      pa,
+		paSrc:   pf.paSrc,
+		tol:     s.opt.tol(),
+		maxIter: s.opt.maxIter(4*a.N() + 40),
+		ilu:     ilu,
 	}, nil
 }
 
@@ -482,7 +557,7 @@ func (f *gmresFact) NewWorkspace() Workspace {
 	n := f.pa.N()
 	ws.pb = make([]float64, n)
 	ws.px = make([]float64, n)
-	ws.core.init(f.pa, f.tol, f.maxIter, f.prec)
+	ws.core.init(f.pa, f.tol, f.maxIter, f.precond())
 	return ws
 }
 
@@ -728,6 +803,21 @@ func (s directSolver) Prepare(a *Sparse) (Workspace, error) {
 		return nil, err
 	}
 	return f.NewWorkspace(), nil
+}
+
+// RefactorFrom implements Refactorer: the RCM ordering, the symbolic
+// fill pattern and the scatter maps of the prior factorisation are
+// reused; only the numeric elimination is replayed (bit-identically to
+// a cold factorisation — see SparseLU.Refactored). Any deviation —
+// structure change, an exactly zero pivot or multiplier — degrades to a
+// cold Factor.
+func (s directSolver) RefactorFrom(prior Factorization, a *Sparse) (Factorization, error) {
+	if pf, ok := prior.(*directFact); ok {
+		if lu, err := pf.f.Refactored(a); err == nil {
+			return &directFact{a: a, f: lu, tol: s.opt.tol()}, nil
+		}
+	}
+	return s.Factor(a)
 }
 
 // directWS solves against one (possibly shared) factored matrix with its

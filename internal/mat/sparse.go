@@ -12,7 +12,9 @@ package mat
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Sparse is an immutable square sparse matrix in compressed sparse row
@@ -22,6 +24,11 @@ type Sparse struct {
 	rowPtr []int
 	colIdx []int
 	vals   []float64
+
+	// ck caches the content checksum (0 = not yet computed). The matrix
+	// is immutable, so every racer computes the same value and the
+	// atomic store is idempotent.
+	ck atomic.Uint64
 }
 
 // N returns the dimension of the (square) matrix.
@@ -97,6 +104,53 @@ func (m *Sparse) Equal(o *Sparse) bool {
 		}
 	}
 	return true
+}
+
+// Checksum returns a content fingerprint over the dimension, pattern
+// and values (FNV-1a). It is computed once and cached — the matrix is
+// immutable — so repeated calls are a single atomic load. Equal
+// checksums do not prove equality (Equal remains the confirming check);
+// unequal checksums prove inequality, which is the common-miss
+// short-circuit shared-factorization caches rely on.
+func (m *Sparse) Checksum() uint64 {
+	if ck := m.ck.Load(); ck != 0 {
+		return ck
+	}
+	// One multiply-xor-rotate round per 64-bit word (splitmix64-style):
+	// the hash runs on the flow-change hot path, once per restamped
+	// matrix, so it must stream the arrays at memory speed rather than
+	// byte-at-a-time.
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0x9e3779b97f4a7c15
+		h ^= h >> 29
+	}
+	mix(uint64(m.n))
+	for _, p := range m.rowPtr {
+		mix(uint64(p))
+	}
+	for _, j := range m.colIdx {
+		mix(uint64(j))
+	}
+	for _, v := range m.vals {
+		mix(math.Float64bits(v))
+	}
+	if h == 0 {
+		h = 1 // reserve 0 for "not computed"
+	}
+	m.ck.Store(h)
+	return h
+}
+
+// SameStructure reports whether two matrices share an identical
+// sparsity pattern — by backing-array identity when both were built
+// from one frozen Pattern (the fast path), element-wise otherwise.
+func (m *Sparse) SameStructure(o *Sparse) bool {
+	if m == nil || o == nil {
+		return m == o
+	}
+	return m.n == o.n && sameIntSlice(m.rowPtr, o.rowPtr) && sameIntSlice(m.colIdx, o.colIdx)
 }
 
 // Dense expands the matrix into a row-major dense representation; intended

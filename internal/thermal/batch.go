@@ -164,7 +164,7 @@ func (bs *BatchStepper) Step(trs []*Transient, pms []PowerMap) []error {
 			tr := trs[i]
 			bs.dst = append(bs.dst, tr.sol)
 			bs.rhs = append(bs.rhs, tr.rhs)
-			bs.guess = append(bs.guess, tr.t)
+			bs.guess = append(bs.guess, tr.x0)
 		}
 		if cap(bs.res) < len(idxs) {
 			bs.res = make([]mat.ColumnResult, len(idxs))

@@ -127,11 +127,38 @@ type Model struct {
 	powerLayers []int // indices of layers with Power: true
 	cavities    []int // indices of cavity layers
 
-	// Cached assembly (rebuilt when a cavity flow rate changes).
+	// Cached assembly (refreshed when a cavity flow rate changes).
 	g       *mat.Sparse
 	rhsBase []float64 // boundary-condition contribution to the RHS
 	cap     []float64 // per-node heat capacitance (J/K)
 	dirty   bool
+
+	// Frozen-pattern incremental assembly: the sparsity pattern of the
+	// conductance matrix never changes across flow values (only the
+	// cavity convection/advection coefficients do), so the structural
+	// work — coordinate sort, dedup, CSR compile — is paid once and a
+	// flow change re-stamps only the affected cavity's entry segment.
+	pat      *mat.Pattern
+	nb       *mat.NumericBuilder
+	segStart []int     // per layer: first coordinate entry of its stamp
+	segEnd   []int     // per layer: one past the last entry of its stamp
+	nbFlows  []float64 // per cavity (m.cavities order): flow nb holds
+	patFlows []bool    // per cavity: flow > 0 when the pattern was frozen
+	// Partitioned right-hand side: the static boundary part (sink/face)
+	// and the flow-dependent cavity part (advective inlet terms), summed
+	// into each assembly's fresh rhs. Capacitances are flow-independent
+	// and built once per structure.
+	rhsStatic []float64
+	rhsCav    []float64
+	capOnce   []float64
+
+	// flowMemo remembers recent assemblies per flow vector (MRU first):
+	// the management policies quantise pump actuation to a handful of
+	// levels, so a revisited level returns the identical (pointer-stable)
+	// products and downstream preparation caches hit without any
+	// restamping. Used only without an AssemblyCache, which already
+	// memoizes group-wide.
+	flowMemo []*flowAssembly
 
 	// Linear-solver seam: the backend is fixed at construction, the
 	// steady-state workspace (preconditioner or factorisation of g plus
@@ -254,11 +281,26 @@ func (m *Model) prepare(tag string, a *mat.Sparse) (mat.Workspace, error) {
 // scenarios by (see BatchStepper). The factorization is nil for
 // backends that cannot share one.
 func (m *Model) prepareFact(tag string, a *mat.Sparse) (mat.Factorization, mat.Workspace, error) {
+	return m.prepareFactPrior(tag, a, nil)
+}
+
+// prepareFactPrior is prepareFact with a numeric-refresh hint: prior, a
+// factorization of a structurally identical matrix the caller is
+// superseding (typically the previous flow level's left-hand side),
+// lets Refactorer backends skip the symbolic analysis on a cache miss.
+// Results are bit-identical with or without the hint.
+func (m *Model) prepareFactPrior(tag string, a *mat.Sparse, prior mat.Factorization) (mat.Factorization, mat.Workspace, error) {
 	if m.prep != nil {
-		return m.prep.PrepareFact(m.solver, m.prepTag(tag), a)
+		return m.prep.PrepareFactPrior(m.solver, m.prepTag(tag), a, prior)
 	}
 	if fz, ok := m.solver.(mat.Factorizer); ok {
-		fact, err := fz.Factor(a)
+		var fact mat.Factorization
+		var err error
+		if rf, isRF := fz.(mat.Refactorer); isRF && prior != nil {
+			fact, err = rf.RefactorFrom(prior, a)
+		} else {
+			fact, err = fz.Factor(a)
+		}
 		if err != nil {
 			return nil, nil, err
 		}
@@ -269,16 +311,26 @@ func (m *Model) prepareFact(tag string, a *mat.Sparse) (mat.Factorization, mat.W
 }
 
 // transientLHS derives the backward-Euler left-hand side C/dt + G for
-// the current assembly, shared through the assembly cache when one is
-// configured (AddDiagonal is deterministic, so sharing is
-// bit-invisible).
-func (m *Model) transientLHS(g *mat.Sparse, capDt []float64, dtTag string) *mat.Sparse {
-	if m.asm == nil {
-		return g.AddDiagonal(capDt)
+// the current assembly through the caller's pattern-reusing DiagSum
+// (rebuilt on structural change), shared through the assembly cache
+// when one is configured. Both the DiagSum refresh and the Builder path
+// it replaces are deterministic and bit-identical, so sharing stays
+// bit-invisible.
+func (m *Model) transientLHS(ds **mat.DiagSum, g *mat.Sparse, capDt []float64, dtTag string) *mat.Sparse {
+	build := func() *mat.Sparse {
+		if *ds != nil {
+			if out, ok := (*ds).Refresh(g, capDt); ok {
+				return out
+			}
+		}
+		*ds = mat.NewDiagSum(g, capDt)
+		out, _ := (*ds).Refresh(g, capDt)
+		return out
 	}
-	return m.asm.derived(m.prepTag("lhs|"+dtTag), func() *mat.Sparse {
-		return g.AddDiagonal(capDt)
-	})
+	if m.asm == nil {
+		return build()
+	}
+	return m.asm.derived(m.prepTag("lhs|"+dtTag), build)
 }
 
 // prepTag renders the semantic matrix tag: the kind marker plus the
@@ -389,68 +441,221 @@ func seriesG(area, t1, k1, t2, k2 float64) float64 {
 	return area / (t1/(2*k1) + t2/(2*k2))
 }
 
-// assemble refreshes the cached assembly products for the current
-// cavity flows — building them, or adopting the bit-identical shared
-// build of a structurally identical sibling through the assembly cache —
-// and retires the solver workspace bound to the superseded matrix.
-func (m *Model) assemble() {
-	if m.asm != nil {
-		m.g, m.rhsBase, m.cap = m.asm.assembly(m.prepTag("asm"), m.buildAssembly)
-	} else {
-		m.g, m.rhsBase, m.cap = m.buildAssembly()
+// flowAssembly is one memoized assembly: the flow vector it was built
+// for and its (immutable once published) products.
+type flowAssembly struct {
+	flows []float64
+	g     *mat.Sparse
+	rhs   []float64
+	cap   []float64
+}
+
+// flowMemoBound caps the per-model assembly memo; quantised policies
+// revisit a handful of flow levels, which arrive first and stay hot.
+const flowMemoBound = 8
+
+// memoLookup returns the memoized assembly for the current cavity
+// flows, promoting it to most recently used.
+func (m *Model) memoLookup() *flowAssembly {
+	for i, e := range m.flowMemo {
+		match := true
+		for k, li := range m.cavities {
+			if e.flows[k] != m.cfg.Layers[li].Cavity.FlowRate {
+				match = false
+				break
+			}
+		}
+		if match {
+			copy(m.flowMemo[1:i+1], m.flowMemo[:i])
+			m.flowMemo[0] = e
+			return e
+		}
 	}
-	// The old workspace is bound to the superseded matrix: retire it,
-	// folding its counters into the accumulated stats, and let the next
-	// steady solve prepare a fresh one.
-	if m.steadyWS != nil {
+	return nil
+}
+
+// memoStore records an assembly for the current flows, evicting the
+// least recently used entry past the bound.
+func (m *Model) memoStore(g *mat.Sparse, rhs, cp []float64) {
+	flows := make([]float64, len(m.cavities))
+	for k, li := range m.cavities {
+		flows[k] = m.cfg.Layers[li].Cavity.FlowRate
+	}
+	e := &flowAssembly{flows: flows, g: g, rhs: rhs, cap: cp}
+	if len(m.flowMemo) >= flowMemoBound {
+		m.flowMemo = m.flowMemo[:flowMemoBound-1]
+	}
+	m.flowMemo = append(m.flowMemo, nil)
+	copy(m.flowMemo[1:], m.flowMemo)
+	m.flowMemo[0] = e
+}
+
+// assemble refreshes the cached assembly products for the current
+// cavity flows — adopting a memoized or group-shared build when one
+// exists, re-stamping the frozen pattern otherwise — and retires the
+// solver workspace bound to a superseded matrix.
+func (m *Model) assemble() {
+	var g *mat.Sparse
+	var rhs, cp []float64
+	if m.asm != nil {
+		g, rhs, cp = m.asm.assembly(m.prepTag("asm"), m.buildAssembly)
+	} else if e := m.memoLookup(); e != nil {
+		g, rhs, cp = e.g, e.rhs, e.cap
+	} else {
+		g, rhs, cp = m.buildAssembly()
+		m.memoStore(g, rhs, cp)
+	}
+	changed := g != m.g
+	m.g, m.rhsBase, m.cap = g, rhs, cp
+	// A workspace bound to a superseded matrix is retired, folding its
+	// counters into the accumulated stats; the next steady solve
+	// prepares a fresh one.
+	if changed && m.steadyWS != nil {
 		m.steadyStats.Accumulate(m.steadyWS.Stats())
 		m.steadyWS = nil
 	}
 	m.dirty = false
 }
 
-// buildAssembly builds the conductance matrix, base RHS and capacitances.
+// buildAssembly builds the conductance matrix, base RHS and
+// capacitances for the current flows: a numeric restamp of the changed
+// cavity segments when the frozen pattern still matches, a full
+// structural build otherwise. Both paths produce bit-identical
+// products (the restamp replays the exact stamp sequence and summation
+// order of the full build).
 func (m *Model) buildAssembly() (*mat.Sparse, []float64, []float64) {
-	b := mat.NewBuilder(m.nTotal)
-	rhs := make([]float64, m.nTotal)
-	cp := make([]float64, m.nTotal)
+	g, rhs, cp := m.restamp()
+	if g == nil {
+		g, rhs, cp = m.buildFull()
+	}
+	if m.asm != nil {
+		// Products published into the shared assembly cache must be
+		// fresh storage: cp aliases m.capOnce, which later restamps
+		// write in place — a mutation adopters must never observe.
+		cp = append([]float64(nil), cp...)
+	}
+	return g, rhs, cp
+}
 
-	layers := m.cfg.Layers
-	for li, l := range layers {
-		if l.Cavity != nil {
-			m.assembleCavity(b, rhs, cp, li)
+// restamp re-stamps the cavity segments whose flow changed onto the
+// frozen pattern. It returns nils when there is no frozen pattern yet,
+// when a flow crossed zero (the advection entries appear or vanish, so
+// the pattern shape changed), or when the replay deviated; the caller
+// then rebuilds from scratch.
+func (m *Model) restamp() (*mat.Sparse, []float64, []float64) {
+	if m.pat == nil {
+		return nil, nil, nil
+	}
+	for k, li := range m.cavities {
+		if (m.cfg.Layers[li].Cavity.FlowRate > 0) != m.patFlows[k] {
+			m.pat = nil // pattern shape changed: force a full rebuild
+			return nil, nil, nil
+		}
+	}
+	for k, li := range m.cavities {
+		q := m.cfg.Layers[li].Cavity.FlowRate
+		if q == m.nbFlows[k] {
 			continue
 		}
-		// Per-cell capacitance.
-		vol := m.cellArea * l.Thickness
+		base := li * m.nCells
 		for c := 0; c < m.nCells; c++ {
-			cp[li*m.nCells+c] = l.Mat.C * vol
+			m.rhsCav[base+c] = 0
 		}
-		// In-plane conduction.
-		gx := l.Mat.K * m.dy * l.Thickness / m.dx
-		gy := l.Mat.K * m.dx * l.Thickness / m.dy
-		for iy := 0; iy < m.ny; iy++ {
-			for ix := 0; ix < m.nx; ix++ {
-				if ix+1 < m.nx {
-					b.AddConductance(m.Index(li, ix, iy), m.Index(li, ix+1, iy), gx)
-				}
-				if iy+1 < m.ny {
-					b.AddConductance(m.Index(li, ix, iy), m.Index(li, ix, iy+1), gy)
-				}
+		m.nb.Seek(m.segStart[li])
+		m.assembleCavity(m.nb, m.rhsCav, m.capOnce, li)
+		if m.nb.Pos() != m.segEnd[li] || m.nb.Mismatch() {
+			m.pat = nil
+			return nil, nil, nil
+		}
+		m.nbFlows[k] = q
+	}
+	rhs := make([]float64, m.nTotal)
+	for i := range rhs {
+		rhs[i] = m.rhsCav[i] + m.rhsStatic[i]
+	}
+	return m.nb.Build(), rhs, m.capOnce
+}
+
+// buildFull performs the structural build: stamp every layer through a
+// fresh Builder (recording each layer's entry segment), stamp the
+// boundary, freeze the pattern and seed the numeric builder for later
+// restamps.
+func (m *Model) buildFull() (*mat.Sparse, []float64, []float64) {
+	b := mat.NewBuilder(m.nTotal)
+	layers := m.cfg.Layers
+	if m.capOnce == nil {
+		m.capOnce = make([]float64, m.nTotal)
+		m.rhsStatic = make([]float64, m.nTotal)
+		m.rhsCav = make([]float64, m.nTotal)
+		m.segStart = make([]int, len(layers))
+		m.segEnd = make([]int, len(layers))
+		m.nbFlows = make([]float64, len(m.cavities))
+		m.patFlows = make([]bool, len(m.cavities))
+	}
+	for i := 0; i < m.nTotal; i++ {
+		m.capOnce[i], m.rhsStatic[i], m.rhsCav[i] = 0, 0, 0
+	}
+
+	for li, l := range layers {
+		m.segStart[li] = b.Pos()
+		if l.Cavity != nil {
+			m.assembleCavity(b, m.rhsCav, m.capOnce, li)
+		} else {
+			m.stampSolid(b, m.capOnce, li)
+		}
+		m.segEnd[li] = b.Pos()
+	}
+	m.stampBoundary(b, m.rhsStatic, m.capOnce)
+
+	m.pat = b.Freeze()
+	m.nb = m.pat.NewNumeric()
+	for k, li := range m.cavities {
+		q := m.cfg.Layers[li].Cavity.FlowRate
+		m.nbFlows[k] = q
+		m.patFlows[k] = q > 0
+	}
+	rhs := make([]float64, m.nTotal)
+	for i := range rhs {
+		rhs[i] = m.rhsCav[i] + m.rhsStatic[i]
+	}
+	return m.nb.Build(), rhs, m.capOnce
+}
+
+// stampSolid stamps one solid layer: per-cell capacitance, in-plane
+// conduction and the vertical coupling to the next solid layer (cavity
+// layers own their couplings).
+func (m *Model) stampSolid(st mat.Stamper, cp []float64, li int) {
+	layers := m.cfg.Layers
+	l := layers[li]
+	vol := m.cellArea * l.Thickness
+	for c := 0; c < m.nCells; c++ {
+		cp[li*m.nCells+c] = l.Mat.C * vol
+	}
+	gx := l.Mat.K * m.dy * l.Thickness / m.dx
+	gy := l.Mat.K * m.dx * l.Thickness / m.dy
+	for iy := 0; iy < m.ny; iy++ {
+		for ix := 0; ix < m.nx; ix++ {
+			if ix+1 < m.nx {
+				st.AddConductance(m.Index(li, ix, iy), m.Index(li, ix+1, iy), gx)
 			}
-		}
-		// Vertical conduction to the next solid layer (cavity layers own
-		// their couplings).
-		if li+1 < len(layers) && layers[li+1].Cavity == nil {
-			nl := layers[li+1]
-			g := seriesG(m.cellArea, l.Thickness, l.Mat.K, nl.Thickness, nl.Mat.K)
-			for c := 0; c < m.nCells; c++ {
-				b.AddConductance(li*m.nCells+c, (li+1)*m.nCells+c, g)
+			if iy+1 < m.ny {
+				st.AddConductance(m.Index(li, ix, iy), m.Index(li, ix, iy+1), gy)
 			}
 		}
 	}
+	if li+1 < len(layers) && layers[li+1].Cavity == nil {
+		nl := layers[li+1]
+		g := seriesG(m.cellArea, l.Thickness, l.Mat.K, nl.Thickness, nl.Mat.K)
+		for c := 0; c < m.nCells; c++ {
+			st.AddConductance(li*m.nCells+c, (li+1)*m.nCells+c, g)
+		}
+	}
+}
 
-	// Outer-face boundary on layer 0.
+// stampBoundary stamps the outer-face boundary on layer 0 — the static
+// part of the assembly, never re-stamped on flow changes.
+func (m *Model) stampBoundary(st mat.Stamper, rhs, cp []float64) {
+	layers := m.cfg.Layers
 	if m.cfg.Sink != nil {
 		s := m.cfg.Sink
 		l0 := layers[0]
@@ -460,9 +665,9 @@ func (m *Model) buildAssembly() (*mat.Sparse, []float64, []float64) {
 			gSpread := s.DieToSink * m.cellArea / (m.cfg.W * m.cfg.H)
 			gHalf := l0.Mat.K * m.cellArea / (l0.Thickness / 2)
 			g := 1 / (1/gSpread + 1/gHalf)
-			b.AddConductance(c, m.sink, g)
+			st.AddConductance(c, m.sink, g)
 		}
-		b.AddToGround(m.sink, s.SinkToAmbient)
+		st.AddToGround(m.sink, s.SinkToAmbient)
 		rhs[m.sink] += s.SinkToAmbient * m.cfg.AmbientC
 		cp[m.sink] = s.Capacitance
 	}
@@ -471,12 +676,10 @@ func (m *Model) buildAssembly() (*mat.Sparse, []float64, []float64) {
 		l0 := layers[0]
 		for c := 0; c < m.nCells; c++ {
 			g := m.cellArea / (1/f.HTC + l0.Thickness/(2*l0.Mat.K))
-			b.AddToGround(c, g)
+			st.AddToGround(c, g)
 			rhs[c] += g * f.TempC
 		}
 	}
-
-	return b.Build(), rhs, cp
 }
 
 // steadyWorkspace lazily prepares (and then reuses) the solver workspace
@@ -495,8 +698,10 @@ func (m *Model) steadyWorkspace() (mat.Workspace, error) {
 	return m.steadyWS, nil
 }
 
-// assembleCavity stamps one porous-averaged micro-channel cavity layer.
-func (m *Model) assembleCavity(b *mat.Builder, rhs, cp []float64, li int) {
+// assembleCavity stamps one porous-averaged micro-channel cavity layer
+// — the flow-dependent part of the assembly, replayed onto the frozen
+// pattern on every flow change.
+func (m *Model) assembleCavity(b mat.Stamper, rhs, cp []float64, li int) {
 	l := m.cfg.Layers[li]
 	c := l.Cavity
 	t := l.Thickness

@@ -1,0 +1,349 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/mat"
+	"repro/internal/units"
+)
+
+func buildLiquidStack(t *testing.T, solver string, flow float64) *StackModel {
+	t.Helper()
+	sm, err := BuildStack(floorplan.Niagara2Tier(), StackOptions{
+		Mode:          LiquidCooled,
+		FlowPerCavity: flow,
+		Nx:            8, Ny: 8,
+		Solver: solver,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+func uniformPM(m *Model, w float64) PowerMap {
+	pm := make(PowerMap, len(m.PowerLayers()))
+	nx, ny := m.Grid()
+	for k := range pm {
+		pm[k] = make([]float64, nx*ny)
+		for c := range pm[k] {
+			pm[k][c] = w
+		}
+	}
+	return pm
+}
+
+// TestRestampMatchesFreshBuild pins the incremental-assembly invariant:
+// after any sequence of flow changes, the restamped conductance matrix,
+// right-hand side and capacitances are bit-identical to those of a
+// model freshly built at the same flow.
+func TestRestampMatchesFreshBuild(t *testing.T) {
+	flows := []float64{32.3, 20, 32.3, 5, 47.1, 20}
+	sm := buildLiquidStack(t, "", units.MlPerMinToM3PerS(flows[0]))
+	m := sm.Model
+	for _, fl := range flows[1:] {
+		q := units.MlPerMinToM3PerS(fl)
+		if err := m.SetAllCavityFlows(q); err != nil {
+			t.Fatal(err)
+		}
+		g, rhs := m.matrix()
+		cp := m.Capacitances()
+
+		fresh := buildLiquidStack(t, "", q).Model
+		fg, frhs := fresh.matrix()
+		fcp := fresh.Capacitances()
+
+		if !fg.Equal(g) {
+			t.Fatalf("flow %v: restamped matrix differs from fresh build", fl)
+		}
+		for i := range frhs {
+			if math.Float64bits(rhs[i]) != math.Float64bits(frhs[i]) {
+				t.Fatalf("flow %v: rhs[%d] %v vs %v", fl, i, rhs[i], frhs[i])
+			}
+			if math.Float64bits(cp[i]) != math.Float64bits(fcp[i]) {
+				t.Fatalf("flow %v: cap[%d] %v vs %v", fl, i, cp[i], fcp[i])
+			}
+		}
+	}
+}
+
+// TestRestampZeroFlowTransition drives the one structural change a flow
+// knob can make — advection entries appearing and vanishing with
+// zero flow — through the restamp fallback and pins equality with
+// fresh builds on both sides of the transition.
+func TestRestampZeroFlowTransition(t *testing.T) {
+	q := units.MlPerMinToM3PerS(32.3)
+	sm := buildLiquidStack(t, "", q)
+	ref := buildLiquidStack(t, "", q) // forced onto the cold-rebuild path
+	m := sm.Model
+	for _, fl := range []float64{0, q, 0, q} {
+		if err := m.SetAllCavityFlows(fl); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Model.SetAllCavityFlows(fl); err != nil {
+			t.Fatal(err)
+		}
+		ref.Model.pat = nil // defeat the restamp: full structural rebuild
+		ref.Model.flowMemo = nil
+		g, _ := m.matrix()
+		fg, _ := ref.Model.matrix()
+		if !fg.Equal(g) {
+			t.Fatalf("flow %v: matrix differs from cold rebuild across zero-flow transition", fl)
+		}
+	}
+}
+
+// TestFlowMemoPointerStable pins the actuation fast path: revisiting a
+// quantised flow level returns the identical assembly products, so
+// downstream preparation memos hit on pointer identity.
+func TestFlowMemoPointerStable(t *testing.T) {
+	qa := units.MlPerMinToM3PerS(32.3)
+	qb := units.MlPerMinToM3PerS(20)
+	sm := buildLiquidStack(t, "", qa)
+	m := sm.Model
+	ga, _ := m.matrix()
+	if err := m.SetAllCavityFlows(qb); err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := m.matrix()
+	if ga == gb {
+		t.Fatal("distinct flows must produce distinct matrices")
+	}
+	if err := m.SetAllCavityFlows(qa); err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := m.matrix(); g != ga {
+		t.Fatal("revisited flow level must return the memoized matrix")
+	}
+	if err := m.SetAllCavityFlows(qb); err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := m.matrix(); g != gb {
+		t.Fatal("alternating flow levels must stay memoized")
+	}
+}
+
+// TestFlowChangeStepEquivalence is the mid-run flow-change equivalence
+// of the acceptance criteria: a transient run whose flow changes every
+// step — served by restamps, preparation memos and numeric
+// refactorisation — must match, on every backend, a reference stepper
+// that is forced to cold-build and cold-factor at each flow.
+func TestFlowChangeStepEquivalence(t *testing.T) {
+	flows := []float64{32.3, 20, 32.3, 11.5, 20, 32.3, 0, 32.3}
+	for _, solver := range mat.Backends() {
+		q0 := units.MlPerMinToM3PerS(flows[0])
+		smA := buildLiquidStack(t, solver, q0)
+		smB := buildLiquidStack(t, solver, q0)
+		pm := uniformPM(smA.Model, 0.4)
+
+		fA, err := smA.Model.SteadyState(pm, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fB, err := smB.Model.SteadyState(pm, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trA, err := smA.Model.NewTransientFrom(0.1, fA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trB, err := smB.Model.NewTransientFrom(0.1, fB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step, fl := range flows[1:] {
+			q := units.MlPerMinToM3PerS(fl)
+			if err := smA.SetFlowPerCavity(q); err != nil {
+				t.Fatal(err)
+			}
+			if err := smB.SetFlowPerCavity(q); err != nil {
+				t.Fatal(err)
+			}
+			// Defeat every incremental path on the reference model: drop
+			// the frozen pattern, the assembly memo and the stepper's
+			// preparation memo, so B cold-builds and cold-factors.
+			smB.Model.pat = nil
+			smB.Model.flowMemo = nil
+			for _, p := range trB.preps {
+				trB.stats.Accumulate(p.ws.Stats())
+			}
+			trB.preps = nil
+			trB.fact = nil
+			trB.ws = nil
+			trB.ds = nil
+
+			if err := trA.Step(pm); err != nil {
+				t.Fatalf("%s step %d: %v", solver, step, err)
+			}
+			if err := trB.Step(pm); err != nil {
+				t.Fatalf("%s reference step %d: %v", solver, step, err)
+			}
+			for i := range trA.t {
+				if math.Float64bits(trA.t[i]) != math.Float64bits(trB.t[i]) {
+					t.Fatalf("%s step %d (flow %v): state[%d] %v vs %v — incremental and cold paths diverged",
+						solver, step, fl, i, trA.t[i], trB.t[i])
+				}
+			}
+		}
+		sA, sB := trA.SolverStats(), trB.SolverStats()
+		if sA.Solves != sB.Solves {
+			t.Fatalf("%s: solves diverged: %d vs %d", solver, sA.Solves, sB.Solves)
+		}
+	}
+}
+
+// TestTransientPrepMemoReuse pins that alternating between two flow
+// levels re-adopts the prepared factorization instead of re-preparing:
+// the physical factorisation count stays at the number of distinct
+// levels.
+func TestTransientPrepMemoReuse(t *testing.T) {
+	prep := mat.NewPrepCache(0)
+	sm, err := BuildStack(floorplan.Niagara2Tier(), StackOptions{
+		Mode:          LiquidCooled,
+		FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+		Nx:            8, Ny: 8,
+		Solver: "direct",
+		Prep:   prep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := uniformPM(sm.Model, 0.4)
+	tr, err := sm.Model.NewTransient(0.1, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := [2]float64{units.MlPerMinToM3PerS(32.3), units.MlPerMinToM3PerS(20)}
+	for i := 0; i < 12; i++ {
+		if err := sm.SetFlowPerCavity(flows[i%2]); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Step(pm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := prep.Stats().Factorizations; got != 2 {
+		t.Fatalf("12 alternating steps should factor exactly 2 matrices, got %d", got)
+	}
+	if got := prep.Stats().Shares; got != 0 {
+		t.Fatalf("the stepper memo should re-adopt without cache round trips, got %d shares", got)
+	}
+}
+
+// TestSharedAssemblyCapStaysImmutable pins the AssemblyCache storage
+// contract against the incremental restamp: products published into
+// the shared cache must be fresh storage, so one model's later flow
+// actuations never write arrays a sibling adopted (caught by the race
+// detector when violated).
+func TestSharedAssemblyCapStaysImmutable(t *testing.T) {
+	asm := NewAssemblyCache(0)
+	build := func() *StackModel {
+		sm, err := BuildStack(floorplan.Niagara2Tier(), StackOptions{
+			Mode:          LiquidCooled,
+			FlowPerCavity: units.MlPerMinToM3PerS(32.3),
+			Nx:            8, Ny: 8,
+			Assemblies: asm,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sm
+	}
+	a, b := build(), build()
+	capB := b.Model.Capacitances()
+	before := append([]float64(nil), capB...)
+
+	pm := uniformPM(a.Model, 0.5)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		trA, err := a.Model.NewTransient(0.1, 27)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		flows := [3]float64{units.MlPerMinToM3PerS(20), 0, units.MlPerMinToM3PerS(32.3)}
+		for i := 0; i < 9; i++ {
+			if err := a.SetFlowPerCavity(flows[i%3]); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := trA.Step(pm); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	trB, err := b.Model.NewTransient(0.1, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if err := trB.Step(pm); err != nil {
+			t.Fatal(err)
+		}
+		// Hammer the adopted array while A actuates: the race detector
+		// needs concurrent reads to witness an in-place restamp write.
+		for k := 0; k < 50; k++ {
+			for j, v := range capB {
+				if v != before[j] {
+					t.Fatalf("adopted capacitances mutated at %d: %v -> %v", j, before[j], v)
+				}
+			}
+		}
+	}
+	<-done
+	for i, v := range b.Model.Capacitances() {
+		if v != before[i] {
+			t.Fatalf("adopted capacitances mutated at %d: %v -> %v", i, before[i], v)
+		}
+	}
+}
+
+// TestSolvedSystemMemo pins the periodic-steady-state memo: under an
+// alternating power cycle the stepper locks onto the 2-cycle (steps
+// become early exits) and keeps reporting states that solve the staged
+// systems to the solver tolerance.
+func TestSolvedSystemMemo(t *testing.T) {
+	sm := buildLiquidStack(t, "direct", units.MlPerMinToM3PerS(32.3))
+	m := sm.Model
+	pms := [2]PowerMap{uniformPM(m, 0.3), uniformPM(m, 0.9)}
+	f, err := m.SteadyState(pms[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.NewTransientFrom(0.1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 400
+	for i := 0; i < steps; i++ {
+		if err := tr.Step(pms[i%2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := tr.SolverStats()
+	if stats.Solves != steps {
+		t.Fatalf("solves %d != steps %d", stats.Solves, steps)
+	}
+	if stats.EarlyExits == 0 {
+		t.Fatal("the alternating cycle should lock into memoized early exits")
+	}
+	// The memoized state must still solve the staged system: residual of
+	// (C/dt+G)·t = rhs within the backend tolerance.
+	n := m.NumNodes()
+	res := make([]float64, n)
+	tr.lhs.MulVec(res, tr.t)
+	num, den := 0.0, 0.0
+	for i := range res {
+		d := res[i] - tr.lastRhs[i]
+		num += d * d
+		den += tr.lastRhs[i] * tr.lastRhs[i]
+	}
+	if rel := math.Sqrt(num / den); rel > 1e-9 {
+		t.Fatalf("memoized state violates the staged system: rel residual %g", rel)
+	}
+}

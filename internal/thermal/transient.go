@@ -40,14 +40,42 @@ type Transient struct {
 	lastRhs   []float64
 	lastRhsOK bool
 
+	// hist extends the fixed-point memo to short cycles: a ring of the
+	// most recent accepted (rhs, solution) pairs under the current LHS.
+	// When a staged rhs is bit-identical to a remembered one, the system
+	// is identical to one already solved and the remembered solution is
+	// adopted without re-solving — the period-k generalization of the
+	// lastRhs check, which quantized bang-bang control loops (alternating
+	// power epochs or two flow levels) settle into. Invalidated whenever
+	// the LHS changes.
+	hist    []histEntry
+	histLen int
+	histPos int
+
+	// x0 is the warm-start guess chosen by stage for the staged solve:
+	// the current state, or a remembered solution of a nearby system.
+	// The lockstep batch stepper reads it so batched and solo solves see
+	// identical guesses (and therefore identical results).
+	x0 []float64
+
 	// Cached left-hand side (C/dt + G), its prepared workspace and the
 	// shareable factorization behind it (nil for backends that cannot
-	// share one); rebuilt when the model's flow rates change.
+	// share one); refreshed when the model's flow rates change.
 	lhs     *mat.Sparse
 	ws      mat.Workspace
 	fact    mat.Factorization
 	rhsBase []float64
 	dirtyAt *mat.Sparse // matrix identity marker for cache invalidation
+
+	// preps memoizes prepared left-hand sides per conductance matrix
+	// (MRU first): quantised policies revisit a few flow levels, and a
+	// revisited level re-adopts its factorization and workspace without
+	// touching the solver. ds is the pattern-reusing C/dt+G combiner and
+	// capAt marks the capacitance vector capDt was derived from (both
+	// flow-invariant, so they persist across refreshes).
+	preps []*trPrep
+	ds    *mat.DiagSum
+	capAt []float64
 
 	// stats accumulates counters of superseded workspaces, fixed-point
 	// no-op steps, and — in lockstep batch mode — the logical per-column
@@ -84,6 +112,18 @@ func (m *Model) NewTransientFrom(dt float64, f *Field) (*Transient, error) {
 	return tr, nil
 }
 
+// histEntry is one remembered accepted solve: the exact right-hand side
+// and the solution the stepper committed for it.
+type histEntry struct {
+	rhs, sol []float64
+}
+
+// histDepth bounds the solved-system memo: quantized control loops
+// cycle through a handful of (power, flow) phases, so a short ring
+// catches the periodic steady states that matter without holding state
+// proportional to the run length.
+const histDepth = 4
+
 func newTransient(m *Model, dt float64) *Transient {
 	return &Transient{
 		m: m, dt: dt,
@@ -98,35 +138,86 @@ func newTransient(m *Model, dt float64) *Transient {
 // Dt returns the step size in seconds.
 func (tr *Transient) Dt() float64 { return tr.dt }
 
-// refresh rebuilds the cached LHS and its solver workspace if the
-// conductance matrix changed.
+// trPrep is one memoized prepared left-hand side: the conductance
+// matrix it derives from (the memo key), the LHS, its factorization and
+// the stepper's workspace over it.
+type trPrep struct {
+	g, lhs  *mat.Sparse
+	fact    mat.Factorization
+	ws      mat.Workspace
+	rhsBase []float64
+}
+
+// transientPrepBound caps the per-stepper preparation memo; quantised
+// flow policies revisit a handful of levels.
+const transientPrepBound = 4
+
+// lookupPrep returns the memoized preparation for g, promoting it to
+// most recently used.
+func (tr *Transient) lookupPrep(g *mat.Sparse) *trPrep {
+	for i, p := range tr.preps {
+		if p.g == g {
+			copy(tr.preps[1:i+1], tr.preps[:i])
+			tr.preps[0] = p
+			return p
+		}
+	}
+	return nil
+}
+
+// storePrep records a preparation (MRU first), folding the counters of
+// an evicted workspace into the stepper's accumulated stats.
+func (tr *Transient) storePrep(p *trPrep) {
+	if len(tr.preps) >= transientPrepBound {
+		old := tr.preps[len(tr.preps)-1]
+		tr.stats.Accumulate(old.ws.Stats())
+		tr.preps = tr.preps[:len(tr.preps)-1]
+	}
+	tr.preps = append(tr.preps, nil)
+	copy(tr.preps[1:], tr.preps)
+	tr.preps[0] = p
+}
+
+// refresh re-points the stepper at the current conductance matrix: a
+// no-op while the flows are unchanged, a memo adoption when the level
+// was seen recently, and otherwise a numeric refresh — the left-hand
+// side rebuilt on its frozen pattern and the factorization refreshed
+// from the superseded one, skipping every symbolic step.
 func (tr *Transient) refresh() error {
 	g, base := tr.m.matrix()
 	if tr.dirtyAt == g && tr.ws != nil {
 		return nil
 	}
-	cp := tr.m.Capacitances()
-	if tr.capDt == nil {
-		tr.capDt = make([]float64, len(cp))
+	if p := tr.lookupPrep(g); p != nil {
+		tr.lhs, tr.fact, tr.ws, tr.rhsBase = p.lhs, p.fact, p.ws, p.rhsBase
+		tr.dirtyAt = g
+		tr.lastRhsOK = false
+		tr.histLen, tr.histPos = 0, 0
+		return nil
 	}
-	for i, c := range cp {
-		tr.capDt[i] = c / tr.dt
+	cp := tr.m.Capacitances()
+	if tr.capAt == nil || &tr.capAt[0] != &cp[0] {
+		// Capacitances are flow-invariant; recompute C/dt only when the
+		// model handed over a structurally new vector.
+		if tr.capDt == nil {
+			tr.capDt = make([]float64, len(cp))
+		}
+		for i, c := range cp {
+			tr.capDt[i] = c / tr.dt
+		}
+		tr.capAt = cp
 	}
 	dtTag := "dt=" + strconv.FormatFloat(tr.dt, 'g', -1, 64)
-	tr.lhs = tr.m.transientLHS(g, tr.capDt, dtTag)
-	if tr.ws != nil {
-		tr.stats.Accumulate(tr.ws.Stats())
-		tr.ws = nil
-	}
-	fact, ws, err := tr.m.prepareFact(dtTag, tr.lhs)
+	lhs := tr.m.transientLHS(&tr.ds, g, tr.capDt, dtTag)
+	fact, ws, err := tr.m.prepareFactPrior(dtTag, lhs, tr.fact)
 	if err != nil {
 		return fmt.Errorf("thermal: preparing %s transient solver: %w", tr.m.solver.Name(), err)
 	}
-	tr.fact = fact
-	tr.ws = ws
-	tr.rhsBase = base
+	tr.lhs, tr.fact, tr.ws, tr.rhsBase = lhs, fact, ws, base
+	tr.storePrep(&trPrep{g: g, lhs: lhs, fact: fact, ws: ws, rhsBase: base})
 	tr.dirtyAt = g
 	tr.lastRhsOK = false
+	tr.histLen, tr.histPos = 0, 0
 	return nil
 }
 
@@ -165,13 +256,48 @@ func (tr *Transient) stage(p PowerMap) (bool, error) {
 		tr.stats.EarlyExits++
 		return false, nil
 	}
+	// Solved-system memo: a bit-identical rhs under the unchanged LHS is
+	// a system the stepper already solved and accepted — adopt that
+	// solution, exactly as the lastRhs check adopts the current state.
+	// Most recent entries first: short cycles hit within a compare or two.
+	for k := 1; k <= tr.histLen; k++ {
+		h := &tr.hist[(tr.histPos-k+histDepth)%histDepth]
+		if slices.Equal(tr.rhs, h.rhs) {
+			copy(tr.sol, h.sol)
+			tr.stats.Solves++
+			tr.stats.EarlyExits++
+			tr.commitMemo()
+			return false, nil
+		}
+	}
+	// No exact match: warm-start from the remembered solution whose
+	// system is nearest the staged one. In a smooth transient the nearest
+	// entry is the previous step (whose solution is the current state),
+	// so this degrades to the plain warm start; in a near-periodic regime
+	// it hands the solver a guess the residual check can accept outright.
+	// Correctness never rests on the choice — every backend verifies the
+	// guess against the actual system before trusting it.
+	tr.x0 = tr.t
+	best := -1.0
+	for k := 1; k <= tr.histLen; k++ {
+		h := &tr.hist[(tr.histPos-k+histDepth)%histDepth]
+		d := 0.0
+		for i, v := range tr.rhs {
+			e := v - h.rhs[i]
+			d += e * e
+		}
+		if best < 0 || d < best {
+			best = d
+			tr.x0 = h.sol
+		}
+	}
 	return true, nil
 }
 
 // solveStaged performs the staged solve through the stepper's own
 // workspace and accepts the solution.
 func (tr *Transient) solveStaged() error {
-	if err := tr.ws.Solve(tr.sol, tr.rhs, tr.t); err != nil {
+	if err := tr.ws.Solve(tr.sol, tr.rhs, tr.x0); err != nil {
 		return fmt.Errorf("thermal: transient step: %w", err)
 	}
 	tr.commit()
@@ -195,20 +321,44 @@ func (tr *Transient) commitBatch(r mat.ColumnResult) error {
 	return nil
 }
 
-// commit swaps in the staged solution and memoizes its right-hand side
-// for the fixed-point check.
+// commit swaps in the staged solution, memoizes its right-hand side for
+// the fixed-point check and records the accepted (rhs, solution) pair in
+// the solved-system memo.
 func (tr *Transient) commit() {
+	tr.t, tr.sol = tr.sol, tr.t
+	tr.lastRhs, tr.rhs = tr.rhs, tr.lastRhs
+	tr.lastRhsOK = true
+	if tr.hist == nil {
+		tr.hist = make([]histEntry, histDepth)
+		for i := range tr.hist {
+			tr.hist[i].rhs = make([]float64, tr.m.nTotal)
+			tr.hist[i].sol = make([]float64, tr.m.nTotal)
+		}
+	}
+	h := &tr.hist[tr.histPos]
+	copy(h.rhs, tr.lastRhs)
+	copy(h.sol, tr.t)
+	tr.histPos = (tr.histPos + 1) % histDepth
+	if tr.histLen < histDepth {
+		tr.histLen++
+	}
+}
+
+// commitMemo accepts a remembered solution (already staged into sol)
+// without re-recording it in the memo ring.
+func (tr *Transient) commitMemo() {
 	tr.t, tr.sol = tr.sol, tr.t
 	tr.lastRhs, tr.rhs = tr.rhs, tr.lastRhs
 	tr.lastRhsOK = true
 }
 
 // SolverStats returns the cumulative transient solver counters,
-// including workspaces superseded by flow changes.
+// including the memoized workspaces of other flow levels and workspaces
+// evicted from the memo.
 func (tr *Transient) SolverStats() mat.SolveStats {
 	s := tr.stats
-	if tr.ws != nil {
-		s.Accumulate(tr.ws.Stats())
+	for _, p := range tr.preps {
+		s.Accumulate(p.ws.Stats())
 	}
 	if s.Backend == "" {
 		s.Backend = tr.m.solver.Name()
