@@ -7,6 +7,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/cfdref"
@@ -16,6 +17,8 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/mat"
 	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/thermal"
 	"repro/internal/units"
@@ -823,6 +826,107 @@ func BenchmarkFlowSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := exp.FlowSweep(8); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Durable result store (internal/store) ---
+
+// storeBenchValue is a representative encoded sim.Metrics payload
+// (~250 B without a time series), built through the real codec so the
+// benchmarks measure what the cache tier actually writes.
+func storeBenchValue(b *testing.B) []byte {
+	b.Helper()
+	return jobs.EncodeMetrics(&sim.Metrics{
+		Policy: "LC_FUZZY", Stack: "niagara-2t", Mode: "liquid", Trace: "web",
+		PeakTempC: 84.5, ChipEnergyJ: 1234.5, PumpEnergyJ: 17.5, TotalEnergyJ: 1252,
+		SimulatedS: 300, Migrations: 12,
+		Solver: mat.SolveStats{Backend: "direct", Factorizations: 1, Solves: 3000},
+	})
+}
+
+// BenchmarkStorePut measures one durable write: WAL append + fsync
+// (group commit has no partner here, so this is the worst case) + page
+// apply. Dominated by the fsync — this is the per-result durability tax
+// the write-through tier pays.
+func BenchmarkStorePut(b *testing.B) {
+	st, err := store.Open(store.Options{Dir: b.TempDir(), Shards: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	val := storeBenchValue(b)
+	keys := make([]string, 512)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("scenario/v3:%064d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Put(keys[i%len(keys)], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreGet measures a read through the buffer pool with the
+// working set resident: index lookup, page pin, entry copy, unpin.
+func BenchmarkStoreGet(b *testing.B) {
+	st, err := store.Open(store.Options{Dir: b.TempDir(), Shards: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	val := storeBenchValue(b)
+	keys := make([]string, 512)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("scenario/v3:%064d", i)
+		if err := st.Put(keys[i], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, ok, err := st.Get(keys[i%len(keys)])
+		if err != nil || !ok || len(v) == 0 {
+			b.Fatalf("get: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkCacheHitDisk measures serving a scenario from the durable
+// tier through the full cache path: memory miss, store read, decode,
+// promotion. The 1-entry memory cache and two alternating keys force
+// every access to the disk tier — compare with BenchmarkCacheHit (the
+// memory tier) for the cost of surviving a restart.
+func BenchmarkCacheHitDisk(b *testing.B) {
+	st, err := store.Open(store.Options{Dir: b.TempDir(), Shards: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	seed := jobs.NewCache(2)
+	seed.SetStore(st)
+	scA := jobs.Scenario{Tiers: 2, Cooling: "air", Policy: "LB", Workload: "web", Steps: 4, Grid: 8, Seed: 1}
+	scB := scA
+	scB.Seed = 2
+	for _, sc := range []jobs.Scenario{scA, scB} {
+		if _, _, err := seed.Metrics(context.Background(), sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Fresh 1-entry cache on the now-populated store: alternating keys
+	// evict each other from memory, so every lookup goes to disk.
+	cache := jobs.NewCache(1)
+	cache.SetStore(st)
+	scans := []jobs.Scenario{scA, scB}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, hit, err := cache.Metrics(context.Background(), scans[i%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !hit || m == nil {
+			b.Fatal("expected a store hit")
 		}
 	}
 }

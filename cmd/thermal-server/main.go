@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/mat"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -39,16 +40,33 @@ func main() {
 	cacheEntries := flag.Int("cache", 4096, "max cached scenario results (0 = unbounded)")
 	queueDepth := flag.Int("queue", 1024, "max queued async jobs")
 	solver := flag.String("solver", "", "default linear-solver backend for /v1/simulate and /v1/studies requests that omit one: "+strings.Join(mat.Backends(), ", ")+" (/v1/dse uses the closed-form explorer, no linear solves)")
+	storeDir := flag.String("store-dir", "", "durable result-store directory (empty = memory-only cache); results written here survive restarts")
+	storeShards := flag.Int("store-shards", 4, "result-store shard count (fixed at store creation)")
+	storePoolPages := flag.Int("store-pool-pages", 1024, "result-store buffer-pool page frames, split across shards")
 	flag.Parse()
 
 	if !mat.KnownBackend(*solver) {
 		log.Fatalf("unknown solver backend %q (want one of %v)", *solver, mat.Backends())
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(store.Options{
+			Dir:       *storeDir,
+			Shards:    *storeShards,
+			PoolPages: *storePoolPages,
+		})
+		if err != nil {
+			log.Fatalf("open result store: %v", err)
+		}
+		log.Printf("result store open at %s (%d shards, %d entries recovered)", *storeDir, *storeShards, st.Len())
 	}
 	svc := server.New(server.Options{
 		Workers:       *workers,
 		CacheEntries:  *cacheEntries,
 		QueueDepth:    *queueDepth,
 		DefaultSolver: *solver,
+		Store:         st,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,
@@ -73,6 +91,14 @@ func main() {
 			log.Printf("shutdown: %v", err)
 		}
 		svc.Close()
+		// Close after the job workers drain: every in-flight write-through
+		// lands, then the final checkpoint seals the pages and trims the
+		// WAL so the next start replays nothing.
+		if st != nil {
+			if err := st.Close(); err != nil {
+				log.Printf("close result store: %v", err)
+			}
+		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("serve: %v", err)

@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"repro/internal/sim"
 )
 
 // Cache is a content-addressed result cache with LRU eviction and
@@ -19,6 +21,16 @@ type Cache struct {
 	inflight map[string]*flightCall
 	stats    CacheStats
 	hook     func(key string, val any)
+	store    BlobStore
+}
+
+// BlobStore is the durable second tier under the in-memory cache: a
+// crash-safe key → bytes map (satisfied by *store.Store). A memory miss
+// consults it before computing; every fresh computation is written
+// through, so results survive restarts.
+type BlobStore interface {
+	Get(key string) ([]byte, bool, error)
+	Put(key string, val []byte) error
 }
 
 type entry struct {
@@ -37,6 +49,19 @@ type flightCall struct {
 type CacheStats struct {
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
+	// StoreHits counts memory misses served from the durable store
+	// (decoded, promoted to memory, no recomputation). StoreMisses
+	// counts memory misses the store could not serve; Misses counts
+	// both, so Misses - StoreHits is the true computation count when a
+	// store is attached.
+	StoreHits uint64 `json:"store_hits,omitempty"`
+	// StoreMisses counts lookups that fell through to computation.
+	StoreMisses uint64 `json:"store_misses,omitempty"`
+	// StorePuts counts successful write-throughs.
+	StorePuts uint64 `json:"store_puts,omitempty"`
+	// StoreErrors counts store reads/writes/decodes that failed; the
+	// cache degrades to compute-only rather than surfacing them.
+	StoreErrors uint64 `json:"store_errors,omitempty"`
 }
 
 // NewCache returns a cache holding at most maxEntries results;
@@ -149,9 +174,61 @@ func (c *Cache) StartFlight(ctx context.Context, key string) (any, bool, *Flight
 		call := &flightCall{done: make(chan struct{})}
 		c.inflight[key] = call
 		c.stats.Misses++
+		st := c.store
 		c.mu.Unlock()
-		return nil, false, &Flight{c: c, key: key, call: call}, nil
+		fl := &Flight{c: c, key: key, call: call}
+		if st != nil {
+			// Durable second tier: a hit is decoded, promoted to memory and
+			// published through the reserved flight — joiners wake exactly as
+			// if it had been computed, but no compute hook fires and nothing
+			// is written back.
+			if m, ok := c.storeLookup(st, key); ok {
+				fl.completeQuiet(m)
+				return m, true, nil, nil
+			}
+		}
+		return nil, false, fl, nil
 	}
+}
+
+// storeLookup fetches and decodes key from the durable tier. Store
+// failures degrade to a miss (compute instead) and are counted, never
+// surfaced.
+func (c *Cache) storeLookup(st BlobStore, key string) (*sim.Metrics, bool) {
+	data, ok, err := st.Get(key)
+	bump := func(f func(s *CacheStats)) {
+		c.mu.Lock()
+		f(&c.stats)
+		c.mu.Unlock()
+	}
+	if err != nil {
+		bump(func(s *CacheStats) { s.StoreErrors++ })
+		return nil, false
+	}
+	if !ok {
+		bump(func(s *CacheStats) { s.StoreMisses++ })
+		return nil, false
+	}
+	m, err := DecodeMetrics(data)
+	if err != nil {
+		bump(func(s *CacheStats) { s.StoreErrors++ })
+		return nil, false
+	}
+	bump(func(s *CacheStats) { s.StoreHits++ })
+	return m, true
+}
+
+// completeQuiet publishes a store-served value through the reserved
+// flight: cached in memory and joiners woken, but no compute hook and
+// no write-through — the value is already durable.
+func (f *Flight) completeQuiet(val any) {
+	f.call.val = val
+	c := f.c
+	c.mu.Lock()
+	delete(c.inflight, f.key)
+	c.add(f.key, val)
+	c.mu.Unlock()
+	close(f.call.done)
 }
 
 // Complete publishes the computed value — cached on success, never on
@@ -165,13 +242,31 @@ func (f *Flight) Complete(val any, err error) {
 	c.mu.Lock()
 	delete(c.inflight, f.key)
 	hook := c.hook
+	st := c.store
 	if err == nil {
 		c.add(f.key, val)
 	}
 	c.mu.Unlock()
 	close(f.call.done)
-	if err == nil && hook != nil {
+	if err != nil {
+		return
+	}
+	if hook != nil {
 		hook(f.key, val)
+	}
+	// Write-through: every fresh result lands in the durable tier, so a
+	// restarted process serves it from disk instead of recomputing.
+	if st != nil {
+		if m, ok := val.(*sim.Metrics); ok {
+			perr := st.Put(f.key, EncodeMetrics(m))
+			c.mu.Lock()
+			if perr != nil {
+				c.stats.StoreErrors++
+			} else {
+				c.stats.StorePuts++
+			}
+			c.mu.Unlock()
+		}
 	}
 }
 
@@ -194,6 +289,17 @@ func (c *Cache) add(key string, val any) {
 			delete(c.items, last.Value.(*entry).key)
 		}
 	}
+}
+
+// SetStore attaches the durable second tier. Set it before serving
+// traffic; a nil receiver or nil store is a no-op (memory-only cache).
+func (c *Cache) SetStore(st BlobStore) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.store = st
+	c.mu.Unlock()
 }
 
 // SetComputeHook registers fn to observe every successful fresh

@@ -1,0 +1,186 @@
+package jobs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/sim"
+)
+
+// Binary codec for sim.Metrics — the value format of the durable result
+// store. Floats are stored as their exact IEEE-754 bit patterns, so a
+// metrics value survives encode → disk → decode byte-identical: a
+// restarted server re-serving a stored result returns exactly the
+// floats the original computation produced, not a formatted
+// approximation.
+//
+// Layout (all integers little-endian):
+//
+//	u8  version
+//	4 strings: Policy, Stack, Mode, Trace
+//	10 f64: HotspotFracAvg, HotspotFracMax, PeakTempC, ChipEnergyJ,
+//	        PumpEnergyJ, TotalEnergyJ, PerfDegradationPct,
+//	        MeanFlowFrac, SimulatedS + Migrations (u64)
+//	Solver: Backend string, 4 u64 counters, FallbackReason string
+//	Series: u32 count, then 5 f64 per sample
+//
+// Strings are u32 length + bytes.
+const metricsCodecVersion = 1
+
+// EncodeMetrics serializes m for the store.
+func EncodeMetrics(m *sim.Metrics) []byte {
+	// Worst-case sizing is cheap to estimate: fixed fields + strings +
+	// series.
+	n := 1 + 4*(len(m.Policy)+len(m.Stack)+len(m.Mode)+len(m.Trace)+len(m.Solver.Backend)+len(m.Solver.FallbackReason)+6*4) +
+		10*8 + 4*8 + 4 + len(m.Series)*5*8
+	b := make([]byte, 0, n)
+	b = append(b, metricsCodecVersion)
+	b = appendString(b, m.Policy)
+	b = appendString(b, m.Stack)
+	b = appendString(b, m.Mode)
+	b = appendString(b, m.Trace)
+	for _, f := range []float64{
+		m.HotspotFracAvg, m.HotspotFracMax, m.PeakTempC,
+		m.ChipEnergyJ, m.PumpEnergyJ, m.TotalEnergyJ,
+		m.PerfDegradationPct, m.MeanFlowFrac, m.SimulatedS,
+	} {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Migrations))
+	b = appendString(b, m.Solver.Backend)
+	for _, v := range []int{m.Solver.Factorizations, m.Solver.Solves, m.Solver.Iterations, m.Solver.EarlyExits} {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	b = appendString(b, m.Solver.FallbackReason)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Series)))
+	for _, s := range m.Series {
+		for _, f := range []float64{s.TimeS, s.PeakC, s.FlowFrac, s.ChipPowerW, s.PumpPowerW} {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+		}
+	}
+	return b
+}
+
+// DecodeMetrics inverts EncodeMetrics.
+func DecodeMetrics(b []byte) (*sim.Metrics, error) {
+	d := &metricsDecoder{b: b}
+	if v := d.u8(); v != metricsCodecVersion {
+		if d.err != nil {
+			return nil, d.err
+		}
+		return nil, fmt.Errorf("jobs: metrics codec version %d (want %d)", v, metricsCodecVersion)
+	}
+	m := &sim.Metrics{
+		Policy: d.str(),
+		Stack:  d.str(),
+		Mode:   d.str(),
+		Trace:  d.str(),
+	}
+	m.HotspotFracAvg = d.f64()
+	m.HotspotFracMax = d.f64()
+	m.PeakTempC = d.f64()
+	m.ChipEnergyJ = d.f64()
+	m.PumpEnergyJ = d.f64()
+	m.TotalEnergyJ = d.f64()
+	m.PerfDegradationPct = d.f64()
+	m.MeanFlowFrac = d.f64()
+	m.SimulatedS = d.f64()
+	m.Migrations = int(d.u64())
+	m.Solver = mat.SolveStats{
+		Backend:        d.str(),
+		Factorizations: int(d.u64()),
+		Solves:         int(d.u64()),
+		Iterations:     int(d.u64()),
+		EarlyExits:     int(d.u64()),
+		FallbackReason: d.str(),
+	}
+	n := int(d.u32())
+	if d.err == nil && n > 0 {
+		if n > d.remaining()/40 {
+			return nil, fmt.Errorf("jobs: metrics series count %d exceeds payload", n)
+		}
+		m.Series = make([]sim.TimeSample, n)
+		for i := range m.Series {
+			m.Series[i] = sim.TimeSample{
+				TimeS:      d.f64(),
+				PeakC:      d.f64(),
+				FlowFrac:   d.f64(),
+				ChipPowerW: d.f64(),
+				PumpPowerW: d.f64(),
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("jobs: %d trailing bytes after metrics", d.remaining())
+	}
+	return m, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// metricsDecoder reads fields sequentially, latching the first error so
+// call sites stay linear.
+type metricsDecoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *metricsDecoder) remaining() int { return len(d.b) - d.off }
+
+func (d *metricsDecoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("jobs: truncated metrics encoding at offset %d", d.off)
+	}
+}
+
+func (d *metricsDecoder) u8() byte {
+	if d.err != nil || d.remaining() < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *metricsDecoder) u32() uint32 {
+	if d.err != nil || d.remaining() < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *metricsDecoder) u64() uint64 {
+	if d.err != nil || d.remaining() < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *metricsDecoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *metricsDecoder) str() string {
+	n := int(d.u32())
+	if d.err != nil || n > d.remaining() {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}

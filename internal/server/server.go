@@ -45,6 +45,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/mat"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/thermal"
 	"repro/internal/tsv"
@@ -62,6 +63,12 @@ type Options struct {
 	// DefaultSolver is applied to simulate requests that do not name a
 	// solver backend ("" keeps the library default; see mat.Backends).
 	DefaultSolver string
+	// Store, when set, is attached under the result cache as the durable
+	// second tier: memory misses are served from it and fresh results
+	// written through, so results survive restarts. The caller owns its
+	// lifecycle (flush/close on shutdown); the server only reads and
+	// writes through it.
+	Store *store.Store
 }
 
 // Server is the simulation service. Construct with New, mount Handler,
@@ -74,6 +81,7 @@ type Server struct {
 	mux           *http.ServeMux
 	started       time.Time
 	defaultSolver string
+	store         *store.Store
 
 	// Solver-metrics surface: per-backend aggregates of every scenario
 	// freshly computed through the result cache (cache hits re-serve a
@@ -94,7 +102,11 @@ func New(opt Options) *Server {
 		mux:           http.NewServeMux(),
 		started:       time.Now(),
 		defaultSolver: opt.DefaultSolver,
+		store:         opt.Store,
 		solver:        map[string]mat.SolveStats{},
+	}
+	if opt.Store != nil {
+		s.cache.SetStore(opt.Store)
 	}
 	s.cache.SetComputeHook(func(_ string, val any) {
 		if m, ok := val.(*sim.Metrics); ok {
@@ -237,6 +249,9 @@ type StatsResponse struct {
 	// Sweeps aggregates the sweep engine's outcomes — factorizations
 	// paid versus shared across every sweep the service has run.
 	Sweeps SweepStats `json:"sweeps"`
+	// Store, present when a durable result store is attached, reports
+	// WAL/pool/shard counters and per-shard sizes.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -252,7 +267,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if def == "" {
 		def = mat.DefaultBackend
 	}
-	writeJSON(w, http.StatusOK, &StatsResponse{
+	resp := &StatsResponse{
 		UptimeS:           time.Since(s.started).Seconds(),
 		Workers:           s.pool.Workers(),
 		CacheEntries:      s.cache.Len(),
@@ -263,7 +278,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Backends:          mat.Backends(),
 		DefaultSolver:     def,
 		Sweeps:            sweeps,
-	})
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Store = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // SimulateResponse is the body of a synchronous /v1/simulate call.

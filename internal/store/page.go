@@ -1,0 +1,171 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Slotted page layout (all little-endian), total size span*pageSize:
+//
+//	  0  u16 magic "PG"
+//	  2  u16 span      — number of pageSize units this page occupies
+//	  4  u16 nslots
+//	  6  u16 (pad)
+//	  8  u32 used      — payload bytes in use, counted from pageHeaderSize
+//	 12  u32 crc       — CRC32 over header words 0..12 and the used payload
+//	 16  payload       — entries appended front-to-back
+//	...  slot directory — u32 entry offsets, growing from the page end
+//
+// Entries are append-only: an overwrite appends a fresh entry elsewhere
+// and the old slot becomes dead weight until compaction rewrites the
+// segment. Entry encoding:
+//
+//	flags u8 (bit0 = tombstone) | keyLen u16 | key | valLen u32 | value
+const (
+	pageMagic      = 0x4750 // "PG"
+	pageHeaderSize = 16
+	slotSize       = 4
+	entryFixedSize = 1 + 2 + 4
+
+	entryTombstone = byte(1)
+)
+
+// page is the in-memory mutable form the shard appends through; its
+// backing buf is exactly the on-disk image (checksum patched on seal).
+type page struct {
+	buf    []byte
+	nslots int
+	used   int // payload bytes in use
+}
+
+// pageSpan returns how many pageSize units an entry of the given sizes
+// needs, directory slot included.
+func pageSpan(pageSize, keyLen, valLen int) int {
+	need := pageHeaderSize + entryFixedSize + keyLen + valLen + slotSize
+	span := (need + pageSize - 1) / pageSize
+	if span < 1 {
+		span = 1
+	}
+	return span
+}
+
+// newPage returns an empty page spanning span*pageSize bytes.
+func newPage(pageSize, span int) *page {
+	p := &page{buf: make([]byte, span*pageSize)}
+	binary.LittleEndian.PutUint16(p.buf[0:], pageMagic)
+	binary.LittleEndian.PutUint16(p.buf[2:], uint16(span))
+	return p
+}
+
+// free reports the bytes available for one more entry plus its slot.
+func (p *page) free() int {
+	return len(p.buf) - pageHeaderSize - p.used - (p.nslots+1)*slotSize
+}
+
+// appendEntry adds an entry and returns its slot index. The caller
+// checks fit via free().
+func (p *page) appendEntry(key string, val []byte, tombstone bool) int {
+	off := pageHeaderSize + p.used
+	b := p.buf[off:off]
+	var flags byte
+	if tombstone {
+		flags = entryTombstone
+	}
+	b = append(b, flags)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(key)))
+	b = append(b, key...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(val)))
+	b = append(b, val...)
+	p.used += len(b)
+	slot := p.nslots
+	p.nslots++
+	binary.LittleEndian.PutUint32(p.buf[len(p.buf)-slot*slotSize-slotSize:], uint32(off))
+	binary.LittleEndian.PutUint16(p.buf[4:], uint16(p.nslots))
+	binary.LittleEndian.PutUint32(p.buf[8:], uint32(p.used))
+	return slot
+}
+
+// seal patches the checksum so buf is the exact durable image.
+func (p *page) seal() {
+	binary.LittleEndian.PutUint32(p.buf[12:], pageCRC(p.buf))
+}
+
+// pageCRC checksums the header (with the crc word zeroed by position —
+// it is simply excluded) plus the used payload and the slot directory.
+func pageCRC(buf []byte) uint32 {
+	used := int(binary.LittleEndian.Uint32(buf[8:]))
+	nslots := int(binary.LittleEndian.Uint16(buf[4:]))
+	crc := crc32.Checksum(buf[:12], crcTable)
+	end := pageHeaderSize + used
+	if end > len(buf) {
+		end = len(buf)
+	}
+	crc = crc32.Update(crc, crcTable, buf[pageHeaderSize:end])
+	dirStart := len(buf) - nslots*slotSize
+	if dirStart >= end && dirStart <= len(buf) {
+		crc = crc32.Update(crc, crcTable, buf[dirStart:])
+	}
+	return crc
+}
+
+// parsePageHeader validates the fixed header of a (first) pageSize
+// block and returns its span. It does not verify the checksum — the
+// full buffer may not be read yet.
+func parsePageHeader(buf []byte) (span int, err error) {
+	if len(buf) < pageHeaderSize {
+		return 0, fmt.Errorf("store: short page header")
+	}
+	if binary.LittleEndian.Uint16(buf[0:]) != pageMagic {
+		return 0, fmt.Errorf("store: bad page magic %#x", binary.LittleEndian.Uint16(buf[0:]))
+	}
+	span = int(binary.LittleEndian.Uint16(buf[2:]))
+	if span < 1 {
+		return 0, fmt.Errorf("store: bad page span %d", span)
+	}
+	return span, nil
+}
+
+// verifyPage checks the checksum of a fully-read page image.
+func verifyPage(buf []byte) error {
+	used := int(binary.LittleEndian.Uint32(buf[8:]))
+	nslots := int(binary.LittleEndian.Uint16(buf[4:]))
+	if pageHeaderSize+used+nslots*slotSize > len(buf) {
+		return fmt.Errorf("store: page accounting exceeds page size")
+	}
+	if pageCRC(buf) != binary.LittleEndian.Uint32(buf[12:]) {
+		return fmt.Errorf("store: page checksum mismatch")
+	}
+	return nil
+}
+
+// pageEntry reads the slot'th entry of a page image.
+func pageEntry(buf []byte, slot int) (key string, val []byte, tombstone bool, err error) {
+	nslots := int(binary.LittleEndian.Uint16(buf[4:]))
+	if slot < 0 || slot >= nslots {
+		return "", nil, false, fmt.Errorf("store: slot %d out of range (%d slots)", slot, nslots)
+	}
+	off := int(binary.LittleEndian.Uint32(buf[len(buf)-slot*slotSize-slotSize:]))
+	if off < pageHeaderSize || off+entryFixedSize > len(buf) {
+		return "", nil, false, fmt.Errorf("store: slot %d offset %d out of range", slot, off)
+	}
+	flags := buf[off]
+	keyLen := int(binary.LittleEndian.Uint16(buf[off+1:]))
+	if off+3+keyLen+4 > len(buf) {
+		return "", nil, false, fmt.Errorf("store: slot %d key overruns page", slot)
+	}
+	key = string(buf[off+3 : off+3+keyLen])
+	valLen := int(binary.LittleEndian.Uint32(buf[off+3+keyLen:]))
+	vstart := off + entryFixedSize + keyLen
+	if vstart+valLen > len(buf) {
+		return "", nil, false, fmt.Errorf("store: slot %d value overruns page", slot)
+	}
+	val = append([]byte(nil), buf[vstart:vstart+valLen]...)
+	return key, val, flags&entryTombstone != 0, nil
+}
+
+// entrySize is the payload+slot footprint of an entry — the unit of
+// dead-bytes accounting.
+func entrySize(keyLen, valLen int) int {
+	return entryFixedSize + keyLen + valLen + slotSize
+}

@@ -1,0 +1,215 @@
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// pageID addresses a page inside a shard: segment sequence in the high
+// 32 bits, page index (file offset / pageSize) in the low 32.
+type pageID uint64
+
+func makePageID(seg uint32, idx uint32) pageID { return pageID(seg)<<32 | pageID(idx) }
+func (id pageID) seg() uint32                  { return uint32(id >> 32) }
+func (id pageID) idx() uint32                  { return uint32(id) }
+
+// pageIO loads and stores page images — implemented by the shard over
+// its segment files. ReadPage returns the full span*pageSize image.
+type pageIO interface {
+	ReadPage(id pageID) ([]byte, error)
+	WritePage(id pageID, buf []byte) error
+}
+
+// PoolStats counts buffer-pool outcomes.
+type PoolStats struct {
+	// Hits counts fetches served from a resident frame.
+	Hits uint64 `json:"hits"`
+	// Misses counts fetches that had to read the page from disk.
+	Misses uint64 `json:"misses"`
+	// Evictions counts frames dropped to make room.
+	Evictions uint64 `json:"evictions"`
+	// Writebacks counts dirty frames written to disk on eviction or
+	// flush.
+	Writebacks uint64 `json:"writebacks"`
+	// Pages is the resident frame count.
+	Pages int `json:"pages"`
+	// Capacity is the configured frame cap.
+	Capacity int `json:"capacity"`
+}
+
+// frame is one resident page.
+type frame struct {
+	id    pageID
+	page  *page
+	pins  int
+	dirty bool
+	elem  *list.Element // position in the LRU list while unpinned
+}
+
+// bufferPool is a fixed-capacity page cache with pin/unpin semantics:
+// pinned frames are never evicted; unpinned frames queue in LRU order
+// and dirty ones are written back before eviction. If every frame is
+// pinned the pool admits the newcomer over capacity rather than
+// deadlocking (visible as Pages > Capacity in the stats).
+type bufferPool struct {
+	io  pageIO
+	cap int
+
+	mu     sync.Mutex
+	frames map[pageID]*frame
+	lru    *list.List // front = most recently unpinned
+	stats  PoolStats
+}
+
+func newBufferPool(io pageIO, capacity int) *bufferPool {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &bufferPool{
+		io:     io,
+		cap:    capacity,
+		frames: map[pageID]*frame{},
+		lru:    list.New(),
+	}
+}
+
+// fetch pins the page, reading it from disk on a miss.
+func (bp *bufferPool) fetch(id pageID) (*frame, error) {
+	bp.mu.Lock()
+	if f, ok := bp.frames[id]; ok {
+		bp.pinLocked(f)
+		bp.stats.Hits++
+		bp.mu.Unlock()
+		return f, nil
+	}
+	bp.stats.Misses++
+	bp.mu.Unlock()
+	// Read outside the lock: a slow disk read must not serialize hits.
+	// Two concurrent misses on one page may both read; the second loser
+	// adopts the winner's frame below.
+	buf, err := bp.io.ReadPage(id)
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		bp.pinLocked(f)
+		return f, nil
+	}
+	if err := bp.makeRoomLocked(); err != nil {
+		return nil, err
+	}
+	f := &frame{id: id, page: &page{buf: buf}, pins: 1}
+	bp.frames[id] = f
+	bp.stats.Pages = len(bp.frames)
+	return f, nil
+}
+
+// install pins a caller-built page (a fresh tail page) without a disk
+// read.
+func (bp *bufferPool) install(id pageID, p *page, dirty bool) (*frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if _, ok := bp.frames[id]; ok {
+		return nil, fmt.Errorf("store: page %d/%d already resident", id.seg(), id.idx())
+	}
+	if err := bp.makeRoomLocked(); err != nil {
+		return nil, err
+	}
+	f := &frame{id: id, page: p, pins: 1, dirty: dirty}
+	bp.frames[id] = f
+	bp.stats.Pages = len(bp.frames)
+	return f, nil
+}
+
+func (bp *bufferPool) pinLocked(f *frame) {
+	if f.elem != nil {
+		bp.lru.Remove(f.elem)
+		f.elem = nil
+	}
+	f.pins++
+}
+
+// markDirty flags a (pinned) frame whose page bytes were appended to
+// in place — the tail-page fast path.
+func (bp *bufferPool) markDirty(f *frame) {
+	bp.mu.Lock()
+	f.dirty = true
+	bp.mu.Unlock()
+}
+
+// unpin releases one pin; dirty marks the frame as needing writeback.
+func (bp *bufferPool) unpin(f *frame, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.elem = bp.lru.PushFront(f)
+	}
+}
+
+// makeRoomLocked evicts LRU unpinned frames until under capacity.
+func (bp *bufferPool) makeRoomLocked() error {
+	for len(bp.frames) >= bp.cap {
+		el := bp.lru.Back()
+		if el == nil {
+			return nil // everything pinned: admit over capacity
+		}
+		f := el.Value.(*frame)
+		if f.dirty {
+			if err := bp.io.WritePage(f.id, f.page.buf); err != nil {
+				return err
+			}
+			f.dirty = false
+			bp.stats.Writebacks++
+		}
+		bp.lru.Remove(el)
+		delete(bp.frames, f.id)
+		bp.stats.Evictions++
+	}
+	bp.stats.Pages = len(bp.frames)
+	return nil
+}
+
+// flush writes back every dirty frame (pinned or not) without evicting.
+func (bp *bufferPool) flush() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if !f.dirty {
+			continue
+		}
+		if err := bp.io.WritePage(f.id, f.page.buf); err != nil {
+			return err
+		}
+		f.dirty = false
+		bp.stats.Writebacks++
+	}
+	return nil
+}
+
+// invalidate drops every frame — used when compaction replaces the
+// segment files wholesale. Dirty frames are discarded by design: the
+// caller has already rewritten the live data.
+func (bp *bufferPool) invalidate() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.frames = map[pageID]*frame{}
+	bp.lru.Init()
+	bp.stats.Pages = 0
+}
+
+// snapshot returns the counters.
+func (bp *bufferPool) snapshot() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	s := bp.stats
+	s.Pages = len(bp.frames)
+	s.Capacity = bp.cap
+	return s
+}

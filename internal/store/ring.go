@@ -1,0 +1,73 @@
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringVnodes is the number of virtual points each shard contributes:
+// enough for an even spread at single-digit shard counts without
+// making the lookup table noticeable.
+const ringVnodes = 64
+
+// Ring is a consistent-hash router mapping keys onto shard indices.
+// The same code routes across local shard directories today and across
+// replicas later: adding a shard remaps only the keys that land on its
+// new arc, not the whole space.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring over n shards.
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	r := &Ring{points: make([]ringPoint, 0, n*ringVnodes), shards: n}
+	for s := 0; s < n; s++ {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("shard-%d#%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// Owner returns the shard index owning key: the first ring point at or
+// clockwise after the key's hash.
+func (r *Ring) Owner(key string) int {
+	if r.shards == 1 {
+		return 0
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// Shards returns the shard count the ring routes across.
+func (r *Ring) Shards() int { return r.shards }
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV diffuses the final bytes through a single multiply, which
+	// leaves keys with near-identical suffixes adjacent on the ring.
+	// Finish with a splitmix64-style avalanche so they spread.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,634 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// smallOpts keeps pages/segments tiny so tests exercise rotation,
+// spanning pages and eviction without megabytes of writes.
+func smallOpts(dir string) Options {
+	return Options{
+		Dir:             dir,
+		Shards:          2,
+		PoolPages:       16,
+		PageSize:        512,
+		SegmentBytes:    8 << 10,
+		WALSegmentBytes: 8 << 10,
+		CompactMinBytes: 1 << 30, // no background compaction unless asked
+	}
+}
+
+func val(i int) []byte {
+	return bytes.Repeat([]byte{byte(i), byte(i >> 8)}, 40)
+}
+
+func TestStorePutGetDeleteOverwrite(t *testing.T) {
+	st, err := Open(smallOpts(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := st.Put(fmt.Sprintf("key-%03d", i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != n {
+		t.Fatalf("len %d, want %d", st.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := st.Get(fmt.Sprintf("key-%03d", i))
+		if err != nil || !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("get %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	// Overwrite half, delete a quarter.
+	for i := 0; i < n/2; i++ {
+		if err := st.Put(fmt.Sprintf("key-%03d", i), val(i+1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n/4; i++ {
+		if err := st.Delete(fmt.Sprintf("key-%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != n-n/4 {
+		t.Fatalf("len %d after deletes, want %d", st.Len(), n-n/4)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := st.Get(fmt.Sprintf("key-%03d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case i < n/4:
+			if ok {
+				t.Fatalf("deleted key %d still present", i)
+			}
+		case i < n/2:
+			if !ok || !bytes.Equal(v, val(i+1000)) {
+				t.Fatalf("overwritten key %d wrong", i)
+			}
+		default:
+			if !ok || !bytes.Equal(v, val(i)) {
+				t.Fatalf("key %d wrong", i)
+			}
+		}
+	}
+	stats := st.Stats()
+	if stats.DeadBytes == 0 {
+		t.Fatal("overwrites produced no dead bytes")
+	}
+	if stats.Entries != n-n/4 {
+		t.Fatalf("stats entries %d, want %d", stats.Entries, n-n/4)
+	}
+}
+
+// TestStoreSurvivesRestart is the core durability property: everything
+// acknowledged before a clean close — and everything acknowledged
+// before an unclean abandon (no Close, dirty pages lost, WAL intact) —
+// is there after reopening.
+func TestStoreSurvivesRestart(t *testing.T) {
+	for _, clean := range []bool{true, false} {
+		t.Run(map[bool]string{true: "clean-close", false: "crash"}[clean], func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := Open(smallOpts(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 60
+			for i := 0; i < n; i++ {
+				if err := st.Put(fmt.Sprintf("key-%03d", i), val(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st.Delete("key-007"); err != nil {
+				t.Fatal(err)
+			}
+			if clean {
+				if err := st.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Unclean: simply abandon the handles. Page writebacks that
+			// never happened are re-derived from the WAL on open.
+			st2, err := Open(smallOpts(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st2.Close()
+			if st2.Len() != n-1 {
+				t.Fatalf("reopened len %d, want %d", st2.Len(), n-1)
+			}
+			for i := 0; i < n; i++ {
+				v, ok, err := st2.Get(fmt.Sprintf("key-%03d", i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == 7 {
+					if ok {
+						t.Fatal("deleted key resurrected")
+					}
+					continue
+				}
+				if !ok || !bytes.Equal(v, val(i)) {
+					t.Fatalf("key %d lost or wrong after restart", i)
+				}
+			}
+			if !clean {
+				// The crash path must have replayed from the WAL.
+				var replayed uint64
+				for _, sh := range st2.Stats().Shards {
+					replayed += sh.WAL.ReplayRecords
+				}
+				if replayed == 0 {
+					t.Fatal("crash reopen replayed nothing")
+				}
+			}
+		})
+	}
+}
+
+// TestStoreCheckpointTrimsWAL: after Flush, reopening replays nothing
+// (pages carry everything) yet all data is present.
+func TestStoreCheckpointTrimsWAL(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(smallOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := st.Put(fmt.Sprintf("key-%03d", i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st2, err := Open(smallOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	var replayed uint64
+	for _, sh := range st2.Stats().Shards {
+		replayed += sh.WAL.ReplayRecords
+	}
+	if replayed != 0 {
+		t.Fatalf("replayed %d records after checkpoint, want 0", replayed)
+	}
+	for i := 0; i < 40; i++ {
+		if _, ok, err := st2.Get(fmt.Sprintf("key-%03d", i)); !ok || err != nil {
+			t.Fatalf("key %d missing after checkpointed reopen", i)
+		}
+	}
+}
+
+// TestShardTornWriteRecovery runs the truncation harness end to end at
+// the shard level: commit K entries, truncate the WAL at every byte
+// offset of the last record, and require the reopened shard to hold
+// exactly the K-1 committed entries.
+func TestShardTornWriteRecovery(t *testing.T) {
+	const committed = 6
+	master := t.TempDir()
+	opt := smallOpts("")
+	sh, err := OpenShard(master, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < committed; i++ {
+		if err := sh.Put(fmt.Sprintf("key-%d", i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Abandon without Close: pages stay dirty in memory, the WAL is the
+	// only durable copy — exactly the crash shape the harness wants.
+	walDir := filepath.Join(master, "wal")
+	seqs, err := walSegments(walDir)
+	if err != nil || len(seqs) == 0 {
+		t.Fatalf("wal segments: %v %v", seqs, err)
+	}
+	active := seqs[len(seqs)-1]
+	full, err := os.ReadFile(walPath(walDir, active))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastStart := walHeaderSize
+	for off := walHeaderSize; off < len(full); {
+		_, n, derr := DecodeRecord(full[off:])
+		if derr != nil {
+			t.Fatalf("walk: %v", derr)
+		}
+		lastStart = off
+		off += n
+	}
+	for cut := lastStart; cut < len(full); cut++ {
+		dir := t.TempDir()
+		copyTree(t, master, dir)
+		if err := os.WriteFile(walPath(filepath.Join(dir, "wal"), active), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sh2, err := OpenShard(dir, opt)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if sh2.Len() != committed-1 {
+			t.Fatalf("cut %d: %d entries, want %d", cut, sh2.Len(), committed-1)
+		}
+		for i := 0; i < committed-1; i++ {
+			v, ok, err := sh2.Get(fmt.Sprintf("key-%d", i))
+			if err != nil || !ok || !bytes.Equal(v, val(i)) {
+				t.Fatalf("cut %d: entry %d lost (ok=%v err=%v)", cut, i, ok, err)
+			}
+		}
+		if _, ok, _ := sh2.Get(fmt.Sprintf("key-%d", committed-1)); ok {
+			t.Fatalf("cut %d: torn entry visible", cut)
+		}
+		if err := sh2.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+	}
+}
+
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, info.Mode())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardJumboValues stores entries far larger than a page and gets
+// them back, across a restart.
+func TestShardJumboValues(t *testing.T) {
+	dir := t.TempDir()
+	opt := smallOpts("")
+	sh, err := OpenShard(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("jumbo!"), 3000) // ~18 KiB on 512 B pages
+	if err := sh.Put("big", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Put("small-after", val(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Put("big", append(big, 'x')); err != nil { // jumbo overwrite
+		t.Fatal(err)
+	}
+	v, ok, err := sh.Get("big")
+	if err != nil || !ok || !bytes.Equal(v, append(big, 'x')) {
+		t.Fatalf("jumbo get: ok=%v err=%v len=%d", ok, err, len(v))
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sh2, err := OpenShard(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh2.Close()
+	v, ok, err = sh2.Get("big")
+	if err != nil || !ok || !bytes.Equal(v, append(big, 'x')) {
+		t.Fatalf("jumbo get after restart: ok=%v err=%v", ok, err)
+	}
+	if v, ok, _ := sh2.Get("small-after"); !ok || !bytes.Equal(v, val(1)) {
+		t.Fatal("small entry next to jumbo lost")
+	}
+}
+
+// TestShardEvictionWriteback forces the pool far over capacity and
+// checks reads come back through disk.
+func TestShardEvictionWriteback(t *testing.T) {
+	dir := t.TempDir()
+	opt := smallOpts("")
+	opt.PoolPages = 4
+	sh, err := OpenShard(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := sh.Put(fmt.Sprintf("key-%04d", i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := sh.Get(fmt.Sprintf("key-%04d", i))
+		if err != nil || !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("get %d through tiny pool: ok=%v err=%v", i, ok, err)
+		}
+	}
+	ps := sh.Stats().Pool
+	if ps.Evictions == 0 || ps.Writebacks == 0 || ps.Misses == 0 {
+		t.Fatalf("tiny pool saw no churn: %+v", ps)
+	}
+	if ps.Pages > 2*ps.Capacity {
+		t.Fatalf("pool grew unbounded: %+v", ps)
+	}
+}
+
+// TestShardCompaction reclaims overwritten space and survives a
+// restart afterwards.
+func TestShardCompaction(t *testing.T) {
+	dir := t.TempDir()
+	opt := smallOpts("")
+	sh, err := OpenShard(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for round := 0; round < 5; round++ {
+		for i := 0; i < n; i++ {
+			if err := sh.Put(fmt.Sprintf("key-%03d", i), val(1000*round+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sh.Delete("key-000"); err != nil {
+		t.Fatal(err)
+	}
+	before := sh.Stats()
+	if before.DeadBytes == 0 {
+		t.Fatal("no dead bytes before compaction")
+	}
+	if err := sh.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := sh.Stats()
+	if after.DeadBytes != 0 {
+		t.Fatalf("dead bytes %d after compaction", after.DeadBytes)
+	}
+	if after.Compactions != 1 || after.ReclaimedBytes == 0 {
+		t.Fatalf("compaction not recorded: %+v", after)
+	}
+	if after.DiskBytes >= before.DiskBytes {
+		t.Fatalf("compaction grew disk: %d -> %d", before.DiskBytes, after.DiskBytes)
+	}
+	check := func(sh *Shard, label string) {
+		t.Helper()
+		if sh.Len() != n-1 {
+			t.Fatalf("%s: len %d, want %d", label, sh.Len(), n-1)
+		}
+		for i := 1; i < n; i++ {
+			v, ok, err := sh.Get(fmt.Sprintf("key-%03d", i))
+			if err != nil || !ok || !bytes.Equal(v, val(4000+i)) {
+				t.Fatalf("%s: key %d wrong after compaction (ok=%v err=%v)", label, i, ok, err)
+			}
+		}
+	}
+	check(sh, "live")
+	// Writes continue fine after compaction.
+	if err := sh.Put("post-compact", val(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sh2, err := OpenShard(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh2.Close()
+	if v, ok, _ := sh2.Get("post-compact"); !ok || !bytes.Equal(v, val(7)) {
+		t.Fatal("post-compaction write lost")
+	}
+	if err := sh2.Delete("post-compact"); err != nil {
+		t.Fatal(err)
+	}
+	check(sh2, "reopened")
+}
+
+// TestShardBackgroundCompaction: crossing the dead-fraction threshold
+// kicks compaction without an explicit call.
+func TestShardBackgroundCompaction(t *testing.T) {
+	dir := t.TempDir()
+	opt := smallOpts("")
+	opt.CompactMinBytes = 4 << 10
+	opt.CompactFraction = 0.5
+	sh, err := OpenShard(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 10; i++ {
+			if err := sh.Put(fmt.Sprintf("key-%02d", i), val(round*100+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// The trigger is async; poll briefly.
+	ok := false
+	for i := 0; i < 200 && !ok; i++ {
+		ok = sh.Stats().Compactions > 0
+	}
+	if !ok {
+		// Force the race to settle: one more put then a direct check.
+		if err := sh.Put("kick", val(1)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000 && sh.Stats().Compactions == 0; i++ {
+		}
+	}
+	if sh.Stats().Compactions == 0 {
+		t.Fatal("background compaction never ran")
+	}
+}
+
+func TestStoreManifestPinsGeometry(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(smallOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	bad := smallOpts(dir)
+	bad.Shards = 5
+	if _, err := Open(bad); err == nil || !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("reshard silently accepted: %v", err)
+	}
+	bad = smallOpts(dir)
+	bad.PageSize = 4096
+	if _, err := Open(bad); err == nil || !strings.Contains(err.Error(), "page size") {
+		t.Fatalf("page-size change silently accepted: %v", err)
+	}
+}
+
+func TestRingDeterministicAndSpread(t *testing.T) {
+	r1, r2 := NewRing(4), NewRing(4)
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		key := fmt.Sprintf("scenario-key-%d", i)
+		a, b := r1.Owner(key), r2.Owner(key)
+		if a != b {
+			t.Fatalf("ring not deterministic for %q: %d vs %d", key, a, b)
+		}
+		counts[a]++
+	}
+	for s, c := range counts {
+		if c < 400 {
+			t.Fatalf("shard %d starved: %v", s, counts)
+		}
+	}
+	if NewRing(1).Owner("anything") != 0 {
+		t.Fatal("single-shard ring must own everything")
+	}
+}
+
+func TestStorePeerWarmFill(t *testing.T) {
+	primary, err := Open(smallOpts(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	for i := 0; i < 20; i++ {
+		if err := primary.Put(fmt.Sprintf("key-%02d", i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opt := smallOpts(t.TempDir())
+	opt.Peer = StorePeer{S: primary}
+	replica, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+	// Miss locally, warm-fill from the peer.
+	v, ok, err := replica.Get("key-03")
+	if err != nil || !ok || !bytes.Equal(v, val(3)) {
+		t.Fatalf("warm fill failed: ok=%v err=%v", ok, err)
+	}
+	st := replica.Stats()
+	if st.PeerFills != 1 {
+		t.Fatalf("peer fills %d, want 1", st.PeerFills)
+	}
+	// Second read is local (the fill was durable).
+	if _, ok, _ = replica.GetLocal("key-03"); !ok {
+		t.Fatal("warm fill did not persist locally")
+	}
+	// A key nobody has counts a peer miss.
+	if _, ok, _ := replica.Get("nope"); ok {
+		t.Fatal("phantom key")
+	}
+	if st := replica.Stats(); st.PeerMisses != 1 {
+		t.Fatalf("peer misses %d, want 1", st.PeerMisses)
+	}
+}
+
+// TestStoreTornPageIgnored: external corruption of a checkpointed page
+// must not brick the store — the scan skips the bad page and the rest
+// of the shard stays readable.
+func TestStoreTornPageIgnored(t *testing.T) {
+	dir := t.TempDir()
+	opt := smallOpts("")
+	sh, err := OpenShard(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := sh.Put(fmt.Sprintf("key-%02d", i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one byte in the middle of the first segment file.
+	seqs, err := (&Shard{dir: dir, epoch: 0}).segSeqs()
+	if err != nil || len(seqs) == 0 {
+		t.Fatalf("segments: %v %v", seqs, err)
+	}
+	path := filepath.Join(dir, segName(0, seqs[0]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sh2, err := OpenShard(dir, opt)
+	if err != nil {
+		t.Fatalf("open with corrupt page: %v", err)
+	}
+	defer sh2.Close()
+	if sh2.Len() >= 30 {
+		t.Fatalf("corruption invisible: %d entries", sh2.Len())
+	}
+	// Still writable and readable.
+	if err := sh2.Put("fresh", val(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := sh2.Get("fresh"); !ok || err != nil {
+		t.Fatalf("shard unusable after corruption: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestStoreConcurrentAccess hammers the store from many goroutines so
+// the race detector sees Put/Get/Delete/Stats/compaction interleaved.
+func TestStoreConcurrentAccess(t *testing.T) {
+	opt := smallOpts(t.TempDir())
+	opt.CompactMinBytes = 8 << 10 // let background compaction join in
+	opt.CompactFraction = 0.4
+	st, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const workers, each = 8, 60
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				key := fmt.Sprintf("key-%d-%d", g, i%20)
+				if err := st.Put(key, val(g*1000+i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok, err := st.Get(key); err != nil || !ok || len(v) == 0 {
+					t.Errorf("get %s: ok=%v err=%v", key, ok, err)
+					return
+				}
+				if i%10 == 9 {
+					if err := st.Delete(key); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				_ = st.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

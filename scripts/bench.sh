@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # bench.sh — run the solver/scenario/sweep benchmark suite and emit a
-# machine-readable snapshot (default BENCH_PR5.json) so the performance
+# machine-readable snapshot (default BENCH_PR6.json) so the performance
 # trajectory of the repo is tracked in-tree, or — with --check — rerun
 # the benchmarks pinned in the latest committed snapshot and fail when
 # any ns/op, bytes/op or allocs/op regressed past the tolerance (the CI
@@ -69,8 +69,8 @@ END {
 }
 
 if [ "$mode" = "snapshot" ]; then
-    out="${1:-BENCH_PR5.json}"
-    pattern="${BENCH:-TransientStep|FlowChange|CompactSteady|SteadyDirect|SolverBiCGSTAB|SolverGMRES|SolverGMRESWithRCMILU|PoolStudySweep|CacheHit|SweepShared|SweepUnshared|TransientSweepBatched|TransientSweepUnbatched|SolveBlock$}"
+    out="${1:-BENCH_PR6.json}"
+    pattern="${BENCH:-TransientStep|FlowChange|CompactSteady|SteadyDirect|SolverBiCGSTAB|SolverGMRES|SolverGMRESWithRCMILU|PoolStudySweep|CacheHit|SweepShared|SweepUnshared|TransientSweepBatched|TransientSweepUnbatched|SolveBlock$|StorePut$|StoreGet$|CacheHitDisk}"
     count="${BENCH_COUNT:-1}"
     tmp="$(mktemp)"
     trap 'rm -f "$tmp"' EXIT
