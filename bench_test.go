@@ -772,6 +772,69 @@ func BenchmarkSolverGMRESWithRCMILU(b *testing.B) {
 	}
 }
 
+// --- Fill-reducing orderings on the 4-tier liquid stack system ---
+
+// stackConductance assembles the real 4-tier liquid stack's
+// steady-state conductance matrix — the left-hand side the ordering
+// benchmarks below factor.
+func stackConductance(b *testing.B) *mat.Sparse {
+	b.Helper()
+	sm, _ := activeStepFixture(b, "direct")
+	return sm.Model.ConductanceMatrix()
+}
+
+// benchFactorOrdering pins the cold factorisation cost (ordering
+// excluded — it is memoised per pattern in production) of one
+// fill-reducing ordering on the stack system.
+func benchFactorOrdering(b *testing.B, name string) {
+	b.Helper()
+	a := stackConductance(b)
+	ch := mat.OrderMatrix(name, a)
+	var fill float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := mat.NewSparseLUOrdered(a, ch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fill = f.FillRatio()
+	}
+	b.ReportMetric(fill, "fill-ratio")
+}
+
+func BenchmarkFactorNatural(b *testing.B) { benchFactorOrdering(b, mat.OrderingNatural) }
+
+func BenchmarkFactorRCM(b *testing.B) { benchFactorOrdering(b, mat.OrderingRCM) }
+
+func BenchmarkFactorAMD(b *testing.B) { benchFactorOrdering(b, mat.OrderingAMD) }
+
+func BenchmarkFactorND(b *testing.B) { benchFactorOrdering(b, mat.OrderingND) }
+
+// BenchmarkSerialRefactor / BenchmarkParallelRefactor pin the
+// numeric-only refresh of the nd-ordered stack factors — serial replay
+// versus the elimination-forest schedule (which falls back to serial
+// below two workers, so the pair coincides on a single-core runner).
+func benchRefactor(b *testing.B, workers int) {
+	b.Helper()
+	a := stackConductance(b)
+	f, err := mat.NewSparseLUOrdered(a, mat.OrderMatrix(mat.OrderingND, a))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mat.ParallelRefactor(f, a, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialRefactor(b *testing.B) { benchRefactor(b, 1) }
+
+func BenchmarkParallelRefactor(b *testing.B) { benchRefactor(b, 0) }
+
 // BenchmarkNanofluids regenerates the coolant exploration (water,
 // nanofluid loadings, dielectric) on the 2-tier stack.
 func BenchmarkNanofluids(b *testing.B) {

@@ -40,6 +40,7 @@ func main() {
 	cacheEntries := flag.Int("cache", 4096, "max cached scenario results (0 = unbounded)")
 	queueDepth := flag.Int("queue", 1024, "max queued async jobs")
 	solver := flag.String("solver", "", "default linear-solver backend for /v1/simulate and /v1/studies requests that omit one: "+strings.Join(mat.Backends(), ", ")+" (/v1/dse uses the closed-form explorer, no linear solves)")
+	ordering := flag.String("ordering", "", "default fill-reducing ordering of the direct backend for requests that omit one: "+strings.Join(mat.Orderings(), ", ")+" (default auto)")
 	storeDir := flag.String("store-dir", "", "durable result-store directory (empty = memory-only cache); results written here survive restarts")
 	storeShards := flag.Int("store-shards", 4, "result-store shard count (fixed at store creation)")
 	storePoolPages := flag.Int("store-pool-pages", 1024, "result-store buffer-pool page frames, split across shards")
@@ -62,11 +63,12 @@ func main() {
 		log.Printf("result store open at %s (%d shards, %d entries recovered)", *storeDir, *storeShards, st.Len())
 	}
 	svc := server.New(server.Options{
-		Workers:       *workers,
-		CacheEntries:  *cacheEntries,
-		QueueDepth:    *queueDepth,
-		DefaultSolver: *solver,
-		Store:         st,
+		Workers:         *workers,
+		CacheEntries:    *cacheEntries,
+		QueueDepth:      *queueDepth,
+		DefaultSolver:   *solver,
+		DefaultOrdering: *ordering,
+		Store:           st,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,

@@ -28,7 +28,12 @@ func main() {
 	grid := flag.Int("grid", 16, "grid resolution")
 	heatmap := flag.Bool("heatmap", true, "print ASCII heat map of the hottest tier")
 	solver := flag.String("solver", "", "linear-solver backend: "+strings.Join(mat.Backends(), ", ")+" (default bicgstab)")
+	ordering := flag.String("ordering", "", "fill-reducing ordering of the direct backend: "+strings.Join(mat.Orderings(), ", ")+" (default auto)")
 	flag.Parse()
+	if !mat.KnownOrdering(*ordering) {
+		fmt.Fprintf(os.Stderr, "thermal-solve: unknown ordering %q (want one of %s)\n", *ordering, strings.Join(mat.Orderings(), ", "))
+		os.Exit(2)
+	}
 
 	var st *floorplan.Stack
 	switch *tiers {
@@ -48,6 +53,7 @@ func main() {
 		Mode: mode, Nx: *grid, Ny: *grid,
 		FlowPerCavity: units.MlPerMinToM3PerS(units.Clamp(*flow, 10, 32.3)),
 		Solver:        *solver,
+		Ordering:      *ordering,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "thermal-solve:", err)
@@ -79,6 +85,9 @@ func main() {
 	ss := sm.Model.SolverStats()
 	fmt.Printf("solver: %s (%d solve, %d iterations, %d factorization)\n",
 		ss.Backend, ss.Solves, ss.Iterations, ss.Factorizations)
+	if ss.Ordering != "" {
+		fmt.Printf("ordering: %s (fill ratio %.2f)\n", ss.Ordering, ss.FillRatio)
+	}
 	if ss.FallbackReason != "" {
 		fmt.Printf("solver fallback: %s\n", ss.FallbackReason)
 	}

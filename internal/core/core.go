@@ -79,6 +79,10 @@ type Options struct {
 	// ("" = default): "bicgstab", "gmres" or "direct" (sparse LU that
 	// factors once per flow setting — see mat.Backends).
 	Solver string
+	// Ordering selects the direct backend's fill-reducing ordering
+	// ("" = default "auto"; see mat.Orderings). Iterative backends
+	// ignore it.
+	Ordering string
 	// Prep, when non-nil, shares solver preparations with every other
 	// System plugged into the same cache (see mat.PrepCache): systems
 	// built from the same stack, grid and solver assemble bit-identical
@@ -171,6 +175,9 @@ func NewSystem(opt Options) (*System, error) {
 	if !mat.KnownBackend(opt.Solver) {
 		return nil, fmt.Errorf("core: unknown solver backend %q (want one of %v)", opt.Solver, mat.Backends())
 	}
+	if !mat.KnownOrdering(opt.Ordering) {
+		return nil, fmt.Errorf("core: unknown ordering %q (want one of %v)", opt.Ordering, mat.Orderings())
+	}
 	pol, err := MakePolicy(opt.Policy, opt.ThresholdC)
 	if err != nil {
 		return nil, err
@@ -231,6 +238,7 @@ func (s *System) simConfig(tr *workload.Trace, record bool) sim.Config {
 		FlowQuantLevels: s.opt.FlowQuantLevels,
 		SensorNoiseStdC: s.opt.SensorNoiseStdC,
 		Solver:          s.opt.Solver,
+		Ordering:        s.opt.Ordering,
 		Prep:            s.opt.Prep,
 		Assemblies:      s.opt.Assemblies,
 		Record:          record,
@@ -314,6 +322,7 @@ func (s *System) steadyModel(flow float64) (*thermal.StackModel, error) {
 			FlowPerCavity: flow,
 			Coolant:       s.coolant(),
 			Solver:        s.opt.Solver,
+			Ordering:      s.opt.Ordering,
 			Prep:          s.opt.Prep,
 			Assemblies:    s.opt.Assemblies,
 		})
@@ -374,6 +383,7 @@ func (s *System) SteadyCoupled(util, flowMlPerMin float64) (*Snapshot, error) {
 		FlowPerCavity: flow,
 		Coolant:       s.coolant(),
 		Solver:        s.opt.Solver,
+		Ordering:      s.opt.Ordering,
 		Prep:          s.opt.Prep,
 		Assemblies:    s.opt.Assemblies,
 	})

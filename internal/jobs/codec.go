@@ -23,18 +23,23 @@ import (
 //	10 f64: HotspotFracAvg, HotspotFracMax, PeakTempC, ChipEnergyJ,
 //	        PumpEnergyJ, TotalEnergyJ, PerfDegradationPct,
 //	        MeanFlowFrac, SimulatedS + Migrations (u64)
-//	Solver: Backend string, 4 u64 counters, FallbackReason string
+//	Solver: Backend string, 4 u64 counters, FallbackReason string,
+//	        Ordering string, FillRatio f64 (v2)
 //	Series: u32 count, then 5 f64 per sample
 //
 // Strings are u32 length + bytes.
-const metricsCodecVersion = 1
+//
+// v2 appends the direct backend's fill-reducing ordering and measured
+// fill ratio to the solver block; v1 payloads are rejected (the store
+// recomputes, never misdecodes).
+const metricsCodecVersion = 2
 
 // EncodeMetrics serializes m for the store.
 func EncodeMetrics(m *sim.Metrics) []byte {
 	// Worst-case sizing is cheap to estimate: fixed fields + strings +
 	// series.
-	n := 1 + 4*(len(m.Policy)+len(m.Stack)+len(m.Mode)+len(m.Trace)+len(m.Solver.Backend)+len(m.Solver.FallbackReason)+6*4) +
-		10*8 + 4*8 + 4 + len(m.Series)*5*8
+	n := 1 + 4*(len(m.Policy)+len(m.Stack)+len(m.Mode)+len(m.Trace)+len(m.Solver.Backend)+len(m.Solver.FallbackReason)+len(m.Solver.Ordering)+7*4) +
+		10*8 + 5*8 + 4 + len(m.Series)*5*8
 	b := make([]byte, 0, n)
 	b = append(b, metricsCodecVersion)
 	b = appendString(b, m.Policy)
@@ -54,6 +59,8 @@ func EncodeMetrics(m *sim.Metrics) []byte {
 		b = binary.LittleEndian.AppendUint64(b, uint64(v))
 	}
 	b = appendString(b, m.Solver.FallbackReason)
+	b = appendString(b, m.Solver.Ordering)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Solver.FillRatio))
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Series)))
 	for _, s := range m.Series {
 		for _, f := range []float64{s.TimeS, s.PeakC, s.FlowFrac, s.ChipPowerW, s.PumpPowerW} {
@@ -96,6 +103,8 @@ func DecodeMetrics(b []byte) (*sim.Metrics, error) {
 		EarlyExits:     int(d.u64()),
 		FallbackReason: d.str(),
 	}
+	m.Solver.Ordering = d.str()
+	m.Solver.FillRatio = d.f64()
 	n := int(d.u32())
 	if d.err == nil && n > 0 {
 		if n > d.remaining()/40 {

@@ -27,6 +27,7 @@ func sampleMetrics() *sim.Metrics {
 		Solver: mat.SolveStats{
 			Backend: "cg-ilu0", Factorizations: 3, Solves: 108000,
 			Iterations: 432000, EarlyExits: 900, FallbackReason: "ilu0 breakdown",
+			Ordering: "amd", FillRatio: 3.171875,
 		},
 		Series: []sim.TimeSample{
 			{TimeS: 0.1, PeakC: 55.5, FlowFrac: 0.5, ChipPowerW: 90, PumpPowerW: 2},

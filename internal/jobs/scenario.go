@@ -46,6 +46,12 @@ type Scenario struct {
 	// backend-agnostic within solver tolerance, but each backend keys
 	// its own cache entry so timing studies never alias.
 	Solver string `json:"solver,omitempty"`
+	// Ordering selects the direct backend's fill-reducing ordering:
+	// "auto" (default, least predicted fill among amd/nd/rcm),
+	// "natural", "rcm", "amd" or "nd" (see mat.Orderings). Iterative
+	// backends ignore it, but it still keys the cache entry so timing
+	// studies never alias.
+	Ordering string `json:"ordering,omitempty"`
 	// SensorNoiseStdC adds Gaussian sensor noise (default 0 = ideal).
 	SensorNoiseStdC float64 `json:"sensor_noise_std_c,omitempty"`
 	// Record captures the per-sensing-step time series.
@@ -86,6 +92,9 @@ func (s Scenario) Normalized() Scenario {
 	if s.Solver == "" {
 		s.Solver = mat.DefaultBackend
 	}
+	if s.Ordering == "" {
+		s.Ordering = mat.DefaultOrdering
+	}
 	return s
 }
 
@@ -116,6 +125,9 @@ func (s Scenario) Validate() error {
 	if !mat.KnownBackend(s.Solver) {
 		return fmt.Errorf("jobs: unknown solver backend %q (want one of %v)", s.Solver, mat.Backends())
 	}
+	if !mat.KnownOrdering(s.Ordering) {
+		return fmt.Errorf("jobs: unknown ordering %q (want one of %v)", s.Ordering, mat.Orderings())
+	}
 	return nil
 }
 
@@ -137,7 +149,11 @@ func ParseCooling(name string) (core.Cooling, error) {
 // v3 length-prefixes the string fields — under the v2 encoding two
 // distinct scenarios could collide when a string field contained the
 // "|field=" separator sequence (found by FuzzScenarioKey).
-const keyVersion = "scenario/v3"
+// v4 adds the fill-reducing ordering of the direct backend: the
+// ordering never changes metrics (solves are bit-identical per backend
+// up to solver tolerance), but it moves factor/solve timing, so timing
+// studies must never alias across orderings.
+const keyVersion = "scenario/v4"
 
 // Key returns the content address of the scenario: a SHA-256 over the
 // canonical encoding of every normalized field. The encoding is
@@ -152,7 +168,7 @@ const keyVersion = "scenario/v3"
 // by TestScenarioKeyEncodingStable).
 func (s Scenario) Key() string {
 	s = s.Normalized()
-	var arr [192]byte
+	var arr [224]byte
 	b := arr[:0]
 	b = append(b, keyVersion...)
 	b = append(b, "|tiers="...)
@@ -173,6 +189,7 @@ func (s Scenario) Key() string {
 	b = append(b, "|noise="...)
 	b = appendCanonFloat(b, s.SensorNoiseStdC)
 	b = appendLenPrefixed(b, "|solver=", s.Solver)
+	b = appendLenPrefixed(b, "|ordering=", s.Ordering)
 	b = append(b, "|record="...)
 	b = strconv.AppendBool(b, s.Record)
 	sum := sha256.Sum256(b)
@@ -250,6 +267,7 @@ func (s Scenario) system(ctx context.Context, sh Shared) (*core.System, *workloa
 		FlowQuantLevels: s.FlowQuantLevels,
 		SensorNoiseStdC: s.SensorNoiseStdC,
 		Solver:          s.Solver,
+		Ordering:        s.Ordering,
 		Prep:            sh.Prep,
 		Assemblies:      sh.Assemblies,
 	})

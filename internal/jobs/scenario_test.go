@@ -39,12 +39,12 @@ func legacyKey(s Scenario) string {
 		return strconv.FormatFloat(v, 'g', -1, 64)
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|tiers=%d|cooling=%d:%s|policy=%d:%s|workload=%d:%s|steps=%d|grid=%d|seed=%d|threshold=%s|flowlevels=%d|noise=%s|solver=%d:%s|record=%t",
+	fmt.Fprintf(h, "%s|tiers=%d|cooling=%d:%s|policy=%d:%s|workload=%d:%s|steps=%d|grid=%d|seed=%d|threshold=%s|flowlevels=%d|noise=%s|solver=%d:%s|ordering=%d:%s|record=%t",
 		keyVersion, s.Tiers,
 		len(s.Cooling), s.Cooling, len(s.Policy), s.Policy, len(s.Workload), s.Workload,
 		s.Steps, s.Grid, s.Seed,
 		canonFloat(s.ThresholdC), s.FlowQuantLevels, canonFloat(s.SensorNoiseStdC),
-		len(s.Solver), s.Solver, s.Record)
+		len(s.Solver), s.Solver, len(s.Ordering), s.Ordering, s.Record)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

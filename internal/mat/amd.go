@@ -1,0 +1,206 @@
+package mat
+
+import "sort"
+
+// symAdjacency builds the symmetrised adjacency lists of a's sparsity
+// pattern — self-loops dropped, neighbours sorted and deduplicated —
+// the graph every fill-reducing ordering in this package works on (the
+// advective coupling of the liquid cavities is one-directional, but an
+// ordering must see both endpoints).
+func symAdjacency(a *Sparse) [][]int {
+	n := a.N()
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ {
+			j := a.colIdx[p]
+			if j != i {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	for i := range adj {
+		sort.Ints(adj[i])
+		adj[i] = dedupSorted(adj[i])
+	}
+	return adj
+}
+
+// AMD computes an approximate-minimum-degree ordering of a's symmetrised
+// adjacency graph: perm[new] = old. At every step the variable with the
+// smallest approximate external degree is eliminated; the quotient-graph
+// representation (eliminated pivots become elements whose boundary
+// variable sets stand in for their fill cliques) keeps each step cheap,
+// and element absorption keeps the element lists from growing. Ties
+// break toward the lowest node index, so the ordering is a deterministic
+// pure function of the pattern.
+//
+// On the layered 3D thermal stacks this cuts LU fill severalfold against
+// RCM, which optimises bandwidth rather than fill.
+func AMD(a *Sparse) []int {
+	return amdOrder(symAdjacency(a))
+}
+
+// amdOrder runs quotient-graph approximate minimum degree on an
+// adjacency-list graph (lists sorted, no self-loops). It is shared with
+// nested dissection, which orders its leaf subgraphs with AMD.
+func amdOrder(adj [][]int) []int {
+	n := len(adj)
+	perm := make([]int, 0, n)
+	// Quotient-graph state. A live node v sees plain variable neighbours
+	// (adjVar) plus elements (adjEl) — eliminated pivots whose boundary
+	// set elVars[e] represents the clique their elimination filled in.
+	adjVar := make([][]int, n)
+	for i := range adj {
+		adjVar[i] = append([]int(nil), adj[i]...)
+	}
+	adjEl := make([][]int, n)
+	elVars := make([][]int, n)
+	deg := make([]int, n)
+	eliminated := make([]bool, n)
+	absorbed := make([]bool, n)
+	mark := make([]int, n)
+	stamp := 0
+
+	// Indexed min-heap keyed (degree, index) with position tracking, so
+	// a degree change re-sifts the node's single entry in place. A node
+	// appears in every boundary set it neighbours — a lazy heap of stale
+	// entries grows with Σ|L_p| ≈ nnz(L) and its pops dominate the whole
+	// ordering; this one stays at ≤ n entries. The popped minimum is the
+	// exact (degree, index) minimum either way, so the permutation is
+	// unchanged.
+	heap := make([]int, n)
+	pos := make([]int, n)
+	less := func(a, b int) bool {
+		return deg[a] < deg[b] || (deg[a] == deg[b] && a < b)
+	}
+	siftUp := func(c int) {
+		for c > 0 {
+			p := (c - 1) / 2
+			if !less(heap[c], heap[p]) {
+				break
+			}
+			heap[p], heap[c] = heap[c], heap[p]
+			pos[heap[p]], pos[heap[c]] = p, c
+			c = p
+		}
+	}
+	size := n
+	siftDown := func(c int) {
+		for {
+			l, r := 2*c+1, 2*c+2
+			m := c
+			if l < size && less(heap[l], heap[m]) {
+				m = l
+			}
+			if r < size && less(heap[r], heap[m]) {
+				m = r
+			}
+			if m == c {
+				break
+			}
+			heap[c], heap[m] = heap[m], heap[c]
+			pos[heap[c]], pos[heap[m]] = c, m
+			c = m
+		}
+	}
+	popMin := func() int {
+		top := heap[0]
+		size--
+		heap[0] = heap[size]
+		pos[heap[0]] = 0
+		pos[top] = -1
+		if size > 0 {
+			siftDown(0)
+		}
+		return top
+	}
+
+	for v := 0; v < n; v++ {
+		deg[v] = len(adjVar[v])
+		heap[v], pos[v] = v, v
+	}
+	// Initial degrees: heapify bottom-up.
+	for c := n/2 - 1; c >= 0; c-- {
+		siftDown(c)
+	}
+
+	lp := make([]int, 0, 64) // boundary set L_p of the current pivot
+	for len(perm) < n {
+		p := popMin()
+		eliminated[p] = true
+		perm = append(perm, p)
+
+		// L_p: live variables adjacent to p directly or through any
+		// element p absorbs. Every element containing p in its boundary
+		// is adjacent to p, so absorption here covers all of them — no
+		// stale references survive elsewhere.
+		stamp++
+		mark[p] = stamp
+		lp = lp[:0]
+		for _, v := range adjVar[p] {
+			if !eliminated[v] && mark[v] != stamp {
+				mark[v] = stamp
+				lp = append(lp, v)
+			}
+		}
+		for _, e := range adjEl[p] {
+			for _, v := range elVars[e] {
+				if !eliminated[v] && mark[v] != stamp {
+					mark[v] = stamp
+					lp = append(lp, v)
+				}
+			}
+			elVars[e] = nil
+			absorbed[e] = true
+		}
+		sort.Ints(lp)
+		elVars[p] = append([]int(nil), lp...)
+		adjVar[p], adjEl[p] = nil, nil
+
+		for _, v := range lp {
+			// A_v := A_v \ (L_p ∪ {p}) — those neighbours are now reached
+			// through element p. p and all of L_p carry the current stamp.
+			av := adjVar[v][:0]
+			for _, w := range adjVar[v] {
+				if !eliminated[w] && mark[w] != stamp {
+					av = append(av, w)
+				}
+			}
+			adjVar[v] = av
+			// E_v := (E_v \ absorbed) ∪ {p}.
+			ae := adjEl[v][:0]
+			for _, e := range adjEl[v] {
+				if !absorbed[e] {
+					ae = append(ae, e)
+				}
+			}
+			adjEl[v] = append(ae, p)
+			// Approximate external degree: direct neighbours plus the
+			// element boundaries (less v itself), clamped to the live
+			// count — the upper bound that makes this "approximate"
+			// minimum degree rather than the exact (quadratic) variant.
+			d := len(adjVar[v])
+			for _, e := range adjEl[v] {
+				d += len(elVars[e]) - 1
+			}
+			if lim := n - len(perm) - 1; d > lim {
+				d = lim
+			}
+			if d < 0 {
+				d = 0
+			}
+			if d == deg[v] {
+				continue
+			}
+			up := d < deg[v]
+			deg[v] = d
+			if up {
+				siftUp(pos[v])
+			} else {
+				siftDown(pos[v])
+			}
+		}
+	}
+	return perm
+}

@@ -1,0 +1,184 @@
+package mat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ETree is the elimination-task forest nested dissection yields: every
+// node owns a contiguous range of permuted rows (a leaf's span, or the
+// separator rows of a bisection) whose elimination depends only on rows
+// inside the node's subtree span. Sibling subtrees touch disjoint spans
+// with no cross-dependencies, so they factor in parallel; a node's own
+// rows run after its children. Because each row's floating-point
+// elimination sequence is untouched — only the schedule across rows
+// changes, and every dependency is ordered by the tree — a parallel
+// numeric factorisation is bit-identical to the serial one.
+//
+// The forest is immutable after construction and safe for concurrent
+// use; clones of a factorisation share it.
+type ETree struct {
+	nodes []etNode // post-order: children precede parents
+	roots []int
+
+	pool sync.Pool // dense accumulators, one per in-flight task
+}
+
+type etNode struct {
+	lo, hi   int // own permuted rows [lo, hi)
+	spanLo   int // subtree span is [spanLo, hi)
+	children []int
+}
+
+// Tasks reports the number of elimination tasks in the forest.
+func (t *ETree) Tasks() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.nodes)
+}
+
+// validFor reports whether the forest is a correct parallel schedule for
+// the factor pattern (lPtr, lIdx): the own-row ranges partition [0, n)
+// and every L dependency of a row stays within its task's subtree span
+// (everything the task may read is then complete before it runs). It is
+// checked once when a forest is attached to a factorisation; a forest
+// that fails — possible only if the separator construction were wrong —
+// is dropped and the factorisation stays serial.
+func (t *ETree) validFor(n int, lPtr, lIdx []int) bool {
+	if t == nil {
+		return false
+	}
+	spanLo := make([]int, n)
+	for i := range spanLo {
+		spanLo[i] = -1
+	}
+	for _, nd := range t.nodes {
+		if nd.lo < 0 || nd.hi > n || nd.lo > nd.hi || nd.spanLo > nd.lo {
+			return false
+		}
+		for i := nd.lo; i < nd.hi; i++ {
+			if spanLo[i] >= 0 {
+				return false
+			}
+			spanLo[i] = nd.spanLo
+		}
+	}
+	for i := 0; i < n; i++ {
+		if spanLo[i] < 0 {
+			return false
+		}
+		for p := lPtr[i]; p < lPtr[i+1]; p++ {
+			if lIdx[p] < spanLo[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// run executes task over every node's own-row range, children before
+// parents, sibling subtrees concurrently, with at most workers tasks
+// computing at once. Dense accumulators (length n, zero outside any
+// in-flight pattern) come from the forest's pool; a task must leave its
+// accumulator clean on success. The first error aborts the remaining
+// tasks and is returned.
+func (t *ETree) run(n, workers int, task func(lo, hi int, w []float64) error) error {
+	sem := make(chan struct{}, workers)
+	var aborted atomic.Bool
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		aborted.Store(true)
+	}
+	var exec func(ni int)
+	exec = func(ni int) {
+		nd := &t.nodes[ni]
+		if len(nd.children) > 0 {
+			var wg sync.WaitGroup
+			for _, c := range nd.children {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					exec(c)
+				}(c)
+			}
+			// Waiting holds no worker slot, so a deep recursion can
+			// never starve its own children of the semaphore.
+			wg.Wait()
+		}
+		if nd.lo == nd.hi || aborted.Load() {
+			return
+		}
+		sem <- struct{}{}
+		var w []float64
+		if v := t.pool.Get(); v != nil {
+			w = v.([]float64)
+		} else {
+			w = make([]float64, n)
+		}
+		err := task(nd.lo, nd.hi, w)
+		<-sem
+		if err != nil {
+			fail(err) // w is dirty: drop it rather than pool it
+			return
+		}
+		t.pool.Put(w) //nolint:staticcheck // slice header allocation is fine here
+	}
+	var wg sync.WaitGroup
+	for _, r := range t.roots {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			exec(r)
+		}(r)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// parallelMinN is the matrix size below which parallel factorisation is
+// not worth the scheduling overhead and the serial path runs instead.
+const parallelMinN = 1024
+
+// ParallelRefactor is Refactor scheduled across the factorisation's
+// elimination-task forest with a bounded worker pool: sibling subtrees
+// refresh their rows concurrently, separators after their children.
+// workers <= 0 selects GOMAXPROCS. The refreshed factors are
+// bit-identical to f.Refactor(a) — each row replays the exact serial
+// floating-point sequence, and the forest orders every dependency — so
+// callers may switch freely between the two.
+//
+// The serial path runs when no forest is attached (non-nd orderings),
+// when fewer than two workers are available (GOMAXPROCS == 1), or when
+// the matrix is below parallelMinN. Error semantics match Refactor: on
+// structure mismatch, zero pivot or zero multiplier the factorisation
+// must be discarded (the caller falls back to a cold factorisation).
+func ParallelRefactor(f *SparseLU, a *Sparse, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if f.tree == nil || workers <= 1 || f.n < parallelMinN {
+		return f.Refactor(a)
+	}
+	if !f.safe {
+		return fmt.Errorf("mat: SparseLU.Refactor: factorisation not refactorable: %w", ErrSingular)
+	}
+	if a.n != f.n || !sameIntSlice(a.rowPtr, f.src.rowPtr) || !sameIntSlice(a.colIdx, f.src.colIdx) {
+		return fmt.Errorf("mat: SparseLU.Refactor: matrix structure differs from the factored one: %w", ErrSingular)
+	}
+	if err := f.tree.run(f.n, workers, func(lo, hi int, w []float64) error {
+		return f.refactorRows(a, w, lo, hi)
+	}); err != nil {
+		f.safe = false
+		return err
+	}
+	return nil
+}

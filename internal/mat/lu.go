@@ -2,6 +2,7 @@ package mat
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 )
 
@@ -54,6 +55,12 @@ type SparseLU struct {
 	safe bool
 
 	wbuf []float64 // dense accumulator reused across Refactor calls
+
+	// ordering names the fill-reducing ordering perm came from; tree is
+	// the elimination-task forest enabling parallel factorisation (nil
+	// for orderings without one). Both immutable, shared by clones.
+	ordering string
+	tree     *ETree
 }
 
 // NewSparseLU factors a under the symmetric ordering perm (perm[new] =
@@ -206,8 +213,21 @@ func clearPattern(w []float64, inPat []bool, pattern []int) {
 func (f *SparseLU) N() int { return f.n }
 
 // NNZ returns the number of stored factor entries (L strictly below the
-// diagonal, U on and above it) — the quantity RCM keeps small.
+// diagonal, U on and above it) — the quantity a fill-reducing ordering
+// keeps small.
 func (f *SparseLU) NNZ() int { return len(f.lVal) + len(f.uVal) + f.n }
+
+// Ordering names the fill-reducing ordering this factorisation was
+// built under ("" when constructed directly from a permutation).
+func (f *SparseLU) Ordering() string { return f.ordering }
+
+// FillRatio returns nnz(L+U)/nnz(A) — the fill the ordering admitted.
+func (f *SparseLU) FillRatio() float64 {
+	if f.src == nil || f.src.NNZ() == 0 {
+		return 0
+	}
+	return float64(f.NNZ()) / float64(f.src.NNZ())
+}
 
 // Solve writes the solution of A·x = b into dst, performing one forward
 // and one backward sweep over the factors. dst must not alias b. No
@@ -298,8 +318,35 @@ func (f *SparseLU) Refactor(a *Sparse) error {
 	if f.wbuf == nil {
 		f.wbuf = make([]float64, f.n)
 	}
-	w := f.wbuf
-	for i := 0; i < f.n; i++ {
+	if err := f.refactorRows(a, f.wbuf, 0, f.n); err != nil {
+		f.clearAccumulator()
+		f.safe = false
+		return err
+	}
+	return nil
+}
+
+// refactorRows replays the numeric elimination of permuted rows
+// [lo, hi) against the dense accumulator w (length n, zero outside any
+// in-flight pattern; clean again on success). It is the unit of work
+// both the serial Refactor (one call covering [0, n)) and the
+// elimination-tree-parallel schedule (one call per task) execute — the
+// per-row floating-point sequence is identical either way, which is
+// what keeps parallel refactorisation bit-identical to serial. Rows in
+// [lo, hi) may read factor rows produced by earlier calls; the caller
+// orders those dependencies.
+func (f *SparseLU) refactorRows(a *Sparse, w []float64, lo, hi int) error {
+	// Hoist the factor arrays into locals: inside the elimination loops
+	// the compiler cannot otherwise prove the slice headers stable (w
+	// stores could alias the struct), and reloading them per entry costs
+	// ~20% of the replay. Sub-slicing each U row before its saxpy also
+	// lets the range loop elide bounds checks. The floating-point
+	// sequence is untouched, so bit-identity with the cold factorisation
+	// is preserved.
+	lPtr, lIdx, lVal := f.lPtr, f.lIdx, f.lVal
+	uPtr, uIdx, uVal := f.uPtr, f.uIdx, f.uVal
+	uDiag := f.uDiag
+	for i := lo; i < hi; i++ {
 		// Scatter row i of P·A·Pᵀ; fill slots start from the zeros the
 		// previous row's gather left behind.
 		if f.paSrc != nil {
@@ -313,32 +360,30 @@ func (f *SparseLU) Refactor(a *Sparse) error {
 		}
 		// Consume the recorded lower pattern in its (ascending) order —
 		// the order the cold elimination's heap produced.
-		for p := f.lPtr[i]; p < f.lPtr[i+1]; p++ {
-			k := f.lIdx[p]
-			lik := w[k] / f.uDiag[k]
+		for p := lPtr[i]; p < lPtr[i+1]; p++ {
+			k := lIdx[p]
+			lik := w[k] / uDiag[k]
 			w[k] = 0
-			f.lVal[p] = lik
+			lVal[p] = lik
 			if lik == 0 {
 				// The cold factorisation would have dropped this entry,
 				// shrinking the pattern: the replay no longer matches.
-				f.clearAccumulator()
-				f.safe = false
 				return fmt.Errorf("mat: SparseLU.Refactor: zero multiplier at row %d: %w", i, ErrSingular)
 			}
-			for q := f.uPtr[k]; q < f.uPtr[k+1]; q++ {
-				w[f.uIdx[q]] -= lik * f.uVal[q]
+			cols, vals := uIdx[uPtr[k]:uPtr[k+1]], uVal[uPtr[k]:uPtr[k+1]]
+			for q, j := range cols {
+				w[j] -= lik * vals[q]
 			}
 		}
 		if w[i] == 0 {
-			f.clearAccumulator()
-			f.safe = false
 			return fmt.Errorf("mat: SparseLU.Refactor: zero pivot at row %d: %w", i, ErrSingular)
 		}
-		f.uDiag[i] = w[i]
+		uDiag[i] = w[i]
 		w[i] = 0
-		for q := f.uPtr[i]; q < f.uPtr[i+1]; q++ {
-			f.uVal[q] = w[f.uIdx[q]]
-			w[f.uIdx[q]] = 0
+		cols, vals := uIdx[uPtr[i]:uPtr[i+1]], uVal[uPtr[i]:uPtr[i+1]]
+		for q, j := range cols {
+			vals[q] = w[j]
+			w[j] = 0
 		}
 	}
 	return nil
@@ -367,24 +412,121 @@ func (f *SparseLU) Refactored(a *Sparse) (*SparseLU, error) {
 		return nil, fmt.Errorf("mat: SparseLU.Refactored: matrix structure differs from the factored one: %w", ErrSingular)
 	}
 	nf := &SparseLU{
-		n:     f.n,
-		perm:  f.perm,
-		lPtr:  f.lPtr,
-		lIdx:  f.lIdx,
-		lVal:  make([]float64, len(f.lVal)),
-		uDiag: make([]float64, f.n),
-		uPtr:  f.uPtr,
-		uIdx:  f.uIdx,
-		uVal:  make([]float64, len(f.uVal)),
-		work:  make([]float64, f.n),
-		src:   a,
-		paPtr: f.paPtr,
-		paIdx: f.paIdx,
-		paSrc: f.paSrc,
-		safe:  true,
+		n:        f.n,
+		perm:     f.perm,
+		lPtr:     f.lPtr,
+		lIdx:     f.lIdx,
+		lVal:     make([]float64, len(f.lVal)),
+		uDiag:    make([]float64, f.n),
+		uPtr:     f.uPtr,
+		uIdx:     f.uIdx,
+		uVal:     make([]float64, len(f.uVal)),
+		work:     make([]float64, f.n),
+		src:      a,
+		paPtr:    f.paPtr,
+		paIdx:    f.paIdx,
+		paSrc:    f.paSrc,
+		safe:     true,
+		ordering: f.ordering,
+		tree:     f.tree,
 	}
-	if err := nf.Refactor(a); err != nil {
+	// The parallel schedule (a no-op fallback to serial Refactor without
+	// an elimination forest or spare cores) is bit-identical to serial.
+	if err := ParallelRefactor(nf, a, 0); err != nil {
 		return nil, err
 	}
 	return nf, nil
+}
+
+// NewSparseLUOrdered factors a under an ordering choice, attaching the
+// choice's elimination-task forest (when present and valid for the
+// realised fill pattern) so later Refactored/ParallelRefactor calls can
+// run tree-parallel. When the forest and spare cores allow it, the cold
+// numeric elimination itself runs tree-parallel over a symbolic
+// factorisation; any deviation the symbolic split cannot replay
+// bit-identically (a zero multiplier or pivot, an incomplete scatter
+// map) falls back to the serial merged elimination, so the result is
+// always bit-identical to NewSparseLU(a, ch.Perm).
+func NewSparseLUOrdered(a *Sparse, ch OrderingChoice) (*SparseLU, error) {
+	if ch.Tree != nil && a.N() >= parallelMinN && runtime.GOMAXPROCS(0) > 1 {
+		if f, err := newSparseLUParallel(a, ch); err == nil {
+			return f, nil
+		}
+	}
+	f, err := NewSparseLU(a, ch.Perm)
+	if err != nil {
+		return nil, err
+	}
+	f.ordering = ch.Name
+	f.attachTree(ch.Tree)
+	return f, nil
+}
+
+// attachTree adopts the elimination forest after validating it against
+// the realised L pattern; an invalid forest (impossible for a correct
+// separator construction, cheap to rule out) leaves the factorisation
+// serial rather than risking an unordered dependency.
+func (f *SparseLU) attachTree(t *ETree) {
+	if t != nil && t.validFor(f.n, f.lPtr, f.lIdx) {
+		f.tree = t
+	}
+}
+
+// newSparseLUParallel cold-factors a by splitting the work the serial
+// NewSparseLU fuses: a pattern-only symbolic elimination discovers the
+// fill, then the numeric elimination replays tree-parallel over it.
+// With no exactly zero multiplier the symbolic pattern equals the
+// merged one and every row runs the same floating-point sequence, so
+// the factors are bit-identical to the serial path; a zero multiplier
+// (which would shrink the serial pattern) aborts with an error and the
+// caller falls back.
+func newSparseLUParallel(a *Sparse, ch OrderingChoice) (*SparseLU, error) {
+	pa := a
+	perm := ch.Perm
+	if perm != nil {
+		var err error
+		pa, err = Permute(a, perm)
+		if err != nil {
+			return nil, err
+		}
+		perm = append([]int(nil), perm...)
+	}
+	n := pa.N()
+	lPtr, lIdx, uPtr, uIdx, err := symbolicLU(n, pa.rowPtr, pa.colIdx)
+	if err != nil {
+		return nil, err
+	}
+	f := &SparseLU{
+		n:        n,
+		perm:     perm,
+		lPtr:     lPtr,
+		lIdx:     lIdx,
+		lVal:     make([]float64, len(lIdx)),
+		uDiag:    make([]float64, n),
+		uPtr:     uPtr,
+		uIdx:     uIdx,
+		uVal:     make([]float64, len(uIdx)),
+		work:     make([]float64, n),
+		src:      a,
+		paPtr:    pa.rowPtr,
+		paIdx:    pa.colIdx,
+		safe:     true,
+		ordering: ch.Name,
+	}
+	f.buildScatterMap(a, pa)
+	if perm != nil && f.paSrc == nil {
+		// Without a complete scatter map the replay cannot read a's
+		// values row-parallel; the serial merged path handles it.
+		return nil, fmt.Errorf("mat: SparseLU parallel factor: incomplete scatter map: %w", ErrSingular)
+	}
+	if !ch.Tree.validFor(n, lPtr, lIdx) {
+		return nil, fmt.Errorf("mat: SparseLU parallel factor: elimination forest invalid for fill pattern: %w", ErrSingular)
+	}
+	f.tree = ch.Tree
+	if err := f.tree.run(n, runtime.GOMAXPROCS(0), func(lo, hi int, w []float64) error {
+		return f.refactorRows(a, w, lo, hi)
+	}); err != nil {
+		return nil, err
+	}
+	return f, nil
 }

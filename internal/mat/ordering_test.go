@@ -1,0 +1,523 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// concreteOrderings are the registry entries that produce an actual
+// permutation policy (auto resolves to one of them).
+var concreteOrderings = []string{OrderingNatural, OrderingRCM, OrderingAMD, OrderingND}
+
+func checkPerm(t *testing.T, n int, perm []int, name string) {
+	t.Helper()
+	if perm == nil {
+		if name != OrderingNatural {
+			t.Fatalf("%s: nil perm for n=%d", name, n)
+		}
+		return
+	}
+	if len(perm) != n {
+		t.Fatalf("%s: perm length %d, want %d", name, len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			t.Fatalf("%s: perm %v is not a bijection of [0,%d)", name, perm, n)
+		}
+		seen[p] = true
+	}
+}
+
+func TestOrderingPermsValidAndDeterministic(t *testing.T) {
+	a := laplacian2D(17, 13, 0.4)
+	for _, name := range Orderings() {
+		ch := OrderMatrix(name, a)
+		checkPerm(t, a.N(), ch.Perm, name)
+		again := OrderMatrix(name, a)
+		if fmt.Sprint(ch.Perm) != fmt.Sprint(again.Perm) || ch.Name != again.Name {
+			t.Fatalf("%s: ordering is not deterministic", name)
+		}
+		if name == OrderingND && ch.Tree.Tasks() == 0 {
+			t.Fatalf("nd: no elimination tasks")
+		}
+	}
+}
+
+func TestPredictFillMatchesFactorNNZ(t *testing.T) {
+	a := laplacian2D(20, 15, 0.37)
+	for _, name := range concreteOrderings {
+		ch := OrderMatrix(name, a)
+		pred := PredictFill(a, ch.Perm)
+		f, err := NewSparseLU(a, ch.Perm)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if pred != f.NNZ() {
+			t.Errorf("%s: predicted fill %d, factor has %d nonzeros", name, pred, f.NNZ())
+		}
+	}
+}
+
+// TestSymmetricFillMatchesSymbolicLU pins the O(nnz(L)) elimination-tree
+// fill count against the general heap-merge symbolic elimination on
+// random symmetric patterns under every concrete ordering — the fast
+// path must be exact, not an estimate, for the auto selection to stay
+// deterministic across it.
+func TestSymmetricFillMatchesSymbolicLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		data := make([]byte, 2+rng.Intn(60))
+		rng.Read(data)
+		a := fuzzPattern(data)
+		for _, name := range concreteOrderings {
+			ch := OrderMatrix(name, a)
+			ptr, idx := a.rowPtr, a.colIdx
+			if ch.Perm != nil {
+				var err error
+				ptr, idx, err = permutePattern(a, ch.Perm)
+				if err != nil {
+					t.Fatalf("trial %d %s: %v", trial, name, err)
+				}
+			}
+			if !patternSymmetric(a.N(), ptr, idx) {
+				t.Fatalf("trial %d %s: fuzzPattern emitted an asymmetric pattern", trial, name)
+			}
+			lPtr, _, uPtr, _, err := symbolicLU(a.N(), ptr, idx)
+			if err != nil {
+				t.Fatalf("trial %d %s: symbolicLU: %v", trial, name, err)
+			}
+			want := lPtr[a.N()] + uPtr[a.N()] + a.N()
+			if got := symmetricFill(a.N(), ptr, idx); got != want {
+				t.Fatalf("trial %d %s: symmetricFill %d, symbolicLU says %d", trial, name, got, want)
+			}
+		}
+	}
+}
+
+// TestPredictFillAsymmetricPattern routes a structurally asymmetric
+// pattern through the general symbolic fallback and still matches the
+// factor's nonzero count.
+func TestPredictFillAsymmetricPattern(t *testing.T) {
+	b := NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		b.Add(i, i, 4)
+	}
+	b.Add(0, 3, -1) // no (3,0) mirror
+	b.Add(1, 2, -1)
+	b.Add(2, 1, -1)
+	b.Add(4, 0, -1) // no (0,4) mirror
+	a := b.Build()
+	if patternSymmetric(a.N(), a.rowPtr, a.colIdx) {
+		t.Fatal("pattern unexpectedly symmetric")
+	}
+	f, err := NewSparseLU(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred := PredictFill(a, nil); pred != f.NNZ() {
+		t.Fatalf("predicted fill %d, factor has %d nonzeros", pred, f.NNZ())
+	}
+}
+
+func TestFillReducingOrderingsBeatNatural(t *testing.T) {
+	a := laplacian2D(30, 30, 0.2)
+	nat := PredictFill(a, nil)
+	for _, name := range []string{OrderingAMD, OrderingND} {
+		if fill := PredictFill(a, OrderMatrix(name, a).Perm); fill >= nat {
+			t.Errorf("%s: fill %d does not beat natural %d", name, fill, nat)
+		}
+	}
+}
+
+func TestAutoPicksLeastPredictedFill(t *testing.T) {
+	a := laplacian2D(23, 19, 0.3)
+	ch := OrderMatrix(OrderingAuto, a)
+	got := PredictFill(a, ch.Perm)
+	best := math.MaxInt
+	for _, name := range autoCandidates {
+		if fill := PredictFill(a, OrderMatrix(name, a).Perm); fill >= 0 && fill < best {
+			best = fill
+		}
+	}
+	if got != best {
+		t.Fatalf("auto picked %s with fill %d, best candidate fill is %d", ch.Name, got, best)
+	}
+	if !KnownOrdering(ch.Name) || ch.Name == OrderingAuto {
+		t.Fatalf("auto must report the concrete winner, got %q", ch.Name)
+	}
+}
+
+func TestOrderedSolvesAgree(t *testing.T) {
+	a := laplacian2D(14, 11, 0.6)
+	n := a.N()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(float64(3*i + 1))
+	}
+	ref := make([]float64, n)
+	fnat, err := NewSparseLU(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fnat.Solve(ref, b)
+	for _, name := range Orderings() {
+		f, err := NewSparseLUOrdered(a, OrderMatrix(name, a))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		x := make([]float64, n)
+		f.Solve(x, b)
+		for i := range x {
+			if math.Abs(x[i]-ref[i]) > 1e-9*(1+math.Abs(ref[i])) {
+				t.Fatalf("%s: x[%d] = %g, natural order gives %g", name, i, x[i], ref[i])
+			}
+		}
+	}
+}
+
+// checkScatterMapRoundTrip pins the scatter-map path to bit precision:
+// factoring a under perm must reproduce, bit for bit, the natural-order
+// factorisation of the explicitly permuted matrix, and the numeric
+// replay (Refactor) must reproduce the cold factors.
+func checkScatterMapRoundTrip(t *testing.T, a *Sparse, perm []int, name string) {
+	t.Helper()
+	f, err := NewSparseLU(a, perm)
+	if err != nil {
+		t.Fatalf("%s: factor: %v", name, err)
+	}
+	pa := a
+	if perm != nil {
+		if pa, err = Permute(a, perm); err != nil {
+			t.Fatalf("%s: permute: %v", name, err)
+		}
+	}
+	g, err := NewSparseLU(pa, nil)
+	if err != nil {
+		t.Fatalf("%s: factor permuted: %v", name, err)
+	}
+	checkSameFactors(t, f, g, name+" vs natural-order factor of permuted matrix")
+
+	n := a.N()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64((i*7+3)%13) - 6
+	}
+	x := make([]float64, n)
+	f.Solve(x, b)
+	pb, px := make([]float64, n), make([]float64, n)
+	ux := make([]float64, n)
+	if perm == nil {
+		copy(pb, b)
+	} else {
+		PermuteVec(pb, b, perm)
+	}
+	g.Solve(px, pb)
+	if perm == nil {
+		copy(ux, px)
+	} else {
+		UnpermuteVec(ux, px, perm)
+	}
+	for i := range x {
+		if x[i] != ux[i] {
+			t.Fatalf("%s: solve differs at %d: %v vs %v", name, i, x[i], ux[i])
+		}
+	}
+
+	if !f.CanRefactor() {
+		return
+	}
+	rf, err := NewSparseLU(a, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.Refactor(a); err != nil {
+		t.Fatalf("%s: refactor: %v", name, err)
+	}
+	checkSameFactors(t, f, rf, name+" refactor replay")
+}
+
+func checkSameFactors(t *testing.T, f, g *SparseLU, what string) {
+	t.Helper()
+	if !sameIntSlice(f.lPtr, g.lPtr) || !sameIntSlice(f.lIdx, g.lIdx) ||
+		!sameIntSlice(f.uPtr, g.uPtr) || !sameIntSlice(f.uIdx, g.uIdx) {
+		t.Fatalf("%s: fill patterns differ", what)
+	}
+	for i, v := range f.lVal {
+		if v != g.lVal[i] {
+			t.Fatalf("%s: L value %d differs: %v vs %v", what, i, v, g.lVal[i])
+		}
+	}
+	for i, v := range f.uVal {
+		if v != g.uVal[i] {
+			t.Fatalf("%s: U value %d differs: %v vs %v", what, i, v, g.uVal[i])
+		}
+	}
+	for i, v := range f.uDiag {
+		if v != g.uDiag[i] {
+			t.Fatalf("%s: diagonal %d differs: %v vs %v", what, i, v, g.uDiag[i])
+		}
+	}
+}
+
+func TestScatterMapRoundTripAllOrderings(t *testing.T) {
+	a := laplacian2D(13, 9, 0.45)
+	for _, name := range concreteOrderings {
+		checkScatterMapRoundTrip(t, a, OrderMatrix(name, a).Perm, name)
+	}
+}
+
+// fuzzPattern decodes fuzz bytes into a connected-ish symmetric
+// diagonally dominant M-matrix: each byte pair adds an undirected edge.
+func fuzzPattern(data []byte) *Sparse {
+	if len(data) < 1 {
+		return nil
+	}
+	n := int(data[0])%40 + 1
+	b := NewBuilder(n)
+	deg := make([]float64, n)
+	for k := 1; k+1 < len(data); k += 2 {
+		i, j := int(data[k])%n, int(data[k+1])%n
+		if i == j {
+			continue
+		}
+		b.Add(i, j, -1)
+		b.Add(j, i, -1)
+		deg[i]++
+		deg[j]++
+	}
+	for i := 0; i < n; i++ {
+		b.Add(i, i, deg[i]+1+float64(i%3))
+	}
+	return b.Build()
+}
+
+func FuzzOrderingPerm(f *testing.F) {
+	f.Add([]byte{8, 0, 1, 1, 2, 2, 3, 4, 5, 0, 7})
+	f.Add([]byte{31, 1, 2, 9, 30, 14, 3})
+	f.Add([]byte{1})
+	f.Add([]byte{20})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := fuzzPattern(data)
+		if a == nil {
+			return
+		}
+		n := a.N()
+		for _, name := range Orderings() {
+			ch := OrderMatrix(name, a)
+			if ch.Name == OrderingNatural && ch.Perm == nil {
+				continue
+			}
+			checkPerm(t, n, ch.Perm, name)
+		}
+		for _, name := range concreteOrderings {
+			checkScatterMapRoundTrip(t, a, OrderMatrix(name, a).Perm, name)
+		}
+	})
+}
+
+// bigTestMatrix is large enough (n >= parallelMinN) that the parallel
+// factorisation paths actually run.
+func bigTestMatrix() *Sparse {
+	return laplacian2D(36, 30, 0.25) // n = 1080
+}
+
+// bigTestMatrixScaled is bigTestMatrix with different values on the
+// identical structure, for refactorisation tests.
+func bigTestMatrixScaled(advect float64) *Sparse {
+	return laplacian2D(36, 30, advect)
+}
+
+func withGOMAXPROCS(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+func TestParallelColdFactorBitIdentical(t *testing.T) {
+	withGOMAXPROCS(t, 4)
+	a := bigTestMatrix()
+	ch := OrderMatrix(OrderingND, a)
+	if ch.Tree.Tasks() < 3 {
+		t.Fatalf("nd produced a trivial forest (%d tasks) on n=%d", ch.Tree.Tasks(), a.N())
+	}
+	serial, err := NewSparseLU(a, ch.Perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewSparseLUOrdered(a, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.tree == nil {
+		t.Fatal("parallel factorisation did not adopt the elimination forest")
+	}
+	checkSameFactors(t, serial, par, "parallel cold factor")
+}
+
+func TestParallelRefactorBitIdenticalAcrossWorkers(t *testing.T) {
+	a := bigTestMatrix()
+	a2 := bigTestMatrixScaled(0.85)
+	ch := OrderMatrix(OrderingND, a)
+	ref, err := NewSparseLU(a, ch.Perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Refactor(a2); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		f, err := NewSparseLUOrdered(a, ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ParallelRefactor(f, a2, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		checkSameFactors(t, ref, f, fmt.Sprintf("parallel refactor, %d workers", workers))
+	}
+}
+
+// TestParallelRefactorSharedPrepCacheRace hammers ParallelRefactor from
+// many goroutines sharing one PrepCache (run under -race in CI): every
+// goroutine cycles through structurally identical matrices, preparing
+// through the cache and tree-parallel-refreshing clones, and asserts
+// the factors are bit-identical to the serial reference.
+func TestParallelRefactorSharedPrepCacheRace(t *testing.T) {
+	withGOMAXPROCS(t, 4)
+	base := bigTestMatrix()
+	variants := []*Sparse{
+		bigTestMatrixScaled(0.4),
+		bigTestMatrixScaled(0.55),
+		bigTestMatrixScaled(0.7),
+	}
+	ch := OrderMatrix(OrderingND, base)
+
+	refs := make([]*SparseLU, len(variants))
+	for i, v := range variants {
+		f, err := NewSparseLU(v, ch.Perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = f
+	}
+	seed, err := NewSparseLUOrdered(base, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewPrepCache(0)
+	solver, err := NewSolver(BackendDirect, SolverOptions{Ordering: OrderingND})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const iters = 6
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for it := 0; it < iters; it++ {
+				i := rng.Intn(len(variants))
+				v := variants[i]
+
+				// Path 1: tree-parallel refresh of a private clone.
+				nf, err := seed.Refactored(v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := compareFactors(nf, refs[i]); err != nil {
+					errs <- fmt.Errorf("goroutine %d iter %d (Refactored): %w", g, it, err)
+					return
+				}
+
+				// Path 2: the shared cache (single-flighted ordering memo
+				// and factorisation sharing).
+				fact, _, err := cache.PrepareFact(solver, fmt.Sprintf("variant-%d", i), v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				df, ok := fact.(*directFact)
+				if !ok {
+					errs <- fmt.Errorf("unexpected factorization type %T", fact)
+					return
+				}
+				if err := compareFactors(df.f, refs[i]); err != nil {
+					errs <- fmt.Errorf("goroutine %d iter %d (PrepCache): %w", g, it, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := cache.Stats()
+	if st.Factorizations != len(variants) {
+		t.Fatalf("cache paid %d factorizations for %d distinct matrices", st.Factorizations, len(variants))
+	}
+	if st.OrderingReuses != len(variants)-1 {
+		t.Fatalf("ordering reuses = %d, want %d (one memo per pattern)", st.OrderingReuses, len(variants)-1)
+	}
+	ag, ok := st.Orderings[OrderingND]
+	if !ok || ag.Factorizations != len(variants) || ag.MeanFillRatio <= 1 {
+		t.Fatalf("per-ordering aggregate wrong: %+v", st.Orderings)
+	}
+}
+
+// compareFactors is checkSameFactors usable off the test goroutine.
+func compareFactors(f, g *SparseLU) error {
+	if !sameIntSlice(f.lPtr, g.lPtr) || !sameIntSlice(f.lIdx, g.lIdx) {
+		return fmt.Errorf("fill patterns differ")
+	}
+	for i, v := range f.lVal {
+		if v != g.lVal[i] {
+			return fmt.Errorf("L value %d differs: %v vs %v", i, v, g.lVal[i])
+		}
+	}
+	for i, v := range f.uVal {
+		if v != g.uVal[i] {
+			return fmt.Errorf("U value %d differs: %v vs %v", i, v, g.uVal[i])
+		}
+	}
+	for i, v := range f.uDiag {
+		if v != g.uDiag[i] {
+			return fmt.Errorf("diagonal %d differs: %v vs %v", i, v, g.uDiag[i])
+		}
+	}
+	return nil
+}
+
+func TestOrderingRegistryHelpers(t *testing.T) {
+	for _, name := range Orderings() {
+		if !KnownOrdering(name) {
+			t.Errorf("registered ordering %q not known", name)
+		}
+	}
+	if !KnownOrdering("") {
+		t.Error("empty ordering (default) must be accepted")
+	}
+	if KnownOrdering("colamd") {
+		t.Error("unregistered ordering accepted")
+	}
+	if _, err := NewOrdering("colamd"); err == nil {
+		t.Error("NewOrdering accepted an unregistered name")
+	}
+	ord, err := NewOrdering("")
+	if err != nil || ord.Name() != DefaultOrdering {
+		t.Errorf("NewOrdering(\"\") = %v, %v; want the default ordering", ord, err)
+	}
+}

@@ -1,6 +1,9 @@
 package mat
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // PrepCache shares the expensive per-matrix solver preparation —
 // factorisations and preconditioners — across the models of a sweep
@@ -31,6 +34,8 @@ type PrepCache struct {
 	mu      sync.Mutex
 	max     int
 	entries map[string][]*prepEntry
+	ords    map[string][]*ordEntry
+	ordAggs map[string]*ordAgg
 	n       int
 	stats   PrepStats
 }
@@ -41,6 +46,23 @@ type prepEntry struct {
 	done chan struct{}
 	fact Factorization
 	err  error
+}
+
+// ordEntry memoises one fill-reducing-ordering choice per sparsity
+// pattern (orderings are pure functions of the pattern, so reuse is
+// bit-invisible). Single-flighted like prepEntry so the reuse counters
+// stay deterministic under concurrency.
+type ordEntry struct {
+	a    *Sparse
+	done chan struct{}
+	ch   OrderingChoice
+}
+
+// ordAgg accumulates the per-ordering physical-factorisation outcomes.
+type ordAgg struct {
+	count   int
+	fillSum float64
+	ns      int64
 }
 
 // PrepStats counts the physical preparation work of a cache — the
@@ -65,6 +87,26 @@ type PrepStats struct {
 	// factorization) rather than an unconditional cold Factor. Also
 	// included in Factorizations; results are bit-identical either way.
 	Refactors int `json:"refactors,omitempty"`
+	// OrderingReuses counts cold factorisations that reused a memoised
+	// per-pattern fill-reducing-ordering choice instead of recomputing
+	// it. Reuse is bit-invisible (orderings are pure functions of the
+	// pattern).
+	OrderingReuses int `json:"ordering_reuses,omitempty"`
+	// Orderings aggregates the physical factorisations per concrete
+	// ordering (for the "auto" policy, the winners). Every field is a
+	// deterministic function of the scenario set — wall-clock factor
+	// times live outside PrepStats (PrepCache.OrderingFactorNs) so
+	// reports stay bit-identical across worker schedules.
+	Orderings map[string]OrderingAgg `json:"orderings,omitempty"`
+}
+
+// OrderingAgg aggregates the factorisations one concrete ordering
+// served.
+type OrderingAgg struct {
+	// Factorizations counts physical factorisations under this ordering.
+	Factorizations int `json:"factorizations"`
+	// MeanFillRatio is the mean measured nnz(L+U)/nnz(A).
+	MeanFillRatio float64 `json:"mean_fill_ratio"`
 }
 
 // Accumulate folds o's counters into s.
@@ -74,6 +116,21 @@ func (s *PrepStats) Accumulate(o PrepStats) {
 	s.Overflows += o.Overflows
 	s.Fallbacks += o.Fallbacks
 	s.Refactors += o.Refactors
+	s.OrderingReuses += o.OrderingReuses
+	if len(o.Orderings) > 0 {
+		if s.Orderings == nil {
+			s.Orderings = make(map[string]OrderingAgg, len(o.Orderings))
+		}
+		for name, oa := range o.Orderings {
+			sa := s.Orderings[name]
+			if total := sa.Factorizations + oa.Factorizations; total > 0 {
+				sa.MeanFillRatio = (sa.MeanFillRatio*float64(sa.Factorizations) +
+					oa.MeanFillRatio*float64(oa.Factorizations)) / float64(total)
+				sa.Factorizations = total
+			}
+			s.Orderings[name] = sa
+		}
+	}
 }
 
 // NewPrepCache returns a cache holding at most maxEntries factored
@@ -82,7 +139,11 @@ func (s *PrepStats) Accumulate(o PrepStats) {
 // sweep group are its quantised flow levels, which arrive first), so a
 // runaway per-cavity policy cannot pin unbounded factor memory.
 func NewPrepCache(maxEntries int) *PrepCache {
-	return &PrepCache{max: maxEntries, entries: map[string][]*prepEntry{}}
+	return &PrepCache{
+		max:     maxEntries,
+		entries: map[string][]*prepEntry{},
+		ords:    map[string][]*ordEntry{},
+	}
 }
 
 // Len reports the number of cached factorizations.
@@ -102,7 +163,38 @@ func (c *PrepCache) Stats() PrepStats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	if len(c.ordAggs) > 0 {
+		st.Orderings = make(map[string]OrderingAgg, len(c.ordAggs))
+		for name, ag := range c.ordAggs {
+			st.Orderings[name] = OrderingAgg{
+				Factorizations: ag.count,
+				MeanFillRatio:  ag.fillSum / float64(ag.count),
+			}
+		}
+	}
+	return st
+}
+
+// OrderingFactorNs reports the total wall-clock nanoseconds spent in
+// physical factorisations per concrete ordering. Timing is inherently
+// nondeterministic, so it is kept out of PrepStats (which sweep reports
+// must reproduce bit-identically across worker schedules) and surfaced
+// only through this accessor, for operational endpoints.
+func (c *PrepCache) OrderingFactorNs() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.ordAggs) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(c.ordAggs))
+	for name, ag := range c.ordAggs {
+		out[name] = ag.ns
+	}
+	return out
 }
 
 // Prepare returns a workspace for a through s, sharing the factorisation
@@ -150,6 +242,84 @@ func factorWith(fz Factorizer, a *Sparse, prior Factorization) (Factorization, b
 	return fact, false, err
 }
 
+// factorTimed is factorWith under the cache: cold factorisations of
+// ordering-aware backends go through the per-pattern ordering memo, and
+// the physical preparation is wall-clocked for the per-ordering stats.
+func (c *PrepCache) factorTimed(fz Factorizer, a *Sparse, prior Factorization) (Factorization, bool, int64, error) {
+	start := time.Now()
+	if prior != nil {
+		if rf, ok := fz.(Refactorer); ok {
+			fact, err := rf.RefactorFrom(prior, a)
+			return fact, true, time.Since(start).Nanoseconds(), err
+		}
+	}
+	if ofz, ok := fz.(OrderedFactorizer); ok {
+		fact, err := ofz.FactorOrdered(a, c.orderingFor(ofz, a))
+		return fact, false, time.Since(start).Nanoseconds(), err
+	}
+	fact, err := fz.Factor(a)
+	return fact, false, time.Since(start).Nanoseconds(), err
+}
+
+// orderingFor returns the memoised ordering choice for a's pattern,
+// computing and caching it on first sight. The memo is namespaced by
+// the configured ordering name and single-flighted, so concurrent
+// first sights compute once and the reuse counter stays deterministic.
+// Past the capacity bound new patterns are ordered uncached.
+func (c *PrepCache) orderingFor(ofz OrderedFactorizer, a *Sparse) OrderingChoice {
+	name := ofz.OrderingName()
+	c.mu.Lock()
+	var e *ordEntry
+	for _, cand := range c.ords[name] {
+		if cand.a == a || cand.a.SameStructure(a) {
+			e = cand
+			break
+		}
+	}
+	if e == nil {
+		if c.max > 0 && len(c.ords[name]) >= c.max {
+			c.mu.Unlock()
+			return ofz.Order(a)
+		}
+		e = &ordEntry{a: a, done: make(chan struct{})}
+		c.ords[name] = append(c.ords[name], e)
+		c.mu.Unlock()
+		e.ch = ofz.Order(a)
+		close(e.done)
+		return e.ch
+	}
+	c.mu.Unlock()
+	<-e.done
+	c.mu.Lock()
+	c.stats.OrderingReuses++
+	c.mu.Unlock()
+	return e.ch
+}
+
+// recordOrderingLocked folds one physical preparation's ordering
+// outcome into the per-ordering aggregates. Caller holds c.mu.
+func (c *PrepCache) recordOrderingLocked(fact Factorization, ns int64) {
+	fi, ok := fact.(interface{ FactorInfo() FactorInfo })
+	if !ok {
+		return
+	}
+	info := fi.FactorInfo()
+	if info.Ordering == "" {
+		return
+	}
+	if c.ordAggs == nil {
+		c.ordAggs = map[string]*ordAgg{}
+	}
+	ag := c.ordAggs[info.Ordering]
+	if ag == nil {
+		ag = &ordAgg{}
+		c.ordAggs[info.Ordering] = ag
+	}
+	ag.count++
+	ag.fillSum += info.FillRatio
+	ag.ns += ns
+}
+
 func (c *PrepCache) prepare(s Solver, tag string, a *Sparse, prior Factorization) (Factorization, Workspace, bool, error) {
 	fz, ok := s.(Factorizer)
 	if !ok {
@@ -190,15 +360,16 @@ func (c *PrepCache) prepare(s Solver, tag string, a *Sparse, prior Factorization
 				c.stats.Factorizations++
 				c.stats.Overflows++
 				c.mu.Unlock()
-				fact, refact, err := factorWith(fz, a, prior)
+				fact, refact, ns, err := c.factorTimed(fz, a, prior)
 				if err != nil {
 					return nil, nil, false, err
 				}
+				c.mu.Lock()
 				if refact {
-					c.mu.Lock()
 					c.stats.Refactors++
-					c.mu.Unlock()
 				}
+				c.recordOrderingLocked(fact, ns)
+				c.mu.Unlock()
 				return fact, fact.NewWorkspace(), false, nil
 			}
 			e = &prepEntry{a: a, ck: ck, done: make(chan struct{})}
@@ -207,7 +378,8 @@ func (c *PrepCache) prepare(s Solver, tag string, a *Sparse, prior Factorization
 			c.mu.Unlock()
 
 			var refact bool
-			e.fact, refact, e.err = factorWith(fz, a, prior)
+			var ns int64
+			e.fact, refact, ns, e.err = c.factorTimed(fz, a, prior)
 			c.mu.Lock()
 			if e.err != nil {
 				// Drop the failed entry so later callers retry.
@@ -224,6 +396,7 @@ func (c *PrepCache) prepare(s Solver, tag string, a *Sparse, prior Factorization
 				if refact {
 					c.stats.Refactors++
 				}
+				c.recordOrderingLocked(e.fact, ns)
 			}
 			c.mu.Unlock()
 			close(e.done)

@@ -14,8 +14,9 @@ import (
 //
 //	bicgstab — ILU(0)-preconditioned BiCGSTAB (the historical default)
 //	gmres    — restarted GMRES(30) on the RCM-permuted matrix with ILU(0)
-//	direct   — sparse direct LU with RCM fill-reducing ordering: factor
-//	           once per matrix, two triangular sweeps per solve
+//	direct   — sparse direct LU with a configurable fill-reducing
+//	           ordering (SolverOptions.Ordering; "auto" by default):
+//	           factor once per matrix, two triangular sweeps per solve
 //
 // All backends honour a warm-start guess: if the guess already satisfies
 // the residual tolerance the solve returns immediately (recorded in
@@ -32,6 +33,12 @@ type SolverOptions struct {
 	// MaxIter is the iteration budget of iterative backends (ignored by
 	// the direct backend). Default: 4·n + 40.
 	MaxIter int
+	// Ordering names the fill-reducing ordering of the direct backend
+	// (see Orderings: "natural", "rcm", "amd", "nd", "auto"); empty
+	// selects DefaultOrdering. The iterative backends keep their fixed
+	// orderings — gmres permutes with RCM for ILU(0) locality, bicgstab
+	// runs unpermuted — and ignore this field.
+	Ordering string
 }
 
 func (o SolverOptions) tol() float64 {
@@ -46,6 +53,13 @@ func (o SolverOptions) maxIter(def int) int {
 		return def
 	}
 	return o.MaxIter
+}
+
+func (o SolverOptions) ordering() string {
+	if o.Ordering == "" {
+		return DefaultOrdering
+	}
+	return o.Ordering
 }
 
 // Solver is a linear-solver backend: Prepare performs the per-matrix
@@ -97,7 +111,39 @@ type Factorizer interface {
 
 // factorKey renders the canonical FactorKey for a backend configuration.
 func factorKey(name string, opt SolverOptions) string {
-	return fmt.Sprintf("%s|tol=%g|maxiter=%d", name, opt.tol(), opt.MaxIter)
+	return fmt.Sprintf("%s|tol=%g|maxiter=%d|ord=%s", name, opt.tol(), opt.MaxIter, opt.ordering())
+}
+
+// OrderedFactorizer is implemented by Factorizer backends whose
+// preparation starts from a fill-reducing ordering that is a pure
+// function of the sparsity pattern. Splitting the ordering out lets a
+// PrepCache memoise one ordering per pattern and reuse it across every
+// matrix with that structure — bit-identically, since a cold Factor
+// would compute the same choice.
+type OrderedFactorizer interface {
+	Factorizer
+	// OrderingName reports the configured ordering (the memo namespace;
+	// "auto" resolves per pattern inside Order).
+	OrderingName() string
+	// Order computes the ordering choice for a's pattern.
+	Order(a *Sparse) OrderingChoice
+	// FactorOrdered is Factor under a precomputed choice for a's
+	// pattern; Factor(a) ≡ FactorOrdered(a, Order(a)).
+	FactorOrdered(a *Sparse, ch OrderingChoice) (Factorization, error)
+}
+
+// FactorInfo describes a factorisation's ordering outcome. It is
+// exposed by factorizations implementing
+//
+//	interface{ FactorInfo() FactorInfo }
+//
+// which PrepCache uses to aggregate per-ordering fill and factor-time
+// statistics.
+type FactorInfo struct {
+	// Ordering is the concrete ordering the factorisation used.
+	Ordering string
+	// FillRatio is nnz(L+U)/nnz(A) (1 for the zero-fill ILU(0) forms).
+	FillRatio float64
 }
 
 // Refactorer is implemented by Factorizer backends that can refresh the
@@ -151,6 +197,14 @@ type SolveStats struct {
 	// (e.g. an ILU(0) construction failure that fell back to Jacobi
 	// scaling) instead of the failure being silently discarded.
 	FallbackReason string `json:"fallback_reason,omitempty"`
+	// Ordering is the fill-reducing ordering the backend's preparation
+	// used (for the "auto" policy, the concrete winner). Empty for
+	// backends without one (bicgstab runs unpermuted).
+	Ordering string `json:"ordering,omitempty"`
+	// FillRatio is the measured factor fill nnz(L+U)/nnz(A) of the
+	// preparation (1 for the zero-fill ILU(0) preconditioners; 0 when
+	// not applicable). Deterministic for a fixed pattern and ordering.
+	FillRatio float64 `json:"fill_ratio,omitempty"`
 }
 
 // Accumulate folds o's counters into s, keeping the first non-empty
@@ -166,6 +220,12 @@ func (s *SolveStats) Accumulate(o SolveStats) {
 	if s.FallbackReason == "" {
 		s.FallbackReason = o.FallbackReason
 	}
+	if s.Ordering == "" {
+		s.Ordering = o.Ordering
+	}
+	if s.FillRatio == 0 {
+		s.FillRatio = o.FillRatio
+	}
 }
 
 // Registered backend names.
@@ -174,8 +234,8 @@ const (
 	BackendBiCGSTAB = "bicgstab"
 	// BackendGMRES is restarted GMRES(30) with RCM ordering and ILU(0).
 	BackendGMRES = "gmres"
-	// BackendDirect is the sparse direct LU factorisation with RCM
-	// ordering: factor once, back-substitute per solve.
+	// BackendDirect is the sparse direct LU factorisation with a
+	// fill-reducing ordering: factor once, back-substitute per solve.
 	BackendDirect = "direct"
 	// DefaultBackend is used when no backend is named.
 	DefaultBackend = BackendBiCGSTAB
@@ -547,12 +607,21 @@ func (s gmresSolver) RefactorFrom(prior Factorization, a *Sparse) (Factorization
 	}, nil
 }
 
+// FactorInfo reports the fixed gmres preparation: RCM ordering, and the
+// zero-fill ILU(0) pattern (ratio 1).
+func (f *gmresFact) FactorInfo() FactorInfo {
+	return FactorInfo{Ordering: OrderingRCM, FillRatio: 1}
+}
+
 // NewWorkspace implements Factorization: it allocates the Krylov basis
 // and permutation scratch for one caller.
 func (f *gmresFact) NewWorkspace() Workspace {
 	ws := &gmresBackendWS{
-		perm:  f.perm,
-		stats: SolveStats{Backend: BackendGMRES, Factorizations: 1, FallbackReason: f.fallback},
+		perm: f.perm,
+		stats: SolveStats{
+			Backend: BackendGMRES, Factorizations: 1, FallbackReason: f.fallback,
+			Ordering: OrderingRCM, FillRatio: 1,
+		},
 	}
 	n := f.pa.N()
 	ws.pb = make([]float64, n)
@@ -768,15 +837,37 @@ type directFact struct {
 	tol float64
 }
 
-// Factor implements Factorizer: it computes the RCM fill-reducing
-// ordering and the full sparse LU factorisation — the expensive step a
-// sweep group pays once per distinct matrix.
-func (s directSolver) Factor(a *Sparse) (Factorization, error) {
-	f, err := NewSparseLU(a, RCM(a))
+// OrderingName implements OrderedFactorizer.
+func (s directSolver) OrderingName() string { return s.opt.ordering() }
+
+// Order implements OrderedFactorizer: the configured fill-reducing
+// ordering applied to a's pattern (for "auto", the candidate with the
+// least predicted fill).
+func (s directSolver) Order(a *Sparse) OrderingChoice {
+	return OrderMatrix(s.opt.ordering(), a)
+}
+
+// FactorOrdered implements OrderedFactorizer: the full sparse LU
+// factorisation under a precomputed ordering choice — the expensive
+// step a sweep group pays once per distinct matrix. With an
+// elimination-task forest (nd ordering) and spare cores, the numeric
+// elimination runs tree-parallel, bit-identically to serial.
+func (s directSolver) FactorOrdered(a *Sparse, ch OrderingChoice) (Factorization, error) {
+	f, err := NewSparseLUOrdered(a, ch)
 	if err != nil {
 		return nil, err
 	}
 	return &directFact{a: a, f: f, tol: s.opt.tol()}, nil
+}
+
+// Factor implements Factorizer.
+func (s directSolver) Factor(a *Sparse) (Factorization, error) {
+	return s.FactorOrdered(a, s.Order(a))
+}
+
+// FactorInfo reports the ordering outcome for per-ordering statistics.
+func (f *directFact) FactorInfo() FactorInfo {
+	return FactorInfo{Ordering: f.f.Ordering(), FillRatio: f.f.FillRatio()}
 }
 
 // NewWorkspace implements Factorization: per-caller residual and
@@ -791,6 +882,8 @@ func (f *directFact) NewWorkspace() Workspace {
 		stats: SolveStats{
 			Backend:        BackendDirect,
 			Factorizations: 1,
+			Ordering:       f.f.Ordering(),
+			FillRatio:      f.f.FillRatio(),
 		},
 	}
 }
@@ -805,10 +898,11 @@ func (s directSolver) Prepare(a *Sparse) (Workspace, error) {
 	return f.NewWorkspace(), nil
 }
 
-// RefactorFrom implements Refactorer: the RCM ordering, the symbolic
-// fill pattern and the scatter maps of the prior factorisation are
-// reused; only the numeric elimination is replayed (bit-identically to
-// a cold factorisation — see SparseLU.Refactored). Any deviation —
+// RefactorFrom implements Refactorer: the fill-reducing ordering, the
+// symbolic fill pattern, the scatter maps and the elimination forest of
+// the prior factorisation are reused; only the numeric elimination is
+// replayed (tree-parallel when possible, bit-identically to a cold
+// factorisation either way — see SparseLU.Refactored). Any deviation —
 // structure change, an exactly zero pivot or multiplier — degrades to a
 // cold Factor.
 func (s directSolver) RefactorFrom(prior Factorization, a *Sparse) (Factorization, error) {

@@ -63,6 +63,10 @@ type Options struct {
 	// DefaultSolver is applied to simulate requests that do not name a
 	// solver backend ("" keeps the library default; see mat.Backends).
 	DefaultSolver string
+	// DefaultOrdering is applied to simulate requests that do not name
+	// a fill-reducing ordering ("" keeps the library default "auto";
+	// see mat.Orderings). Direct backend only.
+	DefaultOrdering string
 	// Store, when set, is attached under the result cache as the durable
 	// second tier: memory misses are served from it and fresh results
 	// written through, so results survive restarts. The caller owns its
@@ -79,9 +83,10 @@ type Server struct {
 	mgr           *jobs.Manager
 	sweeps        *sweep.Engine
 	mux           *http.ServeMux
-	started       time.Time
-	defaultSolver string
-	store         *store.Store
+	started         time.Time
+	defaultSolver   string
+	defaultOrdering string
+	store           *store.Store
 
 	// Solver-metrics surface: per-backend aggregates of every scenario
 	// freshly computed through the result cache (cache hits re-serve a
@@ -89,8 +94,17 @@ type Server struct {
 	// sweep-sharing counters.
 	solverMu  sync.Mutex
 	solver    map[string]mat.SolveStats
+	fill      map[string]*fillAgg
 	scenarios int
 	sweepAgg  SweepStats
+}
+
+// fillAgg accumulates the measured factor fill of one backend's
+// freshly computed scenarios (scenarios whose preparation reports no
+// fill — iterative backends without a factor — are not counted).
+type fillAgg struct {
+	scenarios int
+	sum       float64
 }
 
 // New builds the service and its routes.
@@ -100,10 +114,12 @@ func New(opt Options) *Server {
 		cache:         jobs.NewCache(opt.CacheEntries),
 		mgr:           jobs.NewManager(opt.Workers, opt.QueueDepth),
 		mux:           http.NewServeMux(),
-		started:       time.Now(),
-		defaultSolver: opt.DefaultSolver,
-		store:         opt.Store,
-		solver:        map[string]mat.SolveStats{},
+		started:         time.Now(),
+		defaultSolver:   opt.DefaultSolver,
+		defaultOrdering: opt.DefaultOrdering,
+		store:           opt.Store,
+		solver:          map[string]mat.SolveStats{},
+		fill:            map[string]*fillAgg{},
 	}
 	if opt.Store != nil {
 		s.cache.SetStore(opt.Store)
@@ -135,6 +151,15 @@ func (s *Server) recordSolver(m *sim.Metrics) {
 	agg := s.solver[m.Solver.Backend]
 	agg.Accumulate(m.Solver)
 	s.solver[m.Solver.Backend] = agg
+	if m.Solver.FillRatio > 0 {
+		fa := s.fill[m.Solver.Backend]
+		if fa == nil {
+			fa = &fillAgg{}
+			s.fill[m.Solver.Backend] = fa
+		}
+		fa.scenarios++
+		fa.sum += m.Solver.FillRatio
+	}
 	s.scenarios++
 	s.solverMu.Unlock()
 }
@@ -241,11 +266,25 @@ type StatsResponse struct {
 	// any preconditioner fallback reason (e.g. an ILU construction
 	// failure downgraded to Jacobi).
 	Solver map[string]mat.SolveStats `json:"solver"`
+	// SolverFill maps backend name → mean measured factor fill ratio
+	// nnz(L+U)/nnz(A) over its freshly computed scenarios (absent for
+	// backends whose preparation carries no factor).
+	SolverFill map[string]float64 `json:"solver_fill,omitempty"`
 	// Backends lists the registered solver backends accepted by the
 	// "solver" field of /v1/simulate requests.
 	Backends []string `json:"backends"`
 	// DefaultSolver is applied to requests that omit "solver".
 	DefaultSolver string `json:"default_solver"`
+	// Orderings lists the registered fill-reducing orderings accepted
+	// by the "ordering" field of /v1/simulate requests.
+	Orderings []string `json:"orderings"`
+	// DefaultOrdering is applied to requests that omit "ordering".
+	DefaultOrdering string `json:"default_ordering"`
+	// OrderingFactorNs maps concrete ordering → total wall-clock
+	// nanoseconds the sweep engines spent in physical factorisations
+	// under it (fill and counts are in Sweeps.Prep.Orderings; wall time
+	// is nondeterministic so it is reported only here).
+	OrderingFactorNs map[string]int64 `json:"ordering_factor_ns,omitempty"`
 	// Sweeps aggregates the sweep engine's outcomes — factorizations
 	// paid versus shared across every sweep the service has run.
 	Sweeps SweepStats `json:"sweeps"`
@@ -260,12 +299,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for k, v := range s.solver {
 		solver[k] = v
 	}
+	var fill map[string]float64
+	if len(s.fill) > 0 {
+		fill = make(map[string]float64, len(s.fill))
+		for k, v := range s.fill {
+			fill[k] = v.sum / float64(v.scenarios)
+		}
+	}
 	scenarios := s.scenarios
 	sweeps := s.sweepAgg
 	s.solverMu.Unlock()
 	def := s.defaultSolver
 	if def == "" {
 		def = mat.DefaultBackend
+	}
+	defOrd := s.defaultOrdering
+	if defOrd == "" {
+		defOrd = mat.DefaultOrdering
 	}
 	resp := &StatsResponse{
 		UptimeS:           time.Since(s.started).Seconds(),
@@ -275,8 +325,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Jobs:              s.mgr.Count(),
 		ScenariosComputed: scenarios,
 		Solver:            solver,
+		SolverFill:        fill,
 		Backends:          mat.Backends(),
 		DefaultSolver:     def,
+		Orderings:         mat.Orderings(),
+		DefaultOrdering:   defOrd,
+		OrderingFactorNs:  s.sweeps.OrderingFactorNs(),
 		Sweeps:            sweeps,
 	}
 	if s.store != nil {
@@ -304,6 +358,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	if sc.Solver == "" {
 		sc.Solver = s.defaultSolver
+	}
+	if sc.Ordering == "" {
+		sc.Ordering = s.defaultOrdering
 	}
 	sc = sc.Normalized()
 	if err := sc.Validate(); err != nil {

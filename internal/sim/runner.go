@@ -79,6 +79,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 		// Start at the Table-I maximum; the policy retunes it below.
 		FlowPerCavity: units.MlPerMinToM3PerS(32.3),
 		Solver:        cfg.Solver,
+		Ordering:      cfg.Ordering,
 		Prep:          cfg.Prep,
 		Assemblies:    cfg.Assemblies,
 	})

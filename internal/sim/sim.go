@@ -61,6 +61,10 @@ type Config struct {
 	// backend-agnostic within solver tolerance; the choice only moves
 	// compute time between factorisation and iteration.
 	Solver string
+	// Ordering selects the direct backend's fill-reducing ordering
+	// ("" = default "auto"; see mat.Orderings). Iterative backends
+	// ignore it.
+	Ordering string
 	// Prep, when non-nil, shares solver preparations (factorizations,
 	// preconditioners) with other runs plugged into the same cache —
 	// the sweep engine (internal/sweep) hands every scenario of a
@@ -139,6 +143,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if !mat.KnownBackend(c.Solver) {
 		return fmt.Errorf("sim: unknown solver backend %q (want one of %v)", c.Solver, mat.Backends())
+	}
+	if !mat.KnownOrdering(c.Ordering) {
+		return fmt.Errorf("sim: unknown ordering %q (want one of %v)", c.Ordering, mat.Orderings())
 	}
 	threadsNeeded := 4 * c.Stack.CoreCount()
 	if c.Trace.Threads() < threadsNeeded {

@@ -172,6 +172,7 @@ func (e *Engine) RunSteady(ctx context.Context, s SteadySweep, onPoint func(Stea
 		return nil, err
 	}
 	rep := &SteadyReport{Points: points, Scenarios: n, Distinct: prep.Len(), Prep: prep.Stats()}
+	e.recordFactorNs(prep)
 	for i := range points {
 		if points[i].Err != nil {
 			rep.Errors++

@@ -58,6 +58,13 @@ type Engine struct {
 	// FailFast cancels the remaining scenarios of a batch after the
 	// first failure instead of completing the survivors.
 	FailFast bool
+
+	// Per-ordering factor wall-time aggregated across every sweep this
+	// engine has run. Wall time is inherently nondeterministic, so it
+	// lives here — outside the byte-identical reports — and is surfaced
+	// through OrderingFactorNs (the /v1/stats solver block).
+	timingMu sync.Mutex
+	factorNs map[string]int64
 }
 
 // StructuralKey names the scenario properties that fix the thermal
@@ -244,6 +251,39 @@ func (e *Engine) newPrepCache() *mat.PrepCache {
 	return mat.NewPrepCache(max)
 }
 
+// recordFactorNs folds one retiring group cache's per-ordering factor
+// wall-time into the engine aggregate.
+func (e *Engine) recordFactorNs(c *mat.PrepCache) {
+	ns := c.OrderingFactorNs()
+	if len(ns) == 0 {
+		return
+	}
+	e.timingMu.Lock()
+	if e.factorNs == nil {
+		e.factorNs = map[string]int64{}
+	}
+	for name, v := range ns {
+		e.factorNs[name] += v
+	}
+	e.timingMu.Unlock()
+}
+
+// OrderingFactorNs reports the total wall-clock nanoseconds spent in
+// physical factorisations per concrete fill-reducing ordering, summed
+// over every sweep the engine has completed.
+func (e *Engine) OrderingFactorNs() map[string]int64 {
+	e.timingMu.Lock()
+	defer e.timingMu.Unlock()
+	if len(e.factorNs) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(e.factorNs))
+	for name, v := range e.factorNs {
+		out[name] = v
+	}
+	return out
+}
+
 // Run executes a scenario batch: normalize and validate every scenario,
 // deduplicate identical ones (the first occurrence computes, the rest
 // reuse its result), group the distinct scenarios structurally, and fan
@@ -358,6 +398,7 @@ func (e *Engine) Run(ctx context.Context, scenarios []jobs.Scenario, onResult fu
 		gs := GroupStats{Key: g.key, Scenarios: g.scenarios, Distinct: g.prep.Len(), Prep: g.prep.Stats()}
 		rep.Groups = append(rep.Groups, gs)
 		rep.Prep.Accumulate(gs.Prep)
+		e.recordFactorNs(g.prep)
 	}
 	if e.FailFast && rep.Errors > 0 {
 		// Surface the root cause, not a skipped scenario's cancellation.

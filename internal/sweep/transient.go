@@ -166,6 +166,7 @@ func (e *Engine) RunTransient(ctx context.Context, scenarios []jobs.Scenario, on
 		rep.Prep.Accumulate(gs.Prep)
 		rep.Batch.Assemblies.Accumulate(asm)
 		rep.Batch.BatchStats.Accumulate(g.batch)
+		e.recordFactorNs(g.prep)
 	}
 	if e.FailFast && rep.Errors > 0 {
 		// Surface the root cause, not a skipped scenario's cancellation.

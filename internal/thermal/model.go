@@ -95,6 +95,11 @@ type Config struct {
 	// solve (default 1e-9). Tighter tolerances shrink the cross-backend
 	// spread at the cost of extra iterations.
 	SolverTol float64
+	// Ordering selects the fill-reducing ordering of the direct
+	// backend (see mat.Orderings): "" for the default ("auto", least
+	// predicted fill among amd/nd/rcm), or one of "natural", "rcm",
+	// "amd", "nd". Iterative backends ignore it.
+	Ordering string
 	// Prep, when non-nil, shares solver preparations (factorizations,
 	// preconditioners) with every other model plugged into the same
 	// cache: models assembled from identical configurations at matching
@@ -249,7 +254,10 @@ func New(cfg Config) (*Model, error) {
 	if tol == 0 {
 		tol = 1e-9
 	}
-	solver, err := mat.NewSolver(cfg.Solver, mat.SolverOptions{Tol: tol, MaxIter: 20 * m.nTotal})
+	if !mat.KnownOrdering(cfg.Ordering) {
+		return nil, fmt.Errorf("thermal: unknown ordering %q", cfg.Ordering)
+	}
+	solver, err := mat.NewSolver(cfg.Solver, mat.SolverOptions{Tol: tol, MaxIter: 20 * m.nTotal, Ordering: cfg.Ordering})
 	if err != nil {
 		return nil, fmt.Errorf("thermal: %w", err)
 	}
@@ -879,6 +887,16 @@ func (f *Field) OutletTemp(l int) float64 {
 // SteadyState solves the steady temperature field for the given power
 // map through the model's solver backend. guess, when non-nil,
 // warm-starts the solve (iterative backends iterate from it; the direct
+// ConductanceMatrix assembles and returns the steady-state conductance
+// matrix G for the current cavity flows — the left-hand side
+// SteadyState solves. Intended for diagnostics and benchmarks (ordering
+// and fill studies on the real stack systems); each call returns a
+// freshly assembled matrix the caller may keep.
+func (m *Model) ConductanceMatrix() *mat.Sparse {
+	g, _, _ := m.buildAssembly()
+	return g
+}
+
 // backend skips its triangular sweeps when the guess already meets the
 // tolerance). The model-level workspace — preconditioner or
 // factorisation plus the rhs buffer — is reused across calls, so sweeps

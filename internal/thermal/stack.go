@@ -56,6 +56,9 @@ type StackOptions struct {
 	// SolverTol overrides the solver's relative residual tolerance
 	// (0 = default 1e-9).
 	SolverTol float64
+	// Ordering selects the direct backend's fill-reducing ordering;
+	// see Config.Ordering.
+	Ordering string
 	// Prep shares solver preparations across models; see Config.Prep.
 	Prep *mat.PrepCache
 	// Assemblies shares deterministic matrix assemblies across
@@ -173,6 +176,7 @@ func BuildStack(st *floorplan.Stack, opt StackOptions) (*StackModel, error) {
 		AmbientC:   opt.AmbientC,
 		Solver:     opt.Solver,
 		SolverTol:  opt.SolverTol,
+		Ordering:   opt.Ordering,
 		Prep:       opt.Prep,
 		Assemblies: opt.Assemblies,
 	}

@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # bench.sh — run the solver/scenario/sweep benchmark suite and emit a
-# machine-readable snapshot (default BENCH_PR6.json) so the performance
+# machine-readable snapshot (default BENCH_PR7.json) so the performance
 # trajectory of the repo is tracked in-tree, or — with --check — rerun
 # the benchmarks pinned in the latest committed snapshot and fail when
 # any ns/op, bytes/op or allocs/op regressed past the tolerance (the CI
@@ -69,8 +69,8 @@ END {
 }
 
 if [ "$mode" = "snapshot" ]; then
-    out="${1:-BENCH_PR6.json}"
-    pattern="${BENCH:-TransientStep|FlowChange|CompactSteady|SteadyDirect|SolverBiCGSTAB|SolverGMRES|SolverGMRESWithRCMILU|PoolStudySweep|CacheHit|SweepShared|SweepUnshared|TransientSweepBatched|TransientSweepUnbatched|SolveBlock$|StorePut$|StoreGet$|CacheHitDisk}"
+    out="${1:-BENCH_PR7.json}"
+    pattern="${BENCH:-TransientStep|FlowChange|CompactSteady|SteadyDirect|SolverBiCGSTAB|SolverGMRES|SolverGMRESWithRCMILU|PoolStudySweep|CacheHit|SweepShared|SweepUnshared|TransientSweepBatched|TransientSweepUnbatched|SolveBlock$|StorePut$|StoreGet$|CacheHitDisk|FactorAMD|FactorND|SerialRefactor|ParallelRefactor}"
     count="${BENCH_COUNT:-1}"
     tmp="$(mktemp)"
     trap 'rm -f "$tmp"' EXIT
@@ -157,13 +157,19 @@ function gate(name, unit, oldv, newv,   ratio, status) {
     ratio = (oldv > 0) ? newv / oldv : 1
     status = (ratio > tol) ? "FAIL" : "ok"
     printf("bench-gate: %-4s %-45s %14.0f -> %14.0f %s (%.2fx)\n", status, name, oldv, newv, unit, ratio)
-    return ratio > tol ? 1 : 0
+    if (ratio > tol) {
+        fails[nfail++] = sprintf("%s: %.0f -> %.0f %s (%.2fx slower, tolerance %.2fx)",
+                                 name, oldv, newv, unit, ratio, tol)
+        return 1
+    }
+    return 0
 }
 END {
     bad = 0
     for (name in old_ns) {
         if (!(name in new_ns)) {
             printf("bench-gate: FAIL %-45s pinned in snapshot but not rerun\n", name)
+            fails[nfail++] = name ": pinned in snapshot but not rerun"
             bad++
             continue
         }
@@ -175,7 +181,9 @@ END {
         }
     }
     if (bad > 0) {
-        printf("bench-gate: %d metric(s) regressed past %.2fx\n", bad, tol)
+        printf("bench-gate: FAILED: %d metric(s) regressed past the %.2fx tolerance:\n", bad, tol)
+        for (i = 0; i < nfail; i++)
+            printf("bench-gate:   %s\n", fails[i])
         exit 1
     }
     print "bench-gate: all pinned benchmarks within tolerance"
