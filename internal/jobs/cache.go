@@ -27,7 +27,12 @@ type Cache struct {
 // BlobStore is the durable second tier under the in-memory cache: a
 // crash-safe key → bytes map (satisfied by *store.Store). A memory miss
 // consults it before computing; every fresh computation is written
-// through, so results survive restarts.
+// through, so results survive restarts. When the store is configured
+// with a peer filler (store.Options.Peer), a Get may be served by a
+// replica over the network and durably adopted — the cache cannot tell
+// and does not care: such lookups count as StoreHits and flag the
+// result cached, so a fresh replica healing from its fleet reports 0
+// scenarios computed.
 type BlobStore interface {
 	Get(key string) ([]byte, bool, error)
 	Put(key string, val []byte) error
@@ -50,7 +55,9 @@ type CacheStats struct {
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
 	// StoreHits counts memory misses served from the durable store
-	// (decoded, promoted to memory, no recomputation). StoreMisses
+	// (decoded, promoted to memory, no recomputation) — including
+	// values the store itself warm-filled from a peer replica; the
+	// store's own PeerFills counter splits those out. StoreMisses
 	// counts memory misses the store could not serve; Misses counts
 	// both, so Misses - StoreHits is the true computation count when a
 	// store is attached.

@@ -228,6 +228,56 @@ func TestCacheStoreErrorsDegrade(t *testing.T) {
 	}
 }
 
+// TestCacheStoreTierPeerFill: a cache over a store with a peer filler
+// serves a value the local store never held — the store heals from its
+// peer, the cache sees an ordinary store hit (cached=true, StoreHits),
+// and nothing is recomputed. This is the stats seam the replica fleet
+// rides: a fresh node's /v1/stats shows store hits and peer fills, not
+// computed scenarios.
+func TestCacheStoreTierPeerFill(t *testing.T) {
+	primary, err := store.Open(store.Options{Dir: t.TempDir(), Shards: 2, PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	want := sampleMetrics()
+	if err := primary.Put("key-p", EncodeMetrics(want)); err != nil {
+		t.Fatal(err)
+	}
+
+	replica, err := store.Open(store.Options{
+		Dir: t.TempDir(), Shards: 2, PageSize: 512,
+		Peer: store.StorePeer{S: primary},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+	c := NewCache(8)
+	c.SetStore(replica)
+	c.SetComputeHook(func(string, any) { t.Fatal("compute hook fired for a peer-filled value") })
+	v, cached, err := c.GetOrCompute("key-p", func() (any, error) {
+		t.Fatal("recomputed a fleet-resident result")
+		return nil, nil
+	})
+	if err != nil || !cached {
+		t.Fatalf("peer-backed lookup: cached=%v err=%v", cached, err)
+	}
+	if !reflect.DeepEqual(v.(*sim.Metrics), want) {
+		t.Fatal("peer-filled metrics differ")
+	}
+	if s := c.Stats(); s.StoreHits != 1 || s.StorePuts != 0 {
+		t.Fatalf("peer fill not an ordinary store hit: %+v", s)
+	}
+	if ps := replica.Stats(); ps.PeerFills != 1 {
+		t.Fatalf("store did not warm-fill: %+v", ps)
+	}
+	// The heal was durable: the replica now serves it without the peer.
+	if _, ok, err := replica.GetLocal("key-p"); !ok || err != nil {
+		t.Fatalf("peer fill not adopted locally: ok=%v err=%v", ok, err)
+	}
+}
+
 type failingStore struct{}
 
 func (failingStore) Get(string) ([]byte, bool, error) { return nil, false, errFail }

@@ -10,6 +10,9 @@
 //	                         streams NDJSON progress)
 //	GET  /v1/jobs            list submitted jobs
 //	GET  /v1/jobs/{id}       poll one job (?wait=1 long-polls)
+//	GET  /v1/store/{key}     replica peer-fetch: raw stored bytes for a
+//	                         result-store key (url-safe base64; local
+//	                         lookup only, so peered replicas terminate)
 //
 // The POST endpoints run synchronously by default and return the result
 // body; with ?async=1 they enqueue the work on the job manager and
@@ -78,11 +81,11 @@ type Options struct {
 // Server is the simulation service. Construct with New, mount Handler,
 // and Close when done.
 type Server struct {
-	pool          *jobs.Pool
-	cache         *jobs.Cache
-	mgr           *jobs.Manager
-	sweeps        *sweep.Engine
-	mux           *http.ServeMux
+	pool            *jobs.Pool
+	cache           *jobs.Cache
+	mgr             *jobs.Manager
+	sweeps          *sweep.Engine
+	mux             *http.ServeMux
 	started         time.Time
 	defaultSolver   string
 	defaultOrdering string
@@ -110,10 +113,10 @@ type fillAgg struct {
 // New builds the service and its routes.
 func New(opt Options) *Server {
 	s := &Server{
-		pool:          jobs.NewPool(opt.Workers),
-		cache:         jobs.NewCache(opt.CacheEntries),
-		mgr:           jobs.NewManager(opt.Workers, opt.QueueDepth),
-		mux:           http.NewServeMux(),
+		pool:            jobs.NewPool(opt.Workers),
+		cache:           jobs.NewCache(opt.CacheEntries),
+		mgr:             jobs.NewManager(opt.Workers, opt.QueueDepth),
+		mux:             http.NewServeMux(),
 		started:         time.Now(),
 		defaultSolver:   opt.DefaultSolver,
 		defaultOrdering: opt.DefaultOrdering,
@@ -138,7 +141,37 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweeps)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/store/{key}", s.handleStoreGet)
 	return s
+}
+
+// handleStoreGet serves one result-store entry's raw bytes to a peer
+// replica (the fleet warm-fill path). The path segment is the url-safe
+// base64 of the store key. The lookup is strictly local — GetLocal,
+// never the peer filler — so two replicas peered at each other cannot
+// recurse; a miss is a plain 404 the peer treats as definitive.
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, errors.New("no result store attached"))
+		return
+	}
+	key, err := store.DecodeKeyPath(r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	val, ok, err := s.store.GetLocal(key)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("key not in store"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(val)))
+	_, _ = w.Write(val)
 }
 
 // recordSolver folds one freshly computed scenario's solver counters

@@ -225,6 +225,7 @@ func TestStatsStoreShape(t *testing.T) {
 		"gets",
 		"hits",
 		"live_bytes",
+		"peer_fill_errors",
 		"peer_fills",
 		"peer_misses",
 		"pool",

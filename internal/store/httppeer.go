@@ -1,0 +1,298 @@
+package store
+
+import (
+	"context"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// EncodeKeyPath renders a store key as a URL-path-safe segment for the
+// replica fetch endpoint (/v1/store/{key}). Keys are arbitrary bytes
+// (content addresses), so the encoding is unpadded url-safe base64 —
+// never '/', '%', or other characters a proxy might re-escape.
+func EncodeKeyPath(key string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(key))
+}
+
+// DecodeKeyPath inverts EncodeKeyPath.
+func DecodeKeyPath(seg string) (string, error) {
+	b, err := base64.RawURLEncoding.DecodeString(seg)
+	if err != nil {
+		return "", fmt.Errorf("store: bad key path %q: %w", seg, err)
+	}
+	return string(b), nil
+}
+
+// PeerStats snapshots one peer's health accounting — the /v1/stats
+// surface that makes a dead or flapping replica visible from its
+// neighbours.
+type PeerStats struct {
+	// URL is the peer's base URL as configured.
+	URL string `json:"url"`
+	// Fetches counts requests actually sent (skips excluded).
+	Fetches uint64 `json:"fetches"`
+	// Hits counts 200 responses; Misses counts definitive 404s (the
+	// peer is healthy, it just doesn't have the key).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Errors counts transport failures, timeouts and non-200/404
+	// statuses (each failed attempt counts once).
+	Errors uint64 `json:"errors"`
+	// Trips counts closed→open breaker transitions; Probes counts
+	// half-open trial requests after the probe interval elapsed; Skips
+	// counts fetches suppressed while the breaker was open.
+	Trips  uint64 `json:"trips"`
+	Probes uint64 `json:"probes"`
+	Skips  uint64 `json:"skips"`
+	// Tripped reports whether the breaker is currently open, and
+	// ConsecutiveFailures the current failure run feeding it.
+	Tripped             bool `json:"tripped"`
+	ConsecutiveFailures int  `json:"consecutive_failures"`
+}
+
+// PeerHealth is implemented by peer fillers that keep per-peer health
+// accounting; Store.Stats folds it into the store snapshot.
+type PeerHealth interface {
+	PeerStats() []PeerStats
+}
+
+// HTTPPeerOptions tunes an HTTPPeer. The zero value gets defaults.
+type HTTPPeerOptions struct {
+	// Timeout bounds one request, connect to body read (default 2s).
+	Timeout time.Duration
+	// Attempts is the per-peer attempt budget per fetch (default 2:
+	// one try plus one retry). A definitive 404 is never retried.
+	Attempts int
+	// Backoff is the base delay before a retry, doubled per attempt
+	// with up to 50% random jitter (default 20ms).
+	Backoff time.Duration
+	// TripAfter opens the per-peer breaker after this many consecutive
+	// failed fetches (default 3); while open, the peer is skipped so a
+	// dead replica stops eating the timeout budget.
+	TripAfter int
+	// ProbeAfter is the open→half-open interval: after it elapses one
+	// probe request is allowed through; success closes the breaker,
+	// failure re-arms it (default 5s).
+	ProbeAfter time.Duration
+	// Client overrides the HTTP client (default: a dedicated client;
+	// the per-request timeout still applies).
+	Client *http.Client
+}
+
+func (o HTTPPeerOptions) withDefaults() HTTPPeerOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = 2
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 20 * time.Millisecond
+	}
+	if o.TripAfter <= 0 {
+		o.TripAfter = 3
+	}
+	if o.ProbeAfter <= 0 {
+		o.ProbeAfter = 5 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// httpPeer is one replica endpoint plus its breaker state.
+type httpPeer struct {
+	base string // normalized base URL, no trailing slash
+
+	mu        sync.Mutex
+	stats     PeerStats
+	consec    int
+	tripped   bool
+	nextProbe time.Time
+}
+
+// HTTPPeer fetches missing keys from a fleet of replica servers over
+// HTTP — the networked PeerFiller. Each fetch walks the peers in
+// configured order with a per-request timeout and bounded jittered
+// retry; any failure degrades to a miss (the caller computes), never an
+// error. A peer that keeps failing trips a breaker and is skipped until
+// a half-open probe succeeds. Safe for concurrent use.
+type HTTPPeer struct {
+	opt   HTTPPeerOptions
+	peers []*httpPeer
+	now   func() time.Time // test seam
+}
+
+// NewHTTPPeer builds the filler for the given peer base URLs (e.g.
+// "http://replica-2:8080"); scheme-less entries get "http://". Empty
+// entries are dropped; nil is returned when none remain, so callers can
+// pass a possibly-empty list straight through.
+func NewHTTPPeer(baseURLs []string, opt HTTPPeerOptions) *HTTPPeer {
+	p := &HTTPPeer{opt: opt.withDefaults(), now: time.Now}
+	for _, u := range baseURLs {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		u = strings.TrimRight(u, "/")
+		p.peers = append(p.peers, &httpPeer{base: u, stats: PeerStats{URL: u}})
+	}
+	if len(p.peers) == 0 {
+		return nil
+	}
+	return p
+}
+
+// FetchPeer implements PeerFiller: first peer hit wins. A 404 moves on
+// to the next peer immediately; transport failures retry with backoff
+// within the attempt budget, then move on. All outcomes are counted.
+func (p *HTTPPeer) FetchPeer(key string) ([]byte, bool) {
+	path := "/v1/store/" + EncodeKeyPath(key)
+	for _, peer := range p.peers {
+		probe, skip := p.admit(peer)
+		if skip {
+			continue
+		}
+		attempts := p.opt.Attempts
+		if probe {
+			// Half-open: risk exactly one request on the suspect peer.
+			attempts = 1
+		}
+		val, found, definitive := p.fetchOne(peer, path, attempts)
+		if found {
+			return val, true
+		}
+		if definitive {
+			continue // healthy peer, key absent: no point retrying it
+		}
+	}
+	return nil, false
+}
+
+// admit consults peer's breaker: (probe=true) allows one half-open
+// trial, (skip=true) suppresses the peer entirely.
+func (p *HTTPPeer) admit(peer *httpPeer) (probe, skip bool) {
+	now := p.now()
+	peer.mu.Lock()
+	defer peer.mu.Unlock()
+	if !peer.tripped {
+		return false, false
+	}
+	if now.Before(peer.nextProbe) {
+		peer.stats.Skips++
+		return false, true
+	}
+	peer.stats.Probes++
+	// Push the next probe out so concurrent fetches don't stampede the
+	// recovering peer; success resets the breaker entirely.
+	peer.nextProbe = now.Add(p.opt.ProbeAfter)
+	return true, false
+}
+
+// fetchOne runs the bounded retry loop against a single peer.
+// definitive reports a clean 404 (peer healthy, key absent).
+func (p *HTTPPeer) fetchOne(peer *httpPeer, path string, attempts int) (val []byte, found, definitive bool) {
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			d := p.opt.Backoff << (attempt - 1)
+			d += time.Duration(rand.Int63n(int64(d)/2 + 1)) // +0–50% jitter
+			time.Sleep(d)
+		}
+		v, status, err := p.get(peer.base + path)
+		peer.mu.Lock()
+		peer.stats.Fetches++
+		switch {
+		case err == nil && status == http.StatusOK:
+			peer.stats.Hits++
+			p.recordSuccessLocked(peer)
+			peer.mu.Unlock()
+			return v, true, false
+		case err == nil && status == http.StatusNotFound:
+			peer.stats.Misses++
+			p.recordSuccessLocked(peer)
+			peer.mu.Unlock()
+			return nil, false, true
+		default:
+			peer.stats.Errors++
+			peer.mu.Unlock()
+		}
+	}
+	p.recordFailure(peer)
+	return nil, false, false
+}
+
+// get performs one bounded request. A non-2xx/404 status is an error
+// with a nil err, reported via the status code.
+func (p *HTTPPeer) get(url string) ([]byte, int, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.opt.Timeout)
+	defer cancel()
+	resp, err := p.opt.Client.Do(req.WithContext(ctx))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Drain so the connection is reusable.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return nil, resp.StatusCode, nil
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return body, http.StatusOK, nil
+}
+
+// recordSuccessLocked closes the breaker. Caller holds peer.mu.
+func (p *HTTPPeer) recordSuccessLocked(peer *httpPeer) {
+	peer.consec = 0
+	peer.tripped = false
+	peer.stats.Tripped = false
+	peer.stats.ConsecutiveFailures = 0
+}
+
+// recordFailure counts one exhausted fetch and trips the breaker at the
+// threshold (or re-arms an already-open one after a failed probe).
+func (p *HTTPPeer) recordFailure(peer *httpPeer) {
+	now := p.now()
+	peer.mu.Lock()
+	defer peer.mu.Unlock()
+	peer.consec++
+	peer.stats.ConsecutiveFailures = peer.consec
+	if peer.tripped {
+		peer.nextProbe = now.Add(p.opt.ProbeAfter)
+		return
+	}
+	if peer.consec >= p.opt.TripAfter {
+		peer.tripped = true
+		peer.stats.Tripped = true
+		peer.stats.Trips++
+		peer.nextProbe = now.Add(p.opt.ProbeAfter)
+	}
+}
+
+// PeerStats implements PeerHealth: a point-in-time snapshot per peer,
+// in configured order.
+func (p *HTTPPeer) PeerStats() []PeerStats {
+	out := make([]PeerStats, 0, len(p.peers))
+	for _, peer := range p.peers {
+		peer.mu.Lock()
+		out = append(out, peer.stats)
+		peer.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,313 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestKeyPathRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"plain-key",
+		"sha256:abcdef0123456789",
+		"with/slash and spaces",
+		string([]byte{0, 1, 2, 0xff, 0xfe, '/', '%', '?', '#'}),
+	}
+	for _, key := range cases {
+		seg := EncodeKeyPath(key)
+		if strings.ContainsAny(seg, "/%?#") {
+			t.Fatalf("EncodeKeyPath(%q) = %q contains path-unsafe characters", key, seg)
+		}
+		got, err := DecodeKeyPath(seg)
+		if err != nil || got != key {
+			t.Fatalf("round trip %q → %q → (%q, %v)", key, seg, got, err)
+		}
+	}
+	if _, err := DecodeKeyPath("!not base64!"); err == nil {
+		t.Fatal("bad segment decoded")
+	}
+}
+
+// FuzzStoreKeyPath pins the /v1/store/{key} URL round-trip for
+// arbitrary key bytes (store keys are content addresses, but nothing
+// stops a caller storing raw binary keys).
+func FuzzStoreKeyPath(f *testing.F) {
+	f.Add("")
+	f.Add("scenario-key")
+	f.Add(string([]byte{0, 0xff, '/', '+', '=', ' '}))
+	f.Fuzz(func(t *testing.T, key string) {
+		seg := EncodeKeyPath(key)
+		if strings.ContainsAny(seg, "/%?# ") {
+			t.Fatalf("EncodeKeyPath(%q) = %q not path-safe", key, seg)
+		}
+		got, err := DecodeKeyPath(seg)
+		if err != nil {
+			t.Fatalf("DecodeKeyPath(EncodeKeyPath(%q)): %v", key, err)
+		}
+		if got != key {
+			t.Fatalf("round trip %q → %q", key, got)
+		}
+	})
+}
+
+// peerHandler serves the replica fetch protocol from a plain map — the
+// server side of the contract, without dragging internal/server into
+// this package's tests.
+func peerHandler(t *testing.T, data map[string][]byte, hits *atomic.Int64) http.Handler {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/store/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key, err := DecodeKeyPath(r.PathValue("key"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		v, ok := data[key]
+		if !ok {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		if hits != nil {
+			hits.Add(1)
+		}
+		_, _ = w.Write(v)
+	})
+	return mux
+}
+
+func fastPeerOpts() HTTPPeerOptions {
+	return HTTPPeerOptions{
+		Timeout:    2 * time.Second,
+		Attempts:   2,
+		Backoff:    time.Millisecond,
+		TripAfter:  2,
+		ProbeAfter: time.Hour, // probes only when the test moves the clock
+	}
+}
+
+func TestHTTPPeerFetch(t *testing.T) {
+	data := map[string][]byte{
+		"key-a": []byte("value-a"),
+		"bin":   {0, 1, 2, 0xff},
+	}
+	ts := httptest.NewServer(peerHandler(t, data, nil))
+	defer ts.Close()
+	p := NewHTTPPeer([]string{ts.URL}, fastPeerOpts())
+	if p == nil {
+		t.Fatal("nil HTTPPeer for one valid URL")
+	}
+	for key, want := range data {
+		v, ok := p.FetchPeer(key)
+		if !ok || !bytes.Equal(v, want) {
+			t.Fatalf("fetch %q: ok=%v v=%q", key, ok, v)
+		}
+	}
+	if v, ok := p.FetchPeer("absent"); ok || v != nil {
+		t.Fatal("phantom hit")
+	}
+	st := p.PeerStats()[0]
+	if st.Hits != 2 || st.Misses != 1 || st.Errors != 0 || st.Fetches != 3 {
+		t.Fatalf("peer stats %+v", st)
+	}
+	if st.Tripped || st.ConsecutiveFailures != 0 {
+		t.Fatalf("healthy peer shows breaker state: %+v", st)
+	}
+}
+
+// TestHTTPPeerFallsThroughToNextPeer: a failing first peer must not
+// mask a healthy second one, and a clean 404 moves on without retrying.
+func TestHTTPPeerFallsThroughToNextPeer(t *testing.T) {
+	var broken atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		broken.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(peerHandler(t, map[string][]byte{"k": []byte("v")}, nil))
+	defer good.Close()
+
+	opt := fastPeerOpts()
+	p := NewHTTPPeer([]string{bad.URL, good.URL}, opt)
+	v, ok := p.FetchPeer("k")
+	if !ok || string(v) != "v" {
+		t.Fatalf("fetch through broken peer: ok=%v v=%q", ok, v)
+	}
+	stats := p.PeerStats()
+	if stats[0].Errors != uint64(opt.Attempts) {
+		t.Fatalf("bad peer errors %d, want the full attempt budget %d", stats[0].Errors, opt.Attempts)
+	}
+	if stats[1].Hits != 1 {
+		t.Fatalf("good peer stats %+v", stats[1])
+	}
+
+	// A 404 from the first peer is definitive: exactly one request to
+	// it, then straight to the second peer.
+	empty := httptest.NewServer(peerHandler(t, nil, nil))
+	defer empty.Close()
+	p2 := NewHTTPPeer([]string{empty.URL, good.URL}, fastPeerOpts())
+	if v, ok := p2.FetchPeer("k"); !ok || string(v) != "v" {
+		t.Fatalf("404 fall-through: ok=%v v=%q", ok, v)
+	}
+	if st := p2.PeerStats()[0]; st.Fetches != 1 || st.Misses != 1 || st.Errors != 0 {
+		t.Fatalf("definitive miss retried: %+v", st)
+	}
+}
+
+// TestHTTPPeerTripAndProbe: consecutive failures open the breaker (the
+// dead peer stops being asked), and after the probe interval a single
+// half-open trial closes it again once the peer recovers.
+func TestHTTPPeerTripAndProbe(t *testing.T) {
+	var up atomic.Bool
+	data := map[string][]byte{"k": []byte("v")}
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !up.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		peerHandler(t, data, nil).ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+
+	opt := fastPeerOpts() // TripAfter: 2, ProbeAfter: 1h
+	p := NewHTTPPeer([]string{flaky.URL}, opt)
+	now := time.Now()
+	var mu sync.Mutex
+	p.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+
+	for i := 0; i < 2; i++ {
+		if _, ok := p.FetchPeer("k"); ok {
+			t.Fatal("hit from a down peer")
+		}
+	}
+	st := p.PeerStats()[0]
+	if !st.Tripped || st.Trips != 1 || st.ConsecutiveFailures != 2 {
+		t.Fatalf("breaker did not trip: %+v", st)
+	}
+	fetchesAtTrip := st.Fetches
+
+	// While open: skipped, no requests spent.
+	for i := 0; i < 3; i++ {
+		if _, ok := p.FetchPeer("k"); ok {
+			t.Fatal("hit while tripped")
+		}
+	}
+	st = p.PeerStats()[0]
+	if st.Fetches != fetchesAtTrip || st.Skips != 3 {
+		t.Fatalf("open breaker still fetching: %+v", st)
+	}
+
+	// Past the probe interval, still down: one probe request, re-armed.
+	mu.Lock()
+	now = now.Add(opt.ProbeAfter + time.Second)
+	mu.Unlock()
+	if _, ok := p.FetchPeer("k"); ok {
+		t.Fatal("hit from a still-down peer")
+	}
+	st = p.PeerStats()[0]
+	if st.Probes != 1 || st.Fetches != fetchesAtTrip+1 || !st.Tripped {
+		t.Fatalf("failed probe accounting: %+v", st)
+	}
+
+	// Peer recovers; next probe closes the breaker and serves again.
+	up.Store(true)
+	mu.Lock()
+	now = now.Add(opt.ProbeAfter + time.Second)
+	mu.Unlock()
+	if v, ok := p.FetchPeer("k"); !ok || string(v) != "v" {
+		t.Fatalf("recovered peer not served: ok=%v", ok)
+	}
+	st = p.PeerStats()[0]
+	if st.Tripped || st.Probes != 2 || st.ConsecutiveFailures != 0 {
+		t.Fatalf("breaker did not close after good probe: %+v", st)
+	}
+	// And stays closed for normal traffic.
+	if _, ok := p.FetchPeer("k"); !ok {
+		t.Fatal("closed breaker did not serve")
+	}
+}
+
+// TestStoreHTTPPeerWarmFill wires a real Store to a real HTTP peer
+// endpoint: local miss → network fetch → durable local adopt.
+func TestStoreHTTPPeerWarmFill(t *testing.T) {
+	data := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		data[fmt.Sprintf("key-%d", i)] = val(i)
+	}
+	ts := httptest.NewServer(peerHandler(t, data, nil))
+	defer ts.Close()
+
+	opt := smallOpts(t.TempDir())
+	opt.Peer = NewHTTPPeer([]string{ts.URL}, fastPeerOpts())
+	st, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		v, ok, err := st.Get(key)
+		if err != nil || !ok || !bytes.Equal(v, data[key]) {
+			t.Fatalf("warm fill %s: ok=%v err=%v", key, ok, err)
+		}
+	}
+	stats := st.Stats()
+	if stats.PeerFills != 8 || stats.PeerFillErrors != 0 {
+		t.Fatalf("peer fills %d (errors %d), want 8 (0)", stats.PeerFills, stats.PeerFillErrors)
+	}
+	if len(stats.Peers) != 1 || stats.Peers[0].Hits != 8 {
+		t.Fatalf("peer health not surfaced: %+v", stats.Peers)
+	}
+	// Adopted durably: all local now, even after the peer dies.
+	ts.Close()
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if _, ok, err := st.GetLocal(key); !ok || err != nil {
+			t.Fatalf("fill for %s not durable locally: ok=%v err=%v", key, ok, err)
+		}
+	}
+	// A dead peer degrades to a miss, never an error.
+	if _, ok, err := st.Get("never-stored"); ok || err != nil {
+		t.Fatalf("dead peer surfaced: ok=%v err=%v", ok, err)
+	}
+}
+
+// peerFunc adapts a function to PeerFiller.
+type peerFunc func(key string) ([]byte, bool)
+
+func (f peerFunc) FetchPeer(key string) ([]byte, bool) { return f(key) }
+
+// TestStorePeerFillErrorCounted: a fetched value whose durable local
+// adopt fails is still served, and the failure is counted instead of
+// swallowed. An over-long key reaches the peer fine but cannot be
+// stored locally (WAL keys are u16-length), which is exactly such a
+// failure.
+func TestStorePeerFillErrorCounted(t *testing.T) {
+	longKey := strings.Repeat("k", maxKeyLen+1)
+	opt := smallOpts(t.TempDir())
+	opt.Peer = peerFunc(func(key string) ([]byte, bool) {
+		if key == longKey {
+			return []byte("peer-value"), true
+		}
+		return nil, false
+	})
+	st, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	v, ok, err := st.Get(longKey)
+	if err != nil || !ok || string(v) != "peer-value" {
+		t.Fatalf("peer value not served despite fill failure: ok=%v err=%v", ok, err)
+	}
+	stats := st.Stats()
+	if stats.PeerFills != 1 || stats.PeerFillErrors != 1 {
+		t.Fatalf("fill failure not counted: fills=%d errors=%d", stats.PeerFills, stats.PeerFillErrors)
+	}
+}

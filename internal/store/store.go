@@ -14,13 +14,16 @@ type Options struct {
 	// Dir is the store root; each shard lives in Dir/shard-NNN.
 	Dir string
 	// Shards is the consistent-hash shard count (default 4). Persisted
-	// on first open; a later open must match (or pass 0 to adopt).
+	// on first open; pass 0 on a reopen to adopt the persisted count,
+	// any other mismatch is an error.
 	Shards int
 	// PoolPages caps the total buffer-pool frames across all shards
-	// (default 1024, split evenly).
+	// (default 1024, split evenly; every shard gets at least one frame,
+	// and the pool itself enforces a small per-shard minimum).
 	PoolPages int
 	// PageSize is the slotted-page unit in bytes (default 8192).
-	// Persisted per shard on first open.
+	// Persisted on first open; pass 0 on a reopen to adopt the
+	// persisted size, any other mismatch is an error.
 	PageSize int
 	// SegmentBytes caps one data segment file (default 4 MiB).
 	SegmentBytes int64
@@ -106,8 +109,9 @@ type Store struct {
 	shards []*Shard
 	peer   PeerFiller
 
-	peerFills  atomic.Uint64
-	peerMisses atomic.Uint64
+	peerFills      atomic.Uint64
+	peerMisses     atomic.Uint64
+	peerFillErrors atomic.Uint64
 }
 
 // Open opens (or creates) the store rooted at opt.Dir, recovering
@@ -116,9 +120,13 @@ func Open(opt Options) (*Store, error) {
 	if opt.Dir == "" {
 		return nil, fmt.Errorf("store: Options.Dir is required")
 	}
-	opt = opt.withDefaults()
 	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
 		return nil, err
+	}
+	// An explicit sub-minimum page size rounds up before the manifest
+	// comparison, matching what a create would have persisted.
+	if opt.PageSize > 0 && opt.PageSize < 512 {
+		opt.PageSize = 512
 	}
 	manPath := filepath.Join(opt.Dir, "STORE")
 	if data, err := os.ReadFile(manPath); err == nil {
@@ -129,13 +137,22 @@ func Open(opt Options) (*Store, error) {
 		if m.Version != storeManifestVersion {
 			return nil, fmt.Errorf("store: manifest version %d unsupported", m.Version)
 		}
-		if m.Shards != opt.Shards {
+		// Zero-valued layout options adopt the persisted geometry — the
+		// defaults must not shadow what the directory was created with —
+		// while an explicit conflicting value stays an error.
+		if opt.Shards <= 0 {
+			opt.Shards = m.Shards
+		} else if m.Shards != opt.Shards {
 			return nil, fmt.Errorf("store: %s was created with %d shards, reopened with %d — shard count is fixed at creation", opt.Dir, m.Shards, opt.Shards)
 		}
-		if m.PageSize != opt.PageSize {
+		if opt.PageSize <= 0 {
+			opt.PageSize = m.PageSize
+		} else if m.PageSize != opt.PageSize {
 			return nil, fmt.Errorf("store: %s was created with page size %d, reopened with %d", opt.Dir, m.PageSize, opt.PageSize)
 		}
+		opt = opt.withDefaults()
 	} else if os.IsNotExist(err) {
+		opt = opt.withDefaults()
 		data, merr := json.Marshal(storeManifest{Version: storeManifestVersion, Shards: opt.Shards, PageSize: opt.PageSize})
 		if merr != nil {
 			return nil, merr
@@ -151,7 +168,13 @@ func Open(opt Options) (*Store, error) {
 	}
 
 	perShard := opt
+	// Clamp the even split to at least one frame per shard: a total cap
+	// below the shard count must stay a tiny pool, not re-default to
+	// 1024 frames per shard inside OpenShard.
 	perShard.PoolPages = opt.PoolPages / opt.Shards
+	if perShard.PoolPages < 1 {
+		perShard.PoolPages = 1
+	}
 	st := &Store{
 		dir:  opt.Dir,
 		ring: NewRing(opt.Shards),
@@ -196,9 +219,11 @@ func (s *Store) Get(key string) ([]byte, bool, error) {
 	}
 	s.peerFills.Add(1)
 	if err := s.shard(key).Put(key, pv); err != nil {
-		// The fetched value is still good — serve it even if the local
-		// fill failed.
-		return pv, true, nil
+		// The fetched value is still good — serve it even though the
+		// local fill failed — but count the failure: a replica that can
+		// never durably adopt peer values re-fetches on every miss and
+		// must be visible in the stats.
+		s.peerFillErrors.Add(1)
 	}
 	return pv, true, nil
 }
@@ -279,9 +304,15 @@ type Stats struct {
 	Deletes uint64 `json:"deletes"`
 	// Compactions counts segment rewrites across shards.
 	Compactions uint64 `json:"compactions"`
-	// PeerFills/PeerMisses count warm-fill outcomes on local misses.
-	PeerFills  uint64 `json:"peer_fills"`
-	PeerMisses uint64 `json:"peer_misses"`
+	// PeerFills/PeerMisses count warm-fill outcomes on local misses;
+	// PeerFillErrors counts fetched values whose durable local adopt
+	// failed (the value was still served).
+	PeerFills      uint64 `json:"peer_fills"`
+	PeerMisses     uint64 `json:"peer_misses"`
+	PeerFillErrors uint64 `json:"peer_fill_errors"`
+	// Peers is the per-peer health detail (fetches, hits, errors,
+	// breaker state) when the configured filler keeps it (HTTPPeer).
+	Peers []PeerStats `json:"peers,omitempty"`
 	// WAL and Pool aggregate the per-shard logs and buffer pools.
 	WAL  WALStats  `json:"wal"`
 	Pool PoolStats `json:"pool"`
@@ -292,8 +323,12 @@ type Stats struct {
 // Stats snapshots every shard and folds the totals.
 func (s *Store) Stats() Stats {
 	out := Stats{
-		PeerFills:  s.peerFills.Load(),
-		PeerMisses: s.peerMisses.Load(),
+		PeerFills:      s.peerFills.Load(),
+		PeerMisses:     s.peerMisses.Load(),
+		PeerFillErrors: s.peerFillErrors.Load(),
+	}
+	if ph, ok := s.peer.(PeerHealth); ok {
+		out.Peers = ph.PeerStats()
 	}
 	for _, sh := range s.shards {
 		st := sh.Stats()

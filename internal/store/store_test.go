@@ -483,6 +483,111 @@ func TestStoreManifestPinsGeometry(t *testing.T) {
 	}
 }
 
+// TestStoreReopenAdoptsManifest: a store created with non-default
+// geometry must reopen with zero-value options — the zero values adopt
+// the persisted shard count and page size instead of being defaulted
+// into a mismatch error.
+func TestStoreReopenAdoptsManifest(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Options{Dir: dir, Shards: 8, PageSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	for i := 0; i < n; i++ {
+		if err := st.Put(fmt.Sprintf("key-%02d", i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with nothing but the directory — the default-flags restart.
+	st2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("zero-value reopen of a shards=8 store: %v", err)
+	}
+	defer st2.Close()
+	stats := st2.Stats()
+	if len(stats.Shards) != 8 {
+		t.Fatalf("adopted %d shards, want 8", len(stats.Shards))
+	}
+	if st2.Len() != n {
+		t.Fatalf("reopened len %d, want %d", st2.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := st2.Get(fmt.Sprintf("key-%02d", i))
+		if err != nil || !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("key %d wrong after adopted reopen: ok=%v err=%v", i, ok, err)
+		}
+	}
+	// New writes land on the adopted layout and survive another
+	// zero-value reopen.
+	if err := st2.Put("post-adopt", val(99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if v, ok, _ := st3.Get("post-adopt"); !ok || !bytes.Equal(v, val(99)) {
+		t.Fatal("write on adopted layout lost")
+	}
+	// Explicit conflicts still refuse loudly.
+	if _, err := Open(Options{Dir: dir, Shards: 4}); err == nil || !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("explicit shard conflict accepted: %v", err)
+	}
+	if _, err := Open(Options{Dir: dir, PageSize: 8192}); err == nil || !strings.Contains(err.Error(), "page size") {
+		t.Fatalf("explicit page-size conflict accepted: %v", err)
+	}
+}
+
+// TestStorePoolPagesCap: the configured total frame cap must never be
+// silently multiplied. Before the fix, PoolPages < Shards split to 0
+// per shard and re-defaulted to 1024 frames per shard.
+func TestStorePoolPagesCap(t *testing.T) {
+	for _, tc := range []struct {
+		shards, poolPages int
+	}{
+		{1, 2}, {2, 2}, {4, 2}, {8, 2}, // cap below shard count
+		{2, 64}, {4, 64}, // clean splits
+		{4, 1024}, {8, 1024}, // default-scale
+	} {
+		t.Run(fmt.Sprintf("shards=%d,pool=%d", tc.shards, tc.poolPages), func(t *testing.T) {
+			opt := smallOpts(t.TempDir())
+			opt.Shards = tc.shards
+			opt.PoolPages = tc.poolPages
+			st, err := Open(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			total := 0
+			for _, sh := range st.Stats().Shards {
+				total += sh.Pool.Capacity
+			}
+			// The pool floors each shard at 4 frames (pin-safety), so the
+			// hard invariant is max(PoolPages, 4*Shards) — never the old
+			// failure mode of 1024 frames per shard.
+			limit := tc.poolPages
+			if min := 4 * tc.shards; min > limit {
+				limit = min
+			}
+			if total > limit {
+				t.Fatalf("total pool capacity %d exceeds cap %d", total, limit)
+			}
+			if tc.poolPages >= 4*tc.shards && total != tc.poolPages {
+				t.Fatalf("total pool capacity %d, want the configured %d", total, tc.poolPages)
+			}
+		})
+	}
+}
+
 func TestRingDeterministicAndSpread(t *testing.T) {
 	r1, r2 := NewRing(4), NewRing(4)
 	counts := make([]int, 4)
