@@ -8,6 +8,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"io"
 	"testing"
 
 	"repro/internal/cfdref"
@@ -16,7 +17,9 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/jobs"
 	"repro/internal/mat"
+	"repro/internal/plan"
 	"repro/internal/power"
+	"repro/internal/query"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/sweep"
@@ -239,6 +242,84 @@ func BenchmarkTransientSweepUnbatched(b *testing.B) {
 		}
 		if rep.Errors != 0 {
 			b.Fatalf("sweep: %d errors", rep.Errors)
+		}
+	}
+}
+
+// --- Cost-based sweep planning and the results query surface ---
+
+// BenchmarkUnplannedSweep is the planner gate's baseline: the
+// 50-scenario transient policy sweep executed without a plan —
+// per-scenario independent stepping through the shared factor cache
+// (sweep.Engine.Run), the strategy a sweep falls back to when no
+// cost-based decision picks the lockstep knobs.
+func BenchmarkUnplannedSweep(b *testing.B) {
+	eng := &sweep.Engine{Pool: jobs.NewPool(1)}
+	batch := transientSweepBatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eng.Run(context.Background(), batch, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors != 0 {
+			b.Fatalf("sweep: %d errors", rep.Errors)
+		}
+	}
+}
+
+// BenchmarkPlannedSweep runs the same 50 scenarios under the cost-based
+// planner (internal/plan): per lockstep group the planner costs the
+// candidate batch widths, refactorisation and sharing strategies from
+// its per-op model and executes the cheapest — byte-identical results
+// (pinned by TestPlannedSweepByteIdentical), just sooner. The bench
+// gate holds the planned/unplanned ns/op ratio at >= 1.2x.
+func BenchmarkPlannedSweep(b *testing.B) {
+	eng := &sweep.Engine{Pool: jobs.NewPool(1), Planner: plan.New(plan.DefaultModel())}
+	batch := transientSweepBatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eng.RunTransient(context.Background(), batch, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors != 0 {
+			b.Fatalf("sweep: %d errors", rep.Errors)
+		}
+	}
+}
+
+// BenchmarkResultsQuery measures the query surface end to end over the
+// 50-row policy sweep: parse the expression, filter + sort + project
+// the records, render the table — the full /v1/results/query hot path
+// minus HTTP.
+func BenchmarkResultsQuery(b *testing.B) {
+	eng := &sweep.Engine{Pool: jobs.NewPool(1)}
+	rep, err := eng.RunTransient(context.Background(), transientSweepBatch(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	records := make([]query.Record, 0, len(rep.Results))
+	for _, r := range rep.Results {
+		records = append(records, query.FromResult("sw-bench", r))
+	}
+	formatter, err := query.NewFormatter("table")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const expr = "max_temp>60 sort:-pump_power limit:10 fields:index,policy,seed,max_temp,pump_power"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, err := query.Parse(expr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := q.Run(records)
+		if len(rows) == 0 || len(rows) > 10 {
+			b.Fatalf("query returned %d rows", len(rows))
+		}
+		if err := formatter.Format(io.Discard, q.Fields, rows); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

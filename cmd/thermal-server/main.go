@@ -46,6 +46,8 @@ func main() {
 	storePoolPages := flag.Int("store-pool-pages", 1024, "result-store buffer-pool page frames, split across shards (each shard keeps at least one frame)")
 	peers := flag.String("peers", "", "comma-separated base URLs of replica peers (e.g. http://replica-2:8080); a local store miss is warm-filled from the first peer that has the key before falling back to compute")
 	peerTimeout := flag.Duration("peer-timeout", 2*time.Second, "per-request timeout for peer warm-fill fetches")
+	plan := flag.Bool("plan", true, "cost-based sweep planner: pick each lockstep group's batch width and sharing strategy from a per-op cost model (results stay byte-identical; add ?explain=1 to /v1/sweeps for the candidate tables)")
+	benchCosts := flag.String("bench-costs", ".", "directory searched for committed BENCH_*.json cost-model snapshots; when none parses the planner self-calibrates at first use")
 	flag.Parse()
 
 	if !mat.KnownBackend(*solver) {
@@ -84,6 +86,8 @@ func main() {
 		DefaultSolver:   *solver,
 		DefaultOrdering: *ordering,
 		Store:           st,
+		DisablePlanner:  !*plan,
+		BenchDir:        *benchCosts,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,

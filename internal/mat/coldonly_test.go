@@ -1,0 +1,79 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPrepCacheColdOnlySkipsRefactor pins the planner's cold-factor
+// knob: a cache switched to cold-only ignores caller-supplied prior
+// factorizations (no numeric refresh), and — because refactorisation
+// is bit-identical to cold factoring — produces bit-identical solves
+// either way.
+func TestPrepCacheColdOnlySkipsRefactor(t *testing.T) {
+	s, err := NewSolver(BackendDirect, SolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz := s.(Factorizer)
+	a := gridSystem(6, 0)
+	a2 := gridSystem(6, 0.4) // same structure, different values
+	prior, err := fz.Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	solveBits := func(c *PrepCache) []uint64 {
+		t.Helper()
+		_, ws, err := c.PrepareFactPrior(s, "t", a2, prior)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs := make([]float64, a2.N())
+		for i := range rhs {
+			rhs[i] = 1 + float64(i%5)
+		}
+		x := make([]float64, a2.N())
+		if err := ws.Solve(x, rhs, nil); err != nil {
+			t.Fatal(err)
+		}
+		bits := make([]uint64, len(x))
+		for i, v := range x {
+			bits[i] = math.Float64bits(v)
+		}
+		return bits
+	}
+
+	warm := NewPrepCache(0)
+	warmBits := solveBits(warm)
+	if st := warm.Stats(); st.Refactors != 1 {
+		t.Fatalf("warm cache refactors = %d, want 1 (prior ignored?)", st.Refactors)
+	}
+
+	cold := NewPrepCache(0)
+	cold.SetColdOnly(true)
+	coldBits := solveBits(cold)
+	if st := cold.Stats(); st.Refactors != 0 {
+		t.Fatalf("cold-only cache refactors = %d, want 0", st.Refactors)
+	}
+	if st := cold.Stats(); st.Factorizations != 1 {
+		t.Fatalf("cold-only cache factorizations = %d, want 1", st.Factorizations)
+	}
+
+	for i := range warmBits {
+		if warmBits[i] != coldBits[i] {
+			t.Fatalf("cold vs refactored solve differ at %d", i)
+		}
+	}
+
+	// The switch flips back, and a nil cache tolerates the call.
+	cold.SetColdOnly(false)
+	if _, _, err := cold.PrepareFactPrior(s, "t2", gridSystem(6, 0.8), prior); err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.Refactors != 1 {
+		t.Fatalf("re-enabled cache refactors = %d, want 1", st.Refactors)
+	}
+	var nilCache *PrepCache
+	nilCache.SetColdOnly(true)
+}

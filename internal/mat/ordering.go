@@ -65,7 +65,7 @@ type Ordering interface {
 
 type naturalOrdering struct{}
 
-func (naturalOrdering) Name() string                 { return OrderingNatural }
+func (naturalOrdering) Name() string                   { return OrderingNatural }
 func (naturalOrdering) Order(a *Sparse) OrderingChoice { return OrderingChoice{Name: OrderingNatural} }
 
 type rcmOrdering struct{}
@@ -342,7 +342,7 @@ func permutePatternRaw(n int, aPtr, aIdx, perm []int) (ptr, idx []int, err error
 		}
 	}
 	for i := 0; i < n; i++ {
-		sort.Ints(idx[ptr[i] : ptr[i+1]])
+		sort.Ints(idx[ptr[i]:ptr[i+1]])
 	}
 	return ptr, idx, nil
 }

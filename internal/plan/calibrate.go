@@ -1,0 +1,228 @@
+package plan
+
+import (
+	"time"
+
+	"repro/internal/mat"
+)
+
+// Self-calibration: when no committed benchmark snapshot is available,
+// the first plan for a (backend, size) pair micro-benchmarks the
+// per-op costs on a synthetic 7-point Laplacian of the group's actual
+// unknown count and installs the measurements as coefficients at that
+// reference size. The synthetic system has the same local connectivity
+// as the thermal stack's RC network, so the measured factor/solve
+// costs track the real ones closely enough to rank candidates — which
+// is all the planner needs, since every feasible candidate is
+// result-invariant.
+
+// calibrateMinWall bounds one micro-benchmark's wall time: each op is
+// repeated until this much time has elapsed (at least once), then
+// averaged.
+const calibrateMinWall = 2 * time.Millisecond
+
+// EnsureCalibrated self-calibrates the model for one backend
+// configuration at problem size n, once: concurrent and repeated calls
+// for the same (backend, ordering, n) share a single measurement run.
+// It is a no-op when the model was loaded from a committed snapshot
+// (measured coefficients beat synthetic ones) or when the backend
+// fails to construct.
+func (m *CostModel) EnsureCalibrated(backend, ordering string, n int) {
+	m.mu.Lock()
+	if m.measured || n <= 0 {
+		m.mu.Unlock()
+		return
+	}
+	key := backend + "|" + ordering + "|" + itoa(n)
+	if run, ok := m.calibrated[key]; ok {
+		m.mu.Unlock()
+		<-run.done
+		return
+	}
+	run := &calRun{done: make(chan struct{})}
+	m.calibrated[key] = run
+	m.mu.Unlock()
+
+	meas := calibrate(backend, ordering, n)
+
+	m.mu.Lock()
+	for op, c := range meas {
+		k := op
+		switch op {
+		case OpFactor, OpRefactor, OpSolve:
+			k = op + ":" + backend
+			if ordering != "" && backend == "direct" {
+				k += ":" + ordering
+			}
+		}
+		m.coef[k] = c
+	}
+	if len(meas) > 0 {
+		m.source = "defaults+self-calibrated"
+		m.calCount++
+	}
+	m.mu.Unlock()
+	close(run.done)
+}
+
+// itoa avoids strconv for the tiny calibration-key case.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// calibrate measures the per-op costs for one backend at size n and
+// returns the coefficients to install (empty on backend construction
+// failure — the model then keeps its defaults).
+func calibrate(backend, ordering string, n int) map[string]Coef {
+	sv, err := mat.NewSolver(backend, mat.SolverOptions{Ordering: ordering})
+	if err != nil {
+		return nil
+	}
+	fz, ok := sv.(mat.Factorizer)
+	if !ok {
+		return nil
+	}
+
+	// Assemble the synthetic stack once through a Builder (timed: the
+	// cold-assembly coefficient), freeze its pattern, and derive a
+	// slightly perturbed twin for the refactor/restamp measurements.
+	var b *mat.Builder
+	var pat *mat.Pattern
+	asmNs := timeOp(func() {
+		b = laplacian3D(n, 1.0)
+	})
+	pat = b.Freeze()
+	a := b.Build()
+	a2 := laplacian3D(n, 1.25).Build()
+
+	out := map[string]Coef{
+		OpAssemble: {Ns: asmNs, RefN: n},
+	}
+
+	var fact mat.Factorization
+	out[OpFactor] = Coef{Ns: timeOp(func() {
+		fact, err = fz.Factor(a)
+	}), RefN: n}
+	if err != nil || fact == nil {
+		return nil
+	}
+
+	if rf, ok := fz.(mat.Refactorer); ok {
+		out[OpRefactor] = Coef{Ns: timeOp(func() {
+			_, err = rf.RefactorFrom(fact, a2)
+		}), RefN: n}
+		if err != nil {
+			delete(out, OpRefactor)
+		}
+	}
+
+	ws := fact.NewWorkspace()
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1 + float64(i%7)
+	}
+	x := make([]float64, n)
+	out[OpSolve] = Coef{Ns: timeOp(func() {
+		// A fresh guess each round keeps the warm-start early exit from
+		// turning later rounds into no-ops.
+		for i := range x {
+			x[i] = 0
+		}
+		err = ws.Solve(x, rhs, x)
+	}), RefN: n}
+	if err != nil {
+		delete(out, OpSolve)
+	}
+
+	nb := pat.NewNumeric()
+	out[OpRestamp] = Coef{Ns: timeOp(func() {
+		nb.Reset()
+		nb.Seek(0)
+		stampLaplacian3D(nb, n, 1.1)
+		if !nb.Mismatch() {
+			_ = nb.Build()
+		}
+	}), RefN: n}
+
+	return out
+}
+
+// timeOp measures fn's average wall time over enough repetitions to
+// exceed calibrateMinWall.
+func timeOp(fn func()) float64 {
+	start := time.Now()
+	iters := 0
+	for {
+		fn()
+		iters++
+		if time.Since(start) >= calibrateMinWall {
+			break
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// laplacian3D assembles an SPD 7-point finite-volume Laplacian with n
+// unknowns arranged as a squat 3D box (the thermal stack's shape:
+// wide in-plane, a few layers deep), with a ground leak on every node
+// so the system is non-singular. scale perturbs the conductances, so
+// two calls with different scales produce structurally identical
+// matrices with different values — the refactor/restamp scenario.
+func laplacian3D(n int, scale float64) *mat.Builder {
+	b := mat.NewBuilder(n)
+	stampLaplacian3D(b, n, scale)
+	return b
+}
+
+// stampLaplacian3D writes the synthetic system through the Stamper
+// seam, so one routine serves both the cold Builder path and the
+// NumericBuilder replay (identical Add sequence, as the replay
+// requires).
+func stampLaplacian3D(st mat.Stamper, n int, scale float64) {
+	// Box dimensions: in-plane side ~ sqrt(n/6), 6 layers (2 tiers × 3
+	// node classes in the real stack) — clamped so nx·ny·nz ≤ n, with a
+	// trailing chain absorbing the remainder.
+	nz := 6
+	nx := 1
+	for (nx+1)*(nx+1)*nz <= n {
+		nx++
+	}
+	ny := nx
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	last := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				i := id(x, y, z)
+				if i > last {
+					last = i
+				}
+				if x+1 < nx {
+					st.AddConductance(i, id(x+1, y, z), scale*1.0)
+				}
+				if y+1 < ny {
+					st.AddConductance(i, id(x, y+1, z), scale*1.0)
+				}
+				if z+1 < nz {
+					st.AddConductance(i, id(x, y, z+1), scale*0.5)
+				}
+				st.AddToGround(i, scale*0.01)
+			}
+		}
+	}
+	// Chain the remainder nodes off the box so every unknown is wired.
+	for i := last + 1; i < n; i++ {
+		st.AddConductance(i-1, i, scale*1.0)
+		st.AddToGround(i, scale*0.01)
+	}
+}

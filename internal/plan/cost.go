@@ -1,0 +1,288 @@
+// Package plan is the cost-based sweep planner: it enumerates candidate
+// execution strategies per lockstep group — batch width, solver backend,
+// fill-reducing ordering, cold-factor vs numeric refactorisation,
+// shared vs per-scenario assemblies — prices each candidate with a
+// per-op cost model, and picks the cheapest strategy that preserves the
+// sweep's byte-identity contract. It implements sweep.Planner, so an
+// engine with a Planner attached executes the chosen strategy through
+// its existing result-invariant knobs: a planned sweep returns exactly
+// the bytes an unplanned one would, only sooner.
+//
+// Cost coefficients come, in order of preference, from the latest
+// committed benchmark snapshot (BENCH_*.json — the same trajectory the
+// CI bench-gate compares against), from a one-shot self-calibration
+// micro-benchmark on a synthetic pattern of the group's size, or from
+// built-in defaults recorded off BENCH_PR7.json. Whatever the source,
+// coefficients only steer speed: every feasible candidate produces
+// bit-identical results, so a mis-calibrated model can cost time, never
+// correctness.
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Op names of the cost model. A coefficient is keyed "op:backend"
+// ("factor:direct"), optionally refined by ordering for the direct
+// backend ("factor:direct:amd"); lookup falls back from the most
+// specific key to the bare op.
+const (
+	OpFactor   = "factor"   // one cold factorisation / preconditioner build
+	OpRefactor = "refactor" // one numeric refactorisation from a prior
+	OpSolve    = "solve"    // one solo solve against a prepared matrix
+	OpAssemble = "assemble" // one full matrix assembly (cold build)
+	OpRestamp  = "restamp"  // one incremental numeric restamp
+)
+
+// Coef is one calibrated per-op cost: ns per operation measured at a
+// reference problem size. Estimates for other sizes scale by
+// (n/RefN)^exp with a per-op exponent (factor-like ops superlinear,
+// solve-like ops linear).
+type Coef struct {
+	// Ns is the measured nanoseconds per operation.
+	Ns float64 `json:"ns"`
+	// RefN is the unknown count the measurement was taken at.
+	RefN int `json:"ref_n"`
+}
+
+// CostModel prices planner candidates from per-op coefficients. Safe
+// for concurrent use. Construct with DefaultModel, LoadSnapshot or
+// LoadLatest.
+type CostModel struct {
+	mu sync.Mutex
+	// source names where the coefficients came from: a snapshot file
+	// name, "defaults", or "defaults+self-calibrated".
+	source string
+	// measured is true when the coefficients were loaded from a
+	// committed snapshot — self-calibration then never runs.
+	measured bool
+	coef     map[string]Coef
+	// blockedRatio is the asymptotic per-column speedup of blocked
+	// multi-RHS solves over solo solves, per backend (from the
+	// SolveBlock benchmark pair). The per-column cost at width w is
+	// modeled as solve·(1/R + (1−1/R)/w): solo at w=1, solve/R as
+	// w→∞.
+	blockedRatio map[string]float64
+	// calibrated tracks completed self-calibrations ("backend|n"),
+	// single-flighted so concurrent first sights measure once.
+	calibrated map[string]*calRun
+	calCount   int
+}
+
+type calRun struct{ done chan struct{} }
+
+// scaleExp is the per-op size-scaling exponent: factorisation work
+// grows superlinearly with the unknown count (fill), solve/assembly
+// work roughly linearly with nnz.
+func scaleExp(op string) float64 {
+	switch op {
+	case OpFactor, OpRefactor:
+		return 1.5
+	default:
+		return 1.0
+	}
+}
+
+// DefaultModel returns the built-in fallback model. Its coefficients
+// are recorded off the committed BENCH_PR7.json trajectory (Xeon
+// 2.10GHz; factor-class ops at the 4-tier n=3072 stack, solve-class at
+// the 2-tier n=1536 stack) and are refined by self-calibration at first
+// use — see SelfCalibrate.
+func DefaultModel() *CostModel {
+	return &CostModel{
+		source: "defaults",
+		coef: map[string]Coef{
+			"factor:direct":     {Ns: 17.1e6, RefN: 3072}, // FlowChangeFreshDirect
+			"factor:direct:amd": {Ns: 109e6, RefN: 3072},  // FactorAMD (cold, ordering incl.)
+			"factor:direct:nd":  {Ns: 75e6, RefN: 3072},   // FactorND
+			"factor:bicgstab":   {Ns: 2.0e6, RefN: 3072},  // FlowChangeFresh (ILU build)
+			"factor:gmres":      {Ns: 6.2e6, RefN: 3072},  // SolverGMRESWithRCMILU
+			"refactor:direct":   {Ns: 15.0e6, RefN: 3072}, // SerialRefactor
+			"refactor:bicgstab": {Ns: 1.2e6, RefN: 3072},
+			"refactor:gmres":    {Ns: 3.7e6, RefN: 3072},
+			"solve:direct":      {Ns: 0.65e6, RefN: 1536}, // TransientStepSolveDirect
+			"solve:bicgstab":    {Ns: 1.44e6, RefN: 1536}, // TransientStepSolve
+			"solve:gmres":       {Ns: 3.0e6, RefN: 1536},
+			OpAssemble:          {Ns: 1.5e6, RefN: 1536},
+			OpRestamp:           {Ns: 0.15e6, RefN: 1536},
+		},
+		blockedRatio: map[string]float64{
+			"direct":   3.28, // SolveBlock solo50 / blocked50
+			"bicgstab": 2.0,  // lockstep masked BiCGSTAB (batched precond/spmv)
+			"gmres":    1.0,  // per-column GMRES: no blocked kernel
+		},
+		calibrated: map[string]*calRun{},
+	}
+}
+
+// Source names the coefficient provenance (a snapshot file name,
+// "defaults", or "defaults+self-calibrated").
+func (m *CostModel) Source() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.source
+}
+
+// Calibrations reports completed self-calibration runs.
+func (m *CostModel) Calibrations() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.calCount
+}
+
+// Set installs one coefficient (tests and calibration).
+func (m *CostModel) Set(key string, c Coef) {
+	m.mu.Lock()
+	m.coef[key] = c
+	m.mu.Unlock()
+}
+
+// opNs prices one operation at problem size n: the most specific
+// available coefficient ("op:backend:ordering" ≻ "op:backend" ≻ "op"),
+// scaled from its reference size by the op's exponent.
+func (m *CostModel) opNs(op, backend, ordering string, n int) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.opNsLocked(op, backend, ordering, n)
+}
+
+func (m *CostModel) opNsLocked(op, backend, ordering string, n int) float64 {
+	var c Coef
+	var ok bool
+	if ordering != "" {
+		c, ok = m.coef[op+":"+backend+":"+ordering]
+	}
+	if !ok {
+		c, ok = m.coef[op+":"+backend]
+	}
+	if !ok {
+		c, ok = m.coef[op]
+	}
+	if !ok || c.RefN <= 0 || c.Ns <= 0 {
+		return 0
+	}
+	return c.Ns * math.Pow(float64(n)/float64(c.RefN), scaleExp(op))
+}
+
+// BlockedRatio returns the asymptotic blocked-solve speedup per column
+// for backend (>= 1; 1 means blocking never helps).
+func (m *CostModel) BlockedRatio(backend string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r, ok := m.blockedRatio[backend]; ok && r >= 1 {
+		return r
+	}
+	return 1
+}
+
+// snapshot is the committed bench.sh JSON shape.
+type snapshot struct {
+	Benchmarks []struct {
+		Name string  `json:"name"`
+		NsOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+// benchCoef maps one benchmark name of the committed suite onto a cost
+// coefficient slot. The reference sizes are fixed by the benchmark
+// definitions: the mat-layer factor/refactor benchmarks run the 4-tier
+// liquid stack (n=3072), the transient-step benchmarks the 2-tier stack
+// (n=1536).
+var benchCoef = map[string]struct {
+	key  string
+	refN int
+}{
+	"BenchmarkFlowChangeFreshDirect":    {"factor:direct", 3072},
+	"BenchmarkFactorAMD":                {"factor:direct:amd", 3072},
+	"BenchmarkFactorND":                 {"factor:direct:nd", 3072},
+	"BenchmarkFlowChangeFresh":          {"factor:bicgstab", 3072},
+	"BenchmarkSolverGMRESWithRCMILU":    {"factor:gmres", 3072},
+	"BenchmarkSerialRefactor":           {"refactor:direct", 3072},
+	"BenchmarkTransientStepSolveDirect": {"solve:direct", 1536},
+	"BenchmarkTransientStepSolve":       {"solve:bicgstab", 1536},
+	"BenchmarkSolverGMRES":              {"solve:gmres", 3072},
+	"BenchmarkFlowChangeStepDirect":     {"restamp", 1536},
+}
+
+// LoadSnapshot builds a cost model from one committed bench.sh snapshot
+// (BENCH_*.json): recognised benchmarks override the built-in defaults,
+// and the SolveBlock solo/blocked pair refreshes the direct backend's
+// blocked-solve ratio. Unrecognised benchmarks are ignored, so the
+// model keeps loading as the suite grows.
+func LoadSnapshot(path string) (*CostModel, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("plan: parse %s: %w", path, err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("plan: %s pins no benchmarks", path)
+	}
+	m := DefaultModel()
+	m.source = filepath.Base(path)
+	m.measured = true
+	var solo, blocked float64
+	for _, b := range snap.Benchmarks {
+		if b.NsOp <= 0 {
+			continue
+		}
+		switch b.Name {
+		case "BenchmarkSolveBlock/solo50":
+			solo = b.NsOp
+		case "BenchmarkSolveBlock/blocked50":
+			blocked = b.NsOp
+		}
+		if slot, ok := benchCoef[b.Name]; ok {
+			m.coef[slot.key] = Coef{Ns: b.NsOp, RefN: slot.refN}
+		}
+	}
+	if solo > 0 && blocked > 0 && solo > blocked {
+		m.blockedRatio["direct"] = solo / blocked
+	}
+	return m, nil
+}
+
+// LoadLatest loads the newest BENCH_*.json in dir (numeric PR order),
+// falling back to DefaultModel when none parses. The returned model is
+// always usable; the error reports why a snapshot was skipped.
+func LoadLatest(dir string) (*CostModel, error) {
+	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if len(matches) == 0 {
+		return DefaultModel(), fmt.Errorf("plan: no BENCH_*.json in %s", dir)
+	}
+	sort.Slice(matches, func(i, j int) bool { return snapshotOrd(matches[i]) < snapshotOrd(matches[j]) })
+	var lastErr error
+	for i := len(matches) - 1; i >= 0; i-- {
+		m, err := LoadSnapshot(matches[i])
+		if err == nil {
+			return m, nil
+		}
+		if lastErr == nil {
+			lastErr = err
+		}
+	}
+	return DefaultModel(), lastErr
+}
+
+// snapshotOrd orders snapshot names numerically (BENCH_PR9 before
+// BENCH_PR10 — plain string order would not).
+func snapshotOrd(path string) int {
+	base := strings.TrimSuffix(filepath.Base(path), ".json")
+	digits := strings.TrimFunc(base, func(r rune) bool { return r < '0' || r > '9' })
+	n, err := strconv.Atoi(digits)
+	if err != nil {
+		return -1
+	}
+	return n
+}

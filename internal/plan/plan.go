@@ -1,0 +1,265 @@
+package plan
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/sweep"
+)
+
+// Planner is the cost-based implementation of sweep.Planner: per
+// lockstep group it enumerates the candidate execution strategies,
+// prices each from the cost model, and picks the cheapest feasible
+// one. Feasible candidates turn only result-invariant knobs (batch
+// width, numeric refactorisation, assembly sharing); backend and
+// ordering alternatives are enumerated and priced as advisory rows —
+// they are part of every scenario's identity, so switching them would
+// change the result bytes and is infeasible by definition.
+//
+// A Planner is safe for concurrent use and deterministic for a fixed
+// cost model: the same GroupInfo always yields the same Decision.
+type Planner struct {
+	model *CostModel
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+var _ sweep.Planner = (*Planner)(nil)
+
+// New returns a planner over model (DefaultModel when nil).
+func New(model *CostModel) *Planner {
+	if model == nil {
+		model = DefaultModel()
+	}
+	return &Planner{model: model}
+}
+
+// Model exposes the planner's cost model.
+func (p *Planner) Model() *CostModel { return p.model }
+
+// Stats is the planner's cumulative activity, surfaced via /v1/stats.
+// Estimated and actual totals compare the model against reality:
+// actual is wall time and therefore nondeterministic, which is why it
+// lives here and in explain output, never in plain sweep reports.
+type Stats struct {
+	// Source names the coefficient provenance (snapshot file,
+	// "defaults", or "defaults+self-calibrated").
+	Source string `json:"source"`
+	// Calibrations counts completed self-calibration runs.
+	Calibrations int `json:"calibrations"`
+	// GroupsPlanned counts PlanGroup calls; Observed counts completed
+	// groups fed back through ObserveGroup.
+	GroupsPlanned int `json:"groups_planned"`
+	Observed      int `json:"observed"`
+	// EstNsTotal sums the chosen candidates' estimated serial costs;
+	// ActualNsTotal sums the measured ones for observed groups.
+	EstNsTotal    int64 `json:"est_ns_total"`
+	ActualNsTotal int64 `json:"actual_ns_total"`
+}
+
+// Stats snapshots the planner's counters.
+func (p *Planner) Stats() Stats {
+	p.mu.Lock()
+	s := p.stats
+	p.mu.Unlock()
+	s.Source = p.model.Source()
+	s.Calibrations = p.model.Calibrations()
+	return s
+}
+
+// Candidate is one costed row of a group's plan table.
+type Candidate struct {
+	// BatchWidth, Refactor, ShareAssemblies are the knobs this row sets.
+	BatchWidth      int  `json:"batch_width"`
+	Refactor        bool `json:"refactor"`
+	ShareAssemblies bool `json:"share_assemblies"`
+	// Backend and Ordering are the backend configuration the row was
+	// priced at. Rows that deviate from the group's declared
+	// configuration are advisory: Feasible is false and Reason says why.
+	Backend  string `json:"backend"`
+	Ordering string `json:"ordering,omitempty"`
+	// EstNs is the model's serial-cost estimate for the whole group.
+	EstNs int64 `json:"est_ns"`
+	// Feasible marks rows the planner may execute; Chosen marks the one
+	// it did.
+	Feasible bool   `json:"feasible"`
+	Reason   string `json:"reason,omitempty"`
+	Chosen   bool   `json:"chosen"`
+}
+
+// Explanation is the Decision.Explain payload: the full candidate
+// table and the model inputs it was priced from.
+type Explanation struct {
+	// Source names the cost-coefficient provenance at planning time.
+	Source string `json:"source"`
+	// N is the estimated unknown count; DistinctLHS the estimated
+	// distinct left-hand sides; Solves the estimated solve count.
+	N           int `json:"n"`
+	DistinctLHS int `json:"distinct_lhs"`
+	Solves      int `json:"solves"`
+	// Candidates holds every priced row, feasible rows first, each
+	// block sorted cheapest-first.
+	Candidates []Candidate `json:"candidates"`
+}
+
+// candidate widths, cheapest-to-enumerate order. The engine default
+// (32) is included, so an unplanned-equivalent row is always priced.
+var widths = []int{1, 8, 16, 32}
+
+// substepsPerStep estimates the thermal sub-steps one trace step
+// costs: traces run 1 s intervals sensed at SenseDt = 0.1 s.
+const substepsPerStep = 10
+
+// shape derives the cost-model inputs from a group's structure.
+func shape(info sweep.GroupInfo) (n, lhs, solves int) {
+	n = info.Grid * info.Grid * info.Tiers * 3
+	if info.Cooling == "liquid" {
+		// Pump actuation quantises to FlowLevels settings plus the
+		// fully-open bring-up level.
+		lhs = info.FlowLevels + 1
+	} else {
+		// Air cooling switches between idle and active fan curves.
+		lhs = 2
+	}
+	solves = info.Scenarios * info.Steps * substepsPerStep
+	return
+}
+
+// ordKey maps a scenario's declared ordering onto a coefficient
+// refinement: "auto" prices as the backend's bare coefficient.
+func ordKey(backend, ordering string) string {
+	if backend != "direct" || ordering == "" || ordering == "auto" {
+		return ""
+	}
+	return ordering
+}
+
+// estimate prices one candidate: group preparation (cold factors or
+// factor+refactors over the distinct left-hand sides), assembly work,
+// and the lockstep solve stream at the candidate's width.
+func (p *Planner) estimate(info sweep.GroupInfo, backend, ordering string, width int, refactor, shareAsm bool) int64 {
+	n, lhs, solves := shape(info)
+	m := p.model
+	ord := ordKey(backend, ordering)
+
+	factor := m.opNs(OpFactor, backend, ord, n)
+	refac := m.opNs(OpRefactor, backend, ord, n)
+	if refac <= 0 || refac > factor {
+		refac = factor
+	}
+	prep := float64(lhs) * factor
+	if refactor && lhs > 0 {
+		prep = factor + float64(lhs-1)*refac
+	}
+
+	assemble := m.opNs(OpAssemble, backend, "", n)
+	restamp := m.opNs(OpRestamp, backend, "", n)
+	asm := float64(lhs) * (assemble + float64(info.Steps)*restamp)
+	if !shareAsm {
+		asm *= float64(info.Scenarios)
+	}
+
+	// Blocked multi-RHS solves amortise the factor traversal across the
+	// chunk's columns: per-column cost falls from solve at width 1
+	// toward solve/R as the width grows.
+	r := m.BlockedRatio(backend)
+	w := float64(min(width, max(info.Scenarios, 1)))
+	col := m.opNs(OpSolve, backend, ord, n) * (1/r + (1-1/r)/w)
+
+	return int64(prep + asm + float64(solves)*col)
+}
+
+// PlanGroup implements sweep.Planner: enumerate, price, pick.
+func (p *Planner) PlanGroup(info sweep.GroupInfo) sweep.Decision {
+	n, lhs, solves := shape(info)
+	p.model.EnsureCalibrated(info.Solver, info.Ordering, n)
+
+	var feasible, advisory []Candidate
+	for _, w := range widths {
+		for _, refactor := range []bool{true, false} {
+			for _, shareAsm := range []bool{true, false} {
+				feasible = append(feasible, Candidate{
+					BatchWidth: w, Refactor: refactor, ShareAssemblies: shareAsm,
+					Backend: info.Solver, Ordering: info.Ordering,
+					EstNs:    p.estimate(info, info.Solver, info.Ordering, w, refactor, shareAsm),
+					Feasible: true,
+				})
+			}
+		}
+	}
+	// Advisory rows: what the alternative backends and orderings would
+	// cost at the best feasible shape. They are never executable — the
+	// backend/ordering pair is part of every scenario's cache identity,
+	// so switching it changes the result bytes.
+	const pinned = "changes scenario identity (solver/ordering are part of the result key)"
+	for _, b := range []string{"direct", "bicgstab", "gmres"} {
+		if b == info.Solver {
+			continue
+		}
+		advisory = append(advisory, Candidate{
+			BatchWidth: info.DefaultWidth, Refactor: true, ShareAssemblies: true,
+			Backend: b, Ordering: "auto",
+			EstNs:  p.estimate(info, b, "auto", info.DefaultWidth, true, true),
+			Reason: pinned,
+		})
+	}
+	if info.Solver == "direct" {
+		for _, o := range []string{"auto", "amd", "nd", "rcm"} {
+			if o == info.Ordering {
+				continue
+			}
+			advisory = append(advisory, Candidate{
+				BatchWidth: info.DefaultWidth, Refactor: true, ShareAssemblies: true,
+				Backend: "direct", Ordering: o,
+				EstNs:  p.estimate(info, "direct", o, info.DefaultWidth, true, true),
+				Reason: pinned,
+			})
+		}
+	}
+
+	// Cheapest feasible wins; ties break toward the earlier-enumerated
+	// row (narrower width, refactor and sharing on), which keeps the
+	// choice deterministic.
+	best := 0
+	for i, c := range feasible {
+		if c.EstNs < feasible[best].EstNs {
+			best = i
+		}
+	}
+	chosen := feasible[best]
+	feasible[best].Chosen = true
+
+	sort.SliceStable(feasible, func(a, b int) bool { return feasible[a].EstNs < feasible[b].EstNs })
+	sort.SliceStable(advisory, func(a, b int) bool { return advisory[a].EstNs < advisory[b].EstNs })
+
+	p.mu.Lock()
+	p.stats.GroupsPlanned++
+	p.stats.EstNsTotal += chosen.EstNs
+	p.mu.Unlock()
+
+	return sweep.Decision{
+		BatchWidth:      chosen.BatchWidth,
+		Refactor:        chosen.Refactor,
+		ShareAssemblies: chosen.ShareAssemblies,
+		// Prep sharing is result-invariant and never slower (factors are
+		// reused, never recomputed), so every feasible candidate keeps it.
+		SharePrep: true,
+		Explain: &Explanation{
+			Source:      p.model.Source(),
+			N:           n,
+			DistinctLHS: lhs,
+			Solves:      solves,
+			Candidates:  append(feasible, advisory...),
+		},
+	}
+}
+
+// ObserveGroup implements sweep.Planner: accumulate the measured group
+// cost for the stats surface.
+func (p *Planner) ObserveGroup(info sweep.GroupInfo, d sweep.Decision, actualNs int64) {
+	p.mu.Lock()
+	p.stats.Observed++
+	p.stats.ActualNsTotal += actualNs
+	p.mu.Unlock()
+}

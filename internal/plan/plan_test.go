@@ -1,0 +1,291 @@
+package plan
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+func liquidGroup() sweep.GroupInfo {
+	return sweep.GroupInfo{
+		Key: "g", Scenarios: 50, Total: 50, Steps: 12,
+		Tiers: 2, Grid: 16, Cooling: "liquid",
+		Solver: "direct", Ordering: "auto", FlowLevels: 8, DefaultWidth: 32,
+	}
+}
+
+// TestPlanGroupDeterministic pins the planner contract the race
+// harness re-runs with -count=2: the same GroupInfo yields the same
+// Decision, bit for bit, across repeated and concurrent planning.
+func TestPlanGroupDeterministic(t *testing.T) {
+	p := New(DefaultModel())
+	info := liquidGroup()
+	first, err := json.Marshal(p.PlanGroup(info))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []byte, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			b, _ := json.Marshal(p.PlanGroup(info))
+			done <- b
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if got := <-done; string(got) != string(first) {
+			t.Fatalf("nondeterministic plan:\n%s\nvs\n%s", got, first)
+		}
+	}
+}
+
+// TestPlanChoosesBlockedWidth checks the core economic call: for a
+// wide liquid direct-solver group, blocked solving amortises the
+// factor traversal, so the planner must pick a width > 1 and keep
+// refactorisation and sharing on.
+func TestPlanChoosesBlockedWidth(t *testing.T) {
+	p := New(DefaultModel())
+	d := p.PlanGroup(liquidGroup())
+	if d.BatchWidth <= 1 {
+		t.Fatalf("planner picked solo stepping (width %d) for a 50-scenario direct group", d.BatchWidth)
+	}
+	if !d.Refactor || !d.ShareAssemblies || !d.SharePrep {
+		t.Fatalf("planner disabled a strictly-beneficial sharing knob: %+v", d)
+	}
+}
+
+// TestPlanExplainTable checks the explanation payload: every feasible
+// row keeps the group's declared backend/ordering, exactly one row is
+// chosen, advisory rows carry a reason and are never chosen.
+func TestPlanExplainTable(t *testing.T) {
+	p := New(DefaultModel())
+	info := liquidGroup()
+	d := p.PlanGroup(info)
+	ex, ok := d.Explain.(*Explanation)
+	if !ok {
+		t.Fatalf("Explain is %T, want *Explanation", d.Explain)
+	}
+	if ex.N != 16*16*2*3 {
+		t.Fatalf("N = %d, want %d", ex.N, 16*16*2*3)
+	}
+	if ex.DistinctLHS != 9 || ex.Solves != 50*12*10 {
+		t.Fatalf("lhs=%d solves=%d, want 9 and 6000", ex.DistinctLHS, ex.Solves)
+	}
+	chosen := 0
+	for _, c := range ex.Candidates {
+		if c.Feasible {
+			if c.Backend != info.Solver || c.Ordering != info.Ordering {
+				t.Fatalf("feasible row switched backend/ordering: %+v", c)
+			}
+			if c.Chosen {
+				chosen++
+				if c.BatchWidth != d.BatchWidth || c.Refactor != d.Refactor || c.ShareAssemblies != d.ShareAssemblies {
+					t.Fatalf("chosen row %+v disagrees with decision %+v", c, d)
+				}
+			}
+		} else {
+			if c.Chosen {
+				t.Fatalf("advisory row chosen: %+v", c)
+			}
+			if c.Reason == "" {
+				t.Fatalf("advisory row without reason: %+v", c)
+			}
+			if c.Backend == info.Solver && c.Ordering == info.Ordering {
+				t.Fatalf("advisory row duplicates the declared configuration: %+v", c)
+			}
+		}
+		if c.EstNs <= 0 {
+			t.Fatalf("unpriced candidate: %+v", c)
+		}
+	}
+	if chosen != 1 {
+		t.Fatalf("%d chosen rows, want exactly 1", chosen)
+	}
+	// Both alternative backends and the three alternative direct
+	// orderings must appear as advisory rows.
+	want := map[string]bool{"bicgstab|auto": false, "gmres|auto": false,
+		"direct|amd": false, "direct|nd": false, "direct|rcm": false}
+	for _, c := range ex.Candidates {
+		if !c.Feasible {
+			want[c.Backend+"|"+c.Ordering] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Fatalf("missing advisory row %s", k)
+		}
+	}
+}
+
+// TestPlanStatsAccumulate checks the stats surface the server exposes.
+func TestPlanStatsAccumulate(t *testing.T) {
+	p := New(DefaultModel())
+	info := liquidGroup()
+	d := p.PlanGroup(info)
+	p.ObserveGroup(info, d, 12345)
+	s := p.Stats()
+	if s.GroupsPlanned != 1 || s.Observed != 1 {
+		t.Fatalf("stats = %+v, want 1 planned / 1 observed", s)
+	}
+	if s.EstNsTotal <= 0 || s.ActualNsTotal != 12345 {
+		t.Fatalf("stats totals = %+v", s)
+	}
+	if s.Source == "" {
+		t.Fatalf("stats missing source")
+	}
+}
+
+// TestPlanSnapshotLoad checks BENCH_*.json loading: recognised
+// benchmarks override defaults, the SolveBlock pair sets the blocked
+// ratio, and LoadLatest orders snapshots numerically (PR9 < PR10).
+func TestPlanSnapshotLoad(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("BENCH_PR9.json", `{"benchmarks":[
+		{"name":"BenchmarkTransientStepSolveDirect","ns_per_op":111},
+		{"name":"BenchmarkSolveBlock/solo50","ns_per_op":400},
+		{"name":"BenchmarkSolveBlock/blocked50","ns_per_op":100}]}`)
+	write("BENCH_PR10.json", `{"benchmarks":[
+		{"name":"BenchmarkTransientStepSolveDirect","ns_per_op":222}]}`)
+	write("BENCH_PR2.json", `{"benchmarks":[
+		{"name":"BenchmarkTransientStepSolveDirect","ns_per_op":333}]}`)
+
+	m, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Source() != "BENCH_PR10.json" {
+		t.Fatalf("loaded %s, want BENCH_PR10.json (numeric order)", m.Source())
+	}
+	if got := m.opNs(OpSolve, "direct", "", 1536); got != 222 {
+		t.Fatalf("solve:direct = %v, want the snapshot's 222", got)
+	}
+
+	m9, err := LoadSnapshot(filepath.Join(dir, "BENCH_PR9.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := m9.BlockedRatio("direct"); r != 4 {
+		t.Fatalf("blocked ratio = %v, want 4 from the SolveBlock pair", r)
+	}
+	// A measured model never self-calibrates.
+	m9.EnsureCalibrated("direct", "auto", 128)
+	if m9.Calibrations() != 0 {
+		t.Fatalf("snapshot-backed model ran self-calibration")
+	}
+
+	if _, err := LoadLatest(t.TempDir()); err == nil {
+		t.Fatalf("LoadLatest on an empty dir must report the miss")
+	}
+}
+
+// TestPlanSelfCalibration checks the fallback path: a defaults-backed
+// model measures real per-op costs once per (backend, size) and
+// installs them at the group's reference size.
+func TestPlanSelfCalibration(t *testing.T) {
+	m := DefaultModel()
+	m.EnsureCalibrated("direct", "auto", 192)
+	if m.Calibrations() != 1 {
+		t.Fatalf("calibrations = %d, want 1", m.Calibrations())
+	}
+	if m.Source() != "defaults+self-calibrated" {
+		t.Fatalf("source = %s", m.Source())
+	}
+	for _, op := range []string{OpFactor, OpSolve, OpAssemble, OpRestamp} {
+		if ns := m.opNs(op, "direct", "", 192); ns <= 0 {
+			t.Fatalf("op %s unpriced after calibration", op)
+		}
+	}
+	before := m.opNs(OpSolve, "direct", "", 192)
+	// Idempotent: a second call reuses the completed run.
+	m.EnsureCalibrated("direct", "auto", 192)
+	if m.Calibrations() != 1 {
+		t.Fatalf("recalibrated: %d runs", m.Calibrations())
+	}
+	if after := m.opNs(OpSolve, "direct", "", 192); after != before {
+		t.Fatalf("coefficients moved without a new run: %v -> %v", before, after)
+	}
+}
+
+// TestPlanCostScaling pins the size-scaling law: factor-class ops
+// scale superlinearly, solve-class linearly.
+func TestPlanCostScaling(t *testing.T) {
+	m := DefaultModel()
+	m.Set("factor:direct", Coef{Ns: 1000, RefN: 100})
+	m.Set("solve:direct", Coef{Ns: 1000, RefN: 100})
+	if got := m.opNs(OpFactor, "direct", "", 400); got != 8000 {
+		t.Fatalf("factor at 4x size = %v, want 8000 (4^1.5)", got)
+	}
+	if got := m.opNs(OpSolve, "direct", "", 400); got != 4000 {
+		t.Fatalf("solve at 4x size = %v, want 4000 (linear)", got)
+	}
+	// Specific-to-general key fallback.
+	m.Set("factor:direct:amd", Coef{Ns: 500, RefN: 100})
+	if got := m.opNs(OpFactor, "direct", "amd", 100); got != 500 {
+		t.Fatalf("ordering-refined coefficient ignored: %v", got)
+	}
+	if got := m.opNs(OpFactor, "direct", "rcm", 100); got != 1000 {
+		t.Fatalf("fallback to backend coefficient broken: %v", got)
+	}
+}
+
+// TestPlanAirGroupShape pins the air-cooling shape derivation (two
+// left-hand sides, no flow quantisation).
+func TestPlanAirGroupShape(t *testing.T) {
+	info := liquidGroup()
+	info.Cooling = "air"
+	d := New(DefaultModel()).PlanGroup(info)
+	ex := d.Explain.(*Explanation)
+	if ex.DistinctLHS != 2 {
+		t.Fatalf("air group lhs = %d, want 2", ex.DistinctLHS)
+	}
+}
+
+// TestPlanDecisionSurvivesJSON checks the decision (with its opaque
+// explanation) round-trips through JSON — the /v1/sweeps?explain=1
+// response path.
+func TestPlanDecisionSurvivesJSON(t *testing.T) {
+	d := New(DefaultModel()).PlanGroup(liquidGroup())
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(b, &round); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"batch_width", "refactor", "share_assemblies", "share_prep", "explain"} {
+		if _, ok := round[k]; !ok {
+			t.Fatalf("decision JSON missing %q: %s", k, b)
+		}
+	}
+	ex := round["explain"].(map[string]any)
+	cands, ok := ex["candidates"].([]any)
+	if !ok || len(cands) == 0 {
+		t.Fatalf("explanation lost its candidate table: %s", b)
+	}
+}
+
+// TestPlanShapeIsPure double-checks shape() against hand-derived
+// values for the documented stacks.
+func TestPlanShapeIsPure(t *testing.T) {
+	n, lhs, solves := shape(liquidGroup())
+	if n != 1536 || lhs != 9 || solves != 6000 {
+		t.Fatalf("shape = (%d, %d, %d)", n, lhs, solves)
+	}
+	four := liquidGroup()
+	four.Tiers = 4
+	if n, _, _ := shape(four); n != 3072 {
+		t.Fatalf("4-tier n = %d, want 3072", n)
+	}
+	if !reflect.DeepEqual(widths, []int{1, 8, 16, 32}) {
+		t.Fatalf("candidate widths changed: %v", widths)
+	}
+}

@@ -1,0 +1,179 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Formatter renders query output rows in one wire format. The fields
+// slice is the projection, in column order; every formatter emits
+// exactly those fields for every row (blank/null when absent), so
+// output shape is a pure function of the query — pinned by the golden
+// shape test.
+type Formatter interface {
+	// Name is the registry name (the ?format= value).
+	Name() string
+	// Format writes the rows to w.
+	Format(w io.Writer, fields []string, rows []Record) error
+}
+
+var formatters = map[string]Formatter{
+	"table":  tableFormatter{},
+	"ndjson": ndjsonFormatter{},
+	"json":   jsonFormatter{},
+}
+
+// NewFormatter resolves a format name ("" selects table). The error
+// lists the registered names.
+func NewFormatter(name string) (Formatter, error) {
+	if name == "" {
+		name = "table"
+	}
+	f, ok := formatters[name]
+	if !ok {
+		return nil, fmt.Errorf("query: unknown format %q (have %s)", name, strings.Join(FormatNames(), ", "))
+	}
+	return f, nil
+}
+
+// FormatNames lists the registered formats, sorted.
+func FormatNames() []string {
+	out := make([]string, 0, len(formatters))
+	for n := range formatters {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// cell renders one value for the table format: shortest float form
+// (round-trippable), "" for absent values.
+func cell(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		if x {
+			return "1"
+		}
+		return "0"
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+// tableFormatter writes an aligned text table with a header row, in
+// the spirit of gh-cli's tableprinter output.
+type tableFormatter struct{}
+
+func (tableFormatter) Name() string { return "table" }
+
+func (tableFormatter) Format(w io.Writer, fields []string, rows []Record) error {
+	width := make([]int, len(fields))
+	for i, f := range fields {
+		width[i] = len(f)
+	}
+	cells := make([][]string, len(rows))
+	for r, row := range rows {
+		cells[r] = make([]string, len(fields))
+		for i, f := range fields {
+			c := cell(row[f])
+			cells[r][i] = c
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			// Pad every column but the last, so lines have no trailing
+			// whitespace.
+			if i < len(cols)-1 {
+				b.WriteString(strings.Repeat(" ", width[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(fields)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ndjsonFormatter writes one JSON object per row, keys in projection
+// order, newline-delimited — the streaming-friendly format.
+type ndjsonFormatter struct{}
+
+func (ndjsonFormatter) Name() string { return "ndjson" }
+
+func (ndjsonFormatter) Format(w io.Writer, fields []string, rows []Record) error {
+	var b strings.Builder
+	for _, row := range rows {
+		b.Reset()
+		b.WriteByte('{')
+		for i, f := range fields {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			k, _ := json.Marshal(f)
+			b.Write(k)
+			b.WriteByte(':')
+			v, err := json.Marshal(row[f])
+			if err != nil {
+				return err
+			}
+			b.Write(v)
+		}
+		b.WriteString("}\n")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonFormatter writes the whole result as one JSON array of objects
+// (keys in projection order), for clients that want a single document.
+type jsonFormatter struct{}
+
+func (jsonFormatter) Name() string { return "json" }
+
+func (jsonFormatter) Format(w io.Writer, fields []string, rows []Record) error {
+	if len(rows) == 0 {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	nd := ndjsonFormatter{}
+	for i, row := range rows {
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		var line strings.Builder
+		if err := nd.Format(&line, fields, []Record{row}); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "  "+strings.TrimSuffix(line.String(), "\n")); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}

@@ -1,0 +1,291 @@
+// Package query is the expression language over stored sweep results:
+// a small filter/sort/project surface the server exposes at
+// /v1/results/query, so a parameter study can be interrogated without
+// re-running anything.
+//
+// An expression is a sequence of whitespace-separated terms:
+//
+//	max_temp<85 cooling=liquid sort:pump_power limit:10 fields:id,max_temp,pump_power
+//
+//	field OP value   filter (OP one of < <= > >= = !=); numeric when both
+//	                 sides parse as numbers, lexicographic otherwise
+//	sort:[-]field    sort key, descending with the - prefix; repeatable,
+//	                 later keys break ties of earlier ones
+//	limit:N          keep at most N rows after sorting
+//	fields:a,b,c     project to the named fields, in order
+//
+// Parse and String round-trip: String renders the canonical form and
+// Parse(String(q)) reproduces q exactly (fuzzed by FuzzQueryExpr).
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Filter is one comparison term.
+type Filter struct {
+	Field string `json:"field"`
+	Op    string `json:"op"`
+	Value string `json:"value"`
+}
+
+// SortKey is one sort term.
+type SortKey struct {
+	Field string `json:"field"`
+	Desc  bool   `json:"desc,omitempty"`
+}
+
+// Query is a parsed expression.
+type Query struct {
+	Filters []Filter  `json:"filters,omitempty"`
+	Sort    []SortKey `json:"sort,omitempty"`
+	// Limit caps the result rows; 0 means unlimited.
+	Limit int `json:"limit,omitempty"`
+	// Fields is the projection, in output order; empty selects the
+	// caller's default field set.
+	Fields []string `json:"fields,omitempty"`
+}
+
+// ops in longest-match-first order, so "<=" wins over "<".
+var ops = []string{"<=", ">=", "!=", "<", ">", "="}
+
+func validField(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Parse compiles an expression. Errors name the offending term.
+func Parse(expr string) (*Query, error) {
+	q := &Query{}
+	for _, term := range strings.Fields(expr) {
+		switch {
+		case strings.HasPrefix(term, "sort:"):
+			f := strings.TrimPrefix(term, "sort:")
+			desc := strings.HasPrefix(f, "-")
+			f = strings.TrimPrefix(f, "-")
+			if !validField(f) {
+				return nil, fmt.Errorf("query: bad sort field in %q", term)
+			}
+			q.Sort = append(q.Sort, SortKey{Field: f, Desc: desc})
+		case strings.HasPrefix(term, "limit:"):
+			n, err := strconv.Atoi(strings.TrimPrefix(term, "limit:"))
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("query: bad limit in %q", term)
+			}
+			if q.Limit != 0 {
+				return nil, fmt.Errorf("query: duplicate limit term %q", term)
+			}
+			q.Limit = n
+		case strings.HasPrefix(term, "fields:"):
+			if q.Fields != nil {
+				return nil, fmt.Errorf("query: duplicate fields term %q", term)
+			}
+			for _, f := range strings.Split(strings.TrimPrefix(term, "fields:"), ",") {
+				if !validField(f) {
+					return nil, fmt.Errorf("query: bad field %q in %q", f, term)
+				}
+				q.Fields = append(q.Fields, f)
+			}
+			if len(q.Fields) == 0 {
+				return nil, fmt.Errorf("query: empty fields term %q", term)
+			}
+		default:
+			flt, err := parseFilter(term)
+			if err != nil {
+				return nil, err
+			}
+			q.Filters = append(q.Filters, flt)
+		}
+	}
+	return q, nil
+}
+
+func parseFilter(term string) (Filter, error) {
+	for _, op := range ops {
+		at := strings.Index(term, op)
+		if at < 0 {
+			continue
+		}
+		f := Filter{Field: term[:at], Op: op, Value: term[at+len(op):]}
+		if !validField(f.Field) {
+			return Filter{}, fmt.Errorf("query: bad field in filter %q", term)
+		}
+		if f.Value == "" || strings.ContainsAny(f.Value, "<>=!") {
+			return Filter{}, fmt.Errorf("query: bad value in filter %q", term)
+		}
+		return f, nil
+	}
+	return Filter{}, fmt.Errorf("query: unrecognised term %q (want field<op>value, sort:, limit:, fields:)", term)
+}
+
+// String renders the canonical form: filters, then sort keys, then
+// limit, then fields — each in parse order.
+func (q *Query) String() string {
+	var terms []string
+	for _, f := range q.Filters {
+		terms = append(terms, f.Field+f.Op+f.Value)
+	}
+	for _, s := range q.Sort {
+		if s.Desc {
+			terms = append(terms, "sort:-"+s.Field)
+		} else {
+			terms = append(terms, "sort:"+s.Field)
+		}
+	}
+	if q.Limit > 0 {
+		terms = append(terms, "limit:"+strconv.Itoa(q.Limit))
+	}
+	if len(q.Fields) > 0 {
+		terms = append(terms, "fields:"+strings.Join(q.Fields, ","))
+	}
+	return strings.Join(terms, " ")
+}
+
+// Run evaluates the query over rows: filter, stable sort, limit. The
+// input is not mutated; the projection is applied by the formatters
+// (Fields only selects output columns).
+func (q *Query) Run(rows []Record) []Record {
+	out := make([]Record, 0, len(rows))
+	for _, r := range rows {
+		if q.match(r) {
+			out = append(out, r)
+		}
+	}
+	if len(q.Sort) > 0 {
+		sort.SliceStable(out, func(a, b int) bool {
+			for _, k := range q.Sort {
+				c := compareValues(out[a][k.Field], out[b][k.Field])
+				if c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}
+
+func (q *Query) match(r Record) bool {
+	for _, f := range q.Filters {
+		v, ok := r[f.Field]
+		if !ok {
+			return false
+		}
+		c, comparable := compareWith(v, f.Value)
+		switch f.Op {
+		case "=":
+			if !comparable || c != 0 {
+				return false
+			}
+		case "!=":
+			if comparable && c == 0 {
+				return false
+			}
+		case "<":
+			if !comparable || c >= 0 {
+				return false
+			}
+		case "<=":
+			if !comparable || c > 0 {
+				return false
+			}
+		case ">":
+			if !comparable || c <= 0 {
+				return false
+			}
+		case ">=":
+			if !comparable || c < 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// compareWith compares a record value against a filter literal:
+// numerically when both sides are numbers, as strings otherwise.
+func compareWith(v any, lit string) (int, bool) {
+	if n, ok := asNumber(v); ok {
+		ln, err := strconv.ParseFloat(lit, 64)
+		if err != nil {
+			return 0, false
+		}
+		return cmpFloat(n, ln), true
+	}
+	return strings.Compare(fmt.Sprint(v), lit), true
+}
+
+// compareValues orders two record values for sorting: numbers before
+// strings, missing values last.
+func compareValues(a, b any) int {
+	an, aNum := asNumber(a)
+	bn, bNum := asNumber(b)
+	switch {
+	case aNum && bNum:
+		return cmpFloat(an, bn)
+	case aNum:
+		return -1
+	case bNum:
+		return 1
+	case a == nil && b == nil:
+		return 0
+	case a == nil:
+		return 1
+	case b == nil:
+		return -1
+	default:
+		return strings.Compare(fmt.Sprint(a), fmt.Sprint(b))
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func asNumber(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case int:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case bool:
+		if n {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,203 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+func sampleRows() []Record {
+	return []Record{
+		{"sweep": "sw-1", "index": 0, "policy": "LB", "cooling": "liquid", "max_temp": 91.5, "pump_power": 0.8},
+		{"sweep": "sw-1", "index": 1, "policy": "LC_PID", "cooling": "liquid", "max_temp": 84.25, "pump_power": 0.5},
+		{"sweep": "sw-1", "index": 2, "policy": "LC_FUZZY", "cooling": "liquid", "max_temp": 83.5, "pump_power": 0.3},
+		{"sweep": "sw-2", "index": 0, "policy": "LB", "cooling": "air", "max_temp": 96.0},
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"max_temp<85",
+		"max_temp<85 cooling=liquid sort:pump_power limit:10 fields:sweep,max_temp,pump_power",
+		"policy!=LB sort:-max_temp sort:index",
+		"pump_power>=0.5 pump_power<=0.8",
+	}
+	for _, expr := range cases {
+		q, err := Parse(expr)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", expr, err)
+		}
+		if got := q.String(); got != expr {
+			t.Fatalf("round trip %q -> %q", expr, got)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, expr := range []string{
+		"max_temp<",         // empty value
+		"<85",               // empty field
+		"Max_Temp<85",       // uppercase field
+		"max_temp<85<90",    // op in value
+		"limit:0",           // non-positive limit
+		"limit:x",           // non-numeric limit
+		"limit:1 limit:2",   // duplicate limit
+		"fields:a fields:b", // duplicate fields
+		"fields:",           // empty projection
+		"sort:",             // empty sort field
+		"bareword",          // no operator
+	} {
+		if _, err := Parse(expr); err == nil {
+			t.Fatalf("Parse(%q) accepted", expr)
+		}
+	}
+}
+
+func TestRunFilterSortLimit(t *testing.T) {
+	q, err := Parse("max_temp<85 cooling=liquid sort:pump_power limit:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := q.Run(sampleRows())
+	if len(out) != 2 {
+		t.Fatalf("got %d rows, want 2", len(out))
+	}
+	if out[0]["policy"] != "LC_FUZZY" || out[1]["policy"] != "LC_PID" {
+		t.Fatalf("sort order wrong: %v", out)
+	}
+
+	q, _ = Parse("sort:-max_temp limit:2")
+	out = q.Run(sampleRows())
+	if len(out) != 2 || out[0]["max_temp"] != 96.0 || out[1]["max_temp"] != 91.5 {
+		t.Fatalf("descending sort wrong: %v", out)
+	}
+
+	// A filter on a field some rows lack excludes those rows.
+	q, _ = Parse("pump_power>0.2")
+	if out = q.Run(sampleRows()); len(out) != 3 {
+		t.Fatalf("missing-field filter kept %d rows, want 3", len(out))
+	}
+
+	// String comparison for non-numeric fields.
+	q, _ = Parse("policy=LC_FUZZY")
+	if out = q.Run(sampleRows()); len(out) != 1 || out[0]["index"] != 2 {
+		t.Fatalf("string equality wrong: %v", out)
+	}
+}
+
+// TestFormatGoldenShape pins the exact output bytes of every formatter
+// on a fixed projection — the wire contract of /v1/results/query.
+func TestFormatGoldenShape(t *testing.T) {
+	q, _ := Parse("cooling=liquid sort:max_temp fields:policy,max_temp,pump_power")
+	rows := q.Run(sampleRows())
+	fields := q.Fields
+
+	want := map[string]string{
+		"table": "policy    max_temp  pump_power\n" +
+			"LC_FUZZY  83.5      0.3\n" +
+			"LC_PID    84.25     0.5\n" +
+			"LB        91.5      0.8\n",
+		"ndjson": `{"policy":"LC_FUZZY","max_temp":83.5,"pump_power":0.3}` + "\n" +
+			`{"policy":"LC_PID","max_temp":84.25,"pump_power":0.5}` + "\n" +
+			`{"policy":"LB","max_temp":91.5,"pump_power":0.8}` + "\n",
+		"json": "[\n" +
+			`  {"policy":"LC_FUZZY","max_temp":83.5,"pump_power":0.3}` + ",\n" +
+			`  {"policy":"LC_PID","max_temp":84.25,"pump_power":0.5}` + ",\n" +
+			`  {"policy":"LB","max_temp":91.5,"pump_power":0.8}` + "\n]\n",
+	}
+	for name, expect := range want {
+		f, err := NewFormatter(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := f.Format(&b, fields, rows); err != nil {
+			t.Fatal(err)
+		}
+		if b.String() != expect {
+			t.Fatalf("%s output changed:\n%q\nwant\n%q", name, b.String(), expect)
+		}
+	}
+}
+
+func TestFormatterRegistry(t *testing.T) {
+	if _, err := NewFormatter("csv"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	f, err := NewFormatter("")
+	if err != nil || f.Name() != "table" {
+		t.Fatalf("default format = %v, %v", f, err)
+	}
+	var b strings.Builder
+	jf, _ := NewFormatter("json")
+	if err := jf.Format(&b, []string{"a"}, nil); err != nil || b.String() != "[]\n" {
+		t.Fatalf("empty json = %q, %v", b.String(), err)
+	}
+}
+
+func TestFromResult(t *testing.T) {
+	s := jobs.Scenario{Policy: "LC_PID", Cooling: "liquid", Seed: 7}.Normalized()
+	r := sweep.Result{
+		Index: 3, Key: "k", Group: "g", Scenario: s, CacheHit: true,
+		Metrics: &sim.Metrics{PeakTempC: 88.5, PumpEnergyJ: 30, SimulatedS: 300, TotalEnergyJ: 120},
+	}
+	rec := FromResult("sw-abc", r)
+	if rec["sweep"] != "sw-abc" || rec["policy"] != "LC_PID" || rec["seed"] != int64(7) {
+		t.Fatalf("identity fields wrong: %v", rec)
+	}
+	if rec["max_temp"] != 88.5 || rec["pump_power"] != 0.1 {
+		t.Fatalf("metric fields wrong: %v", rec)
+	}
+	if rec["cache_hit"] != true {
+		t.Fatalf("cache_hit wrong: %v", rec)
+	}
+	// Every documented field is either present or a metric field of a
+	// failed row; no undocumented fields leak.
+	known := map[string]bool{}
+	for _, f := range FieldNames() {
+		known[f] = true
+	}
+	for k := range rec {
+		if !known[k] {
+			t.Fatalf("undocumented record field %q", k)
+		}
+	}
+
+	fail := sweep.Result{Index: 0, Scenario: s, Error: "boom"}
+	frec := FromResult("sw-abc", fail)
+	if _, ok := frec["max_temp"]; ok {
+		t.Fatalf("failed row carries metrics: %v", frec)
+	}
+	if frec["error"] != "boom" {
+		t.Fatalf("failed row lost its error: %v", frec)
+	}
+}
+
+// FuzzQueryExpr fuzzes the parser: it must never panic, and every
+// accepted expression must round-trip through its canonical form
+// (Parse ∘ String ∘ Parse is the identity on canonical strings).
+func FuzzQueryExpr(f *testing.F) {
+	f.Add("max_temp<85 cooling=liquid sort:pump_power limit:10 fields:sweep,max_temp")
+	f.Add("policy!=LB sort:-max_temp")
+	f.Add("a=1 b>2 c<=3")
+	f.Add("sort: limit: fields:")
+	f.Add("== <> != sort:-")
+	f.Fuzz(func(t *testing.T, expr string) {
+		q, err := Parse(expr)
+		if err != nil {
+			return
+		}
+		canon := q.String()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q (of %q) rejected: %v", canon, expr, err)
+		}
+		if got := q2.String(); got != canon {
+			t.Fatalf("canonical form unstable: %q -> %q", canon, got)
+		}
+	})
+}

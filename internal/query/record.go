@@ -1,0 +1,103 @@
+package query
+
+import (
+	"repro/internal/sweep"
+)
+
+// Record is one queryable row: a flat field→value map. Values are
+// float64, int, bool or string; the filter/sort machinery compares
+// numbers numerically and everything else lexicographically.
+type Record map[string]any
+
+// DefaultFields is the projection used when an expression names none:
+// the identity columns plus the headline paper metrics, in table
+// order.
+var DefaultFields = []string{
+	"sweep", "index", "policy", "cooling", "seed",
+	"max_temp", "hotspot_avg", "pump_power", "total_energy", "perf_degradation",
+}
+
+// FieldHelp documents every field FromResult emits, for the query
+// endpoint's error messages and the README table.
+var FieldHelp = [][2]string{
+	{"sweep", "sweep id the row belongs to"},
+	{"index", "scenario position in the submitted batch"},
+	{"key", "scenario content address"},
+	{"group", "lockstep/structural sharing group"},
+	{"policy", "DTM policy (LB, TALB, LC_FUZZY, ...)"},
+	{"workload", "workload trace name"},
+	{"cooling", "air or liquid"},
+	{"solver", "linear-solver backend"},
+	{"ordering", "direct-backend fill-reducing ordering"},
+	{"tiers", "stacked dies"},
+	{"grid", "per-die thermal grid side"},
+	{"steps", "trace steps"},
+	{"seed", "workload random seed"},
+	{"threshold", "DTM threshold, °C"},
+	{"cache_hit", "served from the result cache (1) or computed (0)"},
+	{"error", "failure message, empty on success"},
+	{"max_temp", "peak junction temperature, °C"},
+	{"hotspot_avg", "mean per-core fraction of time above threshold"},
+	{"hotspot_max", "worst core's fraction of time above threshold"},
+	{"chip_energy", "integrated chip energy, J"},
+	{"pump_energy", "integrated pump energy, J"},
+	{"total_energy", "chip + pump energy, J"},
+	{"pump_power", "mean pump power, W (pump energy / simulated time)"},
+	{"perf_degradation", "delayed over demanded work, %"},
+	{"mean_flow", "time-average pump setting"},
+	{"migrations", "scheduler thread moves"},
+	{"simulated_s", "simulated duration, s"},
+}
+
+// FieldNames lists every queryable field, in FieldHelp order.
+func FieldNames() []string {
+	out := make([]string, len(FieldHelp))
+	for i, f := range FieldHelp {
+		out[i] = f[0]
+	}
+	return out
+}
+
+// FromResult flattens one sweep result into a Record. sweepID labels
+// the row's origin (the "sweep" field), so queries can span sweeps.
+// Failed scenarios keep their identity fields and carry the error;
+// their metric fields are absent, so metric filters exclude them.
+func FromResult(sweepID string, r sweep.Result) Record {
+	s := r.Scenario
+	rec := Record{
+		"sweep":     sweepID,
+		"index":     r.Index,
+		"key":       r.Key,
+		"group":     r.Group,
+		"policy":    s.Policy,
+		"workload":  s.Workload,
+		"cooling":   s.Cooling,
+		"solver":    s.Solver,
+		"ordering":  s.Ordering,
+		"tiers":     s.Tiers,
+		"grid":      s.Grid,
+		"steps":     s.Steps,
+		"seed":      s.Seed,
+		"threshold": s.ThresholdC,
+		"cache_hit": r.CacheHit,
+		"error":     r.Error,
+	}
+	if m := r.Metrics; m != nil {
+		rec["max_temp"] = m.PeakTempC
+		rec["hotspot_avg"] = m.HotspotFracAvg
+		rec["hotspot_max"] = m.HotspotFracMax
+		rec["chip_energy"] = m.ChipEnergyJ
+		rec["pump_energy"] = m.PumpEnergyJ
+		rec["total_energy"] = m.TotalEnergyJ
+		pumpPower := 0.0
+		if m.SimulatedS > 0 {
+			pumpPower = m.PumpEnergyJ / m.SimulatedS
+		}
+		rec["pump_power"] = pumpPower
+		rec["perf_degradation"] = m.PerfDegradationPct
+		rec["mean_flow"] = m.MeanFlowFrac
+		rec["migrations"] = m.Migrations
+		rec["simulated_s"] = m.SimulatedS
+	}
+	return rec
+}

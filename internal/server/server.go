@@ -13,6 +13,9 @@
 //	GET  /v1/store/{key}     replica peer-fetch: raw stored bytes for a
 //	                         result-store key (url-safe base64; local
 //	                         lookup only, so peered replicas terminate)
+//	GET  /v1/results         list registered sweeps (memory + durable)
+//	GET  /v1/results/query   filter/sort/project stored sweep results
+//	POST /v1/results/query   (?q= or JSON body; table/ndjson/json)
 //
 // The POST endpoints run synchronously by default and return the result
 // body; with ?async=1 they enqueue the work on the job manager and
@@ -47,6 +50,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/jobs"
 	"repro/internal/mat"
+	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/sweep"
@@ -74,8 +78,20 @@ type Options struct {
 	// second tier: memory misses are served from it and fresh results
 	// written through, so results survive restarts. The caller owns its
 	// lifecycle (flush/close on shutdown); the server only reads and
-	// writes through it.
+	// writes through it. The sweep-results registry persists its
+	// manifests here too, so /v1/results/query answers across restarts.
 	Store *store.Store
+	// DisablePlanner turns the cost-based sweep planner off: transient
+	// sweeps then run the engine's fixed defaults. Planned and unplanned
+	// sweeps return byte-identical results — the planner only picks
+	// result-invariant execution knobs — so this is a performance
+	// switch, not a semantic one.
+	DisablePlanner bool
+	// BenchDir is the directory searched for committed BENCH_*.json
+	// cost-model snapshots ("" = current directory). When none parses,
+	// the planner falls back to built-in defaults refined by
+	// self-calibration at first use.
+	BenchDir string
 }
 
 // Server is the simulation service. Construct with New, mount Handler,
@@ -90,6 +106,8 @@ type Server struct {
 	defaultSolver   string
 	defaultOrdering string
 	store           *store.Store
+	planner         *plan.Planner
+	results         *resultsRegistry
 
 	// Solver-metrics surface: per-backend aggregates of every scenario
 	// freshly computed through the result cache (cache hits re-serve a
@@ -133,6 +151,18 @@ func New(opt Options) *Server {
 		}
 	})
 	s.sweeps = &sweep.Engine{Pool: s.pool, Cache: s.cache}
+	if !opt.DisablePlanner {
+		dir := opt.BenchDir
+		if dir == "" {
+			dir = "."
+		}
+		// LoadLatest always returns a usable model; the error only says
+		// why it fell back to defaults (then refined by self-calibration).
+		model, _ := plan.LoadLatest(dir)
+		s.planner = plan.New(model)
+		s.sweeps.Planner = s.planner
+	}
+	s.results = newResultsRegistry(opt.Store)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -142,6 +172,9 @@ func New(opt Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/store/{key}", s.handleStoreGet)
+	s.mux.HandleFunc("GET /v1/results", s.handleResultsList)
+	s.mux.HandleFunc("GET /v1/results/query", s.handleResultsQuery)
+	s.mux.HandleFunc("POST /v1/results/query", s.handleResultsQuery)
 	return s
 }
 
@@ -324,6 +357,11 @@ type StatsResponse struct {
 	// Store, present when a durable result store is attached, reports
 	// WAL/pool/shard counters and per-shard sizes.
 	Store *store.Stats `json:"store,omitempty"`
+	// Planner, present when the cost-based sweep planner is enabled,
+	// reports its cost-model provenance and cumulative estimate-vs-
+	// actual totals (actual is wall time: nondeterministic, so it lives
+	// only on this diagnostic surface).
+	Planner *plan.Stats `json:"planner,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -369,6 +407,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		st := s.store.Stats()
 		resp.Store = &st
+	}
+	if s.planner != nil {
+		ps := s.planner.Stats()
+		resp.Planner = &ps
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -707,6 +749,7 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 		s.streamSweep(w, r, req, scenarios)
 		return
 	}
+	explain := wantFlag(r, "explain")
 	s.dispatch(w, r, "sweep", func(ctx context.Context) (any, error) {
 		if req.Steady != nil {
 			rep, err := s.sweeps.RunSteady(ctx, *req.Steady, nil)
@@ -716,11 +759,18 @@ func (s *Server) handleSweeps(w http.ResponseWriter, r *http.Request) {
 			s.recordSweep(rep.Scenarios, rep.Errors, 0, 1, rep.Prep, nil)
 			return rep, nil
 		}
-		rep, err := s.sweeps.RunTransient(ctx, scenarios, nil)
+		run := s.sweeps.RunTransient
+		if explain {
+			// ?explain=1 attaches Report.Plan: the planner's per-group
+			// candidate tables with estimated and measured costs.
+			run = s.sweeps.RunTransientExplained
+		}
+		rep, err := run(ctx, scenarios, nil)
 		if err != nil {
 			return nil, err
 		}
 		s.recordSweep(rep.Scenarios, rep.Errors, rep.CacheHits, len(rep.Groups), rep.Prep, rep.Batch)
+		rep.SweepID, _ = s.results.Register(rep)
 		return rep, nil
 	})
 }
@@ -762,6 +812,7 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRe
 		return
 	}
 	s.recordSweep(rep.Scenarios, rep.Errors, rep.CacheHits, len(rep.Groups), rep.Prep, rep.Batch)
+	rep.SweepID, _ = s.results.Register(rep)
 	summary := *rep
 	summary.Results = nil
 	line(sweepLine{Type: "report", Report: &summary})

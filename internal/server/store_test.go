@@ -62,7 +62,9 @@ func TestServerRestartServesFromStore(t *testing.T) {
 		t.Fatalf("seed sweep: %d scenarios, %d errors", rep1.Scenarios, rep1.Errors)
 	}
 	stats1 := getStatsResp(t, ts1.URL)
-	if stats1.Store == nil || stats1.Store.Entries != 4 {
+	// 4 scenario results + the results registry's sweep manifest and
+	// sweep index.
+	if stats1.Store == nil || stats1.Store.Entries != 6 {
 		t.Fatalf("store block after seed sweep: %+v", stats1.Store)
 	}
 	if stats1.CacheStats.StorePuts != 4 {
@@ -77,7 +79,7 @@ func TestServerRestartServesFromStore(t *testing.T) {
 	// Restart: fresh process state, same store directory.
 	st2 := openTestStore(t, dir)
 	defer st2.Close()
-	if st2.Len() != 4 {
+	if st2.Len() != 6 {
 		t.Fatalf("store lost entries across restart: %d", st2.Len())
 	}
 	s2 := New(Options{Workers: 2, QueueDepth: 16, Store: st2})

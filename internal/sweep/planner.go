@@ -1,0 +1,150 @@
+package sweep
+
+import "repro/internal/jobs"
+
+// The planner seam: an Engine with a non-nil Planner consults it once
+// per lockstep group before executing a transient sweep, and the
+// planner picks the group's execution strategy — batch width, numeric
+// refactorisation vs cold factors, shared vs per-scenario assemblies.
+// Every knob the planner may turn is result-invariant by construction
+// (each is pinned bit-identical by its own tests), so a planned sweep's
+// per-scenario results are byte-identical to an unplanned one: the
+// planner can only change how fast the answer arrives, never the
+// answer. The concrete cost-based planner lives in internal/plan; this
+// file only defines the contract so the engine stays free of cost-model
+// imports.
+
+// GroupInfo describes one lockstep group to the planner: the shape
+// every candidate strategy is costed against. All fields are
+// deterministic functions of the scenario batch.
+type GroupInfo struct {
+	// Key is the group's lockstep key (TransientKey).
+	Key string `json:"key"`
+	// Scenarios counts the distinct scenarios the group executes;
+	// Total additionally counts content-identical duplicates (served
+	// from the first occurrence, no extra work).
+	Scenarios int `json:"scenarios"`
+	Total     int `json:"total"`
+	// Steps is the trace length shared by every scenario of the group.
+	Steps int `json:"steps"`
+	// Tiers, Grid, Cooling fix the thermal structure (and so the
+	// unknown count and sparsity pattern).
+	Tiers   int    `json:"tiers"`
+	Grid    int    `json:"grid"`
+	Cooling string `json:"cooling"`
+	// Solver and Ordering are the declared backend configuration. They
+	// are part of every scenario's identity (cache key), so a planner
+	// must treat them as pinned: a candidate that changes them would
+	// change the result bytes and is infeasible by definition.
+	Solver   string `json:"solver"`
+	Ordering string `json:"ordering"`
+	// FlowLevels is the pump-actuation quantisation — an upper bound on
+	// the distinct left-hand sides a liquid-cooled group can visit.
+	FlowLevels int `json:"flow_levels"`
+	// DefaultWidth is the width the engine would use unplanned.
+	DefaultWidth int `json:"default_width"`
+}
+
+// Decision is the planner's chosen execution strategy for one group.
+// The zero value is sanitised to the engine defaults.
+type Decision struct {
+	// BatchWidth bounds the scenarios one lockstep chunk advances
+	// together (1 = solo stepping, no blocking).
+	BatchWidth int `json:"batch_width"`
+	// Refactor enables numeric refactorisation from a prior
+	// factorization on prep-cache misses (false = always cold-factor).
+	Refactor bool `json:"refactor"`
+	// ShareAssemblies shares deterministic matrix assemblies group-wide
+	// (false = every scenario assembles privately).
+	ShareAssemblies bool `json:"share_assemblies"`
+	// SharePrep shares factorizations group-wide through one PrepCache
+	// (false = every scenario prepares privately).
+	SharePrep bool `json:"share_prep"`
+	// Explain, when the planner provides it, is the candidate table
+	// behind the decision — carried verbatim into Report.Plan by the
+	// explained run paths, opaque to the engine.
+	Explain any `json:"explain,omitempty"`
+}
+
+// Planner picks per-group execution strategies. Implementations must be
+// safe for concurrent use (one engine serves many sweeps) and
+// deterministic given a fixed cost model: PlanGroup must return the
+// same decision for the same GroupInfo.
+type Planner interface {
+	// PlanGroup returns the strategy for one group.
+	PlanGroup(info GroupInfo) Decision
+	// ObserveGroup feeds back the group's measured execution cost — the
+	// sum of its chunks' wall times, comparable to the planner's serial
+	// cost estimate. Wall time is nondeterministic, so it flows only
+	// here (planner-internal stats, /v1/stats), never into reports.
+	ObserveGroup(info GroupInfo, d Decision, actualNs int64)
+}
+
+// PlanReport is the explained-run section of a Report: one entry per
+// lockstep group, in group first-appearance order. It is attached only
+// by RunTransientExplained (the ?explain=1 path) — ActualNs is wall
+// time and therefore nondeterministic, so explained reports are a
+// diagnostic surface, not part of the byte-identical contract plain
+// runs keep.
+type PlanReport struct {
+	// Planned reports whether a planner was consulted (false = the
+	// engine ran its fixed defaults).
+	Planned bool `json:"planned"`
+	// Groups holds one outcome per lockstep group.
+	Groups []PlanGroupOutcome `json:"groups"`
+}
+
+// PlanGroupOutcome pairs one group's chosen strategy with its measured
+// cost.
+type PlanGroupOutcome struct {
+	// Group is the lockstep key.
+	Group string `json:"group"`
+	// Info echoes the group shape the decision was made against.
+	Info GroupInfo `json:"info"`
+	// Decision is the strategy that executed (sanitised; Explain holds
+	// the planner's candidate table when available).
+	Decision Decision `json:"decision"`
+	// ActualNs is the measured execution cost: the sum of the group's
+	// chunk wall times (serial cost, comparable to est_ns in the
+	// candidate table).
+	ActualNs int64 `json:"actual_ns"`
+}
+
+// defaultDecision is the strategy an unplanned engine runs: the
+// configured batch width with every sharing path enabled.
+func (e *Engine) defaultDecision() Decision {
+	return Decision{
+		BatchWidth:      e.batchWidth(),
+		Refactor:        true,
+		ShareAssemblies: true,
+		SharePrep:       true,
+	}
+}
+
+// sanitize clamps a planner decision to executable values.
+func (d Decision) sanitize() Decision {
+	if d.BatchWidth < 1 {
+		d.BatchWidth = 1
+	}
+	return d
+}
+
+// groupInfo builds the planner view of one group from its first
+// distinct member (every member shares the structural fields, by
+// construction of TransientKey).
+func groupInfo(key string, first jobs.Scenario, distinct, total, defaultWidth int) GroupInfo {
+	s := first.Normalized()
+	return GroupInfo{
+		Key:          key,
+		Scenarios:    distinct,
+		Total:        total,
+		Steps:        s.Steps,
+		Tiers:        s.Tiers,
+		Grid:         s.Grid,
+		Cooling:      s.Cooling,
+		Solver:       s.Solver,
+		Ordering:     s.Ordering,
+		FlowLevels:   s.FlowQuantLevels,
+		DefaultWidth: defaultWidth,
+	}
+}

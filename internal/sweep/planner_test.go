@@ -1,0 +1,208 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+// stubPlanner returns a fixed decision and records every call, so the
+// tests can pin both directions of the planner seam: decisions flowing
+// into execution, outcomes flowing back out.
+type stubPlanner struct {
+	d Decision
+
+	mu       sync.Mutex
+	planned  []GroupInfo
+	observed []PlanGroupOutcome
+}
+
+func (p *stubPlanner) PlanGroup(info GroupInfo) Decision {
+	p.mu.Lock()
+	p.planned = append(p.planned, info)
+	p.mu.Unlock()
+	return p.d
+}
+
+func (p *stubPlanner) ObserveGroup(info GroupInfo, d Decision, actualNs int64) {
+	p.mu.Lock()
+	p.observed = append(p.observed, PlanGroupOutcome{Group: info.Key, Info: info, Decision: d, ActualNs: actualNs})
+	p.mu.Unlock()
+}
+
+// TestPlannerDecisionControlsChunking: the planner's batch width, not
+// the engine's, decides how lockstep groups split into chunks.
+func TestPlannerDecisionControlsChunking(t *testing.T) {
+	batch := transientTestBatch()
+	pl := &stubPlanner{d: Decision{BatchWidth: 2, Refactor: true, ShareAssemblies: true, SharePrep: true}}
+	eng := &Engine{Pool: jobs.NewPool(1), Cache: jobs.NewCache(0), BatchWidth: 64, Planner: pl}
+	rep, err := eng.RunTransient(context.Background(), batch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The batch has 7 distinct scenarios in 3 lockstep groups of sizes
+	// 4/2/1; at width 2 that is 2+1+1 = 4 chunks (the engine's own
+	// width 64 would make 3).
+	if rep.Batch.Chunks != 4 {
+		t.Fatalf("chunks = %d, want 4 (planner width 2 ignored?)", rep.Batch.Chunks)
+	}
+	if len(pl.planned) != 3 {
+		t.Fatalf("planner consulted for %d groups, want 3", len(pl.planned))
+	}
+	if len(pl.observed) != 3 {
+		t.Fatalf("planner observed %d groups, want 3", len(pl.observed))
+	}
+}
+
+// TestPlannerGroupInfoFields: the GroupInfo handed to the planner
+// describes the group faithfully — the fields every cost estimate
+// hangs off.
+func TestPlannerGroupInfoFields(t *testing.T) {
+	pl := &stubPlanner{d: Decision{BatchWidth: 8, Refactor: true, ShareAssemblies: true, SharePrep: true}}
+	eng := &Engine{Pool: jobs.NewPool(1), Cache: jobs.NewCache(0), Planner: pl}
+	if _, err := eng.RunTransient(context.Background(), transientTestBatch(), nil); err != nil {
+		t.Fatal(err)
+	}
+	byCooling := map[string]GroupInfo{}
+	total := 0
+	for _, info := range pl.planned {
+		byCooling[info.Cooling+"/"+info.Solver] = info
+		total += info.Total
+	}
+	liq := byCooling["liquid/direct"]
+	if liq.Scenarios != 4 || liq.Total != 5 { // 4 distinct + 1 duplicate
+		t.Fatalf("liquid/direct group: %+v", liq)
+	}
+	if liq.Tiers != 2 || liq.Grid != 8 || liq.Steps != 3 || liq.Solver != "direct" {
+		t.Fatalf("group structure wrong: %+v", liq)
+	}
+	if liq.Ordering != "auto" || liq.FlowLevels != 8 {
+		t.Fatalf("normalized defaults missing: %+v", liq)
+	}
+	if liq.DefaultWidth != DefaultBatchWidth {
+		t.Fatalf("default width = %d", liq.DefaultWidth)
+	}
+	if total != len(transientTestBatch()) {
+		t.Fatalf("groups cover %d scenarios, want %d", total, len(transientTestBatch()))
+	}
+}
+
+// TestPlannerDecisionsAreResultInvariant is the seam-level byte-identity
+// guarantee: whatever combination of knobs a planner picks, the
+// per-scenario results are bit-identical to the unplanned engine.
+func TestPlannerDecisionsAreResultInvariant(t *testing.T) {
+	batch := transientTestBatch()
+	ref, err := (&Engine{Pool: jobs.NewPool(1), Cache: jobs.NewCache(0)}).
+		RunTransient(context.Background(), batch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultsJSON(t, ref)
+	for _, d := range []Decision{
+		{BatchWidth: 1, Refactor: true, ShareAssemblies: true, SharePrep: true},
+		{BatchWidth: 2, Refactor: false, ShareAssemblies: true, SharePrep: true},
+		{BatchWidth: 64, Refactor: true, ShareAssemblies: false, SharePrep: true},
+		{BatchWidth: 3, Refactor: false, ShareAssemblies: false, SharePrep: false},
+	} {
+		for _, workers := range []int{1, 3} {
+			eng := &Engine{Pool: jobs.NewPool(workers), Cache: jobs.NewCache(0), Planner: &stubPlanner{d: d}}
+			rep, err := eng.RunTransient(context.Background(), batch, nil)
+			if err != nil {
+				t.Fatalf("decision %+v: %v", d, err)
+			}
+			if got := resultsJSON(t, rep); string(got) != string(want) {
+				t.Fatalf("decision %+v workers=%d changed results", d, workers)
+			}
+		}
+	}
+}
+
+// TestPlanReportOnlyWhenExplained: Report.Plan is an explain-only
+// surface — plain runs never carry it (it holds wall times), explained
+// runs carry one outcome per group with the executed decision.
+func TestPlanReportOnlyWhenExplained(t *testing.T) {
+	batch := transientTestBatch()
+	d := Decision{BatchWidth: 2, Refactor: true, ShareAssemblies: true, SharePrep: true, Explain: "table"}
+	eng := &Engine{Pool: jobs.NewPool(2), Cache: jobs.NewCache(0), Planner: &stubPlanner{d: d}}
+	plain, err := eng.RunTransient(context.Background(), batch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Plan != nil {
+		t.Fatal("plain run carries a plan report")
+	}
+
+	eng = &Engine{Pool: jobs.NewPool(2), Cache: jobs.NewCache(0), Planner: &stubPlanner{d: d}}
+	explained, err := eng.RunTransientExplained(context.Background(), batch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explained.Plan == nil || !explained.Plan.Planned {
+		t.Fatalf("explained run plan block: %+v", explained.Plan)
+	}
+	if len(explained.Plan.Groups) != 3 {
+		t.Fatalf("plan block has %d groups, want 3", len(explained.Plan.Groups))
+	}
+	for _, g := range explained.Plan.Groups {
+		if g.Decision.BatchWidth != 2 || g.Decision.Explain != "table" {
+			t.Fatalf("executed decision not echoed: %+v", g.Decision)
+		}
+		if g.ActualNs <= 0 {
+			t.Fatalf("group %s without measured cost", g.Group)
+		}
+		if g.Info.Key != g.Group {
+			t.Fatalf("group info mismatch: %+v", g)
+		}
+	}
+	// The JSON wire form keeps the explain payload.
+	raw, err := json.Marshal(explained.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(raw, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round["planned"] != true {
+		t.Fatalf("plan JSON: %s", raw)
+	}
+
+	// An explained run without a planner still reports the groups (with
+	// the default decisions) but marks the run unplanned.
+	eng = &Engine{Pool: jobs.NewPool(2), Cache: jobs.NewCache(0)}
+	explained, err = eng.RunTransientExplained(context.Background(), batch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explained.Plan == nil || explained.Plan.Planned {
+		t.Fatalf("plannerless explained run: %+v", explained.Plan)
+	}
+	if len(explained.Plan.Groups) != 3 {
+		t.Fatalf("plannerless plan block has %d groups", len(explained.Plan.Groups))
+	}
+}
+
+// TestPlannerZeroDecisionSanitized: a zero-value decision must not
+// wedge the engine (width clamps to 1, sharing stays off).
+func TestPlannerZeroDecisionSanitized(t *testing.T) {
+	batch := transientTestBatch()
+	eng := &Engine{Pool: jobs.NewPool(1), Cache: jobs.NewCache(0), Planner: &stubPlanner{}}
+	rep, err := eng.RunTransient(context.Background(), batch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("zero decision broke the sweep: %d errors", rep.Errors)
+	}
+	ref, err := (&Engine{Pool: jobs.NewPool(1), Cache: jobs.NewCache(0)}).
+		RunTransient(context.Background(), batch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resultsJSON(t, rep), resultsJSON(t, ref); string(got) != string(want) {
+		t.Fatal("zero decision changed results")
+	}
+}

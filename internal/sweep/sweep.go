@@ -58,6 +58,12 @@ type Engine struct {
 	// FailFast cancels the remaining scenarios of a batch after the
 	// first failure instead of completing the survivors.
 	FailFast bool
+	// Planner, when non-nil, picks each lockstep group's execution
+	// strategy in RunTransient — batch width, refactor reuse, assembly
+	// sharing — instead of the engine defaults (see Planner). Every
+	// plannable knob is result-invariant, so a planned sweep's results
+	// are byte-identical to an unplanned one.
+	Planner Planner
 
 	// Per-ordering factor wall-time aggregated across every sweep this
 	// engine has run. Wall time is inherently nondeterministic, so it
@@ -136,6 +142,16 @@ type Report struct {
 	Prep mat.PrepStats `json:"prep"`
 	// Batch reports the lockstep batching outcome (RunTransient only).
 	Batch *BatchReport `json:"batch,omitempty"`
+	// Plan is the plan-explanation block: per-group chosen strategies
+	// and measured costs. It is attached only by RunTransientExplained
+	// (wall times are nondeterministic — plain runs stay byte-identical
+	// and leave it nil).
+	Plan *PlanReport `json:"plan,omitempty"`
+	// SweepID is the content-addressed registry id the serving layer
+	// assigns when it records the sweep for /v1/results/query (a pure
+	// function of the scenario keys — deterministic). Nil-safe: the
+	// engine never sets it.
+	SweepID string `json:"sweep_id,omitempty"`
 }
 
 // BatchReport is the lockstep batching section of a transient sweep's

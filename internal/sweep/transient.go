@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/jobs"
 	"repro/internal/mat"
@@ -28,16 +29,19 @@ func TransientKey(s jobs.Scenario) string {
 }
 
 // tgroup is one lockstep group during a transient run: the sharing
-// caches every chunk of the group plugs into, plus the accumulated
-// batching counters.
+// caches every chunk of the group plugs into (as the planner decided),
+// plus the accumulated batching counters and wall time.
 type tgroup struct {
 	key       string
 	prep      *mat.PrepCache
 	asm       *thermal.AssemblyCache
 	scenarios int
+	info      GroupInfo
+	decision  Decision
 
-	mu    sync.Mutex
-	batch thermal.BatchStats
+	mu     sync.Mutex
+	batch  thermal.BatchStats
+	wallNs int64
 }
 
 func (e *Engine) batchWidth() int {
@@ -65,7 +69,27 @@ func (e *Engine) batchWidth() int {
 // and worker count; only the Result.Group annotation differs (the
 // lockstep key instead of the structural key). onResult streams results
 // as they complete, exactly like Run.
+//
+// When the engine carries a Planner, every group's execution strategy —
+// batch width, refactor reuse, assembly sharing — is the planner's
+// per-group decision instead of the engine defaults. Every plannable
+// knob is result-invariant, so planned results stay byte-identical to
+// unplanned ones (pinned by TestPlannedSweepByteIdentical and the
+// golden corpus).
 func (e *Engine) RunTransient(ctx context.Context, scenarios []jobs.Scenario, onResult func(Result)) (*Report, error) {
+	return e.runTransient(ctx, scenarios, onResult, false)
+}
+
+// RunTransientExplained is RunTransient additionally attaching the
+// plan-explanation block to the report (Report.Plan): per-group chosen
+// strategies, the planner's candidate tables, and measured group costs.
+// Explained reports carry wall times and are therefore a diagnostic
+// surface — the byte-identity contract covers plain RunTransient.
+func (e *Engine) RunTransientExplained(ctx context.Context, scenarios []jobs.Scenario, onResult func(Result)) (*Report, error) {
+	return e.runTransient(ctx, scenarios, onResult, true)
+}
+
+func (e *Engine) runTransient(ctx context.Context, scenarios []jobs.Scenario, onResult func(Result), explain bool) (*Report, error) {
 	p, err := newPlan(scenarios)
 	if err != nil {
 		return nil, err
@@ -79,24 +103,41 @@ func (e *Engine) RunTransient(ctx context.Context, scenarios []jobs.Scenario, on
 	groupOf := make([]*tgroup, n)
 	var chunks [][]int
 	chunkGroup := map[int]*tgroup{}
-	width := e.batchWidth()
 	memberOf := map[*tgroup][]int{}
+	firstOf := map[*tgroup]int{}
 	for _, i := range p.distinct {
 		gk := TransientKey(p.norm[i])
 		g := groups[gk]
 		if g == nil {
-			g = &tgroup{key: gk, prep: e.newPrepCache(), asm: thermal.NewAssemblyCache(e.asmEntries())}
+			g = &tgroup{key: gk}
 			groups[gk] = g
 			groupOrder = append(groupOrder, g)
+			firstOf[g] = i
 		}
 		g.scenarios += 1 + len(p.dupsOf[i])
 		groupOf[i] = g
 		memberOf[g] = append(memberOf[g], i)
 	}
+	// Decide each group's execution strategy — the planner's call when
+	// one is attached, the engine defaults otherwise — then build the
+	// group's sharing caches and chunking from the decision.
 	for _, g := range groupOrder {
 		idxs := memberOf[g]
-		for at := 0; at < len(idxs); at += width {
-			end := min(at+width, len(idxs))
+		g.info = groupInfo(g.key, p.norm[firstOf[g]], len(idxs), g.scenarios, e.batchWidth())
+		d := e.defaultDecision()
+		if e.Planner != nil {
+			d = e.Planner.PlanGroup(g.info).sanitize()
+		}
+		g.decision = d
+		if d.SharePrep {
+			g.prep = e.newPrepCache()
+			g.prep.SetColdOnly(!d.Refactor)
+		}
+		if d.ShareAssemblies {
+			g.asm = thermal.NewAssemblyCache(e.asmEntries())
+		}
+		for at := 0; at < len(idxs); at += d.BatchWidth {
+			end := min(at+d.BatchWidth, len(idxs))
 			chunkGroup[len(chunks)] = g
 			chunks = append(chunks, idxs[at:end])
 		}
@@ -145,6 +186,23 @@ func (e *Engine) RunTransient(ctx context.Context, scenarios []jobs.Scenario, on
 	}
 
 	rep := &Report{Results: results, Scenarios: n, Batch: &BatchReport{Chunks: len(chunks)}}
+	if e.Planner != nil || explain {
+		pr := &PlanReport{Planned: e.Planner != nil}
+		for _, g := range groupOrder {
+			g.mu.Lock()
+			actual := g.wallNs
+			g.mu.Unlock()
+			if e.Planner != nil {
+				e.Planner.ObserveGroup(g.info, g.decision, actual)
+			}
+			pr.Groups = append(pr.Groups, PlanGroupOutcome{
+				Group: g.key, Info: g.info, Decision: g.decision, ActualNs: actual,
+			})
+		}
+		if explain {
+			rep.Plan = pr
+		}
+	}
 	for i := range results {
 		r := &results[i]
 		if r.Err != nil {
@@ -197,6 +255,16 @@ func (e *Engine) asmEntries() int {
 // publish and emit each outcome. Failures stay per-scenario; with
 // FailFast the first one cancels the batch.
 func (e *Engine) runChunk(ctx context.Context, g *tgroup, idxs []int, p *plan, emit func(Result), cancel context.CancelFunc) {
+	start := time.Now()
+	defer func() {
+		// The sum of chunk wall times is the group's serial execution
+		// cost — the measurement the planner's estimates are judged
+		// against (Planner.ObserveGroup, Report.Plan.ActualNs).
+		ns := time.Since(start).Nanoseconds()
+		g.mu.Lock()
+		g.wallNs += ns
+		g.mu.Unlock()
+	}()
 	sh := jobs.Shared{Prep: g.prep, Assemblies: g.asm}
 	emitScenario := func(i int, m *sim.Metrics, hit bool, err error) {
 		r := Result{Index: i, Key: p.keys[i], Group: g.key, Scenario: p.norm[i], Metrics: m, CacheHit: hit}

@@ -1,0 +1,189 @@
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/plan"
+	"repro/internal/sweep"
+)
+
+// TestPlannedSweepByteIdentical is the planner's acceptance criterion:
+// with the real cost-based planner attached — built-in defaults and a
+// committed-snapshot model alike — every scenario's metrics are
+// byte-identical to the unplanned engine, across worker counts and
+// engine batch widths, on the golden transient-sweep corpus. The
+// planner may only turn result-invariant knobs, so "planned" must mean
+// "same bytes, sooner".
+func TestPlannedSweepByteIdentical(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "golden", "sweep-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 6 {
+		t.Fatalf("sweep golden corpus holds %d cases, want >= 6", len(files))
+	}
+	sort.Strings(files)
+
+	models := map[string]*plan.CostModel{"defaults": plan.DefaultModel()}
+	if m, err := plan.LoadLatest("."); err == nil {
+		models[m.Source()] = m
+	}
+
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var c struct {
+				Kind  string          `json:"kind"`
+				Sweep []jobs.Scenario `json:"sweep"`
+			}
+			if err := json.Unmarshal(raw, &c); err != nil {
+				t.Fatal(err)
+			}
+			if c.Kind != "transient-sweep" {
+				t.Fatalf("sweep-*.json of kind %q", c.Kind)
+			}
+
+			ref, err := (&sweep.Engine{Pool: jobs.NewPool(1)}).
+				RunTransient(context.Background(), c.Sweep, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([][]byte, len(ref.Results))
+			for i, r := range ref.Results {
+				if r.Err != nil {
+					t.Fatalf("reference scenario %d: %v", i, r.Err)
+				}
+				if want[i], err = json.Marshal(r.Metrics); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			for name, model := range models {
+				for _, tc := range []struct{ width, workers int }{
+					{1, 2}, {32, 1}, {0, 3},
+				} {
+					eng := &sweep.Engine{
+						Pool:       jobs.NewPool(tc.workers),
+						BatchWidth: tc.width,
+						Planner:    plan.New(model),
+					}
+					rep, err := eng.RunTransient(context.Background(), c.Sweep, nil)
+					if err != nil {
+						t.Fatalf("model=%s width=%d: %v", name, tc.width, err)
+					}
+					if rep.Plan != nil {
+						t.Fatalf("plain planned run carries a plan report")
+					}
+					for i, r := range rep.Results {
+						if r.Err != nil {
+							t.Fatalf("model=%s width=%d scenario %d: %v", name, tc.width, i, r.Err)
+						}
+						got, err := json.Marshal(r.Metrics)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if string(got) != string(want[i]) {
+							t.Fatalf("model=%s width=%d workers=%d scenario %d: planned metrics differ from unplanned",
+								name, tc.width, tc.workers, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPlannedSweepExplainedDeterministicPlan: the explained report's
+// decision and candidate tables are deterministic — two runs over the
+// same batch produce identical plan blocks once the nondeterministic
+// wall times are zeroed.
+func TestPlannedSweepExplainedDeterministicPlan(t *testing.T) {
+	scenarios := []jobs.Scenario{}
+	for seed := int64(1); seed <= 4; seed++ {
+		scenarios = append(scenarios, jobs.Scenario{
+			Tiers: 2, Cooling: "liquid", Policy: "LC_FUZZY", Workload: "web",
+			Steps: 2, Grid: 8, Seed: seed, Solver: "direct",
+		})
+	}
+	// One planner for both runs: self-calibration is single-flighted per
+	// model, so the measured coefficients are fixed after the first plan
+	// and determinism is a property of the planner, as on a live server.
+	pl := plan.New(plan.DefaultModel())
+	planJSON := func() string {
+		eng := &sweep.Engine{Pool: jobs.NewPool(2), Planner: pl}
+		rep, err := eng.RunTransientExplained(context.Background(), scenarios, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Plan == nil || !rep.Plan.Planned {
+			t.Fatalf("explained planned run without plan block")
+		}
+		for i := range rep.Plan.Groups {
+			rep.Plan.Groups[i].ActualNs = 0
+		}
+		raw, err := json.Marshal(rep.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	first := planJSON()
+	if second := planJSON(); second != first {
+		t.Fatalf("plan block nondeterministic:\n%s\nvs\n%s", first, second)
+	}
+	// The explain payload names every candidate the ISSUE enumerates:
+	// widths, both backends as advisory rows, the ordering alternatives.
+	for _, wantSub := range []string{
+		`"batch_width":1`, `"batch_width":8`, `"batch_width":16`, `"batch_width":32`,
+		`"backend":"bicgstab"`, `"backend":"gmres"`, `"ordering":"amd"`, `"ordering":"nd"`,
+		`"feasible":true`, `"feasible":false`, `"chosen":true`,
+	} {
+		if !strings.Contains(first, wantSub) {
+			t.Fatalf("plan block missing %s:\n%s", wantSub, first)
+		}
+	}
+}
+
+// TestPlannedSweepCorpusCoverage keeps the golden corpus honest about
+// the planner's decision space: at least one corpus case must exercise
+// each cooling mode, so the byte-identity sweep above covers both the
+// liquid (multi-LHS) and air (two-LHS) costing paths.
+func TestPlannedSweepCorpusCoverage(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "golden", "sweep-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c struct {
+			Sweep []jobs.Scenario `json:"sweep"`
+		}
+		if err := json.Unmarshal(raw, &c); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range c.Sweep {
+			seen[s.Normalized().Cooling] = true
+		}
+	}
+	for _, cooling := range []string{"air", "liquid"} {
+		if !seen[cooling] {
+			t.Fatalf("no golden sweep case exercises %s cooling", cooling)
+		}
+	}
+}

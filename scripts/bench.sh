@@ -69,8 +69,8 @@ END {
 }
 
 if [ "$mode" = "snapshot" ]; then
-    out="${1:-BENCH_PR7.json}"
-    pattern="${BENCH:-TransientStep|FlowChange|CompactSteady|SteadyDirect|SolverBiCGSTAB|SolverGMRES|SolverGMRESWithRCMILU|PoolStudySweep|CacheHit|SweepShared|SweepUnshared|TransientSweepBatched|TransientSweepUnbatched|SolveBlock$|StorePut$|StoreGet$|CacheHitDisk|FactorAMD|FactorND|SerialRefactor|ParallelRefactor}"
+    out="${1:-BENCH_PR9.json}"
+    pattern="${BENCH:-TransientStep|FlowChange|CompactSteady|SteadyDirect|SolverBiCGSTAB|SolverGMRES|SolverGMRESWithRCMILU|PoolStudySweep|CacheHit|SweepShared|SweepUnshared|TransientSweepBatched|TransientSweepUnbatched|SolveBlock$|StorePut$|StoreGet$|CacheHitDisk|FactorAMD|FactorND|SerialRefactor|ParallelRefactor|PlannedSweep$|UnplannedSweep$|ResultsQuery$}"
     count="${BENCH_COUNT:-1}"
     tmp="$(mktemp)"
     trap 'rm -f "$tmp"' EXIT
@@ -178,6 +178,17 @@ END {
             if (old_b[name] != "" && new_b[name] != "")
                 bad += gate(name, "B/op", old_b[name] + 0, new_b[name] + 0)
             bad += gate(name, "allocs/op", old_a[name] + 0, new_a[name] + 0)
+        }
+    }
+    # Planner speedup gate: when the snapshot pins both sweep variants,
+    # the fresh run must keep the cost-based planner >= 1.2x faster than
+    # the unplanned per-scenario sweep (the PR-9 acceptance floor).
+    if (("BenchmarkPlannedSweep" in new_ns) && ("BenchmarkUnplannedSweep" in new_ns) && new_ns["BenchmarkPlannedSweep"] > 0) {
+        speedup = new_ns["BenchmarkUnplannedSweep"] / new_ns["BenchmarkPlannedSweep"]
+        printf("bench-gate: planned sweep speedup %.2fx (floor 1.20x)\n", speedup)
+        if (speedup < 1.2) {
+            printf("bench-gate: FAILED: planned sweep only %.2fx faster than unplanned (floor 1.20x)\n", speedup)
+            bad++
         }
     }
     if (bad > 0) {
