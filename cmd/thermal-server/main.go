@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/mat"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -48,10 +49,22 @@ func main() {
 	peerTimeout := flag.Duration("peer-timeout", 2*time.Second, "per-request timeout for peer warm-fill fetches")
 	plan := flag.Bool("plan", true, "cost-based sweep planner: pick each lockstep group's batch width and sharing strategy from a per-op cost model (results stay byte-identical; add ?explain=1 to /v1/sweeps for the candidate tables)")
 	benchCosts := flag.String("bench-costs", ".", "directory searched for committed BENCH_*.json cost-model snapshots; when none parses the planner self-calibrates at first use")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrently executing compute requests; up to the same number again queue briefly, the rest are shed with 503 + Retry-After (0 = no admission control)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request compute deadline for synchronous /v1/simulate|dse|studies|sweeps; async submissions are exempt (0 = no deadline)")
+	drainWait := flag.Duration("drain-wait", 0, "pause between flipping /readyz to 503 on SIGTERM and starting Shutdown, so load balancers stop routing here first")
+	faultSpec := flag.String("fault-spec", "", "DEV ONLY: enable deterministic fault injection, e.g. 'seed=7;store.wal.fsync=error,times=1;store.peer.*=latency,delay=50ms,p=0.3' (points: "+strings.Join(fault.Points(), ", ")+")")
 	flag.Parse()
 
 	if !mat.KnownBackend(*solver) {
 		log.Fatalf("unknown solver backend %q (want one of %v)", *solver, mat.Backends())
+	}
+	if *faultSpec != "" {
+		reg, err := fault.Parse(*faultSpec)
+		if err != nil {
+			log.Fatalf("-fault-spec: %v", err)
+		}
+		fault.Enable(reg)
+		log.Printf("FAULT INJECTION ENABLED (dev only): %q", *faultSpec)
 	}
 	if *peers != "" && *storeDir == "" {
 		log.Fatalf("-peers requires -store-dir: peer warm-fills heal the durable store")
@@ -86,13 +99,26 @@ func main() {
 		DefaultSolver:   *solver,
 		DefaultOrdering: *ordering,
 		Store:           st,
+		MaxInFlight:     *maxInFlight,
+		RequestTimeout:  *requestTimeout,
 		DisablePlanner:  !*plan,
 		BenchDir:        *benchCosts,
 	})
+	// WriteTimeout bounds a stalled client on ordinary responses; the
+	// NDJSON sweep stream and job long-polls manage their own per-request
+	// deadlines via http.ResponseController, so slow-but-alive streams
+	// are exempt. Size it off the compute deadline when one is set.
+	writeTimeout := 2 * time.Minute
+	if *requestTimeout > 0 {
+		writeTimeout = *requestTimeout + 30*time.Second
+	}
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	errc := make(chan error, 1)
@@ -103,15 +129,7 @@ func main() {
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	select {
-	case sig := <-sigc:
-		log.Printf("received %s, shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		if err := httpServer.Shutdown(ctx); err != nil {
-			log.Printf("shutdown: %v", err)
-		}
-		svc.Close()
+	closeStore := func() {
 		// Close after the job workers drain: every in-flight write-through
 		// lands, then the final checkpoint seals the pages and trims the
 		// WAL so the next start replays nothing.
@@ -120,8 +138,30 @@ func main() {
 				log.Printf("close result store: %v", err)
 			}
 		}
+	}
+	select {
+	case sig := <-sigc:
+		log.Printf("received %s, draining", sig)
+		// Flip readiness first so load balancers stop routing new work
+		// here, give them a beat to notice, then finish what's in flight.
+		svc.SetDraining(true)
+		if *drainWait > 0 {
+			time.Sleep(*drainWait)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		svc.Close()
+		closeStore()
+		log.Printf("drain complete, exiting")
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
+			// Fatal serve error: still close the store so its final
+			// checkpoint lands instead of leaving a WAL replay behind.
+			svc.Close()
+			closeStore()
 			log.Fatalf("serve: %v", err)
 		}
 	}

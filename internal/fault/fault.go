@@ -1,0 +1,390 @@
+// Package fault is a zero-cost-when-disabled registry of named fault
+// points for deterministic failure injection. Production code threads
+// points through its risky operations:
+//
+//	if err := fault.Do("store.wal.fsync"); err != nil { ... }
+//	n, err := fault.WriteLen("store.page.writeback", len(buf))
+//
+// With no registry enabled (the production default) a point is a single
+// atomic pointer load — no allocation, no lock, no branch beyond the nil
+// check; a benchmark and an AllocsPerRun test pin this. Tests (and the
+// thermal-server -fault-spec dev flag) enable a parsed Spec whose rules
+// fire errors, added latency, or torn/short writes deterministically
+// from a seed, so a chaos run is reproducible by seed alone.
+//
+// The registry is process-global by design: fault points sit on hot
+// paths across packages (store WAL, buffer pool, HTTP peer transport,
+// scenario compute) and must cost nothing when idle. Tests that enable
+// faults must not run in parallel with tests that assume none.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode is what a rule injects when it fires.
+type Mode string
+
+// Rule modes.
+const (
+	// ModeError returns an injected error from the point.
+	ModeError Mode = "error"
+	// ModeLatency sleeps Delay at the point, then proceeds normally.
+	ModeLatency Mode = "latency"
+	// ModeTorn short-writes at a write point: WriteLen reports only
+	// Frac of the buffer as writable and returns an error, simulating a
+	// crash mid-write. At non-write points it behaves like ModeError.
+	ModeTorn Mode = "torn"
+)
+
+// Rule configures one fault point (or a prefix family of points).
+type Rule struct {
+	// Point is the exact point name, or a prefix glob ending in '*'
+	// ("store.*" matches every store-side point).
+	Point string
+	// Mode selects what firing injects.
+	Mode Mode
+	// Prob is the per-evaluation firing probability (0 or 1 mean
+	// always; the seeded per-rule PRNG decides otherwise).
+	Prob float64
+	// After suppresses the first N evaluations of the rule.
+	After int
+	// Times caps the firings (0 = unlimited).
+	Times int
+	// Delay is slept before the injected outcome (any mode).
+	Delay time.Duration
+	// Frac is the torn-write fraction actually written (default 0.5).
+	Frac float64
+	// Msg overrides the injected error message.
+	Msg string
+}
+
+// Error is the injected failure type, so callers (and tests) can tell
+// an injected fault from a real one with errors.As.
+type Error struct {
+	Point string
+	Rule  string
+	Msg   string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected at %s (%s): %s", e.Point, e.Rule, e.Msg)
+}
+
+// ruleState is a compiled rule plus its deterministic firing state.
+type ruleState struct {
+	Rule
+	prefix bool // Point ends in '*'
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	seen  int
+	fired int
+}
+
+// Registry is a compiled fault specification. Enable installs it
+// process-wide; a nil Registry disables injection entirely.
+type Registry struct {
+	seed  int64
+	rules []*ruleState
+
+	hits sync.Map // point name → *atomic.Uint64, for test assertions
+}
+
+// active is the process-wide registry; nil (the default) is the
+// disabled fast path: every point is one atomic load.
+var active atomic.Pointer[Registry]
+
+// New compiles rules into a Registry whose firing decisions derive only
+// from seed and evaluation order — same seed, same workload, same
+// faults.
+func New(seed int64, rules ...Rule) *Registry {
+	r := &Registry{seed: seed}
+	for i, rule := range rules {
+		if rule.Frac <= 0 || rule.Frac >= 1 {
+			rule.Frac = 0.5
+		}
+		if rule.Msg == "" {
+			rule.Msg = "injected " + string(rule.Mode)
+		}
+		if rule.Mode == "" {
+			rule.Mode = ModeError
+		}
+		rs := &ruleState{
+			Rule:   rule,
+			prefix: strings.HasSuffix(rule.Point, "*"),
+			// Each rule gets an independent deterministic stream so
+			// reordering unrelated rules does not perturb this one.
+			rng: rand.New(rand.NewSource(seed ^ int64(i+1)*int64(0x9e3779b97f4a7c15&0x7fffffffffffffff))),
+		}
+		if rs.prefix {
+			rs.Point = strings.TrimSuffix(rs.Point, "*")
+		}
+		r.rules = append(r.rules, rs)
+	}
+	return r
+}
+
+// Enable installs r process-wide (nil disables). Call Disable (or
+// Enable(nil)) when done; tests should t.Cleanup(fault.Disable).
+func Enable(r *Registry) { active.Store(r) }
+
+// Disable removes any installed registry, restoring the no-op fast
+// path.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether a registry is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Hits returns how many times the named point fired (any rule) under
+// this registry — the chaos suite's coverage assertion.
+func (r *Registry) Hits(point string) uint64 {
+	if v, ok := r.hits.Load(point); ok {
+		return v.(*atomic.Uint64).Load()
+	}
+	return 0
+}
+
+// TotalHits sums firings across all points.
+func (r *Registry) TotalHits() uint64 {
+	var n uint64
+	r.hits.Range(func(_, v any) bool {
+		n += v.(*atomic.Uint64).Load()
+		return true
+	})
+	return n
+}
+
+func (r *Registry) recordHit(point string) {
+	v, ok := r.hits.Load(point)
+	if !ok {
+		v, _ = r.hits.LoadOrStore(point, new(atomic.Uint64))
+	}
+	v.(*atomic.Uint64).Add(1)
+}
+
+// eval returns the first matching rule that fires for point, or nil.
+func (r *Registry) eval(point string) *ruleState {
+	for _, rs := range r.rules {
+		if rs.prefix {
+			if !strings.HasPrefix(point, rs.Point) {
+				continue
+			}
+		} else if rs.Point != point {
+			continue
+		}
+		rs.mu.Lock()
+		rs.seen++
+		if rs.seen <= rs.After ||
+			(rs.Times > 0 && rs.fired >= rs.Times) ||
+			(rs.Prob > 0 && rs.Prob < 1 && rs.rng.Float64() >= rs.Prob) {
+			rs.mu.Unlock()
+			continue
+		}
+		rs.fired++
+		rs.mu.Unlock()
+		r.recordHit(point)
+		return rs
+	}
+	return nil
+}
+
+func (rs *ruleState) err(point string) error {
+	return &Error{Point: point, Rule: rs.ruleName(), Msg: rs.Msg}
+}
+
+func (rs *ruleState) ruleName() string {
+	name := rs.Point
+	if rs.prefix {
+		name += "*"
+	}
+	return name + "=" + string(rs.Mode)
+}
+
+// Do evaluates the named point: it sleeps any injected latency and
+// returns the injected error (nil when disabled, unmatched, or the rule
+// is latency-only). This is the one-liner most fault points use.
+func Do(name string) error {
+	r := active.Load()
+	if r == nil {
+		return nil
+	}
+	rs := r.eval(name)
+	if rs == nil {
+		return nil
+	}
+	if rs.Delay > 0 {
+		time.Sleep(rs.Delay)
+	}
+	if rs.Mode == ModeLatency {
+		return nil
+	}
+	return rs.err(name)
+}
+
+// WriteLen evaluates a write point for a buffer of n bytes. It returns
+// how many bytes the caller should actually write and the injected
+// error: (n, nil) when nothing fires, (m < n, err) for a torn write —
+// the caller writes the prefix then fails, simulating a crash mid-write
+// — and (0, err) for a plain error.
+func WriteLen(name string, n int) (int, error) {
+	r := active.Load()
+	if r == nil {
+		return n, nil
+	}
+	rs := r.eval(name)
+	if rs == nil {
+		return n, nil
+	}
+	if rs.Delay > 0 {
+		time.Sleep(rs.Delay)
+	}
+	switch rs.Mode {
+	case ModeLatency:
+		return n, nil
+	case ModeTorn:
+		m := int(rs.Frac * float64(n))
+		if m >= n {
+			m = n - 1
+		}
+		if m < 0 {
+			m = 0
+		}
+		return m, rs.err(name)
+	default:
+		return 0, rs.err(name)
+	}
+}
+
+// Parse compiles a fault spec string — the -fault-spec flag grammar:
+//
+//	spec  := clause (';' clause)*
+//	clause:= "seed=" int
+//	       | point '=' mode (',' option)*
+//	mode  := "error" | "latency" | "torn"
+//	option:= "p=" float | "after=" int | "times=" int
+//	       | "delay=" duration | "frac=" float | "msg=" text
+//
+// e.g. "seed=7;store.wal.fsync=error,times=1;store.peer.*=latency,delay=50ms,p=0.3".
+// Whitespace around clauses is ignored; empty clauses are skipped. An
+// empty spec yields a registry with no rules (injection enabled but
+// inert), so flag plumbing needs no special case.
+func Parse(spec string) (*Registry, error) {
+	var seed int64 = 1
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		eq := strings.Index(clause, "=")
+		if eq <= 0 {
+			return nil, fmt.Errorf("fault: clause %q: want point=mode", clause)
+		}
+		point := strings.TrimSpace(clause[:eq])
+		rest := clause[eq+1:]
+		if point == "seed" {
+			n, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q: %v", rest, err)
+			}
+			seed = n
+			continue
+		}
+		parts := strings.Split(rest, ",")
+		rule := Rule{Point: point, Mode: Mode(strings.TrimSpace(parts[0]))}
+		switch rule.Mode {
+		case ModeError, ModeLatency, ModeTorn:
+		default:
+			return nil, fmt.Errorf("fault: clause %q: unknown mode %q", clause, rule.Mode)
+		}
+		for _, opt := range parts[1:] {
+			opt = strings.TrimSpace(opt)
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: clause %q: bad option %q", clause, opt)
+			}
+			var err error
+			switch k {
+			case "p":
+				rule.Prob, err = strconv.ParseFloat(v, 64)
+				if err == nil && (rule.Prob < 0 || rule.Prob > 1) {
+					err = fmt.Errorf("probability %v outside [0,1]", rule.Prob)
+				}
+			case "after":
+				rule.After, err = strconv.Atoi(v)
+				if err == nil && rule.After < 0 {
+					err = fmt.Errorf("negative after")
+				}
+			case "times":
+				rule.Times, err = strconv.Atoi(v)
+				if err == nil && rule.Times < 0 {
+					err = fmt.Errorf("negative times")
+				}
+			case "delay":
+				rule.Delay, err = time.ParseDuration(v)
+				if err == nil && rule.Delay < 0 {
+					err = fmt.Errorf("negative delay")
+				}
+			case "frac":
+				rule.Frac, err = strconv.ParseFloat(v, 64)
+				if err == nil && (rule.Frac <= 0 || rule.Frac >= 1) {
+					err = fmt.Errorf("torn fraction %v outside (0,1)", rule.Frac)
+				}
+			case "msg":
+				rule.Msg = v
+			default:
+				err = fmt.Errorf("unknown option")
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault: clause %q: option %q: %v", clause, opt, err)
+			}
+		}
+		rules = append(rules, rule)
+	}
+	return New(seed, rules...), nil
+}
+
+// Points lists the point names production code registers — the chaos
+// suite iterates it so a newly threaded point is automatically covered.
+// Registration happens in each package's init; the list is sorted for
+// deterministic iteration.
+func Points() []string {
+	pointsMu.Lock()
+	defer pointsMu.Unlock()
+	out := make([]string, len(points))
+	copy(out, points)
+	sort.Strings(out)
+	return out
+}
+
+var (
+	pointsMu sync.Mutex
+	points   []string
+)
+
+// Register declares a fault point name (idempotent; called from package
+// init of the code that evaluates the point).
+func Register(names ...string) {
+	pointsMu.Lock()
+	defer pointsMu.Unlock()
+	for _, n := range names {
+		dup := false
+		for _, p := range points {
+			if p == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			points = append(points, n)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package fault
+
+import "testing"
+
+// FuzzFaultSpec asserts Parse never panics and that a spec it accepts
+// compiles to a registry whose points can all be evaluated safely.
+func FuzzFaultSpec(f *testing.F) {
+	f.Add("")
+	f.Add("seed=7")
+	f.Add("store.wal.fsync=error,times=1")
+	f.Add("store.peer.*=latency,delay=50ms,p=0.3")
+	f.Add("w=torn,frac=0.25,msg=crash mid-write")
+	f.Add("a=error;b=latency;c=torn")
+	f.Add(";;;seed=-1;x=error,p=0.0001,after=0,times=0")
+	f.Fuzz(func(t *testing.T, spec string) {
+		reg, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if reg == nil {
+			t.Fatalf("Parse(%q) = nil registry, nil error", spec)
+		}
+		// Accepted specs must produce a registry that is safe to run:
+		// evaluate every rule's point a few times without panicking.
+		for _, rs := range reg.rules {
+			point := rs.Point
+			if rs.prefix {
+				point += "x"
+			}
+			for i := 0; i < 3; i++ {
+				if rs.Delay > 0 {
+					break // don't sleep in fuzz iterations
+				}
+				_ = reg.eval(point)
+			}
+		}
+	})
+}

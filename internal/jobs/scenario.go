@@ -8,11 +8,14 @@ import (
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mat"
 	"repro/internal/sim"
 	"repro/internal/thermal"
 	"repro/internal/workload"
 )
+
+func init() { fault.Register("jobs.compute") }
 
 // Scenario is one fully-specified co-simulation run: the stack, the
 // cooling technology, the management policy, the workload trace and the
@@ -252,6 +255,14 @@ func (s Scenario) system(ctx context.Context, sh Shared) (*core.System, *workloa
 		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	// The compute fault point sits on every scenario execution path —
+	// direct runs and the lockstep batch engine's runner construction
+	// both come through here. Injected errors surface like any scenario
+	// failure: reported per point, never memoized, never poisoning the
+	// single-flight cache.
+	if err := fault.Do("jobs.compute"); err != nil {
 		return nil, nil, err
 	}
 	cooling, err := ParseCooling(s.Cooling)

@@ -44,6 +44,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dse"
@@ -81,6 +82,23 @@ type Options struct {
 	// writes through it. The sweep-results registry persists its
 	// manifests here too, so /v1/results/query answers across restarts.
 	Store *store.Store
+	// MaxInFlight bounds concurrently executing compute requests
+	// (/v1/simulate, /v1/dse, /v1/studies, /v1/sweeps). Up to the same
+	// number again may wait briefly in a bounded queue; past that the
+	// server sheds load immediately with 503 + Retry-After instead of
+	// queueing without bound (<= 0: no admission control).
+	MaxInFlight int
+	// QueueWait bounds how long an admitted-to-queue request waits for
+	// an execution slot before being shed with 503 (default 1s; only
+	// meaningful with MaxInFlight > 0).
+	QueueWait time.Duration
+	// RequestTimeout is the per-request compute deadline: the request
+	// context of every compute endpoint is bounded by it, and the
+	// deadline propagates through sweeps, jobs and the single-flight
+	// cache so a timed-out request cancels cleanly (<= 0: no deadline).
+	// Async submissions (?async=1) are exempt — their work outlives the
+	// submitting request by design.
+	RequestTimeout time.Duration
 	// DisablePlanner turns the cost-based sweep planner off: transient
 	// sweeps then run the engine's fixed defaults. Planned and unplanned
 	// sweeps return byte-identical results — the planner only picks
@@ -108,6 +126,9 @@ type Server struct {
 	store           *store.Store
 	planner         *plan.Planner
 	results         *resultsRegistry
+	reqTimeout      time.Duration
+	admit           *admission
+	draining        atomic.Bool
 
 	// Solver-metrics surface: per-backend aggregates of every scenario
 	// freshly computed through the result cache (cache hits re-serve a
@@ -141,6 +162,8 @@ func New(opt Options) *Server {
 		store:           opt.Store,
 		solver:          map[string]mat.SolveStats{},
 		fill:            map[string]*fillAgg{},
+		reqTimeout:      opt.RequestTimeout,
+		admit:           newAdmission(opt.MaxInFlight, opt.QueueWait),
 	}
 	if opt.Store != nil {
 		s.cache.SetStore(opt.Store)
@@ -164,11 +187,12 @@ func New(opt Options) *Server {
 	}
 	s.results = newResultsRegistry(opt.Store)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	s.mux.HandleFunc("POST /v1/dse", s.handleDSE)
-	s.mux.HandleFunc("POST /v1/studies", s.handleStudies)
-	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweeps)
+	s.mux.HandleFunc("POST /v1/simulate", s.compute(s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/dse", s.compute(s.handleDSE))
+	s.mux.HandleFunc("POST /v1/studies", s.compute(s.handleStudies))
+	s.mux.HandleFunc("POST /v1/sweeps", s.compute(s.handleSweeps))
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/store/{key}", s.handleStoreGet)
@@ -298,7 +322,13 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind string, c
 	}
 	res, err := compute(r.Context())
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The per-request compute deadline fired: a timeout, not a
+			// bad request.
+			status = http.StatusGatewayTimeout
+		}
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -355,8 +385,13 @@ type StatsResponse struct {
 	// paid versus shared across every sweep the service has run.
 	Sweeps SweepStats `json:"sweeps"`
 	// Store, present when a durable result store is attached, reports
-	// WAL/pool/shard counters and per-shard sizes.
+	// WAL/pool/shard counters and per-shard sizes (including any shards
+	// wedged read-only after a durability failure).
 	Store *store.Stats `json:"store,omitempty"`
+	// Admission, present when MaxInFlight is configured, reports the
+	// compute-endpoint overload guard: in-flight/queued gauges and
+	// admitted/shed counters.
+	Admission *AdmissionStats `json:"admission,omitempty"`
 	// Planner, present when the cost-based sweep planner is enabled,
 	// reports its cost-model provenance and cumulative estimate-vs-
 	// actual totals (actual is wall time: nondeterministic, so it lives
@@ -407,6 +442,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		st := s.store.Stats()
 		resp.Store = &st
+	}
+	if s.admit != nil {
+		st := s.admit.stats()
+		resp.Admission = &st
 	}
 	if s.planner != nil {
 		ps := s.planner.Stats()
@@ -787,6 +826,12 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRe
 	enc := json.NewEncoder(w)
 	rc := http.NewResponseController(w)
 	line := func(l sweepLine) {
+		// Streaming is exempt from the server-wide WriteTimeout: each
+		// flushed line pushes the connection's write deadline out, so a
+		// long sweep keeps streaming while a stalled client still times
+		// out within a line interval. Ignore errors: not every wrapped
+		// writer supports deadlines (httptest's recorder does not).
+		_ = rc.SetWriteDeadline(time.Now().Add(30 * time.Second))
 		_ = enc.Encode(l)
 		_ = rc.Flush()
 	}
@@ -825,6 +870,10 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if wantFlag(r, "wait") {
+		// A long-poll may legitimately outlast the server-wide
+		// WriteTimeout; clear the write deadline for this response (no-op
+		// where unsupported).
+		_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
 		view, err := s.mgr.Wait(r.Context(), id)
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)

@@ -275,6 +275,7 @@ func TestStatsStoreShape(t *testing.T) {
 		"wal.segments",
 		"wal.syncs",
 		"wal.truncated_bytes",
+		"wedged_shards",
 	}
 	if !reflect.DeepEqual(paths, golden) {
 		gotJSON, _ := json.MarshalIndent(paths, "", "  ")

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHTTPPeerHalfOpenSingleProbeUnderLoad: when a tripped breaker's
+// probe interval elapses under concurrent load, exactly one fetch is
+// admitted as the half-open probe; every concurrent loser skips the
+// peer without sending a request or counting a failure. The probe is
+// held open inside the peer's handler while the losers run, so the
+// exactly-one property is asserted deterministically, not by timing.
+func TestHTTPPeerHalfOpenSingleProbeUnderLoad(t *testing.T) {
+	data := map[string][]byte{"k": []byte("v")}
+	var down atomic.Bool
+	down.Store(true)
+	probeEntered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		probeEntered <- struct{}{}
+		<-release
+		peerHandler(t, data, nil).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	opt := fastPeerOpts() // TripAfter: 2, ProbeAfter: 1h
+	opt.Attempts = 1
+	p := NewHTTPPeer([]string{srv.URL}, opt)
+	var mu sync.Mutex
+	now := time.Now()
+	p.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+
+	// Trip the breaker with two failed fetches.
+	for i := 0; i < opt.TripAfter; i++ {
+		if _, ok := p.FetchPeer("k"); ok {
+			t.Fatal("hit from a down peer")
+		}
+	}
+	st := p.PeerStats()[0]
+	if !st.Tripped || st.Trips != 1 {
+		t.Fatalf("breaker did not trip: %+v", st)
+	}
+	errsAtTrip := st.Errors
+	fetchesAtTrip := st.Fetches
+
+	// Recover the peer and move past the probe interval: the next fetch
+	// becomes the half-open probe and blocks inside the handler.
+	down.Store(false)
+	mu.Lock()
+	now = now.Add(opt.ProbeAfter + time.Second)
+	mu.Unlock()
+	probeResult := make(chan bool, 1)
+	go func() {
+		_, ok := p.FetchPeer("k")
+		probeResult <- ok
+	}()
+	<-probeEntered
+
+	// Concurrent losers while the probe is in flight: all must skip.
+	const losers = 8
+	var wg sync.WaitGroup
+	var loserHits atomic.Int64
+	for i := 0; i < losers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := p.FetchPeer("k"); ok {
+				loserHits.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	close(release)
+	if !<-probeResult {
+		t.Fatal("half-open probe against a recovered peer failed")
+	}
+
+	if n := loserHits.Load(); n != 0 {
+		t.Fatalf("%d losers got hits while the probe was in flight", n)
+	}
+	st = p.PeerStats()[0]
+	if st.Probes != 1 {
+		t.Fatalf("probes = %d, want exactly 1", st.Probes)
+	}
+	if st.Skips != losers {
+		t.Fatalf("skips = %d, want %d (every loser)", st.Skips, losers)
+	}
+	if st.Fetches != fetchesAtTrip+1 {
+		t.Fatalf("fetches = %d, want %d (losers must not send requests)",
+			st.Fetches, fetchesAtTrip+1)
+	}
+	if st.Errors != errsAtTrip {
+		t.Fatalf("errors grew %d → %d: losers counted failures", errsAtTrip, st.Errors)
+	}
+	if st.Tripped || st.ConsecutiveFailures != 0 {
+		t.Fatalf("breaker not closed after successful probe: %+v", st)
+	}
+	// And the closed breaker serves normal traffic again.
+	if v, ok := p.FetchPeer("k"); !ok || string(v) != "v" {
+		t.Fatalf("closed breaker not serving: ok=%v v=%q", ok, v)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // EncodeKeyPath renders a store key as a URL-path-safe segment for the
@@ -234,6 +236,11 @@ func (p *HTTPPeer) fetchOne(peer *httpPeer, path string, attempts int) (val []by
 // get performs one bounded request. A non-2xx/404 status is an error
 // with a nil err, reported via the status code.
 func (p *HTTPPeer) get(url string) ([]byte, int, error) {
+	// Injected transport failure/latency: exercised like a dead or slow
+	// peer — counted, retried, breaker-tripped, never surfaced upward.
+	if err := fault.Do("store.peer.fetch"); err != nil {
+		return nil, 0, err
+	}
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
 		return nil, 0, err

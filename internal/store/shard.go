@@ -3,6 +3,7 @@ package store
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,7 +12,18 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
+
+// ErrWedged reports an operation rejected because the shard is in
+// degraded read-only mode after a durability failure (failed WAL fsync
+// or page writeback). A wedged shard never acknowledges another durable
+// write — re-trying the fsync and acknowledging on success would be
+// wrong, since the kernel may have dropped the dirty pages when the
+// first one failed — but keeps serving reads. Recovery is a reopen:
+// replay trusts only what was acknowledged before the failure.
+var ErrWedged = errors.New("store: shard wedged (degraded read-only after durability failure)")
 
 // shardMeta is the atomically-replaced shard manifest: which segment
 // epoch is live and up to which LSN the pages already contain every
@@ -49,6 +61,10 @@ type ShardStats struct {
 	ReclaimedBytes int64     `json:"reclaimed_bytes"`
 	WAL            WALStats  `json:"wal"`
 	Pool           PoolStats `json:"pool"`
+	// Wedged reports degraded read-only mode after a durability failure
+	// (see ErrWedged); WedgeReason carries the failure that caused it.
+	Wedged      bool   `json:"wedged,omitempty"`
+	WedgeReason string `json:"wedge_reason,omitempty"`
 }
 
 // entryRef locates a live entry: page, slot, and its accounting size.
@@ -87,6 +103,9 @@ type Shard struct {
 	compactMinBytes int64
 	compacting      atomic.Bool
 	closed          atomic.Bool
+
+	wedgeMu  sync.Mutex
+	wedgeErr error // sticky; non-nil = degraded read-only (see ErrWedged)
 
 	statMu sync.Mutex
 	stats  ShardStats
@@ -333,6 +352,25 @@ func (s *Shard) dropIndexEntry(key string) {
 
 func readU16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
 
+// wedge records the first durability failure, moving the shard into
+// sticky degraded read-only mode, and returns the canonical error. The
+// WAL's own sticky failure mode backs this up at the log layer.
+func (s *Shard) wedge(cause error) error {
+	s.wedgeMu.Lock()
+	defer s.wedgeMu.Unlock()
+	if s.wedgeErr == nil {
+		s.wedgeErr = fmt.Errorf("%w: %w", ErrWedged, cause)
+	}
+	return s.wedgeErr
+}
+
+// wedged returns the sticky degraded-mode error, or nil.
+func (s *Shard) wedged() error {
+	s.wedgeMu.Lock()
+	defer s.wedgeMu.Unlock()
+	return s.wedgeErr
+}
+
 // shardIO adapts the shard's segment files to the buffer pool.
 type shardIO Shard
 
@@ -383,12 +421,21 @@ func (sio *shardIO) WritePage(id pageID, buf []byte) error {
 	s := (*Shard)(sio)
 	f, err := sio.file(id.seg())
 	if err != nil {
-		return err
+		return s.wedge(err)
 	}
 	// Patch the checksum so the durable image always self-verifies.
 	putLE32(buf[12:], pageCRC(buf))
-	if _, err := f.WriteAt(buf, int64(id.idx())*int64(s.pageSize)); err != nil {
-		return fmt.Errorf("store: write page %d/%d: %w", id.seg(), id.idx(), err)
+	n, ferr := fault.WriteLen("store.page.writeback", len(buf))
+	if _, err := f.WriteAt(buf[:n], int64(id.idx())*int64(s.pageSize)); err != nil {
+		ferr = err
+	}
+	if ferr != nil {
+		// A failed (or torn) writeback leaves the on-disk page image
+		// unknown while the pool may still evict the frame: the shard can
+		// no longer promise the pages cover acknowledged data, so it
+		// wedges. The page checksum makes a torn image detectable — a
+		// reopen scan stops at it and falls back to the WAL tail.
+		return s.wedge(fmt.Errorf("write page %d/%d: %w", id.seg(), id.idx(), ferr))
 	}
 	return nil
 }
@@ -477,10 +524,15 @@ func (s *Shard) applyDeleteLocked(key string) error {
 }
 
 // Put durably stores key → val: WAL append, page apply, group-commit
-// fsync. When Put returns the entry survives any crash.
+// fsync. When Put returns the entry survives any crash. A wedged shard
+// (earlier durability failure) rejects the write immediately: it must
+// never acknowledge durability it cannot deliver.
 func (s *Shard) Put(key string, val []byte) error {
 	if len(key) > maxKeyLen {
 		return fmt.Errorf("store: key length %d exceeds %d", len(key), maxKeyLen)
+	}
+	if err := s.wedged(); err != nil {
+		return err
 	}
 	s.mu.Lock()
 	lsn, err := s.wal.Append(OpPut, key, val)
@@ -489,20 +541,27 @@ func (s *Shard) Put(key string, val []byte) error {
 	}
 	s.mu.Unlock()
 	if err != nil {
-		return err
+		if errors.Is(err, ErrBadRecord) {
+			return err // client error, rejected before any write
+		}
+		return s.wedge(err)
 	}
 	s.statMu.Lock()
 	s.stats.Puts++
 	s.statMu.Unlock()
 	if err := s.wal.Sync(lsn); err != nil {
-		return err
+		return s.wedge(err)
 	}
 	s.maybeCompactAsync()
 	return nil
 }
 
-// Delete durably tombstones key.
+// Delete durably tombstones key. Like Put, a wedged shard rejects the
+// write up front.
 func (s *Shard) Delete(key string) error {
+	if err := s.wedged(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	_, existed := s.index[key]
 	var lsn uint64
@@ -515,7 +574,10 @@ func (s *Shard) Delete(key string) error {
 	}
 	s.mu.Unlock()
 	if err != nil {
-		return err
+		if errors.Is(err, ErrBadRecord) {
+			return err
+		}
+		return s.wedge(err)
 	}
 	s.statMu.Lock()
 	s.stats.Deletes++
@@ -524,7 +586,7 @@ func (s *Shard) Delete(key string) error {
 		return nil
 	}
 	if err := s.wal.Sync(lsn); err != nil {
-		return err
+		return s.wedge(err)
 	}
 	s.maybeCompactAsync()
 	return nil
@@ -568,7 +630,9 @@ func (s *Shard) Len() int {
 
 // Checkpoint makes the pages cover every acknowledged record: seals
 // the tail, writes back all dirty pages, fsyncs the segments, swaps
-// the manifest, and drops the now-redundant WAL prefix.
+// the manifest, and drops the now-redundant WAL prefix. A wedged shard
+// refuses: advancing the checkpoint LSN past data whose durability is
+// unknown would let a later reopen skip WAL records it still needs.
 func (s *Shard) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -576,16 +640,19 @@ func (s *Shard) Checkpoint() error {
 }
 
 func (s *Shard) checkpointLocked() error {
+	if err := s.wedged(); err != nil {
+		return err
+	}
 	lsn := s.wal.LastLSN()
 	if err := s.wal.Sync(lsn); err != nil {
-		return err
+		return s.wedge(err)
 	}
 	s.sealTailLocked()
 	if err := s.pool.flush(); err != nil {
-		return err
+		return s.wedge(err)
 	}
 	if err := s.syncSegments(); err != nil {
-		return err
+		return err // syncSegments already wedged
 	}
 	if err := s.writeMeta(s.epoch, lsn); err != nil {
 		return err
@@ -594,7 +661,7 @@ func (s *Shard) checkpointLocked() error {
 	// Roll the log so the segment holding the now-redundant records is
 	// inactive and can be dropped.
 	if err := s.wal.Rotate(); err != nil {
-		return err
+		return s.wedge(err)
 	}
 	return s.wal.DropBefore(lsn)
 }
@@ -602,9 +669,12 @@ func (s *Shard) checkpointLocked() error {
 func (s *Shard) syncSegments() error {
 	s.fmu.Lock()
 	defer s.fmu.Unlock()
+	if err := fault.Do("store.seg.fsync"); err != nil {
+		return s.wedge(err)
+	}
 	for _, f := range s.files {
 		if err := f.Sync(); err != nil {
-			return err
+			return s.wedge(err)
 		}
 	}
 	return nil
@@ -620,7 +690,7 @@ func (s *Shard) maybeCompactAsync() {
 	if total < s.compactMinBytes || float64(dead) < s.compactFrac*float64(total) {
 		return
 	}
-	if s.closed.Load() || !s.compacting.CompareAndSwap(false, true) {
+	if s.closed.Load() || s.wedged() != nil || !s.compacting.CompareAndSwap(false, true) {
 		return
 	}
 	go func() {
@@ -638,6 +708,14 @@ func (s *Shard) Compact() error {
 	defer s.mu.Unlock()
 	if s.closed.Load() {
 		return nil
+	}
+	if err := s.wedged(); err != nil {
+		return err
+	}
+	// An injected compaction fault aborts before any rewrite: the old
+	// epoch stays authoritative, nothing to clean up.
+	if err := fault.Do("store.compact"); err != nil {
+		return err
 	}
 	reclaimable := s.deadBytes
 	// Order live entries by their current placement for sequential reads.
@@ -762,7 +840,9 @@ func (s *Shard) Compact() error {
 	// the WAL prefix up to the last appended LSN is redundant.
 	lsn := s.wal.LastLSN()
 	if err := s.wal.Sync(lsn); err != nil {
-		return fail(err)
+		// The WAL's durability is now unknown; the abandoned new epoch is
+		// cleaned up, but the shard must stop acknowledging writes.
+		return fail(s.wedge(err))
 	}
 	if err := syncDir(s.dir); err != nil {
 		return fail(err)
@@ -812,6 +892,10 @@ func (s *Shard) Stats() ShardStats {
 	s.statMu.Lock()
 	st := s.stats
 	s.statMu.Unlock()
+	if err := s.wedged(); err != nil {
+		st.Wedged = true
+		st.WedgeReason = err.Error()
+	}
 	s.mu.RLock()
 	st.Entries = len(s.index)
 	st.LiveBytes = s.liveBytes
@@ -833,14 +917,20 @@ func (s *Shard) Stats() ShardStats {
 }
 
 // Close checkpoints and releases every file handle. The shard must not
-// be used afterwards.
+// be used afterwards. A wedged shard skips the checkpoint — it must not
+// advance the manifest past data of unknown durability — and only
+// releases its handles; the reopen replays the WAL back to the last
+// trustworthy state.
 func (s *Shard) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cerr := s.checkpointLocked()
+	var cerr error
+	if s.wedged() == nil {
+		cerr = s.checkpointLocked()
+	}
 	werr := s.wal.Close()
 	s.fmu.Lock()
 	for seq, f := range s.files {

@@ -264,6 +264,20 @@ func (s *Store) Flush() error {
 	return nil
 }
 
+// Healthy reports whether every shard can still acknowledge durable
+// writes — false once any shard wedged into degraded read-only mode
+// after a durability failure (see ErrWedged). Reads keep serving either
+// way; the HTTP service's /readyz uses this to stop routing traffic to
+// a replica that can no longer persist results.
+func (s *Store) Healthy() bool {
+	for _, sh := range s.shards {
+		if sh.wedged() != nil {
+			return false
+		}
+	}
+	return true
+}
+
 // Compact synchronously compacts every shard (tests and maintenance;
 // live shards compact themselves in the background).
 func (s *Store) Compact() error {
@@ -304,6 +318,11 @@ type Stats struct {
 	Deletes uint64 `json:"deletes"`
 	// Compactions counts segment rewrites across shards.
 	Compactions uint64 `json:"compactions"`
+	// WedgedShards counts shards in degraded read-only mode after a
+	// durability failure (per-shard detail in Shards[i].Wedged/
+	// WedgeReason). Non-zero means Puts to those shards fail and /readyz
+	// reports the replica unready; reads keep serving.
+	WedgedShards int `json:"wedged_shards"`
 	// PeerFills/PeerMisses count warm-fill outcomes on local misses;
 	// PeerFillErrors counts fetched values whose durable local adopt
 	// failed (the value was still served).
@@ -333,6 +352,9 @@ func (s *Store) Stats() Stats {
 	for _, sh := range s.shards {
 		st := sh.Stats()
 		out.Shards = append(out.Shards, st)
+		if st.Wedged {
+			out.WedgedShards++
+		}
 		out.Entries += st.Entries
 		out.LiveBytes += st.LiveBytes
 		out.DeadBytes += st.DeadBytes

@@ -10,7 +10,22 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/fault"
 )
+
+// Fault points threaded through the store (see internal/fault): the
+// chaos suite iterates fault.Points() to cover every one.
+func init() {
+	fault.Register(
+		"store.wal.write",
+		"store.wal.fsync",
+		"store.page.writeback",
+		"store.seg.fsync",
+		"store.compact",
+		"store.peer.fetch",
+	)
+}
 
 // WAL segment file header:
 //
@@ -64,6 +79,52 @@ type WAL struct {
 
 	syncMu    sync.Mutex // serializes fsync; waiters form the commit group
 	syncedLSN uint64     // guarded by syncMu
+
+	failMu  sync.Mutex
+	failErr error // first durability failure; sticky (see failed)
+}
+
+// failed returns the sticky durability failure, if any. Once a flush or
+// fsync has failed the log never acknowledges durability again: the
+// kernel may already have dropped the dirty pages the failed fsync
+// covered (the fsyncgate hazard), so a later fsync returning nil proves
+// nothing about them. The owning shard wedges into degraded read-only
+// mode; recovery is a process restart and WAL replay.
+func (w *WAL) failed() error {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return w.failErr
+}
+
+// fail records the first durability failure and returns the sticky
+// error all subsequent operations report.
+func (w *WAL) fail(err error) error {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	if w.failErr == nil {
+		w.failErr = fmt.Errorf("store: wal wedged after durability failure: %w", err)
+	}
+	return w.failErr
+}
+
+// faultWriter interposes the WAL's write fault point between the bufio
+// buffer and the segment file, so an injected torn write produces a
+// genuinely torn record on disk — exactly what a crash mid-write leaves
+// — which reopen-time replay must truncate.
+type faultWriter struct {
+	f *os.File
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	n, ferr := fault.WriteLen("store.wal.write", len(p))
+	m, werr := fw.f.Write(p[:n])
+	if werr != nil {
+		return m, werr
+	}
+	if ferr != nil {
+		return m, ferr
+	}
+	return m, nil
 }
 
 // OpenWAL opens the shard WAL in dir, replaying existing segments in
@@ -209,7 +270,7 @@ func (w *WAL) rotateLocked() error {
 		return err
 	}
 	w.f = f
-	w.w = bufio.NewWriterSize(f, 1<<16)
+	w.w = bufio.NewWriterSize(&faultWriter{f: f}, 1<<16)
 	w.size = walHeaderSize
 	w.stats.Segments++
 	return nil
@@ -218,6 +279,9 @@ func (w *WAL) rotateLocked() error {
 // Append writes one record (buffered, not yet durable) and returns its
 // LSN. Call Sync with the returned LSN to make it durable.
 func (w *WAL) Append(op byte, key string, value []byte) (uint64, error) {
+	if err := w.failed(); err != nil {
+		return 0, err
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	lsn := w.nextLSN
@@ -227,7 +291,9 @@ func (w *WAL) Append(op byte, key string, value []byte) (uint64, error) {
 		return 0, err
 	}
 	if _, err := w.w.Write(w.appendBuf); err != nil {
-		return 0, err
+		// A failed buffered write leaves an unknown prefix of the record
+		// in the segment; nothing after it can ever be trusted durable.
+		return 0, w.fail(err)
 	}
 	w.nextLSN++
 	w.lastLSN = lsn
@@ -237,7 +303,9 @@ func (w *WAL) Append(op byte, key string, value []byte) (uint64, error) {
 	w.stats.AppendedBytes += uint64(len(w.appendBuf))
 	if w.size >= w.maxSeg {
 		if err := w.rotateLocked(); err != nil {
-			return 0, err
+			// Rotation flushes and fsyncs the outgoing segment; a failure
+			// leaves its durability unknown.
+			return 0, w.fail(err)
 		}
 	}
 	return lsn, nil
@@ -247,12 +315,21 @@ func (w *WAL) Append(op byte, key string, value []byte) (uint64, error) {
 // callers group-commit: whoever acquires the sync mutex first fsyncs
 // everything appended so far, and the queued callers find their LSN
 // already covered.
+//
+// A flush or fsync failure is sticky: every subsequent Sync fails too,
+// even for LSNs an earlier call acknowledged. Re-trying the fsync and
+// acknowledging on its success would be wrong — the kernel may have
+// dropped the dirty pages when the first fsync failed, so the "synced"
+// data can be gone while the retry reports success (fsyncgate).
 func (w *WAL) Sync(lsn uint64) error {
 	w.mu.Lock()
 	w.stats.Syncs++
 	w.mu.Unlock()
 	w.syncMu.Lock()
 	defer w.syncMu.Unlock()
+	if err := w.failed(); err != nil {
+		return err
+	}
 	if w.syncedLSN >= lsn {
 		return nil
 	}
@@ -262,13 +339,16 @@ func (w *WAL) Sync(lsn uint64) error {
 	err := w.w.Flush()
 	w.mu.Unlock()
 	if err != nil {
-		return err
+		return w.fail(err)
+	}
+	if err := fault.Do("store.wal.fsync"); err != nil {
+		return w.fail(err)
 	}
 	// A rotation between the flush above and this fsync closes f — but
 	// rotateLocked fsyncs the outgoing segment first, so the records are
 	// already durable and a closed file here means success.
 	if err := f.Sync(); err != nil && !errors.Is(err, os.ErrClosed) {
-		return err
+		return w.fail(err)
 	}
 	w.mu.Lock()
 	w.stats.Fsyncs++
@@ -329,7 +409,10 @@ func (w *WAL) Stats() WALStats {
 	return w.stats
 }
 
-// Close flushes, fsyncs and closes the active segment.
+// Close flushes, fsyncs and closes the active segment. A wedged log
+// (sticky durability failure) only releases the file handle: flushing
+// or fsyncing would risk acknowledging data the kernel already dropped,
+// and the failure was reported when it happened.
 func (w *WAL) Close() error {
 	w.syncMu.Lock()
 	defer w.syncMu.Unlock()
@@ -338,11 +421,16 @@ func (w *WAL) Close() error {
 	if w.f == nil {
 		return nil
 	}
-	if err := w.w.Flush(); err != nil {
+	if w.failed() != nil {
+		err := w.f.Close()
+		w.f = nil
 		return err
 	}
+	if err := w.w.Flush(); err != nil {
+		return w.fail(err)
+	}
 	if err := w.f.Sync(); err != nil {
-		return err
+		return w.fail(err)
 	}
 	err := w.f.Close()
 	w.f = nil

@@ -69,14 +69,14 @@ END {
 }
 
 if [ "$mode" = "snapshot" ]; then
-    out="${1:-BENCH_PR9.json}"
-    pattern="${BENCH:-TransientStep|FlowChange|CompactSteady|SteadyDirect|SolverBiCGSTAB|SolverGMRES|SolverGMRESWithRCMILU|PoolStudySweep|CacheHit|SweepShared|SweepUnshared|TransientSweepBatched|TransientSweepUnbatched|SolveBlock$|StorePut$|StoreGet$|CacheHitDisk|FactorAMD|FactorND|SerialRefactor|ParallelRefactor|PlannedSweep$|UnplannedSweep$|ResultsQuery$}"
+    out="${1:-BENCH_PR10.json}"
+    pattern="${BENCH:-TransientStep|FlowChange|CompactSteady|SteadyDirect|SolverBiCGSTAB|SolverGMRES|SolverGMRESWithRCMILU|PoolStudySweep|CacheHit|SweepShared|SweepUnshared|TransientSweepBatched|TransientSweepUnbatched|SolveBlock$|StorePut$|StoreGet$|CacheHitDisk|FactorAMD|FactorND|SerialRefactor|ParallelRefactor|PlannedSweep$|UnplannedSweep$|ResultsQuery$|DisabledPoint$}"
     count="${BENCH_COUNT:-1}"
     tmp="$(mktemp)"
     trap 'rm -f "$tmp"' EXIT
     # With BENCH_COUNT > 1 the fastest sample per benchmark is kept —
     # pin a less noise-contaminated baseline before committing it.
-    go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count "$count" ./internal/mat . | tee "$tmp"
+    go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count "$count" ./internal/mat ./internal/fault . | tee "$tmp"
     emit_json "$benchtime" < "$tmp" > "$out"
     echo "wrote $out"
     exit 0
@@ -121,7 +121,7 @@ count="${BENCH_GATE_COUNT:-3}"
 trap 'rm -f "$tmp"' EXIT
 # -count 3, fastest sample per benchmark: a single descheduled run on a
 # noisy shared runner must not trip the gate.
-go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count "$count" ./internal/mat . | tee "$tmp"
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count "$count" ./internal/mat ./internal/fault . | tee "$tmp"
 emit_json "$benchtime" < "$tmp" > "$fresh"
 echo "wrote $fresh"
 
